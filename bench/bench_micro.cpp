@@ -1,0 +1,152 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// primitives behind the tables: ternary implication with trail undo,
+// the implicit path classifier, structural path counting with BigUint,
+// bit-parallel simulation, stabilizing-system construction, and the
+// kill-set redundancy check.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "core/classify.h"
+#include "core/heuristics.h"
+#include "core/stabilize.h"
+#include "gen/examples.h"
+#include "gen/iscas_like.h"
+#include "paths/counting.h"
+#include "sim/implication.h"
+#include "sim/logic_sim.h"
+#include "sim/timed_sim.h"
+#include "unfold/xfault.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rd;
+
+const Circuit& benchmark_circuit(const std::string& name) {
+  static std::map<std::string, Circuit> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) it = cache.emplace(name, make_benchmark(name)).first;
+  return it->second;
+}
+
+void BM_ImplicationAssignUndo(benchmark::State& state) {
+  const Circuit& circuit = benchmark_circuit("c880");
+  ImplicationEngine engine(circuit);
+  Rng rng(7);
+  for (auto _ : state) {
+    const std::size_t mark = engine.mark();
+    for (int i = 0; i < 8; ++i) {
+      const GateId gate =
+          static_cast<GateId>(rng.next_below(circuit.num_gates()));
+      if (!engine.assign(gate, rng.next_bool(0.5) ? Value3::kOne
+                                                  : Value3::kZero))
+        break;
+    }
+    engine.undo_to(mark);
+    benchmark::DoNotOptimize(engine.num_assigned());
+  }
+}
+BENCHMARK(BM_ImplicationAssignUndo);
+
+void BM_Simulate64(benchmark::State& state) {
+  const Circuit& circuit = benchmark_circuit("c1908");
+  Rng rng(9);
+  std::vector<std::uint64_t> words(circuit.inputs().size());
+  for (auto& word : words) word = rng.next_u64();
+  for (auto _ : state) {
+    auto values = simulate64(circuit, words);
+    benchmark::DoNotOptimize(values.data());
+  }
+}
+BENCHMARK(BM_Simulate64);
+
+void BM_PathCounting(benchmark::State& state) {
+  const Circuit& circuit = benchmark_circuit("c6288");
+  for (auto _ : state) {
+    PathCounts counts(circuit);
+    benchmark::DoNotOptimize(counts.total_physical());
+  }
+}
+BENCHMARK(BM_PathCounting);
+
+void BM_ClassifyFus(benchmark::State& state) {
+  const Circuit& circuit = benchmark_circuit("c432");
+  ClassifyOptions options;
+  options.criterion = Criterion::kFunctionalSensitizable;
+  for (auto _ : state) {
+    const ClassifyResult result = classify_paths(circuit, options);
+    benchmark::DoNotOptimize(result.kept_paths);
+  }
+}
+BENCHMARK(BM_ClassifyFus);
+
+void BM_ClassifySorted(benchmark::State& state) {
+  const Circuit& circuit = benchmark_circuit("c432");
+  const InputSort sort = heuristic1_sort(circuit);
+  ClassifyOptions options;
+  options.criterion = Criterion::kInputSort;
+  options.sort = &sort;
+  for (auto _ : state) {
+    const ClassifyResult result = classify_paths(circuit, options);
+    benchmark::DoNotOptimize(result.kept_paths);
+  }
+}
+BENCHMARK(BM_ClassifySorted);
+
+void BM_Heuristic1Sort(benchmark::State& state) {
+  const Circuit& circuit = benchmark_circuit("c7552");
+  for (auto _ : state) {
+    const InputSort sort = heuristic1_sort(circuit);
+    benchmark::DoNotOptimize(&sort);
+  }
+}
+BENCHMARK(BM_Heuristic1Sort);
+
+void BM_StabilizingSystem(benchmark::State& state) {
+  const Circuit& circuit = benchmark_circuit("c880");
+  const InputSort sort = InputSort::natural(circuit);
+  Rng rng(3);
+  std::vector<bool> inputs(circuit.inputs().size());
+  for (auto&& bit : inputs) bit = rng.next_bool(0.5);
+  const auto values = simulate(circuit, inputs);
+  for (auto _ : state) {
+    const auto system = compute_stabilizing_system_sorted(
+        circuit, circuit.outputs()[0], values, sort);
+    benchmark::DoNotOptimize(system.leads.size());
+  }
+}
+BENCHMARK(BM_StabilizingSystem);
+
+void BM_KillSetCheck(benchmark::State& state) {
+  const Circuit circuit = paper_example_circuit();
+  KillSet kills(circuit.num_leads());
+  kills.kill(0, true);
+  for (auto _ : state) {
+    const KillVerdict verdict = kill_set_testable(circuit, kills);
+    benchmark::DoNotOptimize(verdict);
+  }
+}
+BENCHMARK(BM_KillSetCheck);
+
+void BM_TimedSimulation(benchmark::State& state) {
+  const Circuit& circuit = benchmark_circuit("c880");
+  DelayModel delays = DelayModel::zero(circuit);
+  Rng rng(11);
+  for (auto& d : delays.gate_delay) d = 1.0 + rng.next_double();
+  std::vector<bool> initial(circuit.num_gates());
+  for (std::size_t i = 0; i < initial.size(); ++i)
+    initial[i] = rng.next_bool(0.5);
+  std::vector<bool> inputs(circuit.inputs().size());
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    inputs[i] = rng.next_bool(0.5);
+  for (auto _ : state) {
+    const auto result = simulate_timed(circuit, delays, initial, inputs);
+    benchmark::DoNotOptimize(result.final_values.size());
+  }
+}
+BENCHMARK(BM_TimedSimulation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

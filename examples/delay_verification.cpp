@@ -1,0 +1,66 @@
+// Demonstrates *why* RD-sets are sound: simulate a "manufactured"
+// implementation (random gate/wire delays, arbitrary pre-test line
+// state) and verify Theorem 1 empirically — each primary output
+// settles no later than the slowest logical path of its stabilizing
+// system, so checking only those paths bounds the circuit delay.
+#include <algorithm>
+#include <cstdio>
+
+#include "core/heuristics.h"
+#include "core/stabilize.h"
+#include "gen/examples.h"
+#include "sim/logic_sim.h"
+#include "sim/timed_sim.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace rd;
+  const Circuit circuit = c17();
+  const InputSort sort = heuristic2_sort(circuit);
+
+  Rng rng(42);
+  DelayModel delays = DelayModel::zero(circuit);
+  for (GateId id = 0; id < circuit.num_gates(); ++id)
+    if (circuit.gate(id).type != GateType::kInput)
+      delays.gate_delay[id] = 1.0 + 3.0 * rng.next_double();
+  for (LeadId lead = 0; lead < circuit.num_leads(); ++lead)
+    delays.lead_delay[lead] = 0.5 * rng.next_double();
+
+  std::printf(
+      "c17 with randomized manufacturing delays; applying every input\n"
+      "vector from a random previous state:\n\n");
+  double worst_slack = 1e9;
+  for (std::uint64_t minterm = 0; minterm < 32; ++minterm) {
+    std::vector<bool> inputs(5);
+    for (int i = 0; i < 5; ++i) inputs[i] = (minterm >> i) & 1;
+    std::vector<bool> initial(circuit.num_gates());
+    for (std::size_t g = 0; g < initial.size(); ++g)
+      initial[g] = rng.next_bool(0.5);
+
+    const auto settled = simulate(circuit, inputs);
+    const auto timed = simulate_timed(circuit, delays, initial, inputs);
+
+    for (GateId po : circuit.outputs()) {
+      const auto system =
+          compute_stabilizing_system_sorted(circuit, po, settled, sort);
+      double bound = 0.0;
+      for (const auto& path : logical_paths_of_system(circuit, system, settled))
+        bound = std::max(bound, path_delay(circuit, delays, path.path.leads));
+      const double slack = bound - timed.last_change[po];
+      worst_slack = std::min(worst_slack, slack);
+      if (minterm < 4)
+        std::printf(
+            "  v=%02llu po=%s settles at t=%5.2f, stabilizing-system bound "
+            "%5.2f  (slack %+.2f)\n",
+            static_cast<unsigned long long>(minterm),
+            circuit.gate(po).name.c_str(), timed.last_change[po], bound,
+            slack);
+    }
+  }
+  std::printf(
+      "\nworst slack over all 32 vectors and both outputs: %+.3f\n"
+      "(never negative: Theorem 1 -- testing the stabilizing-system paths\n"
+      "is sufficient to bound the circuit's delay)\n",
+      worst_slack);
+  return worst_slack < 0 ? 1 : 0;
+}

@@ -1,0 +1,244 @@
+// rdfast_cli — command-line driver for the library.
+//
+//   rdfast_cli stats    <circuit>            netlist statistics
+//   rdfast_cli classify <circuit> [options]  RD identification
+//   rdfast_cli atpg     <circuit> [options]  RD + test-set generation
+//   rdfast_cli gen      <profile>            emit a synthetic benchmark
+//   rdfast_cli report   <circuit>            Figure-3 hierarchy report
+//   rdfast_cli select   <circuit> [--k=N]    K longest non-RD paths
+//
+// <circuit> is a .bench file path or the name of a built-in synthetic
+// benchmark (c432 ... c7552, c6288, example, c17).
+//
+// classify options:  --heuristic=1|2|fus|inverse   (default 2)
+//                    --work-limit=N
+// atpg options:      --max-paths=N   cap on enumerated must-test paths
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "atpg/testset.h"
+#include "core/heuristics.h"
+#include "core/report.h"
+#include "gen/examples.h"
+#include "gen/iscas_like.h"
+#include "io/bench_io.h"
+#include "io/stats.h"
+#include "io/verilog_io.h"
+#include "sat/cnf.h"
+#include "io/verilog_io.h"
+#include "sat/cnf.h"
+#include "sta/timing.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace rd;
+
+Circuit load_circuit(const std::string& spec) {
+  if (spec == "example") return paper_example_circuit();
+  if (spec == "c17") return c17();
+  if (!spec.empty() && spec[0] == 'c' && spec.find('.') == std::string::npos) {
+    try {
+      return make_benchmark(spec);
+    } catch (const std::invalid_argument&) {
+      // fall through to file loading
+    }
+  }
+  return read_bench_file(spec);
+}
+
+int cmd_stats(const std::string& spec) {
+  const Circuit circuit = load_circuit(spec);
+  std::fputs(stats_to_string(compute_stats(circuit)).c_str(), stdout);
+  return 0;
+}
+
+int cmd_classify(const std::string& spec, int argc, char** argv) {
+  std::string heuristic = "2";
+  ClassifyOptions base;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (starts_with(arg, "--heuristic="))
+      heuristic = arg.substr(12);
+    else if (starts_with(arg, "--work-limit="))
+      base.work_limit = std::stoull(arg.substr(13));
+    else {
+      std::fprintf(stderr, "unknown classify option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  const Circuit circuit = load_circuit(spec);
+  Rng rng(1);
+  Stopwatch watch;
+  ClassifyResult result;
+  if (heuristic == "fus") {
+    result = classify_fus(circuit, base);
+  } else if (heuristic == "1") {
+    result = identify_rd_heuristic1(circuit, base, &rng).classify;
+  } else if (heuristic == "2") {
+    result = identify_rd_heuristic2(circuit, base, &rng).classify;
+  } else if (heuristic == "inverse") {
+    result = identify_rd_heuristic2_inverse(circuit, base, &rng).classify;
+  } else {
+    std::fprintf(stderr, "unknown heuristic '%s'\n", heuristic.c_str());
+    return 2;
+  }
+  std::printf("circuit        : %s\n", circuit.name().c_str());
+  std::printf("method         : %s\n",
+              heuristic == "fus" ? "FUS baseline [2]"
+                                 : ("Heuristic " + heuristic).c_str());
+  std::printf("logical paths  : %s\n",
+              result.total_logical.to_decimal_grouped().c_str());
+  if (!result.completed) {
+    std::printf("status         : ABORTED (work limit)\n");
+    return 1;
+  }
+  std::printf("robust dep.    : %s (%.2f%%)\n",
+              result.rd_paths.to_decimal_grouped().c_str(),
+              result.rd_percent);
+  std::printf("must-test      : %llu\n",
+              static_cast<unsigned long long>(result.kept_paths));
+  std::printf("time           : %s\n",
+              format_duration(watch.elapsed_seconds()).c_str());
+  return 0;
+}
+
+int cmd_atpg(const std::string& spec, int argc, char** argv) {
+  std::uint64_t max_paths = 20000;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (starts_with(arg, "--max-paths="))
+      max_paths = std::stoull(arg.substr(12));
+    else {
+      std::fprintf(stderr, "unknown atpg option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  const Circuit circuit = load_circuit(spec);
+  ClassifyOptions options;
+  options.collect_paths_limit = max_paths;
+  Rng rng(1);
+  const RdIdentification rd = identify_rd_heuristic2(circuit, options, &rng);
+  std::printf("must-test paths: %llu (%.2f%% robust dependent)\n",
+              static_cast<unsigned long long>(rd.classify.kept_paths),
+              rd.classify.rd_percent);
+  if (rd.classify.kept_paths > max_paths) {
+    std::printf("too many must-test paths for ATPG (cap %llu); raise "
+                "--max-paths\n",
+                static_cast<unsigned long long>(max_paths));
+    return 1;
+  }
+  std::vector<LogicalPath> paths;
+  for (const auto& key : rd.classify.kept_keys) {
+    LogicalPath path;
+    path.path.leads.assign(key.begin(), key.end() - 1);
+    path.final_pi_value = key.back() != 0;
+    paths.push_back(std::move(path));
+  }
+  const GeneratedTestSet set = generate_test_set(circuit, paths);
+  std::printf(
+      "test set       : %zu two-pattern tests\n"
+      "robust         : %zu paths\n"
+      "non-robust only: %zu paths\n"
+      "undetected     : %zu paths (DFT candidates)\n"
+      "robust coverage: %.2f%%\n",
+      set.tests.size(), set.robust_count, set.nonrobust_count,
+      set.undetected_count, set.robust_coverage_percent);
+  return 0;
+}
+
+int cmd_gen(const std::string& name) {
+  const Circuit circuit = load_circuit(name);
+  std::fputs(write_bench_string(circuit).c_str(), stdout);
+  return 0;
+}
+
+int cmd_verilog(const std::string& spec) {
+  const Circuit circuit = load_circuit(spec);
+  std::fputs(write_verilog_string(circuit).c_str(), stdout);
+  return 0;
+}
+
+int cmd_dimacs(const std::string& spec) {
+  const Circuit circuit = load_circuit(spec);
+  std::fputs(write_dimacs_string(circuit).c_str(), stdout);
+  return 0;
+}
+
+int cmd_report(const std::string& spec) {
+  const Circuit circuit = load_circuit(spec);
+  Rng rng(1);
+  const InputSort sort = heuristic2_sort(circuit, &rng);
+  const PathClassReport report = classify_report(circuit, sort);
+  std::fputs(report_to_string(report).c_str(), stdout);
+  return 0;
+}
+
+int cmd_select(const std::string& spec, int argc, char** argv) {
+  std::size_t k = 10;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (starts_with(arg, "--k="))
+      k = std::stoul(arg.substr(4));
+    else {
+      std::fprintf(stderr, "unknown select option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  const Circuit circuit = load_circuit(spec);
+  // Unit gate delays: path length as the delay estimate.
+  DelayModel delays = DelayModel::zero(circuit);
+  for (GateId id = 0; id < circuit.num_gates(); ++id)
+    if (circuit.gate(id).type != GateType::kInput)
+      delays.gate_delay[id] = 1.0;
+  const TimingAnalysis timing(circuit, delays);
+  const InputSort sort = heuristic1_sort(circuit);
+  std::printf("critical delay (unit gates): %.0f\n", timing.critical_delay());
+  std::printf("%zu longest non-RD logical paths:\n", k);
+  std::size_t selected = 0;
+  k_longest_paths(timing, 1u << 20,
+                  [&](const PhysicalPath& physical, double delay) {
+                    for (const bool final_value : {false, true}) {
+                      const LogicalPath path{physical, final_value};
+                      if (!path_survives_local_implications(
+                              circuit, path, Criterion::kInputSort, &sort))
+                        continue;
+                      std::printf("  [delay %4.0f] %s\n", delay,
+                                  path_to_string(circuit, path).c_str());
+                      if (++selected >= k) return false;
+                    }
+                    return true;
+                  });
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s stats|classify|atpg|gen|report|select|verilog|dimacs <circuit> [options]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string command = argv[1];
+  const std::string spec = argv[2];
+  try {
+    if (command == "stats") return cmd_stats(spec);
+    if (command == "classify") return cmd_classify(spec, argc - 3, argv + 3);
+    if (command == "atpg") return cmd_atpg(spec, argc - 3, argv + 3);
+    if (command == "gen") return cmd_gen(spec);
+    if (command == "report") return cmd_report(spec);
+    if (command == "select") return cmd_select(spec, argc - 3, argv + 3);
+    if (command == "verilog") return cmd_verilog(spec);
+    if (command == "dimacs") return cmd_dimacs(spec);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return 2;
+}

@@ -1,0 +1,60 @@
+// Delay-test flow for a sequential (scan) design: extract the
+// combinational core, run RD identification per scan methodology,
+// split the must-test paths by segment class (PI->PO, PI->FF, FF->PO,
+// FF->FF), and print the full classification report.
+#include <cstdio>
+
+#include "core/heuristics.h"
+#include "core/report.h"
+#include "gen/seq_like.h"
+#include "paths/counting.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace rd;
+
+  IscasProfile profile;
+  profile.name = "scan_demo";
+  profile.num_inputs = 10;
+  profile.num_outputs = 8;
+  profile.num_gates = 48;
+  profile.num_levels = 6;
+  profile.xor_fraction = 0.1;
+  profile.seed = 12;
+  const SequentialCircuit design = make_seq_like(profile, 4);
+
+  std::printf(
+      "sequential design: %zu primary inputs, %zu primary outputs, %zu "
+      "flip-flops\n"
+      "combinational core: %zu gates\n\n",
+      design.primary_inputs().size(), design.primary_outputs().size(),
+      design.flip_flops().size(), design.core().num_logic_gates());
+
+  // Path population by scan segment class.
+  std::size_t by_class[4] = {0, 0, 0, 0};
+  enumerate_paths(
+      design.core(),
+      [&](const PhysicalPath& path) {
+        ++by_class[static_cast<std::size_t>(classify_segment(design, path))];
+      },
+      1u << 20);
+  std::printf(
+      "physical paths by segment class:\n"
+      "  PI -> PO : %zu\n  PI -> FF : %zu\n  FF -> PO : %zu\n"
+      "  FF -> FF : %zu\n\n",
+      by_class[0], by_class[1], by_class[2], by_class[3]);
+
+  // RD identification + full hierarchy report on the core.
+  Rng rng(1);
+  const InputSort sort = heuristic2_sort(design.core(), &rng);
+  const PathClassReport report = classify_report(design.core(), sort);
+  std::fputs(report_to_string(report).c_str(), stdout);
+
+  std::printf(
+      "\nwith enhanced scan, the %llu must-test paths are applied as\n"
+      "two-pattern tests through the scan chain; the %zu DFT candidates\n"
+      "would need test-point insertion.\n",
+      static_cast<unsigned long long>(report.kept_total),
+      report.dft_candidates.size());
+  return 0;
+}

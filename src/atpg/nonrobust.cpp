@@ -1,0 +1,115 @@
+#include "atpg/nonrobust.h"
+
+#include <functional>
+#include <stdexcept>
+
+#include "sim/implication.h"
+#include "sim/logic_sim.h"
+
+namespace rd {
+
+namespace {
+
+/// Asserts (NR1) and (NR2) on the engine: the PI's final value and
+/// every on-path side input at its non-controlling value.  Returns
+/// false on conflict (path proven untestable).
+bool assert_nr_conditions(const Circuit& circuit, const LogicalPath& path,
+                          ImplicationEngine& engine) {
+  if (!engine.assign(path_pi(circuit, path.path),
+                     to_value3(path.final_pi_value)))
+    return false;
+  for (LeadId lead_id : path.path.leads) {
+    const Lead& lead = circuit.lead(lead_id);
+    const Gate& sink = circuit.gate(lead.sink);
+    if (!has_controlling_value(sink.type)) continue;
+    const Value3 nc = to_value3(noncontrolling_value(sink.type));
+    for (std::uint32_t pin = 0; pin < sink.fanins.size(); ++pin) {
+      if (pin == lead.pin) continue;
+      if (!engine.assign(sink.fanins[pin], nc)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<NonRobustTest> find_nonrobust_test(const Circuit& circuit,
+                                                 const LogicalPath& path,
+                                                 std::uint64_t max_nodes) {
+  if (!is_valid_path(circuit, path.path))
+    throw std::invalid_argument("find_nonrobust_test: malformed path");
+  ImplicationEngine engine(circuit);
+  if (!assert_nr_conditions(circuit, path, engine)) return std::nullopt;
+
+  // Complete the assignment over the PIs: the asserted gate values are
+  // on the engine's trail, so any full PI assignment that survives the
+  // implications satisfies every condition.
+  const auto& pis = circuit.inputs();
+  std::uint64_t nodes = 0;
+
+  // Depth-first over PI indices, skipping already-implied ones.
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < pis.size(); ++i) order.push_back(i);
+
+  std::vector<Value3> witness(pis.size(), Value3::kUnknown);
+  std::function<bool(std::size_t)> recurse = [&](std::size_t index) -> bool {
+    if (++nodes > max_nodes)
+      throw std::runtime_error("find_nonrobust_test: budget exceeded");
+    while (index < order.size() && is_known(engine.value(pis[order[index]])))
+      ++index;
+    if (index == order.size()) {
+      for (std::size_t i = 0; i < pis.size(); ++i)
+        witness[i] = engine.value(pis[i]);
+      return true;
+    }
+    const GateId pi = pis[order[index]];
+    for (const Value3 value : {Value3::kZero, Value3::kOne}) {
+      const std::size_t mark = engine.mark();
+      if (engine.assign(pi, value) && recurse(index + 1)) return true;
+      engine.undo_to(mark);
+    }
+    return false;
+  };
+  if (!recurse(0)) return std::nullopt;
+
+  NonRobustTest test;
+  test.v2.resize(pis.size());
+  for (std::size_t i = 0; i < pis.size(); ++i)
+    test.v2[i] = to_bool(witness[i]);
+  test.v1 = test.v2;
+  // Launch: v1 complements the path's PI (Remark 1).
+  for (std::size_t i = 0; i < pis.size(); ++i)
+    if (pis[i] == path_pi(circuit, path.path)) test.v1[i] = !test.v1[i];
+  return test;
+}
+
+bool nonrobust_test_is_valid(const Circuit& circuit, const LogicalPath& path,
+                             const NonRobustTest& test) {
+  if (test.v1.size() != circuit.inputs().size() ||
+      test.v2.size() != circuit.inputs().size())
+    return false;
+  const GateId pi = path_pi(circuit, path.path);
+
+  // Launch: v1 puts the PI at the initial value, v2 at the final one.
+  std::size_t pi_index = 0;
+  for (std::size_t i = 0; i < circuit.inputs().size(); ++i)
+    if (circuit.inputs()[i] == pi) pi_index = i;
+  if (test.v1[pi_index] != !path.final_pi_value) return false;
+  if (test.v2[pi_index] != path.final_pi_value) return false;
+
+  // (NR2) under v2.
+  const auto values = simulate(circuit, test.v2);
+  for (LeadId lead_id : path.path.leads) {
+    const Lead& lead = circuit.lead(lead_id);
+    const Gate& sink = circuit.gate(lead.sink);
+    if (!has_controlling_value(sink.type)) continue;
+    const bool nc = noncontrolling_value(sink.type);
+    for (std::uint32_t pin = 0; pin < sink.fanins.size(); ++pin) {
+      if (pin == lead.pin) continue;
+      if (values[sink.fanins[pin]] != nc) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rd

@@ -1,0 +1,90 @@
+#include "atpg/path_fault_sim.h"
+
+#include <stdexcept>
+
+namespace rd {
+
+std::vector<Wave> waves_of_vectors(const Circuit& circuit,
+                                   const std::vector<bool>& v1,
+                                   const std::vector<bool>& v2) {
+  if (v1.size() != circuit.inputs().size() ||
+      v2.size() != circuit.inputs().size())
+    throw std::invalid_argument("waves_of_vectors: arity mismatch");
+  std::vector<Wave> waves(v1.size());
+  for (std::size_t i = 0; i < v1.size(); ++i)
+    waves[i] = Wave{to_value3(v1[i]), to_value3(v2[i]), true};
+  return waves;
+}
+
+std::vector<Wave> simulate_waves(const Circuit& circuit,
+                                 const std::vector<Wave>& pi_waves) {
+  if (pi_waves.size() != circuit.inputs().size())
+    throw std::invalid_argument("simulate_waves: arity mismatch");
+  std::vector<Wave> waves(circuit.num_gates(), Wave::unknown());
+  for (std::size_t i = 0; i < pi_waves.size(); ++i)
+    waves[circuit.inputs()[i]] = pi_waves[i];
+  std::vector<Wave> scratch;
+  for (GateId id : circuit.topo_order()) {
+    const Gate& gate = circuit.gate(id);
+    if (gate.type == GateType::kInput) continue;
+    scratch.clear();
+    for (GateId fanin : gate.fanins) scratch.push_back(waves[fanin]);
+    waves[id] = eval_gate_wave(gate.type, scratch.data(), scratch.size());
+  }
+  return waves;
+}
+
+DetectionClass classify_path_detection(const Circuit& circuit,
+                                       const LogicalPath& path,
+                                       const std::vector<Wave>& gate_waves) {
+  const GateId pi = path_pi(circuit, path.path);
+  const Wave& launch = gate_waves[pi];
+  // Both detection classes require the transition to be launched at
+  // the path input with the fault's polarity.
+  if (!(launch.has_transition() &&
+        to_bool(launch.final) == path.final_pi_value))
+    return DetectionClass::kNone;
+
+  bool robust = true;
+  bool expected = path.final_pi_value;
+  for (LeadId lead_id : path.path.leads) {
+    const Lead& lead = circuit.lead(lead_id);
+    const Gate& sink = circuit.gate(lead.sink);
+    const Wave& on_path = gate_waves[lead.driver];
+    // Robust propagation additionally needs a clean on-path
+    // transition.
+    if (!(on_path.clean && on_path.has_transition() &&
+          to_bool(on_path.final) == expected))
+      robust = false;
+    if (has_controlling_value(sink.type)) {
+      const bool nc = noncontrolling_value(sink.type);
+      const bool on_path_final_nc = expected == nc;
+      for (std::uint32_t pin = 0; pin < sink.fanins.size(); ++pin) {
+        if (pin == lead.pin) continue;
+        const Wave& side = gate_waves[sink.fanins[pin]];
+        // Non-robust (static) sensitization: side settles at nc.
+        if (side.final != to_value3(nc)) return DetectionClass::kNone;
+        if (on_path_final_nc) {
+          if (!side.clean) robust = false;
+        } else {
+          if (!(side.is_steady())) robust = false;
+        }
+      }
+    }
+    if (inverts(sink.type)) expected = !expected;
+  }
+  return robust ? DetectionClass::kRobust : DetectionClass::kNonRobust;
+}
+
+std::vector<DetectionClass> simulate_path_test(
+    const Circuit& circuit, const std::vector<LogicalPath>& paths,
+    const std::vector<Wave>& pi_waves) {
+  const auto gate_waves = simulate_waves(circuit, pi_waves);
+  std::vector<DetectionClass> result;
+  result.reserve(paths.size());
+  for (const LogicalPath& path : paths)
+    result.push_back(classify_path_detection(circuit, path, gate_waves));
+  return result;
+}
+
+}  // namespace rd

@@ -1,0 +1,42 @@
+// Path delay fault simulation for two-pattern tests (in the spirit of
+// Schulz/Fink/Fuchs [6]): given per-PI waveforms of a test, classify
+// which logical paths the test detects robustly, which only
+// non-robustly, and which not at all.
+//
+// One waveform simulation of the circuit is shared by all queried
+// paths, so simulating a test against a large must-test list is
+// O(gates + Σ path lengths).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/waveform.h"
+#include "netlist/circuit.h"
+#include "paths/path.h"
+
+namespace rd {
+
+enum class DetectionClass : std::uint8_t { kNone = 0, kNonRobust, kRobust };
+
+/// Per-PI waveforms for the two-pattern test <v1, v2>.
+std::vector<Wave> waves_of_vectors(const Circuit& circuit,
+                                   const std::vector<bool>& v1,
+                                   const std::vector<bool>& v2);
+
+/// Waveform simulation over the whole circuit (per-gate results,
+/// indexed by GateId).
+std::vector<Wave> simulate_waves(const Circuit& circuit,
+                                 const std::vector<Wave>& pi_waves);
+
+/// Detection classification of one path under precomputed gate waves.
+DetectionClass classify_path_detection(const Circuit& circuit,
+                                       const LogicalPath& path,
+                                       const std::vector<Wave>& gate_waves);
+
+/// Batch variant: one simulation, every path classified.
+std::vector<DetectionClass> simulate_path_test(
+    const Circuit& circuit, const std::vector<LogicalPath>& paths,
+    const std::vector<Wave>& pi_waves);
+
+}  // namespace rd

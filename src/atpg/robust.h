@@ -1,0 +1,51 @@
+// Robust path-delay-fault testability checking.
+//
+// A robust test for a logical path (P, x̄→x) is a two-pattern sequence
+// that measures P's delay in *any* implementation C_m (Section II; Lin
+// & Reddy).  The classic sufficient-and-necessary structural
+// characterization per on-path gate g:
+//
+//   * the on-path input carries a clean transition,
+//   * if its final value is non-controlling: every side input settles
+//     cleanly on the non-controlling value,
+//   * if its final value is controlling: every side input is *steady*
+//     non-controlling.
+//
+// The checker searches over per-PI waveform assignments {S0,S1,R,F}
+// with constraint propagation by full waveform resimulation; it is
+// exact (complete search) and intended for small circuits — the
+// paper's example-circuit experiments (Figures 2-4) and the test
+// suite's fault-coverage cross-checks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "atpg/waveform.h"
+#include "netlist/circuit.h"
+#include "paths/path.h"
+
+namespace rd {
+
+/// A found robust test: one waveform per PI (index-aligned with
+/// circuit.inputs()); every entry is S0, S1, R or F.
+using RobustTest = std::vector<Wave>;
+
+/// Searches for a robust test for the logical path.  Returns the test
+/// if one exists, std::nullopt if the path is provably robust
+/// untestable.  `max_nodes` bounds the search tree (throws
+/// std::runtime_error when exceeded — only possible on large circuits).
+std::optional<RobustTest> find_robust_test(const Circuit& circuit,
+                                           const LogicalPath& path,
+                                           std::uint64_t max_nodes = 1u << 26);
+
+/// Convenience predicate.
+bool is_robustly_testable(const Circuit& circuit, const LogicalPath& path);
+
+/// Verifies that a concrete PI waveform assignment robustly tests the
+/// path (used by tests to validate found tests independently).
+bool robust_test_is_valid(const Circuit& circuit, const LogicalPath& path,
+                          const RobustTest& test);
+
+}  // namespace rd

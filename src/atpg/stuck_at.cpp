@@ -1,0 +1,288 @@
+#include "atpg/stuck_at.h"
+
+#include <stdexcept>
+
+#include "sim/logic_sim.h"
+#include "util/rng.h"
+
+namespace rd {
+
+namespace {
+
+/// Good/faulty machine pair per gate.
+struct MachineValues {
+  std::vector<Value3> good;
+  std::vector<Value3> faulty;
+};
+
+/// Three-valued simulation of both machines with the fault injected.
+MachineValues simulate_pair(const Circuit& circuit, const StuckFault& fault,
+                            const std::vector<Value3>& pi_values) {
+  MachineValues machines;
+  machines.good.assign(circuit.num_gates(), Value3::kUnknown);
+  machines.faulty.assign(circuit.num_gates(), Value3::kUnknown);
+  for (std::size_t i = 0; i < circuit.inputs().size(); ++i) {
+    machines.good[circuit.inputs()[i]] = pi_values[i];
+    machines.faulty[circuit.inputs()[i]] = pi_values[i];
+  }
+  std::vector<Value3> scratch;
+  for (GateId id : circuit.topo_order()) {
+    const Gate& gate = circuit.gate(id);
+    if (gate.type != GateType::kInput) {
+      scratch.clear();
+      for (GateId fanin : gate.fanins) scratch.push_back(machines.good[fanin]);
+      machines.good[id] = eval_gate3(gate.type, scratch.data(), scratch.size());
+
+      scratch.clear();
+      for (std::uint32_t pin = 0; pin < gate.fanins.size(); ++pin) {
+        Value3 value = machines.faulty[gate.fanins[pin]];
+        if (fault.site == StuckFault::Site::kLead &&
+            gate.fanin_leads[pin] == fault.index)
+          value = to_value3(fault.stuck_value);
+        scratch.push_back(value);
+      }
+      machines.faulty[id] =
+          eval_gate3(gate.type, scratch.data(), scratch.size());
+    }
+    if (fault.site == StuckFault::Site::kGateOutput && id == fault.index)
+      machines.faulty[id] = to_value3(fault.stuck_value);
+  }
+  return machines;
+}
+
+/// The gate whose *good* value must differ from the stuck value to
+/// activate the fault (the lead's driver, or the faulty gate itself).
+GateId fault_site_gate(const Circuit& circuit, const StuckFault& fault) {
+  return fault.site == StuckFault::Site::kLead
+             ? circuit.lead(fault.index).driver
+             : fault.index;
+}
+
+class Podem {
+ public:
+  Podem(const Circuit& circuit, const StuckFault& fault,
+        std::uint64_t max_nodes)
+      : circuit_(circuit), fault_(fault), max_nodes_(max_nodes) {
+    pi_values_.assign(circuit.inputs().size(), Value3::kUnknown);
+    pi_index_of_gate_.assign(circuit.num_gates(), kNone);
+    for (std::size_t i = 0; i < circuit.inputs().size(); ++i)
+      pi_index_of_gate_[circuit.inputs()[i]] = i;
+  }
+
+  AtpgResult run() {
+    AtpgResult result;
+    bool found;
+    try {
+      found = recurse();
+    } catch (const BudgetExceeded&) {
+      result.verdict = AtpgVerdict::kAborted;
+      result.nodes = nodes_;
+      return result;
+    }
+    result.verdict = found ? AtpgVerdict::kTestable : AtpgVerdict::kRedundant;
+    if (found) result.test = pi_values_;
+    result.nodes = nodes_;
+    return result;
+  }
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  struct BudgetExceeded {};
+
+  bool recurse() {
+    if (++nodes_ > max_nodes_) throw BudgetExceeded{};
+    const auto machines = simulate_pair(circuit_, fault_, pi_values_);
+
+    // Detected?
+    for (GateId po : circuit_.outputs()) {
+      if (is_known(machines.good[po]) && is_known(machines.faulty[po]) &&
+          machines.good[po] != machines.faulty[po])
+        return true;
+    }
+
+    const GateId site = fault_site_gate(circuit_, fault_);
+    const Value3 site_good = machines.good[site];
+    const Value3 activation = to_value3(!fault_.stuck_value);
+
+    // Activation impossible with the current (monotone) assignment.
+    if (is_known(site_good) && site_good != activation) return false;
+
+    GateId objective_gate = kNullGate;
+    Value3 objective_value = Value3::kUnknown;
+
+    if (!is_known(site_good)) {
+      objective_gate = site;
+      objective_value = activation;
+    } else {
+      // Fault is activated; drive a D-frontier gate.  D-frontier: gates
+      // with a divergent input and an undecided divergence at the
+      // output.
+      GateId frontier = kNullGate;
+      for (GateId id : circuit_.topo_order()) {
+        const Gate& gate = circuit_.gate(id);
+        if (gate.type == GateType::kInput) continue;
+        if (is_known(machines.good[id]) && is_known(machines.faulty[id]))
+          continue;
+        bool has_divergent_input = false;
+        for (std::uint32_t pin = 0; pin < gate.fanins.size(); ++pin) {
+          const GateId fanin = gate.fanins[pin];
+          Value3 faulty_in = machines.faulty[fanin];
+          if (fault_.site == StuckFault::Site::kLead &&
+              gate.fanin_leads[pin] == fault_.index)
+            faulty_in = to_value3(fault_.stuck_value);
+          if (is_known(machines.good[fanin]) && is_known(faulty_in) &&
+              machines.good[fanin] != faulty_in) {
+            has_divergent_input = true;
+            break;
+          }
+        }
+        if (has_divergent_input) {
+          frontier = id;
+          break;
+        }
+      }
+      if (frontier == kNullGate) return false;  // effect cannot propagate
+
+      // Objective: set one unknown side input of the frontier gate to
+      // non-controlling.
+      const Gate& gate = circuit_.gate(frontier);
+      if (!has_controlling_value(gate.type)) return false;  // cannot happen
+      const Value3 nc = to_value3(noncontrolling_value(gate.type));
+      for (GateId fanin : gate.fanins) {
+        if (!is_known(machines.good[fanin])) {
+          objective_gate = fanin;
+          objective_value = nc;
+          break;
+        }
+      }
+      if (objective_gate == kNullGate) return false;
+    }
+
+    // Backtrace the objective to an unassigned PI.
+    GateId gate = objective_gate;
+    Value3 value = objective_value;
+    while (circuit_.gate(gate).type != GateType::kInput) {
+      const Gate& g = circuit_.gate(gate);
+      Value3 input_value;
+      GateId next = kNullGate;
+      if (g.type == GateType::kNot || g.type == GateType::kBuf ||
+          g.type == GateType::kOutput) {
+        input_value = g.type == GateType::kNot ? negate(value) : value;
+        next = g.fanins[0];
+      } else {
+        const Value3 ctrl = to_value3(controlling_value(g.type));
+        const Value3 needed =
+            value == to_value3(controlled_output(g.type)) ? ctrl : negate(ctrl);
+        // Pick the first input with unknown good value.
+        for (GateId fanin : g.fanins) {
+          if (!is_known(machines.good[fanin])) {
+            next = fanin;
+            break;
+          }
+        }
+        if (next == kNullGate) return false;  // objective unreachable
+        input_value = needed;
+      }
+      gate = next;
+      value = input_value;
+    }
+
+    const std::size_t pi = pi_index_of_gate_[gate];
+    if (pi == kNone || is_known(pi_values_[pi])) return false;
+
+    pi_values_[pi] = value;
+    if (recurse()) return true;
+    pi_values_[pi] = negate(value);
+    if (recurse()) return true;
+    pi_values_[pi] = Value3::kUnknown;
+    return false;
+  }
+
+  const Circuit& circuit_;
+  const StuckFault& fault_;
+  std::uint64_t max_nodes_;
+  std::uint64_t nodes_ = 0;
+  std::vector<Value3> pi_values_;
+  std::vector<std::size_t> pi_index_of_gate_;
+};
+
+}  // namespace
+
+AtpgResult podem(const Circuit& circuit, const StuckFault& fault,
+                 std::uint64_t max_nodes) {
+  Podem engine(circuit, fault, max_nodes);
+  return engine.run();
+}
+
+bool detects_fault(const Circuit& circuit, const StuckFault& fault,
+                   const std::vector<Value3>& pi_values) {
+  const auto machines = simulate_pair(circuit, fault, pi_values);
+  for (GateId po : circuit.outputs()) {
+    if (is_known(machines.good[po]) && is_known(machines.faulty[po]) &&
+        machines.good[po] != machines.faulty[po])
+      return true;
+  }
+  return false;
+}
+
+bool random_patterns_detect(const Circuit& circuit, const StuckFault& fault,
+                            std::uint64_t seed, std::size_t num_words) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> words(circuit.inputs().size());
+  for (std::size_t round = 0; round < num_words; ++round) {
+    for (auto& word : words) word = rng.next_u64();
+    const auto good = simulate64(circuit, words);
+
+    // Faulty machine: re-simulate with the fault injected.
+    std::vector<std::uint64_t> faulty(circuit.num_gates(), 0);
+    for (std::size_t i = 0; i < circuit.inputs().size(); ++i)
+      faulty[circuit.inputs()[i]] = words[i];
+    for (GateId id : circuit.topo_order()) {
+      const Gate& gate = circuit.gate(id);
+      if (gate.type != GateType::kInput) {
+        auto input_word = [&](std::uint32_t pin) {
+          if (fault.site == StuckFault::Site::kLead &&
+              gate.fanin_leads[pin] == fault.index)
+            return fault.stuck_value ? ~std::uint64_t{0} : std::uint64_t{0};
+          return faulty[gate.fanins[pin]];
+        };
+        std::uint64_t word = 0;
+        switch (gate.type) {
+          case GateType::kOutput:
+          case GateType::kBuf:
+            word = input_word(0);
+            break;
+          case GateType::kNot:
+            word = ~input_word(0);
+            break;
+          case GateType::kAnd:
+          case GateType::kNand: {
+            word = ~std::uint64_t{0};
+            for (std::uint32_t pin = 0; pin < gate.fanins.size(); ++pin)
+              word &= input_word(pin);
+            if (gate.type == GateType::kNand) word = ~word;
+            break;
+          }
+          case GateType::kOr:
+          case GateType::kNor: {
+            word = 0;
+            for (std::uint32_t pin = 0; pin < gate.fanins.size(); ++pin)
+              word |= input_word(pin);
+            if (gate.type == GateType::kNor) word = ~word;
+            break;
+          }
+          case GateType::kInput:
+            break;
+        }
+        faulty[id] = word;
+      }
+      if (fault.site == StuckFault::Site::kGateOutput && id == fault.index)
+        faulty[id] = fault.stuck_value ? ~std::uint64_t{0} : std::uint64_t{0};
+    }
+    for (GateId po : circuit.outputs())
+      if ((good[po] ^ faulty[po]) != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace rd

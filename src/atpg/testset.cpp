@@ -1,0 +1,89 @@
+#include "atpg/testset.h"
+
+#include <optional>
+#include <stdexcept>
+
+#include "atpg/nonrobust.h"
+#include "atpg/robust.h"
+
+namespace rd {
+
+namespace {
+
+/// Runs one test against every still-open path, upgrading detection
+/// records; returns true if it newly detected anything.
+bool apply_test(const Circuit& circuit, const std::vector<LogicalPath>& paths,
+                const std::vector<Wave>& test, int test_index,
+                GeneratedTestSet& result) {
+  const auto gate_waves = simulate_waves(circuit, test);
+  bool useful = false;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (result.detection[i] == DetectionClass::kRobust) continue;
+    const DetectionClass detection =
+        classify_path_detection(circuit, paths[i], gate_waves);
+    if (detection > result.detection[i]) {
+      result.detection[i] = detection;
+      result.detected_by[i] = test_index;
+      useful = true;
+    }
+  }
+  return useful;
+}
+
+}  // namespace
+
+GeneratedTestSet generate_test_set(const Circuit& circuit,
+                                   const std::vector<LogicalPath>& paths,
+                                   const TestSetOptions& options) {
+  GeneratedTestSet result;
+  result.detection.assign(paths.size(), DetectionClass::kNone);
+  result.detected_by.assign(paths.size(), -1);
+
+  // Robust pass with greedy compaction.
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (result.detection[i] == DetectionClass::kRobust) continue;
+    std::optional<RobustTest> test;
+    try {
+      test = find_robust_test(circuit, paths[i], options.max_robust_nodes);
+    } catch (const std::runtime_error&) {
+      continue;  // budget exceeded: leave for the non-robust pass
+    }
+    if (!test.has_value()) continue;
+    const int index = static_cast<int>(result.tests.size());
+    result.tests.push_back(std::move(*test));
+    apply_test(circuit, paths, result.tests.back(), index, result);
+  }
+
+  // Non-robust fallback for whatever is left.
+  if (options.allow_nonrobust) {
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      if (result.detection[i] != DetectionClass::kNone) continue;
+      std::optional<NonRobustTest> test;
+      try {
+        test = find_nonrobust_test(circuit, paths[i],
+                                   options.max_nonrobust_nodes);
+      } catch (const std::runtime_error&) {
+        continue;
+      }
+      if (!test.has_value()) continue;
+      const int index = static_cast<int>(result.tests.size());
+      result.tests.push_back(waves_of_vectors(circuit, test->v1, test->v2));
+      apply_test(circuit, paths, result.tests.back(), index, result);
+    }
+  }
+
+  for (const DetectionClass detection : result.detection) {
+    switch (detection) {
+      case DetectionClass::kRobust: ++result.robust_count; break;
+      case DetectionClass::kNonRobust: ++result.nonrobust_count; break;
+      case DetectionClass::kNone: ++result.undetected_count; break;
+    }
+  }
+  if (!paths.empty())
+    result.robust_coverage_percent =
+        100.0 * static_cast<double>(result.robust_count) /
+        static_cast<double>(paths.size());
+  return result;
+}
+
+}  // namespace rd

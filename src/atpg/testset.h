@@ -1,0 +1,56 @@
+// Complete two-pattern test-set generation for a list of path delay
+// faults: robust ATPG first, non-robust fallback, greedy compaction by
+// fault simulation (each generated test is simulated against every
+// still-undetected path so one test can cover many faults).
+//
+// This is the downstream consumer the paper's RD identification feeds:
+// the input path list is typically the classifier's kept (non-RD)
+// paths, and the summary's coverage is exactly the fault-coverage
+// notion of Example 3 (robustly testable / must-test).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/path_fault_sim.h"
+#include "atpg/waveform.h"
+#include "netlist/circuit.h"
+#include "paths/path.h"
+
+namespace rd {
+
+struct TestSetOptions {
+  /// Search budgets per path.
+  std::uint64_t max_robust_nodes = 1u << 20;
+  std::uint64_t max_nonrobust_nodes = 1u << 20;
+
+  /// Also generate non-robust tests for robust-untestable paths.
+  bool allow_nonrobust = true;
+};
+
+struct GeneratedTestSet {
+  /// The two-pattern tests, as per-PI waveforms.
+  std::vector<std::vector<Wave>> tests;
+
+  /// Per input path: best detection achieved over the set.
+  std::vector<DetectionClass> detection;
+
+  /// Per input path: index into `tests` of the detecting test (-1 if
+  /// undetected).
+  std::vector<int> detected_by;
+
+  std::size_t robust_count = 0;
+  std::size_t nonrobust_count = 0;
+  std::size_t undetected_count = 0;
+
+  /// Robust coverage in the sense of Theorem 1's discussion: robustly
+  /// detected / total (percent).
+  double robust_coverage_percent = 0.0;
+};
+
+/// Generates and compacts a test set for `paths`.
+GeneratedTestSet generate_test_set(const Circuit& circuit,
+                                   const std::vector<LogicalPath>& paths,
+                                   const TestSetOptions& options = {});
+
+}  // namespace rd

@@ -1,0 +1,74 @@
+#include "atpg/waveform.h"
+
+namespace rd {
+
+namespace {
+
+Wave invert(Wave wave) {
+  wave.initial = negate(wave.initial);
+  wave.final = negate(wave.final);
+  return wave;
+}
+
+}  // namespace
+
+Wave eval_gate_wave(GateType type, const Wave* inputs, std::size_t count) {
+  switch (type) {
+    case GateType::kInput:
+      return Wave::unknown();
+    case GateType::kOutput:
+    case GateType::kBuf:
+      return inputs[0];
+    case GateType::kNot:
+      return invert(inputs[0]);
+    default:
+      break;
+  }
+
+  const Value3 ctrl = to_value3(controlling_value(type));
+  const Value3 nc = negate(ctrl);
+
+  // A steady controlling input pins the output for the whole test.
+  for (std::size_t i = 0; i < count; ++i) {
+    const Wave& in = inputs[i];
+    if (in.clean && in.initial == ctrl && in.final == ctrl)
+      return inverts(type) ? Wave::steady(to_bool(nc))
+                           : Wave::steady(to_bool(ctrl));
+  }
+
+  // Componentwise initial/final evaluation.
+  Value3 initial_acc = nc;
+  Value3 final_acc = nc;
+  bool any_rising = false;
+  bool any_falling = false;
+  bool any_dirty = false;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Wave& in = inputs[i];
+    if (in.initial == ctrl) initial_acc = ctrl;
+    else if (!is_known(in.initial) && initial_acc != ctrl)
+      initial_acc = Value3::kUnknown;
+    if (in.final == ctrl) final_acc = ctrl;
+    else if (!is_known(in.final) && final_acc != ctrl)
+      final_acc = Value3::kUnknown;
+    if (!in.clean) any_dirty = true;
+    if (in.has_transition()) (to_bool(in.final) ? any_rising : any_falling) = true;
+    if (!is_known(in.initial) || !is_known(in.final)) any_dirty = true;
+  }
+
+  // Hazard analysis: opposing transitions on different inputs, or any
+  // dirty input, may glitch the output.  (A steady controlling input
+  // was already handled above and masks everything.)
+  bool clean = !any_dirty && !(any_rising && any_falling);
+
+  Wave out;
+  out.initial = initial_acc;
+  out.final = final_acc;
+  // If either phase is unknown the wave is not clean in any usable
+  // sense; keep clean=false so callers stay conservative.
+  if (!is_known(out.initial) || !is_known(out.final)) clean = false;
+  out.clean = clean;
+  if (inverts(type)) out = invert(out);
+  return out;
+}
+
+}  // namespace rd

@@ -1,0 +1,60 @@
+// Multi-valued waveform algebra for two-pattern delay tests.
+//
+// A waveform abstracts a line's behaviour across a two-pattern test
+// <v1, v2>: its initial value (stable under v1), its final value
+// (stable under v2), and whether the transition between them is *clean*
+// (monotone / hazard-free regardless of gate delays).  The five classic
+// values S0, S1, R (0→1), F (1→0), plus "dirty" variants with a known
+// final value but possible hazards, plus unknowns.
+//
+// Robust path-delay-fault tests (Lin & Reddy) are characterized with
+// exactly this information: a side input must be *steady*
+// non-controlling when the on-path transition ends controlling, and
+// must *settle cleanly* to non-controlling when it ends
+// non-controlling.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/gate_types.h"
+#include "sim/value.h"
+
+namespace rd {
+
+/// Two-pattern waveform value.
+struct Wave {
+  Value3 initial = Value3::kUnknown;
+  Value3 final = Value3::kUnknown;
+  bool clean = true;  // no hazard possible between the stable phases
+
+  bool operator==(const Wave& other) const = default;
+
+  static constexpr Wave steady(bool value) {
+    return Wave{to_value3(value), to_value3(value), true};
+  }
+  static constexpr Wave rising() {
+    return Wave{Value3::kZero, Value3::kOne, true};
+  }
+  static constexpr Wave falling() {
+    return Wave{Value3::kOne, Value3::kZero, true};
+  }
+  static constexpr Wave transition(bool final_value) {
+    return final_value ? rising() : falling();
+  }
+  static constexpr Wave unknown() { return Wave{}; }
+
+  bool is_steady() const {
+    return clean && is_known(initial) && initial == final;
+  }
+  bool has_transition() const {
+    return is_known(initial) && is_known(final) && initial != final;
+  }
+};
+
+/// Evaluates a gate over waveform inputs, conservatively tracking
+/// hazards: a clean result requires that no combination of gate/wire
+/// delays can produce a glitch (e.g. AND of R and F can glitch to 1 and
+/// is therefore dirty).  Not valid for kInput.
+Wave eval_gate_wave(GateType type, const Wave* inputs, std::size_t count);
+
+}  // namespace rd

@@ -1,0 +1,63 @@
+// Circuit-to-BDD construction and BDD-backed circuit reasoning:
+// per-gate BDDs under the PI variable order, combinational equivalence
+// checking, and exact logical-path sensitizability (the BDD-exact
+// counterpart of the classifier's local-implication approximation).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "core/classify.h"
+#include "netlist/circuit.h"
+#include "paths/path.h"
+
+namespace rd {
+
+/// Per-gate BDDs for a circuit (variable i = PI i, in circuit.inputs()
+/// order).  Construction is aborted cleanly on the manager's node
+/// limit.
+class CircuitBdds {
+ public:
+  /// Builds BDDs for every gate; throws std::runtime_error when the
+  /// node limit is hit (use `try_build` for an optional-style API).
+  CircuitBdds(const Circuit& circuit, BddManager& manager);
+
+  /// nullopt on node-limit overrun.
+  static std::optional<CircuitBdds> try_build(const Circuit& circuit,
+                                              BddManager& manager);
+
+  BddRef gate(GateId id) const { return refs_[id]; }
+  BddManager& manager() const { return *manager_; }
+
+ private:
+  CircuitBdds() = default;
+  const Circuit* circuit_ = nullptr;
+  BddManager* manager_ = nullptr;
+  std::vector<BddRef> refs_;
+};
+
+/// Exact combinational equivalence of two circuits with identically
+/// *named* PIs/POs (names are matched, order-independent).  Returns
+/// nullopt if a node limit is exceeded.
+std::optional<bool> check_equivalent(const Circuit& a, const Circuit& b,
+                                     std::size_t max_nodes = 1u << 21);
+
+/// Exact sensitizability of one logical path under FS / NR / (π1)-(π3)
+/// conditions, decided by BDD satisfiability (no 2^n sweep).  Returns
+/// nullopt on node-limit overrun.
+std::optional<bool> bdd_sensitizable(const Circuit& circuit,
+                                     const CircuitBdds& bdds,
+                                     const LogicalPath& path,
+                                     Criterion criterion,
+                                     const InputSort* sort = nullptr);
+
+/// Exact kept-path count for a criterion by explicit path enumeration
+/// with a per-path BDD check.  Caps at `max_paths` enumerated paths
+/// (returns nullopt beyond, or on node-limit overrun).
+std::optional<std::uint64_t> bdd_exact_kept_count(
+    const Circuit& circuit, Criterion criterion,
+    const InputSort* sort = nullptr, std::uint64_t max_paths = 1u << 22,
+    std::size_t max_nodes = 1u << 21);
+
+}  // namespace rd

@@ -1,0 +1,109 @@
+// Fast RD-set identification without circuit unfolding (Section IV).
+//
+// All logical paths are implicitly enumerated by a depth-first search
+// that grows a path segment gate by gate from each primary input.
+// Extending through a gate asserts the side-input constraints of the
+// active sensitization criterion as stable values on the implication
+// engine:
+//
+//   kFunctionalSensitizable  (FU1)-(FU2), Definition 4  → FS^sup(C)
+//   kNonRobust               (NR1)-(NR2), Definition 5  → T^sup(C)
+//   kInputSort               (π1)-(π3),   Lemma 2       → LP^sup(σ^π)
+//
+// A contradiction found by the local implications proves that no input
+// vector satisfies the conditions for *any* extension of the current
+// segment (the prime-segment argument), so the whole subtree is pruned
+// and its paths fall into the identified RD-set.  Surviving paths are
+// counted — conservatively kept, making the result a superset of the
+// exact path set (subset of the exact RD-set), as in the paper.
+//
+// The classifier optionally tallies, per lead, the surviving logical
+// paths whose stable value on that lead is the sink gate's controlling
+// value: the quantities |FS_c^sup(l)| and |T_c^sup(l)| consumed by
+// Heuristic 2 (Algorithm 3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/input_sort.h"
+#include "netlist/circuit.h"
+#include "paths/counting.h"
+#include "util/biguint.h"
+
+namespace rd {
+
+enum class Criterion : std::uint8_t {
+  kFunctionalSensitizable,
+  kNonRobust,
+  kInputSort,
+};
+
+struct ClassifyOptions {
+  Criterion criterion = Criterion::kFunctionalSensitizable;
+
+  /// Required when criterion == kInputSort.
+  const InputSort* sort = nullptr;
+
+  /// Tally per-lead controlling-value survivor counts (costs a walk of
+  /// the path stack per surviving path).
+  bool collect_lead_counts = false;
+
+  /// Abort knob: maximum number of DFS gate-extension steps before the
+  /// run is declared incomplete (guards pathological circuits).
+  std::uint64_t work_limit = std::uint64_t{1} << 62;
+
+  /// When nonzero, record up to this many surviving logical paths
+  /// (canonical keys, see LogicalPath::key) — used by tests, examples
+  /// and the DFT reporting flow.
+  std::uint64_t collect_paths_limit = 0;
+
+  /// Ablation knob: disable the implication engine's backward
+  /// reasoning to measure its contribution to the identified RD-set
+  /// (bench_ablation).  Always on in normal use.
+  bool backward_implications = true;
+};
+
+struct ClassifyResult {
+  /// |LP^sup| — logical paths that survived (must be tested).
+  std::uint64_t kept_paths = 0;
+
+  /// Exact total number of logical paths, from structural counting.
+  BigUint total_logical;
+
+  /// |RD^sub| = total - kept.
+  BigUint rd_paths;
+
+  /// 100 * rd / total (0 when the circuit has no paths).
+  double rd_percent = 0.0;
+
+  /// Per-lead |·_c^sup(l)| tallies (empty unless collect_lead_counts).
+  std::vector<std::uint64_t> kept_controlling_per_lead;
+
+  /// First collect_paths_limit surviving paths as canonical keys.
+  std::vector<std::vector<std::uint32_t>> kept_keys;
+
+  /// False if the work limit was hit; counts are then lower bounds on
+  /// kept paths and rd_* fields are not populated.
+  bool completed = true;
+
+  /// DFS extension steps performed (work measure, machine independent).
+  std::uint64_t work = 0;
+};
+
+/// Runs the implicit-enumeration classifier over the whole circuit.
+ClassifyResult classify_paths(const Circuit& circuit,
+                              const ClassifyOptions& options);
+
+/// Single-path query: would `path` survive classify_paths under this
+/// criterion?  Asserts the same side-input conditions along the path
+/// on a fresh implication engine; a conflict (the RD proof) returns
+/// false.  Useful for filtering externally enumerated paths, e.g. the
+/// K-longest selection flow.
+bool path_survives_local_implications(const Circuit& circuit,
+                                      const LogicalPath& path,
+                                      Criterion criterion,
+                                      const InputSort* sort = nullptr);
+
+}  // namespace rd

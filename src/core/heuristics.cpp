@@ -1,0 +1,118 @@
+#include "core/heuristics.h"
+
+#include "paths/counting.h"
+
+namespace rd {
+
+InputSort heuristic1_sort(const Circuit& circuit, Rng* tie_breaker) {
+  const PathCounts counts(circuit);
+  std::vector<BigUint> lead_cost(circuit.num_leads());
+  for (LeadId lead = 0; lead < circuit.num_leads(); ++lead)
+    lead_cost[lead] = counts.paths_through(lead);
+  return InputSort::from_lead_costs(circuit, lead_cost, tie_breaker);
+}
+
+InputSort heuristic2_sort(const Circuit& circuit, Rng* tie_breaker,
+                          ClassifyResult* fs_run, ClassifyResult* nr_run) {
+  ClassifyOptions options;
+  options.collect_lead_counts = true;
+
+  options.criterion = Criterion::kFunctionalSensitizable;
+  ClassifyResult fs = classify_paths(circuit, options);
+
+  options.criterion = Criterion::kNonRobust;
+  ClassifyResult nr = classify_paths(circuit, options);
+
+  std::vector<BigUint> lead_cost(circuit.num_leads());
+  for (LeadId lead = 0; lead < circuit.num_leads(); ++lead) {
+    const std::uint64_t fs_count = fs.kept_controlling_per_lead[lead];
+    const std::uint64_t nr_count = nr.kept_controlling_per_lead[lead];
+    // T^sup(l) ⊆ FS^sup(l) path-wise (the NR constraints strictly
+    // include the FS ones and implications are monotone), so the count
+    // difference is the set difference |FS_c^sup(l) \ T_c^sup(l)|.
+    lead_cost[lead] = BigUint(fs_count >= nr_count ? fs_count - nr_count : 0);
+  }
+  if (fs_run != nullptr) *fs_run = std::move(fs);
+  if (nr_run != nullptr) *nr_run = std::move(nr);
+  return InputSort::from_lead_costs(circuit, lead_cost, tie_breaker);
+}
+
+namespace {
+
+RdIdentification classify_with_sort(const Circuit& circuit, InputSort sort,
+                                    const ClassifyOptions& base) {
+  ClassifyOptions options = base;
+  options.criterion = Criterion::kInputSort;
+  options.sort = &sort;
+  ClassifyResult classify = classify_paths(circuit, options);
+  return RdIdentification{std::move(sort), std::move(classify)};
+}
+
+}  // namespace
+
+RdIdentification identify_rd_heuristic1(const Circuit& circuit,
+                                        const ClassifyOptions& base,
+                                        Rng* tie_breaker) {
+  return classify_with_sort(circuit, heuristic1_sort(circuit, tie_breaker),
+                            base);
+}
+
+RdIdentification identify_rd_heuristic2(const Circuit& circuit,
+                                        const ClassifyOptions& base,
+                                        Rng* tie_breaker) {
+  return classify_with_sort(circuit, heuristic2_sort(circuit, tie_breaker),
+                            base);
+}
+
+RdIdentification identify_rd_heuristic2_inverse(const Circuit& circuit,
+                                                const ClassifyOptions& base,
+                                                Rng* tie_breaker) {
+  return classify_with_sort(
+      circuit, heuristic2_sort(circuit, tie_breaker).reversed(), base);
+}
+
+ClassifyResult classify_fus(const Circuit& circuit,
+                            const ClassifyOptions& base) {
+  ClassifyOptions options = base;
+  options.criterion = Criterion::kFunctionalSensitizable;
+  options.sort = nullptr;
+  return classify_paths(circuit, options);
+}
+
+RdIdentification refine_sort(const Circuit& circuit, InputSort seed_sort,
+                             std::size_t iterations, Rng& rng,
+                             const ClassifyOptions& base) {
+  // Gates where a swap can matter.
+  std::vector<GateId> swappable;
+  for (GateId id = 0; id < circuit.num_gates(); ++id)
+    if (circuit.gate(id).fanins.size() >= 2) swappable.push_back(id);
+
+  auto evaluate = [&](const InputSort& sort) {
+    ClassifyOptions options = base;
+    options.criterion = Criterion::kInputSort;
+    options.sort = &sort;
+    return classify_paths(circuit, options);
+  };
+
+  InputSort best_sort = std::move(seed_sort);
+  ClassifyResult best = evaluate(best_sort);
+  if (swappable.empty()) return RdIdentification{std::move(best_sort), best};
+
+  for (std::size_t iteration = 0; iteration < iterations; ++iteration) {
+    const GateId gate = swappable[rng.next_below(swappable.size())];
+    const std::size_t fanin_count = circuit.gate(gate).fanins.size();
+    const auto pin_a = static_cast<std::uint32_t>(rng.next_below(fanin_count));
+    auto pin_b = static_cast<std::uint32_t>(rng.next_below(fanin_count));
+    if (pin_a == pin_b) continue;
+    InputSort candidate = best_sort.with_swapped_pins(gate, pin_a, pin_b);
+    ClassifyResult result = evaluate(candidate);
+    if (result.completed && result.kept_paths <= best.kept_paths) {
+      // Accept non-worsening moves: plateau walks escape ties.
+      best_sort = std::move(candidate);
+      best = std::move(result);
+    }
+  }
+  return RdIdentification{std::move(best_sort), std::move(best)};
+}
+
+}  // namespace rd

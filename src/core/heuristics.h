@@ -1,0 +1,77 @@
+// Input-sort heuristics (Section V) and the top-level RD identification
+// entry points used by the benchmark harnesses.
+//
+// Heuristic 1 ranks a gate's inputs by ascending |LP_c(l)| = |P(l)|,
+// i.e. plain structural path counting — linear time.
+//
+// Heuristic 2 ranks by ascending |FS_c^sup(l) \ T_c^sup(l)|, the
+// (approximated) number of functionally sensitizable but not
+// non-robustly testable logical paths through the lead with controlling
+// final value: paths in T are kept by *every* σ^π and paths outside FS
+// by *none*, so only the FS\T band is actually steerable (Algorithm 3).
+// It costs two extra classifier runs (FS and NR criteria).
+#pragma once
+
+#include <optional>
+
+#include "core/classify.h"
+#include "core/input_sort.h"
+#include "netlist/circuit.h"
+#include "util/rng.h"
+
+namespace rd {
+
+/// Heuristic 1's sort: ascending physical path count per lead.
+/// Tie-break is random when `tie_breaker` is given (paper: "ordered
+/// arbitrarily"), by pin index otherwise.
+InputSort heuristic1_sort(const Circuit& circuit, Rng* tie_breaker = nullptr);
+
+/// Heuristic 2's sort via Algorithm 3: two classifier pre-runs compute
+/// per-lead |FS_c^sup(l)| and |T_c^sup(l)|; inputs are ranked by the
+/// ascending difference.  The pre-run results are returned for
+/// inspection/benchmarking when out parameters are supplied.
+InputSort heuristic2_sort(const Circuit& circuit, Rng* tie_breaker = nullptr,
+                          ClassifyResult* fs_run = nullptr,
+                          ClassifyResult* nr_run = nullptr);
+
+/// End-to-end result of one RD identification run.
+struct RdIdentification {
+  InputSort sort;
+  ClassifyResult classify;
+};
+
+/// Heuristic 1 end-to-end: build the sort, classify under (π1)-(π3).
+RdIdentification identify_rd_heuristic1(const Circuit& circuit,
+                                        const ClassifyOptions& base = {},
+                                        Rng* tie_breaker = nullptr);
+
+/// Heuristic 2 end-to-end (three classifier runs total, as the paper
+/// notes when discussing Table II's CPU times).
+RdIdentification identify_rd_heuristic2(const Circuit& circuit,
+                                        const ClassifyOptions& base = {},
+                                        Rng* tie_breaker = nullptr);
+
+/// The control experiment of Table I's last column: Heuristic 2's sort
+/// reversed.
+RdIdentification identify_rd_heuristic2_inverse(const Circuit& circuit,
+                                                const ClassifyOptions& base = {},
+                                                Rng* tie_breaker = nullptr);
+
+/// The FUS baseline of [2] (Table I column "FUS"): the share of logical
+/// paths provably functionally *un*sensitizable.
+ClassifyResult classify_fus(const Circuit& circuit,
+                            const ClassifyOptions& base = {});
+
+/// Extension beyond the paper: stochastic local refinement of an input
+/// sort.  Starting from `seed_sort` (typically Heuristic 2's), each
+/// iteration swaps the ranks of two inputs at a random multi-input
+/// gate, reclassifies, and keeps the move iff the kept-path count does
+/// not increase.  Costs one classifier run per iteration, so it only
+/// pays on circuits whose classification is cheap relative to the
+/// value of a smaller test set.  Returns the refined sort and its
+/// classification.
+RdIdentification refine_sort(const Circuit& circuit, InputSort seed_sort,
+                             std::size_t iterations, Rng& rng,
+                             const ClassifyOptions& base = {});
+
+}  // namespace rd

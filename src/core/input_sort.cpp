@@ -1,0 +1,66 @@
+#include "core/input_sort.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rd {
+
+InputSort InputSort::natural(const Circuit& circuit) {
+  InputSort sort;
+  sort.ranks_.resize(circuit.num_gates());
+  for (GateId id = 0; id < circuit.num_gates(); ++id) {
+    auto& ranks = sort.ranks_[id];
+    ranks.resize(circuit.gate(id).fanins.size());
+    std::iota(ranks.begin(), ranks.end(), 0u);
+  }
+  return sort;
+}
+
+InputSort InputSort::from_lead_costs(const Circuit& circuit,
+                                     const std::vector<BigUint>& lead_cost,
+                                     Rng* tie_breaker) {
+  InputSort sort;
+  sort.ranks_.resize(circuit.num_gates());
+  std::vector<std::uint32_t> order;
+  std::vector<std::uint64_t> tiebreak;
+  for (GateId id = 0; id < circuit.num_gates(); ++id) {
+    const Gate& gate = circuit.gate(id);
+    const std::size_t n = gate.fanins.size();
+    order.resize(n);
+    std::iota(order.begin(), order.end(), 0u);
+    tiebreak.assign(n, 0);
+    if (tie_breaker != nullptr)
+      for (auto& t : tiebreak) t = tie_breaker->next_u64();
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                const BigUint& cost_a = lead_cost[gate.fanin_leads[a]];
+                const BigUint& cost_b = lead_cost[gate.fanin_leads[b]];
+                if (cost_a != cost_b) return cost_a < cost_b;
+                if (tiebreak[a] != tiebreak[b]) return tiebreak[a] < tiebreak[b];
+                return a < b;
+              });
+    auto& ranks = sort.ranks_[id];
+    ranks.resize(n);
+    for (std::uint32_t position = 0; position < n; ++position)
+      ranks[order[position]] = position;
+  }
+  return sort;
+}
+
+InputSort InputSort::with_swapped_pins(GateId id, std::uint32_t pin_a,
+                                       std::uint32_t pin_b) const {
+  InputSort swapped = *this;
+  std::swap(swapped.ranks_[id][pin_a], swapped.ranks_[id][pin_b]);
+  return swapped;
+}
+
+InputSort InputSort::reversed() const {
+  InputSort reversed_sort = *this;
+  for (auto& ranks : reversed_sort.ranks_) {
+    const std::uint32_t n = static_cast<std::uint32_t>(ranks.size());
+    for (auto& rank : ranks) rank = n - 1 - rank;
+  }
+  return reversed_sort;
+}
+
+}  // namespace rd

@@ -1,0 +1,58 @@
+// Input sorts (Definition 7): a total order of every gate's input pins.
+//
+// An input sort π fixes a complete stabilizing assignment σ^π by making
+// Step 2(b) of Algorithm 1 deterministic: among the controlling inputs,
+// always pick the lead with the smallest π-rank.  The quality of the
+// RD-set identified by the fast classifier depends entirely on the
+// choice of π — Section V's heuristics construct good sorts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "util/biguint.h"
+#include "util/rng.h"
+
+namespace rd {
+
+/// π as per-pin ranks: rank(g, pin) ∈ [0, fanin(g)); lower rank = chosen
+/// earlier in Step 2(b) of Algorithm 1.
+class InputSort {
+ public:
+  /// Identity sort: pins keep their netlist order.
+  static InputSort natural(const Circuit& circuit);
+
+  /// Generic constructor from a per-lead cost: within each gate, pins
+  /// are ranked by ascending cost of their lead; ties are broken
+  /// randomly when an Rng is supplied (as the paper specifies for both
+  /// heuristics), by pin index otherwise.
+  static InputSort from_lead_costs(const Circuit& circuit,
+                                   const std::vector<BigUint>& lead_cost,
+                                   Rng* tie_breaker = nullptr);
+
+  /// The sort with every gate's order reversed (the paper's "inverse"
+  /// column Heu2-bar in Table I).
+  InputSort reversed() const;
+
+  /// The sort with the ranks of two pins of one gate exchanged — the
+  /// local move of the refinement extension (refine_sort).
+  InputSort with_swapped_pins(GateId id, std::uint32_t pin_a,
+                              std::uint32_t pin_b) const;
+
+  /// Rank of input pin `pin` of gate `id` (0 = highest priority).
+  std::uint32_t rank(GateId id, std::uint32_t pin) const {
+    return ranks_[id][pin];
+  }
+
+  /// True if pin `a` of gate `id` is ordered before pin `b`.
+  bool before(GateId id, std::uint32_t a, std::uint32_t b) const {
+    return ranks_[id][a] < ranks_[id][b];
+  }
+
+ private:
+  // ranks_[gate][pin] = position of that pin in the gate's order.
+  std::vector<std::vector<std::uint32_t>> ranks_;
+};
+
+}  // namespace rd

@@ -1,0 +1,70 @@
+#include "core/selection.h"
+
+#include <algorithm>
+
+namespace rd {
+
+std::vector<ScoredPath> score_paths(
+    const Circuit& circuit, const DelayModel& delays,
+    const std::vector<std::vector<std::uint32_t>>& kept_keys) {
+  std::vector<ScoredPath> scored;
+  scored.reserve(kept_keys.size());
+  for (const auto& key : kept_keys) {
+    ScoredPath entry;
+    entry.path.path.leads.assign(key.begin(), key.end() - 1);
+    entry.path.final_pi_value = key.back() != 0;
+    entry.delay = path_delay(circuit, delays, entry.path.path.leads);
+    scored.push_back(std::move(entry));
+  }
+  return scored;
+}
+
+namespace {
+
+void sort_slowest_first(std::vector<ScoredPath>& paths) {
+  std::stable_sort(paths.begin(), paths.end(),
+                   [](const ScoredPath& a, const ScoredPath& b) {
+                     return a.delay > b.delay;
+                   });
+}
+
+}  // namespace
+
+std::vector<ScoredPath> select_by_threshold(std::vector<ScoredPath> paths,
+                                            double threshold) {
+  std::erase_if(paths, [threshold](const ScoredPath& entry) {
+    return entry.delay < threshold;
+  });
+  sort_slowest_first(paths);
+  return paths;
+}
+
+std::vector<ScoredPath> select_line_cover(const Circuit& circuit,
+                                          std::vector<ScoredPath> paths,
+                                          std::size_t per_line) {
+  sort_slowest_first(paths);
+  std::vector<std::size_t> covered(circuit.num_leads(), 0);
+  std::vector<ScoredPath> selected;
+  for (auto& entry : paths) {
+    bool needed = false;
+    for (LeadId lead : entry.path.path.leads) {
+      if (covered[lead] < per_line) {
+        needed = true;
+        break;
+      }
+    }
+    if (!needed) continue;
+    for (LeadId lead : entry.path.path.leads) ++covered[lead];
+    selected.push_back(std::move(entry));
+  }
+  return selected;
+}
+
+std::vector<ScoredPath> select_slowest(std::vector<ScoredPath> paths,
+                                       std::size_t count) {
+  sort_slowest_first(paths);
+  if (paths.size() > count) paths.resize(count);
+  return paths;
+}
+
+}  // namespace rd

@@ -1,0 +1,54 @@
+// Path-selection strategies for test sets that are still too large
+// after RD identification (Section VI's closing discussion, following
+// Malaiya/Narayanswamy and Li/Reddy/Sahni):
+//
+//  * threshold selection — test only paths whose estimated delay
+//    exceeds a bound, applied to non-RD paths only;
+//  * per-line coverage selection — choose a subset of non-RD paths
+//    such that every lead of the circuit lies on at least one selected
+//    path (when any non-RD path covers it), preferring the slowest
+//    paths through each lead.
+//
+// Both operate on explicitly enumerated kept paths (the classifier's
+// collect_paths_limit output) and a per-gate/lead delay estimate, so
+// they fit circuits where the must-test set is enumerable — exactly
+// the situation the paper describes for post-RD selection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "paths/path.h"
+#include "sim/timed_sim.h"
+
+namespace rd {
+
+/// A kept path together with its estimated (nominal) delay.
+struct ScoredPath {
+  LogicalPath path;
+  double delay = 0.0;
+};
+
+/// Decodes classifier keys and scores them under a delay model.
+std::vector<ScoredPath> score_paths(
+    const Circuit& circuit, const DelayModel& delays,
+    const std::vector<std::vector<std::uint32_t>>& kept_keys);
+
+/// Paths with delay >= threshold, slowest first.
+std::vector<ScoredPath> select_by_threshold(std::vector<ScoredPath> paths,
+                                            double threshold);
+
+/// Greedy per-line coverage: returns a subset such that every lead
+/// covered by any input path is covered by a selected one; within a
+/// lead, slower paths are preferred.  `per_line` > 1 asks for that many
+/// distinct covering paths per lead where available.
+std::vector<ScoredPath> select_line_cover(const Circuit& circuit,
+                                          std::vector<ScoredPath> paths,
+                                          std::size_t per_line = 1);
+
+/// The longest (slowest) `count` paths.
+std::vector<ScoredPath> select_slowest(std::vector<ScoredPath> paths,
+                                       std::size_t count);
+
+}  // namespace rd

@@ -1,0 +1,245 @@
+#include "core/stabilize.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/logic_sim.h"
+
+namespace rd {
+
+bool StabilizingSystem::contains_lead(LeadId id) const {
+  return std::binary_search(leads.begin(), leads.end(), id);
+}
+
+namespace {
+
+/// Collects the controlling-valued input leads of `gate` under `values`.
+std::vector<LeadId> controlling_leads(const Circuit& circuit, GateId gate,
+                                      const std::vector<bool>& values) {
+  const Gate& g = circuit.gate(gate);
+  const bool ctrl = controlling_value(g.type);
+  std::vector<LeadId> result;
+  for (std::uint32_t pin = 0; pin < g.fanins.size(); ++pin)
+    if (values[g.fanins[pin]] == ctrl) result.push_back(g.fanin_leads[pin]);
+  return result;
+}
+
+struct SystemBuilder {
+  const Circuit& circuit;
+  const std::vector<bool>& values;
+  std::vector<bool> gate_included;
+  std::vector<bool> lead_included;
+  std::vector<GateId> worklist;  // gates just included whose inputs are pending
+
+  SystemBuilder(const Circuit& c, const std::vector<bool>& v)
+      : circuit(c),
+        values(v),
+        gate_included(c.num_gates(), false),
+        lead_included(c.num_leads(), false) {}
+
+  void include_lead(LeadId lead) {
+    if (!lead_included[lead]) lead_included[lead] = true;
+  }
+
+  void include_gate(GateId gate) {
+    if (!gate_included[gate]) {
+      gate_included[gate] = true;
+      worklist.push_back(gate);
+    }
+  }
+
+  /// Processes one gate per Algorithm 1 (everything except the Step
+  /// 2(b) choice, which the caller supplies for gates that need it).
+  /// Returns the Step 2(b) candidates if a choice is required, empty
+  /// otherwise.
+  std::vector<LeadId> expand(GateId gate) {
+    const Gate& g = circuit.gate(gate);
+    switch (g.type) {
+      case GateType::kInput:
+        return {};
+      case GateType::kOutput:
+      case GateType::kBuf:
+      case GateType::kNot:
+        include_lead(g.fanin_leads[0]);
+        include_gate(g.fanins[0]);
+        return {};
+      default: {
+        auto candidates = controlling_leads(circuit, gate, values);
+        if (candidates.empty()) {
+          // Step 2(a): all stable inputs non-controlling.
+          for (std::uint32_t pin = 0; pin < g.fanins.size(); ++pin) {
+            include_lead(g.fanin_leads[pin]);
+            include_gate(g.fanins[pin]);
+          }
+          return {};
+        }
+        if (candidates.size() == 1) {
+          commit_choice(candidates.front());
+          return {};
+        }
+        return candidates;  // caller must choose
+      }
+    }
+  }
+
+  void commit_choice(LeadId lead) {
+    include_lead(lead);
+    include_gate(circuit.lead(lead).driver);
+  }
+
+  StabilizingSystem harvest(GateId po) const {
+    StabilizingSystem system;
+    system.po = po;
+    for (LeadId lead = 0; lead < circuit.num_leads(); ++lead)
+      if (lead_included[lead]) system.leads.push_back(lead);
+    for (GateId gate = 0; gate < circuit.num_gates(); ++gate)
+      if (gate_included[gate]) system.gates.push_back(gate);
+    return system;
+  }
+};
+
+}  // namespace
+
+StabilizingSystem compute_stabilizing_system(const Circuit& circuit,
+                                             GateId po,
+                                             const std::vector<bool>& values,
+                                             const ControllingChoice& choose) {
+  if (circuit.gate(po).type != GateType::kOutput)
+    throw std::invalid_argument("stabilizing system requires a PO marker");
+  if (values.size() != circuit.num_gates())
+    throw std::invalid_argument("values must cover all gates (use simulate)");
+  SystemBuilder builder(circuit, values);
+  builder.include_gate(po);
+  while (!builder.worklist.empty()) {
+    const GateId gate = builder.worklist.back();
+    builder.worklist.pop_back();
+    const auto candidates = builder.expand(gate);
+    if (!candidates.empty()) builder.commit_choice(choose(gate, candidates));
+  }
+  return builder.harvest(po);
+}
+
+StabilizingSystem compute_stabilizing_system_sorted(
+    const Circuit& circuit, GateId po, const std::vector<bool>& values,
+    const InputSort& sort) {
+  return compute_stabilizing_system(
+      circuit, po, values,
+      [&](GateId gate, const std::vector<LeadId>& candidates) {
+        LeadId best = candidates.front();
+        for (LeadId candidate : candidates) {
+          if (sort.rank(gate, circuit.lead(candidate).pin) <
+              sort.rank(gate, circuit.lead(best).pin))
+            best = candidate;
+        }
+        return best;
+      });
+}
+
+std::vector<LogicalPath> logical_paths_of_system(
+    const Circuit& circuit, const StabilizingSystem& system,
+    const std::vector<bool>& values) {
+  std::vector<LogicalPath> result;
+  PhysicalPath current;
+  // DFS forward from each included PI along included leads.
+  std::vector<std::pair<GateId, std::size_t>> stack;
+  for (GateId pi : system.gates) {
+    if (circuit.gate(pi).type != GateType::kInput) continue;
+    stack.clear();
+    stack.emplace_back(pi, 0);
+    while (!stack.empty()) {
+      auto& [gate_id, next] = stack.back();
+      const Gate& gate = circuit.gate(gate_id);
+      if (gate.type == GateType::kOutput) {
+        result.push_back(LogicalPath{current, values[pi]});
+        stack.pop_back();
+        if (!current.leads.empty()) current.leads.pop_back();
+        continue;
+      }
+      bool advanced = false;
+      while (next < gate.fanout_leads.size()) {
+        const LeadId lead = gate.fanout_leads[next++];
+        if (!system.contains_lead(lead)) continue;
+        current.leads.push_back(lead);
+        stack.emplace_back(circuit.lead(lead).sink, 0);
+        advanced = true;
+        break;
+      }
+      if (!advanced) {
+        stack.pop_back();
+        if (!current.leads.empty()) current.leads.pop_back();
+      }
+    }
+  }
+  return result;
+}
+
+LogicalPathSet logical_paths_of_sorted_assignment(const Circuit& circuit,
+                                                  const InputSort& sort) {
+  const std::size_t n = circuit.inputs().size();
+  if (n > 24)
+    throw std::invalid_argument(
+        "logical_paths_of_sorted_assignment: too many inputs for "
+        "exhaustive vector sweep");
+  LogicalPathSet set;
+  std::vector<bool> input_values(n);
+  for (std::uint64_t minterm = 0; minterm < (std::uint64_t{1} << n);
+       ++minterm) {
+    for (std::size_t i = 0; i < n; ++i) input_values[i] = (minterm >> i) & 1;
+    const auto values = simulate(circuit, input_values);
+    for (GateId po : circuit.outputs()) {
+      const auto system =
+          compute_stabilizing_system_sorted(circuit, po, values, sort);
+      for (const auto& path : logical_paths_of_system(circuit, system, values))
+        set.insert(path.key());
+    }
+  }
+  return set;
+}
+
+std::vector<StabilizingSystem> all_stabilizing_systems(
+    const Circuit& circuit, GateId po, const std::vector<bool>& values,
+    std::size_t max_systems) {
+  // Depth-first search over the Step 2(b) choice tree.  Each state is a
+  // SystemBuilder snapshot; for simplicity (small circuits only) the
+  // builder is copied at branch points.
+  std::vector<StabilizingSystem> systems;
+  std::set<std::vector<LeadId>> seen;
+
+  struct State {
+    SystemBuilder builder;
+  };
+  std::vector<State> stack;
+  {
+    SystemBuilder builder(circuit, values);
+    builder.include_gate(po);
+    stack.push_back(State{std::move(builder)});
+  }
+  while (!stack.empty()) {
+    State state = std::move(stack.back());
+    stack.pop_back();
+    bool branched = false;
+    while (!state.builder.worklist.empty()) {
+      const GateId gate = state.builder.worklist.back();
+      state.builder.worklist.pop_back();
+      const auto candidates = state.builder.expand(gate);
+      if (!candidates.empty()) {
+        for (LeadId candidate : candidates) {
+          State child{state.builder};
+          child.builder.commit_choice(candidate);
+          stack.push_back(std::move(child));
+        }
+        branched = true;
+        break;
+      }
+    }
+    if (branched) continue;
+    auto system = state.builder.harvest(po);
+    if (seen.insert(system.leads).second) {
+      systems.push_back(std::move(system));
+      if (systems.size() >= max_systems) break;
+    }
+  }
+  return systems;
+}
+
+}  // namespace rd

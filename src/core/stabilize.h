@@ -1,0 +1,79 @@
+// Stabilizing systems (Section III, Algorithm 1) and complete
+// stabilizing assignments.
+//
+// For an input vector v, a stabilizing system is a minimal subcircuit
+// that pins one primary output to its stable value f(v) independent of
+// everything outside the subcircuit: working backwards from the PO,
+// a gate whose stable on-path value is non-controlling pulls in *all*
+// of its input leads, while a gate with controlling stable inputs pulls
+// in exactly *one* of them — the choice point that makes stabilizing
+// systems non-unique.  Theorem 1: the logical paths of any complete
+// stabilizing assignment σ (one system per vector) are sufficient to
+// test; everything else is robust dependent.
+//
+// These routines enumerate vectors explicitly and are meant for small
+// circuits (theory validation, the paper's running example, exact
+// references in tests).  The scalable classifier lives in classify.h.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "core/input_sort.h"
+#include "netlist/circuit.h"
+#include "paths/path.h"
+
+namespace rd {
+
+/// A stabilizing system: the chosen leads and the gates they connect.
+/// `po` is the PO marker gate it stabilizes.
+struct StabilizingSystem {
+  GateId po = kNullGate;
+  std::vector<LeadId> leads;  // ascending
+  std::vector<GateId> gates;  // ascending, includes PIs, logic gates, po
+
+  bool contains_lead(LeadId id) const;
+};
+
+/// Step 2(b) choice policy: given the gate and the controlling-valued
+/// candidate leads (in pin order), return the chosen lead.
+using ControllingChoice =
+    std::function<LeadId(GateId gate, const std::vector<LeadId>& candidates)>;
+
+/// Algorithm 1 for the cone of `po` under full-circuit stable values
+/// `values` (as produced by simulate()).  `choose` resolves Step 2(b).
+StabilizingSystem compute_stabilizing_system(const Circuit& circuit,
+                                             GateId po,
+                                             const std::vector<bool>& values,
+                                             const ControllingChoice& choose);
+
+/// The sort-restricted variant: Step 2(b) always picks the candidate
+/// lead with minimum π-rank (the σ^π of Section IV).
+StabilizingSystem compute_stabilizing_system_sorted(
+    const Circuit& circuit, GateId po, const std::vector<bool>& values,
+    const InputSort& sort);
+
+/// LP(v, S): all logical paths inside the system (PI-to-PO chains using
+/// only S's leads), each tagged with its PI's stable value under v.
+std::vector<LogicalPath> logical_paths_of_system(
+    const Circuit& circuit, const StabilizingSystem& system,
+    const std::vector<bool>& values);
+
+/// Canonically keyed set of logical paths, the working representation
+/// for LP(σ) in the exact/small-circuit code paths.
+using LogicalPathSet = std::set<std::vector<std::uint32_t>>;
+
+/// LP(σ^π): union of LP(v, σ^π(v)) over all 2^n input vectors and all
+/// POs.  Requires ≤ 24 primary inputs.
+LogicalPathSet logical_paths_of_sorted_assignment(const Circuit& circuit,
+                                                  const InputSort& sort);
+
+/// All distinct stabilizing systems for (v, po) — the full Step 2(b)
+/// choice tree, deduplicated.  Exponential; guarded by `max_systems`.
+std::vector<StabilizingSystem> all_stabilizing_systems(
+    const Circuit& circuit, GateId po, const std::vector<bool>& values,
+    std::size_t max_systems);
+
+}  // namespace rd

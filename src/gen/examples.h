@@ -1,0 +1,24 @@
+// Built-in example circuits.
+//
+// * paper_example_circuit(): a reconstruction of the three-input
+//   example used throughout the paper (Figures 1, 2, 4, 5, taken there
+//   from Lam et al. [1]): four physical / eight logical paths, several
+//   stabilizing systems for v = 111, an optimal complete stabilizing
+//   assignment with |LP(σ')| = 5 whose five paths are exactly the
+//   robustly testable ones.  The structure y = AND(OR(a,b), OR(b,c))
+//   reproduces all of those counts (validated in the test suite).
+// * c17(): the genuine ISCAS-85 c17 netlist (six NAND gates) — the one
+//   benchmark small enough to embed verbatim.
+#pragma once
+
+#include "netlist/circuit.h"
+
+namespace rd {
+
+/// The paper's running example: 3 PIs a,b,c; y = (a+b)(b+c).
+Circuit paper_example_circuit();
+
+/// ISCAS-85 c17: 5 inputs, 2 outputs, 6 NAND gates (exact netlist).
+Circuit c17();
+
+}  // namespace rd

@@ -1,0 +1,472 @@
+#include "gen/iscas_like.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/biguint.h"
+#include "util/rng.h"
+
+namespace rd {
+
+namespace {
+
+/// Planned netlist node; indices are construction order (topological).
+struct PlanNode {
+  GateType type;
+  std::vector<std::uint32_t> fanins;
+};
+
+struct Plan {
+  std::size_t num_inputs = 0;
+  std::vector<PlanNode> nodes;  // first num_inputs entries are PIs
+  std::vector<std::uint32_t> po_drivers;
+
+  std::uint32_t add(GateType type, std::vector<std::uint32_t> fanins) {
+    nodes.push_back(PlanNode{type, std::move(fanins)});
+    return static_cast<std::uint32_t>(nodes.size() - 1);
+  }
+
+  /// Topological order over the plan (creation order is *not*
+  /// necessarily topological once phase 3 splices nodes in).
+  std::vector<std::uint32_t> topo_order() const {
+    std::vector<std::uint32_t> pending(nodes.size(), 0);
+    std::vector<std::vector<std::uint32_t>> fanouts(nodes.size());
+    for (std::uint32_t i = 0; i < nodes.size(); ++i) {
+      pending[i] = static_cast<std::uint32_t>(nodes[i].fanins.size());
+      for (std::uint32_t fanin : nodes[i].fanins) fanouts[fanin].push_back(i);
+    }
+    std::vector<std::uint32_t> order;
+    order.reserve(nodes.size());
+    std::vector<std::uint32_t> ready;
+    for (std::uint32_t i = 0; i < nodes.size(); ++i)
+      if (pending[i] == 0) ready.push_back(i);
+    while (!ready.empty()) {
+      const std::uint32_t id = ready.back();
+      ready.pop_back();
+      order.push_back(id);
+      for (std::uint32_t sink : fanouts[id])
+        if (--pending[sink] == 0) ready.push_back(sink);
+    }
+    return order;
+  }
+};
+
+Circuit build_from_plan(const Plan& plan, const std::string& name) {
+  Circuit circuit(name);
+  std::vector<GateId> map(plan.nodes.size());
+  // PIs first, in plan order, so the circuit's input indexing matches
+  // the plan's regardless of how phase 3 reshaped the topology.
+  for (std::uint32_t i = 0; i < plan.nodes.size(); ++i)
+    if (plan.nodes[i].type == GateType::kInput)
+      map[i] = circuit.add_input("i" + std::to_string(i));
+  for (std::uint32_t i : plan.topo_order()) {
+    const PlanNode& node = plan.nodes[i];
+    if (node.type == GateType::kInput) continue;
+    std::vector<GateId> fanins;
+    fanins.reserve(node.fanins.size());
+    for (std::uint32_t fanin : node.fanins) fanins.push_back(map[fanin]);
+    map[i] = circuit.add_gate(node.type, "g" + std::to_string(i),
+                              std::move(fanins));
+  }
+  std::size_t po_counter = 0;
+  for (std::uint32_t driver : plan.po_drivers)
+    circuit.add_output("po" + std::to_string(po_counter++), map[driver]);
+  circuit.finalize();
+  return circuit;
+}
+
+/// c6288-style four-NAND XOR macro; the internal fanout of x, y and t
+/// is the reconvergence that makes multiplier path counts explode.
+std::uint32_t add_xor_macro(Plan& plan, std::uint32_t x, std::uint32_t y) {
+  const std::uint32_t t = plan.add(GateType::kNand, {x, y});
+  const std::uint32_t u = plan.add(GateType::kNand, {x, t});
+  const std::uint32_t v = plan.add(GateType::kNand, {y, t});
+  return plan.add(GateType::kNand, {u, v});
+}
+
+/// Structural path counting on a plan: arrivals per node and the total
+/// over the chosen PO drivers.
+struct PlanCounts {
+  std::vector<BigUint> arrivals;
+  std::vector<BigUint> departures;
+  BigUint total_physical;
+};
+
+PlanCounts count_plan_paths(const Plan& plan) {
+  PlanCounts counts;
+  const std::size_t n = plan.nodes.size();
+  const auto order = plan.topo_order();
+  counts.arrivals.assign(n, BigUint());
+  counts.departures.assign(n, BigUint());
+  for (std::uint32_t i : order) {
+    const PlanNode& node = plan.nodes[i];
+    if (node.type == GateType::kInput) {
+      counts.arrivals[i] = BigUint(1);
+      continue;
+    }
+    BigUint sum;
+    for (std::uint32_t fanin : node.fanins) sum += counts.arrivals[fanin];
+    counts.arrivals[i] = std::move(sum);
+  }
+  std::vector<std::uint32_t> po_multiplicity(n, 0);
+  for (std::uint32_t driver : plan.po_drivers) ++po_multiplicity[driver];
+  for (std::uint32_t i = 0; i < n; ++i)
+    counts.departures[i] = BigUint(po_multiplicity[i]);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const PlanNode& node = plan.nodes[*it];
+    for (std::uint32_t fanin : node.fanins)
+      counts.departures[fanin] += counts.departures[*it];
+  }
+  for (std::uint32_t driver : plan.po_drivers)
+    counts.total_physical += counts.arrivals[driver];
+  return counts;
+}
+
+}  // namespace
+
+Circuit make_iscas_like(const IscasProfile& profile) {
+  if (profile.num_levels < 2 || profile.num_inputs < 2)
+    throw std::invalid_argument("make_iscas_like: degenerate profile");
+  Rng rng(profile.seed);
+  Plan plan;
+  plan.num_inputs = profile.num_inputs;
+  for (std::size_t i = 0; i < profile.num_inputs; ++i)
+    plan.add(GateType::kInput, {});
+
+  // ---- Phase 1: one tree per output cone -----------------------------
+  // Each PO is the root of a tree grown root-first (gate fanins are
+  // either later tree gates or PI leaves), so the backbone's path count
+  // stays linear in the gate count — like real netlists, where most
+  // fanout feeds *different* output cones.  Reconvergence, the property
+  // that actually multiplies path counts, is added in a measured way in
+  // phase 3.  XOR macros (internally reconvergent) give the ECC- and
+  // multiplier-class profiles their flavor.
+  const std::size_t gates_per_cone =
+      std::max<std::size_t>(1, profile.num_gates / profile.num_outputs);
+  const double chain_bias =
+      std::min(0.9, static_cast<double>(profile.num_levels) /
+                        static_cast<double>(gates_per_cone + 1));
+
+  struct LocalNode {
+    GateType type;                  // kBuf marks an XOR macro placeholder
+    bool is_xor = false;
+    std::vector<std::int64_t> children;  // local index, or -1 while open
+  };
+
+  std::vector<bool> pi_used(profile.num_inputs, false);
+  // Leaves draw PIs from a shuffled deck so a cone reuses an input only
+  // once the whole deck is exhausted — real cones connect to mostly
+  // distinct inputs, and gratuitous sibling-leaf sharing would create
+  // reconvergence that kills sensitizability.
+  std::vector<std::uint32_t> pi_deck;
+  auto deal_pi = [&]() {
+    if (pi_deck.empty()) {
+      pi_deck.resize(profile.num_inputs);
+      for (std::uint32_t i = 0; i < profile.num_inputs; ++i) pi_deck[i] = i;
+      for (std::size_t i = pi_deck.size(); i > 1; --i)
+        std::swap(pi_deck[i - 1], pi_deck[rng.next_below(i)]);
+    }
+    const std::uint32_t pi = pi_deck.back();
+    pi_deck.pop_back();
+    pi_used[pi] = true;
+    return pi;
+  };
+  for (std::size_t cone = 0; cone < profile.num_outputs; ++cone) {
+    std::vector<LocalNode> local;
+    std::vector<std::pair<std::size_t, std::size_t>> open_slots;
+    static constexpr GateType kTypes[] = {GateType::kAnd, GateType::kOr,
+                                          GateType::kNand, GateType::kNor};
+    auto new_node = [&]() {
+      const double roll = rng.next_double();
+      LocalNode node;
+      if (roll < profile.xor_fraction) {
+        node.is_xor = true;
+        node.type = GateType::kNand;
+        node.children.assign(2, -1);
+      } else if (roll < profile.xor_fraction + profile.not_fraction) {
+        node.type = GateType::kNot;
+        node.children.assign(1, -1);
+      } else {
+        node.type = kTypes[rng.next_below(4)];
+        node.children.assign(rng.next_bool(0.62) ? 2 : 3, -1);
+      }
+      local.push_back(std::move(node));
+      const std::size_t index = local.size() - 1;
+      for (std::size_t slot = 0; slot < local[index].children.size(); ++slot)
+        open_slots.emplace_back(index, slot);
+      return index;
+    };
+
+    std::size_t gate_budget = gates_per_cone;
+    new_node();  // root
+    while (gate_budget > 0 && !open_slots.empty()) {
+      // Chain bias: preferring the newest slot stretches the tree to
+      // the profile's depth; otherwise pick a random open slot.
+      const std::size_t pick =
+          rng.next_bool(chain_bias)
+              ? open_slots.size() - 1
+              : static_cast<std::size_t>(rng.next_below(open_slots.size()));
+      const auto [node, slot] = open_slots[pick];
+      open_slots.erase(open_slots.begin() + static_cast<std::ptrdiff_t>(pick));
+      const std::size_t child = new_node();
+      local[node].children[slot] = static_cast<std::int64_t>(child);
+      const std::size_t cost = local[child].is_xor ? 4 : 1;
+      gate_budget -= std::min(gate_budget, cost);
+    }
+
+    // Emit in reverse creation order (children first), filling the
+    // remaining open slots with PIs.
+    std::vector<std::uint32_t> plan_id(local.size());
+    for (std::size_t i = local.size(); i-- > 0;) {
+      std::vector<std::uint32_t> fanins;
+      for (std::int64_t child : local[i].children) {
+        if (child >= 0) {
+          fanins.push_back(plan_id[static_cast<std::size_t>(child)]);
+        } else {
+          fanins.push_back(deal_pi());
+        }
+      }
+      if (local[i].is_xor) {
+        // Distinct macro inputs keep the circuit well-formed.
+        if (fanins[0] == fanins[1])
+          fanins[1] = static_cast<std::uint32_t>(
+              (fanins[1] + 1) % profile.num_inputs);
+        plan_id[i] = add_xor_macro(plan, fanins[0], fanins[1]);
+      } else {
+        // Deduplicate repeated PI picks in one gate.
+        std::sort(fanins.begin(), fanins.end());
+        fanins.erase(std::unique(fanins.begin(), fanins.end()), fanins.end());
+        plan_id[i] = plan.add(local[i].type, std::move(fanins));
+      }
+    }
+    plan.po_drivers.push_back(plan_id[0]);
+  }
+
+  // ---- Phase 2: make sure every PI is used ---------------------------
+  for (std::uint32_t pi = 0; pi < profile.num_inputs; ++pi) {
+    if (pi_used[pi]) continue;
+    for (std::uint32_t attempt = 0; attempt < 64; ++attempt) {
+      const std::uint32_t target = static_cast<std::uint32_t>(
+          profile.num_inputs +
+          rng.next_below(plan.nodes.size() - profile.num_inputs));
+      PlanNode& node = plan.nodes[target];
+      if (!has_controlling_value(node.type) || node.fanins.size() >= 9)
+        continue;
+      if (std::find(node.fanins.begin(), node.fanins.end(), pi) !=
+          node.fanins.end())
+        continue;
+      node.fanins.push_back(pi);
+      break;
+    }
+  }
+
+  // ---- Phase 3: path-count-targeted reconvergence -------------------
+  // Add cross edges (extra fanins) until the structural path count
+  // reaches the profile's target, choosing each edge so the jump stays
+  // within the remaining gap.  This reproduces the enormous spread of
+  // path counts across the ISCAS-85 suite with matched gate counts.
+  if (profile.target_logical_paths > 0) {
+    const BigUint target(profile.target_logical_paths);
+    const std::size_t max_edges = 4 * plan.nodes.size();
+    // Two growth mechanisms, applied largest-fitting-jump first:
+    //  * XOR splices — an existing fanin f of a gate is replaced by
+    //    XOR(f, src), multiplying the paths through that pin.  XOR is
+    //    the transparent mixing element of real high-path-count
+    //    circuits (parity trees, multipliers): both macro inputs stay
+    //    functionally sensitizable, so the giant jumps do not flood
+    //    the circuit with robust-dependent paths.
+    //  * plain extra fanins — cheap small jumps for the final approach
+    //    to the target.
+    std::size_t splice_budget = std::max<std::size_t>(4, profile.num_gates / 20);
+    for (std::size_t edge = 0; edge < max_edges; ++edge) {
+      const PlanCounts counts = count_plan_paths(plan);
+      BigUint total = counts.total_physical;
+      total *= 2u;  // logical
+      if (total >= target) break;
+      const BigUint gap = target - total;
+
+      const auto order = plan.topo_order();
+      std::vector<std::uint32_t> rank(plan.nodes.size());
+      for (std::uint32_t position = 0; position < order.size(); ++position)
+        rank[order[position]] = position;
+
+      struct Candidate {
+        bool splice = false;
+        std::uint32_t dst = 0;
+        std::uint32_t pin = 0;  // splice only
+        std::uint32_t src = 0;
+        BigUint delta;
+      };
+      Candidate best;
+      bool have_best = false;
+      Candidate fallback;
+      bool have_fallback = false;
+
+      auto consider = [&](Candidate candidate) {
+        if (candidate.delta.is_zero()) return;
+        if (candidate.delta <= gap) {
+          if (!have_best || best.delta < candidate.delta ||
+              (best.delta == candidate.delta && candidate.splice &&
+               !best.splice)) {
+            best = std::move(candidate);
+            have_best = true;
+          }
+        } else if (!have_fallback || candidate.delta < fallback.delta) {
+          fallback = std::move(candidate);
+          have_fallback = true;
+        }
+      };
+
+      for (int attempt = 0; attempt < 96; ++attempt) {
+        const std::uint32_t dst = static_cast<std::uint32_t>(
+            profile.num_inputs +
+            rng.next_below(plan.nodes.size() - profile.num_inputs));
+        PlanNode& node = plan.nodes[dst];
+        if (!has_controlling_value(node.type)) continue;
+        const std::uint32_t src = order[rng.next_below(rank[dst])];
+        if (std::find(node.fanins.begin(), node.fanins.end(), src) !=
+            node.fanins.end())
+          continue;
+
+        if (attempt % 2 == 0 && splice_budget > 0) {
+          // XOR splice on a random pin.
+          const std::uint32_t pin = static_cast<std::uint32_t>(
+              rng.next_below(node.fanins.size()));
+          const std::uint32_t f = node.fanins[pin];
+          if (f == src) continue;
+          Candidate candidate;
+          candidate.splice = true;
+          candidate.dst = dst;
+          candidate.pin = pin;
+          candidate.src = src;
+          // arrivals through the macro: 3*(arr_f + arr_src) replaces
+          // arr_f on this pin.
+          BigUint delta = counts.arrivals[f];
+          delta *= 2u;
+          BigUint src_part = counts.arrivals[src];
+          src_part *= 3u;
+          delta += src_part;
+          delta *= counts.departures[dst];
+          delta *= 2u;  // logical
+          candidate.delta = std::move(delta);
+          consider(std::move(candidate));
+        } else {
+          if (node.fanins.size() >= 9) continue;
+          Candidate candidate;
+          candidate.dst = dst;
+          candidate.src = src;
+          BigUint delta = counts.arrivals[src] * counts.departures[dst];
+          delta *= 2u;
+          candidate.delta = std::move(delta);
+          consider(std::move(candidate));
+        }
+      }
+
+      const Candidate* chosen = nullptr;
+      if (have_best) {
+        chosen = &best;
+      } else if (have_fallback) {
+        // Accept a mild overshoot only if we are still far away.
+        BigUint doubled = total;
+        doubled *= 2u;
+        if (doubled < target) chosen = &fallback;
+      }
+      if (chosen == nullptr) break;
+      if (chosen->splice) {
+        const std::uint32_t f = plan.nodes[chosen->dst].fanins[chosen->pin];
+        const std::uint32_t x = add_xor_macro(plan, f, chosen->src);
+        plan.nodes[chosen->dst].fanins[chosen->pin] = x;
+        --splice_budget;
+      } else {
+        plan.nodes[chosen->dst].fanins.push_back(chosen->src);
+      }
+    }
+  }
+
+  return build_from_plan(plan, profile.name);
+}
+
+std::vector<IscasProfile> iscas85_profiles() {
+  // Interface/gate counts follow the published ISCAS-85 statistics; the
+  // path targets are the exact logical path counts of Table II of the
+  // paper, which the generator approaches from below.
+  std::vector<IscasProfile> profiles = {
+      {"c432", 36, 7, 160, 17, 0.10, 0.10, 432, 583'652},
+      {"c499", 41, 32, 202, 11, 0.30, 0.04, 499, 795'776},
+      {"c880", 60, 26, 383, 24, 0.00, 0.08, 880, 17'284},
+      {"c1355", 41, 32, 546, 24, 0.20, 0.04, 1355, 8'346'432},
+      {"c1908", 33, 25, 880, 40, 0.05, 0.10, 1908, 1'458'114},
+      {"c2670", 233, 140, 1193, 32, 0.03, 0.10, 2670, 1'359'920},
+      {"c3540", 50, 22, 1669, 47, 0.06, 0.10, 3540, 57'353'342},
+      {"c5315", 178, 123, 2307, 49, 0.03, 0.10, 5315, 2'682'610},
+      {"c6288", 32, 32, 2406, 120, 1.0, 0.0, 6288, 0},
+      {"c7552", 207, 108, 3512, 43, 0.03, 0.10, 7552, 1'452'988},
+  };
+  return profiles;
+}
+
+Circuit make_array_multiplier(std::size_t n) {
+  if (n < 2 || n > 32)
+    throw std::invalid_argument("make_array_multiplier: n out of range");
+  Plan plan;
+  plan.num_inputs = 2 * n;
+  std::vector<std::uint32_t> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) a[i] = plan.add(GateType::kInput, {});
+  for (std::size_t i = 0; i < n; ++i) b[i] = plan.add(GateType::kInput, {});
+
+  // Column-wise carry-save reduction of the n^2 partial products.
+  std::vector<std::vector<std::uint32_t>> columns(2 * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      columns[i + j].push_back(plan.add(GateType::kAnd, {a[i], b[j]}));
+
+  auto half_adder = [&](std::uint32_t x, std::uint32_t y,
+                        std::uint32_t& carry) {
+    carry = plan.add(GateType::kAnd, {x, y});
+    return add_xor_macro(plan, x, y);
+  };
+  auto full_adder = [&](std::uint32_t x, std::uint32_t y, std::uint32_t z,
+                        std::uint32_t& carry) {
+    const std::uint32_t s1 = add_xor_macro(plan, x, y);
+    const std::uint32_t sum = add_xor_macro(plan, s1, z);
+    const std::uint32_t c1 = plan.add(GateType::kAnd, {x, y});
+    const std::uint32_t c2 = plan.add(GateType::kAnd, {s1, z});
+    carry = plan.add(GateType::kOr, {c1, c2});
+    return sum;
+  };
+
+  for (std::size_t col = 0; col < columns.size(); ++col) {
+    auto& bits = columns[col];
+    std::size_t cursor = 0;
+    while (bits.size() - cursor > 1) {
+      std::uint32_t carry;
+      std::uint32_t sum;
+      if (bits.size() - cursor >= 3) {
+        sum = full_adder(bits[cursor], bits[cursor + 1], bits[cursor + 2],
+                         carry);
+        cursor += 3;
+      } else {
+        sum = half_adder(bits[cursor], bits[cursor + 1], carry);
+        cursor += 2;
+      }
+      bits.push_back(sum);
+      if (col + 1 < columns.size()) columns[col + 1].push_back(carry);
+    }
+    const std::uint32_t final_bit = bits.back();
+    bits.clear();
+    bits.push_back(final_bit);
+  }
+
+  for (std::size_t col = 0; col < columns.size(); ++col)
+    plan.po_drivers.push_back(columns[col].front());
+  return build_from_plan(plan, "c6288");
+}
+
+Circuit make_benchmark(const std::string& name) {
+  if (name == "c6288") return make_array_multiplier(16);
+  for (const IscasProfile& profile : iscas85_profiles())
+    if (profile.name == name) return make_iscas_like(profile);
+  throw std::invalid_argument("unknown benchmark profile: " + name);
+}
+
+}  // namespace rd

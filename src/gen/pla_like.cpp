@@ -1,0 +1,84 @@
+#include "gen/pla_like.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace rd {
+
+Pla make_pla_like(const PlaProfile& profile) {
+  if (profile.num_inputs < profile.max_literals)
+    throw std::invalid_argument("make_pla_like: max_literals > inputs");
+  if (profile.min_literals < 1 || profile.min_literals > profile.max_literals)
+    throw std::invalid_argument("make_pla_like: bad literal range");
+  Rng rng(profile.seed);
+  Pla pla;
+  pla.name = profile.name;
+  pla.num_inputs = profile.num_inputs;
+  pla.num_outputs = profile.num_outputs;
+  for (std::size_t i = 0; i < profile.num_inputs; ++i)
+    pla.input_labels.push_back("x" + std::to_string(i));
+  for (std::size_t i = 0; i < profile.num_outputs; ++i)
+    pla.output_labels.push_back("y" + std::to_string(i));
+
+  auto skewed_var = [&]() {
+    // Geometric-ish skew: low-index variables recur across cubes,
+    // giving the extraction phase real common subexpressions.
+    std::size_t var = 0;
+    while (var + 1 < profile.num_inputs && rng.next_bool(0.72))
+      var = (var + 1 + rng.next_below(3)) % profile.num_inputs;
+    return var;
+  };
+
+  for (std::size_t c = 0; c < profile.num_cubes; ++c) {
+    Cube cube;
+    cube.inputs.assign(profile.num_inputs, CubeLit::kDontCare);
+    const std::size_t literal_count = static_cast<std::size_t>(
+        rng.next_in(profile.min_literals, profile.max_literals));
+    std::size_t placed = 0;
+    while (placed < literal_count) {
+      const std::size_t var = skewed_var();
+      if (cube.inputs[var] != CubeLit::kDontCare) continue;
+      cube.inputs[var] =
+          rng.next_bool(0.5) ? CubeLit::kPositive : CubeLit::kNegative;
+      ++placed;
+    }
+    cube.outputs.assign(profile.num_outputs, false);
+    bool any = false;
+    for (std::size_t out = 0; out < profile.num_outputs; ++out) {
+      cube.outputs[out] = rng.next_bool(profile.output_density);
+      any = any || cube.outputs[out];
+    }
+    if (!any) cube.outputs[rng.next_below(profile.num_outputs)] = true;
+    pla.cubes.push_back(std::move(cube));
+  }
+
+  // Guarantee a non-empty cover per output.
+  for (std::size_t out = 0; out < profile.num_outputs; ++out) {
+    const bool covered = std::any_of(
+        pla.cubes.begin(), pla.cubes.end(),
+        [out](const Cube& cube) { return cube.outputs[out]; });
+    if (!covered)
+      pla.cubes[rng.next_below(pla.cubes.size())].outputs[out] = true;
+  }
+  return pla;
+}
+
+std::vector<PlaProfile> mcnc_profiles() {
+  // Interface sizes follow the real MCNC benchmarks; cube counts and
+  // literal ranges are tuned so the synthesized circuits' logical path
+  // counts land in Table III's range (1e4 .. 1e6, see EXPERIMENTS.md).
+  return {
+      {"apex1", 45, 45, 260, 4, 8, 0.16, 101},
+      {"Z5xp1", 7, 10, 220, 3, 7, 0.60, 102},
+      {"apex5", 114, 88, 320, 4, 9, 0.12, 103},
+      {"bw", 5, 28, 120, 2, 5, 0.75, 104},
+      {"apex3", 54, 50, 380, 4, 8, 0.18, 105},
+      {"misex3", 14, 14, 420, 4, 9, 0.35, 106},
+      {"seq", 41, 35, 480, 4, 9, 0.22, 107},
+      {"misex3c", 14, 14, 900, 4, 9, 0.55, 108},
+  };
+}
+
+}  // namespace rd

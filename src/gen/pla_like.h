@@ -1,0 +1,41 @@
+// Synthetic MCNC-like two-level benchmarks.
+//
+// Table III of the paper runs on multi-level circuits synthesized from
+// the MCNC two-level benchmark set; those PLAs are substituted here by
+// seeded random covers whose interface sizes and product-term counts
+// are chosen so that, after synthesis (src/synth), circuit and path
+// counts land in the paper's Table III range.  Literal selection is
+// skewed toward low-index variables so the covers have genuine shared
+// structure for the extraction phase to find — flat random covers
+// would factor poorly and look nothing like real MCNC designs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/pla_io.h"
+
+namespace rd {
+
+struct PlaProfile {
+  std::string name;
+  std::size_t num_inputs = 8;
+  std::size_t num_outputs = 4;
+  std::size_t num_cubes = 32;
+  std::size_t min_literals = 2;
+  std::size_t max_literals = 6;
+  double output_density = 0.3;  // probability a cube is on per output
+  std::uint64_t seed = 1;
+};
+
+/// Generates a random two-level cover for the profile.  Every output is
+/// guaranteed a non-empty cover and every cube at least one literal and
+/// one output.
+Pla make_pla_like(const PlaProfile& profile);
+
+/// The eight Table III stand-in profiles (apex1, Z5xp1, apex5, bw,
+/// apex3, misex3, seq, misex3c).
+std::vector<PlaProfile> mcnc_profiles();
+
+}  // namespace rd

@@ -1,0 +1,68 @@
+#include "gen/seq_like.h"
+
+#include <stdexcept>
+
+namespace rd {
+
+SequentialCircuit make_seq_like(const IscasProfile& profile,
+                                std::size_t num_flip_flops) {
+  if (num_flip_flops > profile.num_inputs ||
+      num_flip_flops > profile.num_outputs)
+    throw std::invalid_argument("make_seq_like: more FFs than ports");
+  Circuit core = make_iscas_like(profile);
+  std::vector<FlipFlop> flip_flops;
+  for (std::size_t i = 0; i < num_flip_flops; ++i) {
+    FlipFlop ff;
+    ff.name = "ff" + std::to_string(i);
+    ff.state_output =
+        core.inputs()[core.inputs().size() - num_flip_flops + i];
+    ff.state_input =
+        core.outputs()[core.outputs().size() - num_flip_flops + i];
+    flip_flops.push_back(std::move(ff));
+  }
+  return SequentialCircuit(std::move(core), std::move(flip_flops));
+}
+
+SequentialCircuit make_counter3() {
+  // State bits q0..q2, enable input `en`, carry-out `cout`.
+  //   q0' = q0 XOR en
+  //   q1' = q1 XOR (en AND q0)
+  //   q2' = q2 XOR (en AND q0 AND q1)
+  //   cout = en AND q0 AND q1 AND q2
+  Circuit core("counter3");
+  const GateId en = core.add_input("en");
+  const GateId q0 = core.add_input("q0");
+  const GateId q1 = core.add_input("q1");
+  const GateId q2 = core.add_input("q2");
+
+  auto make_xor = [&](const std::string& name, GateId x, GateId y) {
+    const GateId nx = core.add_gate(GateType::kNot, name + "_nx", {x});
+    const GateId ny = core.add_gate(GateType::kNot, name + "_ny", {y});
+    const GateId t1 = core.add_gate(GateType::kAnd, name + "_t1", {x, ny});
+    const GateId t2 = core.add_gate(GateType::kAnd, name + "_t2", {nx, y});
+    return core.add_gate(GateType::kOr, name, {t1, t2});
+  };
+
+  const GateId c0 = core.add_gate(GateType::kAnd, "c0", {en, q0});
+  const GateId c1 = core.add_gate(GateType::kAnd, "c1", {c0, q1});
+  const GateId cout = core.add_gate(GateType::kAnd, "cout", {c1, q2});
+
+  const GateId d0 = make_xor("d0", q0, en);
+  const GateId d1 = make_xor("d1", q1, c0);
+  const GateId d2 = make_xor("d2", q2, c1);
+
+  const GateId po_cout = core.add_output("cout", cout);
+  const GateId po_d0 = core.add_output("d0", d0);
+  const GateId po_d1 = core.add_output("d1", d1);
+  const GateId po_d2 = core.add_output("d2", d2);
+  core.finalize();
+
+  std::vector<FlipFlop> flip_flops;
+  flip_flops.push_back(FlipFlop{"ff0", po_d0, q0});
+  flip_flops.push_back(FlipFlop{"ff1", po_d1, q1});
+  flip_flops.push_back(FlipFlop{"ff2", po_d2, q2});
+  (void)po_cout;
+  return SequentialCircuit(std::move(core), std::move(flip_flops));
+}
+
+}  // namespace rd

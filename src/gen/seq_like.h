@@ -1,0 +1,25 @@
+// Synthetic sequential (scan) benchmarks: an ISCAS-85-like
+// combinational core whose trailing PI/PO pairs are designated as
+// flip-flop state ports — the structural shape of the ISCAS-89 scan
+// benchmarks after scan insertion.
+#pragma once
+
+#include <cstddef>
+
+#include "gen/iscas_like.h"
+#include "netlist/sequential.h"
+
+namespace rd {
+
+/// Generates a sequential circuit with `num_flip_flops` state bits on
+/// top of the combinational profile (which must have at least that
+/// many PIs and POs).  The FF pairing is deterministic: the last
+/// `num_flip_flops` PIs pair, in order, with the last POs.
+SequentialCircuit make_seq_like(const IscasProfile& profile,
+                                std::size_t num_flip_flops);
+
+/// A hand-written 3-bit synchronous counter with carry-out — a known
+/// FSM used by tests to pin functional-mode semantics.
+SequentialCircuit make_counter3();
+
+}  // namespace rd

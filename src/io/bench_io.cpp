@@ -1,0 +1,210 @@
+#include "io/bench_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace rd {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
+  throw std::runtime_error("bench line " + std::to_string(line_no) + ": " +
+                           message);
+}
+
+GateType parse_gate_type(std::string_view token, std::size_t line_no) {
+  const std::string lowered = to_lower(token);
+  if (lowered == "and") return GateType::kAnd;
+  if (lowered == "or") return GateType::kOr;
+  if (lowered == "nand") return GateType::kNand;
+  if (lowered == "nor") return GateType::kNor;
+  if (lowered == "not" || lowered == "inv") return GateType::kNot;
+  if (lowered == "buf" || lowered == "buff") return GateType::kBuf;
+  fail(line_no, "unknown gate type '" + std::string(token) + "'");
+}
+
+}  // namespace
+
+Circuit read_bench(std::istream& in, std::string circuit_name) {
+  // First pass: collect statements, since .bench allows use-before-def.
+  struct GateStatement {
+    std::string name;
+    GateType type;
+    std::vector<std::string> fanins;
+    std::size_t line_no;
+  };
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<GateStatement> statements;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view text = trim(line);
+    if (text.empty() || text.front() == '#') continue;
+
+    const auto open = text.find('(');
+    const auto equals = text.find('=');
+    if (equals == std::string_view::npos) {
+      // INPUT(name) or OUTPUT(name)
+      const auto close = text.rfind(')');
+      if (open == std::string_view::npos || close == std::string_view::npos ||
+          close < open)
+        fail(line_no, "expected INPUT(name) or OUTPUT(name)");
+      const std::string keyword = to_lower(trim(text.substr(0, open)));
+      const std::string name{trim(text.substr(open + 1, close - open - 1))};
+      if (name.empty()) fail(line_no, "empty signal name");
+      if (keyword == "input")
+        input_names.push_back(name);
+      else if (keyword == "output")
+        output_names.push_back(name);
+      else
+        fail(line_no, "unknown directive '" + keyword + "'");
+      continue;
+    }
+
+    // name = TYPE(args)
+    const std::string name{trim(text.substr(0, equals))};
+    std::string_view rhs = trim(text.substr(equals + 1));
+    const auto rhs_open = rhs.find('(');
+    const auto rhs_close = rhs.rfind(')');
+    if (name.empty() || rhs_open == std::string_view::npos ||
+        rhs_close == std::string_view::npos || rhs_close < rhs_open)
+      fail(line_no, "expected name = TYPE(a, b, ...)");
+    const GateType type = parse_gate_type(trim(rhs.substr(0, rhs_open)), line_no);
+    std::vector<std::string> fanins;
+    for (auto& piece :
+         split(rhs.substr(rhs_open + 1, rhs_close - rhs_open - 1), ',')) {
+      if (piece.empty()) fail(line_no, "empty fanin name");
+      fanins.push_back(std::move(piece));
+    }
+    statements.push_back(GateStatement{name, type, std::move(fanins), line_no});
+  }
+
+  Circuit circuit(std::move(circuit_name));
+  std::unordered_map<std::string, GateId> by_name;
+  for (const std::string& name : input_names) {
+    if (!by_name.emplace(name, circuit.add_input(name)).second)
+      throw std::runtime_error("bench: duplicate signal '" + name + "'");
+  }
+
+  // Topologically order gate statements (use-before-def is allowed).
+  std::unordered_map<std::string, std::size_t> statement_of;
+  for (std::size_t i = 0; i < statements.size(); ++i) {
+    if (by_name.count(statements[i].name) || statement_of.count(statements[i].name))
+      throw std::runtime_error("bench: duplicate signal '" + statements[i].name +
+                               "'");
+    statement_of.emplace(statements[i].name, i);
+  }
+  std::vector<std::uint8_t> state(statements.size(), 0);  // 0 new, 1 open, 2 done
+  // Iterative DFS to avoid deep recursion on long chains.
+  for (std::size_t root = 0; root < statements.size(); ++root) {
+    if (state[root] == 2) continue;
+    std::vector<std::pair<std::size_t, std::size_t>> stack{{root, 0}};
+    state[root] = 1;
+    while (!stack.empty()) {
+      auto& [index, next_fanin] = stack.back();
+      const GateStatement& statement = statements[index];
+      if (next_fanin < statement.fanins.size()) {
+        const std::string& fanin_name = statement.fanins[next_fanin++];
+        if (by_name.count(fanin_name)) continue;
+        const auto it = statement_of.find(fanin_name);
+        if (it == statement_of.end())
+          fail(statement.line_no, "undefined signal '" + fanin_name + "'");
+        if (state[it->second] == 1)
+          fail(statement.line_no, "combinational cycle through '" + fanin_name +
+                                      "'");
+        if (state[it->second] == 0) {
+          state[it->second] = 1;
+          stack.emplace_back(it->second, 0);
+        }
+        continue;
+      }
+      std::vector<GateId> fanins;
+      fanins.reserve(statement.fanins.size());
+      for (const std::string& fanin_name : statement.fanins)
+        fanins.push_back(by_name.at(fanin_name));
+      by_name.emplace(statement.name,
+                      circuit.add_gate(statement.type, statement.name,
+                                       std::move(fanins)));
+      state[index] = 2;
+      stack.pop_back();
+    }
+  }
+
+  for (const std::string& name : output_names) {
+    const auto it = by_name.find(name);
+    if (it == by_name.end())
+      throw std::runtime_error("bench: OUTPUT of undefined signal '" + name +
+                               "'");
+    circuit.add_output(name, it->second);
+  }
+  circuit.finalize();
+  return circuit;
+}
+
+Circuit read_bench_string(const std::string& text, std::string circuit_name) {
+  std::istringstream in(text);
+  return read_bench(in, std::move(circuit_name));
+}
+
+Circuit read_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open bench file: " + path);
+  // Derive a circuit name from the file name.
+  auto slash = path.find_last_of('/');
+  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  if (base.size() > 6 && base.substr(base.size() - 6) == ".bench")
+    base.resize(base.size() - 6);
+  return read_bench(in, std::move(base));
+}
+
+void write_bench(std::ostream& out, const Circuit& circuit) {
+  out << "# " << (circuit.name().empty() ? "circuit" : circuit.name()) << "\n";
+  for (GateId id : circuit.inputs())
+    out << "INPUT(" << circuit.gate(id).name << ")\n";
+  // .bench names outputs by signal; when a PO marker carries its own
+  // name, alias it through a buffer so the name survives a round trip.
+  std::vector<GateId> aliased_pos;
+  for (GateId id : circuit.outputs()) {
+    const std::string& driver_name =
+        circuit.gate(circuit.gate(id).fanins.front()).name;
+    const std::string& po_name = circuit.gate(id).name;
+    if (po_name.empty() || po_name == driver_name) {
+      out << "OUTPUT(" << driver_name << ")\n";
+    } else {
+      out << "OUTPUT(" << po_name << ")\n";
+      aliased_pos.push_back(id);
+    }
+  }
+  for (GateId id : aliased_pos)
+    out << circuit.gate(id).name << " = BUFF("
+        << circuit.gate(circuit.gate(id).fanins.front()).name << ")\n";
+  for (GateId id : circuit.topo_order()) {
+    const Gate& gate = circuit.gate(id);
+    if (gate.type == GateType::kInput || gate.type == GateType::kOutput)
+      continue;
+    out << gate.name << " = "
+        << (gate.type == GateType::kBuf ? "BUFF"
+                                        : std::string(gate_type_name(gate.type)))
+        << "(";
+    for (std::size_t i = 0; i < gate.fanins.size(); ++i) {
+      if (i != 0) out << ", ";
+      out << circuit.gate(gate.fanins[i]).name;
+    }
+    out << ")\n";
+  }
+}
+
+std::string write_bench_string(const Circuit& circuit) {
+  std::ostringstream out;
+  write_bench(out, circuit);
+  return out.str();
+}
+
+}  // namespace rd

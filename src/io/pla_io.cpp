@@ -1,0 +1,122 @@
+#include "io/pla_io.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace rd {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
+  throw std::runtime_error("pla line " + std::to_string(line_no) + ": " +
+                           message);
+}
+
+}  // namespace
+
+Pla read_pla(std::istream& in, std::string name) {
+  Pla pla;
+  pla.name = std::move(name);
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t declared_terms = 0;
+  bool ended = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view text = trim(line);
+    if (text.empty() || text.front() == '#') continue;
+    if (ended) fail(line_no, "content after .e");
+    if (text.front() == '.') {
+      const auto pieces = split(text, ' ');
+      const std::string directive = to_lower(pieces.front());
+      if (directive == ".i") {
+        if (pieces.size() < 2) fail(line_no, ".i needs a count");
+        pla.num_inputs = std::stoul(pieces[1]);
+      } else if (directive == ".o") {
+        if (pieces.size() < 2) fail(line_no, ".o needs a count");
+        pla.num_outputs = std::stoul(pieces[1]);
+      } else if (directive == ".p") {
+        if (pieces.size() < 2) fail(line_no, ".p needs a count");
+        declared_terms = std::stoul(pieces[1]);
+      } else if (directive == ".ilb") {
+        pla.input_labels.assign(pieces.begin() + 1, pieces.end());
+      } else if (directive == ".ob") {
+        pla.output_labels.assign(pieces.begin() + 1, pieces.end());
+      } else if (directive == ".e" || directive == ".end") {
+        ended = true;
+      } else if (directive == ".type") {
+        // Accepted but only ON-set semantics are implemented.
+      } else {
+        fail(line_no, "unknown directive '" + directive + "'");
+      }
+      continue;
+    }
+
+    // Cube line: <inputs> <outputs>, whitespace between parts optional in
+    // the wild; we accept any whitespace split and re-join.
+    std::string compact;
+    for (char c : text)
+      if (!std::isspace(static_cast<unsigned char>(c))) compact.push_back(c);
+    if (pla.num_inputs == 0 && pla.num_outputs == 0)
+      fail(line_no, "cube before .i/.o");
+    if (compact.size() != pla.num_inputs + pla.num_outputs)
+      fail(line_no, "cube width mismatch");
+    Cube cube;
+    cube.inputs.reserve(pla.num_inputs);
+    for (std::size_t i = 0; i < pla.num_inputs; ++i) {
+      switch (compact[i]) {
+        case '1': cube.inputs.push_back(CubeLit::kPositive); break;
+        case '0': cube.inputs.push_back(CubeLit::kNegative); break;
+        case '-':
+        case '2': cube.inputs.push_back(CubeLit::kDontCare); break;
+        default: fail(line_no, "bad input literal");
+      }
+    }
+    cube.outputs.reserve(pla.num_outputs);
+    for (std::size_t i = 0; i < pla.num_outputs; ++i) {
+      const char c = compact[pla.num_inputs + i];
+      if (c != '1' && c != '0' && c != '-' && c != '~' && c != '4')
+        fail(line_no, "bad output literal");
+      cube.outputs.push_back(c == '1' || c == '4');
+    }
+    pla.cubes.push_back(std::move(cube));
+  }
+  if (declared_terms != 0 && declared_terms != pla.cubes.size())
+    throw std::runtime_error("pla: .p count does not match cube count");
+  if (pla.input_labels.empty())
+    for (std::size_t i = 0; i < pla.num_inputs; ++i)
+      pla.input_labels.push_back("in" + std::to_string(i));
+  if (pla.output_labels.empty())
+    for (std::size_t i = 0; i < pla.num_outputs; ++i)
+      pla.output_labels.push_back("out" + std::to_string(i));
+  if (pla.input_labels.size() != pla.num_inputs ||
+      pla.output_labels.size() != pla.num_outputs)
+    throw std::runtime_error("pla: label count mismatch");
+  return pla;
+}
+
+Pla read_pla_string(const std::string& text, std::string name) {
+  std::istringstream in(text);
+  return read_pla(in, std::move(name));
+}
+
+std::string write_pla_string(const Pla& pla) {
+  std::ostringstream out;
+  out << ".i " << pla.num_inputs << "\n.o " << pla.num_outputs << "\n.p "
+      << pla.cubes.size() << "\n";
+  for (const Cube& cube : pla.cubes) {
+    for (CubeLit lit : cube.inputs) {
+      out << (lit == CubeLit::kPositive ? '1'
+                                        : lit == CubeLit::kNegative ? '0' : '-');
+    }
+    out << ' ';
+    for (bool on : cube.outputs) out << (on ? '1' : '-');
+    out << '\n';
+  }
+  out << ".e\n";
+  return out.str();
+}
+
+}  // namespace rd

@@ -1,0 +1,54 @@
+// Berkeley PLA (espresso) two-level format: the input format of the MCNC
+// two-level benchmarks used in Table III of the paper.
+//
+//   .i 5
+//   .o 2
+//   .p 3
+//   10-1- 10
+//   ...
+//   .e
+//
+// Only the ON-set interpretation (type fr/f) is supported: an output
+// column '1' puts the cube in that output's ON-set; '0', '-' and '~'
+// leave it out.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rd {
+
+/// Input literal polarity in a product term.
+enum class CubeLit : std::uint8_t { kDontCare, kPositive, kNegative };
+
+/// One product term of a two-level cover.
+struct Cube {
+  std::vector<CubeLit> inputs;  // one entry per PLA input
+  std::vector<bool> outputs;    // one entry per PLA output: in ON-set?
+};
+
+/// A two-level sum-of-products cover (one cover shared by all outputs).
+struct Pla {
+  std::string name;
+  std::size_t num_inputs = 0;
+  std::size_t num_outputs = 0;
+  std::vector<Cube> cubes;
+
+  /// Input labels (".ilb"), synthesized as in0.. if absent.
+  std::vector<std::string> input_labels;
+  /// Output labels (".ob"), synthesized as out0.. if absent.
+  std::vector<std::string> output_labels;
+};
+
+/// Parses PLA text; throws std::runtime_error on malformed input.
+Pla read_pla(std::istream& in, std::string name = {});
+
+/// Convenience overload for in-memory text.
+Pla read_pla_string(const std::string& text, std::string name = {});
+
+/// Serializes a Pla back to espresso format.
+std::string write_pla_string(const Pla& pla);
+
+}  // namespace rd

@@ -1,0 +1,74 @@
+#include "io/stats.h"
+
+#include <sstream>
+
+#include "paths/counting.h"
+
+namespace rd {
+
+CircuitStats compute_stats(const Circuit& circuit) {
+  CircuitStats stats;
+  stats.name = circuit.name();
+  stats.num_inputs = circuit.inputs().size();
+  stats.num_outputs = circuit.outputs().size();
+  stats.num_logic_gates = circuit.num_logic_gates();
+  stats.num_leads = circuit.num_leads();
+  stats.depth = circuit.max_level();
+
+  std::size_t fanin_sum = 0;
+  std::size_t fanout_sum = 0;
+  std::size_t fanout_sources = 0;
+  for (GateId id = 0; id < circuit.num_gates(); ++id) {
+    const Gate& gate = circuit.gate(id);
+    ++stats.gates_by_type[static_cast<std::size_t>(gate.type)];
+    if (gate.type != GateType::kInput && gate.type != GateType::kOutput) {
+      fanin_sum += gate.fanins.size();
+      stats.max_fanin = std::max(stats.max_fanin, gate.fanins.size());
+    }
+    if (gate.type != GateType::kOutput) {
+      fanout_sum += gate.fanout_leads.size();
+      stats.max_fanout = std::max(stats.max_fanout, gate.fanout_leads.size());
+      ++fanout_sources;
+    }
+  }
+  if (stats.num_logic_gates > 0)
+    stats.avg_fanin = static_cast<double>(fanin_sum) /
+                      static_cast<double>(stats.num_logic_gates);
+  if (fanout_sources > 0)
+    stats.avg_fanout =
+        static_cast<double>(fanout_sum) / static_cast<double>(fanout_sources);
+
+  const PathCounts counts(circuit);
+  stats.physical_paths = counts.total_physical();
+  stats.logical_paths = counts.total_logical();
+  return stats;
+}
+
+std::string stats_to_string(const CircuitStats& stats) {
+  std::ostringstream out;
+  out << "circuit " << (stats.name.empty() ? "(unnamed)" : stats.name) << "\n"
+      << "  interface : " << stats.num_inputs << " PIs, " << stats.num_outputs
+      << " POs\n"
+      << "  gates     : " << stats.num_logic_gates << " logic gates, "
+      << stats.num_leads << " leads, depth " << stats.depth << "\n"
+      << "  by type   :";
+  static constexpr GateType kTypes[] = {GateType::kAnd,  GateType::kOr,
+                                        GateType::kNand, GateType::kNor,
+                                        GateType::kNot,  GateType::kBuf};
+  for (GateType type : kTypes) {
+    const std::size_t count =
+        stats.gates_by_type[static_cast<std::size_t>(type)];
+    if (count > 0) out << ' ' << gate_type_name(type) << '=' << count;
+  }
+  out << "\n"
+      << "  fan-in    : max " << stats.max_fanin << ", avg " << stats.avg_fanin
+      << "\n"
+      << "  fan-out   : max " << stats.max_fanout << ", avg "
+      << stats.avg_fanout << "\n"
+      << "  paths     : " << stats.physical_paths.to_decimal_grouped()
+      << " physical, " << stats.logical_paths.to_decimal_grouped()
+      << " logical\n";
+  return out.str();
+}
+
+}  // namespace rd

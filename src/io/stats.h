@@ -1,0 +1,41 @@
+// Netlist statistics reporting: the numbers a benchmark table quotes
+// about a circuit (gate histogram, fan-in/fan-out profile, depth, path
+// counts).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "netlist/circuit.h"
+#include "util/biguint.h"
+
+namespace rd {
+
+struct CircuitStats {
+  std::string name;
+  std::size_t num_inputs = 0;
+  std::size_t num_outputs = 0;
+  std::size_t num_logic_gates = 0;
+  std::size_t num_leads = 0;
+  std::uint32_t depth = 0;  // max level
+
+  /// Gate counts indexed by GateType's underlying value.
+  std::array<std::size_t, 8> gates_by_type{};
+
+  std::size_t max_fanin = 0;
+  std::size_t max_fanout = 0;
+  double avg_fanin = 0.0;   // over logic gates
+  double avg_fanout = 0.0;  // over PIs + logic gates
+
+  BigUint physical_paths;
+  BigUint logical_paths;
+};
+
+/// Computes the full statistics block (includes a path count pass).
+CircuitStats compute_stats(const Circuit& circuit);
+
+/// Multi-line human-readable rendering.
+std::string stats_to_string(const CircuitStats& stats);
+
+}  // namespace rd

@@ -1,0 +1,26 @@
+// Structural Verilog netlist writer.
+//
+// Emits a gate-level module using Verilog primitive gates (and, or,
+// nand, nor, not, buf), so generated benchmarks and simplified
+// leaf-dags can be inspected with standard EDA tooling.  Write-only:
+// the library's native interchange format is .bench.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/circuit.h"
+
+namespace rd {
+
+/// Serializes a finalized circuit as a structural Verilog module.
+/// Signal names are sanitized to Verilog identifiers (non-alphanumeric
+/// characters become '_', a leading digit gets an 'n' prefix); name
+/// collisions after sanitization are disambiguated with the gate id.
+void write_verilog(std::ostream& out, const Circuit& circuit,
+                   const std::string& module_name = {});
+
+std::string write_verilog_string(const Circuit& circuit,
+                                 const std::string& module_name = {});
+
+}  // namespace rd

@@ -1,0 +1,119 @@
+// Combinational gate-level netlist.
+//
+// Model from Section II of the paper: a circuit consists of gates
+// (simple gates, primary inputs, primary outputs) and leads.  A *lead*
+// is a wire connecting the output pin of one gate to a specific input
+// pin of another gate; a gate with fanout drives one lead per sink pin.
+// Physical paths are alternating gate/lead sequences from a PI to a PO,
+// so leads — not driver/sink gate pairs — are the unit of path identity.
+//
+// A Circuit is built incrementally (add_input / add_gate / mark_output)
+// and then finalize()d, which checks structural invariants and computes
+// fanouts, lead ids, topological order and levels.  All analysis code
+// requires a finalized circuit.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "netlist/gate_types.h"
+
+namespace rd {
+
+using GateId = std::uint32_t;
+using LeadId = std::uint32_t;
+
+constexpr GateId kNullGate = std::numeric_limits<GateId>::max();
+constexpr LeadId kNullLead = std::numeric_limits<LeadId>::max();
+
+/// One wire from a driver gate's output pin to input pin `pin` of `sink`.
+struct Lead {
+  GateId driver = kNullGate;
+  GateId sink = kNullGate;
+  std::uint32_t pin = 0;  // position within sink's fanin list
+};
+
+struct Gate {
+  GateType type = GateType::kInput;
+  std::string name;
+  std::vector<GateId> fanins;        // driver gates, by input pin order
+  std::vector<LeadId> fanin_leads;   // lead per input pin (set by finalize)
+  std::vector<LeadId> fanout_leads;  // leads this gate drives (set by finalize)
+};
+
+class Circuit {
+ public:
+  /// Optional circuit name (benchmark id), free-form.
+  explicit Circuit(std::string name = {}) : name_(std::move(name)) {}
+
+  // ---- construction (before finalize) ----
+
+  /// Adds a primary input gate.
+  GateId add_input(std::string name);
+
+  /// Adds a logic gate with the given fanins (which must already exist).
+  /// NOT/BUF take exactly one fanin, AND/OR/NAND/NOR at least one.
+  GateId add_gate(GateType type, std::string name, std::vector<GateId> fanins);
+
+  /// Adds a primary-output marker gate fed by `driver`.
+  GateId add_output(std::string name, GateId driver);
+
+  /// Validates structure and computes fanouts, leads, topological order
+  /// and levels.  Throws std::invalid_argument on malformed circuits
+  /// (cycles, bad arity, dangling outputs).  Idempotent.
+  void finalize();
+
+  bool finalized() const { return finalized_; }
+
+  // ---- read access ----
+
+  const std::string& name() const { return name_; }
+  std::size_t num_gates() const { return gates_.size(); }
+  std::size_t num_leads() const { return leads_.size(); }
+  const Gate& gate(GateId id) const { return gates_[id]; }
+  const Lead& lead(LeadId id) const { return leads_[id]; }
+  const std::vector<GateId>& inputs() const { return inputs_; }
+  const std::vector<GateId>& outputs() const { return outputs_; }
+
+  /// Gates in a topological order (fanins before fanouts).
+  const std::vector<GateId>& topo_order() const { return topo_; }
+
+  /// Longest gate-count distance from any PI (PIs have level 0).
+  std::uint32_t level(GateId id) const { return levels_[id]; }
+  std::uint32_t max_level() const { return max_level_; }
+
+  /// Number of logic gates (excluding PI and PO marker gates), the count
+  /// usually quoted for benchmark circuits.
+  std::size_t num_logic_gates() const;
+
+  /// Gate ids in the fan-in cone of `root` (inclusive), in topological
+  /// order.  Used to split multi-output circuits into output cones.
+  std::vector<GateId> fanin_cone(GateId root) const;
+
+  /// Extracts the single-output subcircuit feeding primary output `po`
+  /// (a PO marker gate).  Gate names are preserved; unused PIs dropped.
+  Circuit extract_cone(GateId po) const;
+
+  /// Position of gate `g` in topo_order() — usable as a dense index.
+  std::uint32_t topo_rank(GateId id) const { return topo_rank_[id]; }
+
+ private:
+  GateId add_gate_impl(GateType type, std::string name,
+                       std::vector<GateId> fanins);
+  void check_not_finalized() const;
+
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<Lead> leads_;
+  std::vector<GateId> inputs_;
+  std::vector<GateId> outputs_;
+  std::vector<GateId> topo_;
+  std::vector<std::uint32_t> topo_rank_;
+  std::vector<std::uint32_t> levels_;
+  std::uint32_t max_level_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace rd

@@ -1,0 +1,77 @@
+// Gate type enumeration and static gate semantics (controlling values,
+// inversion parity) shared by simulation, path analysis and the RD-set
+// classifiers.
+//
+// The paper's circuit model (Section II): simple gates AND, OR, NAND,
+// NOR, NOT plus primary inputs and primary outputs.  BUF is included for
+// convenience when reading .bench files; it behaves like a
+// non-inverting NOT.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rd {
+
+enum class GateType : std::uint8_t {
+  kInput,   // primary input; no fanins
+  kOutput,  // primary output marker; exactly one fanin, no fanouts
+  kBuf,     // identity, one fanin
+  kNot,     // inversion, one fanin
+  kAnd,
+  kOr,
+  kNand,
+  kNor,
+};
+
+/// True for AND/OR/NAND/NOR — gates that have a controlling value.
+constexpr bool has_controlling_value(GateType type) {
+  return type == GateType::kAnd || type == GateType::kOr ||
+         type == GateType::kNand || type == GateType::kNor;
+}
+
+/// Controlling input value: 0 for AND/NAND, 1 for OR/NOR.
+/// Precondition: has_controlling_value(type).
+constexpr bool controlling_value(GateType type) {
+  return type == GateType::kOr || type == GateType::kNor;
+}
+
+/// Non-controlling input value (complement of the controlling one).
+constexpr bool noncontrolling_value(GateType type) {
+  return !controlling_value(type);
+}
+
+/// True if the gate inverts between inputs and output (NOT/NAND/NOR).
+constexpr bool inverts(GateType type) {
+  return type == GateType::kNot || type == GateType::kNand ||
+         type == GateType::kNor;
+}
+
+/// Output value when some input carries the controlling value.
+/// Precondition: has_controlling_value(type).
+constexpr bool controlled_output(GateType type) {
+  return controlling_value(type) != inverts(type);
+}
+
+/// Output value when every input carries the non-controlling value.
+/// Precondition: has_controlling_value(type).
+constexpr bool noncontrolled_output(GateType type) {
+  return noncontrolling_value(type) != inverts(type);
+}
+
+/// Human-readable gate type name (bench-file spelling for logic gates).
+constexpr std::string_view gate_type_name(GateType type) {
+  switch (type) {
+    case GateType::kInput: return "INPUT";
+    case GateType::kOutput: return "OUTPUT";
+    case GateType::kBuf: return "BUF";
+    case GateType::kNot: return "NOT";
+    case GateType::kAnd: return "AND";
+    case GateType::kOr: return "OR";
+    case GateType::kNand: return "NAND";
+    case GateType::kNor: return "NOR";
+  }
+  return "?";
+}
+
+}  // namespace rd

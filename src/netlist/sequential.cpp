@@ -1,0 +1,100 @@
+#include "netlist/sequential.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "sim/logic_sim.h"
+
+namespace rd {
+
+SequentialCircuit::SequentialCircuit(Circuit core,
+                                     std::vector<FlipFlop> flip_flops)
+    : core_(std::move(core)), flip_flops_(std::move(flip_flops)) {
+  if (!core_.finalized())
+    throw std::invalid_argument("SequentialCircuit: core must be finalized");
+  std::unordered_set<GateId> pseudo_pis;
+  std::unordered_set<GateId> pseudo_pos;
+  for (const FlipFlop& ff : flip_flops_) {
+    if (ff.state_output >= core_.num_gates() ||
+        core_.gate(ff.state_output).type != GateType::kInput)
+      throw std::invalid_argument("SequentialCircuit: state_output not a PI");
+    if (ff.state_input >= core_.num_gates() ||
+        core_.gate(ff.state_input).type != GateType::kOutput)
+      throw std::invalid_argument("SequentialCircuit: state_input not a PO");
+    if (!pseudo_pis.insert(ff.state_output).second ||
+        !pseudo_pos.insert(ff.state_input).second)
+      throw std::invalid_argument("SequentialCircuit: duplicate FF port");
+  }
+  for (GateId pi : core_.inputs())
+    if (!pseudo_pis.count(pi)) true_pis_.push_back(pi);
+  for (GateId po : core_.outputs())
+    if (!pseudo_pos.count(po)) true_pos_.push_back(po);
+}
+
+bool SequentialCircuit::is_pseudo_input(GateId pi) const {
+  return std::any_of(flip_flops_.begin(), flip_flops_.end(),
+                     [pi](const FlipFlop& ff) { return ff.state_output == pi; });
+}
+
+bool SequentialCircuit::is_pseudo_output(GateId po) const {
+  return std::any_of(flip_flops_.begin(), flip_flops_.end(),
+                     [po](const FlipFlop& ff) { return ff.state_input == po; });
+}
+
+SequentialCircuit::Trace SequentialCircuit::simulate_cycles(
+    const std::vector<bool>& initial_state,
+    const std::vector<std::vector<bool>>& input_vectors) const {
+  if (initial_state.size() != flip_flops_.size())
+    throw std::invalid_argument("simulate_cycles: state arity mismatch");
+  // Map core-PI position -> source (true PI index or FF index).
+  std::vector<bool> state = initial_state;
+  Trace trace;
+  trace.outputs.reserve(input_vectors.size());
+  for (const std::vector<bool>& primary : input_vectors) {
+    if (primary.size() != true_pis_.size())
+      throw std::invalid_argument("simulate_cycles: input arity mismatch");
+    std::vector<bool> core_inputs(core_.inputs().size(), false);
+    for (std::size_t i = 0; i < core_.inputs().size(); ++i) {
+      const GateId pi = core_.inputs()[i];
+      bool assigned = false;
+      for (std::size_t ff = 0; ff < flip_flops_.size(); ++ff) {
+        if (flip_flops_[ff].state_output == pi) {
+          core_inputs[i] = state[ff];
+          assigned = true;
+          break;
+        }
+      }
+      if (assigned) continue;
+      for (std::size_t p = 0; p < true_pis_.size(); ++p) {
+        if (true_pis_[p] == pi) {
+          core_inputs[i] = primary[p];
+          break;
+        }
+      }
+    }
+    const auto values = simulate(core_, core_inputs);
+    std::vector<bool> outputs;
+    outputs.reserve(true_pos_.size());
+    for (GateId po : true_pos_) outputs.push_back(values[po]);
+    trace.outputs.push_back(std::move(outputs));
+    for (std::size_t ff = 0; ff < flip_flops_.size(); ++ff)
+      state[ff] = values[flip_flops_[ff].state_input];
+  }
+  trace.final_state = std::move(state);
+  return trace;
+}
+
+PathSegmentClass classify_segment(const SequentialCircuit& sequential,
+                                  const PhysicalPath& path) {
+  const bool from_state =
+      sequential.is_pseudo_input(path_pi(sequential.core(), path));
+  const bool to_state =
+      sequential.is_pseudo_output(path_po(sequential.core(), path));
+  if (from_state && to_state) return PathSegmentClass::kStateToState;
+  if (from_state) return PathSegmentClass::kStateToPrimary;
+  if (to_state) return PathSegmentClass::kPrimaryToState;
+  return PathSegmentClass::kPrimaryToPrimary;
+}
+
+}  // namespace rd

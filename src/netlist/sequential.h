@@ -1,0 +1,84 @@
+// Sequential (scan) circuit support.
+//
+// The paper treats combinational circuits; in practice path delay
+// testing is applied to sequential designs through (enhanced) scan:
+// every flip-flop is controllable and observable, so the flip-flop
+// outputs act as pseudo primary inputs and the flip-flop inputs as
+// pseudo primary outputs of the combinational core — and the entire
+// RD-identification machinery applies to that core unchanged.
+//
+// A SequentialCircuit owns a combinational Circuit in which the
+// pseudo-PIs/POs are already materialized, plus the flip-flop pairing
+// (which pseudo-PO feeds which pseudo-PI in functional mode).  Helpers
+// run functional-mode multi-cycle simulation (validating that the
+// scan model and the sequential semantics agree) and split path sets
+// by segment type (PI→PO, PI→FF, FF→PO, FF→FF).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "paths/path.h"
+
+namespace rd {
+
+/// One D flip-flop: in functional mode, `state_output` (a pseudo-PI of
+/// the core) takes the value sampled at `state_input` (a pseudo-PO) on
+/// the previous clock edge.
+struct FlipFlop {
+  std::string name;
+  GateId state_input = kNullGate;   // PO marker gate of the core
+  GateId state_output = kNullGate;  // PI gate of the core
+};
+
+class SequentialCircuit {
+ public:
+  /// Builds the sequential wrapper.  `core` must already contain the
+  /// pseudo PIs/POs; each FlipFlop names one PO marker and one PI of
+  /// it.  Validates the pairing.
+  SequentialCircuit(Circuit core, std::vector<FlipFlop> flip_flops);
+
+  const Circuit& core() const { return core_; }
+  const std::vector<FlipFlop>& flip_flops() const { return flip_flops_; }
+
+  /// True primary inputs/outputs (excluding the pseudo ones).
+  const std::vector<GateId>& primary_inputs() const { return true_pis_; }
+  const std::vector<GateId>& primary_outputs() const { return true_pos_; }
+
+  /// Whether a core PI / PO marker is a flip-flop port.
+  bool is_pseudo_input(GateId pi) const;
+  bool is_pseudo_output(GateId po) const;
+
+  /// Functional-mode simulation: applies one primary-input vector per
+  /// cycle (outer index = cycle) starting from `initial_state` (one
+  /// bit per flip-flop) and returns the primary-output vectors per
+  /// cycle plus the final state.
+  struct Trace {
+    std::vector<std::vector<bool>> outputs;  // [cycle][po]
+    std::vector<bool> final_state;           // [flip_flop]
+  };
+  Trace simulate_cycles(const std::vector<bool>& initial_state,
+                        const std::vector<std::vector<bool>>& input_vectors)
+      const;
+
+ private:
+  Circuit core_;
+  std::vector<FlipFlop> flip_flops_;
+  std::vector<GateId> true_pis_;
+  std::vector<GateId> true_pos_;
+};
+
+/// Structural class of a combinational-core path in scan terms.
+enum class PathSegmentClass : std::uint8_t {
+  kPrimaryToPrimary,
+  kPrimaryToState,   // PI -> FF
+  kStateToPrimary,   // FF -> PO
+  kStateToState,     // FF -> FF
+};
+
+PathSegmentClass classify_segment(const SequentialCircuit& sequential,
+                                  const PhysicalPath& path);
+
+}  // namespace rd

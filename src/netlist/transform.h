@@ -1,0 +1,36 @@
+// Structure-preserving netlist transformations:
+//
+//  * decompose_fanin — balanced-tree decomposition of wide AND/OR/
+//    NAND/NOR gates to a bounded fan-in (the leaf-dag baseline and the
+//    robust checker both benefit from narrow gates);
+//  * map_to_nand — NAND+inverter technology mapping (the c6288-class
+//    circuits and many ATPG papers assume NAND-only networks);
+//  * strip_buffers — removes BUF gates by rewiring (names preserved on
+//    the driver side).
+//
+// All transformations preserve the circuit function exactly — the test
+// suite checks them with the SAT and BDD equivalence engines — but NOT
+// the path population: they are modeling tools, applied before RD
+// analysis, not during it.
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/circuit.h"
+
+namespace rd {
+
+/// Returns a functionally equivalent circuit with every gate's fan-in
+/// at most `max_fanin` (>= 2).  Wide gates become balanced trees; the
+/// inversion, if any, stays at the tree root.
+Circuit decompose_fanin(const Circuit& circuit, std::size_t max_fanin);
+
+/// Returns a functionally equivalent NAND+NOT network (BUFs allowed
+/// for PO isolation).  AND = NAND+NOT, OR = NAND of inverted inputs,
+/// NOR = that plus NOT.
+Circuit map_to_nand(const Circuit& circuit);
+
+/// Removes BUF gates, rewiring their sinks to the buffer's driver.
+Circuit strip_buffers(const Circuit& circuit);
+
+}  // namespace rd

@@ -1,0 +1,81 @@
+#include "paths/counting.h"
+
+namespace rd {
+
+PathCounts::PathCounts(const Circuit& circuit) : circuit_(&circuit) {
+  arrivals_.assign(circuit.num_gates(), BigUint());
+  departures_.assign(circuit.num_gates(), BigUint());
+
+  for (GateId id : circuit.topo_order()) {
+    const Gate& gate = circuit.gate(id);
+    if (gate.type == GateType::kInput) {
+      arrivals_[id] = BigUint(1);
+      continue;
+    }
+    BigUint sum;
+    for (GateId fanin : gate.fanins) sum += arrivals_[fanin];
+    arrivals_[id] = std::move(sum);
+  }
+
+  const auto& topo = circuit.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const GateId id = *it;
+    const Gate& gate = circuit.gate(id);
+    if (gate.type == GateType::kOutput) {
+      departures_[id] = BigUint(1);
+      continue;
+    }
+    BigUint sum;
+    for (LeadId lead : gate.fanout_leads)
+      sum += departures_[circuit.lead(lead).sink];
+    departures_[id] = std::move(sum);
+  }
+
+  for (GateId po : circuit.outputs()) total_physical_ += arrivals_[po];
+}
+
+BigUint PathCounts::paths_through(LeadId id) const {
+  const Lead& lead = circuit_->lead(id);
+  return arrivals_[lead.driver] * departures_[lead.sink];
+}
+
+BigUint PathCounts::total_logical() const {
+  BigUint total = total_physical_;
+  total *= 2u;
+  return total;
+}
+
+bool enumerate_paths(const Circuit& circuit,
+                     const std::function<void(const PhysicalPath&)>& visit,
+                     std::uint64_t max_paths) {
+  std::uint64_t produced = 0;
+  PhysicalPath path;
+  // Iterative DFS over (gate, next fanout lead index).
+  std::vector<std::pair<GateId, std::size_t>> stack;
+  for (GateId pi : circuit.inputs()) {
+    stack.clear();
+    stack.emplace_back(pi, 0);
+    while (!stack.empty()) {
+      auto& [gate_id, next] = stack.back();
+      const Gate& gate = circuit.gate(gate_id);
+      if (gate.type == GateType::kOutput) {
+        if (++produced > max_paths) return false;
+        visit(path);
+        stack.pop_back();
+        if (!path.leads.empty()) path.leads.pop_back();
+        continue;
+      }
+      if (next == gate.fanout_leads.size()) {
+        stack.pop_back();
+        if (!path.leads.empty()) path.leads.pop_back();
+        continue;
+      }
+      const LeadId lead = gate.fanout_leads[next++];
+      path.leads.push_back(lead);
+      stack.emplace_back(circuit.lead(lead).sink, 0);
+    }
+  }
+  return true;
+}
+
+}  // namespace rd

@@ -1,0 +1,56 @@
+// Structural path counting.
+//
+// Per-gate counts of paths from the PIs ("arrivals") and to the POs
+// ("departures") give the number of physical paths through any lead as
+// arrivals(driver) * departures(sink) — the quantity |P(l)| used by
+// Heuristic 1 (Definition 8, Remark 4: |LP_c(l)| = |P(l)|).  Counts are
+// exact BigUints: c6288-class circuits exceed 64 bits.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "paths/path.h"
+#include "util/biguint.h"
+
+namespace rd {
+
+/// Exact structural path counts for a finalized circuit.
+class PathCounts {
+ public:
+  explicit PathCounts(const Circuit& circuit);
+
+  /// Number of physical PI-to-gate paths arriving at `id` (1 for a PI).
+  const BigUint& arrivals(GateId id) const { return arrivals_[id]; }
+
+  /// Number of physical gate-to-PO paths departing from `id` (1 for a
+  /// PO marker).
+  const BigUint& departures(GateId id) const { return departures_[id]; }
+
+  /// |P(l)|: physical paths through lead `id`.
+  BigUint paths_through(LeadId id) const;
+
+  /// Total number of physical paths (PI to PO) in the circuit.
+  const BigUint& total_physical() const { return total_physical_; }
+
+  /// Total number of logical paths: twice the physical count.
+  BigUint total_logical() const;
+
+ private:
+  const Circuit* circuit_;
+  std::vector<BigUint> arrivals_;
+  std::vector<BigUint> departures_;
+  BigUint total_physical_;
+};
+
+/// Enumerates every physical path, invoking `visit` for each; returns
+/// false (and stops) once more than `max_paths` paths were produced.
+/// Only suitable for small circuits (tests, examples, the leaf-dag
+/// baseline's accounting).
+bool enumerate_paths(const Circuit& circuit,
+                     const std::function<void(const PhysicalPath&)>& visit,
+                     std::uint64_t max_paths);
+
+}  // namespace rd

@@ -1,0 +1,53 @@
+#include "paths/path.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace rd {
+
+GateId path_pi(const Circuit& circuit, const PhysicalPath& path) {
+  if (path.leads.empty()) throw std::invalid_argument("empty path");
+  return circuit.lead(path.leads.front()).driver;
+}
+
+GateId path_po(const Circuit& circuit, const PhysicalPath& path) {
+  if (path.leads.empty()) throw std::invalid_argument("empty path");
+  return circuit.lead(path.leads.back()).sink;
+}
+
+bool value_on_lead(const Circuit& circuit, const PhysicalPath& path,
+                   std::size_t index, bool final_pi_value) {
+  bool value = final_pi_value;
+  // The value on lead i is the PI value filtered through gates g1..gi —
+  // the sinks of leads 0..i-1.
+  for (std::size_t i = 0; i < index; ++i) {
+    const GateId gate = circuit.lead(path.leads[i]).sink;
+    if (inverts(circuit.gate(gate).type)) value = !value;
+  }
+  return value;
+}
+
+std::string path_to_string(const Circuit& circuit, const LogicalPath& path) {
+  std::ostringstream out;
+  const GateId pi = path_pi(circuit, path.path);
+  out << circuit.gate(pi).name << (path.final_pi_value ? " (R)" : " (F)");
+  for (LeadId lead : path.path.leads)
+    out << " -> " << circuit.gate(circuit.lead(lead).sink).name;
+  return out.str();
+}
+
+bool is_valid_path(const Circuit& circuit, const PhysicalPath& path) {
+  if (path.leads.empty()) return false;
+  if (circuit.gate(path_pi(circuit, path)).type != GateType::kInput)
+    return false;
+  if (circuit.gate(path_po(circuit, path)).type != GateType::kOutput)
+    return false;
+  for (std::size_t i = 0; i + 1 < path.leads.size(); ++i) {
+    if (circuit.lead(path.leads[i]).sink !=
+        circuit.lead(path.leads[i + 1]).driver)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace rd

@@ -1,0 +1,74 @@
+// Trail-based three-valued implication engine.
+//
+// This is the workhorse behind the paper's "local implications" check
+// (Algorithm 2, following Cheng & Chen [2]): the RD-set classifiers
+// assert stable values on gate outputs — the on-path PI value and the
+// side-input constraints (FU2)/(NR2)/(π2)(π3) — and this engine
+// propagates the direct (local) logic consequences forward and backward
+// through the circuit.  A derived conflict proves no input vector can
+// satisfy the constraints, so the path segment under consideration is
+// robust dependent; no conflict keeps the path conservatively.
+//
+// Assignments are recorded on a trail so a classifier's depth-first
+// search can cheaply undo to any earlier mark, SAT-solver style.
+//
+// Since a lead always carries its driver gate's output value, values
+// live on gate outputs only.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "sim/value.h"
+
+namespace rd {
+
+class ImplicationEngine {
+ public:
+  /// `backward_implications` can be disabled to measure how much of
+  /// the RD identification quality comes from backward reasoning (the
+  /// ablation benchmark); production callers leave it on.
+  explicit ImplicationEngine(const Circuit& circuit,
+                             bool backward_implications = true);
+
+  /// Asserts gate `id`'s stable output value and propagates local
+  /// implications.  Returns false on conflict.  In both cases every
+  /// value set is recorded on the trail; after a conflict the caller
+  /// undoes to its mark before continuing.
+  bool assign(GateId id, Value3 value);
+
+  /// Current trail position, to be passed to undo_to later.
+  std::size_t mark() const { return trail_.size(); }
+
+  /// Undoes all assignments made after `mark`.
+  void undo_to(std::size_t mark);
+
+  /// Current value of a gate's output (kUnknown if unassigned).
+  Value3 value(GateId id) const { return values_[id]; }
+
+  /// Number of gates whose value is currently known (for diagnostics).
+  std::size_t num_assigned() const { return trail_.size(); }
+
+ private:
+  /// Records a value (must currently be unknown) and schedules
+  /// re-examination of the gate and its sinks.
+  void set_value(GateId id, Value3 value);
+
+  /// Examines one gate: forward-evaluates it and applies backward
+  /// implications from its output to its inputs.  Returns false on
+  /// conflict.
+  bool examine(GateId id);
+
+  /// Drains the propagation queue.  Returns false on conflict.
+  bool propagate();
+
+  const Circuit* circuit_;
+  bool backward_implications_;
+  std::vector<Value3> values_;
+  std::vector<GateId> trail_;
+  std::vector<GateId> queue_;
+  std::size_t queue_head_ = 0;
+};
+
+}  // namespace rd

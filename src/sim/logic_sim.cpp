@@ -1,0 +1,112 @@
+#include "sim/logic_sim.h"
+
+#include <stdexcept>
+
+namespace rd {
+
+std::vector<bool> simulate(const Circuit& circuit,
+                           const std::vector<bool>& input_values) {
+  if (input_values.size() != circuit.inputs().size())
+    throw std::invalid_argument("simulate: input arity mismatch");
+  std::vector<bool> values(circuit.num_gates(), false);
+  for (std::size_t i = 0; i < circuit.inputs().size(); ++i)
+    values[circuit.inputs()[i]] = input_values[i];
+  for (GateId id : circuit.topo_order()) {
+    const Gate& gate = circuit.gate(id);
+    if (gate.type == GateType::kInput) continue;
+    switch (gate.type) {
+      case GateType::kOutput:
+      case GateType::kBuf:
+        values[id] = values[gate.fanins[0]];
+        break;
+      case GateType::kNot:
+        values[id] = !values[gate.fanins[0]];
+        break;
+      default: {
+        const bool ctrl = controlling_value(gate.type);
+        bool controlled = false;
+        for (GateId fanin : gate.fanins)
+          if (values[fanin] == ctrl) {
+            controlled = true;
+            break;
+          }
+        values[id] = controlled ? controlled_output(gate.type)
+                                : noncontrolled_output(gate.type);
+        break;
+      }
+    }
+  }
+  return values;
+}
+
+std::vector<Value3> simulate3(const Circuit& circuit,
+                              const std::vector<Value3>& input_values) {
+  if (input_values.size() != circuit.inputs().size())
+    throw std::invalid_argument("simulate3: input arity mismatch");
+  std::vector<Value3> values(circuit.num_gates(), Value3::kUnknown);
+  for (std::size_t i = 0; i < circuit.inputs().size(); ++i)
+    values[circuit.inputs()[i]] = input_values[i];
+  std::vector<Value3> scratch;
+  for (GateId id : circuit.topo_order()) {
+    const Gate& gate = circuit.gate(id);
+    if (gate.type == GateType::kInput) continue;
+    scratch.clear();
+    for (GateId fanin : gate.fanins) scratch.push_back(values[fanin]);
+    values[id] = eval_gate3(gate.type, scratch.data(), scratch.size());
+  }
+  return values;
+}
+
+std::vector<std::uint64_t> simulate64(
+    const Circuit& circuit, const std::vector<std::uint64_t>& input_words) {
+  if (input_words.size() != circuit.inputs().size())
+    throw std::invalid_argument("simulate64: input arity mismatch");
+  std::vector<std::uint64_t> words(circuit.num_gates(), 0);
+  for (std::size_t i = 0; i < circuit.inputs().size(); ++i)
+    words[circuit.inputs()[i]] = input_words[i];
+  for (GateId id : circuit.topo_order()) {
+    const Gate& gate = circuit.gate(id);
+    switch (gate.type) {
+      case GateType::kInput:
+        break;
+      case GateType::kOutput:
+      case GateType::kBuf:
+        words[id] = words[gate.fanins[0]];
+        break;
+      case GateType::kNot:
+        words[id] = ~words[gate.fanins[0]];
+        break;
+      case GateType::kAnd:
+      case GateType::kNand: {
+        std::uint64_t acc = ~std::uint64_t{0};
+        for (GateId fanin : gate.fanins) acc &= words[fanin];
+        words[id] = gate.type == GateType::kNand ? ~acc : acc;
+        break;
+      }
+      case GateType::kOr:
+      case GateType::kNor: {
+        std::uint64_t acc = 0;
+        for (GateId fanin : gate.fanins) acc |= words[fanin];
+        words[id] = gate.type == GateType::kNor ? ~acc : acc;
+        break;
+      }
+    }
+  }
+  return words;
+}
+
+std::vector<bool> evaluate_minterm(const Circuit& circuit,
+                                   std::uint64_t minterm) {
+  if (circuit.inputs().size() > 64)
+    throw std::invalid_argument("evaluate_minterm: too many inputs");
+  std::vector<bool> input_values(circuit.inputs().size());
+  for (std::size_t i = 0; i < input_values.size(); ++i)
+    input_values[i] = (minterm >> i) & 1;
+  const auto values = simulate(circuit, input_values);
+  std::vector<bool> output_values;
+  output_values.reserve(circuit.outputs().size());
+  for (GateId po : circuit.outputs()) output_values.push_back(values[po]);
+  return output_values;
+}
+
+}  // namespace rd

@@ -1,0 +1,35 @@
+// Combinational logic simulation: single-pattern two-valued, ternary,
+// and 64-way bit-parallel.  The bit-parallel simulator is the oracle
+// used by tests to cross-check the implication engine and the
+// classifiers' exact reference implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "sim/value.h"
+
+namespace rd {
+
+/// Simulates one two-valued input vector (indexed like circuit.inputs())
+/// and returns a per-gate value array indexed by GateId.
+std::vector<bool> simulate(const Circuit& circuit,
+                           const std::vector<bool>& input_values);
+
+/// Ternary simulation; unknown inputs propagate pessimistically.
+std::vector<Value3> simulate3(const Circuit& circuit,
+                              const std::vector<Value3>& input_values);
+
+/// 64-way parallel-pattern simulation.  Bit b of input word i is pattern
+/// b's value for PI i; returns one 64-bit word per gate.
+std::vector<std::uint64_t> simulate64(
+    const Circuit& circuit, const std::vector<std::uint64_t>& input_words);
+
+/// Evaluates the circuit on the input vector encoded in the low bits of
+/// `minterm` (bit i = value of PI i) and returns per-PO values, indexed
+/// like circuit.outputs().  Convenience for exhaustive sweeps in tests.
+std::vector<bool> evaluate_minterm(const Circuit& circuit,
+                                   std::uint64_t minterm);
+
+}  // namespace rd

@@ -1,0 +1,150 @@
+#include "sim/timed_sim.h"
+
+#include <queue>
+#include <stdexcept>
+
+namespace rd {
+
+DelayModel DelayModel::zero(const Circuit& circuit) {
+  DelayModel model;
+  model.gate_delay.assign(circuit.num_gates(), 0.0);
+  model.lead_delay.assign(circuit.num_leads(), 0.0);
+  return model;
+}
+
+namespace {
+
+// Two event kinds keep transport semantics exact: a *gate* event commits
+// a previously computed output value after the gate delay; a *lead*
+// event delivers a driver value to a sink pin after the wire delay and
+// triggers re-evaluation of the sink.
+struct Event {
+  double time;
+  std::uint64_t sequence;  // FIFO tie-break for equal times
+  bool is_lead;
+  std::uint32_t target;  // GateId or LeadId
+  bool value;
+  bool operator>(const Event& other) const {
+    if (time != other.time) return time > other.time;
+    return sequence > other.sequence;
+  }
+};
+
+// Evaluates a gate two-valued from the values present at its input pins.
+bool eval_gate(const Circuit& circuit, GateId id,
+               const std::vector<bool>& pin_values) {
+  const Gate& gate = circuit.gate(id);
+  switch (gate.type) {
+    case GateType::kOutput:
+    case GateType::kBuf:
+      return pin_values[gate.fanin_leads[0]];
+    case GateType::kNot:
+      return !pin_values[gate.fanin_leads[0]];
+    default: {
+      const bool ctrl = controlling_value(gate.type);
+      for (LeadId lead : gate.fanin_leads)
+        if (pin_values[lead] == ctrl) return controlled_output(gate.type);
+      return noncontrolled_output(gate.type);
+    }
+  }
+}
+
+}  // namespace
+
+TimedResult simulate_timed(const Circuit& circuit, const DelayModel& delays,
+                           const std::vector<bool>& initial_values,
+                           const std::vector<bool>& input_values,
+                           bool record_po_history) {
+  if (initial_values.size() != circuit.num_gates())
+    throw std::invalid_argument("simulate_timed: initial value arity mismatch");
+  if (input_values.size() != circuit.inputs().size())
+    throw std::invalid_argument("simulate_timed: input arity mismatch");
+  if (delays.gate_delay.size() != circuit.num_gates() ||
+      delays.lead_delay.size() != circuit.num_leads())
+    throw std::invalid_argument("simulate_timed: delay model arity mismatch");
+
+  TimedResult result;
+  result.final_values = initial_values;
+  result.last_change.assign(circuit.num_gates(), 0.0);
+  std::vector<std::size_t> po_index(circuit.num_gates(),
+                                    static_cast<std::size_t>(-1));
+  if (record_po_history) {
+    result.po_history.resize(circuit.outputs().size());
+    for (std::size_t i = 0; i < circuit.outputs().size(); ++i)
+      po_index[circuit.outputs()[i]] = i;
+  }
+
+  // Values as present at gate input pins (i.e. after the wire delay).
+  std::vector<bool> pin_values(circuit.num_leads());
+  for (LeadId lead = 0; lead < circuit.num_leads(); ++lead)
+    pin_values[lead] = initial_values[circuit.lead(lead).driver];
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  std::uint64_t sequence = 0;
+
+  auto schedule_gate_update = [&](GateId id, double now) {
+    // A pin changed at `now`; with transport semantics the output takes
+    // the newly computed value after the gate delay.
+    const bool value = eval_gate(circuit, id, pin_values);
+    events.push(Event{now + delays.gate_delay[id], sequence++,
+                      /*is_lead=*/false, id, value});
+  };
+
+  // t=0: PIs take the new vector; every gate whose stored output is
+  // inconsistent with its (arbitrary) initial pin values re-evaluates.
+  for (std::size_t i = 0; i < circuit.inputs().size(); ++i) {
+    const GateId pi = circuit.inputs()[i];
+    if (result.final_values[pi] != input_values[i])
+      events.push(
+          Event{0.0, sequence++, /*is_lead=*/false, pi, input_values[i]});
+  }
+  for (GateId id = 0; id < circuit.num_gates(); ++id) {
+    const Gate& gate = circuit.gate(id);
+    if (gate.type == GateType::kInput) continue;
+    const bool value = eval_gate(circuit, id, pin_values);
+    if (value != result.final_values[id])
+      events.push(Event{delays.gate_delay[id], sequence++, /*is_lead=*/false,
+                        id, value});
+  }
+
+  constexpr std::uint64_t kEventBudget = 50'000'000;
+  std::uint64_t processed = 0;
+  while (!events.empty()) {
+    if (++processed > kEventBudget)
+      throw std::runtime_error(
+          "simulate_timed: event budget exceeded (oscillating circuit?)");
+    const Event event = events.top();
+    events.pop();
+    if (event.is_lead) {
+      const LeadId lead_id = event.target;
+      if (pin_values[lead_id] == event.value) continue;
+      pin_values[lead_id] = event.value;
+      schedule_gate_update(circuit.lead(lead_id).sink, event.time);
+      continue;
+    }
+    const GateId id = event.target;
+    if (result.final_values[id] == event.value) continue;
+    result.final_values[id] = event.value;
+    result.last_change[id] = event.time;
+    if (record_po_history && po_index[id] != static_cast<std::size_t>(-1))
+      result.po_history[po_index[id]].emplace_back(event.time, event.value);
+    for (LeadId lead_id : circuit.gate(id).fanout_leads)
+      events.push(Event{event.time + delays.lead_delay[lead_id], sequence++,
+                        /*is_lead=*/true, lead_id, event.value});
+  }
+  return result;
+}
+
+double path_delay(const Circuit& circuit, const DelayModel& delays,
+                  const std::vector<LeadId>& leads) {
+  double total = 0.0;
+  if (leads.empty()) return total;
+  total += delays.gate_delay[circuit.lead(leads.front()).driver];
+  for (LeadId lead_id : leads) {
+    total += delays.lead_delay[lead_id];
+    total += delays.gate_delay[circuit.lead(lead_id).sink];
+  }
+  return total;
+}
+
+}  // namespace rd

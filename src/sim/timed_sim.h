@@ -1,0 +1,64 @@
+// Event-driven timed simulation with per-gate and per-lead delays and
+// arbitrary initial line values.
+//
+// This models the paper's notion of a manufactured implementation C_m:
+// same gate-level structure as C, arbitrary gate/lead delays (Section
+// II).  It is used by the property tests for Theorem 1: for any delay
+// assignment and any input vector v, the primary output must settle on
+// f(v) no later than the largest delay of any logical path in the
+// stabilizing system sigma(v).
+//
+// Transport-delay semantics: every input change re-evaluates the gate
+// and, if the output would change, schedules the new value after the
+// gate delay.  Initial values may be inconsistent (lines hold leftovers
+// of an arbitrary previous state), as the delay-fault model requires.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace rd {
+
+/// Delay annotation: one delay per gate (switching delay) and one per
+/// lead (wire delay).  All delays must be positive for gates other than
+/// PIs/POs markers (zero is allowed and treated as an instantaneous
+/// element).
+struct DelayModel {
+  std::vector<double> gate_delay;  // indexed by GateId
+  std::vector<double> lead_delay;  // indexed by LeadId
+
+  static DelayModel zero(const Circuit& circuit);
+};
+
+/// Result of a timed simulation run.
+struct TimedResult {
+  /// Final value per gate output.
+  std::vector<bool> final_values;
+  /// Time of the last value change per gate output (0 if it never
+  /// changed after t=0).
+  std::vector<double> last_change;
+  /// Full event history (time, new value) per primary output, in time
+  /// order — only populated when requested.  Index-aligned with
+  /// circuit.outputs().
+  std::vector<std::vector<std::pair<double, bool>>> po_history;
+};
+
+/// Runs the two-pattern experiment: line outputs start at
+/// `initial_values` (arbitrary, possibly inconsistent), the PIs switch
+/// to `input_values` at t=0, and the simulation runs to quiescence.
+/// `record_po_history` additionally captures every PO waveform event
+/// (needed to sample outputs at a clock instant).
+TimedResult simulate_timed(const Circuit& circuit, const DelayModel& delays,
+                           const std::vector<bool>& initial_values,
+                           const std::vector<bool>& input_values,
+                           bool record_po_history = false);
+
+/// Sum of gate and lead delays along a physical path given as a gate
+/// sequence (PI ... PO); leads between consecutive gates are resolved
+/// via the specified input pins.
+double path_delay(const Circuit& circuit, const DelayModel& delays,
+                  const std::vector<LeadId>& leads);
+
+}  // namespace rd

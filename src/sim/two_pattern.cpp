@@ -1,0 +1,45 @@
+#include "sim/two_pattern.h"
+
+#include "sim/logic_sim.h"
+
+namespace rd {
+
+TwoPatternResult apply_two_pattern(const Circuit& circuit,
+                                   const DelayModel& delays,
+                                   const std::vector<bool>& v1,
+                                   const std::vector<bool>& v2, double tau) {
+  // v1 is held long enough to settle completely: the steady state is
+  // the functional evaluation.
+  const auto settled_v1 = simulate(circuit, v1);
+  const TimedResult timed =
+      simulate_timed(circuit, delays, settled_v1, v2,
+                     /*record_po_history=*/true);
+
+  TwoPatternResult result;
+  result.sampled.resize(circuit.outputs().size());
+  result.settled.resize(circuit.outputs().size());
+  for (std::size_t i = 0; i < circuit.outputs().size(); ++i) {
+    const GateId po = circuit.outputs()[i];
+    result.settled[i] = timed.final_values[po];
+    // Value at τ: the last event at or before τ, else the v1 value.
+    bool value = settled_v1[po];
+    for (const auto& [time, new_value] : timed.po_history[i]) {
+      if (time > tau) break;
+      value = new_value;
+    }
+    result.sampled[i] = value;
+    if (timed.last_change[po] > tau) result.late = true;
+  }
+  return result;
+}
+
+DelayModel inject_path_delay(const Circuit& circuit, const DelayModel& delays,
+                             const PhysicalPath& path, double extra) {
+  (void)circuit;
+  DelayModel faulty = delays;
+  const double share = extra / static_cast<double>(path.leads.size());
+  for (LeadId lead : path.leads) faulty.lead_delay[lead] += share;
+  return faulty;
+}
+
+}  // namespace rd

@@ -1,0 +1,49 @@
+// Two-pattern tester model: apply v1, let the circuit settle, switch
+// to v2 at t=0, and *sample the primary outputs at the clock period τ*
+// — the physical procedure a robust test abstracts (Section II: "from
+// the fact that C_m does (does not) operate correctly for this test
+// sequence under clock period τ it can be concluded that the delay ...
+// is ≤ τ (> τ)").
+//
+// Together with a delay-fault injection helper (inflate the delay of
+// one path's leads) this lets the test suite validate the *semantics*
+// of generated tests dynamically: a robust test must flag the fault
+// for every delay assignment of the rest of the circuit.
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "paths/path.h"
+#include "sim/timed_sim.h"
+
+namespace rd {
+
+struct TwoPatternResult {
+  /// PO values observed at the sampling instant τ (index-aligned with
+  /// circuit.outputs()).
+  std::vector<bool> sampled;
+
+  /// PO values after full settling (the functional values under v2).
+  std::vector<bool> settled;
+
+  /// True if any PO was still changing after τ (sampled != settled or
+  /// a later event existed).
+  bool late = false;
+};
+
+/// Runs the two-pattern experiment.  v1 is applied and fully settled
+/// (from an all-zero initial state, which is irrelevant after
+/// settling); v2 is applied at t=0 and the POs are sampled at `tau`.
+TwoPatternResult apply_two_pattern(const Circuit& circuit,
+                                   const DelayModel& delays,
+                                   const std::vector<bool>& v1,
+                                   const std::vector<bool>& v2, double tau);
+
+/// Returns a copy of `delays` with `extra` added to every lead of the
+/// given path (modelling a distributed delay defect along it — the
+/// path delay fault under test).
+DelayModel inject_path_delay(const Circuit& circuit, const DelayModel& delays,
+                             const PhysicalPath& path, double extra);
+
+}  // namespace rd

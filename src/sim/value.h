@@ -1,0 +1,68 @@
+// Three-valued logic values (0, 1, unknown) and gate evaluation over
+// them.  Used by the implication engine and the ternary simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/gate_types.h"
+
+namespace rd {
+
+enum class Value3 : std::uint8_t { kZero = 0, kOne = 1, kUnknown = 2 };
+
+constexpr Value3 to_value3(bool bit) {
+  return bit ? Value3::kOne : Value3::kZero;
+}
+
+constexpr bool is_known(Value3 value) { return value != Value3::kUnknown; }
+
+/// Precondition: is_known(value).
+constexpr bool to_bool(Value3 value) { return value == Value3::kOne; }
+
+constexpr Value3 negate(Value3 value) {
+  switch (value) {
+    case Value3::kZero: return Value3::kOne;
+    case Value3::kOne: return Value3::kZero;
+    case Value3::kUnknown: return Value3::kUnknown;
+  }
+  return Value3::kUnknown;
+}
+
+constexpr char value3_char(Value3 value) {
+  switch (value) {
+    case Value3::kZero: return '0';
+    case Value3::kOne: return '1';
+    case Value3::kUnknown: return 'X';
+  }
+  return '?';
+}
+
+/// Evaluates a gate over three-valued inputs.  For gates with a
+/// controlling value: any controlling input decides the output; all
+/// non-controlling inputs decide it the other way; otherwise unknown.
+/// NOT/BUF/OUTPUT propagate their single input.  Not valid for kInput.
+inline Value3 eval_gate3(GateType type, const Value3* inputs,
+                         std::size_t count) {
+  switch (type) {
+    case GateType::kInput:
+      return Value3::kUnknown;
+    case GateType::kOutput:
+    case GateType::kBuf:
+      return inputs[0];
+    case GateType::kNot:
+      return negate(inputs[0]);
+    default: {
+      const Value3 ctrl = to_value3(controlling_value(type));
+      bool all_known = true;
+      for (std::size_t i = 0; i < count; ++i) {
+        if (inputs[i] == ctrl) return to_value3(controlled_output(type));
+        if (!is_known(inputs[i])) all_known = false;
+      }
+      if (all_known) return to_value3(noncontrolled_output(type));
+      return Value3::kUnknown;
+    }
+  }
+}
+
+}  // namespace rd

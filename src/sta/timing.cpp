@@ -1,0 +1,115 @@
+#include "sta/timing.h"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+
+namespace rd {
+
+TimingAnalysis::TimingAnalysis(const Circuit& circuit,
+                               const DelayModel& delays)
+    : circuit_(&circuit), delays_(&delays) {
+  if (delays.gate_delay.size() != circuit.num_gates() ||
+      delays.lead_delay.size() != circuit.num_leads())
+    throw std::invalid_argument("TimingAnalysis: delay model arity mismatch");
+
+  arrival_.assign(circuit.num_gates(), 0.0);
+  for (GateId id : circuit.topo_order()) {
+    const Gate& gate = circuit.gate(id);
+    double latest = 0.0;
+    for (std::uint32_t pin = 0; pin < gate.fanins.size(); ++pin) {
+      const double in = arrival_[gate.fanins[pin]] +
+                        delays.lead_delay[gate.fanin_leads[pin]];
+      latest = std::max(latest, in);
+    }
+    arrival_[id] = latest + delays.gate_delay[id];
+  }
+
+  departure_.assign(circuit.num_gates(), 0.0);
+  const auto& topo = circuit.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const GateId id = *it;
+    double longest = 0.0;
+    for (LeadId lead : circuit.gate(id).fanout_leads) {
+      const GateId sink = circuit.lead(lead).sink;
+      longest = std::max(longest, delays.lead_delay[lead] +
+                                      delays.gate_delay[sink] +
+                                      departure_[sink]);
+    }
+    departure_[id] = longest;
+  }
+
+  for (GateId po : circuit.outputs())
+    critical_ = std::max(critical_, arrival_[po]);
+}
+
+double TimingAnalysis::through(LeadId lead) const {
+  const Lead& l = circuit_->lead(lead);
+  return arrival_[l.driver] + delays_->lead_delay[lead] +
+         delays_->gate_delay[l.sink] + departure_[l.sink];
+}
+
+namespace {
+
+/// Immutable shared path prefix (avoids copying lead vectors per
+/// queue entry).
+struct Prefix {
+  LeadId lead;
+  std::shared_ptr<const Prefix> prev;
+};
+
+struct Entry {
+  double bound;          // delay so far + departure(tip): exact completion
+  double delay_so_far;   // gates + leads up to and including tip
+  GateId tip;
+  std::shared_ptr<const Prefix> prefix;
+  bool operator<(const Entry& other) const { return bound < other.bound; }
+};
+
+}  // namespace
+
+void k_longest_paths(const TimingAnalysis& timing, std::size_t k,
+                     const std::function<bool(const PhysicalPath&, double)>&
+                         visit) {
+  const Circuit& circuit = timing.circuit();
+  const DelayModel& delays = timing.delays();
+  std::priority_queue<Entry> queue;
+  for (GateId pi : circuit.inputs()) {
+    Entry entry;
+    entry.delay_so_far = delays.gate_delay[pi];
+    entry.bound = entry.delay_so_far + timing.departure(pi);
+    entry.tip = pi;
+    queue.push(std::move(entry));
+  }
+
+  std::size_t emitted = 0;
+  while (!queue.empty() && emitted < k) {
+    const Entry entry = queue.top();
+    queue.pop();
+    const Gate& tip = circuit.gate(entry.tip);
+    if (tip.type == GateType::kOutput) {
+      PhysicalPath path;
+      for (const Prefix* node = entry.prefix.get(); node != nullptr;
+           node = node->prev.get())
+        path.leads.push_back(node->lead);
+      std::reverse(path.leads.begin(), path.leads.end());
+      ++emitted;
+      if (!visit(path, entry.delay_so_far)) return;
+      continue;
+    }
+    for (LeadId lead : tip.fanout_leads) {
+      const GateId sink = circuit.lead(lead).sink;
+      Entry next;
+      next.delay_so_far = entry.delay_so_far + delays.lead_delay[lead] +
+                          delays.gate_delay[sink];
+      next.bound = next.delay_so_far + timing.departure(sink);
+      next.tip = sink;
+      next.prefix = std::make_shared<const Prefix>(
+          Prefix{lead, entry.prefix});
+      queue.push(std::move(next));
+    }
+  }
+}
+
+}  // namespace rd

@@ -1,0 +1,67 @@
+// Static timing analysis over a DelayModel: arrival/departure times,
+// critical delay, per-lead slack, and lazy enumeration of the K
+// longest paths.
+//
+// This is the substrate for delay-driven path selection (the
+// "expected delay greater than a given threshold" strategy the paper
+// discusses in Section VI, after Li/Reddy/Sahni): combined with the
+// per-path classifier query it yields "the K longest non-RD paths",
+// the practical test list of a delay-test flow.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "paths/path.h"
+#include "sim/timed_sim.h"
+
+namespace rd {
+
+/// Arrival/departure analysis results.
+class TimingAnalysis {
+ public:
+  TimingAnalysis(const Circuit& circuit, const DelayModel& delays);
+
+  /// Latest signal arrival at the gate's output (PIs arrive at their
+  /// own gate delay; includes the gate's delay).
+  double arrival(GateId id) const { return arrival_[id]; }
+
+  /// Longest delay from this gate's output to any PO (wire + sink
+  /// delays downstream; 0 at PO markers).
+  double departure(GateId id) const { return departure_[id]; }
+
+  /// Longest PI-to-PO path delay in the circuit.
+  double critical_delay() const { return critical_; }
+
+  /// Longest path delay through a lead: arrival(driver) + wire +
+  /// departure-from-sink (+ sink gate delay).
+  double through(LeadId lead) const;
+
+  /// Slack of a lead against a clock period.
+  double slack(LeadId lead, double clock) const {
+    return clock - through(lead);
+  }
+
+  const Circuit& circuit() const { return *circuit_; }
+  const DelayModel& delays() const { return *delays_; }
+
+ private:
+  const Circuit* circuit_;
+  const DelayModel* delays_;
+  std::vector<double> arrival_;
+  std::vector<double> departure_;
+  double critical_ = 0.0;
+};
+
+/// Enumerates physical paths in strictly non-increasing delay order,
+/// invoking `visit(path, delay)`; stops after `k` visits or when
+/// `visit` returns false.  Lazy best-first search: cost is
+/// O(k * path length * log) plus the analysis — independent of the
+/// total path count, so it works on circuits with millions of paths.
+void k_longest_paths(const TimingAnalysis& timing, std::size_t k,
+                     const std::function<bool(const PhysicalPath&, double)>&
+                         visit);
+
+}  // namespace rd

@@ -1,0 +1,227 @@
+#include "synth/synth.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace rd {
+
+namespace {
+
+// Literal encoding during extraction: input var v positive = 2v,
+// negative = 2v+1; extracted AND divisors get ids from 2*num_inputs up.
+using Literal = std::uint32_t;
+
+struct WorkCube {
+  std::vector<Literal> literals;  // sorted
+  std::vector<bool> outputs;
+};
+
+struct Divisor {
+  Literal a;
+  Literal b;
+};
+
+std::vector<WorkCube> to_work_cubes(const Pla& pla) {
+  std::vector<WorkCube> cubes;
+  for (const Cube& cube : pla.cubes) {
+    const bool on_somewhere =
+        std::any_of(cube.outputs.begin(), cube.outputs.end(),
+                    [](bool on) { return on; });
+    if (!on_somewhere) continue;
+    WorkCube work;
+    work.outputs = cube.outputs;
+    for (std::size_t var = 0; var < cube.inputs.size(); ++var) {
+      if (cube.inputs[var] == CubeLit::kPositive)
+        work.literals.push_back(static_cast<Literal>(2 * var));
+      else if (cube.inputs[var] == CubeLit::kNegative)
+        work.literals.push_back(static_cast<Literal>(2 * var + 1));
+    }
+    if (work.literals.empty())
+      throw std::invalid_argument("synth: tautological cube (constant output)");
+    cubes.push_back(std::move(work));
+  }
+  return cubes;
+}
+
+/// Removes per-output single-cube containment: if cube A's literal set
+/// is a subset of cube B's, B is redundant wherever A is also on.
+void remove_contained_cubes(std::vector<WorkCube>& cubes) {
+  for (const WorkCube& a : cubes) {
+    for (WorkCube& b : cubes) {
+      if (&a == &b || a.literals.size() > b.literals.size()) continue;
+      if (&a > &b && a.literals == b.literals) continue;  // keep one copy
+      if (!std::includes(b.literals.begin(), b.literals.end(),
+                         a.literals.begin(), a.literals.end()))
+        continue;
+      for (std::size_t out = 0; out < b.outputs.size(); ++out)
+        if (a.outputs[out]) b.outputs[out] = false;
+    }
+  }
+  std::erase_if(cubes, [](const WorkCube& cube) {
+    return std::none_of(cube.outputs.begin(), cube.outputs.end(),
+                        [](bool on) { return on; });
+  });
+}
+
+/// Greedy common-cube extraction; returns the divisor table (indexed by
+/// id - 2*num_inputs).
+std::vector<Divisor> extract_common_cubes(std::vector<WorkCube>& cubes,
+                                          std::size_t num_inputs,
+                                          std::size_t min_occurrences) {
+  std::vector<Divisor> divisors;
+  Literal next_id = static_cast<Literal>(2 * num_inputs);
+  for (;;) {
+    std::map<std::pair<Literal, Literal>, std::size_t> pair_count;
+    for (const WorkCube& cube : cubes) {
+      for (std::size_t i = 0; i < cube.literals.size(); ++i)
+        for (std::size_t j = i + 1; j < cube.literals.size(); ++j)
+          ++pair_count[{cube.literals[i], cube.literals[j]}];
+    }
+    std::pair<Literal, Literal> best{};
+    std::size_t best_count = 0;
+    for (const auto& [pair, count] : pair_count) {
+      if (count > best_count) {
+        best = pair;
+        best_count = count;
+      }
+    }
+    if (best_count < std::max<std::size_t>(min_occurrences, 2)) break;
+
+    const Literal divisor_id = next_id++;
+    divisors.push_back(Divisor{best.first, best.second});
+    for (WorkCube& cube : cubes) {
+      const bool has_a = std::binary_search(cube.literals.begin(),
+                                            cube.literals.end(), best.first);
+      const bool has_b = std::binary_search(cube.literals.begin(),
+                                            cube.literals.end(), best.second);
+      if (!has_a || !has_b) continue;
+      std::erase(cube.literals, best.first);
+      std::erase(cube.literals, best.second);
+      cube.literals.insert(std::lower_bound(cube.literals.begin(),
+                                            cube.literals.end(), divisor_id),
+                           divisor_id);
+    }
+  }
+  return divisors;
+}
+
+/// Builds a balanced gate tree over `signals` with bounded fan-in.
+GateId build_tree(Circuit& circuit, GateType type,
+                  std::vector<GateId> signals, std::size_t max_fanin,
+                  std::size_t& name_counter, const char* prefix) {
+  if (signals.size() == 1) return signals.front();
+  while (signals.size() > 1) {
+    std::vector<GateId> next;
+    for (std::size_t i = 0; i < signals.size(); i += max_fanin) {
+      const std::size_t end = std::min(signals.size(), i + max_fanin);
+      if (end - i == 1) {
+        next.push_back(signals[i]);
+        continue;
+      }
+      std::vector<GateId> group(signals.begin() + i, signals.begin() + end);
+      next.push_back(circuit.add_gate(
+          type, std::string(prefix) + std::to_string(name_counter++),
+          std::move(group)));
+    }
+    signals = std::move(next);
+  }
+  return signals.front();
+}
+
+Circuit build_network(const Pla& pla, std::vector<WorkCube> cubes,
+                      const std::vector<Divisor>& divisors,
+                      std::size_t max_fanin) {
+  Circuit circuit(pla.name);
+  std::size_t name_counter = 0;
+
+  // PIs and shared inverters.
+  std::vector<GateId> literal_signal(2 * pla.num_inputs + divisors.size(),
+                                     kNullGate);
+  for (std::size_t var = 0; var < pla.num_inputs; ++var)
+    literal_signal[2 * var] = circuit.add_input(pla.input_labels[var]);
+  for (const WorkCube& cube : cubes)
+    for (Literal lit : cube.literals)
+      if (lit < 2 * pla.num_inputs && (lit & 1) &&
+          literal_signal[lit] == kNullGate)
+        literal_signal[lit] = circuit.add_gate(
+            GateType::kNot, pla.input_labels[lit / 2] + "_n",
+            {literal_signal[lit & ~1u]});
+  // Divisors may also reference negative literals.
+  for (const Divisor& divisor : divisors)
+    for (Literal lit : {divisor.a, divisor.b})
+      if (lit < 2 * pla.num_inputs && (lit & 1) &&
+          literal_signal[lit] == kNullGate)
+        literal_signal[lit] = circuit.add_gate(
+            GateType::kNot, pla.input_labels[lit / 2] + "_n",
+            {literal_signal[lit & ~1u]});
+
+  // Divisor AND nodes (divisors only reference earlier ids, so one
+  // forward pass suffices).
+  for (std::size_t i = 0; i < divisors.size(); ++i) {
+    const Literal id = static_cast<Literal>(2 * pla.num_inputs + i);
+    literal_signal[id] = circuit.add_gate(
+        GateType::kAnd, "d" + std::to_string(i),
+        {literal_signal[divisors[i].a], literal_signal[divisors[i].b]});
+  }
+
+  // Product terms, shared across outputs when literal sets coincide.
+  std::map<std::vector<Literal>, GateId> term_cache;
+  std::vector<GateId> term_signal(cubes.size());
+  for (std::size_t c = 0; c < cubes.size(); ++c) {
+    const auto it = term_cache.find(cubes[c].literals);
+    if (it != term_cache.end()) {
+      term_signal[c] = it->second;
+      continue;
+    }
+    std::vector<GateId> signals;
+    signals.reserve(cubes[c].literals.size());
+    for (Literal lit : cubes[c].literals)
+      signals.push_back(literal_signal[lit]);
+    const GateId gate = build_tree(circuit, GateType::kAnd, std::move(signals),
+                                   max_fanin, name_counter, "a");
+    term_cache.emplace(cubes[c].literals, gate);
+    term_signal[c] = gate;
+  }
+
+  // Output OR trees.
+  for (std::size_t out = 0; out < pla.num_outputs; ++out) {
+    std::vector<GateId> signals;
+    for (std::size_t c = 0; c < cubes.size(); ++c)
+      if (cubes[c].outputs[out]) signals.push_back(term_signal[c]);
+    if (signals.empty())
+      throw std::invalid_argument("synth: output '" + pla.output_labels[out] +
+                                  "' has an empty cover (constant 0)");
+    // Deduplicate shared terms feeding the same OR.
+    std::sort(signals.begin(), signals.end());
+    signals.erase(std::unique(signals.begin(), signals.end()), signals.end());
+    const GateId driver =
+        signals.size() == 1
+            ? signals.front()
+            : build_tree(circuit, GateType::kOr, std::move(signals), max_fanin,
+                         name_counter, "o");
+    circuit.add_output(pla.output_labels[out], driver);
+  }
+  circuit.finalize();
+  return circuit;
+}
+
+}  // namespace
+
+Circuit synthesize_multilevel(const Pla& pla, const SynthOptions& options) {
+  auto cubes = to_work_cubes(pla);
+  remove_contained_cubes(cubes);
+  std::vector<Divisor> divisors;
+  if (options.extract_common_cubes)
+    divisors = extract_common_cubes(cubes, pla.num_inputs,
+                                    options.min_pair_occurrences);
+  return build_network(pla, std::move(cubes), divisors, options.max_fanin);
+}
+
+Circuit synthesize_two_level(const Pla& pla) {
+  auto cubes = to_work_cubes(pla);
+  return build_network(pla, std::move(cubes), {},
+                       /*max_fanin=*/std::size_t{1} << 20);
+}
+
+}  // namespace rd

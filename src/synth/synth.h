@@ -1,0 +1,51 @@
+// Minimal two-level to multi-level logic synthesis — the stand-in for
+// SIS `script.rugged` used by the paper to produce the Table III
+// circuits from the MCNC two-level benchmarks.
+//
+// Pipeline:
+//   1. cover cleanup: drop per-output single-cube containments,
+//   2. greedy common-cube extraction (fast_extract-style): repeatedly
+//      factor out the literal pair shared by the most product terms,
+//      creating shared AND nodes and hence internal fanout and
+//      reconvergence — the structural features the RD analysis cares
+//      about,
+//   3. network construction: literals (with shared inverters), AND
+//      trees per product term, OR trees per output, all decomposed to a
+//      bounded fan-in.
+//
+// The result is a plain AND/OR/NOT netlist, finalized and ready for the
+// classifiers and for the leaf-dag baseline.
+#pragma once
+
+#include <cstddef>
+
+#include "io/pla_io.h"
+#include "netlist/circuit.h"
+
+namespace rd {
+
+struct SynthOptions {
+  /// Maximum fan-in for generated AND/OR gates (wider ops become
+  /// balanced trees).
+  std::size_t max_fanin = 5;
+
+  /// Run the common-cube extraction phase (disable for a flat
+  /// two-level network).
+  bool extract_common_cubes = true;
+
+  /// Stop extracting once no pair of literals is shared by at least
+  /// this many product terms.
+  std::size_t min_pair_occurrences = 2;
+};
+
+/// Synthesizes a multi-level circuit implementing the PLA's ON-set
+/// functions.  Throws std::invalid_argument for degenerate covers
+/// (constant outputs, zero-literal cubes).
+Circuit synthesize_multilevel(const Pla& pla, const SynthOptions& options = {});
+
+/// Flat two-level reference implementation of the same PLA (cube
+/// sharing across outputs, no extraction, unbounded fan-in).  Used by
+/// tests to check functional equivalence of the synthesized network.
+Circuit synthesize_two_level(const Pla& pla);
+
+}  // namespace rd

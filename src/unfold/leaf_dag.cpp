@@ -1,0 +1,85 @@
+#include "unfold/leaf_dag.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace rd {
+
+namespace {
+
+struct Builder {
+  const Circuit& circuit;
+  Circuit dag;
+  std::vector<GateId> source_gate;
+  std::unordered_map<GateId, GateId> pi_clone;  // PIs are shared
+  std::size_t max_gates;
+  bool complete = true;
+
+  Builder(const Circuit& c, std::size_t cap)
+      : circuit(c), dag(c.name() + ".leafdag"), max_gates(cap) {}
+
+  GateId record(GateId dag_id, GateId original) {
+    if (source_gate.size() <= dag_id) source_gate.resize(dag_id + 1, kNullGate);
+    source_gate[dag_id] = original;
+    return dag_id;
+  }
+
+  /// Clones the tree rooted at `original`; PIs are shared, every other
+  /// gate is duplicated per use.
+  GateId clone(GateId original) {
+    if (!complete) return kNullGate;
+    const Gate& gate = circuit.gate(original);
+    if (gate.type == GateType::kInput) {
+      const auto it = pi_clone.find(original);
+      if (it != pi_clone.end()) return it->second;
+      const GateId id = record(dag.add_input(gate.name), original);
+      pi_clone.emplace(original, id);
+      return id;
+    }
+    if (dag.num_gates() >= max_gates) {
+      complete = false;
+      return kNullGate;
+    }
+    std::vector<GateId> fanins;
+    fanins.reserve(gate.fanins.size());
+    for (GateId fanin : gate.fanins) {
+      const GateId cloned = clone(fanin);
+      if (cloned == kNullGate) return kNullGate;
+      fanins.push_back(cloned);
+    }
+    const std::string name =
+        gate.name + "#" + std::to_string(dag.num_gates());
+    if (gate.type == GateType::kOutput)
+      return record(dag.add_output(gate.name, fanins.front()), original);
+    return record(dag.add_gate(gate.type, name, std::move(fanins)), original);
+  }
+};
+
+}  // namespace
+
+LeafDag build_leaf_dag(const Circuit& circuit, GateId po,
+                       std::size_t max_gates) {
+  if (circuit.gate(po).type != GateType::kOutput)
+    throw std::invalid_argument("build_leaf_dag requires a PO marker gate");
+  Builder builder(circuit, max_gates);
+  builder.clone(po);
+  LeafDag result;
+  result.complete = builder.complete;
+  if (!builder.complete) return result;
+  builder.dag.finalize();
+  result.source_gate = std::move(builder.source_gate);
+
+  // Leads correspond pin-for-pin: dag lead (sink, pin) maps to the
+  // original gate's lead at the same pin.
+  result.source_lead.resize(builder.dag.num_leads(), kNullLead);
+  for (LeadId lead = 0; lead < builder.dag.num_leads(); ++lead) {
+    const Lead& l = builder.dag.lead(lead);
+    const GateId original_sink = result.source_gate[l.sink];
+    result.source_lead[lead] =
+        circuit.gate(original_sink).fanin_leads[l.pin];
+  }
+  result.dag = std::move(builder.dag);
+  return result;
+}
+
+}  // namespace rd

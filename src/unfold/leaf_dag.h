@@ -1,0 +1,37 @@
+// Leaf-dag construction: the "unfolded" version of an output cone in
+// which fanout is only allowed at the primary inputs (Section II).
+//
+// The approach of Lam et al. [1] — the baseline the paper compares
+// against in Table III — reduces RD-set identification to finding
+// redundant stuck-at faults in this structure.  Every internal lead of
+// the leaf-dag lies on a *unique* lead-to-output chain, so paths map
+// 1:1 onto original cone paths, and the size is exponential in the
+// amount of reconvergent fanout; construction is therefore guarded by a
+// gate budget.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace rd {
+
+struct LeafDag {
+  Circuit dag;
+
+  /// dag GateId -> original circuit GateId.
+  std::vector<GateId> source_gate;
+
+  /// dag LeadId -> original circuit LeadId.
+  std::vector<LeadId> source_lead;
+
+  /// False if the gate budget stopped the unfolding.
+  bool complete = true;
+};
+
+/// Unfolds the cone of PO marker `po`.  Throws on a non-PO argument.
+LeafDag build_leaf_dag(const Circuit& circuit, GateId po,
+                       std::size_t max_gates = 1u << 20);
+
+}  // namespace rd

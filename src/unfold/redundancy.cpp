@@ -1,0 +1,277 @@
+#include "unfold/redundancy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "paths/counting.h"
+#include "sim/logic_sim.h"
+#include "unfold/leaf_dag.h"
+#include "unfold/xfault.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace rd {
+
+SimplifyResult propagate_constant(const Circuit& circuit, LeadId forced_lead,
+                                  bool forced_value) {
+  const std::size_t n = circuit.num_gates();
+
+  // Pass 1: constants and the surviving structure, in terms of old ids.
+  std::vector<Value3> constant(n, Value3::kUnknown);
+  struct Surviving {
+    GateType type;
+    std::vector<GateId> fanins;  // old ids of surviving fanins
+  };
+  std::vector<Surviving> survive(n);
+  bool collapsed = false;
+
+  for (GateId id : circuit.topo_order()) {
+    const Gate& gate = circuit.gate(id);
+    if (gate.type == GateType::kInput) {
+      survive[id] = {GateType::kInput, {}};
+      continue;
+    }
+    auto pin_constant = [&](std::uint32_t pin) -> Value3 {
+      if (gate.fanin_leads[pin] == forced_lead) return to_value3(forced_value);
+      return constant[gate.fanins[pin]];
+    };
+    if (gate.type == GateType::kOutput || gate.type == GateType::kBuf ||
+        gate.type == GateType::kNot) {
+      const Value3 in = pin_constant(0);
+      if (is_known(in)) {
+        constant[id] = gate.type == GateType::kNot ? negate(in) : in;
+        if (gate.type == GateType::kOutput) collapsed = true;
+      } else {
+        survive[id] = {gate.type, {gate.fanins[0]}};
+      }
+      continue;
+    }
+    // Controlling-value gate.
+    const Value3 ctrl = to_value3(controlling_value(gate.type));
+    std::vector<GateId> kept;
+    bool is_controlled = false;
+    for (std::uint32_t pin = 0; pin < gate.fanins.size(); ++pin) {
+      const Value3 value = pin_constant(pin);
+      if (value == ctrl) {
+        is_controlled = true;
+        break;
+      }
+      if (!is_known(value)) kept.push_back(gate.fanins[pin]);
+      // non-controlling constants simply drop out
+    }
+    if (is_controlled) {
+      constant[id] = to_value3(controlled_output(gate.type));
+    } else if (kept.empty()) {
+      constant[id] = to_value3(noncontrolled_output(gate.type));
+    } else if (kept.size() == 1) {
+      survive[id] = {inverts(gate.type) ? GateType::kNot : GateType::kBuf,
+                     std::move(kept)};
+    } else {
+      survive[id] = {gate.type, std::move(kept)};
+    }
+  }
+
+  // Pass 2: liveness from surviving POs.
+  std::vector<bool> live(n, false);
+  std::vector<GateId> stack;
+  for (GateId po : circuit.outputs()) {
+    if (is_known(constant[po])) continue;  // collapsed PO: dropped
+    live[po] = true;
+    stack.push_back(po);
+  }
+  while (!stack.empty()) {
+    const GateId id = stack.back();
+    stack.pop_back();
+    for (GateId fanin : survive[id].fanins) {
+      if (!live[fanin]) {
+        live[fanin] = true;
+        stack.push_back(fanin);
+      }
+    }
+  }
+
+  // Pass 3: emit.
+  SimplifyResult result;
+  result.collapsed = collapsed;
+  Circuit simplified(circuit.name());
+  std::vector<GateId> remap(n, kNullGate);
+  for (GateId id : circuit.topo_order()) {
+    if (!live[id]) continue;
+    const Surviving& s = survive[id];
+    std::vector<GateId> fanins;
+    fanins.reserve(s.fanins.size());
+    for (GateId fanin : s.fanins) fanins.push_back(remap[fanin]);
+    const std::string& name = circuit.gate(id).name;
+    switch (s.type) {
+      case GateType::kInput:
+        remap[id] = simplified.add_input(name);
+        break;
+      case GateType::kOutput:
+        remap[id] = simplified.add_output(name, fanins.front());
+        break;
+      default:
+        remap[id] = simplified.add_gate(s.type, name, std::move(fanins));
+        break;
+    }
+  }
+  simplified.finalize();
+  result.circuit = std::move(simplified);
+  return result;
+}
+
+namespace {
+
+/// Random-pattern prefilter: per (lead, killed value), a mask of
+/// patterns that observe an X injected there at a PO — exact for the
+/// leaf-dag's tree structure (observability propagates backwards along
+/// each gate's unique fanout).  A nonzero mask rejects the kill without
+/// running the complete search: if the X is observable with no other
+/// kills active, it stays observable under any larger kill set (more
+/// injected X only widens the undetermined region).
+struct BatchDetect {
+  std::vector<std::uint64_t> kill0;  // observing X when the lead is 0
+  std::vector<std::uint64_t> kill1;
+};
+
+BatchDetect batch_prefilter(const Circuit& dag, Rng& rng,
+                            std::size_t num_words) {
+  BatchDetect result;
+  result.kill0.assign(dag.num_leads(), 0);
+  result.kill1.assign(dag.num_leads(), 0);
+  std::vector<std::uint64_t> words(dag.inputs().size());
+  std::vector<std::uint64_t> obs(dag.num_gates());
+  for (std::size_t round = 0; round < num_words; ++round) {
+    for (auto& word : words) word = rng.next_u64();
+    const auto good = simulate64(dag, words);
+
+    // Backward observability over the tree.
+    std::fill(obs.begin(), obs.end(), 0);
+    for (GateId po : dag.outputs()) obs[po] = ~std::uint64_t{0};
+    const auto& topo = dag.topo_order();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const GateId id = *it;
+      const Gate& gate = dag.gate(id);
+      for (std::uint32_t pin = 0; pin < gate.fanins.size(); ++pin) {
+        std::uint64_t sensitized = obs[id];
+        if (has_controlling_value(gate.type)) {
+          const bool ctrl = controlling_value(gate.type);
+          for (std::uint32_t other = 0; other < gate.fanins.size(); ++other) {
+            if (other == pin) continue;
+            const std::uint64_t nc_mask =
+                ctrl ? ~good[gate.fanins[other]] : good[gate.fanins[other]];
+            sensitized &= nc_mask;
+          }
+        }
+        const LeadId lead = gate.fanin_leads[pin];
+        const std::uint64_t driver_word = good[gate.fanins[pin]];
+        result.kill1[lead] |= sensitized & driver_word;
+        result.kill0[lead] |= sensitized & ~driver_word;
+        obs[gate.fanins[pin]] |= sensitized;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+UnfoldResult identify_rd_unfold(const Circuit& circuit,
+                                const UnfoldOptions& options) {
+  UnfoldResult result;
+  const PathCounts original_counts(circuit);
+  result.total_logical = original_counts.total_logical();
+  Rng rng(options.seed);
+  Stopwatch budget;
+  auto out_of_time = [&] {
+    return options.max_seconds > 0 &&
+           budget.elapsed_seconds() > options.max_seconds;
+  };
+
+  for (GateId po : circuit.outputs()) {
+    LeafDag leaf = build_leaf_dag(circuit, po, options.max_dag_gates);
+    if (!leaf.complete) {
+      // Cone too large to unfold: all of its paths stay must-test.
+      BigUint cone_paths = original_counts.arrivals(po);
+      cone_paths *= 2u;
+      result.must_test_logical += cone_paths;
+      result.complete = false;
+      continue;
+    }
+    const Circuit& dag = leaf.dag;
+
+    KillSet kills(dag.num_leads());
+    const AlivePathCounts initial = count_alive_paths(dag, kills);
+    const BatchDetect prefilter =
+        batch_prefilter(dag, rng, options.prefilter_words);
+
+    // Candidate kills that survived the prefilter, heaviest first.
+    struct Candidate {
+      LeadId lead;
+      bool value;
+      BigUint weight;
+    };
+    std::vector<Candidate> candidates;
+    for (LeadId lead = 0; lead < dag.num_leads(); ++lead) {
+      for (const bool value : {false, true}) {
+        const std::uint64_t mask =
+            value ? prefilter.kill1[lead] : prefilter.kill0[lead];
+        if (mask != 0) continue;  // kill observably unsound
+        BigUint weight = initial.through(dag, lead, value);
+        if (weight.is_zero()) continue;  // no paths to remove
+        candidates.push_back(Candidate{lead, value, std::move(weight)});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return b.weight < a.weight;
+              });
+
+    // Greedy growth of the kill set.  A candidate rejected once stays
+    // rejected: adding kills only makes an injected X easier to
+    // observe, so testable-now implies testable-later (single pass).
+    std::size_t examined = 0;
+    bool counts_dirty = false;
+    AlivePathCounts alive = count_alive_paths(dag, kills);
+    for (const Candidate& candidate : candidates) {
+      if (out_of_time() || examined >= options.max_candidates_per_cone) {
+        result.complete = false;
+        break;
+      }
+      if (kills.killed(candidate.lead, candidate.value)) continue;
+      // Earlier kills may have already removed every path through this
+      // (lead, value) pair — proving it would burn search budget for
+      // zero additional RD paths.
+      if (counts_dirty) {
+        alive = count_alive_paths(dag, kills);
+        counts_dirty = false;
+      }
+      if (alive.through(dag, candidate.lead, candidate.value).is_zero())
+        continue;
+      ++examined;
+      kills.kill(candidate.lead, candidate.value);
+      ++result.redundancy_checks;
+      const KillVerdict verdict =
+          kill_set_testable(dag, kills, options.max_check_nodes,
+                            candidate.lead, candidate.value);
+      if (verdict == KillVerdict::kRedundant) {
+        ++result.redundancies_removed;
+        counts_dirty = true;
+        continue;
+      }
+      if (verdict == KillVerdict::kAborted) result.complete = false;
+      kills.revive(candidate.lead, candidate.value);
+    }
+
+    result.must_test_logical +=
+        count_alive_paths(dag, kills).total_alive_logical;
+  }
+
+  const double total = result.total_logical.to_double();
+  if (total > 0) {
+    const BigUint rd = result.total_logical - result.must_test_logical;
+    result.rd_percent = 100.0 * rd.to_double() / total;
+  }
+  return result;
+}
+
+}  // namespace rd

@@ -1,0 +1,84 @@
+// RD-set identification by gradual redundancy removal on the leaf-dag —
+// a from-the-literature reimplementation of the approach of Lam,
+// Saldanha, Brayton & Sangiovanni-Vincentelli [1] that the paper uses
+// as its quality baseline (Table III).
+//
+// Per output cone: build the leaf-dag, then greedily grow a per-
+// polarity *kill set* — (lead, stable value) pairs whose logical paths
+// are declared robust dependent.  A candidate kill is accepted only
+// when a complete search (random-pattern prefilter + PODEM-style
+// branch-and-bound, src/unfold/xfault.h) proves that every primary
+// output remains ternary-determined with X injected on all killed
+// leads; by the stabilizing-system theory this is exactly the
+// condition that Algorithm 1 can still stabilize every input vector
+// while avoiding the killed leads, i.e. that a complete stabilizing
+// assignment exists whose LP(σ) misses every killed path.  This is the
+// per-transition refinement of [1]'s redundant-multiple-stuck-at-fault
+// formulation: a plain structural removal of a redundant line would
+// also discard the opposite-polarity paths through it, which are in
+// general NOT robust dependent (an OR gate settling to 0 needs every
+// input settled).
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/circuit.h"
+#include "util/biguint.h"
+
+namespace rd {
+
+struct UnfoldOptions {
+  /// Leaf-dag gate budget per cone; cones exceeding it are left
+  /// unprocessed (their paths all count as must-test).
+  std::size_t max_dag_gates = 1u << 20;
+
+  /// Search budget per kill-set redundancy proof; aborted proofs count
+  /// as testable (the kill is conservatively rejected).
+  std::uint64_t max_check_nodes = 1u << 20;
+
+  /// 64-pattern words for the random prefilter.
+  std::size_t prefilter_words = 4;
+
+  /// At most this many prefilter-surviving candidates get the full
+  /// redundancy proof per cone (they are tried heaviest-first, so the
+  /// cap trades tail quality for time).
+  std::size_t max_candidates_per_cone = static_cast<std::size_t>(-1);
+
+  /// Wall-clock budget in seconds (0 = unlimited).  The greedy loop
+  /// stops accepting new kills once exceeded; everything found so far
+  /// remains a sound RD-set, so the result is a valid (if smaller)
+  /// answer flagged as incomplete.
+  double max_seconds = 0.0;
+
+  std::uint64_t seed = 1;
+};
+
+struct UnfoldResult {
+  BigUint total_logical;      // logical paths of the original circuit
+  BigUint must_test_logical;  // logical paths surviving in the leaf-dags
+  double rd_percent = 0.0;
+  bool complete = true;       // false if any cone hit a budget
+  std::uint64_t redundancy_checks = 0;
+  std::uint64_t redundancies_removed = 0;
+};
+
+/// Runs the baseline over every output cone of `circuit`.
+UnfoldResult identify_rd_unfold(const Circuit& circuit,
+                                const UnfoldOptions& options = {});
+
+/// Constant-propagation helper (exposed for tests): returns the circuit
+/// with `lead` replaced by the constant `value`, simplified, restricted
+/// to the logic still feeding its POs.  Gate/pin drops preserve the
+/// path-embedding property (a path of the result maps to a path of the
+/// input).  If the output collapses to a constant the result has the
+/// PO marker driven by a single surviving PI through no logic — the
+/// caller detects this via must-test counting (such cones contribute
+/// zero testable paths); `collapsed` reports it explicitly.
+struct SimplifyResult {
+  Circuit circuit;
+  bool collapsed = false;  // some PO became constant
+};
+SimplifyResult propagate_constant(const Circuit& circuit, LeadId lead,
+                                  bool value);
+
+}  // namespace rd

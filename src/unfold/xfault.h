@@ -1,0 +1,100 @@
+// Kill-set consistency checking for the leaf-dag baseline.
+//
+// The approach of [1] identifies RD-sets with redundant *multiple*
+// stuck-at faults in the leaf-dag.  The working representation here is
+// a KillSet: per lead, which stable values w are "killed" — i.e. the
+// logical paths carrying w across that lead are declared robust
+// dependent.  A kill set is sound exactly when, for every input vector
+// v, Algorithm 1 can still build a stabilizing system that avoids every
+// lead whose value under v is killed; equivalently, when the output
+// remains ternary-determined after injecting X on each killed lead
+// whose fault-free value matches the killed polarity.
+//
+// kill_set_testable() decides the complement — whether some vector
+// makes a primary output ternary-undetermined — with a PODEM-style
+// complete branch-and-bound over PI assignments (the X analogue of
+// stuck-at redundancy proof).  count_alive_paths() provides the
+// per-polarity path accounting: a logical path stays must-test iff
+// every lead on it is alive for the value the path carries there.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "util/biguint.h"
+
+namespace rd {
+
+/// Per-lead kill mask: bit 0 = value-0 paths killed, bit 1 = value-1.
+class KillSet {
+ public:
+  explicit KillSet(std::size_t num_leads) : mask_(num_leads, 0) {}
+
+  void kill(LeadId lead, bool value) {
+    mask_[lead] |= static_cast<std::uint8_t>(value ? 2 : 1);
+  }
+  void revive(LeadId lead, bool value) {
+    mask_[lead] &= static_cast<std::uint8_t>(value ? ~2 : ~1);
+  }
+  bool killed(LeadId lead, bool value) const {
+    return (mask_[lead] & (value ? 2 : 1)) != 0;
+  }
+  bool any() const {
+    for (std::uint8_t m : mask_)
+      if (m != 0) return true;
+    return false;
+  }
+
+ private:
+  std::vector<std::uint8_t> mask_;
+};
+
+enum class KillVerdict : std::uint8_t {
+  kTestable,    // some vector leaves a PO undetermined: kill set unsound
+  kRedundant,   // proof: the kill set is a valid RD-set
+  kAborted,     // search budget exceeded
+};
+
+/// Complete check (up to the node budget) of a kill set.
+///
+/// `focus_lead`/`focus_value` restrict the search to input vectors that
+/// *activate* that kill (drive the lead to the killed value).  This is
+/// sound — and a large speedup — exactly when the kill set minus the
+/// focused pair is already proven redundant: any counterexample to the
+/// grown set must then involve the new X source.  The greedy loop in
+/// identify_rd_unfold maintains that invariant.
+KillVerdict kill_set_testable(const Circuit& circuit, const KillSet& kills,
+                              std::uint64_t max_nodes = 1u << 22,
+                              LeadId focus_lead = kNullLead,
+                              bool focus_value = false);
+
+/// Per-polarity structural path accounting under a kill set.
+struct AlivePathCounts {
+  /// arrivals[gate][v]: partial paths from a PI to `gate` whose stable
+  /// value at the gate output is v, using only alive (lead, value)
+  /// pairs.
+  std::vector<BigUint> arrivals0, arrivals1;
+  std::vector<BigUint> departures0, departures1;
+  BigUint total_alive_logical;
+
+  const BigUint& arrivals(GateId id, bool value) const {
+    return value ? arrivals1[id] : arrivals0[id];
+  }
+  const BigUint& departures(GateId id, bool value) const {
+    return value ? departures1[id] : departures0[id];
+  }
+
+  /// Alive logical paths through `lead` carrying value `value` there
+  /// (zero when that (lead, value) pair is itself killed).
+  BigUint through(const Circuit& circuit, LeadId lead, bool value) const;
+
+  /// Kill set the counts were computed under (set by count_alive_paths;
+  /// must outlive this object).
+  const KillSet* killed_ = nullptr;
+};
+
+AlivePathCounts count_alive_paths(const Circuit& circuit,
+                                  const KillSet& kills);
+
+}  // namespace rd

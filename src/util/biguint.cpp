@@ -1,0 +1,157 @@
+#include "util/biguint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rd {
+
+namespace {
+constexpr std::uint64_t kLimbBase = std::uint64_t{1} << 32;
+}  // namespace
+
+BigUint::BigUint(std::uint64_t value) {
+  if (value != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(value & 0xffffffffu));
+    const auto high = static_cast<std::uint32_t>(value >> 32);
+    if (high != 0) limbs_.push_back(high);
+  }
+}
+
+BigUint BigUint::from_decimal(const std::string& text) {
+  if (text.empty()) throw std::invalid_argument("BigUint: empty string");
+  BigUint result;
+  for (char c : text) {
+    if (c < '0' || c > '9')
+      throw std::invalid_argument("BigUint: non-digit character");
+    result *= 10u;
+    result += static_cast<std::uint64_t>(c - '0');
+  }
+  return result;
+}
+
+std::uint64_t BigUint::to_u64() const {
+  std::uint64_t value = 0;
+  if (limbs_.size() > 1) value = static_cast<std::uint64_t>(limbs_[1]) << 32;
+  if (!limbs_.empty()) value |= limbs_[0];
+  return value;
+}
+
+double BigUint::to_double() const {
+  double value = 0.0;
+  for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it)
+    value = value * static_cast<double>(kLimbBase) + static_cast<double>(*it);
+  return value;
+}
+
+std::string BigUint::to_decimal() const {
+  if (is_zero()) return "0";
+  BigUint scratch = *this;
+  std::string digits;
+  while (!scratch.is_zero()) {
+    const std::uint32_t remainder = scratch.div_small(10);
+    digits.push_back(static_cast<char>('0' + remainder));
+  }
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+std::string BigUint::to_decimal_grouped() const {
+  const std::string plain = to_decimal();
+  std::string grouped;
+  const std::size_t n = plain.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0 && (n - i) % 3 == 0) grouped.push_back(',');
+    grouped.push_back(plain[i]);
+  }
+  return grouped;
+}
+
+BigUint& BigUint::operator+=(const BigUint& rhs) {
+  const std::size_t n = std::max(limbs_.size(), rhs.limbs_.size());
+  limbs_.resize(n, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry + limbs_[i];
+    if (i < rhs.limbs_.size()) sum += rhs.limbs_[i];
+    limbs_[i] = static_cast<std::uint32_t>(sum & 0xffffffffu);
+    carry = sum >> 32;
+  }
+  if (carry != 0) limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return *this;
+}
+
+BigUint& BigUint::operator+=(std::uint64_t rhs) { return *this += BigUint(rhs); }
+
+BigUint& BigUint::operator*=(const BigUint& rhs) {
+  if (is_zero() || rhs.is_zero()) {
+    limbs_.clear();
+    return *this;
+  }
+  std::vector<std::uint32_t> product(limbs_.size() + rhs.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < rhs.limbs_.size(); ++j) {
+      std::uint64_t term = static_cast<std::uint64_t>(limbs_[i]) * rhs.limbs_[j] +
+                           product[i + j] + carry;
+      product[i + j] = static_cast<std::uint32_t>(term & 0xffffffffu);
+      carry = term >> 32;
+    }
+    std::size_t k = i + rhs.limbs_.size();
+    while (carry != 0) {
+      std::uint64_t term = product[k] + carry;
+      product[k] = static_cast<std::uint32_t>(term & 0xffffffffu);
+      carry = term >> 32;
+      ++k;
+    }
+  }
+  limbs_ = std::move(product);
+  normalize();
+  return *this;
+}
+
+BigUint& BigUint::operator*=(std::uint64_t rhs) { return *this *= BigUint(rhs); }
+
+BigUint& BigUint::operator-=(const BigUint& rhs) {
+  if (*this < rhs) throw std::underflow_error("BigUint: negative difference");
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow;
+    if (i < rhs.limbs_.size()) diff -= rhs.limbs_[i];
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kLimbBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  normalize();
+  return *this;
+}
+
+bool operator<(const BigUint& lhs, const BigUint& rhs) {
+  if (lhs.limbs_.size() != rhs.limbs_.size())
+    return lhs.limbs_.size() < rhs.limbs_.size();
+  for (std::size_t i = lhs.limbs_.size(); i-- > 0;) {
+    if (lhs.limbs_[i] != rhs.limbs_[i]) return lhs.limbs_[i] < rhs.limbs_[i];
+  }
+  return false;
+}
+
+void BigUint::normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+std::uint32_t BigUint::div_small(std::uint32_t divisor) {
+  std::uint64_t remainder = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    const std::uint64_t cur = (remainder << 32) | limbs_[i];
+    limbs_[i] = static_cast<std::uint32_t>(cur / divisor);
+    remainder = cur % divisor;
+  }
+  normalize();
+  return static_cast<std::uint32_t>(remainder);
+}
+
+}  // namespace rd

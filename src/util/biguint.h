@@ -1,0 +1,97 @@
+// Arbitrary-precision unsigned integer, sized for path-count arithmetic.
+//
+// Path counts in ISCAS-85-scale circuits overflow 64 bits (c6288 has more
+// than 1.9e20 logical paths), so every structural path count in this
+// library is carried as a BigUint.  Only the operations needed for path
+// counting are provided: addition, multiplication, comparison, decimal
+// formatting, and a lossy conversion to double for ratio reporting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rd {
+
+/// Unsigned big integer stored as base-2^32 limbs, least significant first.
+/// The representation is normalized: no trailing zero limbs; zero is the
+/// empty limb vector.
+class BigUint {
+ public:
+  /// Zero.
+  BigUint() = default;
+
+  /// Value-initialize from a 64-bit unsigned integer.
+  BigUint(std::uint64_t value);  // NOLINT(google-explicit-constructor)
+
+  /// Parses a base-10 string of digits. Throws std::invalid_argument on
+  /// empty input or non-digit characters.
+  static BigUint from_decimal(const std::string& text);
+
+  bool is_zero() const { return limbs_.empty(); }
+
+  /// True if the value fits in 64 bits.
+  bool fits_u64() const { return limbs_.size() <= 2; }
+
+  /// Returns the low 64 bits (exact when fits_u64()).
+  std::uint64_t to_u64() const;
+
+  /// Lossy conversion for ratio/percentage reporting.
+  double to_double() const;
+
+  /// Base-10 representation.
+  std::string to_decimal() const;
+
+  /// Base-10 with thousands separators ("57,353,342"), as printed in the
+  /// paper's tables.
+  std::string to_decimal_grouped() const;
+
+  BigUint& operator+=(const BigUint& rhs);
+  BigUint& operator+=(std::uint64_t rhs);
+  BigUint& operator*=(const BigUint& rhs);
+  BigUint& operator*=(std::uint64_t rhs);
+
+  friend BigUint operator+(BigUint lhs, const BigUint& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+  friend BigUint operator*(const BigUint& lhs, const BigUint& rhs) {
+    BigUint result = lhs;
+    result *= rhs;
+    return result;
+  }
+
+  /// Subtraction; requires *this >= rhs (throws std::underflow_error
+  /// otherwise).  Used for "total minus kept" RD-set sizes.
+  BigUint& operator-=(const BigUint& rhs);
+  friend BigUint operator-(BigUint lhs, const BigUint& rhs) {
+    lhs -= rhs;
+    return lhs;
+  }
+
+  friend bool operator==(const BigUint& lhs, const BigUint& rhs) {
+    return lhs.limbs_ == rhs.limbs_;
+  }
+  friend bool operator!=(const BigUint& lhs, const BigUint& rhs) {
+    return !(lhs == rhs);
+  }
+  friend bool operator<(const BigUint& lhs, const BigUint& rhs);
+  friend bool operator>(const BigUint& lhs, const BigUint& rhs) {
+    return rhs < lhs;
+  }
+  friend bool operator<=(const BigUint& lhs, const BigUint& rhs) {
+    return !(rhs < lhs);
+  }
+  friend bool operator>=(const BigUint& lhs, const BigUint& rhs) {
+    return !(lhs < rhs);
+  }
+
+ private:
+  void normalize();
+  /// Divides in place by a small divisor, returning the remainder.
+  std::uint32_t div_small(std::uint32_t divisor);
+
+  std::vector<std::uint32_t> limbs_;
+};
+
+}  // namespace rd

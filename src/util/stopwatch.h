@@ -1,0 +1,42 @@
+// Wall-clock stopwatch and mm:ss formatting used by the benchmark
+// harnesses (the paper reports CPU times as h:mm:ss).
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace rd {
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Formats seconds as the paper's tables do: "m:ss" below an hour,
+/// "h:mm:ss" above.
+inline std::string format_duration(double seconds) {
+  if (seconds < 0) seconds = 0;
+  const auto total = static_cast<long long>(seconds + 0.5);
+  const long long h = total / 3600;
+  const long long m = (total % 3600) / 60;
+  const long long s = total % 60;
+  char buffer[32];
+  if (h > 0)
+    std::snprintf(buffer, sizeof buffer, "%lld:%02lld:%02lld", h, m, s);
+  else
+    std::snprintf(buffer, sizeof buffer, "%lld:%02lld", m, s);
+  return buffer;
+}
+
+}  // namespace rd

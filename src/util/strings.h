@@ -1,0 +1,23 @@
+// Small string utilities shared by the netlist readers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rd {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Splits on a separator character, trimming each piece; empty pieces are
+/// kept (callers that dislike them filter explicitly).
+std::vector<std::string> split(std::string_view text, char separator);
+
+/// ASCII lower-casing.
+std::string to_lower(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+}  // namespace rd

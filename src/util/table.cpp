@@ -1,0 +1,69 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace rd {
+
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  for (char c : cell) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != ',' &&
+        c != ':' && c != '%' && c != ' ' && c != '-' && c != '+')
+      return false;
+  }
+  return std::any_of(cell.begin(), cell.end(), [](char c) {
+    return std::isdigit(static_cast<unsigned char>(c)) != 0;
+  });
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size())
+    throw std::invalid_argument("TextTable: row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row, bool align_right) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << "  ";
+      const std::size_t pad = widths[c] - row[c].size();
+      const bool right = align_right && looks_numeric(row[c]);
+      if (right) out << std::string(pad, ' ');
+      out << row[c];
+      if (!right && c + 1 != row.size()) out << std::string(pad, ' ');
+    }
+    out << '\n';
+  };
+  emit(header_, false);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row, true);
+  return out.str();
+}
+
+std::string format_percent(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, "%.2f %%", value);
+  return buffer;
+}
+
+}  // namespace rd

@@ -1,0 +1,31 @@
+// Plain-text table formatter used by the benchmark harnesses to print
+// tables in the same row/column layout as the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rd {
+
+/// Column-aligned ASCII table.  Rows are added left to right; printing
+/// right-aligns numeric-looking cells and left-aligns the rest.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with a separator line under the header.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a percentage with two decimals and a trailing " %", the way the
+/// paper's tables print path fractions.
+std::string format_percent(double value);
+
+}  // namespace rd

@@ -1,0 +1,308 @@
+// Tests for the ROBDD package and its circuit bindings: canonical
+// form, boolean algebra against truth tables, model counting against
+// enumeration, circuit BDDs against the bit-parallel simulator, exact
+// equivalence checking (validating the synthesizer and constant
+// propagation), and BDD-exact sensitizability against the 2^n sweep.
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.h"
+#include "bdd/bdd_circuit.h"
+#include "core/exact.h"
+#include "gen/examples.h"
+#include "gen/iscas_like.h"
+#include "gen/pla_like.h"
+#include "io/pla_io.h"
+#include "paths/counting.h"
+#include "sim/logic_sim.h"
+#include "synth/synth.h"
+#include "unfold/redundancy.h"
+#include "util/rng.h"
+
+namespace rd {
+namespace {
+
+TEST(Bdd, TerminalsAndVariables) {
+  BddManager manager(3);
+  EXPECT_EQ(manager.bdd_not(kBddFalse), kBddTrue);
+  EXPECT_EQ(manager.bdd_not(kBddTrue), kBddFalse);
+  const BddRef x = manager.var(0);
+  EXPECT_EQ(manager.var(0), x);  // canonical
+  EXPECT_EQ(manager.bdd_not(manager.bdd_not(x)), x);
+  EXPECT_EQ(manager.nvar(0), manager.bdd_not(x));
+  EXPECT_THROW(manager.var(3), std::invalid_argument);
+}
+
+TEST(Bdd, BooleanAlgebraTruthTables) {
+  BddManager manager(2);
+  const BddRef x = manager.var(0);
+  const BddRef y = manager.var(1);
+  struct Case {
+    BddRef f;
+    bool expected[4];  // indexed by (y<<1)|x
+  };
+  const Case cases[] = {
+      {manager.bdd_and(x, y), {false, false, false, true}},
+      {manager.bdd_or(x, y), {false, true, true, true}},
+      {manager.bdd_xor(x, y), {false, true, true, false}},
+      {manager.bdd_xnor(x, y), {true, false, false, true}},
+      {manager.ite(x, y, manager.bdd_not(y)), {true, false, false, true}},
+  };
+  for (const Case& test_case : cases) {
+    for (int bits = 0; bits < 4; ++bits) {
+      const std::vector<bool> assignment{(bits & 1) != 0, (bits & 2) != 0};
+      EXPECT_EQ(manager.evaluate(test_case.f, assignment),
+                test_case.expected[bits]);
+    }
+  }
+}
+
+TEST(Bdd, CanonicityMeansStructuralEquality) {
+  BddManager manager(3);
+  const BddRef x = manager.var(0);
+  const BddRef y = manager.var(1);
+  const BddRef z = manager.var(2);
+  // (x & y) | (x & z) == x & (y | z)
+  const BddRef lhs =
+      manager.bdd_or(manager.bdd_and(x, y), manager.bdd_and(x, z));
+  const BddRef rhs = manager.bdd_and(x, manager.bdd_or(y, z));
+  EXPECT_EQ(lhs, rhs);
+  // De Morgan.
+  EXPECT_EQ(manager.bdd_not(manager.bdd_and(x, y)),
+            manager.bdd_or(manager.bdd_not(x), manager.bdd_not(y)));
+}
+
+TEST(Bdd, SatCountMatchesEnumeration) {
+  Rng rng(5);
+  BddManager manager(6);
+  // Random function built from random connectives; count models by
+  // evaluation.
+  std::vector<BddRef> pool;
+  for (std::uint32_t i = 0; i < 6; ++i) pool.push_back(manager.var(i));
+  for (int step = 0; step < 40; ++step) {
+    const BddRef a = pool[rng.next_below(pool.size())];
+    const BddRef b = pool[rng.next_below(pool.size())];
+    switch (rng.next_below(3)) {
+      case 0: pool.push_back(manager.bdd_and(a, b)); break;
+      case 1: pool.push_back(manager.bdd_or(a, b)); break;
+      default: pool.push_back(manager.bdd_xor(a, b)); break;
+    }
+  }
+  for (int check = 0; check < 10; ++check) {
+    const BddRef f = pool[rng.next_below(pool.size())];
+    std::uint64_t expected = 0;
+    for (std::uint64_t minterm = 0; minterm < 64; ++minterm) {
+      std::vector<bool> assignment(6);
+      for (int i = 0; i < 6; ++i) assignment[i] = (minterm >> i) & 1;
+      if (manager.evaluate(f, assignment)) ++expected;
+    }
+    EXPECT_EQ(manager.sat_count(f).to_u64(), expected);
+  }
+}
+
+TEST(Bdd, AnySatReturnsModel) {
+  BddManager manager(4);
+  const BddRef f = manager.bdd_and(
+      manager.bdd_xor(manager.var(0), manager.var(1)),
+      manager.bdd_and(manager.var(2), manager.bdd_not(manager.var(3))));
+  const auto model = manager.any_sat(f);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_TRUE(manager.evaluate(f, *model));
+  EXPECT_FALSE(manager.any_sat(kBddFalse).has_value());
+  EXPECT_TRUE(manager.any_sat(kBddTrue).has_value());
+}
+
+TEST(Bdd, RestrictFixesAVariable) {
+  BddManager manager(3);
+  const BddRef x = manager.var(0);
+  const BddRef y = manager.var(1);
+  const BddRef f = manager.ite(x, y, manager.bdd_not(y));
+  EXPECT_EQ(manager.restrict_var(f, 0, true), y);
+  EXPECT_EQ(manager.restrict_var(f, 0, false), manager.bdd_not(y));
+  // Shannon expansion reassembles f.
+  EXPECT_EQ(manager.ite(x, manager.restrict_var(f, 0, true),
+                        manager.restrict_var(f, 0, false)),
+            f);
+}
+
+TEST(Bdd, NodeLimitAborts) {
+  BddManager manager(16, /*max_nodes=*/8);
+  EXPECT_THROW(
+      {
+        BddRef acc = kBddFalse;
+        for (std::uint32_t i = 0; i < 16; ++i)
+          acc = manager.bdd_xor(acc, manager.var(i));
+      },
+      std::runtime_error);
+}
+
+TEST(CircuitBdds, MatchesParallelSimulation) {
+  for (const char* name : {"c17", "example"}) {
+    const Circuit circuit =
+        name[0] == 'e' ? paper_example_circuit() : c17();
+    BddManager manager(static_cast<std::uint32_t>(circuit.inputs().size()));
+    const CircuitBdds bdds(circuit, manager);
+    for (std::uint64_t minterm = 0;
+         minterm < (std::uint64_t{1} << circuit.inputs().size()); ++minterm) {
+      std::vector<bool> inputs(circuit.inputs().size());
+      for (std::size_t i = 0; i < inputs.size(); ++i)
+        inputs[i] = (minterm >> i) & 1;
+      const auto values = simulate(circuit, inputs);
+      for (GateId id = 0; id < circuit.num_gates(); ++id)
+        ASSERT_EQ(manager.evaluate(bdds.gate(id), inputs), values[id])
+            << name << " gate " << id << " minterm " << minterm;
+    }
+  }
+}
+
+TEST(CircuitBdds, HandlesMidSizeGenerated) {
+  const Circuit circuit = make_benchmark("c880");
+  BddManager manager(static_cast<std::uint32_t>(circuit.inputs().size()));
+  const auto bdds = CircuitBdds::try_build(circuit, manager);
+  ASSERT_TRUE(bdds.has_value());
+  // Spot-check against bit-parallel simulation.
+  Rng rng(3);
+  std::vector<std::uint64_t> words(circuit.inputs().size());
+  for (auto& word : words) word = rng.next_u64();
+  const auto sim = simulate64(circuit, words);
+  for (int bit = 0; bit < 8; ++bit) {
+    std::vector<bool> inputs(circuit.inputs().size());
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+      inputs[i] = (words[i] >> bit) & 1;
+    for (GateId po : circuit.outputs())
+      ASSERT_EQ(manager.evaluate(bdds->gate(po), inputs),
+                ((sim[po] >> bit) & 1) != 0);
+  }
+}
+
+TEST(Equivalence, CircuitEqualsItself) {
+  const Circuit circuit = c17();
+  const auto verdict = check_equivalent(circuit, circuit);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_TRUE(*verdict);
+}
+
+TEST(Equivalence, SynthesisVariantsAgree) {
+  // Exact equivalence of the flat two-level and the factored
+  // multi-level implementations of random covers.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    PlaProfile profile;
+    profile.name = "eq" + std::to_string(seed);
+    profile.num_inputs = 9;
+    profile.num_outputs = 5;
+    profile.num_cubes = 30;
+    profile.min_literals = 2;
+    profile.max_literals = 6;
+    profile.seed = seed;
+    const Pla pla = make_pla_like(profile);
+    const auto verdict = check_equivalent(synthesize_two_level(pla),
+                                          synthesize_multilevel(pla));
+    ASSERT_TRUE(verdict.has_value()) << seed;
+    EXPECT_TRUE(*verdict) << seed;
+  }
+}
+
+TEST(Equivalence, PropagateConstantPreservesFunction) {
+  // The consensus-redundancy fixture, now checked exactly.
+  Circuit circuit;
+  const GateId a = circuit.add_input("a");
+  const GateId b = circuit.add_input("b");
+  const GateId c = circuit.add_input("c");
+  const GateId na = circuit.add_gate(GateType::kNot, "na", {a});
+  const GateId t1 = circuit.add_gate(GateType::kAnd, "t1", {a, b});
+  const GateId t2 = circuit.add_gate(GateType::kAnd, "t2", {na, c});
+  const GateId t3 = circuit.add_gate(GateType::kAnd, "t3", {b, c});
+  const GateId org = circuit.add_gate(GateType::kOr, "or", {t1, t2, t3});
+  circuit.add_output("y", org);
+  circuit.finalize();
+  const LeadId lead = circuit.gate(org).fanin_leads[2];
+  const SimplifyResult simplified = propagate_constant(circuit, lead, false);
+  // The simplified circuit dropped a PI-unused... it keeps a, b, c? The
+  // function y = ab + āc depends on all three: names must match.
+  const auto verdict = check_equivalent(circuit, simplified.circuit);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_TRUE(*verdict);
+}
+
+TEST(Equivalence, DetectsDifference) {
+  const Circuit original = c17();
+  // Flip one gate type.
+  Circuit mutated("c17m");
+  const GateId g1 = mutated.add_input("1");
+  const GateId g2 = mutated.add_input("2");
+  const GateId g3 = mutated.add_input("3");
+  const GateId g6 = mutated.add_input("6");
+  const GateId g7 = mutated.add_input("7");
+  const GateId g10 = mutated.add_gate(GateType::kNor, "10", {g1, g3});  // was NAND
+  const GateId g11 = mutated.add_gate(GateType::kNand, "11", {g3, g6});
+  const GateId g16 = mutated.add_gate(GateType::kNand, "16", {g2, g11});
+  const GateId g19 = mutated.add_gate(GateType::kNand, "19", {g11, g7});
+  const GateId g22 = mutated.add_gate(GateType::kNand, "22", {g10, g16});
+  const GateId g23 = mutated.add_gate(GateType::kNand, "23", {g16, g19});
+  mutated.add_output("22", g22);
+  mutated.add_output("23", g23);
+  mutated.finalize();
+  const auto verdict = check_equivalent(original, mutated);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_FALSE(*verdict);
+}
+
+TEST(BddSensitizable, AgreesWithExhaustiveSweep) {
+  std::vector<Circuit> circuits;
+  circuits.push_back(paper_example_circuit());
+  circuits.push_back(c17());
+  for (std::uint64_t seed = 91; seed <= 93; ++seed) {
+    IscasProfile profile;
+    profile.name = "bt";
+    profile.num_inputs = 6;
+    profile.num_outputs = 3;
+    profile.num_gates = 20;
+    profile.num_levels = 4;
+    profile.xor_fraction = seed % 2 ? 0.2 : 0.0;
+    profile.seed = seed;
+    circuits.push_back(make_iscas_like(profile));
+  }
+  for (const Circuit& circuit : circuits) {
+    BddManager manager(static_cast<std::uint32_t>(circuit.inputs().size()));
+    const CircuitBdds bdds(circuit, manager);
+    const InputSort sort = InputSort::natural(circuit);
+    std::vector<LogicalPath> paths;
+    enumerate_paths(
+        circuit,
+        [&](const PhysicalPath& physical) {
+          paths.push_back(LogicalPath{physical, false});
+          paths.push_back(LogicalPath{physical, true});
+        },
+        1u << 14);
+    for (const LogicalPath& path : paths) {
+      for (Criterion criterion :
+           {Criterion::kFunctionalSensitizable, Criterion::kNonRobust,
+            Criterion::kInputSort}) {
+        const InputSort* sort_ptr =
+            criterion == Criterion::kInputSort ? &sort : nullptr;
+        const auto via_bdd =
+            bdd_sensitizable(circuit, bdds, path, criterion, sort_ptr);
+        ASSERT_TRUE(via_bdd.has_value());
+        ASSERT_EQ(*via_bdd,
+                  exactly_sensitizable(circuit, path, criterion, sort_ptr))
+            << circuit.name() << " " << path_to_string(circuit, path);
+      }
+    }
+  }
+}
+
+TEST(BddSensitizable, ExactKeptCountMatchesSweep) {
+  const Circuit circuit = paper_example_circuit();
+  const auto count =
+      bdd_exact_kept_count(circuit, Criterion::kFunctionalSensitizable);
+  ASSERT_TRUE(count.has_value());
+  EXPECT_EQ(*count, 8u);
+  const auto nr_count = bdd_exact_kept_count(circuit, Criterion::kNonRobust);
+  ASSERT_TRUE(nr_count.has_value());
+  EXPECT_EQ(*nr_count, 5u);
+  const auto sweep =
+      exact_kept_paths(circuit, Criterion::kNonRobust).size();
+  EXPECT_EQ(*nr_count, sweep);
+}
+
+}  // namespace
+}  // namespace rd

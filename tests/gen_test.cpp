@@ -1,0 +1,171 @@
+// Tests for the benchmark substitution layer: generator determinism,
+// structural sanity of the synthetic ISCAS-like circuits, interface
+// conformance of the profiles, the array multiplier, and the synthetic
+// PLA covers.
+#include <gtest/gtest.h>
+
+#include "gen/examples.h"
+#include "gen/iscas_like.h"
+#include "gen/pla_like.h"
+#include "io/bench_io.h"
+#include "paths/counting.h"
+#include "sim/logic_sim.h"
+
+namespace rd {
+namespace {
+
+TEST(Gen, IscasLikeIsDeterministic) {
+  const IscasProfile profile = iscas85_profiles()[0];  // c432
+  const Circuit a = make_iscas_like(profile);
+  const Circuit b = make_iscas_like(profile);
+  EXPECT_EQ(write_bench_string(a), write_bench_string(b));
+}
+
+TEST(Gen, DifferentSeedsDiffer) {
+  IscasProfile profile = iscas85_profiles()[0];
+  const Circuit a = make_iscas_like(profile);
+  profile.seed += 1;
+  const Circuit b = make_iscas_like(profile);
+  EXPECT_NE(write_bench_string(a), write_bench_string(b));
+}
+
+TEST(Gen, ProfilesMatchPublishedInterfaces) {
+  // Interface counts of the stand-ins must match the published
+  // ISCAS-85 benchmarks exactly.
+  struct Expect {
+    const char* name;
+    std::size_t pis, pos;
+  };
+  const Expect expected[] = {
+      {"c432", 36, 7},   {"c499", 41, 32},  {"c880", 60, 26},
+      {"c1355", 41, 32}, {"c1908", 33, 25}, {"c2670", 233, 140},
+      {"c3540", 50, 22}, {"c5315", 178, 123}, {"c7552", 207, 108},
+  };
+  for (const Expect& e : expected) {
+    const Circuit circuit = make_benchmark(e.name);
+    EXPECT_EQ(circuit.inputs().size(), e.pis) << e.name;
+    EXPECT_EQ(circuit.outputs().size(), e.pos) << e.name;
+  }
+}
+
+TEST(Gen, GeneratedCircuitsAreWellFormed) {
+  for (const char* name : {"c432", "c880", "c1908"}) {
+    const Circuit circuit = make_benchmark(name);
+    EXPECT_TRUE(circuit.finalized());
+    // Every PO cone is non-trivial.
+    for (GateId po : circuit.outputs())
+      EXPECT_GT(circuit.fanin_cone(po).size(), 1u) << name;
+    // Gate count lands near the published scale (logic gates; XOR
+    // macros may overshoot slightly).
+    EXPECT_GT(circuit.num_logic_gates(), 0u);
+  }
+}
+
+TEST(Gen, EveryLogicGateReachesAPo) {
+  const Circuit circuit = make_benchmark("c432");
+  std::vector<bool> reaches(circuit.num_gates(), false);
+  for (GateId po : circuit.outputs())
+    for (GateId id : circuit.fanin_cone(po)) reaches[id] = true;
+  std::size_t dead = 0;
+  for (GateId id = 0; id < circuit.num_gates(); ++id) {
+    const Gate& gate = circuit.gate(id);
+    if (gate.type == GateType::kInput || gate.type == GateType::kOutput)
+      continue;
+    if (!reaches[id]) ++dead;
+  }
+  EXPECT_EQ(dead, 0u);
+}
+
+TEST(Gen, MultiplierComputesProducts) {
+  const Circuit circuit = make_array_multiplier(4);
+  ASSERT_EQ(circuit.inputs().size(), 8u);
+  ASSERT_EQ(circuit.outputs().size(), 8u);
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      const auto outputs = evaluate_minterm(circuit, a | (b << 4));
+      std::uint64_t product = 0;
+      for (std::size_t bit = 0; bit < outputs.size(); ++bit)
+        if (outputs[bit]) product |= std::uint64_t{1} << bit;
+      ASSERT_EQ(product, a * b) << a << " * " << b;
+    }
+  }
+}
+
+TEST(Gen, MultiplierScalesLikeC6288) {
+  const Circuit circuit = make_array_multiplier(16);
+  EXPECT_EQ(circuit.inputs().size(), 32u);
+  EXPECT_EQ(circuit.outputs().size(), 32u);
+  // Gate count within a factor ~2 of the real c6288 (2406 gates).
+  const std::size_t gates = circuit.num_logic_gates();
+  EXPECT_GT(gates, 1500u);
+  EXPECT_LT(gates, 6500u);
+}
+
+TEST(Gen, PlaProfilesProduceValidCovers) {
+  for (const PlaProfile& profile : mcnc_profiles()) {
+    const Pla pla = make_pla_like(profile);
+    EXPECT_EQ(pla.num_inputs, profile.num_inputs) << profile.name;
+    EXPECT_EQ(pla.num_outputs, profile.num_outputs);
+    EXPECT_EQ(pla.cubes.size(), profile.num_cubes);
+    // Every output covered; every cube has >= 1 literal and >= 1 output.
+    std::vector<bool> covered(pla.num_outputs, false);
+    for (const Cube& cube : pla.cubes) {
+      std::size_t literals = 0;
+      for (CubeLit lit : cube.inputs)
+        if (lit != CubeLit::kDontCare) ++literals;
+      EXPECT_GE(literals, profile.min_literals);
+      EXPECT_LE(literals, profile.max_literals);
+      bool any_output = false;
+      for (std::size_t out = 0; out < pla.num_outputs; ++out) {
+        if (cube.outputs[out]) {
+          covered[out] = true;
+          any_output = true;
+        }
+      }
+      EXPECT_TRUE(any_output);
+    }
+    for (std::size_t out = 0; out < pla.num_outputs; ++out)
+      EXPECT_TRUE(covered[out]) << profile.name << " output " << out;
+  }
+}
+
+TEST(Gen, PlaGenerationIsDeterministic) {
+  const PlaProfile profile = mcnc_profiles()[1];  // Z5xp1
+  const Pla a = make_pla_like(profile);
+  const Pla b = make_pla_like(profile);
+  ASSERT_EQ(a.cubes.size(), b.cubes.size());
+  for (std::size_t i = 0; i < a.cubes.size(); ++i) {
+    EXPECT_EQ(a.cubes[i].inputs, b.cubes[i].inputs);
+    EXPECT_EQ(a.cubes[i].outputs, b.cubes[i].outputs);
+  }
+}
+
+TEST(Gen, RejectsBadProfiles) {
+  IscasProfile bad;
+  bad.num_levels = 1;
+  EXPECT_THROW(make_iscas_like(bad), std::invalid_argument);
+  EXPECT_THROW(make_array_multiplier(1), std::invalid_argument);
+  EXPECT_THROW(make_benchmark("c9999"), std::invalid_argument);
+  PlaProfile bad_pla;
+  bad_pla.num_inputs = 3;
+  bad_pla.max_literals = 5;
+  EXPECT_THROW(make_pla_like(bad_pla), std::invalid_argument);
+}
+
+TEST(Gen, BenchRoundTripOfGeneratedCircuit) {
+  const Circuit circuit = make_benchmark("c432");
+  const Circuit reparsed = read_bench_string(write_bench_string(circuit));
+  EXPECT_EQ(reparsed.inputs().size(), circuit.inputs().size());
+  EXPECT_EQ(reparsed.outputs().size(), circuit.outputs().size());
+  // The writer aliases named POs through buffers (at most one extra
+  // gate per output); path counts are unaffected.
+  EXPECT_GE(reparsed.num_logic_gates(), circuit.num_logic_gates());
+  EXPECT_LE(reparsed.num_logic_gates(),
+            circuit.num_logic_gates() + circuit.outputs().size());
+  const PathCounts a(circuit);
+  const PathCounts b(reparsed);
+  EXPECT_EQ(a.total_logical(), b.total_logical());
+}
+
+}  // namespace
+}  // namespace rd

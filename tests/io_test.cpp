@@ -1,0 +1,258 @@
+// Unit tests for the bench and PLA readers/writers: fixtures,
+// round-trips, use-before-def handling and error reporting.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "gen/examples.h"
+#include "io/bench_io.h"
+#include "io/pla_io.h"
+#include "io/verilog_io.h"
+#include "sim/logic_sim.h"
+
+namespace rd {
+namespace {
+
+constexpr const char* kC17Bench = R"(# c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+
+TEST(BenchIo, ParsesC17) {
+  const Circuit circuit = read_bench_string(kC17Bench, "c17");
+  EXPECT_EQ(circuit.inputs().size(), 5u);
+  EXPECT_EQ(circuit.outputs().size(), 2u);
+  EXPECT_EQ(circuit.num_logic_gates(), 6u);
+  EXPECT_EQ(circuit.name(), "c17");
+}
+
+TEST(BenchIo, ParsedC17MatchesBuiltin) {
+  const Circuit parsed = read_bench_string(kC17Bench);
+  const Circuit builtin = c17();
+  ASSERT_EQ(parsed.inputs().size(), builtin.inputs().size());
+  // Functional equivalence over all 32 input vectors.
+  for (std::uint64_t minterm = 0; minterm < 32; ++minterm)
+    EXPECT_EQ(evaluate_minterm(parsed, minterm),
+              evaluate_minterm(builtin, minterm))
+        << "minterm " << minterm;
+}
+
+TEST(BenchIo, RoundTrip) {
+  const Circuit original = read_bench_string(kC17Bench, "c17");
+  const std::string text = write_bench_string(original);
+  const Circuit reparsed = read_bench_string(text, "c17");
+  ASSERT_EQ(reparsed.inputs().size(), original.inputs().size());
+  ASSERT_EQ(reparsed.outputs().size(), original.outputs().size());
+  for (std::uint64_t minterm = 0; minterm < 32; ++minterm)
+    EXPECT_EQ(evaluate_minterm(reparsed, minterm),
+              evaluate_minterm(original, minterm));
+}
+
+TEST(BenchIo, UseBeforeDefinition) {
+  const Circuit circuit = read_bench_string(
+      "INPUT(a)\nOUTPUT(y)\ny = NOT(mid)\nmid = BUFF(a)\n");
+  EXPECT_EQ(circuit.num_logic_gates(), 2u);
+  EXPECT_EQ(evaluate_minterm(circuit, 0)[0], true);
+  EXPECT_EQ(evaluate_minterm(circuit, 1)[0], false);
+}
+
+TEST(BenchIo, AcceptsGateSpellings) {
+  const Circuit circuit = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(o)\n"
+      "x = and(a, b)\ny = INV(x)\nz = buf(y)\no = NOR(z, a)\n");
+  EXPECT_EQ(circuit.num_logic_gates(), 4u);
+}
+
+TEST(BenchIo, ErrorsCarryLineNumbers) {
+  try {
+    read_bench_string("INPUT(a)\nbroken line here\n");
+    FAIL() << "expected parse failure";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(BenchIo, RejectsBadInput) {
+  EXPECT_THROW(read_bench_string("x = FROB(a)\nINPUT(a)\n"),
+               std::runtime_error);
+  EXPECT_THROW(read_bench_string("INPUT(a)\nINPUT(a)\n"), std::runtime_error);
+  EXPECT_THROW(read_bench_string("OUTPUT(nowhere)\n"), std::runtime_error);
+  EXPECT_THROW(read_bench_string("INPUT(a)\nx = NOT(y)\ny = NOT(x)\n"),
+               std::runtime_error);  // cycle
+  EXPECT_THROW(read_bench_string("INPUT(a)\nx = NOT(missing)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, CommentsAndBlanksIgnored) {
+  const Circuit circuit = read_bench_string(
+      "# header\n\nINPUT(a)\n  # indented comment\nOUTPUT(a)\n");
+  EXPECT_EQ(circuit.inputs().size(), 1u);
+  EXPECT_EQ(circuit.outputs().size(), 1u);
+}
+
+constexpr const char* kSmallPla = R"(# two functions
+.i 3
+.o 2
+.p 3
+1-0 10
+011 11
+--1 01
+.e
+)";
+
+TEST(PlaIo, ParsesCover) {
+  const Pla pla = read_pla_string(kSmallPla, "small");
+  EXPECT_EQ(pla.num_inputs, 3u);
+  EXPECT_EQ(pla.num_outputs, 2u);
+  ASSERT_EQ(pla.cubes.size(), 3u);
+  EXPECT_EQ(pla.cubes[0].inputs[0], CubeLit::kPositive);
+  EXPECT_EQ(pla.cubes[0].inputs[1], CubeLit::kDontCare);
+  EXPECT_EQ(pla.cubes[0].inputs[2], CubeLit::kNegative);
+  EXPECT_TRUE(pla.cubes[0].outputs[0]);
+  EXPECT_FALSE(pla.cubes[0].outputs[1]);
+  EXPECT_TRUE(pla.cubes[1].outputs[1]);
+  EXPECT_EQ(pla.input_labels.size(), 3u);
+}
+
+TEST(PlaIo, RoundTrip) {
+  const Pla pla = read_pla_string(kSmallPla);
+  const Pla again = read_pla_string(write_pla_string(pla));
+  ASSERT_EQ(again.cubes.size(), pla.cubes.size());
+  for (std::size_t i = 0; i < pla.cubes.size(); ++i) {
+    EXPECT_EQ(again.cubes[i].inputs, pla.cubes[i].inputs);
+    EXPECT_EQ(again.cubes[i].outputs, pla.cubes[i].outputs);
+  }
+}
+
+TEST(PlaIo, RejectsMalformed) {
+  EXPECT_THROW(read_pla_string(".i 2\n.o 1\n111 1\n.e\n"), std::runtime_error);
+  EXPECT_THROW(read_pla_string("10 1\n"), std::runtime_error);
+  EXPECT_THROW(read_pla_string(".i 2\n.o 1\n.p 5\n10 1\n.e\n"),
+               std::runtime_error);
+  EXPECT_THROW(read_pla_string(".i 2\n.o 1\nq0 1\n.e\n"), std::runtime_error);
+}
+
+TEST(PlaIo, LabelsRespected) {
+  const Pla pla = read_pla_string(
+      ".i 2\n.o 1\n.ilb x y\n.ob f\n11 1\n.e\n");
+  EXPECT_EQ(pla.input_labels[1], "y");
+  EXPECT_EQ(pla.output_labels[0], "f");
+}
+
+TEST(BenchIo, ReadsShippedDataFiles) {
+  // The repository ships sample netlists under data/; the file-based
+  // reader derives the circuit name from the file name.
+  const Circuit circuit = read_bench_file("data/c17.bench");
+  EXPECT_EQ(circuit.name(), "c17");
+  EXPECT_EQ(circuit.num_logic_gates(), 6u);
+  for (std::uint64_t minterm = 0; minterm < 32; ++minterm)
+    EXPECT_EQ(evaluate_minterm(circuit, minterm),
+              evaluate_minterm(c17(), minterm));
+}
+
+TEST(BenchIo, MissingFileThrows) {
+  EXPECT_THROW(read_bench_file("/nonexistent/nowhere.bench"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, FileRoundTripThroughDisk) {
+  const Circuit original = paper_example_circuit();
+  const std::string path = ::testing::TempDir() + "/rt.bench";
+  {
+    std::ofstream out(path);
+    write_bench(out, original);
+  }
+  const Circuit reparsed = read_bench_file(path);
+  EXPECT_EQ(reparsed.name(), "rt");
+  for (std::uint64_t minterm = 0; minterm < 8; ++minterm)
+    EXPECT_EQ(evaluate_minterm(reparsed, minterm),
+              evaluate_minterm(original, minterm));
+}
+
+TEST(BenchIo, DegenerateCircuits) {
+  // PI wired straight to a PO.
+  const Circuit direct = read_bench_string("INPUT(a)\nOUTPUT(a)\n");
+  EXPECT_EQ(direct.num_logic_gates(), 0u);
+  EXPECT_TRUE(evaluate_minterm(direct, 1)[0]);
+  EXPECT_FALSE(evaluate_minterm(direct, 0)[0]);
+  // Same signal observed twice.
+  const Circuit twice =
+      read_bench_string("INPUT(a)\nOUTPUT(a)\nOUTPUT(a)\n");
+  EXPECT_EQ(twice.outputs().size(), 2u);
+  // An unused input is legal.
+  const Circuit dangling =
+      read_bench_string("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a)\n");
+  EXPECT_EQ(dangling.inputs().size(), 2u);
+}
+
+TEST(PlaIo, ReadsShippedDataFile) {
+  std::ifstream in("data/small.pla");
+  ASSERT_TRUE(in.good()) << "expects the repo root as working directory";
+  const Pla pla = read_pla(in, "small");
+  EXPECT_EQ(pla.num_inputs, 4u);
+  EXPECT_EQ(pla.num_outputs, 2u);
+  EXPECT_EQ(pla.cubes.size(), 4u);
+}
+
+TEST(VerilogIo, EmitsStructuralModule) {
+  const Circuit circuit = c17();
+  const std::string text = write_verilog_string(circuit, "c17");
+  EXPECT_NE(text.find("module c17("), std::string::npos);
+  EXPECT_NE(text.find("endmodule"), std::string::npos);
+  // c17's six NANDs plus two output buffers.
+  std::size_t nands = 0;
+  std::size_t bufs = 0;
+  for (std::size_t pos = 0; (pos = text.find("nand ", pos)) != std::string::npos;
+       ++pos)
+    ++nands;
+  for (std::size_t pos = 0; (pos = text.find("buf ", pos)) != std::string::npos;
+       ++pos)
+    ++bufs;
+  EXPECT_EQ(nands, 6u);
+  EXPECT_EQ(bufs, 2u);
+  // Numeric bench names are sanitized into identifiers.
+  EXPECT_EQ(text.find(" 22,"), std::string::npos);
+  EXPECT_NE(text.find("n22"), std::string::npos);
+}
+
+TEST(VerilogIo, SanitizesAndDisambiguates) {
+  Circuit circuit("weird-name");
+  const GateId a = circuit.add_input("a b");   // space
+  const GateId b = circuit.add_input("a_b");   // collides after sanitizing
+  const GateId g = circuit.add_gate(GateType::kOr, "3x", {a, b});
+  circuit.add_output("o!", g);
+  circuit.finalize();
+  const std::string text = write_verilog_string(circuit);
+  EXPECT_NE(text.find("module weird_name("), std::string::npos);
+  EXPECT_NE(text.find("a_b"), std::string::npos);
+  EXPECT_NE(text.find("n3x"), std::string::npos);
+  // No raw illegal characters escaped into the output.
+  EXPECT_EQ(text.find('!'), std::string::npos);
+}
+
+TEST(VerilogIo, EveryGateInstantiatedOnce) {
+  const Circuit circuit = paper_example_circuit();
+  const std::string text = write_verilog_string(circuit);
+  std::size_t instances = 0;
+  for (std::size_t pos = 0; (pos = text.find("\n  and ", pos)) != std::string::npos;
+       ++pos)
+    ++instances;
+  for (std::size_t pos = 0; (pos = text.find("\n  or ", pos)) != std::string::npos;
+       ++pos)
+    ++instances;
+  EXPECT_EQ(instances, 3u);  // g1, h, y
+}
+
+}  // namespace
+}  // namespace rd

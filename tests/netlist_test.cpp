@@ -1,0 +1,175 @@
+// Unit tests for the netlist core: construction rules, finalize
+// invariants (leads, topological order, levels), cone extraction and
+// the static gate-semantics helpers.
+#include <gtest/gtest.h>
+
+#include "gen/examples.h"
+#include "netlist/circuit.h"
+#include "netlist/gate_types.h"
+
+namespace rd {
+namespace {
+
+TEST(GateTypes, ControllingValues) {
+  EXPECT_FALSE(controlling_value(GateType::kAnd));
+  EXPECT_FALSE(controlling_value(GateType::kNand));
+  EXPECT_TRUE(controlling_value(GateType::kOr));
+  EXPECT_TRUE(controlling_value(GateType::kNor));
+  EXPECT_TRUE(noncontrolling_value(GateType::kAnd));
+  EXPECT_FALSE(noncontrolling_value(GateType::kOr));
+}
+
+TEST(GateTypes, ControlledOutputs) {
+  EXPECT_FALSE(controlled_output(GateType::kAnd));   // 0 in -> 0 out
+  EXPECT_TRUE(controlled_output(GateType::kNand));   // 0 in -> 1 out
+  EXPECT_TRUE(controlled_output(GateType::kOr));     // 1 in -> 1 out
+  EXPECT_FALSE(controlled_output(GateType::kNor));   // 1 in -> 0 out
+  EXPECT_TRUE(noncontrolled_output(GateType::kAnd)); // all 1 -> 1
+  EXPECT_FALSE(noncontrolled_output(GateType::kNand));
+  EXPECT_FALSE(noncontrolled_output(GateType::kOr)); // all 0 -> 0
+  EXPECT_TRUE(noncontrolled_output(GateType::kNor));
+}
+
+TEST(GateTypes, InversionAndNames) {
+  EXPECT_TRUE(inverts(GateType::kNot));
+  EXPECT_TRUE(inverts(GateType::kNand));
+  EXPECT_TRUE(inverts(GateType::kNor));
+  EXPECT_FALSE(inverts(GateType::kAnd));
+  EXPECT_FALSE(inverts(GateType::kBuf));
+  EXPECT_EQ(gate_type_name(GateType::kNand), "NAND");
+  EXPECT_EQ(gate_type_name(GateType::kInput), "INPUT");
+}
+
+Circuit make_small() {
+  Circuit circuit("small");
+  const GateId a = circuit.add_input("a");
+  const GateId b = circuit.add_input("b");
+  const GateId n = circuit.add_gate(GateType::kNot, "n", {a});
+  const GateId g = circuit.add_gate(GateType::kAnd, "g", {n, b});
+  circuit.add_output("o", g);
+  circuit.finalize();
+  return circuit;
+}
+
+TEST(Circuit, BasicStructure) {
+  const Circuit circuit = make_small();
+  EXPECT_EQ(circuit.num_gates(), 5u);
+  EXPECT_EQ(circuit.inputs().size(), 2u);
+  EXPECT_EQ(circuit.outputs().size(), 1u);
+  EXPECT_EQ(circuit.num_logic_gates(), 2u);
+  EXPECT_EQ(circuit.num_leads(), 4u);  // a->n, n->g, b->g, g->o
+}
+
+TEST(Circuit, LeadsAreConsistent) {
+  const Circuit circuit = make_small();
+  for (LeadId lead_id = 0; lead_id < circuit.num_leads(); ++lead_id) {
+    const Lead& lead = circuit.lead(lead_id);
+    const Gate& sink = circuit.gate(lead.sink);
+    ASSERT_LT(lead.pin, sink.fanins.size());
+    EXPECT_EQ(sink.fanins[lead.pin], lead.driver);
+    EXPECT_EQ(sink.fanin_leads[lead.pin], lead_id);
+    // The driver lists this lead among its fanouts.
+    const auto& fanouts = circuit.gate(lead.driver).fanout_leads;
+    EXPECT_NE(std::find(fanouts.begin(), fanouts.end(), lead_id),
+              fanouts.end());
+  }
+}
+
+TEST(Circuit, TopologicalOrderRespectsEdges) {
+  const Circuit circuit = c17();
+  const auto& topo = circuit.topo_order();
+  EXPECT_EQ(topo.size(), circuit.num_gates());
+  for (GateId id = 0; id < circuit.num_gates(); ++id)
+    for (GateId fanin : circuit.gate(id).fanins)
+      EXPECT_LT(circuit.topo_rank(fanin), circuit.topo_rank(id));
+}
+
+TEST(Circuit, LevelsAreLongestDistance) {
+  const Circuit circuit = make_small();
+  for (GateId pi : circuit.inputs()) EXPECT_EQ(circuit.level(pi), 0u);
+  // a -> n -> g -> o is the longest chain: o at level 3.
+  EXPECT_EQ(circuit.max_level(), 3u);
+}
+
+TEST(Circuit, ArityValidation) {
+  Circuit circuit;
+  const GateId a = circuit.add_input("a");
+  EXPECT_THROW(circuit.add_gate(GateType::kNot, "n", {a, a}),
+               std::invalid_argument);
+  EXPECT_THROW(circuit.add_gate(GateType::kAnd, "g", {}),
+               std::invalid_argument);
+  EXPECT_THROW(circuit.add_gate(GateType::kInput, "x", {}),
+               std::invalid_argument);
+  EXPECT_THROW(circuit.add_gate(GateType::kOutput, "x", {a}),
+               std::invalid_argument);
+  // Fanins must already exist.
+  EXPECT_THROW(circuit.add_gate(GateType::kNot, "n", {99}),
+               std::invalid_argument);
+}
+
+TEST(Circuit, PoMarkersCannotDrive) {
+  Circuit circuit;
+  const GateId a = circuit.add_input("a");
+  const GateId po = circuit.add_output("o", a);
+  EXPECT_THROW(circuit.add_gate(GateType::kNot, "n", {po}),
+               std::invalid_argument);
+}
+
+TEST(Circuit, EditsRejectedAfterFinalize) {
+  Circuit circuit = make_small();
+  EXPECT_THROW(circuit.add_input("late"), std::logic_error);
+}
+
+TEST(Circuit, FinalizeIsIdempotent) {
+  Circuit circuit = make_small();
+  const std::size_t leads = circuit.num_leads();
+  circuit.finalize();
+  EXPECT_EQ(circuit.num_leads(), leads);
+}
+
+TEST(Circuit, FaninCone) {
+  const Circuit circuit = c17();
+  // Cone of output "22" contains inputs 1, 2, 3, 6 but not 7.
+  const GateId po22 = circuit.outputs()[0];
+  const auto cone = circuit.fanin_cone(po22);
+  std::size_t pi_count = 0;
+  for (GateId id : cone)
+    if (circuit.gate(id).type == GateType::kInput) ++pi_count;
+  EXPECT_EQ(pi_count, 4u);
+}
+
+TEST(Circuit, ExtractCone) {
+  const Circuit circuit = c17();
+  const Circuit cone = circuit.extract_cone(circuit.outputs()[1]);
+  EXPECT_EQ(cone.outputs().size(), 1u);
+  EXPECT_TRUE(cone.finalized());
+  // Cone of "23": inputs 2, 3, 6, 7 and gates 11, 16, 19, 23.
+  EXPECT_EQ(cone.inputs().size(), 4u);
+  EXPECT_EQ(cone.num_logic_gates(), 4u);
+  EXPECT_THROW(circuit.extract_cone(circuit.inputs()[0]),
+               std::invalid_argument);
+}
+
+TEST(Circuit, PaperExampleShape) {
+  const Circuit circuit = paper_example_circuit();
+  EXPECT_EQ(circuit.inputs().size(), 3u);
+  EXPECT_EQ(circuit.outputs().size(), 1u);
+  EXPECT_EQ(circuit.num_logic_gates(), 3u);
+}
+
+TEST(Circuit, MultiLeadBetweenSameGates) {
+  // One gate feeding two pins of another: two distinct leads.
+  Circuit circuit;
+  const GateId a = circuit.add_input("a");
+  const GateId b = circuit.add_input("b");
+  const GateId g = circuit.add_gate(GateType::kOr, "g", {a, b});
+  const GateId h = circuit.add_gate(GateType::kAnd, "h", {g, g});
+  circuit.add_output("o", h);
+  circuit.finalize();
+  EXPECT_EQ(circuit.gate(h).fanins.size(), 2u);
+  EXPECT_NE(circuit.gate(h).fanin_leads[0], circuit.gate(h).fanin_leads[1]);
+  EXPECT_EQ(circuit.gate(g).fanout_leads.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rd

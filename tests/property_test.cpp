@@ -1,0 +1,261 @@
+// Parameterized property tests: invariants swept over seeds, criteria
+// and generator profiles (gtest TEST_P / INSTANTIATE_TEST_SUITE_P).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "atpg/robust.h"
+#include "core/classify.h"
+#include "core/exact.h"
+#include "core/heuristics.h"
+#include "gen/iscas_like.h"
+#include "paths/counting.h"
+#include "sim/implication.h"
+#include "sim/logic_sim.h"
+#include "sim/timed_sim.h"
+#include "util/biguint.h"
+#include "util/rng.h"
+
+namespace rd {
+namespace {
+
+Circuit small_circuit(std::uint64_t seed, double xor_fraction = 0.15) {
+  IscasProfile profile;
+  profile.name = "p" + std::to_string(seed);
+  profile.num_inputs = 6;
+  profile.num_outputs = 3;
+  profile.num_gates = 24;
+  profile.num_levels = 5;
+  profile.xor_fraction = xor_fraction;
+  profile.seed = seed;
+  return make_iscas_like(profile);
+}
+
+// ---- classifier soundness across criteria and seeds ----------------------
+
+class ClassifierProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, Criterion>> {};
+
+TEST_P(ClassifierProperty, KeptSetIsSupersetOfExact) {
+  const auto [seed, criterion] = GetParam();
+  const Circuit circuit = small_circuit(seed);
+  const InputSort sort = InputSort::natural(circuit);
+  const InputSort* sort_ptr =
+      criterion == Criterion::kInputSort ? &sort : nullptr;
+
+  ClassifyOptions options;
+  options.criterion = criterion;
+  options.sort = sort_ptr;
+  options.collect_paths_limit = 1u << 18;
+  const ClassifyResult result = classify_paths(circuit, options);
+
+  LogicalPathSet approx;
+  for (const auto& key : result.kept_keys) approx.insert(key);
+  ASSERT_EQ(approx.size(), result.kept_paths);
+
+  const LogicalPathSet exact = exact_kept_paths(circuit, criterion, sort_ptr);
+  for (const auto& key : exact)
+    ASSERT_TRUE(approx.count(key))
+        << "exact-sensitizable path pruned by the classifier";
+
+  // Accounting invariant.
+  ASSERT_EQ(result.rd_paths + BigUint(result.kept_paths),
+            result.total_logical);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndCriteria, ClassifierProperty,
+    ::testing::Combine(::testing::Values(11u, 12u, 13u, 14u, 15u, 16u),
+                       ::testing::Values(Criterion::kFunctionalSensitizable,
+                                         Criterion::kNonRobust,
+                                         Criterion::kInputSort)));
+
+// ---- generator profile conformance ----------------------------------------
+
+class ProfileProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ProfileProperty, MatchesInterfaceAndPathTarget) {
+  const std::string name = GetParam();
+  IscasProfile profile;
+  for (const IscasProfile& candidate : iscas85_profiles())
+    if (candidate.name == name) profile = candidate;
+  ASSERT_EQ(profile.name, name);
+
+  const Circuit circuit = make_benchmark(name);
+  EXPECT_EQ(circuit.inputs().size(), profile.num_inputs);
+  EXPECT_EQ(circuit.outputs().size(), profile.num_outputs);
+  // Gate count within 50% of the published figure.
+  EXPECT_GT(circuit.num_logic_gates(), profile.num_gates / 2);
+  EXPECT_LT(circuit.num_logic_gates(), profile.num_gates * 2);
+
+  if (profile.target_logical_paths != 0) {
+    const PathCounts counts(circuit);
+    const double total = counts.total_logical().to_double();
+    const double target =
+        static_cast<double>(profile.target_logical_paths);
+    EXPECT_GT(total, 0.2 * target) << name;
+    EXPECT_LT(total, 5.0 * target) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Iscas85, ProfileProperty,
+                         ::testing::Values("c432", "c499", "c880", "c1355",
+                                           "c1908", "c2670", "c3540", "c5315",
+                                           "c7552"));
+
+// ---- BigUint algebra -------------------------------------------------------
+
+class BigUintProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BigUintProperty, RingIdentities) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng.next_u64() >> 16;
+    const std::uint64_t b = rng.next_u64() >> 16;
+    const std::uint64_t c = rng.next_u64() >> 16;
+
+    // (a + b) * c == a*c + b*c, verified against unsigned __int128.
+    BigUint lhs = BigUint(a) + BigUint(b);
+    lhs *= c;
+    const BigUint rhs = BigUint(a) * BigUint(c) + BigUint(b) * BigUint(c);
+    ASSERT_EQ(lhs, rhs);
+
+    const unsigned __int128 oracle =
+        (static_cast<unsigned __int128>(a) + b) * c;
+    const std::uint64_t low = static_cast<std::uint64_t>(oracle);
+    const std::uint64_t high = static_cast<std::uint64_t>(oracle >> 64);
+    BigUint composed(high);
+    composed *= BigUint(std::uint64_t{1} << 32);
+    composed *= BigUint(std::uint64_t{1} << 32);
+    composed += low;
+    ASSERT_EQ(lhs, composed);
+
+    // Subtraction inverts addition.
+    BigUint back = lhs;
+    back -= BigUint(a) * BigUint(c);
+    ASSERT_EQ(back, BigUint(b) * BigUint(c));
+
+    // Decimal round trip.
+    ASSERT_EQ(BigUint::from_decimal(lhs.to_decimal()), lhs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigUintProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+// ---- implication engine order independence --------------------------------
+
+class ImplicationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ImplicationProperty, OrderIndependentFixpoint) {
+  const Circuit circuit = small_circuit(GetParam(), 0.0);
+  Rng rng(GetParam() * 977);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<std::pair<GateId, Value3>> assertions;
+    for (int i = 0; i < 3; ++i)
+      assertions.emplace_back(
+          static_cast<GateId>(rng.next_below(circuit.num_gates())),
+          rng.next_bool(0.5) ? Value3::kOne : Value3::kZero);
+
+    auto run = [&](bool reversed) {
+      ImplicationEngine engine(circuit);
+      bool ok = true;
+      auto apply = [&](const std::pair<GateId, Value3>& assertion) {
+        ok = ok && engine.assign(assertion.first, assertion.second);
+      };
+      if (reversed)
+        for (auto it = assertions.rbegin(); it != assertions.rend(); ++it)
+          apply(*it);
+      else
+        for (const auto& assertion : assertions) apply(assertion);
+      std::vector<Value3> values(circuit.num_gates(), Value3::kUnknown);
+      if (ok)
+        for (GateId id = 0; id < circuit.num_gates(); ++id)
+          values[id] = engine.value(id);
+      return std::make_pair(ok, values);
+    };
+
+    const auto forward = run(false);
+    const auto backward = run(true);
+    // Conflict status must agree; implied values must agree when both
+    // succeed (the implication closure is a fixpoint, independent of
+    // assertion order).
+    ASSERT_EQ(forward.first, backward.first);
+    if (forward.first) {
+      ASSERT_EQ(forward.second, backward.second);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImplicationProperty,
+                         ::testing::Values(21u, 22u, 23u, 24u, 25u));
+
+// ---- robust ⊆ non-robust ⊆ FS over seeds ----------------------------------
+
+class HierarchyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HierarchyProperty, RobustWithinNonRobustWithinFs) {
+  const Circuit circuit = small_circuit(GetParam());
+  std::vector<LogicalPath> paths;
+  enumerate_paths(
+      circuit,
+      [&](const PhysicalPath& physical) {
+        paths.push_back(LogicalPath{physical, false});
+        paths.push_back(LogicalPath{physical, true});
+      },
+      1u << 14);
+  for (const auto& path : paths) {
+    const bool robust = is_robustly_testable(circuit, path);
+    const bool non_robust =
+        exactly_sensitizable(circuit, path, Criterion::kNonRobust);
+    const bool fs = exactly_sensitizable(
+        circuit, path, Criterion::kFunctionalSensitizable);
+    if (robust) {
+      EXPECT_TRUE(non_robust) << path_to_string(circuit, path);
+    }
+    if (non_robust) {
+      EXPECT_TRUE(fs) << path_to_string(circuit, path);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HierarchyProperty,
+                         ::testing::Values(31u, 32u, 33u));
+
+// ---- timed simulation functional convergence -------------------------------
+
+class TimedProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TimedProperty, SettlesToFunctionAndRespectsTopoBound) {
+  const Circuit circuit = small_circuit(GetParam());
+  Rng rng(GetParam() * 131);
+  DelayModel delays = DelayModel::zero(circuit);
+  double max_gate_delay = 0;
+  for (GateId id = 0; id < circuit.num_gates(); ++id) {
+    if (circuit.gate(id).type == GateType::kInput) continue;
+    delays.gate_delay[id] = 0.5 + rng.next_double();
+    max_gate_delay = std::max(max_gate_delay, delays.gate_delay[id]);
+  }
+  for (int trial = 0; trial < 16; ++trial) {
+    std::vector<bool> inputs(circuit.inputs().size());
+    for (auto&& bit : inputs) bit = rng.next_bool(0.5);
+    std::vector<bool> initial(circuit.num_gates());
+    for (std::size_t g = 0; g < initial.size(); ++g)
+      initial[g] = rng.next_bool(0.5);
+    const auto result = simulate_timed(circuit, delays, initial, inputs);
+    const auto reference = simulate(circuit, inputs);
+    // A crude structural bound: nothing can settle later than
+    // depth * max gate delay.
+    const double bound = (circuit.max_level() + 1) * max_gate_delay;
+    for (GateId id = 0; id < circuit.num_gates(); ++id) {
+      ASSERT_EQ(result.final_values[id], reference[id]);
+      ASSERT_LE(result.last_change[id], bound);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimedProperty,
+                         ::testing::Values(41u, 42u, 43u, 44u));
+
+}  // namespace
+}  // namespace rd

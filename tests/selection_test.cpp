@@ -1,0 +1,126 @@
+// Tests for the post-RD path-selection strategies (Section VI).
+#include <gtest/gtest.h>
+
+#include "core/heuristics.h"
+#include "core/selection.h"
+#include "gen/examples.h"
+#include "gen/iscas_like.h"
+#include "util/rng.h"
+
+namespace rd {
+namespace {
+
+struct Fixture {
+  Circuit circuit;
+  DelayModel delays;
+  std::vector<ScoredPath> scored;
+};
+
+Fixture make_fixture(std::uint64_t seed) {
+  IscasProfile profile;
+  profile.name = "sel";
+  profile.num_inputs = 7;
+  profile.num_outputs = 3;
+  profile.num_gates = 28;
+  profile.num_levels = 5;
+  profile.seed = seed;
+  Fixture fixture{make_iscas_like(profile), {}, {}};
+
+  fixture.delays = DelayModel::zero(fixture.circuit);
+  Rng rng(seed * 31);
+  for (auto& d : fixture.delays.gate_delay) d = 1.0 + rng.next_double();
+  for (auto& d : fixture.delays.lead_delay) d = 0.2 * rng.next_double();
+
+  ClassifyOptions options;
+  options.collect_paths_limit = 1u << 16;
+  const RdIdentification result =
+      identify_rd_heuristic2(fixture.circuit, options);
+  fixture.scored = score_paths(fixture.circuit, fixture.delays,
+                               result.classify.kept_keys);
+  return fixture;
+}
+
+TEST(Selection, ScoresMatchPathDelay) {
+  const Fixture fixture = make_fixture(3);
+  ASSERT_FALSE(fixture.scored.empty());
+  for (const ScoredPath& entry : fixture.scored) {
+    EXPECT_TRUE(is_valid_path(fixture.circuit, entry.path.path));
+    EXPECT_DOUBLE_EQ(entry.delay,
+                     path_delay(fixture.circuit, fixture.delays,
+                                entry.path.path.leads));
+    EXPECT_GT(entry.delay, 0.0);
+  }
+}
+
+TEST(Selection, ThresholdKeepsOnlySlowPaths) {
+  const Fixture fixture = make_fixture(4);
+  double sum = 0;
+  for (const auto& entry : fixture.scored) sum += entry.delay;
+  const double threshold = sum / static_cast<double>(fixture.scored.size());
+  const auto selected = select_by_threshold(fixture.scored, threshold);
+  EXPECT_LT(selected.size(), fixture.scored.size());
+  EXPECT_FALSE(selected.empty());
+  for (const auto& entry : selected) EXPECT_GE(entry.delay, threshold);
+  // Sorted slowest first.
+  for (std::size_t i = 1; i < selected.size(); ++i)
+    EXPECT_GE(selected[i - 1].delay, selected[i].delay);
+}
+
+TEST(Selection, LineCoverCoversEveryCoverableLead) {
+  const Fixture fixture = make_fixture(5);
+  const auto selected = select_line_cover(fixture.circuit, fixture.scored);
+  EXPECT_LE(selected.size(), fixture.scored.size());
+  // Every lead on any kept path must be on some selected path.
+  std::vector<bool> coverable(fixture.circuit.num_leads(), false);
+  std::vector<bool> covered(fixture.circuit.num_leads(), false);
+  for (const auto& entry : fixture.scored)
+    for (LeadId lead : entry.path.path.leads) coverable[lead] = true;
+  for (const auto& entry : selected)
+    for (LeadId lead : entry.path.path.leads) covered[lead] = true;
+  for (LeadId lead = 0; lead < fixture.circuit.num_leads(); ++lead) {
+    if (coverable[lead]) {
+      EXPECT_TRUE(covered[lead]) << "lead " << lead;
+    }
+  }
+}
+
+TEST(Selection, LineCoverPerLineMultiplicity) {
+  const Fixture fixture = make_fixture(6);
+  const auto single = select_line_cover(fixture.circuit, fixture.scored, 1);
+  const auto twice = select_line_cover(fixture.circuit, fixture.scored, 2);
+  EXPECT_GE(twice.size(), single.size());
+}
+
+TEST(Selection, SlowestReturnsTopK) {
+  const Fixture fixture = make_fixture(7);
+  const std::size_t k = fixture.scored.size() / 2 + 1;
+  const auto selected = select_slowest(fixture.scored, k);
+  ASSERT_EQ(selected.size(), std::min(k, fixture.scored.size()));
+  // It really is the slowest subset.
+  std::vector<double> all;
+  for (const auto& entry : fixture.scored) all.push_back(entry.delay);
+  std::sort(all.rbegin(), all.rend());
+  for (std::size_t i = 0; i < selected.size(); ++i)
+    EXPECT_DOUBLE_EQ(selected[i].delay, all[i]);
+}
+
+TEST(Selection, PaperExampleEndToEnd) {
+  const Circuit circuit = paper_example_circuit();
+  ClassifyOptions options;
+  options.collect_paths_limit = 16;
+  const RdIdentification result = identify_rd_heuristic2(circuit, options);
+  DelayModel delays = DelayModel::zero(circuit);
+  for (auto& d : delays.gate_delay) d = 1.0;
+  const auto scored =
+      score_paths(circuit, delays, result.classify.kept_keys);
+  ASSERT_EQ(scored.size(), 5u);
+  // Line cover of the 5 optimum paths needs all 5? The a-paths cover
+  // the a lead, c paths cover three distinct routes; both transitions
+  // share leads, so a 1-cover needs at most 3 paths.
+  const auto covered = select_line_cover(circuit, scored);
+  EXPECT_LE(covered.size(), 3u);
+  EXPECT_GE(covered.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rd

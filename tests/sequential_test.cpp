@@ -1,0 +1,134 @@
+// Tests for the scan/sequential layer: wrapper validation, functional
+// multi-cycle simulation pinned against a hand-computed FSM, path
+// segment classification, and the end-to-end "RD identification on a
+// scan core" flow.
+#include <gtest/gtest.h>
+
+#include "core/heuristics.h"
+#include "gen/seq_like.h"
+#include "netlist/sequential.h"
+#include "paths/counting.h"
+#include "util/rng.h"
+
+namespace rd {
+namespace {
+
+TEST(Sequential, CounterCountsWithEnable) {
+  const SequentialCircuit counter = make_counter3();
+  ASSERT_EQ(counter.flip_flops().size(), 3u);
+  ASSERT_EQ(counter.primary_inputs().size(), 1u);   // en
+  ASSERT_EQ(counter.primary_outputs().size(), 1u);  // cout
+
+  // 10 enabled cycles from 000: counts 0,1,...; carry fires on the
+  // cycle where the state is 111.
+  std::vector<std::vector<bool>> inputs(10, std::vector<bool>{true});
+  const auto trace = counter.simulate_cycles({false, false, false}, inputs);
+  ASSERT_EQ(trace.outputs.size(), 10u);
+  for (std::size_t cycle = 0; cycle < 10; ++cycle) {
+    const unsigned state_before = static_cast<unsigned>(cycle % 8);
+    EXPECT_EQ(trace.outputs[cycle][0], state_before == 7u)
+        << "cycle " << cycle;
+  }
+  // After 10 increments the state is 10 mod 8 = 2 (binary 010).
+  EXPECT_EQ(trace.final_state[0], false);
+  EXPECT_EQ(trace.final_state[1], true);
+  EXPECT_EQ(trace.final_state[2], false);
+}
+
+TEST(Sequential, DisabledCounterHoldsState) {
+  const SequentialCircuit counter = make_counter3();
+  std::vector<std::vector<bool>> inputs(5, std::vector<bool>{false});
+  const auto trace = counter.simulate_cycles({true, false, true}, inputs);
+  EXPECT_EQ(trace.final_state[0], true);
+  EXPECT_EQ(trace.final_state[1], false);
+  EXPECT_EQ(trace.final_state[2], true);
+  for (const auto& outputs : trace.outputs) EXPECT_FALSE(outputs[0]);
+}
+
+TEST(Sequential, WrapperValidatesPorts) {
+  Circuit core;
+  const GateId a = core.add_input("a");
+  const GateId g = core.add_gate(GateType::kNot, "g", {a});
+  const GateId po = core.add_output("o", g);
+  core.finalize();
+  // state_output must be a PI, state_input a PO.
+  EXPECT_THROW(SequentialCircuit(core, {FlipFlop{"ff", po, g}}),
+               std::invalid_argument);
+  Circuit core2;
+  const GateId b = core2.add_input("b");
+  const GateId n = core2.add_gate(GateType::kNot, "n", {b});
+  const GateId po2 = core2.add_output("o", n);
+  core2.finalize();
+  EXPECT_THROW(
+      SequentialCircuit(core2, {FlipFlop{"ff", po2, b},
+                                FlipFlop{"ff2", po2, b}}),  // duplicate
+      std::invalid_argument);
+}
+
+TEST(Sequential, SegmentClassification) {
+  const SequentialCircuit counter = make_counter3();
+  std::size_t pi_po = 0, pi_ff = 0, ff_po = 0, ff_ff = 0;
+  enumerate_paths(
+      counter.core(),
+      [&](const PhysicalPath& path) {
+        switch (classify_segment(counter, path)) {
+          case PathSegmentClass::kPrimaryToPrimary: ++pi_po; break;
+          case PathSegmentClass::kPrimaryToState: ++pi_ff; break;
+          case PathSegmentClass::kStateToPrimary: ++ff_po; break;
+          case PathSegmentClass::kStateToState: ++ff_ff; break;
+        }
+      },
+      1u << 16);
+  // en reaches cout (PI->PO) and all three state bits (PI->FF);
+  // every state bit reaches cout (FF->PO) and state bits (FF->FF).
+  EXPECT_GT(pi_po, 0u);
+  EXPECT_GT(pi_ff, 0u);
+  EXPECT_GT(ff_po, 0u);
+  EXPECT_GT(ff_ff, 0u);
+}
+
+TEST(Sequential, SeqLikeGeneratorShapes) {
+  IscasProfile profile;
+  profile.name = "s-like";
+  profile.num_inputs = 10;
+  profile.num_outputs = 8;
+  profile.num_gates = 40;
+  profile.num_levels = 5;
+  profile.seed = 7;
+  const SequentialCircuit sequential = make_seq_like(profile, 4);
+  EXPECT_EQ(sequential.flip_flops().size(), 4u);
+  EXPECT_EQ(sequential.primary_inputs().size(), 6u);
+  EXPECT_EQ(sequential.primary_outputs().size(), 4u);
+  EXPECT_THROW(make_seq_like(profile, 9), std::invalid_argument);
+}
+
+TEST(Sequential, RdIdentificationOnScanCore) {
+  // The full flow the scan story enables: RD identification runs on
+  // the combinational core unchanged, pseudo ports included.
+  IscasProfile profile;
+  profile.name = "s-rd";
+  profile.num_inputs = 8;
+  profile.num_outputs = 6;
+  profile.num_gates = 30;
+  profile.num_levels = 5;
+  profile.seed = 11;
+  const SequentialCircuit sequential = make_seq_like(profile, 3);
+  Rng rng(1);
+  const RdIdentification result =
+      identify_rd_heuristic2(sequential.core(), {}, &rng);
+  EXPECT_TRUE(result.classify.completed);
+  EXPECT_EQ(result.classify.rd_paths + BigUint(result.classify.kept_paths),
+            result.classify.total_logical);
+}
+
+TEST(Sequential, TraceRejectsBadArity) {
+  const SequentialCircuit counter = make_counter3();
+  EXPECT_THROW(counter.simulate_cycles({false}, {}), std::invalid_argument);
+  EXPECT_THROW(
+      counter.simulate_cycles({false, false, false},
+                              {std::vector<bool>{true, true}}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rd

@@ -1,0 +1,340 @@
+// Tests for the simulation layer: two-valued/ternary/64-way parallel
+// logic simulation, the trail-based implication engine (validated
+// against exhaustive enumeration), and the timed event-driven
+// simulator.
+#include <gtest/gtest.h>
+
+#include "gen/examples.h"
+#include "gen/iscas_like.h"
+#include "netlist/circuit.h"
+#include "sim/implication.h"
+#include "sim/logic_sim.h"
+#include "sim/timed_sim.h"
+#include "util/rng.h"
+
+namespace rd {
+namespace {
+
+Circuit gate_fixture(GateType type) {
+  Circuit circuit;
+  const GateId a = circuit.add_input("a");
+  const GateId b = circuit.add_input("b");
+  const GateId g = circuit.add_gate(type, "g", {a, b});
+  circuit.add_output("o", g);
+  circuit.finalize();
+  return circuit;
+}
+
+TEST(LogicSim, TwoInputTruthTables) {
+  struct Row {
+    GateType type;
+    bool expected[4];  // indexed by (b<<1)|a
+  };
+  const Row rows[] = {
+      {GateType::kAnd, {false, false, false, true}},
+      {GateType::kOr, {false, true, true, true}},
+      {GateType::kNand, {true, true, true, false}},
+      {GateType::kNor, {true, false, false, false}},
+  };
+  for (const Row& row : rows) {
+    const Circuit circuit = gate_fixture(row.type);
+    for (std::uint64_t minterm = 0; minterm < 4; ++minterm)
+      EXPECT_EQ(evaluate_minterm(circuit, minterm)[0], row.expected[minterm])
+          << gate_type_name(row.type) << " minterm " << minterm;
+  }
+}
+
+TEST(LogicSim, InverterAndBuffer) {
+  Circuit circuit;
+  const GateId a = circuit.add_input("a");
+  const GateId n = circuit.add_gate(GateType::kNot, "n", {a});
+  const GateId buffered = circuit.add_gate(GateType::kBuf, "bf", {n});
+  circuit.add_output("o", buffered);
+  circuit.finalize();
+  EXPECT_TRUE(evaluate_minterm(circuit, 0)[0]);
+  EXPECT_FALSE(evaluate_minterm(circuit, 1)[0]);
+}
+
+TEST(LogicSim, C17TruthSpotChecks) {
+  const Circuit circuit = c17();
+  // All-zero input: 10=1, 11=1, 16=1, 19=1 -> 22 = NAND(1,1) = 0? No:
+  // 10 = NAND(0,0) = 1; 16 = NAND(0,1) = 1; 22 = NAND(1,1) = 0.
+  const auto all_zero = evaluate_minterm(circuit, 0);
+  EXPECT_FALSE(all_zero[0]);
+  EXPECT_FALSE(all_zero[1]);
+  // All-one input: 10 = NAND(1,1) = 0; 11 = 0; 16 = NAND(1,0) = 1;
+  // 19 = NAND(0,1) = 1; 22 = NAND(0,1) = 1; 23 = NAND(1,1) = 0.
+  const auto all_one = evaluate_minterm(circuit, 31);
+  EXPECT_TRUE(all_one[0]);
+  EXPECT_FALSE(all_one[1]);
+}
+
+TEST(LogicSim, Ternary_KnownInputsMatchBinary) {
+  const Circuit circuit = c17();
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t minterm = rng.next_below(32);
+    std::vector<Value3> ternary_in(5);
+    std::vector<bool> binary_in(5);
+    for (int i = 0; i < 5; ++i) {
+      binary_in[i] = (minterm >> i) & 1;
+      ternary_in[i] = to_value3(binary_in[i]);
+    }
+    const auto ternary = simulate3(circuit, ternary_in);
+    const auto binary = simulate(circuit, binary_in);
+    for (GateId id = 0; id < circuit.num_gates(); ++id) {
+      ASSERT_TRUE(is_known(ternary[id]));
+      ASSERT_EQ(to_bool(ternary[id]), binary[id]);
+    }
+  }
+}
+
+TEST(LogicSim, Ternary_UnknownPropagatesConservatively) {
+  const Circuit circuit = gate_fixture(GateType::kAnd);
+  // a unknown, b = 0 -> output known 0 (controlling).
+  auto values = simulate3(circuit, {Value3::kUnknown, Value3::kZero});
+  EXPECT_EQ(values[circuit.outputs()[0]], Value3::kZero);
+  // a unknown, b = 1 -> output unknown.
+  values = simulate3(circuit, {Value3::kUnknown, Value3::kOne});
+  EXPECT_EQ(values[circuit.outputs()[0]], Value3::kUnknown);
+}
+
+TEST(LogicSim, Parallel64MatchesScalar) {
+  for (const char* name : {"c432", "c880"}) {
+    const Circuit circuit = make_benchmark(name);
+    Rng rng(17);
+    std::vector<std::uint64_t> words(circuit.inputs().size());
+    for (auto& word : words) word = rng.next_u64();
+    const auto parallel = simulate64(circuit, words);
+    for (int bit : {0, 1, 13, 63}) {
+      std::vector<bool> scalar_in(circuit.inputs().size());
+      for (std::size_t i = 0; i < scalar_in.size(); ++i)
+        scalar_in[i] = (words[i] >> bit) & 1;
+      const auto scalar = simulate(circuit, scalar_in);
+      for (GateId id = 0; id < circuit.num_gates(); ++id)
+        ASSERT_EQ(((parallel[id] >> bit) & 1) != 0, scalar[id])
+            << name << " gate " << id << " bit " << bit;
+    }
+  }
+}
+
+// --- Implication engine ---------------------------------------------------
+
+/// Checks engine soundness and value agreement against exhaustive
+/// enumeration: after asserting a set of (gate, value) pairs,
+/// * conflict reported => no input vector satisfies all assertions;
+/// * no conflict => every implied known value agrees with every
+///   satisfying vector (if one exists).
+void check_engine_against_enumeration(const Circuit& circuit,
+                                      std::uint64_t seed, int trials) {
+  const std::size_t n = circuit.inputs().size();
+  ASSERT_LE(n, 16u);
+  Rng rng(seed);
+  for (int trial = 0; trial < trials; ++trial) {
+    // Random assertion set over arbitrary gates.
+    const std::size_t count = 1 + rng.next_below(4);
+    std::vector<std::pair<GateId, Value3>> assertions;
+    for (std::size_t i = 0; i < count; ++i)
+      assertions.emplace_back(
+          static_cast<GateId>(rng.next_below(circuit.num_gates())),
+          rng.next_bool(0.5) ? Value3::kOne : Value3::kZero);
+
+    ImplicationEngine engine(circuit);
+    const std::size_t mark = engine.mark();
+    bool conflict = false;
+    for (const auto& [gate, value] : assertions)
+      if (!engine.assign(gate, value)) {
+        conflict = true;
+        break;
+      }
+
+    // Enumerate satisfying vectors.
+    std::vector<std::vector<bool>> satisfying;
+    for (std::uint64_t minterm = 0; minterm < (std::uint64_t{1} << n);
+         ++minterm) {
+      std::vector<bool> inputs(n);
+      for (std::size_t i = 0; i < n; ++i) inputs[i] = (minterm >> i) & 1;
+      const auto values = simulate(circuit, inputs);
+      bool ok = true;
+      for (const auto& [gate, value] : assertions)
+        if (values[gate] != to_bool(value)) {
+          ok = false;
+          break;
+        }
+      if (ok) satisfying.push_back(values);
+    }
+
+    if (conflict) {
+      ASSERT_TRUE(satisfying.empty())
+          << "engine reported a conflict but a satisfying vector exists";
+    } else {
+      // Implied values must agree with every satisfying vector.
+      for (const auto& values : satisfying)
+        for (GateId id = 0; id < circuit.num_gates(); ++id) {
+          if (is_known(engine.value(id))) {
+            ASSERT_EQ(to_bool(engine.value(id)), values[id])
+                << "implied value contradicts a satisfying assignment";
+          }
+        }
+    }
+    engine.undo_to(mark);
+    for (GateId id = 0; id < circuit.num_gates(); ++id)
+      ASSERT_FALSE(is_known(engine.value(id))) << "undo left a value";
+  }
+}
+
+TEST(Implication, SoundOnC17) {
+  check_engine_against_enumeration(c17(), 101, 300);
+}
+
+TEST(Implication, SoundOnPaperExample) {
+  check_engine_against_enumeration(paper_example_circuit(), 102, 300);
+}
+
+TEST(Implication, SoundOnRandomCircuits) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    IscasProfile profile;
+    profile.name = "tiny";
+    profile.num_inputs = 6;
+    profile.num_outputs = 3;
+    profile.num_gates = 24;
+    profile.num_levels = 5;
+    profile.xor_fraction = 0.1;
+    profile.seed = seed;
+    check_engine_against_enumeration(make_iscas_like(profile), seed * 7, 120);
+  }
+}
+
+TEST(Implication, ForwardAndBackward) {
+  const Circuit circuit = gate_fixture(GateType::kAnd);
+  const GateId a = circuit.inputs()[0];
+  const GateId b = circuit.inputs()[1];
+  const GateId g = circuit.gate(circuit.outputs()[0]).fanins[0];
+
+  {
+    // Backward: AND output 1 forces both inputs to 1.
+    ImplicationEngine engine(circuit);
+    ASSERT_TRUE(engine.assign(g, Value3::kOne));
+    EXPECT_EQ(engine.value(a), Value3::kOne);
+    EXPECT_EQ(engine.value(b), Value3::kOne);
+    EXPECT_EQ(engine.value(circuit.outputs()[0]), Value3::kOne);
+  }
+  {
+    // Backward with unit clause: output 0, one input 1 -> other is 0.
+    ImplicationEngine engine(circuit);
+    ASSERT_TRUE(engine.assign(g, Value3::kZero));
+    ASSERT_TRUE(engine.assign(a, Value3::kOne));
+    EXPECT_EQ(engine.value(b), Value3::kZero);
+  }
+  {
+    // Conflict: output 1 but an input 0.
+    ImplicationEngine engine(circuit);
+    ASSERT_TRUE(engine.assign(a, Value3::kZero));
+    EXPECT_FALSE(engine.assign(g, Value3::kOne));
+  }
+}
+
+TEST(Implication, TrailUndoRestoresExactly) {
+  const Circuit circuit = c17();
+  ImplicationEngine engine(circuit);
+  ASSERT_TRUE(engine.assign(circuit.inputs()[0], Value3::kOne));
+  const std::size_t mark = engine.mark();
+  const std::size_t assigned_before = engine.num_assigned();
+  ASSERT_TRUE(engine.assign(circuit.inputs()[2], Value3::kZero));
+  EXPECT_GT(engine.num_assigned(), assigned_before);
+  engine.undo_to(mark);
+  EXPECT_EQ(engine.num_assigned(), assigned_before);
+  EXPECT_EQ(engine.value(circuit.inputs()[2]), Value3::kUnknown);
+  EXPECT_EQ(engine.value(circuit.inputs()[0]), Value3::kOne);
+}
+
+TEST(Implication, RepeatedAssignIsConsistent) {
+  const Circuit circuit = gate_fixture(GateType::kOr);
+  const GateId a = circuit.inputs()[0];
+  ImplicationEngine engine(circuit);
+  ASSERT_TRUE(engine.assign(a, Value3::kOne));
+  EXPECT_TRUE(engine.assign(a, Value3::kOne));    // same value: fine
+  EXPECT_FALSE(engine.assign(a, Value3::kZero));  // contradiction
+}
+
+// --- Timed simulation -----------------------------------------------------
+
+TEST(TimedSim, SettlesToFunctionalValue) {
+  const Circuit circuit = c17();
+  DelayModel delays = DelayModel::zero(circuit);
+  Rng rng(5);
+  for (auto& d : delays.gate_delay) d = 1.0 + rng.next_double();
+  for (auto& d : delays.lead_delay) d = rng.next_double();
+  for (std::uint64_t minterm = 0; minterm < 32; ++minterm) {
+    std::vector<bool> inputs(5);
+    for (int i = 0; i < 5; ++i) inputs[i] = (minterm >> i) & 1;
+    std::vector<bool> initial(circuit.num_gates());
+    for (std::size_t g = 0; g < initial.size(); ++g)
+      initial[g] = rng.next_bool(0.5);
+    const auto result = simulate_timed(circuit, delays, initial, inputs);
+    const auto reference = simulate(circuit, inputs);
+    for (GateId id = 0; id < circuit.num_gates(); ++id)
+      ASSERT_EQ(result.final_values[id], reference[id])
+          << "gate " << id << " minterm " << minterm;
+  }
+}
+
+TEST(TimedSim, ChainDelayAccumulates) {
+  Circuit circuit;
+  GateId prev = circuit.add_input("a");
+  for (int i = 0; i < 4; ++i)
+    prev = circuit.add_gate(GateType::kNot, "n" + std::to_string(i), {prev});
+  const GateId po = circuit.add_output("o", prev);
+  circuit.finalize();
+  DelayModel delays = DelayModel::zero(circuit);
+  for (auto& d : delays.gate_delay) d = 2.0;
+  delays.gate_delay[circuit.inputs()[0]] = 0.0;
+  delays.gate_delay[po] = 0.0;
+
+  // Start consistent with a=0, flip to a=1: the transition ripples
+  // through 4 inverters of delay 2.
+  const auto initial = simulate(circuit, {false});
+  const auto result = simulate_timed(circuit, delays, initial, {true});
+  EXPECT_DOUBLE_EQ(result.last_change[po], 8.0);
+}
+
+TEST(TimedSim, StableInputCausesNoEvents) {
+  const Circuit circuit = c17();
+  DelayModel delays = DelayModel::zero(circuit);
+  for (auto& d : delays.gate_delay) d = 1.0;
+  const std::vector<bool> inputs{true, false, true, false, true};
+  const auto initial = simulate(circuit, inputs);
+  const auto result = simulate_timed(circuit, delays, initial, inputs);
+  for (GateId id = 0; id < circuit.num_gates(); ++id) {
+    EXPECT_EQ(result.final_values[id], initial[id]);
+    EXPECT_EQ(result.last_change[id], 0.0);
+  }
+}
+
+TEST(TimedSim, LeadDelayCountsTowardArrival) {
+  Circuit circuit;
+  const GateId a = circuit.add_input("a");
+  const GateId n = circuit.add_gate(GateType::kNot, "n", {a});
+  const GateId po = circuit.add_output("o", n);
+  circuit.finalize();
+  DelayModel delays = DelayModel::zero(circuit);
+  delays.gate_delay[n] = 1.0;
+  delays.lead_delay[circuit.gate(n).fanin_leads[0]] = 3.0;
+  const auto initial = simulate(circuit, {false});
+  const auto result = simulate_timed(circuit, delays, initial, {true});
+  EXPECT_DOUBLE_EQ(result.last_change[po], 4.0);
+}
+
+TEST(TimedSim, RejectsBadArity) {
+  const Circuit circuit = c17();
+  const DelayModel delays = DelayModel::zero(circuit);
+  std::vector<bool> initial(circuit.num_gates());
+  EXPECT_THROW(simulate_timed(circuit, delays, initial, {true}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      simulate_timed(circuit, delays, {true}, std::vector<bool>(5, false)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rd

@@ -1,0 +1,218 @@
+// Tests for static timing analysis and K-longest-path enumeration,
+// cross-checked against exhaustive path enumeration, plus the
+// single-path classifier query that the delay-driven selection flow
+// composes with.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/classify.h"
+#include "core/heuristics.h"
+#include "gen/examples.h"
+#include "gen/iscas_like.h"
+#include "paths/counting.h"
+#include "sta/timing.h"
+#include "util/rng.h"
+
+namespace rd {
+namespace {
+
+DelayModel random_delays(const Circuit& circuit, std::uint64_t seed) {
+  Rng rng(seed);
+  DelayModel delays = DelayModel::zero(circuit);
+  for (auto& d : delays.gate_delay) d = 0.5 + rng.next_double();
+  for (auto& d : delays.lead_delay) d = 0.2 * rng.next_double();
+  return delays;
+}
+
+std::vector<std::pair<double, PhysicalPath>> all_paths_by_delay(
+    const Circuit& circuit, const DelayModel& delays) {
+  std::vector<std::pair<double, PhysicalPath>> scored;
+  enumerate_paths(
+      circuit,
+      [&](const PhysicalPath& path) {
+        scored.emplace_back(path_delay(circuit, delays, path.leads), path);
+      },
+      1u << 18);
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first > b.first;
+                   });
+  return scored;
+}
+
+TEST(Sta, CriticalDelayMatchesLongestPath) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    IscasProfile profile;
+    profile.name = "sta";
+    profile.num_inputs = 6;
+    profile.num_outputs = 3;
+    profile.num_gates = 24;
+    profile.num_levels = 5;
+    profile.seed = seed;
+    const Circuit circuit = make_iscas_like(profile);
+    const DelayModel delays = random_delays(circuit, seed * 13);
+    const TimingAnalysis timing(circuit, delays);
+    const auto scored = all_paths_by_delay(circuit, delays);
+    ASSERT_FALSE(scored.empty());
+    EXPECT_NEAR(timing.critical_delay(), scored.front().first, 1e-9);
+  }
+}
+
+TEST(Sta, ArrivalsMatchBruteForce) {
+  const Circuit circuit = paper_example_circuit();
+  const DelayModel delays = random_delays(circuit, 7);
+  const TimingAnalysis timing(circuit, delays);
+  // Arrival at each PO marker = longest path delay ending there.
+  for (GateId po : circuit.outputs()) {
+    double longest = 0;
+    enumerate_paths(
+        circuit,
+        [&](const PhysicalPath& path) {
+          if (path_po(circuit, path) == po)
+            longest = std::max(longest,
+                               path_delay(circuit, delays, path.leads));
+        },
+        1u << 12);
+    EXPECT_NEAR(timing.arrival(po), longest, 1e-9);
+  }
+}
+
+TEST(Sta, ThroughMatchesBruteForcePerLead) {
+  const Circuit circuit = c17();
+  const DelayModel delays = random_delays(circuit, 9);
+  const TimingAnalysis timing(circuit, delays);
+  std::vector<double> longest(circuit.num_leads(), 0.0);
+  enumerate_paths(
+      circuit,
+      [&](const PhysicalPath& path) {
+        const double delay = path_delay(circuit, delays, path.leads);
+        for (LeadId lead : path.leads)
+          longest[lead] = std::max(longest[lead], delay);
+      },
+      1u << 12);
+  for (LeadId lead = 0; lead < circuit.num_leads(); ++lead) {
+    ASSERT_NEAR(timing.through(lead), longest[lead], 1e-9) << "lead " << lead;
+    EXPECT_NEAR(timing.slack(lead, 100.0), 100.0 - longest[lead], 1e-9);
+  }
+}
+
+TEST(Sta, KLongestMatchesSortedEnumeration) {
+  for (std::uint64_t seed = 21; seed <= 23; ++seed) {
+    IscasProfile profile;
+    profile.name = "klp";
+    profile.num_inputs = 6;
+    profile.num_outputs = 3;
+    profile.num_gates = 22;
+    profile.num_levels = 5;
+    profile.xor_fraction = 0.15;
+    profile.seed = seed;
+    const Circuit circuit = make_iscas_like(profile);
+    const DelayModel delays = random_delays(circuit, seed);
+    const TimingAnalysis timing(circuit, delays);
+    const auto scored = all_paths_by_delay(circuit, delays);
+
+    std::vector<double> emitted;
+    k_longest_paths(timing, 25,
+                    [&](const PhysicalPath& path, double delay) {
+                      EXPECT_NEAR(
+                          delay, path_delay(circuit, delays, path.leads),
+                          1e-9);
+                      emitted.push_back(delay);
+                      return true;
+                    });
+    ASSERT_EQ(emitted.size(), std::min<std::size_t>(25, scored.size()));
+    for (std::size_t i = 0; i < emitted.size(); ++i)
+      ASSERT_NEAR(emitted[i], scored[i].first, 1e-9) << "rank " << i;
+    // Non-increasing order.
+    for (std::size_t i = 1; i < emitted.size(); ++i)
+      ASSERT_GE(emitted[i - 1] + 1e-12, emitted[i]);
+  }
+}
+
+TEST(Sta, VisitorCanStopEarly) {
+  const Circuit circuit = c17();
+  const DelayModel delays = random_delays(circuit, 31);
+  const TimingAnalysis timing(circuit, delays);
+  int count = 0;
+  k_longest_paths(timing, 100, [&](const PhysicalPath&, double) {
+    return ++count < 3;
+  });
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Sta, KBeyondTotalEmitsAll) {
+  const Circuit circuit = paper_example_circuit();
+  const DelayModel delays = random_delays(circuit, 33);
+  const TimingAnalysis timing(circuit, delays);
+  int count = 0;
+  k_longest_paths(timing, 1000, [&](const PhysicalPath&, double) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 4);  // 4 physical paths
+}
+
+TEST(Sta, SinglePathQueryMatchesClassifier) {
+  // path_survives_local_implications must agree path-wise with the
+  // batch classifier.
+  for (std::uint64_t seed = 41; seed <= 43; ++seed) {
+    IscasProfile profile;
+    profile.name = "spq";
+    profile.num_inputs = 6;
+    profile.num_outputs = 3;
+    profile.num_gates = 20;
+    profile.num_levels = 4;
+    profile.seed = seed;
+    const Circuit circuit = make_iscas_like(profile);
+    const InputSort sort = heuristic1_sort(circuit);
+
+    ClassifyOptions options;
+    options.criterion = Criterion::kInputSort;
+    options.sort = &sort;
+    options.collect_paths_limit = 1u << 18;
+    const ClassifyResult batch = classify_paths(circuit, options);
+    std::set<std::vector<std::uint32_t>> kept(batch.kept_keys.begin(),
+                                              batch.kept_keys.end());
+
+    enumerate_paths(
+        circuit,
+        [&](const PhysicalPath& physical) {
+          for (const bool final_value : {false, true}) {
+            const LogicalPath path{physical, final_value};
+            ASSERT_EQ(path_survives_local_implications(
+                          circuit, path, Criterion::kInputSort, &sort),
+                      kept.count(path.key()) != 0)
+                << path_to_string(circuit, path);
+          }
+        },
+        1u << 14);
+  }
+}
+
+TEST(Sta, KLongestNonRdSelection) {
+  // The composed flow: longest paths, skipping RD ones.
+  const Circuit circuit = make_benchmark("c880");
+  const DelayModel delays = random_delays(circuit, 55);
+  const TimingAnalysis timing(circuit, delays);
+  const InputSort sort = heuristic1_sort(circuit);
+  std::size_t selected = 0;
+  std::size_t scanned = 0;
+  k_longest_paths(timing, 5000,
+                  [&](const PhysicalPath& physical, double) {
+                    ++scanned;
+                    for (const bool final_value : {false, true}) {
+                      if (path_survives_local_implications(
+                              circuit, LogicalPath{physical, final_value},
+                              Criterion::kInputSort, &sort))
+                        ++selected;
+                    }
+                    return selected < 100;
+                  });
+  EXPECT_GE(selected, 100u);
+  EXPECT_GE(scanned, 50u);
+}
+
+}  // namespace
+}  // namespace rd

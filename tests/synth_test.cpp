@@ -1,0 +1,158 @@
+// Tests for the mini logic synthesizer: functional equivalence of the
+// multi-level network against direct two-level PLA evaluation, the
+// effect of extraction on structure, and degenerate-input handling.
+#include <gtest/gtest.h>
+
+#include "gen/pla_like.h"
+#include "io/pla_io.h"
+#include "sim/logic_sim.h"
+#include "synth/synth.h"
+
+namespace rd {
+namespace {
+
+/// Direct two-level semantics of a PLA (the specification).
+std::vector<bool> eval_pla(const Pla& pla, std::uint64_t minterm) {
+  std::vector<bool> outputs(pla.num_outputs, false);
+  for (const Cube& cube : pla.cubes) {
+    bool active = true;
+    for (std::size_t var = 0; var < pla.num_inputs && active; ++var) {
+      const bool bit = (minterm >> var) & 1;
+      if (cube.inputs[var] == CubeLit::kPositive && !bit) active = false;
+      if (cube.inputs[var] == CubeLit::kNegative && bit) active = false;
+    }
+    if (!active) continue;
+    for (std::size_t out = 0; out < pla.num_outputs; ++out)
+      if (cube.outputs[out]) outputs[out] = true;
+  }
+  return outputs;
+}
+
+void expect_implements(const Pla& pla, const Circuit& circuit) {
+  ASSERT_EQ(circuit.inputs().size(), pla.num_inputs);
+  ASSERT_EQ(circuit.outputs().size(), pla.num_outputs);
+  ASSERT_LE(pla.num_inputs, 16u);
+  for (std::uint64_t minterm = 0;
+       minterm < (std::uint64_t{1} << pla.num_inputs); ++minterm) {
+    const auto expected = eval_pla(pla, minterm);
+    const auto actual = evaluate_minterm(circuit, minterm);
+    ASSERT_EQ(actual, expected) << "minterm " << minterm;
+  }
+}
+
+Pla fixture_pla() {
+  return read_pla_string(R"(
+.i 5
+.o 3
+10--1 1--
+01-1- 11-
+0-01- -11
+110-- --1
+-1111 1-1
+)",
+                         "fixture");
+}
+
+TEST(Synth, TwoLevelImplementsThePla) {
+  const Pla pla = fixture_pla();
+  expect_implements(pla, synthesize_two_level(pla));
+}
+
+TEST(Synth, MultiLevelImplementsThePla) {
+  const Pla pla = fixture_pla();
+  expect_implements(pla, synthesize_multilevel(pla));
+}
+
+TEST(Synth, MultiLevelWithoutExtraction) {
+  const Pla pla = fixture_pla();
+  SynthOptions options;
+  options.extract_common_cubes = false;
+  expect_implements(pla, synthesize_multilevel(pla, options));
+}
+
+TEST(Synth, RandomPlasAreImplementedCorrectly) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    PlaProfile profile;
+    profile.name = "t" + std::to_string(seed);
+    profile.num_inputs = 8;
+    profile.num_outputs = 4;
+    profile.num_cubes = 24;
+    profile.min_literals = 2;
+    profile.max_literals = 5;
+    profile.output_density = 0.3;
+    profile.seed = seed;
+    const Pla pla = make_pla_like(profile);
+    expect_implements(pla, synthesize_multilevel(pla));
+    expect_implements(pla, synthesize_two_level(pla));
+  }
+}
+
+TEST(Synth, ExtractionCreatesInternalFanout) {
+  // With skewed literal distributions the extraction phase must find
+  // shared cubes, producing gates with fanout > 1 beyond the PIs.
+  PlaProfile profile;
+  profile.name = "shared";
+  profile.num_inputs = 8;
+  profile.num_outputs = 4;
+  profile.num_cubes = 40;
+  profile.min_literals = 3;
+  profile.max_literals = 6;
+  profile.seed = 5;
+  const Pla pla = make_pla_like(profile);
+  const Circuit circuit = synthesize_multilevel(pla);
+  std::size_t internal_fanout_gates = 0;
+  for (GateId id = 0; id < circuit.num_gates(); ++id) {
+    const Gate& gate = circuit.gate(id);
+    if (gate.type == GateType::kInput || gate.type == GateType::kOutput)
+      continue;
+    if (gate.fanout_leads.size() > 1) ++internal_fanout_gates;
+  }
+  EXPECT_GT(internal_fanout_gates, 0u);
+}
+
+TEST(Synth, RespectsFaninBound) {
+  PlaProfile profile;
+  profile.name = "wide";
+  profile.num_inputs = 10;
+  profile.num_outputs = 2;
+  profile.num_cubes = 30;
+  profile.min_literals = 6;
+  profile.max_literals = 9;
+  profile.seed = 9;
+  const Pla pla = make_pla_like(profile);
+  SynthOptions options;
+  options.max_fanin = 3;
+  const Circuit circuit = synthesize_multilevel(pla, options);
+  for (GateId id = 0; id < circuit.num_gates(); ++id)
+    EXPECT_LE(circuit.gate(id).fanins.size(), 3u);
+  expect_implements(pla, circuit);
+}
+
+TEST(Synth, ContainedCubesAreDropped) {
+  // Second cube is contained in the first (per output 0): the cover
+  // must still be implemented correctly.
+  const Pla pla = read_pla_string(
+      ".i 3\n.o 1\n1-- 1\n11- 1\n0-1 1\n.e\n");
+  const Circuit circuit = synthesize_multilevel(pla);
+  expect_implements(pla, circuit);
+}
+
+TEST(Synth, RejectsDegenerateCovers) {
+  // Tautological cube (no literals).
+  EXPECT_THROW(
+      synthesize_multilevel(read_pla_string(".i 2\n.o 1\n-- 1\n.e\n")),
+      std::invalid_argument);
+  // Output with an empty cover.
+  EXPECT_THROW(
+      synthesize_multilevel(read_pla_string(".i 2\n.o 2\n11 1-\n.e\n")),
+      std::invalid_argument);
+}
+
+TEST(Synth, SingleCubeOutput) {
+  const Pla pla = read_pla_string(".i 3\n.o 1\n101 1\n.e\n");
+  const Circuit circuit = synthesize_multilevel(pla);
+  expect_implements(pla, circuit);
+}
+
+}  // namespace
+}  // namespace rd

@@ -1,0 +1,211 @@
+// Tests for the test-generation layer: non-robust ATPG (cross-checked
+// against the exact T(C) characterization), path delay fault
+// simulation (cross-checked against the ATPG engines), test-set
+// generation/compaction, and the stats reporter.
+#include <gtest/gtest.h>
+
+#include "atpg/nonrobust.h"
+#include "atpg/path_fault_sim.h"
+#include "atpg/robust.h"
+#include "atpg/testset.h"
+#include "core/exact.h"
+#include "gen/examples.h"
+#include "gen/iscas_like.h"
+#include "io/stats.h"
+#include "paths/counting.h"
+
+namespace rd {
+namespace {
+
+std::vector<LogicalPath> all_logical_paths(const Circuit& circuit) {
+  std::vector<LogicalPath> paths;
+  enumerate_paths(
+      circuit,
+      [&](const PhysicalPath& physical) {
+        paths.push_back(LogicalPath{physical, false});
+        paths.push_back(LogicalPath{physical, true});
+      },
+      1u << 16);
+  return paths;
+}
+
+std::vector<Circuit> small_circuits() {
+  std::vector<Circuit> circuits;
+  circuits.push_back(paper_example_circuit());
+  circuits.push_back(c17());
+  for (std::uint64_t seed = 71; seed <= 73; ++seed) {
+    IscasProfile profile;
+    profile.name = "tg" + std::to_string(seed);
+    profile.num_inputs = 6;
+    profile.num_outputs = 3;
+    profile.num_gates = 20;
+    profile.num_levels = 4;
+    profile.xor_fraction = seed % 2 ? 0.2 : 0.0;
+    profile.seed = seed;
+    circuits.push_back(make_iscas_like(profile));
+  }
+  return circuits;
+}
+
+TEST(NonRobustAtpg, AgreesWithExactCharacterization) {
+  for (const Circuit& circuit : small_circuits()) {
+    for (const LogicalPath& path : all_logical_paths(circuit)) {
+      const bool exact =
+          exactly_sensitizable(circuit, path, Criterion::kNonRobust);
+      const auto test = find_nonrobust_test(circuit, path);
+      ASSERT_EQ(test.has_value(), exact)
+          << circuit.name() << ": " << path_to_string(circuit, path);
+      if (test.has_value()) {
+        EXPECT_TRUE(nonrobust_test_is_valid(circuit, path, *test));
+      }
+    }
+  }
+}
+
+TEST(NonRobustAtpg, DashedPathOfThePaperIsUntestable) {
+  const Circuit circuit = paper_example_circuit();
+  for (const LogicalPath& path : all_logical_paths(circuit)) {
+    // The b-paths and the deep c-rising path are non-robust
+    // untestable; everything else is testable.
+    const std::string text = path_to_string(circuit, path);
+    const bool through_b = text.find("b (") == 0;
+    const bool deep_c_rising =
+        text.find("c (R) -> g1") == 0;
+    const bool expected_testable = !through_b && !deep_c_rising;
+    EXPECT_EQ(find_nonrobust_test(circuit, path).has_value(),
+              expected_testable)
+        << text;
+  }
+}
+
+TEST(PathFaultSim, RobustTestsClassifyAsRobust) {
+  for (const Circuit& circuit : small_circuits()) {
+    for (const LogicalPath& path : all_logical_paths(circuit)) {
+      const auto test = find_robust_test(circuit, path);
+      if (!test.has_value()) continue;
+      const auto detection = simulate_path_test(circuit, {path}, *test);
+      ASSERT_EQ(detection.size(), 1u);
+      EXPECT_EQ(detection[0], DetectionClass::kRobust)
+          << circuit.name() << ": " << path_to_string(circuit, path);
+    }
+  }
+}
+
+TEST(PathFaultSim, NonRobustTestsClassifyAtLeastNonRobust) {
+  for (const Circuit& circuit : small_circuits()) {
+    for (const LogicalPath& path : all_logical_paths(circuit)) {
+      const auto test = find_nonrobust_test(circuit, path);
+      if (!test.has_value()) continue;
+      const auto waves = waves_of_vectors(circuit, test->v1, test->v2);
+      const auto detection = simulate_path_test(circuit, {path}, waves);
+      ASSERT_EQ(detection.size(), 1u);
+      EXPECT_NE(detection[0], DetectionClass::kNone)
+          << circuit.name() << ": " << path_to_string(circuit, path);
+    }
+  }
+}
+
+TEST(PathFaultSim, WrongPolarityIsNotDetected) {
+  const Circuit circuit = c17();
+  const auto paths = all_logical_paths(circuit);
+  for (const LogicalPath& path : paths) {
+    const auto test = find_robust_test(circuit, path);
+    ASSERT_TRUE(test.has_value());
+    // The same test cannot detect the opposite-transition fault of the
+    // same physical path: its launch direction is wrong.
+    LogicalPath opposite = path;
+    opposite.final_pi_value = !opposite.final_pi_value;
+    const auto detection = simulate_path_test(circuit, {opposite}, *test);
+    EXPECT_EQ(detection[0], DetectionClass::kNone);
+  }
+}
+
+TEST(PathFaultSim, SteadyInputsDetectNothing) {
+  const Circuit circuit = paper_example_circuit();
+  std::vector<Wave> steady(circuit.inputs().size(), Wave::steady(true));
+  const auto detection =
+      simulate_path_test(circuit, all_logical_paths(circuit), steady);
+  for (const DetectionClass d : detection)
+    EXPECT_EQ(d, DetectionClass::kNone);
+}
+
+TEST(TestSet, FullCoverageOnC17) {
+  const Circuit circuit = c17();
+  const auto paths = all_logical_paths(circuit);
+  const GeneratedTestSet set = generate_test_set(circuit, paths);
+  EXPECT_EQ(set.robust_count, paths.size());
+  EXPECT_EQ(set.undetected_count, 0u);
+  EXPECT_DOUBLE_EQ(set.robust_coverage_percent, 100.0);
+  // Compaction: far fewer tests than paths (22 faults).
+  EXPECT_LT(set.tests.size(), paths.size());
+  // Bookkeeping is consistent.
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    ASSERT_GE(set.detected_by[i], 0);
+    ASSERT_LT(set.detected_by[i], static_cast<int>(set.tests.size()));
+    const auto replay = simulate_path_test(
+        circuit, {paths[i]},
+        set.tests[static_cast<std::size_t>(set.detected_by[i])]);
+    EXPECT_EQ(replay[0], set.detection[i]);
+  }
+}
+
+TEST(TestSet, PaperExampleSplitsByClass) {
+  const Circuit circuit = paper_example_circuit();
+  const auto paths = all_logical_paths(circuit);
+  ASSERT_EQ(paths.size(), 8u);
+  const GeneratedTestSet set = generate_test_set(circuit, paths);
+  // 5 robustly testable; the other 3 are not even non-robustly
+  // testable (shown in the paper's example discussion).
+  EXPECT_EQ(set.robust_count, 5u);
+  EXPECT_EQ(set.nonrobust_count, 0u);
+  EXPECT_EQ(set.undetected_count, 3u);
+}
+
+TEST(TestSet, NonRobustFallbackOnlyAddsCoverage) {
+  // Note: even with the fallback disabled, a *robust* test for one
+  // path may detect other paths non-robustly — that incidental
+  // coverage is kept.  The fallback pass can only reduce the
+  // undetected count, never the robust one.
+  for (const Circuit& circuit : small_circuits()) {
+    const auto paths = all_logical_paths(circuit);
+    TestSetOptions options;
+    options.allow_nonrobust = false;
+    const GeneratedTestSet robust_only =
+        generate_test_set(circuit, paths, options);
+    const GeneratedTestSet full = generate_test_set(circuit, paths);
+    EXPECT_EQ(full.robust_count, robust_only.robust_count);
+    EXPECT_LE(full.undetected_count, robust_only.undetected_count);
+    EXPECT_GE(full.tests.size(), robust_only.tests.size());
+  }
+}
+
+TEST(Stats, ReportsConsistentNumbers) {
+  const Circuit circuit = c17();
+  const CircuitStats stats = compute_stats(circuit);
+  EXPECT_EQ(stats.num_inputs, 5u);
+  EXPECT_EQ(stats.num_outputs, 2u);
+  EXPECT_EQ(stats.num_logic_gates, 6u);
+  EXPECT_EQ(stats.gates_by_type[static_cast<std::size_t>(GateType::kNand)],
+            6u);
+  EXPECT_EQ(stats.max_fanin, 2u);
+  EXPECT_EQ(stats.physical_paths.to_u64(), 11u);
+  EXPECT_EQ(stats.logical_paths.to_u64(), 22u);
+  EXPECT_EQ(stats.depth, 4u);
+
+  const std::string text = stats_to_string(stats);
+  EXPECT_NE(text.find("NAND=6"), std::string::npos);
+  EXPECT_NE(text.find("22 logical"), std::string::npos);
+  EXPECT_NE(text.find("5 PIs"), std::string::npos);
+}
+
+TEST(Stats, MatchesPathCountsOnGenerated) {
+  const Circuit circuit = make_benchmark("c880");
+  const CircuitStats stats = compute_stats(circuit);
+  const PathCounts counts(circuit);
+  EXPECT_EQ(stats.logical_paths, counts.total_logical());
+  EXPECT_GT(stats.avg_fanin, 1.0);
+  EXPECT_GE(stats.max_fanout, 1u);
+}
+
+}  // namespace
+}  // namespace rd

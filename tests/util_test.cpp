@@ -1,0 +1,239 @@
+// Unit tests for the util layer: BigUint arithmetic (checked against a
+// 64-bit oracle and against decimal string fixtures), the deterministic
+// RNG, string helpers, duration formatting and the table printer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/biguint.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace rd {
+namespace {
+
+TEST(BigUint, DefaultIsZero) {
+  BigUint zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.to_decimal(), "0");
+  EXPECT_EQ(zero.to_u64(), 0u);
+  EXPECT_EQ(zero.to_double(), 0.0);
+}
+
+TEST(BigUint, RoundTripsU64Boundaries) {
+  for (std::uint64_t value :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{0xffffffffull},
+        std::uint64_t{0x100000000ull}, std::uint64_t{0xffffffffffffffffull}}) {
+    BigUint big(value);
+    EXPECT_TRUE(big.fits_u64());
+    EXPECT_EQ(big.to_u64(), value);
+    EXPECT_EQ(big.to_decimal(), std::to_string(value));
+  }
+}
+
+TEST(BigUint, AdditionMatchesU64Oracle) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t a = rng.next_u64() >> 1;  // avoid u64 overflow
+    const std::uint64_t b = rng.next_u64() >> 1;
+    BigUint big(a);
+    big += b;
+    ASSERT_EQ(big.to_u64(), a + b) << a << " + " << b;
+  }
+}
+
+TEST(BigUint, MultiplicationMatchesU64Oracle) {
+  Rng rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t a = rng.next_u64() & 0xffffffffu;
+    const std::uint64_t b = rng.next_u64() & 0xffffffffu;
+    BigUint big(a);
+    big *= b;
+    ASSERT_EQ(big.to_u64(), a * b);
+  }
+}
+
+TEST(BigUint, SubtractionMatchesU64Oracle) {
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    std::uint64_t a = rng.next_u64();
+    std::uint64_t b = rng.next_u64();
+    if (a < b) std::swap(a, b);
+    BigUint big(a);
+    big -= BigUint(b);
+    ASSERT_EQ(big.to_u64(), a - b);
+  }
+}
+
+TEST(BigUint, SubtractionUnderflowThrows) {
+  BigUint small(3);
+  EXPECT_THROW(small -= BigUint(4), std::underflow_error);
+}
+
+TEST(BigUint, LargeValueDecimal) {
+  // 2^128 = 340282366920938463463374607431768211456
+  BigUint value(1);
+  for (int i = 0; i < 128; ++i) value *= 2u;
+  EXPECT_EQ(value.to_decimal(), "340282366920938463463374607431768211456");
+  EXPECT_FALSE(value.fits_u64());
+  EXPECT_NEAR(value.to_double(), 3.402823669209385e38, 1e24);
+}
+
+TEST(BigUint, FactorialFixture) {
+  // 30! = 265252859812191058636308480000000
+  BigUint factorial(1);
+  for (std::uint64_t i = 2; i <= 30; ++i) factorial *= i;
+  EXPECT_EQ(factorial.to_decimal(), "265252859812191058636308480000000");
+}
+
+TEST(BigUint, FromDecimalRoundTrip) {
+  const std::string digits = "190000000000000000000";  // c6288 scale
+  const BigUint value = BigUint::from_decimal(digits);
+  EXPECT_EQ(value.to_decimal(), digits);
+  EXPECT_THROW(BigUint::from_decimal(""), std::invalid_argument);
+  EXPECT_THROW(BigUint::from_decimal("12a3"), std::invalid_argument);
+}
+
+TEST(BigUint, GroupedFormatting) {
+  EXPECT_EQ(BigUint(57353342).to_decimal_grouped(), "57,353,342");
+  EXPECT_EQ(BigUint(17284).to_decimal_grouped(), "17,284");
+  EXPECT_EQ(BigUint(1).to_decimal_grouped(), "1");
+  EXPECT_EQ(BigUint(0).to_decimal_grouped(), "0");
+  EXPECT_EQ(BigUint(1000).to_decimal_grouped(), "1,000");
+}
+
+TEST(BigUint, ComparisonTotalOrder) {
+  const BigUint small(5);
+  const BigUint medium(std::uint64_t{1} << 40);
+  BigUint large(1);
+  for (int i = 0; i < 100; ++i) large *= 3u;
+  EXPECT_LT(small, medium);
+  EXPECT_LT(medium, large);
+  EXPECT_LT(small, large);
+  EXPECT_FALSE(large < small);
+  EXPECT_EQ(small, BigUint(5));
+  EXPECT_NE(small, medium);
+  EXPECT_LE(small, BigUint(5));
+  EXPECT_GE(large, medium);
+}
+
+TEST(BigUint, AdditionCarriesAcrossLimbs) {
+  BigUint value(0xffffffffffffffffull);
+  value += 1;
+  EXPECT_EQ(value.to_decimal(), "18446744073709551616");
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t bound = 1 + (rng.next_u64() % 1000);
+    ASSERT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextInInclusive) {
+  Rng rng(6);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t draw = rng.next_in(3, 5);
+    ASSERT_GE(draw, 3u);
+    ASSERT_LE(draw, 5u);
+    saw_lo |= draw == 3;
+    saw_hi |= draw == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double draw = rng.next_double();
+    ASSERT_GE(draw, 0.0);
+    ASSERT_LT(draw, 1.0);
+  }
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t x \n"), "x");
+}
+
+TEST(Strings, Split) {
+  const auto pieces = split("a, b , c", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "c");
+  EXPECT_EQ(split("", ',').size(), 1u);
+  EXPECT_EQ(split("a,,b", ',')[1], "");
+}
+
+TEST(Strings, ToLowerAndStartsWith) {
+  EXPECT_EQ(to_lower("NAND"), "nand");
+  EXPECT_TRUE(starts_with("INPUT(x)", "INPUT"));
+  EXPECT_FALSE(starts_with("IN", "INPUT"));
+}
+
+TEST(Stopwatch, FormatDuration) {
+  EXPECT_EQ(format_duration(0), "0:00");
+  EXPECT_EQ(format_duration(25), "0:25");
+  EXPECT_EQ(format_duration(72), "1:12");
+  EXPECT_EQ(format_duration(8646), "2:24:06");      // c3540 Heu1 in the paper
+  EXPECT_EQ(format_duration(52178), "14:29:38");    // c3540 Heu2
+  EXPECT_EQ(format_duration(-1), "0:00");
+}
+
+TEST(Stopwatch, MeasuresForwardTime) {
+  Stopwatch watch;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(watch.elapsed_seconds(), 0.0);
+}
+
+TEST(TextTable, AlignsAndFormats) {
+  TextTable table({"circuit", "FUS", "Heu1"});
+  table.add_row({"c432", "64.25 %", "90.12 %"});
+  table.add_row({"c499", "30.05 %", "39.50 %"});
+  const std::string rendered = table.to_string();
+  EXPECT_NE(rendered.find("circuit"), std::string::npos);
+  EXPECT_NE(rendered.find("64.25 %"), std::string::npos);
+  EXPECT_NE(rendered.find("c499"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(rendered.find("---"), std::string::npos);
+}
+
+TEST(TextTable, RejectsArityMismatch) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(TextTable, FormatPercent) {
+  EXPECT_EQ(format_percent(64.25), "64.25 %");
+  EXPECT_EQ(format_percent(0.94), "0.94 %");
+  EXPECT_EQ(format_percent(100.0), "100.00 %");
+}
+
+}  // namespace
+}  // namespace rd
