@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_approx"
+  "../bench/bench_approx.pdb"
+  "CMakeFiles/bench_approx.dir/bench_approx.cpp.o"
+  "CMakeFiles/bench_approx.dir/bench_approx.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2.cpp" "bench-build/CMakeFiles/bench_table2.dir/bench_table2.cpp.o" "gcc" "bench-build/CMakeFiles/bench_table2.dir/bench_table2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/rd_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/rd_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/rd_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/unfold/CMakeFiles/rd_unfold.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/rd_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/rd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/paths/CMakeFiles/rd_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rd_sequential.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/rd_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/rd_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rd_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

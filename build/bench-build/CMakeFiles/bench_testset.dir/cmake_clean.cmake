@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_testset"
+  "../bench/bench_testset.pdb"
+  "CMakeFiles/bench_testset.dir/bench_testset.cpp.o"
+  "CMakeFiles/bench_testset.dir/bench_testset.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_testset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_walkthrough.dir/baseline_walkthrough.cpp.o"
+  "CMakeFiles/baseline_walkthrough.dir/baseline_walkthrough.cpp.o.d"
+  "baseline_walkthrough"
+  "baseline_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delay_verification.dir/delay_verification.cpp.o"
+  "CMakeFiles/delay_verification.dir/delay_verification.cpp.o.d"
+  "delay_verification"
+  "delay_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

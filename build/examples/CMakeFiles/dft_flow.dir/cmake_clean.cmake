@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dft_flow.dir/dft_flow.cpp.o"
+  "CMakeFiles/dft_flow.dir/dft_flow.cpp.o.d"
+  "dft_flow"
+  "dft_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dft_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfast_cli.dir/rdfast_cli.cpp.o"
+  "CMakeFiles/rdfast_cli.dir/rdfast_cli.cpp.o.d"
+  "rdfast_cli"
+  "rdfast_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfast_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

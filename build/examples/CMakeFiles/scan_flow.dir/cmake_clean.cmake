@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_flow.dir/scan_flow.cpp.o"
+  "CMakeFiles/scan_flow.dir/scan_flow.cpp.o.d"
+  "scan_flow"
+  "scan_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

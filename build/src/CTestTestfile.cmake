@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("netlist")
+subdirs("io")
+subdirs("sim")
+subdirs("paths")
+subdirs("core")
+subdirs("bdd")
+subdirs("sta")
+subdirs("sat")
+subdirs("atpg")
+subdirs("unfold")
+subdirs("synth")
+subdirs("gen")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atpg/nonrobust.cpp" "src/atpg/CMakeFiles/rd_atpg.dir/nonrobust.cpp.o" "gcc" "src/atpg/CMakeFiles/rd_atpg.dir/nonrobust.cpp.o.d"
+  "/root/repo/src/atpg/path_fault_sim.cpp" "src/atpg/CMakeFiles/rd_atpg.dir/path_fault_sim.cpp.o" "gcc" "src/atpg/CMakeFiles/rd_atpg.dir/path_fault_sim.cpp.o.d"
+  "/root/repo/src/atpg/robust.cpp" "src/atpg/CMakeFiles/rd_atpg.dir/robust.cpp.o" "gcc" "src/atpg/CMakeFiles/rd_atpg.dir/robust.cpp.o.d"
+  "/root/repo/src/atpg/stuck_at.cpp" "src/atpg/CMakeFiles/rd_atpg.dir/stuck_at.cpp.o" "gcc" "src/atpg/CMakeFiles/rd_atpg.dir/stuck_at.cpp.o.d"
+  "/root/repo/src/atpg/testset.cpp" "src/atpg/CMakeFiles/rd_atpg.dir/testset.cpp.o" "gcc" "src/atpg/CMakeFiles/rd_atpg.dir/testset.cpp.o.d"
+  "/root/repo/src/atpg/transition.cpp" "src/atpg/CMakeFiles/rd_atpg.dir/transition.cpp.o" "gcc" "src/atpg/CMakeFiles/rd_atpg.dir/transition.cpp.o.d"
+  "/root/repo/src/atpg/waveform.cpp" "src/atpg/CMakeFiles/rd_atpg.dir/waveform.cpp.o" "gcc" "src/atpg/CMakeFiles/rd_atpg.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/rd_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/paths/CMakeFiles/rd_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rd_atpg.dir/nonrobust.cpp.o"
+  "CMakeFiles/rd_atpg.dir/nonrobust.cpp.o.d"
+  "CMakeFiles/rd_atpg.dir/path_fault_sim.cpp.o"
+  "CMakeFiles/rd_atpg.dir/path_fault_sim.cpp.o.d"
+  "CMakeFiles/rd_atpg.dir/robust.cpp.o"
+  "CMakeFiles/rd_atpg.dir/robust.cpp.o.d"
+  "CMakeFiles/rd_atpg.dir/stuck_at.cpp.o"
+  "CMakeFiles/rd_atpg.dir/stuck_at.cpp.o.d"
+  "CMakeFiles/rd_atpg.dir/testset.cpp.o"
+  "CMakeFiles/rd_atpg.dir/testset.cpp.o.d"
+  "CMakeFiles/rd_atpg.dir/transition.cpp.o"
+  "CMakeFiles/rd_atpg.dir/transition.cpp.o.d"
+  "CMakeFiles/rd_atpg.dir/waveform.cpp.o"
+  "CMakeFiles/rd_atpg.dir/waveform.cpp.o.d"
+  "librd_atpg.a"
+  "librd_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rd_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

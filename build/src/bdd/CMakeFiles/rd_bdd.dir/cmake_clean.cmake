@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rd_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/rd_bdd.dir/bdd.cpp.o.d"
+  "CMakeFiles/rd_bdd.dir/bdd_circuit.cpp.o"
+  "CMakeFiles/rd_bdd.dir/bdd_circuit.cpp.o.d"
+  "librd_bdd.a"
+  "librd_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rd_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classify.cpp" "src/core/CMakeFiles/rd_core.dir/classify.cpp.o" "gcc" "src/core/CMakeFiles/rd_core.dir/classify.cpp.o.d"
+  "/root/repo/src/core/exact.cpp" "src/core/CMakeFiles/rd_core.dir/exact.cpp.o" "gcc" "src/core/CMakeFiles/rd_core.dir/exact.cpp.o.d"
+  "/root/repo/src/core/heuristics.cpp" "src/core/CMakeFiles/rd_core.dir/heuristics.cpp.o" "gcc" "src/core/CMakeFiles/rd_core.dir/heuristics.cpp.o.d"
+  "/root/repo/src/core/input_sort.cpp" "src/core/CMakeFiles/rd_core.dir/input_sort.cpp.o" "gcc" "src/core/CMakeFiles/rd_core.dir/input_sort.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/rd_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/rd_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/selection.cpp" "src/core/CMakeFiles/rd_core.dir/selection.cpp.o" "gcc" "src/core/CMakeFiles/rd_core.dir/selection.cpp.o.d"
+  "/root/repo/src/core/stabilize.cpp" "src/core/CMakeFiles/rd_core.dir/stabilize.cpp.o" "gcc" "src/core/CMakeFiles/rd_core.dir/stabilize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/rd_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/paths/CMakeFiles/rd_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/rd_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

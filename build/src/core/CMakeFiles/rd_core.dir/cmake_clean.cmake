@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rd_core.dir/classify.cpp.o"
+  "CMakeFiles/rd_core.dir/classify.cpp.o.d"
+  "CMakeFiles/rd_core.dir/exact.cpp.o"
+  "CMakeFiles/rd_core.dir/exact.cpp.o.d"
+  "CMakeFiles/rd_core.dir/heuristics.cpp.o"
+  "CMakeFiles/rd_core.dir/heuristics.cpp.o.d"
+  "CMakeFiles/rd_core.dir/input_sort.cpp.o"
+  "CMakeFiles/rd_core.dir/input_sort.cpp.o.d"
+  "CMakeFiles/rd_core.dir/report.cpp.o"
+  "CMakeFiles/rd_core.dir/report.cpp.o.d"
+  "CMakeFiles/rd_core.dir/selection.cpp.o"
+  "CMakeFiles/rd_core.dir/selection.cpp.o.d"
+  "CMakeFiles/rd_core.dir/stabilize.cpp.o"
+  "CMakeFiles/rd_core.dir/stabilize.cpp.o.d"
+  "librd_core.a"
+  "librd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librd_core.a"
+)

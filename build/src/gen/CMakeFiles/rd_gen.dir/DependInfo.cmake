@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/examples.cpp" "src/gen/CMakeFiles/rd_gen.dir/examples.cpp.o" "gcc" "src/gen/CMakeFiles/rd_gen.dir/examples.cpp.o.d"
+  "/root/repo/src/gen/iscas_like.cpp" "src/gen/CMakeFiles/rd_gen.dir/iscas_like.cpp.o" "gcc" "src/gen/CMakeFiles/rd_gen.dir/iscas_like.cpp.o.d"
+  "/root/repo/src/gen/pla_like.cpp" "src/gen/CMakeFiles/rd_gen.dir/pla_like.cpp.o" "gcc" "src/gen/CMakeFiles/rd_gen.dir/pla_like.cpp.o.d"
+  "/root/repo/src/gen/seq_like.cpp" "src/gen/CMakeFiles/rd_gen.dir/seq_like.cpp.o" "gcc" "src/gen/CMakeFiles/rd_gen.dir/seq_like.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/rd_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rd_sequential.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/rd_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/paths/CMakeFiles/rd_paths.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rd_gen.dir/examples.cpp.o"
+  "CMakeFiles/rd_gen.dir/examples.cpp.o.d"
+  "CMakeFiles/rd_gen.dir/iscas_like.cpp.o"
+  "CMakeFiles/rd_gen.dir/iscas_like.cpp.o.d"
+  "CMakeFiles/rd_gen.dir/pla_like.cpp.o"
+  "CMakeFiles/rd_gen.dir/pla_like.cpp.o.d"
+  "CMakeFiles/rd_gen.dir/seq_like.cpp.o"
+  "CMakeFiles/rd_gen.dir/seq_like.cpp.o.d"
+  "librd_gen.a"
+  "librd_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rd_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/bench_io.cpp" "src/io/CMakeFiles/rd_io.dir/bench_io.cpp.o" "gcc" "src/io/CMakeFiles/rd_io.dir/bench_io.cpp.o.d"
+  "/root/repo/src/io/pla_io.cpp" "src/io/CMakeFiles/rd_io.dir/pla_io.cpp.o" "gcc" "src/io/CMakeFiles/rd_io.dir/pla_io.cpp.o.d"
+  "/root/repo/src/io/stats.cpp" "src/io/CMakeFiles/rd_io.dir/stats.cpp.o" "gcc" "src/io/CMakeFiles/rd_io.dir/stats.cpp.o.d"
+  "/root/repo/src/io/verilog_io.cpp" "src/io/CMakeFiles/rd_io.dir/verilog_io.cpp.o" "gcc" "src/io/CMakeFiles/rd_io.dir/verilog_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/rd_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/paths/CMakeFiles/rd_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

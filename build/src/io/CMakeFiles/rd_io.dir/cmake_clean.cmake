@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rd_io.dir/bench_io.cpp.o"
+  "CMakeFiles/rd_io.dir/bench_io.cpp.o.d"
+  "CMakeFiles/rd_io.dir/pla_io.cpp.o"
+  "CMakeFiles/rd_io.dir/pla_io.cpp.o.d"
+  "CMakeFiles/rd_io.dir/stats.cpp.o"
+  "CMakeFiles/rd_io.dir/stats.cpp.o.d"
+  "CMakeFiles/rd_io.dir/verilog_io.cpp.o"
+  "CMakeFiles/rd_io.dir/verilog_io.cpp.o.d"
+  "librd_io.a"
+  "librd_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rd_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rd_netlist.dir/circuit.cpp.o"
+  "CMakeFiles/rd_netlist.dir/circuit.cpp.o.d"
+  "CMakeFiles/rd_netlist.dir/transform.cpp.o"
+  "CMakeFiles/rd_netlist.dir/transform.cpp.o.d"
+  "librd_netlist.a"
+  "librd_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rd_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rd_sequential.dir/sequential.cpp.o"
+  "CMakeFiles/rd_sequential.dir/sequential.cpp.o.d"
+  "librd_sequential.a"
+  "librd_sequential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rd_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rd_paths.dir/counting.cpp.o"
+  "CMakeFiles/rd_paths.dir/counting.cpp.o.d"
+  "CMakeFiles/rd_paths.dir/path.cpp.o"
+  "CMakeFiles/rd_paths.dir/path.cpp.o.d"
+  "librd_paths.a"
+  "librd_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rd_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

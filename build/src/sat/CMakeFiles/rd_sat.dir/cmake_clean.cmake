@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rd_sat.dir/cnf.cpp.o"
+  "CMakeFiles/rd_sat.dir/cnf.cpp.o.d"
+  "CMakeFiles/rd_sat.dir/solver.cpp.o"
+  "CMakeFiles/rd_sat.dir/solver.cpp.o.d"
+  "librd_sat.a"
+  "librd_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rd_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rd_sim.dir/implication.cpp.o"
+  "CMakeFiles/rd_sim.dir/implication.cpp.o.d"
+  "CMakeFiles/rd_sim.dir/logic_sim.cpp.o"
+  "CMakeFiles/rd_sim.dir/logic_sim.cpp.o.d"
+  "CMakeFiles/rd_sim.dir/timed_sim.cpp.o"
+  "CMakeFiles/rd_sim.dir/timed_sim.cpp.o.d"
+  "CMakeFiles/rd_sim.dir/two_pattern.cpp.o"
+  "CMakeFiles/rd_sim.dir/two_pattern.cpp.o.d"
+  "librd_sim.a"
+  "librd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rd_sta.dir/timing.cpp.o"
+  "CMakeFiles/rd_sta.dir/timing.cpp.o.d"
+  "librd_sta.a"
+  "librd_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rd_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rd_synth.dir/synth.cpp.o"
+  "CMakeFiles/rd_synth.dir/synth.cpp.o.d"
+  "librd_synth.a"
+  "librd_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rd_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/unfold/leaf_dag.cpp" "src/unfold/CMakeFiles/rd_unfold.dir/leaf_dag.cpp.o" "gcc" "src/unfold/CMakeFiles/rd_unfold.dir/leaf_dag.cpp.o.d"
+  "/root/repo/src/unfold/redundancy.cpp" "src/unfold/CMakeFiles/rd_unfold.dir/redundancy.cpp.o" "gcc" "src/unfold/CMakeFiles/rd_unfold.dir/redundancy.cpp.o.d"
+  "/root/repo/src/unfold/xfault.cpp" "src/unfold/CMakeFiles/rd_unfold.dir/xfault.cpp.o" "gcc" "src/unfold/CMakeFiles/rd_unfold.dir/xfault.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/rd_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/paths/CMakeFiles/rd_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/rd_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rd_unfold.dir/leaf_dag.cpp.o"
+  "CMakeFiles/rd_unfold.dir/leaf_dag.cpp.o.d"
+  "CMakeFiles/rd_unfold.dir/redundancy.cpp.o"
+  "CMakeFiles/rd_unfold.dir/redundancy.cpp.o.d"
+  "CMakeFiles/rd_unfold.dir/xfault.cpp.o"
+  "CMakeFiles/rd_unfold.dir/xfault.cpp.o.d"
+  "librd_unfold.a"
+  "librd_unfold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rd_unfold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

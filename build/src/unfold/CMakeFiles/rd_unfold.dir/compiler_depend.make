@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rd_unfold.
+# This may be replaced when dependencies are built.

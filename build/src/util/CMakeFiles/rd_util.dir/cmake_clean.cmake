@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rd_util.dir/biguint.cpp.o"
+  "CMakeFiles/rd_util.dir/biguint.cpp.o.d"
+  "CMakeFiles/rd_util.dir/strings.cpp.o"
+  "CMakeFiles/rd_util.dir/strings.cpp.o.d"
+  "CMakeFiles/rd_util.dir/table.cpp.o"
+  "CMakeFiles/rd_util.dir/table.cpp.o.d"
+  "librd_util.a"
+  "librd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

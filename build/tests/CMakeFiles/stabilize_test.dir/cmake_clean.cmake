@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stabilize_test.dir/stabilize_test.cpp.o"
+  "CMakeFiles/stabilize_test.dir/stabilize_test.cpp.o.d"
+  "stabilize_test"
+  "stabilize_test.pdb"
+  "stabilize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stabilize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

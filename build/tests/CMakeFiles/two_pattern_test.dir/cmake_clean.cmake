@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_pattern_test.dir/two_pattern_test.cpp.o"
+  "CMakeFiles/two_pattern_test.dir/two_pattern_test.cpp.o.d"
+  "two_pattern_test"
+  "two_pattern_test.pdb"
+  "two_pattern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

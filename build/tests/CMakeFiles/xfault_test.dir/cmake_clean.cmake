@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfault_test.dir/xfault_test.cpp.o"
+  "CMakeFiles/xfault_test.dir/xfault_test.cpp.o.d"
+  "xfault_test"
+  "xfault_test.pdb"
+  "xfault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
