@@ -20,6 +20,7 @@ namespace rd::bench {
 struct Options {
   std::vector<std::string> circuits;  // empty = all
   std::uint64_t work_limit = 400'000'000;  // classifier extension steps
+  std::size_t threads = 4;  // parallel-engine thread count (0 = hardware)
   bool quick = false;
 
   bool selected(const std::string& name) const {
@@ -39,13 +40,18 @@ inline Options parse_options(int argc, char** argv) {
         if (!name.empty()) options.circuits.push_back(std::move(name));
     } else if (starts_with(arg, "--work-limit=")) {
       options.work_limit = std::stoull(arg.substr(13));
+    } else if (starts_with(arg, "--threads=")) {
+      options.threads = std::stoul(arg.substr(10));
     } else if (arg == "--quick") {
       options.quick = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: %s [--circuits=a,b,...] [--work-limit=N] [--quick]\n"
+          "usage: %s [--circuits=a,b,...] [--work-limit=N] [--threads=N] "
+          "[--quick]\n"
           "  --circuits    restrict to a comma-separated benchmark subset\n"
           "  --work-limit  classifier step budget per run (default 4e8)\n"
+          "  --threads     parallel-engine worker count (default 4, 0 = "
+          "hardware)\n"
           "  --quick       small subset + reduced budgets (smoke run)\n",
           argv[0]);
       std::exit(0);

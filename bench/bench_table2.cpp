@@ -27,10 +27,14 @@ int main(int argc, char** argv) {
   std::printf(
       "Table II -- path counts and running times for Heuristics 1 and 2\n"
       "(wall clock on this machine; the paper's SPARC-10 times are shown\n"
-      " for shape comparison only)\n\n");
+      " for shape comparison only; 'Heu2 par' reruns Heuristic 2 on the\n"
+      " parallel engine with %zu worker threads -- identical sort and\n"
+      " identical kept counts, serial vs parallel wall time)\n\n",
+      options.threads);
 
   TextTable table({"circuit", "logical paths", "Heu1 time", "Heu2 time",
-                   "Heu2/Heu1", "paper:paths", "paper:Heu1", "paper:Heu2"});
+                   "Heu2 par", "par speedup", "Heu2/Heu1", "paper:paths",
+                   "paper:Heu1", "paper:Heu2"});
 
   double ratio_sum = 0;
   int ratio_count = 0;
@@ -41,15 +45,33 @@ int main(int argc, char** argv) {
 
     ClassifyOptions base;
     base.work_limit = options.work_limit;
-    Rng rng(2025);
 
     Stopwatch heu1_watch;
-    const RdIdentification heu1 = identify_rd_heuristic1(circuit, base, &rng);
+    Rng heu1_rng(2025);
+    const RdIdentification heu1 =
+        identify_rd_heuristic1(circuit, base, &heu1_rng);
     const double heu1_seconds = heu1_watch.elapsed_seconds();
 
     Stopwatch heu2_watch;
-    const RdIdentification heu2 = identify_rd_heuristic2(circuit, base, &rng);
+    Rng heu2_rng(2026);
+    const RdIdentification heu2 =
+        identify_rd_heuristic2(circuit, base, &heu2_rng);
     const double heu2_seconds = heu2_watch.elapsed_seconds();
+
+    // Same seed, so the tie-breaks and hence the sort are identical;
+    // only the engine differs.
+    ClassifyOptions parallel_base = base;
+    parallel_base.num_threads = options.threads;
+    Stopwatch heu2_par_watch;
+    Rng heu2_par_rng(2026);
+    const RdIdentification heu2_par =
+        identify_rd_heuristic2(circuit, parallel_base, &heu2_par_rng);
+    const double heu2_par_seconds = heu2_par_watch.elapsed_seconds();
+    if (heu2_par.classify.kept_paths != heu2.classify.kept_paths)
+      std::fprintf(stderr,
+                   "[table2] WARNING: %s parallel Heu2 kept count differs "
+                   "from serial\n",
+                   paper.circuit);
 
     char ratio[32] = "-";
     if (heu1.classify.completed && heu2.classify.completed &&
@@ -58,14 +80,22 @@ int main(int argc, char** argv) {
       ratio_sum += heu2_seconds / heu1_seconds;
       ++ratio_count;
     }
+    char par_speedup[32] = "-";
+    if (heu2.classify.completed && heu2_par.classify.completed &&
+        heu2_par_seconds > 0)
+      std::snprintf(par_speedup, sizeof par_speedup, "%.2fx",
+                    heu2_seconds / heu2_par_seconds);
     table.add_row(
         {paper.circuit, counts.total_logical().to_decimal_grouped(),
          heu1.classify.completed ? format_duration(heu1_seconds) : "(aborted)",
          heu2.classify.completed ? format_duration(heu2_seconds) : "(aborted)",
-         ratio, BigUint(paper.logical_paths).to_decimal_grouped(),
+         heu2_par.classify.completed ? format_duration(heu2_par_seconds)
+                                     : "(aborted)",
+         par_speedup, ratio, BigUint(paper.logical_paths).to_decimal_grouped(),
          paper.heu1_time, paper.heu2_time});
-    std::fprintf(stderr, "[table2] %s done (Heu1 %.1fs, Heu2 %.1fs)\n",
-                 paper.circuit, heu1_seconds, heu2_seconds);
+    std::fprintf(stderr,
+                 "[table2] %s done (Heu1 %.1fs, Heu2 %.1fs, Heu2 par %.1fs)\n",
+                 paper.circuit, heu1_seconds, heu2_seconds, heu2_par_seconds);
   }
 
   // The c6288 row: count only, like the paper ("could not be completed
@@ -74,8 +104,8 @@ int main(int argc, char** argv) {
     const Circuit multiplier = make_benchmark("c6288");
     const PathCounts counts(multiplier);
     table.add_row({"c6288", counts.total_logical().to_decimal_grouped(),
-                   "(not run)", "(not run)", "-", "> 1.9e20 (not run)", "-",
-                   "-"});
+                   "(not run)", "(not run)", "(not run)", "-", "-",
+                   "> 1.9e20 (not run)", "-", "-"});
   }
 
   std::printf("%s\n", table.to_string().c_str());

@@ -12,7 +12,11 @@
 //
 // classify options:  --heuristic=1|2|fus|inverse   (default 2)
 //                    --work-limit=N
+//                    --threads=N    parallel classification engine
+//                                   (0 = all hardware threads; results
+//                                   are identical for every N)
 // atpg options:      --max-paths=N   cap on enumerated must-test paths
+//                    --threads=N
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -65,6 +69,8 @@ int cmd_classify(const std::string& spec, int argc, char** argv) {
       heuristic = arg.substr(12);
     else if (starts_with(arg, "--work-limit="))
       base.work_limit = std::stoull(arg.substr(13));
+    else if (starts_with(arg, "--threads="))
+      base.num_threads = std::stoul(arg.substr(10));
     else {
       std::fprintf(stderr, "unknown classify option: %s\n", arg.c_str());
       return 2;
@@ -103,15 +109,20 @@ int cmd_classify(const std::string& spec, int argc, char** argv) {
               static_cast<unsigned long long>(result.kept_paths));
   std::printf("time           : %s\n",
               format_duration(watch.elapsed_seconds()).c_str());
+  if (!result.worker_stats.empty())
+    std::fputs(classify_run_stats_to_string(result).c_str(), stdout);
   return 0;
 }
 
 int cmd_atpg(const std::string& spec, int argc, char** argv) {
   std::uint64_t max_paths = 20000;
+  std::size_t num_threads = 1;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (starts_with(arg, "--max-paths="))
       max_paths = std::stoull(arg.substr(12));
+    else if (starts_with(arg, "--threads="))
+      num_threads = std::stoul(arg.substr(10));
     else {
       std::fprintf(stderr, "unknown atpg option: %s\n", arg.c_str());
       return 2;
@@ -120,6 +131,7 @@ int cmd_atpg(const std::string& spec, int argc, char** argv) {
   const Circuit circuit = load_circuit(spec);
   ClassifyOptions options;
   options.collect_paths_limit = max_paths;
+  options.num_threads = num_threads;
   Rng rng(1);
   const RdIdentification rd = identify_rd_heuristic2(circuit, options, &rng);
   std::printf("must-test paths: %llu (%.2f%% robust dependent)\n",

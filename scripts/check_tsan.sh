@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# ThreadSanitizer gate for the parallel classification engine.
+#
+# Configures a dedicated build tree with -DRD_ENABLE_TSAN=ON, builds the
+# tests that exercise cross-thread state (the parallel classifier, its
+# property-based invariants, and the heuristics that run classifications
+# concurrently), and runs them under TSAN.  Intended as the CI step for
+# any change touching util/thread_pool or core/classify_parallel:
+#
+#   scripts/check_tsan.sh [build-dir]
+#
+# Exits nonzero on any test failure or reported race.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DRD_ENABLE_TSAN=ON
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target parallel_classify_test property_test heuristics_test
+
+# Run from the repo root so tests resolve data/ paths, halting on the
+# first sanitizer report.
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+"$BUILD_DIR/tests/parallel_classify_test"
+"$BUILD_DIR/tests/property_test" --gtest_filter='*Parallel*'
+"$BUILD_DIR/tests/heuristics_test"
+
+echo "TSAN gate passed"

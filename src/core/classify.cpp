@@ -2,166 +2,50 @@
 
 #include <stdexcept>
 
+#include "core/classify_dfs.h"
 #include "sim/implication.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace rd {
 
-namespace {
+ClassifyResult classify_paths_serial(const Circuit& circuit,
+                                     const ClassifyOptions& options) {
+  Stopwatch watch;
+  ClassifyResult result;
+  if (options.collect_lead_counts)
+    result.kept_controlling_per_lead.assign(circuit.num_leads(), 0);
 
-/// DFS state for one classification run.
-class Classifier {
- public:
-  Classifier(const Circuit& circuit, const ClassifyOptions& options)
-      : circuit_(circuit),
-        options_(options),
-        engine_(circuit, options.backward_implications) {
-    if (options.criterion == Criterion::kInputSort && options.sort == nullptr)
-      throw std::invalid_argument("kInputSort requires an InputSort");
-    if (options.collect_lead_counts)
-      result_.kept_controlling_per_lead.assign(circuit.num_leads(), 0);
-  }
-
-  ClassifyResult run() {
-    for (GateId pi : circuit_.inputs()) {
-      for (const bool final_value : {false, true}) {
-        current_final_pi_value_ = final_value;
-        const std::size_t mark = engine_.mark();
-        if (engine_.assign(pi, to_value3(final_value))) {
-          if (!extend(pi, final_value)) {
-            engine_.undo_to(mark);
-            result_.completed = false;
-            finish();
-            return std::move(result_);
-          }
-        }
-        engine_.undo_to(mark);
-      }
-    }
-    finish();
-    return std::move(result_);
-  }
-
- private:
-  void finish() {
-    const PathCounts counts(circuit_);
-    result_.total_logical = counts.total_logical();
-    if (result_.completed) {
-      result_.rd_paths = result_.total_logical - BigUint(result_.kept_paths);
-      const double total = result_.total_logical.to_double();
-      result_.rd_percent =
-          total > 0 ? 100.0 * result_.rd_paths.to_double() / total : 0.0;
+  internal::SerialBudget budget(options.work_limit);
+  internal::SeedDfs<internal::SerialBudget> dfs(
+      circuit, options, budget,
+      options.collect_lead_counts ? &result.kept_controlling_per_lead
+                                  : nullptr);
+  for (const internal::ClassifySeed& seed : internal::enumerate_seeds(circuit)) {
+    const std::uint64_t remaining_keys =
+        options.collect_paths_limit > result.kept_keys.size()
+            ? options.collect_paths_limit - result.kept_keys.size()
+            : 0;
+    auto outcome = dfs.run_seed(seed, remaining_keys);
+    result.kept_paths += outcome.kept_paths;
+    result.work += outcome.work;
+    for (auto& key : outcome.kept_keys)
+      result.kept_keys.push_back(std::move(key));
+    if (outcome.exhausted) {
+      result.completed = false;
+      break;
     }
   }
-
-  /// Extends the current segment, whose tip gate is `tip` with stable
-  /// value `tip_value`.  Returns false when the work limit is hit.
-  bool extend(GateId tip, bool tip_value) {
-    const Gate& tip_gate = circuit_.gate(tip);
-    if (tip_gate.type == GateType::kOutput) {
-      record_survivor();
-      return true;
-    }
-    for (LeadId lead_id : tip_gate.fanout_leads) {
-      if (++result_.work > options_.work_limit) return false;
-      const Lead& lead = circuit_.lead(lead_id);
-      const Gate& sink = circuit_.gate(lead.sink);
-      const std::size_t mark = engine_.mark();
-      bool feasible = true;
-
-      if (has_controlling_value(sink.type)) {
-        const bool nc = noncontrolling_value(sink.type);
-        if (tip_value == nc) {
-          // (FU2)/(NR2)/(π2): every side input stable non-controlling.
-          feasible = assign_side_inputs(sink, lead.pin, nc,
-                                        /*low_order_only=*/false, lead.sink);
-        } else {
-          switch (options_.criterion) {
-            case Criterion::kFunctionalSensitizable:
-              // (FU2) constrains only non-controlling on-path inputs.
-              break;
-            case Criterion::kNonRobust:
-              // (NR2): all side inputs non-controlling.
-              feasible = assign_side_inputs(sink, lead.pin, nc,
-                                            /*low_order_only=*/false,
-                                            lead.sink);
-              break;
-            case Criterion::kInputSort:
-              // (π3): low-order side inputs non-controlling.
-              feasible = assign_side_inputs(sink, lead.pin, nc,
-                                            /*low_order_only=*/true,
-                                            lead.sink);
-              break;
-          }
-        }
-      }
-
-      if (feasible) {
-        // The sink's stable value is now implied: a controlling on-path
-        // input forces the controlled output; a non-controlling one had
-        // all side inputs pinned non-controlling.  Single-input gates
-        // imply directly.
-        const Value3 sink_value = engine_.value(lead.sink);
-        segment_.push_back(lead_id);
-        const bool ok = extend(lead.sink, to_bool(sink_value));
-        segment_.pop_back();
-        if (!ok) {
-          engine_.undo_to(mark);
-          return false;
-        }
-      }
-      engine_.undo_to(mark);
-    }
-    return true;
-  }
-
-  /// Asserts value `nc` on the side inputs of `sink_id` (all of them, or
-  /// only those with a π-rank below the on-path pin's).  Returns false
-  /// as soon as a local-implication conflict appears.
-  bool assign_side_inputs(const Gate& sink, std::uint32_t on_path_pin, bool nc,
-                          bool low_order_only, GateId sink_id) {
-    for (std::uint32_t pin = 0; pin < sink.fanins.size(); ++pin) {
-      if (pin == on_path_pin) continue;
-      if (low_order_only &&
-          !options_.sort->before(sink_id, pin, on_path_pin))
-        continue;
-      if (!engine_.assign(sink.fanins[pin], to_value3(nc))) return false;
-    }
-    return true;
-  }
-
-  void record_survivor() {
-    ++result_.kept_paths;
-    if (result_.kept_keys.size() < options_.collect_paths_limit) {
-      std::vector<std::uint32_t> key(segment_.begin(), segment_.end());
-      key.push_back(current_final_pi_value_ ? 1u : 0u);
-      result_.kept_keys.push_back(std::move(key));
-    }
-    if (!options_.collect_lead_counts) return;
-    for (LeadId lead_id : segment_) {
-      const Lead& lead = circuit_.lead(lead_id);
-      const Gate& sink = circuit_.gate(lead.sink);
-      if (!has_controlling_value(sink.type)) continue;
-      const Value3 value = engine_.value(lead.driver);
-      if (is_known(value) &&
-          to_bool(value) == controlling_value(sink.type))
-        ++result_.kept_controlling_per_lead[lead_id];
-    }
-  }
-
-  const Circuit& circuit_;
-  const ClassifyOptions& options_;
-  ImplicationEngine engine_;
-  std::vector<LeadId> segment_;
-  ClassifyResult result_;
-  bool current_final_pi_value_ = false;
-};
-
-}  // namespace
+  internal::finish_classify_result(circuit, &result);
+  result.wall_seconds = watch.elapsed_seconds();
+  return result;
+}
 
 ClassifyResult classify_paths(const Circuit& circuit,
                               const ClassifyOptions& options) {
-  Classifier classifier(circuit, options);
-  return classifier.run();
+  return ThreadPool::resolve_num_threads(options.num_threads) <= 1
+             ? classify_paths_serial(circuit, options)
+             : classify_paths_parallel(circuit, options);
 }
 
 bool path_survives_local_implications(const Circuit& circuit,

@@ -46,6 +46,14 @@ struct ClassifyOptions {
   /// Required when criterion == kInputSort.
   const InputSort* sort = nullptr;
 
+  /// Number of worker threads for the classification DFS.  1 (default)
+  /// runs the classic serial engine on the calling thread; 0 resolves
+  /// to the hardware concurrency; N > 1 shards the DFS frontier by
+  /// (primary input, final value, first fanout lead) seed across a
+  /// thread pool.  Results are bit-identical for every setting — the
+  /// merge happens in canonical seed order, never completion order.
+  std::size_t num_threads = 1;
+
   /// Tally per-lead controlling-value survivor counts (costs a walk of
   /// the path stack per surviving path).
   bool collect_lead_counts = false;
@@ -63,6 +71,15 @@ struct ClassifyOptions {
   /// reasoning to measure its contribution to the identified RD-set
   /// (bench_ablation).  Always on in normal use.
   bool backward_implications = true;
+};
+
+/// Per-worker observability counters of one parallel classification
+/// run (scheduling-dependent; carries no determinism guarantee).
+struct ClassifyWorkerStats {
+  std::uint64_t seeds = 0;         // seed subtrees this worker ran
+  std::uint64_t steals = 0;        // of those, stolen from another shard
+  std::uint64_t work = 0;          // DFS extension steps performed
+  double busy_seconds = 0.0;       // wall time inside seed subtrees
 };
 
 struct ClassifyResult {
@@ -88,13 +105,37 @@ struct ClassifyResult {
   /// kept paths and rd_* fields are not populated.
   bool completed = true;
 
-  /// DFS extension steps performed (work measure, machine independent).
+  /// DFS extension steps performed (work measure, machine independent
+  /// and thread-count independent on completed runs).
   std::uint64_t work = 0;
+
+  /// Observability: per-worker accounting (empty on serial runs).
+  /// Excluded from the determinism guarantee.
+  std::vector<ClassifyWorkerStats> worker_stats;
+
+  /// Observability: wall-clock seconds of the classification DFS
+  /// (excludes the structural counting post-pass).  Nondeterministic.
+  double wall_seconds = 0.0;
 };
 
-/// Runs the implicit-enumeration classifier over the whole circuit.
+/// Runs the implicit-enumeration classifier over the whole circuit,
+/// dispatching on options.num_threads (see there).
 ClassifyResult classify_paths(const Circuit& circuit,
                               const ClassifyOptions& options);
+
+/// Always runs the classic single-threaded engine on the calling
+/// thread, ignoring options.num_threads.  Reference engine for the
+/// determinism test harness.
+ClassifyResult classify_paths_serial(const Circuit& circuit,
+                                     const ClassifyOptions& options);
+
+/// Always runs the sharded engine on a thread pool of
+/// resolve(options.num_threads) workers (so num_threads == 1 still
+/// exercises the parallel code path, which the differential tests
+/// rely on).  Bit-identical to classify_paths_serial on the
+/// deterministic fields for every thread count.
+ClassifyResult classify_paths_parallel(const Circuit& circuit,
+                                       const ClassifyOptions& options);
 
 /// Single-path query: would `path` survive classify_paths under this
 /// criterion?  Asserts the same side-input conditions along the path

@@ -1,0 +1,280 @@
+// Internal: the implicit-enumeration DFS core shared by the serial and
+// parallel classification engines (core/classify.cpp and
+// core/classify_parallel.cpp).  Not part of the public API.
+//
+// The classification frontier is sharded into *seeds*: one DFS subtree
+// per (primary input, final stable value, first fanout lead) triple.
+// Seeds are completely independent — each run starts from a fresh
+// implication-engine state (only the PI assignment), so they can be
+// executed in any order or concurrently, and their outputs merged in
+// canonical seed order reproduce the classic single-threaded DFS
+// bit for bit:
+//
+//   * kept/work counters are sums of per-seed counters (commutative),
+//   * kept_controlling_per_lead is an elementwise sum,
+//   * kept_keys concatenated in seed order equal the serial DFS
+//     discovery order, so truncation at collect_paths_limit matches.
+//
+// Work accounting is abstracted behind a Budget policy with a single
+// charge() hook called once per DFS gate-extension step — exactly the
+// points where the classic engine incremented ClassifyResult::work —
+// so the serial counter and the parallel shared atomic counter observe
+// the same step stream.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/classify.h"
+#include "sim/implication.h"
+
+namespace rd::internal {
+
+/// One unit of shardable classification work: grow paths that start at
+/// primary input `pi` with final stable value `final_value` and leave
+/// it through `first_lead`.
+struct ClassifySeed {
+  GateId pi = kNullGate;
+  bool final_value = false;
+  LeadId first_lead = kNullLead;
+};
+
+/// Canonical seed order: circuit PI order, then final value
+/// {false, true}, then the PI's fanout-lead order.  The serial DFS
+/// visits seeds exactly in this order.
+inline std::vector<ClassifySeed> enumerate_seeds(const Circuit& circuit) {
+  std::vector<ClassifySeed> seeds;
+  for (GateId pi : circuit.inputs())
+    for (const bool final_value : {false, true})
+      for (LeadId lead : circuit.gate(pi).fanout_leads)
+        seeds.push_back(ClassifySeed{pi, final_value, lead});
+  return seeds;
+}
+
+/// Serial work budget: the classic `++work > limit` abort check.
+class SerialBudget {
+ public:
+  explicit SerialBudget(std::uint64_t limit) : limit_(limit) {}
+
+  /// Charges one DFS step; false once the budget is exhausted.
+  bool charge() { return ++used_ <= limit_; }
+
+  std::uint64_t used() const { return used_; }
+
+ private:
+  std::uint64_t limit_;
+  std::uint64_t used_ = 0;
+};
+
+/// Shared work budget for concurrent workers: steps accumulate into one
+/// atomic total (flushed in batches to keep the hot path cheap), and
+/// the first flush that pushes the total past the limit raises a
+/// cooperative cancellation flag every worker polls on each step.  The
+/// completed/aborted verdict is deterministic — it depends only on
+/// whether the full (thread-count-independent) step total exceeds the
+/// limit — even though the partial counts at the abort point are not.
+class SharedBudget {
+ public:
+  /// State shared by all workers of one classification run.
+  struct Shared {
+    explicit Shared(std::uint64_t limit) : limit(limit) {}
+    const std::uint64_t limit;
+    std::atomic<std::uint64_t> total{0};
+    std::atomic<bool> cancelled{false};
+  };
+
+  explicit SharedBudget(Shared& shared) : shared_(&shared) {}
+
+  bool charge() {
+    if (++unflushed_ >= kFlushEvery) flush();
+    return !shared_->cancelled.load(std::memory_order_relaxed);
+  }
+
+  /// Publishes locally counted steps; call at least once per seed.
+  void flush() {
+    if (unflushed_ == 0) return;
+    const std::uint64_t before =
+        shared_->total.fetch_add(unflushed_, std::memory_order_relaxed);
+    if (before + unflushed_ > shared_->limit)
+      shared_->cancelled.store(true, std::memory_order_relaxed);
+    unflushed_ = 0;
+  }
+
+ private:
+  static constexpr std::uint64_t kFlushEvery = 512;
+  Shared* shared_;
+  std::uint64_t unflushed_ = 0;
+};
+
+/// DFS driver for one worker (or the single serial thread).  Owns a
+/// private ImplicationEngine — the thread-local implication invariant:
+/// no implication state is ever shared between workers — and is reused
+/// across the seeds a worker processes (assignments are fully undone
+/// between seeds).
+template <class Budget>
+class SeedDfs {
+ public:
+  /// Per-seed outputs that must be merged in canonical seed order.
+  struct SeedOutcome {
+    std::uint64_t kept_paths = 0;
+    std::uint64_t work = 0;
+    std::vector<std::vector<std::uint32_t>> kept_keys;
+    bool exhausted = false;  // budget ran out inside this seed
+  };
+
+  /// `lead_counts`, when non-null, accumulates the per-lead
+  /// controlling-value survivor tallies (order-independent sums, so a
+  /// per-worker accumulator merges deterministically).
+  SeedDfs(const Circuit& circuit, const ClassifyOptions& options,
+          Budget& budget, std::vector<std::uint64_t>* lead_counts)
+      : circuit_(circuit),
+        options_(options),
+        budget_(budget),
+        lead_counts_(lead_counts),
+        engine_(circuit, options.backward_implications) {
+    if (options.criterion == Criterion::kInputSort && options.sort == nullptr)
+      throw std::invalid_argument("kInputSort requires an InputSort");
+  }
+
+  /// Runs one seed subtree.  `max_keys` caps this seed's kept_keys
+  /// collection (the caller threads the global collect_paths_limit
+  /// through it).
+  SeedOutcome run_seed(const ClassifySeed& seed, std::uint64_t max_keys) {
+    outcome_ = SeedOutcome{};
+    max_keys_ = max_keys;
+    current_final_pi_value_ = seed.final_value;
+    const std::size_t mark = engine_.mark();
+    if (engine_.assign(seed.pi, to_value3(seed.final_value))) {
+      if (!extend_through(seed.first_lead, seed.final_value))
+        outcome_.exhausted = true;
+    }
+    engine_.undo_to(mark);
+    return std::move(outcome_);
+  }
+
+ private:
+  /// Extends the current segment through `lead_id`, whose driver has
+  /// stable value `tip_value`.  Returns false when the budget is
+  /// exhausted (serial) or the run is cancelled (parallel).
+  bool extend_through(LeadId lead_id, bool tip_value) {
+    ++outcome_.work;
+    if (!budget_.charge()) return false;
+    const Lead& lead = circuit_.lead(lead_id);
+    const Gate& sink = circuit_.gate(lead.sink);
+    const std::size_t mark = engine_.mark();
+    bool feasible = true;
+
+    if (has_controlling_value(sink.type)) {
+      const bool nc = noncontrolling_value(sink.type);
+      if (tip_value == nc) {
+        // (FU2)/(NR2)/(π2): every side input stable non-controlling.
+        feasible = assign_side_inputs(sink, lead.pin, nc,
+                                      /*low_order_only=*/false, lead.sink);
+      } else {
+        switch (options_.criterion) {
+          case Criterion::kFunctionalSensitizable:
+            // (FU2) constrains only non-controlling on-path inputs.
+            break;
+          case Criterion::kNonRobust:
+            // (NR2): all side inputs non-controlling.
+            feasible = assign_side_inputs(sink, lead.pin, nc,
+                                          /*low_order_only=*/false, lead.sink);
+            break;
+          case Criterion::kInputSort:
+            // (π3): low-order side inputs non-controlling.
+            feasible = assign_side_inputs(sink, lead.pin, nc,
+                                          /*low_order_only=*/true, lead.sink);
+            break;
+        }
+      }
+    }
+
+    bool ok = true;
+    if (feasible) {
+      // The sink's stable value is now implied: a controlling on-path
+      // input forces the controlled output; a non-controlling one had
+      // all side inputs pinned non-controlling.  Single-input gates
+      // imply directly.
+      const Value3 sink_value = engine_.value(lead.sink);
+      segment_.push_back(lead_id);
+      ok = extend(lead.sink, to_bool(sink_value));
+      segment_.pop_back();
+    }
+    engine_.undo_to(mark);
+    return ok;
+  }
+
+  /// Extends the current segment from tip gate `tip` with stable value
+  /// `tip_value` through each of its fanout leads.
+  bool extend(GateId tip, bool tip_value) {
+    const Gate& tip_gate = circuit_.gate(tip);
+    if (tip_gate.type == GateType::kOutput) {
+      record_survivor();
+      return true;
+    }
+    for (LeadId lead_id : tip_gate.fanout_leads)
+      if (!extend_through(lead_id, tip_value)) return false;
+    return true;
+  }
+
+  /// Asserts value `nc` on the side inputs of `sink_id` (all of them, or
+  /// only those with a π-rank below the on-path pin's).  Returns false
+  /// as soon as a local-implication conflict appears.
+  bool assign_side_inputs(const Gate& sink, std::uint32_t on_path_pin, bool nc,
+                          bool low_order_only, GateId sink_id) {
+    for (std::uint32_t pin = 0; pin < sink.fanins.size(); ++pin) {
+      if (pin == on_path_pin) continue;
+      if (low_order_only &&
+          !options_.sort->before(sink_id, pin, on_path_pin))
+        continue;
+      if (!engine_.assign(sink.fanins[pin], to_value3(nc))) return false;
+    }
+    return true;
+  }
+
+  void record_survivor() {
+    ++outcome_.kept_paths;
+    if (outcome_.kept_keys.size() < max_keys_) {
+      std::vector<std::uint32_t> key(segment_.begin(), segment_.end());
+      key.push_back(current_final_pi_value_ ? 1u : 0u);
+      outcome_.kept_keys.push_back(std::move(key));
+    }
+    if (lead_counts_ == nullptr) return;
+    for (LeadId lead_id : segment_) {
+      const Lead& lead = circuit_.lead(lead_id);
+      const Gate& sink = circuit_.gate(lead.sink);
+      if (!has_controlling_value(sink.type)) continue;
+      const Value3 value = engine_.value(lead.driver);
+      if (is_known(value) &&
+          to_bool(value) == controlling_value(sink.type))
+        ++(*lead_counts_)[lead_id];
+    }
+  }
+
+  const Circuit& circuit_;
+  const ClassifyOptions& options_;
+  Budget& budget_;
+  std::vector<std::uint64_t>* lead_counts_;
+  ImplicationEngine engine_;
+  std::vector<LeadId> segment_;
+  SeedOutcome outcome_;
+  std::uint64_t max_keys_ = 0;
+  bool current_final_pi_value_ = false;
+};
+
+/// Shared post-pass: structural totals and RD percentages.
+inline void finish_classify_result(const Circuit& circuit,
+                                   ClassifyResult* result) {
+  const PathCounts counts(circuit);
+  result->total_logical = counts.total_logical();
+  if (result->completed) {
+    result->rd_paths = result->total_logical - BigUint(result->kept_paths);
+    const double total = result->total_logical.to_double();
+    result->rd_percent =
+        total > 0 ? 100.0 * result->rd_paths.to_double() / total : 0.0;
+  }
+}
+
+}  // namespace rd::internal

@@ -1,0 +1,104 @@
+// Parallel classification engine: shards the implicit-enumeration DFS
+// by (primary input, final value, first fanout lead) seed across a
+// work-stealing thread pool and merges the per-seed outcomes in
+// canonical seed order, so the deterministic ClassifyResult fields are
+// bit-identical to the serial engine at every thread count.
+//
+// Isolation invariant: every worker owns a private ImplicationEngine
+// (inside its SeedDfs); the only cross-thread state is the shared work
+// budget (relaxed atomics) and the per-seed/per-worker output slots,
+// each written by exactly one worker and read only after the pool
+// barrier.
+#include <functional>
+#include <memory>
+
+#include "core/classify.h"
+#include "core/classify_dfs.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace rd {
+
+ClassifyResult classify_paths_parallel(const Circuit& circuit,
+                                       const ClassifyOptions& options) {
+  Stopwatch watch;
+  const std::size_t num_threads =
+      ThreadPool::resolve_num_threads(options.num_threads);
+  const std::vector<internal::ClassifySeed> seeds =
+      internal::enumerate_seeds(circuit);
+
+  using Dfs = internal::SeedDfs<internal::SharedBudget>;
+  internal::SharedBudget::Shared shared_budget(options.work_limit);
+
+  // One DFS driver (engine + budget view + lead-count accumulator) per
+  // worker, created lazily on first use so construction happens on the
+  // owning thread.
+  struct WorkerState {
+    std::unique_ptr<internal::SharedBudget> budget;
+    std::unique_ptr<Dfs> dfs;
+    std::vector<std::uint64_t> lead_counts;
+    std::uint64_t work = 0;
+  };
+  std::vector<WorkerState> workers(num_threads);
+
+  // Per-seed outcomes, indexed by canonical seed order for the merge.
+  std::vector<Dfs::SeedOutcome> outcomes(seeds.size());
+
+  // Task index i == seed index i; ThreadPool::run guarantees each runs
+  // exactly once.  WorkerState slots are indexed by the pool worker id
+  // so they line up with the WorkerStats run() returns.
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    tasks.push_back([&, i] {
+      WorkerState& state = workers[ThreadPool::current_worker_index()];
+      if (!state.dfs) {
+        state.budget =
+            std::make_unique<internal::SharedBudget>(shared_budget);
+        if (options.collect_lead_counts)
+          state.lead_counts.assign(circuit.num_leads(), 0);
+        state.dfs = std::make_unique<Dfs>(
+            circuit, options, *state.budget,
+            options.collect_lead_counts ? &state.lead_counts : nullptr);
+      }
+      outcomes[i] = state.dfs->run_seed(seeds[i], options.collect_paths_limit);
+      state.work += outcomes[i].work;
+      state.budget->flush();
+    });
+  }
+
+  const std::vector<WorkerStats> pool_stats = ThreadPool(num_threads).run(tasks);
+
+  // Deterministic merge in canonical seed order.
+  ClassifyResult result;
+  if (options.collect_lead_counts)
+    result.kept_controlling_per_lead.assign(circuit.num_leads(), 0);
+  for (Dfs::SeedOutcome& outcome : outcomes) {
+    result.kept_paths += outcome.kept_paths;
+    result.work += outcome.work;
+    if (outcome.exhausted) result.completed = false;
+    for (auto& key : outcome.kept_keys) {
+      if (result.kept_keys.size() >= options.collect_paths_limit) break;
+      result.kept_keys.push_back(std::move(key));
+    }
+  }
+  if (shared_budget.cancelled.load(std::memory_order_relaxed))
+    result.completed = false;
+  for (const WorkerState& state : workers)
+    for (std::size_t lead = 0; lead < state.lead_counts.size(); ++lead)
+      result.kept_controlling_per_lead[lead] += state.lead_counts[lead];
+
+  result.worker_stats.resize(num_threads);
+  for (std::size_t w = 0; w < num_threads; ++w) {
+    result.worker_stats[w].seeds = pool_stats[w].tasks;
+    result.worker_stats[w].steals = pool_stats[w].steals;
+    result.worker_stats[w].busy_seconds = pool_stats[w].busy_seconds;
+    result.worker_stats[w].work = workers[w].work;
+  }
+
+  internal::finish_classify_result(circuit, &result);
+  result.wall_seconds = watch.elapsed_seconds();
+  return result;
+}
+
+}  // namespace rd

@@ -1,6 +1,7 @@
 #include "core/heuristics.h"
 
 #include "paths/counting.h"
+#include "util/thread_pool.h"
 
 namespace rd {
 
@@ -13,15 +14,37 @@ InputSort heuristic1_sort(const Circuit& circuit, Rng* tie_breaker) {
 }
 
 InputSort heuristic2_sort(const Circuit& circuit, Rng* tie_breaker,
-                          ClassifyResult* fs_run, ClassifyResult* nr_run) {
-  ClassifyOptions options;
+                          ClassifyResult* fs_run, ClassifyResult* nr_run,
+                          const ClassifyOptions* base) {
+  ClassifyOptions options = base != nullptr ? *base : ClassifyOptions{};
+  options.sort = nullptr;
   options.collect_lead_counts = true;
+  options.collect_paths_limit = 0;
 
-  options.criterion = Criterion::kFunctionalSensitizable;
-  ClassifyResult fs = classify_paths(circuit, options);
+  ClassifyResult fs;
+  ClassifyResult nr;
+  const std::size_t threads =
+      ThreadPool::resolve_num_threads(options.num_threads);
+  if (threads >= 2) {
+    // The two pre-runs are independent classifications; evaluate them
+    // concurrently, splitting the thread budget between them.  Each
+    // run's result is thread-count independent, so the sort is too.
+    ClassifyOptions fs_options = options;
+    fs_options.criterion = Criterion::kFunctionalSensitizable;
+    fs_options.num_threads = (threads + 1) / 2;
+    ClassifyOptions nr_options = options;
+    nr_options.criterion = Criterion::kNonRobust;
+    nr_options.num_threads = threads / 2;
+    ThreadPool pool(2);
+    pool.run({[&] { fs = classify_paths(circuit, fs_options); },
+              [&] { nr = classify_paths(circuit, nr_options); }});
+  } else {
+    options.criterion = Criterion::kFunctionalSensitizable;
+    fs = classify_paths(circuit, options);
 
-  options.criterion = Criterion::kNonRobust;
-  ClassifyResult nr = classify_paths(circuit, options);
+    options.criterion = Criterion::kNonRobust;
+    nr = classify_paths(circuit, options);
+  }
 
   std::vector<BigUint> lead_cost(circuit.num_leads());
   for (LeadId lead = 0; lead < circuit.num_leads(); ++lead) {
@@ -60,15 +83,18 @@ RdIdentification identify_rd_heuristic1(const Circuit& circuit,
 RdIdentification identify_rd_heuristic2(const Circuit& circuit,
                                         const ClassifyOptions& base,
                                         Rng* tie_breaker) {
-  return classify_with_sort(circuit, heuristic2_sort(circuit, tie_breaker),
-                            base);
+  return classify_with_sort(
+      circuit,
+      heuristic2_sort(circuit, tie_breaker, nullptr, nullptr, &base), base);
 }
 
 RdIdentification identify_rd_heuristic2_inverse(const Circuit& circuit,
                                                 const ClassifyOptions& base,
                                                 Rng* tie_breaker) {
   return classify_with_sort(
-      circuit, heuristic2_sort(circuit, tie_breaker).reversed(), base);
+      circuit,
+      heuristic2_sort(circuit, tie_breaker, nullptr, nullptr, &base).reversed(),
+      base);
 }
 
 ClassifyResult classify_fus(const Circuit& circuit,

@@ -29,10 +29,16 @@ InputSort heuristic1_sort(const Circuit& circuit, Rng* tie_breaker = nullptr);
 /// Heuristic 2's sort via Algorithm 3: two classifier pre-runs compute
 /// per-lead |FS_c^sup(l)| and |T_c^sup(l)|; inputs are ranked by the
 /// ascending difference.  The pre-run results are returned for
-/// inspection/benchmarking when out parameters are supplied.
+/// inspection/benchmarking when out parameters are supplied.  When
+/// `base` is given, its work_limit/backward_implications/num_threads
+/// settings apply to the pre-runs; the two independent pre-runs are
+/// themselves evaluated concurrently when base->num_threads allows
+/// (the thread budget is split between them), and the sort is
+/// identical to the sequential evaluation.
 InputSort heuristic2_sort(const Circuit& circuit, Rng* tie_breaker = nullptr,
                           ClassifyResult* fs_run = nullptr,
-                          ClassifyResult* nr_run = nullptr);
+                          ClassifyResult* nr_run = nullptr,
+                          const ClassifyOptions* base = nullptr);
 
 /// End-to-end result of one RD identification run.
 struct RdIdentification {

@@ -44,6 +44,36 @@ CircuitStats compute_stats(const Circuit& circuit) {
   return stats;
 }
 
+std::string classify_run_stats_to_string(const ClassifyResult& result) {
+  std::ostringstream out;
+  if (result.worker_stats.empty()) {
+    out << "serial run: " << result.work << " work units in "
+        << result.wall_seconds << "s\n";
+    return out.str();
+  }
+  std::uint64_t total_seeds = 0;
+  std::uint64_t total_steals = 0;
+  std::uint64_t total_work = 0;
+  double total_busy = 0;
+  for (std::size_t w = 0; w < result.worker_stats.size(); ++w) {
+    const ClassifyWorkerStats& stats = result.worker_stats[w];
+    out << "  worker " << w << ": " << stats.seeds << " seeds ("
+        << stats.steals << " stolen), " << stats.work << " work units, "
+        << stats.busy_seconds << "s busy\n";
+    total_seeds += stats.seeds;
+    total_steals += stats.steals;
+    total_work += stats.work;
+    total_busy += stats.busy_seconds;
+  }
+  out << "parallel run: " << result.worker_stats.size() << " workers, "
+      << total_seeds << " seeds (" << total_steals << " stolen), "
+      << total_work << " work units, wall " << result.wall_seconds
+      << "s, utilization "
+      << (result.wall_seconds > 0 ? total_busy / result.wall_seconds : 0.0)
+      << "x\n";
+  return out.str();
+}
+
 std::string stats_to_string(const CircuitStats& stats) {
   std::ostringstream out;
   out << "circuit " << (stats.name.empty() ? "(unnamed)" : stats.name) << "\n"

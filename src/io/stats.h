@@ -1,12 +1,14 @@
 // Netlist statistics reporting: the numbers a benchmark table quotes
 // about a circuit (gate histogram, fan-in/fan-out profile, depth, path
-// counts).
+// counts), plus the observability block for parallel classification
+// runs (per-worker seed/steal/work counters, utilization).
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <string>
 
+#include "core/classify.h"
 #include "netlist/circuit.h"
 #include "util/biguint.h"
 
@@ -37,5 +39,12 @@ CircuitStats compute_stats(const Circuit& circuit);
 
 /// Multi-line human-readable rendering.
 std::string stats_to_string(const CircuitStats& stats);
+
+/// Multi-line rendering of a classification run's observability block:
+/// one line per worker (seeds run, steals, DFS work units, busy time)
+/// plus totals and parallel utilization (sum of busy time over wall
+/// time).  Returns a one-line serial note when `result.worker_stats`
+/// is empty.
+std::string classify_run_stats_to_string(const ClassifyResult& result);
 
 }  // namespace rd

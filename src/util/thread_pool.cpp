@@ -1,0 +1,99 @@
+#include "util/thread_pool.h"
+
+#include "util/stopwatch.h"
+
+namespace rd {
+
+namespace {
+// Each pool worker thread records its index here on startup; threads
+// are never shared between pools, so the value is unambiguous.
+thread_local std::size_t tls_worker_index = SIZE_MAX;
+}  // namespace
+
+std::size_t ThreadPool::current_worker_index() { return tls_worker_index; }
+
+std::size_t ThreadPool::resolve_num_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : hardware;
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t count = resolve_num_threads(num_threads);
+  threads_.reserve(count);
+  for (std::size_t worker = 0; worker < count; ++worker)
+    threads_.emplace_back([this, worker] { worker_main(worker); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+std::vector<WorkerStats> ThreadPool::run(
+    const std::vector<std::function<void()>>& tasks) {
+  const std::size_t count = threads_.size();
+  std::unique_lock<std::mutex> lock(mutex_);
+  tasks_ = &tasks;
+  shard_cursors_ = std::make_unique<std::atomic<std::size_t>[]>(count);
+  for (std::size_t shard = 0; shard < count; ++shard)
+    shard_cursors_[shard].store(0, std::memory_order_relaxed);
+  stats_.assign(count, WorkerStats{});
+  workers_left_ = count;
+  ++generation_;
+  start_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return workers_left_ == 0; });
+  tasks_ = nullptr;
+  shard_cursors_.reset();
+  return std::move(stats_);
+}
+
+void ThreadPool::worker_main(std::size_t worker) {
+  tls_worker_index = worker;
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [this, seen_generation] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    process_batch(worker);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--workers_left_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::process_batch(std::size_t worker) {
+  const std::vector<std::function<void()>>& tasks = *tasks_;
+  const std::size_t num_workers = threads_.size();
+  WorkerStats stats;
+  Stopwatch busy;
+  // Shard `s` owns task indices s, s + N, s + 2N, ...; the cursor is the
+  // per-shard position, so fetch_add hands out each index exactly once
+  // even when several workers drain the same shard.
+  for (std::size_t offset = 0; offset < num_workers; ++offset) {
+    const std::size_t shard = (worker + offset) % num_workers;
+    for (;;) {
+      const std::size_t position =
+          shard_cursors_[shard].fetch_add(1, std::memory_order_relaxed);
+      const std::size_t index = shard + position * num_workers;
+      if (index >= tasks.size()) break;
+      tasks[index]();
+      ++stats.tasks;
+      if (offset != 0) ++stats.steals;
+    }
+  }
+  stats.busy_seconds = busy.elapsed_seconds();
+  stats_[worker] = stats;
+}
+
+}  // namespace rd

@@ -1,0 +1,83 @@
+// Work-queue thread pool for the parallel classification engine.
+//
+// A fixed set of persistent worker threads executes batches of tasks.
+// Within a batch, task i is initially owned by worker i % N (round-robin
+// sharding keeps neighbouring seeds — which tend to have correlated
+// cost — spread across workers); a worker that drains its own shard
+// steals remaining tasks from the other shards, so a batch finishes as
+// soon as any worker has capacity.  Every task is executed exactly once
+// regardless of thread count.
+//
+// The pool makes no ordering or placement guarantees — callers that
+// need deterministic results (the classifier does) must make each task
+// independent and merge task outputs in canonical task order, never in
+// completion order.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rd {
+
+/// Per-worker accounting for one batch (observability only; values are
+/// scheduling-dependent and carry no determinism guarantee).
+struct WorkerStats {
+  std::uint64_t tasks = 0;    // tasks this worker executed
+  std::uint64_t steals = 0;   // of those, taken from another worker's shard
+  double busy_seconds = 0.0;  // wall time spent inside task bodies
+};
+
+class ThreadPool {
+ public:
+  /// 0 resolves to the hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+  /// Executes every task in `tasks` exactly once across the workers and
+  /// blocks until all have finished.  Returns one WorkerStats per
+  /// worker.  Not reentrant: one run() at a time per pool.
+  std::vector<WorkerStats> run(const std::vector<std::function<void()>>& tasks);
+
+  /// 0 -> hardware concurrency, clamped to at least 1.
+  static std::size_t resolve_num_threads(std::size_t requested);
+
+  /// Index of the calling thread within the pool that owns it, or
+  /// SIZE_MAX when the caller is not a pool worker.  Stable for the
+  /// thread's lifetime, so task bodies can keep per-worker state aligned
+  /// with the WorkerStats slot run() returns for the same index.
+  static std::size_t current_worker_index();
+
+ private:
+  void worker_main(std::size_t worker);
+
+  /// Drains the current batch from the perspective of `worker`: own
+  /// shard first, then steals from the other shards.
+  void process_batch(std::size_t worker);
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;  // bumped per batch to wake workers
+  std::size_t workers_left_ = 0;  // workers still processing the batch
+
+  // Batch state (valid while a run() is in flight).
+  const std::vector<std::function<void()>>* tasks_ = nullptr;
+  std::unique_ptr<std::atomic<std::size_t>[]> shard_cursors_;
+  std::vector<WorkerStats> stats_;
+};
+
+}  // namespace rd

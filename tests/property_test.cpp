@@ -190,6 +190,53 @@ TEST_P(ImplicationProperty, OrderIndependentFixpoint) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ImplicationProperty,
                          ::testing::Values(21u, 22u, 23u, 24u, 25u));
 
+// ---- parallel engine invariance -------------------------------------------
+
+class ParallelInvarianceProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(ParallelInvarianceProperty, CountsInvariantUnderThreadsAndSandwiched) {
+  const auto [seed, threads] = GetParam();
+  const Circuit circuit = small_circuit(seed);
+  const InputSort sort = heuristic1_sort(circuit);
+
+  // RD counts are a function of (circuit, criterion, sort) only: the
+  // classifier consumes no randomness and no scheduling state, so the
+  // parallel engine must reproduce the serial counts at every thread
+  // count, for every criterion.
+  std::uint64_t kept[3];
+  std::size_t slot = 0;
+  for (Criterion criterion :
+       {Criterion::kNonRobust, Criterion::kInputSort,
+        Criterion::kFunctionalSensitizable}) {
+    ClassifyOptions options;
+    options.criterion = criterion;
+    options.sort = criterion == Criterion::kInputSort ? &sort : nullptr;
+    const ClassifyResult serial = classify_paths_serial(circuit, options);
+    options.num_threads = threads;
+    const ClassifyResult parallel = classify_paths_parallel(circuit, options);
+    ASSERT_TRUE(serial.completed);
+    ASSERT_TRUE(parallel.completed);
+    ASSERT_EQ(serial.kept_paths, parallel.kept_paths)
+        << "criterion " << static_cast<int>(criterion);
+    ASSERT_EQ(serial.rd_paths, parallel.rd_paths);
+    ASSERT_EQ(serial.work, parallel.work);
+    kept[slot++] = parallel.kept_paths;
+  }
+
+  // Lemma 1 sandwich T(C) ⊆ LP(σ) ⊆ FS(C) at the approximation level,
+  // verified on the parallel engine's counts: non-robust ≤ input-sort
+  // ≤ functional-sensitizable.
+  EXPECT_LE(kept[0], kept[1]) << "T^sup ⊄ LP^sup";
+  EXPECT_LE(kept[1], kept[2]) << "LP^sup ⊄ FS^sup";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndThreads, ParallelInvarianceProperty,
+    ::testing::Combine(::testing::Values(51u, 52u, 53u, 54u),
+                       ::testing::Values(2u, 4u, 8u)));
+
 // ---- robust ⊆ non-robust ⊆ FS over seeds ----------------------------------
 
 class HierarchyProperty : public ::testing::TestWithParam<std::uint64_t> {};
