@@ -41,6 +41,7 @@ double classify_with_random_sort(const Circuit& circuit,
 
 int main(int argc, char** argv) {
   Options options = parse_options(argc, argv);
+  BenchReport report(options, "ablation");
   std::vector<std::string> circuits =
       options.circuits.empty()
           ? std::vector<std::string>{"c432", "c499", "c880", "c2670"}
@@ -80,6 +81,21 @@ int main(int argc, char** argv) {
                    format_percent(heu1.classify.rd_percent),
                    format_percent(heu2.classify.rd_percent),
                    format_percent(inverse.classify.rd_percent)});
+    if (report.enabled()) {
+      JsonValue row = JsonValue::object();
+      row.set("circuit", JsonValue::string(name));
+      row.set("study", JsonValue::string("sort_quality"));
+      row.set("natural_rd_percent", JsonValue::number(natural_rd));
+      row.set("random_rd_percent_min", JsonValue::number(random_rd.front()));
+      row.set("random_rd_percent_max", JsonValue::number(random_rd.back()));
+      row.set("heu1_rd_percent",
+              JsonValue::number(heu1.classify.rd_percent));
+      row.set("heu2_rd_percent",
+              JsonValue::number(heu2.classify.rd_percent));
+      row.set("inverse_rd_percent",
+              JsonValue::number(inverse.classify.rd_percent));
+      report.add_row(std::move(row));
+    }
     std::fprintf(stderr, "[ablation] sorts: %s done\n", name.c_str());
   }
   std::printf("%s\n", sorts.to_string().c_str());
@@ -110,6 +126,18 @@ int main(int argc, char** argv) {
                          std::to_string(forward_only.kept_paths),
                          std::to_string(full.work),
                          std::to_string(forward_only.work)});
+      if (report.enabled()) {
+        JsonValue json_row = JsonValue::object();
+        json_row.set("circuit", JsonValue::string(name));
+        json_row.set("study", JsonValue::string("backward_implications"));
+        json_row.set("criterion", JsonValue::string(row.label));
+        json_row.set("kept_full", JsonValue::number(full.kept_paths));
+        json_row.set("kept_forward_only",
+                     JsonValue::number(forward_only.kept_paths));
+        json_row.set("backward_hits",
+                     JsonValue::number(full.implication.backward));
+        report.add_row(std::move(json_row));
+      }
     }
     std::fprintf(stderr, "[ablation] backward: %s done\n", name.c_str());
   }
@@ -137,5 +165,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "[ablation] refine: %s done\n", name.c_str());
   }
   std::printf("%s", refinement.to_string().c_str());
+  report.write();
   return 0;
 }

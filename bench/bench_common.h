@@ -11,8 +11,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "io/json_writer.h"
+#include "io/run_report.h"
 #include "util/strings.h"
 
 namespace rd::bench {
@@ -22,6 +25,7 @@ struct Options {
   std::uint64_t work_limit = 400'000'000;  // classifier extension steps
   std::size_t threads = 4;  // parallel-engine thread count (0 = hardware)
   bool quick = false;
+  std::string json_path;  // --json=FILE: machine-readable run report
 
   bool selected(const std::string& name) const {
     if (circuits.empty()) return true;
@@ -42,17 +46,20 @@ inline Options parse_options(int argc, char** argv) {
       options.work_limit = std::stoull(arg.substr(13));
     } else if (starts_with(arg, "--threads=")) {
       options.threads = std::stoul(arg.substr(10));
+    } else if (starts_with(arg, "--json=")) {
+      options.json_path = arg.substr(7);
     } else if (arg == "--quick") {
       options.quick = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--circuits=a,b,...] [--work-limit=N] [--threads=N] "
-          "[--quick]\n"
+          "[--quick] [--json=FILE]\n"
           "  --circuits    restrict to a comma-separated benchmark subset\n"
           "  --work-limit  classifier step budget per run (default 4e8)\n"
           "  --threads     parallel-engine worker count (default 4, 0 = "
           "hardware)\n"
-          "  --quick       small subset + reduced budgets (smoke run)\n",
+          "  --quick       small subset + reduced budgets (smoke run)\n"
+          "  --json        also write a schema-versioned JSON run report\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -62,6 +69,39 @@ inline Options parse_options(int argc, char** argv) {
   }
   return options;
 }
+
+/// Accumulates one JSON row per table row and writes the report (kind
+/// "bench", see io/run_report.h) on request.  A harness creates one,
+/// calls add_row() as it prints each text row, and write()s before
+/// exiting; when --json was not given everything is a no-op.
+class BenchReport {
+ public:
+  BenchReport(const Options& options, std::string bench_name)
+      : path_(options.json_path), name_(std::move(bench_name)) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  void add_row(JsonValue row) {
+    if (enabled()) rows_.push_back(std::move(row));
+  }
+
+  /// Writes the report to the --json path; throws on I/O failure so a
+  /// bench run with an unwritable path exits nonzero.
+  void write() const {
+    if (!enabled()) return;
+    JsonValue report = bench_report(name_);
+    JsonValue rows = JsonValue::array();
+    for (const JsonValue& row : rows_) rows.append(row);
+    report.set("rows", std::move(rows));
+    write_json_file(path_, report);
+    std::fprintf(stderr, "[%s] wrote %s\n", name_.c_str(), path_.c_str());
+  }
+
+ private:
+  std::string path_;
+  std::string name_;
+  std::vector<JsonValue> rows_;
+};
 
 /// Reference values from the paper, for side-by-side printing.
 struct PaperTable1Row {

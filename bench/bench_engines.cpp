@@ -38,6 +38,7 @@ std::string count_and_time(std::optional<std::uint64_t> count,
 
 int main(int argc, char** argv) {
   Options options = parse_options(argc, argv);
+  BenchReport report(options, "engines");
   std::vector<std::string> names{"example", "c17", "c432", "c880"};
   if (options.quick) names = {"example", "c17"};
 
@@ -115,6 +116,21 @@ int main(int argc, char** argv) {
                    approx_cell, parallel_cell, speedup_cell, sweep_cell,
                    count_and_time(via_bdd, bdd_seconds),
                    count_and_time(via_sat, sat_seconds)});
+    if (report.enabled()) {
+      JsonValue row = JsonValue::object();
+      row.set("circuit", JsonValue::string(name));
+      row.set("total_logical",
+              JsonValue::number_token(counts.total_logical().to_decimal()));
+      row.set("kept_paths", JsonValue::number(approx.kept_paths));
+      row.set("serial_seconds", JsonValue::number(approx_seconds));
+      row.set("parallel_seconds", JsonValue::number(parallel_seconds));
+      row.set("threads", JsonValue::number(
+                             static_cast<std::uint64_t>(options.threads)));
+      row.set("speedup", JsonValue::number(speedup));
+      row.set("serial", classify_result_json(approx));
+      row.set("parallel", classify_result_json(parallel));
+      report.add_row(std::move(row));
+    }
     std::fprintf(stderr, "[engines] %s done\n", name.c_str());
   }
   std::printf("%s\n", table.to_string().c_str());
@@ -128,5 +144,6 @@ int main(int argc, char** argv) {
         "(bounded by the machine's core count; kept counts are "
         "bit-identical)\n",
         largest_name.c_str(), options.threads, largest_speedup);
+  report.write();
   return 0;
 }

@@ -110,7 +110,8 @@ void figures_1_2_4_5() {
       static_cast<unsigned long long>(heu2.classify.kept_paths));
 }
 
-void figure_3(const rd::bench::Options& options) {
+void figure_3(const rd::bench::Options& options,
+              rd::bench::BenchReport& report) {
   std::printf(
       "\nFigure 3 -- hierarchy of logical path sets: T(C) <= LP(sigma^pi) <= "
       "FS(C)\n(kept-path counts per criterion; containment is checked "
@@ -143,6 +144,16 @@ void figure_3(const rd::bench::Options& options) {
                    std::to_string(lp_run.kept_paths),
                    std::to_string(fs_run.kept_paths),
                    fs_run.total_logical.to_decimal_grouped()});
+    if (report.enabled()) {
+      JsonValue row = JsonValue::object();
+      row.set("circuit", JsonValue::string(name));
+      row.set("t_sup", JsonValue::number(t_run.kept_paths));
+      row.set("lp_sup", JsonValue::number(lp_run.kept_paths));
+      row.set("fs_sup", JsonValue::number(fs_run.kept_paths));
+      row.set("total_logical",
+              JsonValue::number_token(fs_run.total_logical.to_decimal()));
+      report.add_row(std::move(row));
+    }
   }
   std::printf("%s", table.to_string().c_str());
 }
@@ -151,7 +162,9 @@ void figure_3(const rd::bench::Options& options) {
 
 int main(int argc, char** argv) {
   const rd::bench::Options options = rd::bench::parse_options(argc, argv);
+  rd::bench::BenchReport report(options, "figures");
   figures_1_2_4_5();
-  figure_3(options);
+  figure_3(options, report);
+  report.write();
   return 0;
 }

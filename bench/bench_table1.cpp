@@ -29,6 +29,7 @@ std::string percent_or_abort(const ClassifyResult& result) {
 
 int main(int argc, char** argv) {
   Options options = parse_options(argc, argv);
+  BenchReport report(options, "table1");
   if (options.quick && options.circuits.empty())
     options.circuits = {"c432", "c499", "c880"};
 
@@ -63,6 +64,15 @@ int main(int argc, char** argv) {
                    format_percent(paper.fus), format_percent(paper.heu1),
                    format_percent(paper.heu2),
                    format_percent(paper.heu2_inverse)});
+    if (report.enabled()) {
+      JsonValue row = JsonValue::object();
+      row.set("circuit", JsonValue::string(paper.circuit));
+      row.set("fus", classify_result_json(fus));
+      row.set("heu1", classify_result_json(heu1.classify));
+      row.set("heu2", classify_result_json(heu2.classify));
+      row.set("heu2_inverse", classify_result_json(inverse.classify));
+      report.add_row(std::move(row));
+    }
     if (fus.completed && heu1.classify.completed && heu2.classify.completed &&
         inverse.classify.completed) {
       fus_sum += fus.rd_percent;
@@ -87,5 +97,6 @@ int main(int argc, char** argv) {
         "average Heu2-over-Heu1 improvement is 2.51%%, measured here: %.2f%%\n",
         heu2_sum / rows - heu1_sum / rows);
   }
+  report.write();
   return 0;
 }

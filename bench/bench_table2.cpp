@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   using namespace rd;
   using namespace rd::bench;
   Options options = parse_options(argc, argv);
+  BenchReport report(options, "table2");
   if (options.quick && options.circuits.empty())
     options.circuits = {"c432", "c499", "c880", "c6288"};
 
@@ -93,6 +94,21 @@ int main(int argc, char** argv) {
                                      : "(aborted)",
          par_speedup, ratio, BigUint(paper.logical_paths).to_decimal_grouped(),
          paper.heu1_time, paper.heu2_time});
+    if (report.enabled()) {
+      JsonValue row = JsonValue::object();
+      row.set("circuit", JsonValue::string(paper.circuit));
+      row.set("total_logical",
+              JsonValue::number_token(counts.total_logical().to_decimal()));
+      row.set("heu1_seconds", JsonValue::number(heu1_seconds));
+      row.set("heu2_seconds", JsonValue::number(heu2_seconds));
+      row.set("heu2_parallel_seconds", JsonValue::number(heu2_par_seconds));
+      row.set("threads", JsonValue::number(
+                             static_cast<std::uint64_t>(options.threads)));
+      row.set("heu1", classify_result_json(heu1.classify));
+      row.set("heu2", classify_result_json(heu2.classify));
+      row.set("heu2_parallel", classify_result_json(heu2_par.classify));
+      report.add_row(std::move(row));
+    }
     std::fprintf(stderr,
                  "[table2] %s done (Heu1 %.1fs, Heu2 %.1fs, Heu2 par %.1fs)\n",
                  paper.circuit, heu1_seconds, heu2_seconds, heu2_par_seconds);
@@ -106,6 +122,14 @@ int main(int argc, char** argv) {
     table.add_row({"c6288", counts.total_logical().to_decimal_grouped(),
                    "(not run)", "(not run)", "(not run)", "-", "-",
                    "> 1.9e20 (not run)", "-", "-"});
+    if (report.enabled()) {
+      JsonValue row = JsonValue::object();
+      row.set("circuit", JsonValue::string("c6288"));
+      row.set("total_logical",
+              JsonValue::number_token(counts.total_logical().to_decimal()));
+      row.set("count_only", JsonValue::boolean(true));
+      report.add_row(std::move(row));
+    }
   }
 
   std::printf("%s\n", table.to_string().c_str());
@@ -114,5 +138,6 @@ int main(int argc, char** argv) {
         "average Heu2/Heu1 time ratio: %.1fx (paper reports a factor of 3 or\n"
         "more on most circuits: the classifier runs three times)\n",
         ratio_sum / ratio_count);
+  report.write();
   return 0;
 }

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   using namespace rd;
   using namespace rd::bench;
   Options options = parse_options(argc, argv);
+  BenchReport report(options, "table3");
   if (options.quick && options.circuits.empty())
     options.circuits = {"Z5xp1", "bw"};
 
@@ -80,6 +81,18 @@ int main(int argc, char** argv) {
                    format_duration(heu2_seconds),
                    format_percent(paper.baseline_rd),
                    format_percent(paper.heu2_rd)});
+    if (report.enabled()) {
+      JsonValue row = JsonValue::object();
+      row.set("circuit", JsonValue::string(paper.circuit));
+      row.set("total_logical",
+              JsonValue::number_token(counts.total_logical().to_decimal()));
+      row.set("baseline_rd_percent", JsonValue::number(baseline.rd_percent));
+      row.set("baseline_complete", JsonValue::boolean(baseline.complete));
+      row.set("baseline_seconds", JsonValue::number(baseline_seconds));
+      row.set("heu2_seconds", JsonValue::number(heu2_seconds));
+      row.set("heu2", classify_result_json(heu2.classify));
+      report.add_row(std::move(row));
+    }
     if (baseline.complete && heu2.classify.completed) {
       gap_sum += baseline.rd_percent - heu2.classify.rd_percent;
       ++gap_count;
@@ -95,5 +108,6 @@ int main(int argc, char** argv) {
         "the MCNC set); the speed gap is the point — [1] runs hours where\n"
         "Heuristic 2 runs seconds.\n",
         gap_sum / gap_count);
+  report.write();
   return 0;
 }

@@ -55,6 +55,7 @@ std::vector<LogicalPath> every_logical_path(const Circuit& circuit,
 
 int main(int argc, char** argv) {
   Options options = parse_options(argc, argv);
+  BenchReport report(options, "testset");
 
   std::printf(
       "ATPG effort with vs without RD identification\n"
@@ -106,6 +107,25 @@ int main(int argc, char** argv) {
                    std::to_string(filtered_set.tests.size()),
                    format_duration(all_seconds),
                    format_duration(filtered_seconds), coverage});
+    if (report.enabled()) {
+      JsonValue row = JsonValue::object();
+      row.set("circuit", JsonValue::string(profile.name));
+      row.set("paths", JsonValue::number(
+                           static_cast<std::uint64_t>(all_paths.size())));
+      row.set("must_test",
+              JsonValue::number(static_cast<std::uint64_t>(kept.size())));
+      row.set("tests_all", JsonValue::number(static_cast<std::uint64_t>(
+                               all_set.tests.size())));
+      row.set("tests_filtered",
+              JsonValue::number(
+                  static_cast<std::uint64_t>(filtered_set.tests.size())));
+      row.set("atpg_seconds_all", JsonValue::number(all_seconds));
+      row.set("atpg_seconds_filtered", JsonValue::number(filtered_seconds));
+      row.set("robust_nodes", JsonValue::number(filtered_set.robust_nodes));
+      row.set("nonrobust_nodes",
+              JsonValue::number(filtered_set.nonrobust_nodes));
+      report.add_row(std::move(row));
+    }
     std::fprintf(stderr, "[testset] %s done (all %.1fs, filtered %.1fs)\n",
                  profile.name.c_str(), all_seconds, filtered_seconds);
   }
@@ -115,5 +135,6 @@ int main(int argc, char** argv) {
       "Theorem 1 the skipped paths never required testing, so the robust\n"
       "coverage of the *relevant* fault set is what the last column "
       "shows.\n");
+  report.write();
   return 0;
 }

@@ -6,6 +6,7 @@
 //   rdfast_cli gen      <profile>            emit a synthetic benchmark
 //   rdfast_cli report   <circuit>            Figure-3 hierarchy report
 //   rdfast_cli select   <circuit> [--k=N]    K longest non-RD paths
+//   rdfast_cli validate-json <file>          check a run report's schema
 //
 // <circuit> is a .bench file path or the name of a built-in synthetic
 // benchmark (c432 ... c7552, c6288, example, c17).
@@ -15,8 +16,11 @@
 //                    --threads=N    parallel classification engine
 //                                   (0 = all hardware threads; results
 //                                   are identical for every N)
+//                    --stats-json=FILE  write a schema-versioned run
+//                                   report (see DESIGN.md)
 // atpg options:      --max-paths=N   cap on enumerated must-test paths
 //                    --threads=N
+//                    --stats-json=FILE
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -27,11 +31,12 @@
 #include "gen/examples.h"
 #include "gen/iscas_like.h"
 #include "io/bench_io.h"
+#include "io/json_writer.h"
+#include "io/run_report.h"
 #include "io/stats.h"
 #include "io/verilog_io.h"
 #include "sat/cnf.h"
-#include "io/verilog_io.h"
-#include "sat/cnf.h"
+#include "util/metrics.h"
 #include "sta/timing.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -62,6 +67,7 @@ int cmd_stats(const std::string& spec) {
 
 int cmd_classify(const std::string& spec, int argc, char** argv) {
   std::string heuristic = "2";
+  std::string stats_json;
   ClassifyOptions base;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -71,6 +77,8 @@ int cmd_classify(const std::string& spec, int argc, char** argv) {
       base.work_limit = std::stoull(arg.substr(13));
     else if (starts_with(arg, "--threads="))
       base.num_threads = std::stoul(arg.substr(10));
+    else if (starts_with(arg, "--stats-json="))
+      stats_json = arg.substr(13);
     else {
       std::fprintf(stderr, "unknown classify option: %s\n", arg.c_str());
       return 2;
@@ -79,18 +87,25 @@ int cmd_classify(const std::string& spec, int argc, char** argv) {
   const Circuit circuit = load_circuit(spec);
   Rng rng(1);
   Stopwatch watch;
-  ClassifyResult result;
+  RdIdentification rd;
   if (heuristic == "fus") {
-    result = classify_fus(circuit, base);
+    rd.classify = classify_fus(circuit, base);
   } else if (heuristic == "1") {
-    result = identify_rd_heuristic1(circuit, base, &rng).classify;
+    rd = identify_rd_heuristic1(circuit, base, &rng);
   } else if (heuristic == "2") {
-    result = identify_rd_heuristic2(circuit, base, &rng).classify;
+    rd = identify_rd_heuristic2(circuit, base, &rng);
   } else if (heuristic == "inverse") {
-    result = identify_rd_heuristic2_inverse(circuit, base, &rng).classify;
+    rd = identify_rd_heuristic2_inverse(circuit, base, &rng);
   } else {
     std::fprintf(stderr, "unknown heuristic '%s'\n", heuristic.c_str());
     return 2;
+  }
+  const ClassifyResult& result = rd.classify;
+  if (!stats_json.empty()) {
+    record_classify_metrics(result, global_metrics());
+    write_json_file(stats_json,
+                    classify_run_report(circuit.name(), heuristic, rd,
+                                        &global_metrics()));
   }
   std::printf("circuit        : %s\n", circuit.name().c_str());
   std::printf("method         : %s\n",
@@ -117,12 +132,15 @@ int cmd_classify(const std::string& spec, int argc, char** argv) {
 int cmd_atpg(const std::string& spec, int argc, char** argv) {
   std::uint64_t max_paths = 20000;
   std::size_t num_threads = 1;
+  std::string stats_json;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (starts_with(arg, "--max-paths="))
       max_paths = std::stoull(arg.substr(12));
     else if (starts_with(arg, "--threads="))
       num_threads = std::stoul(arg.substr(10));
+    else if (starts_with(arg, "--stats-json="))
+      stats_json = arg.substr(13);
     else {
       std::fprintf(stderr, "unknown atpg option: %s\n", arg.c_str());
       return 2;
@@ -151,6 +169,14 @@ int cmd_atpg(const std::string& spec, int argc, char** argv) {
     paths.push_back(std::move(path));
   }
   const GeneratedTestSet set = generate_test_set(circuit, paths);
+  if (!stats_json.empty()) {
+    record_classify_metrics(rd.classify, global_metrics());
+    global_metrics().add_counter("atpg.robust_nodes", set.robust_nodes);
+    global_metrics().add_counter("atpg.nonrobust_nodes", set.nonrobust_nodes);
+    global_metrics().add_timer("atpg.wall", set.wall_seconds);
+    write_json_file(stats_json, atpg_run_report(circuit.name(), rd, set,
+                                                &global_metrics()));
+  }
   std::printf(
       "test set       : %zu two-pattern tests\n"
       "robust         : %zu paths\n"
@@ -160,6 +186,29 @@ int cmd_atpg(const std::string& spec, int argc, char** argv) {
       set.tests.size(), set.robust_count, set.nonrobust_count,
       set.undetected_count, set.robust_coverage_percent);
   return 0;
+}
+
+int cmd_validate_json(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string text;
+  char buffer[4096];
+  std::size_t n;
+  while ((n = std::fread(buffer, 1, sizeof buffer, file)) > 0)
+    text.append(buffer, n);
+  std::fclose(file);
+
+  const JsonValue report = parse_json(text);  // throws with line:column
+  const std::vector<std::string> problems = validate_run_report(report);
+  for (const std::string& problem : problems)
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), problem.c_str());
+  if (problems.empty())
+    std::printf("%s: valid run report (schema_version %llu)\n", path.c_str(),
+                static_cast<unsigned long long>(kRunReportSchemaVersion));
+  return problems.empty() ? 0 : 1;
 }
 
 int cmd_gen(const std::string& name) {
@@ -232,7 +281,7 @@ int cmd_select(const std::string& spec, int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: %s stats|classify|atpg|gen|report|select|verilog|dimacs <circuit> [options]\n",
+                 "usage: %s stats|classify|atpg|gen|report|select|verilog|dimacs|validate-json <circuit|file> [options]\n",
                  argv[0]);
     return 2;
   }
@@ -240,6 +289,7 @@ int main(int argc, char** argv) {
   const std::string spec = argv[2];
   try {
     if (command == "stats") return cmd_stats(spec);
+    if (command == "validate-json") return cmd_validate_json(spec);
     if (command == "classify") return cmd_classify(spec, argc - 3, argv + 3);
     if (command == "atpg") return cmd_atpg(spec, argc - 3, argv + 3);
     if (command == "gen") return cmd_gen(spec);

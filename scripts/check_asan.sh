@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# AddressSanitizer gate for the I/O and observability layers.
+#
+# Configures a dedicated build tree with -DRD_ENABLE_ASAN=ON, builds
+# the tests that exercise parser error paths and the run-report
+# serialization (the layers most likely to hide a buffer or lifetime
+# bug behind an exception path), and runs them under ASAN:
+#
+#   scripts/check_asan.sh [build-dir]
+#
+# Exits nonzero on any test failure or reported memory error.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . -DRD_ENABLE_ASAN=ON
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target io_test json_test run_report_test util_test
+
+# Run from the repo root so tests resolve data/ paths, halting on the
+# first sanitizer report.
+export ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}"
+"$BUILD_DIR/tests/io_test"
+"$BUILD_DIR/tests/json_test"
+"$BUILD_DIR/tests/run_report_test"
+"$BUILD_DIR/tests/util_test"
+
+echo "ASAN gate passed"

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Benchmark sweep with machine-readable output.
+#
+# Builds the bench harnesses in a Release tree and runs each one with
+# --json, producing BENCH_<name>.json run reports (schema documented in
+# DESIGN.md) next to this repo's root.  Every emitted file is validated
+# by the project's own parser (rdfast_cli validate-json); the script
+# exits nonzero if any bench binary fails or any report does not
+# round-trip.
+#
+#   scripts/run_bench.sh [build-dir]
+#
+# BENCH_ARGS overrides the default per-binary arguments (default
+# "--quick" so the sweep is a minutes-scale smoke run; clear it for the
+# full tables: BENCH_ARGS="" scripts/run_bench.sh).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-bench}"
+ARGS="${BENCH_ARGS---quick}"
+
+BENCHES=(engines table1 table2 table3 testset ablation approx figures)
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+TARGETS=(rdfast_cli)
+for name in "${BENCHES[@]}"; do TARGETS+=("bench_$name"); done
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target "${TARGETS[@]}"
+
+status=0
+for name in "${BENCHES[@]}"; do
+  out="BENCH_${name}.json"
+  echo "== bench_$name $ARGS --json=$out"
+  # shellcheck disable=SC2086  # ARGS is intentionally word-split
+  if ! "$BUILD_DIR/bench/bench_$name" $ARGS --json="$out"; then
+    echo "bench_$name FAILED" >&2
+    status=1
+    continue
+  fi
+  if ! "$BUILD_DIR/examples/rdfast_cli" validate-json "$out"; then
+    echo "bench_$name emitted an invalid report: $out" >&2
+    status=1
+  fi
+done
+
+# bench_micro uses google-benchmark's native JSON
+# (--benchmark_format=json); it is not part of this sweep.
+
+if [ "$status" -ne 0 ]; then
+  echo "benchmark sweep FAILED" >&2
+fi
+exit "$status"

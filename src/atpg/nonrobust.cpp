@@ -35,7 +35,9 @@ bool assert_nr_conditions(const Circuit& circuit, const LogicalPath& path,
 
 std::optional<NonRobustTest> find_nonrobust_test(const Circuit& circuit,
                                                  const LogicalPath& path,
-                                                 std::uint64_t max_nodes) {
+                                                 std::uint64_t max_nodes,
+                                                 std::uint64_t* nodes_used) {
+  if (nodes_used != nullptr) *nodes_used = 0;
   if (!is_valid_path(circuit, path.path))
     throw std::invalid_argument("find_nonrobust_test: malformed path");
   ImplicationEngine engine(circuit);
@@ -70,7 +72,15 @@ std::optional<NonRobustTest> find_nonrobust_test(const Circuit& circuit,
     }
     return false;
   };
-  if (!recurse(0)) return std::nullopt;
+  bool found = false;
+  try {
+    found = recurse(0);
+  } catch (...) {
+    if (nodes_used != nullptr) *nodes_used = nodes;
+    throw;
+  }
+  if (nodes_used != nullptr) *nodes_used = nodes;
+  if (!found) return std::nullopt;
 
   NonRobustTest test;
   test.v2.resize(pis.size());

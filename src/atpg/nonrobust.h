@@ -35,10 +35,12 @@ struct NonRobustTest {
 
 /// Complete search for a non-robust test; std::nullopt proves the path
 /// non-robustly untestable.  Throws std::runtime_error if `max_nodes`
-/// search nodes are exceeded (large circuits only).
+/// search nodes are exceeded (large circuits only).  `nodes_used`,
+/// when non-null, receives the number of search nodes expanded —
+/// written on every exit, including the budget-exceeded throw.
 std::optional<NonRobustTest> find_nonrobust_test(
     const Circuit& circuit, const LogicalPath& path,
-    std::uint64_t max_nodes = 1u << 26);
+    std::uint64_t max_nodes = 1u << 26, std::uint64_t* nodes_used = nullptr);
 
 /// Validates a candidate test by plain simulation of v2 against the
 /// (NR1)/(NR2) conditions and of v1 against the launch condition.

@@ -52,6 +52,9 @@ class RobustChecker {
     return std::nullopt;
   }
 
+  /// Search nodes expanded so far (valid even after a budget throw).
+  std::uint64_t nodes() const { return nodes_; }
+
   /// Evaluates the robust conditions for the current (partial)
   /// assignment.  Unassigned PIs contribute unknown waveforms; a
   /// constraint is only declared violated when every PI in its support
@@ -175,11 +178,19 @@ class RobustChecker {
 
 std::optional<RobustTest> find_robust_test(const Circuit& circuit,
                                            const LogicalPath& path,
-                                           std::uint64_t max_nodes) {
+                                           std::uint64_t max_nodes,
+                                           std::uint64_t* nodes_used) {
   if (!is_valid_path(circuit, path.path))
     throw std::invalid_argument("find_robust_test: malformed path");
   RobustChecker checker(circuit, path, max_nodes);
-  return checker.search();
+  try {
+    std::optional<RobustTest> result = checker.search();
+    if (nodes_used != nullptr) *nodes_used = checker.nodes();
+    return result;
+  } catch (...) {
+    if (nodes_used != nullptr) *nodes_used = checker.nodes();
+    throw;
+  }
 }
 
 bool is_robustly_testable(const Circuit& circuit, const LogicalPath& path) {

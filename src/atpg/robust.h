@@ -36,9 +36,13 @@ using RobustTest = std::vector<Wave>;
 /// if one exists, std::nullopt if the path is provably robust
 /// untestable.  `max_nodes` bounds the search tree (throws
 /// std::runtime_error when exceeded — only possible on large circuits).
+/// `nodes_used`, when non-null, receives the number of search nodes
+/// expanded — written on every exit, including the budget-exceeded
+/// throw (observability hook for the test-set generator).
 std::optional<RobustTest> find_robust_test(const Circuit& circuit,
                                            const LogicalPath& path,
-                                           std::uint64_t max_nodes = 1u << 26);
+                                           std::uint64_t max_nodes = 1u << 26,
+                                           std::uint64_t* nodes_used = nullptr);
 
 /// Convenience predicate.
 bool is_robustly_testable(const Circuit& circuit, const LogicalPath& path);

@@ -5,6 +5,7 @@
 
 #include "atpg/nonrobust.h"
 #include "atpg/robust.h"
+#include "util/stopwatch.h"
 
 namespace rd {
 
@@ -35,6 +36,7 @@ bool apply_test(const Circuit& circuit, const std::vector<LogicalPath>& paths,
 GeneratedTestSet generate_test_set(const Circuit& circuit,
                                    const std::vector<LogicalPath>& paths,
                                    const TestSetOptions& options) {
+  Stopwatch watch;
   GeneratedTestSet result;
   result.detection.assign(paths.size(), DetectionClass::kNone);
   result.detected_by.assign(paths.size(), -1);
@@ -43,11 +45,16 @@ GeneratedTestSet generate_test_set(const Circuit& circuit,
   for (std::size_t i = 0; i < paths.size(); ++i) {
     if (result.detection[i] == DetectionClass::kRobust) continue;
     std::optional<RobustTest> test;
+    std::uint64_t nodes = 0;
     try {
-      test = find_robust_test(circuit, paths[i], options.max_robust_nodes);
+      test = find_robust_test(circuit, paths[i], options.max_robust_nodes,
+                              &nodes);
     } catch (const std::runtime_error&) {
+      result.robust_nodes += nodes;
+      ++result.robust_budget_exceeded;
       continue;  // budget exceeded: leave for the non-robust pass
     }
+    result.robust_nodes += nodes;
     if (!test.has_value()) continue;
     const int index = static_cast<int>(result.tests.size());
     result.tests.push_back(std::move(*test));
@@ -59,12 +66,16 @@ GeneratedTestSet generate_test_set(const Circuit& circuit,
     for (std::size_t i = 0; i < paths.size(); ++i) {
       if (result.detection[i] != DetectionClass::kNone) continue;
       std::optional<NonRobustTest> test;
+      std::uint64_t nodes = 0;
       try {
         test = find_nonrobust_test(circuit, paths[i],
-                                   options.max_nonrobust_nodes);
+                                   options.max_nonrobust_nodes, &nodes);
       } catch (const std::runtime_error&) {
+        result.nonrobust_nodes += nodes;
+        ++result.nonrobust_budget_exceeded;
         continue;
       }
+      result.nonrobust_nodes += nodes;
       if (!test.has_value()) continue;
       const int index = static_cast<int>(result.tests.size());
       result.tests.push_back(waves_of_vectors(circuit, test->v1, test->v2));
@@ -83,6 +94,7 @@ GeneratedTestSet generate_test_set(const Circuit& circuit,
     result.robust_coverage_percent =
         100.0 * static_cast<double>(result.robust_count) /
         static_cast<double>(paths.size());
+  result.wall_seconds = watch.elapsed_seconds();
   return result;
 }
 

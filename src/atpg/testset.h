@@ -46,6 +46,21 @@ struct GeneratedTestSet {
   /// Robust coverage in the sense of Theorem 1's discussion: robustly
   /// detected / total (percent).
   double robust_coverage_percent = 0.0;
+
+  /// Observability: total search nodes expanded by the robust and
+  /// non-robust generators across all target paths (includes the nodes
+  /// of budget-exceeded searches).
+  std::uint64_t robust_nodes = 0;
+  std::uint64_t nonrobust_nodes = 0;
+
+  /// Observability: paths whose per-path search budget was exhausted
+  /// in each pass (those paths fall through, not fail the run).
+  std::size_t robust_budget_exceeded = 0;
+  std::size_t nonrobust_budget_exceeded = 0;
+
+  /// Observability: wall-clock seconds of the whole generation +
+  /// compaction flow.  Nondeterministic.
+  double wall_seconds = 0.0;
 };
 
 /// Generates and compacts a test set for `paths`.

@@ -36,6 +36,7 @@ ClassifyResult classify_paths_serial(const Circuit& circuit,
       break;
     }
   }
+  result.implication = dfs.implication_stats();
   internal::finish_classify_result(circuit, &result);
   result.wall_seconds = watch.elapsed_seconds();
   return result;

@@ -30,6 +30,7 @@
 #include "core/input_sort.h"
 #include "netlist/circuit.h"
 #include "paths/counting.h"
+#include "sim/implication.h"
 #include "util/biguint.h"
 
 namespace rd {
@@ -112,6 +113,12 @@ struct ClassifyResult {
   /// Observability: per-worker accounting (empty on serial runs).
   /// Excluded from the determinism guarantee.
   std::vector<ClassifyWorkerStats> worker_stats;
+
+  /// Observability: implication-engine event counters summed over all
+  /// workers.  Deterministic on completed runs (each seed's counts are
+  /// fixed and the merge is a commutative sum); partial counts at an
+  /// abort point are scheduling-dependent.
+  ImplicationStats implication;
 
   /// Observability: wall-clock seconds of the classification DFS
   /// (excludes the structural counting post-pass).  Nondeterministic.

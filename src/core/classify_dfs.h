@@ -23,6 +23,7 @@
 #pragma once
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <stdexcept>
 #include <vector>
@@ -136,6 +137,12 @@ class SeedDfs {
         engine_(circuit, options.backward_implications) {
     if (options.criterion == Criterion::kInputSort && options.sort == nullptr)
       throw std::invalid_argument("kInputSort requires an InputSort");
+  }
+
+  /// Implication-engine event counters accumulated over every seed
+  /// this driver has run (observability; merged by summation).
+  const ImplicationStats& implication_stats() const {
+    return engine_.stats();
   }
 
   /// Runs one seed subtree.  `max_keys` caps this seed's kept_keys
@@ -271,9 +278,18 @@ inline void finish_classify_result(const Circuit& circuit,
   result->total_logical = counts.total_logical();
   if (result->completed) {
     result->rd_paths = result->total_logical - BigUint(result->kept_paths);
+    // Guard the percentage against total_logical == 0 (no paths) and
+    // against BigUint::to_double overflowing to infinity, where the
+    // naive 100*inf/inf would poison rd_percent with NaN.
     const double total = result->total_logical.to_double();
-    result->rd_percent =
-        total > 0 ? 100.0 * result->rd_paths.to_double() / total : 0.0;
+    const double rd = result->rd_paths.to_double();
+    double percent = 0.0;
+    if (total > 0) {
+      percent = std::isfinite(total) && std::isfinite(rd)
+                    ? 100.0 * rd / total
+                    : 100.0;  // totals beyond double range: rd dominates
+    }
+    result->rd_percent = std::isfinite(percent) ? percent : 0.0;
   }
 }
 

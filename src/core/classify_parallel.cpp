@@ -87,6 +87,8 @@ ClassifyResult classify_paths_parallel(const Circuit& circuit,
   for (const WorkerState& state : workers)
     for (std::size_t lead = 0; lead < state.lead_counts.size(); ++lead)
       result.kept_controlling_per_lead[lead] += state.lead_counts[lead];
+  for (const WorkerState& state : workers)
+    if (state.dfs) result.implication.merge(state.dfs->implication_stats());
 
   result.worker_stats.resize(num_threads);
   for (std::size_t w = 0; w < num_threads; ++w) {

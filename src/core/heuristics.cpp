@@ -1,6 +1,7 @@
 #include "core/heuristics.h"
 
 #include "paths/counting.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace rd {
@@ -76,25 +77,46 @@ RdIdentification classify_with_sort(const Circuit& circuit, InputSort sort,
 RdIdentification identify_rd_heuristic1(const Circuit& circuit,
                                         const ClassifyOptions& base,
                                         Rng* tie_breaker) {
-  return classify_with_sort(circuit, heuristic1_sort(circuit, tie_breaker),
-                            base);
+  Stopwatch watch;
+  InputSort sort = heuristic1_sort(circuit, tie_breaker);
+  const double sort_seconds = watch.elapsed_seconds();
+  RdIdentification result =
+      classify_with_sort(circuit, std::move(sort), base);
+  result.sort_seconds = sort_seconds;
+  return result;
 }
 
 RdIdentification identify_rd_heuristic2(const Circuit& circuit,
                                         const ClassifyOptions& base,
                                         Rng* tie_breaker) {
-  return classify_with_sort(
-      circuit,
-      heuristic2_sort(circuit, tie_breaker, nullptr, nullptr, &base), base);
+  Stopwatch watch;
+  ClassifyResult fs_run;
+  ClassifyResult nr_run;
+  InputSort sort =
+      heuristic2_sort(circuit, tie_breaker, &fs_run, &nr_run, &base);
+  const double sort_seconds = watch.elapsed_seconds();
+  RdIdentification result =
+      classify_with_sort(circuit, std::move(sort), base);
+  result.sort_seconds = sort_seconds;
+  result.prerun_work = fs_run.work + nr_run.work;
+  return result;
 }
 
 RdIdentification identify_rd_heuristic2_inverse(const Circuit& circuit,
                                                 const ClassifyOptions& base,
                                                 Rng* tie_breaker) {
-  return classify_with_sort(
-      circuit,
-      heuristic2_sort(circuit, tie_breaker, nullptr, nullptr, &base).reversed(),
-      base);
+  Stopwatch watch;
+  ClassifyResult fs_run;
+  ClassifyResult nr_run;
+  InputSort sort =
+      heuristic2_sort(circuit, tie_breaker, &fs_run, &nr_run, &base)
+          .reversed();
+  const double sort_seconds = watch.elapsed_seconds();
+  RdIdentification result =
+      classify_with_sort(circuit, std::move(sort), base);
+  result.sort_seconds = sort_seconds;
+  result.prerun_work = fs_run.work + nr_run.work;
+  return result;
 }
 
 ClassifyResult classify_fus(const Circuit& circuit,

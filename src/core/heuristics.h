@@ -44,6 +44,15 @@ InputSort heuristic2_sort(const Circuit& circuit, Rng* tie_breaker = nullptr,
 struct RdIdentification {
   InputSort sort;
   ClassifyResult classify;
+
+  /// Observability: wall-clock seconds spent building the input sort
+  /// (Heuristic 1's structural counting, or Heuristic 2's two
+  /// classifier pre-runs).  Nondeterministic.
+  double sort_seconds = 0.0;
+
+  /// Observability: DFS extension steps spent in Heuristic 2's FS/NR
+  /// pre-runs (0 for Heuristic 1; deterministic on completed runs).
+  std::uint64_t prerun_work = 0;
 };
 
 /// Heuristic 1 end-to-end: build the sort, classify under (π1)-(π3).

@@ -1,0 +1,457 @@
+#include "io/json_writer.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace rd {
+
+JsonValue JsonValue::boolean(bool value) {
+  JsonValue json;
+  json.kind_ = Kind::kBool;
+  json.bool_ = value;
+  return json;
+}
+
+JsonValue JsonValue::number(double value) {
+  if (!std::isfinite(value)) return null();
+  JsonValue json;
+  json.kind_ = Kind::kNumber;
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  json.scalar_ = buffer;
+  return json;
+}
+
+JsonValue JsonValue::number(std::uint64_t value) {
+  JsonValue json;
+  json.kind_ = Kind::kNumber;
+  json.scalar_ = std::to_string(value);
+  return json;
+}
+
+JsonValue JsonValue::number(std::int64_t value) {
+  JsonValue json;
+  json.kind_ = Kind::kNumber;
+  json.scalar_ = std::to_string(value);
+  return json;
+}
+
+JsonValue JsonValue::number_token(std::string token) {
+  JsonValue json;
+  json.kind_ = Kind::kNumber;
+  json.scalar_ = std::move(token);
+  return json;
+}
+
+JsonValue JsonValue::string(std::string value) {
+  JsonValue json;
+  json.kind_ = Kind::kString;
+  json.scalar_ = std::move(value);
+  return json;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue json;
+  json.kind_ = Kind::kArray;
+  return json;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue json;
+  json.kind_ = Kind::kObject;
+  return json;
+}
+
+namespace {
+
+[[noreturn]] void kind_error(const char* wanted) {
+  throw std::runtime_error(std::string("json: value is not ") + wanted);
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) kind_error("a bool");
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  if (kind_ != Kind::kNumber) kind_error("a number");
+  return std::strtod(scalar_.c_str(), nullptr);
+}
+
+std::uint64_t JsonValue::as_uint64() const {
+  if (kind_ != Kind::kNumber) kind_error("a number");
+  if (scalar_.empty() || scalar_[0] == '-' ||
+      scalar_.find_first_of(".eE") != std::string::npos)
+    throw std::runtime_error("json: number is not an unsigned integer: " +
+                             scalar_);
+  return std::stoull(scalar_);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) kind_error("a string");
+  return scalar_;
+}
+
+std::size_t JsonValue::size() const {
+  if (kind_ == Kind::kArray) return items_.size();
+  if (kind_ == Kind::kObject) return members_.size();
+  kind_error("an array or object");
+}
+
+const JsonValue& JsonValue::at(std::size_t index) const {
+  if (kind_ != Kind::kArray) kind_error("an array");
+  if (index >= items_.size()) throw std::runtime_error("json: index range");
+  return items_[index];
+}
+
+JsonValue& JsonValue::append(JsonValue value) {
+  if (kind_ != Kind::kArray) kind_error("an array");
+  items_.push_back(std::move(value));
+  return items_.back();
+}
+
+JsonValue& JsonValue::set(std::string_view key, JsonValue value) {
+  if (kind_ != Kind::kObject) kind_error("an object");
+  for (auto& member : members_) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return member.second;
+    }
+  }
+  members_.emplace_back(std::string(key), std::move(value));
+  return members_.back().second;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) kind_error("an object");
+  for (const auto& member : members_)
+    if (member.first == key) return &member.second;
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  if (kind_ != Kind::kObject) kind_error("an object");
+  return members_;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void JsonValue::write(std::string& out, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  const std::string inner_pad(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  switch (kind_) {
+    case Kind::kNull: out += "null"; return;
+    case Kind::kBool: out += bool_ ? "true" : "false"; return;
+    case Kind::kNumber: out += scalar_; return;
+    case Kind::kString: out += json_escape(scalar_); return;
+    case Kind::kArray:
+      if (items_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        out += inner_pad;
+        items_[i].write(out, indent + 1);
+        if (i + 1 < items_.size()) out += ",";
+        out += "\n";
+      }
+      out += pad;
+      out += "]";
+      return;
+    case Kind::kObject:
+      if (members_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        out += inner_pad;
+        out += json_escape(members_[i].first);
+        out += ": ";
+        members_[i].second.write(out, indent + 1);
+        if (i + 1 < members_.size()) out += ",";
+        out += "\n";
+      }
+      out += pad;
+      out += "}";
+      return;
+  }
+}
+
+std::string JsonValue::to_string() const {
+  std::string out;
+  write(out, 0);
+  out += "\n";
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over a raw character range.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_whitespace();
+    if (position_ != text_.size()) fail("trailing content after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < position_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw std::runtime_error("json line " + std::to_string(line) + ":" +
+                             std::to_string(column) + ": " + message);
+  }
+
+  void skip_whitespace() {
+    while (position_ < text_.size()) {
+      const char c = text_[position_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++position_;
+    }
+  }
+
+  char peek() {
+    skip_whitespace();
+    if (position_ >= text_.size()) fail("unexpected end of input");
+    return text_[position_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++position_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(position_, literal.size()) != literal) return false;
+    position_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    if (++depth_ > kMaxDepth) fail("nesting too deep");
+    const char c = peek();
+    JsonValue value;
+    switch (c) {
+      case '{': value = parse_object(); break;
+      case '[': value = parse_array(); break;
+      case '"': value = JsonValue::string(parse_string()); break;
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        value = JsonValue::boolean(true);
+        break;
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        value = JsonValue::boolean(false);
+        break;
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        break;
+      default: value = parse_number(); break;
+    }
+    --depth_;
+    return value;
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue object = JsonValue::object();
+    if (peek() == '}') {
+      ++position_;
+      return object;
+    }
+    for (;;) {
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      expect(':');
+      object.set(key, parse_value());
+      const char next = peek();
+      ++position_;
+      if (next == '}') return object;
+      if (next != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue array = JsonValue::array();
+    if (peek() == ']') {
+      ++position_;
+      return array;
+    }
+    for (;;) {
+      array.append(parse_value());
+      const char next = peek();
+      ++position_;
+      if (next == ']') return array;
+      if (next != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (position_ >= text_.size()) fail("unterminated string");
+      const char c = text_[position_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (position_ >= text_.size()) fail("unterminated escape");
+      const char escape = text_[position_++];
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': append_codepoint(out); break;
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (position_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[position_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("bad \\u escape digit");
+    }
+    return value;
+  }
+
+  void append_codepoint(std::string& out) {
+    unsigned code = parse_hex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      // Surrogate pair: a low surrogate must follow immediately.
+      if (!consume_literal("\\u")) fail("unpaired surrogate");
+      const unsigned low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("bad low surrogate");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("unpaired surrogate");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = position_;
+    if (position_ < text_.size() && text_[position_] == '-') ++position_;
+    const std::size_t digits_start = position_;
+    while (position_ < text_.size() && std::isdigit(
+               static_cast<unsigned char>(text_[position_])))
+      ++position_;
+    if (position_ == digits_start) fail("expected a value");
+    // Leading zeros are invalid JSON ("01"), a lone zero is fine.
+    if (text_[digits_start] == '0' && position_ - digits_start > 1)
+      fail("number has leading zero");
+    if (position_ < text_.size() && text_[position_] == '.') {
+      ++position_;
+      const std::size_t fraction_start = position_;
+      while (position_ < text_.size() && std::isdigit(
+                 static_cast<unsigned char>(text_[position_])))
+        ++position_;
+      if (position_ == fraction_start) fail("bad number fraction");
+    }
+    if (position_ < text_.size() &&
+        (text_[position_] == 'e' || text_[position_] == 'E')) {
+      ++position_;
+      if (position_ < text_.size() &&
+          (text_[position_] == '+' || text_[position_] == '-'))
+        ++position_;
+      const std::size_t exponent_start = position_;
+      while (position_ < text_.size() && std::isdigit(
+                 static_cast<unsigned char>(text_[position_])))
+        ++position_;
+      if (position_ == exponent_start) fail("bad number exponent");
+    }
+    // Keep the validated token verbatim (exactness for 64-bit counts).
+    return JsonValue::number_token(
+        std::string(text_.substr(start, position_ - start)));
+  }
+
+  static constexpr int kMaxDepth = 128;
+  std::string_view text_;
+  std::size_t position_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+}  // namespace rd

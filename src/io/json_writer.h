@@ -1,0 +1,93 @@
+// Minimal JSON document model, serializer and parser — the output side
+// of the observability layer (run reports, BENCH_*.json) plus the
+// parser used to validate those reports (rdfast_cli validate-json and
+// the golden-schema tests round-trip every emitted file through it).
+//
+// Scope is deliberately small: a JsonValue tree with insertion-ordered
+// objects, exact serialization of 64-bit integers (numbers are stored
+// as raw JSON number tokens, never forced through a double), and one
+// robustness rule the report writers rely on: non-finite doubles
+// serialize as null, so a NaN/Inf metric can never produce an invalid
+// JSON token.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rd {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Default-constructed value is null.
+  JsonValue() = default;
+
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool value);
+  /// Non-finite doubles become null (never an invalid token).
+  static JsonValue number(double value);
+  static JsonValue number(std::uint64_t value);
+  static JsonValue number(std::int64_t value);
+  static JsonValue number(int value) {
+    return number(static_cast<std::int64_t>(value));
+  }
+  static JsonValue string(std::string value);
+  static JsonValue array();
+  static JsonValue object();
+  /// Wraps an already-validated JSON number token verbatim (the parser
+  /// uses this to preserve exactness beyond the double range).
+  static JsonValue number_token(std::string token);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors throw std::runtime_error on kind mismatch (the
+  /// validation code paths want loud failures, not default values).
+  bool as_bool() const;
+  double as_double() const;
+  std::uint64_t as_uint64() const;
+  const std::string& as_string() const;
+
+  /// Array access.
+  std::size_t size() const;
+  const JsonValue& at(std::size_t index) const;
+  JsonValue& append(JsonValue value);
+
+  /// Object access: set() overwrites an existing key in place (order
+  /// preserved); find() returns nullptr when the key is absent.
+  JsonValue& set(std::string_view key, JsonValue value);
+  const JsonValue* find(std::string_view key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Serializes with 2-space indentation and "\n" line ends; output is
+  /// stable (objects keep insertion order) so reports diff cleanly.
+  std::string to_string() const;
+
+ private:
+  void write(std::string& out, int indent) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string scalar_;  // number token (kNumber) or string (kString)
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed,
+/// trailing garbage rejected).  Throws std::runtime_error with a
+/// line/column-prefixed message on malformed input.
+JsonValue parse_json(std::string_view text);
+
+/// Escapes `text` as a JSON string literal including the quotes.
+std::string json_escape(std::string_view text);
+
+}  // namespace rd

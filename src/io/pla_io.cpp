@@ -1,5 +1,7 @@
 #include "io/pla_io.h"
 
+#include <charconv>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -12,6 +14,38 @@ namespace {
 [[noreturn]] void fail(std::size_t line_no, const std::string& message) {
   throw std::runtime_error("pla line " + std::to_string(line_no) + ": " +
                            message);
+}
+
+/// Strict decimal count for .i/.o/.p: the whole token must be digits
+/// and fit a std::size_t.  Errors report the directive and line — a
+/// malformed file must never surface a bare std::invalid_argument /
+/// std::out_of_range from the standard library.
+std::size_t parse_count(std::string_view token, const std::string& directive,
+                        std::size_t line_no) {
+  std::size_t value = 0;
+  const auto [end, error] =
+      std::from_chars(token.data(), token.data() + token.size(), value, 10);
+  if (error == std::errc::result_out_of_range)
+    fail(line_no, directive + " count '" + std::string(token) +
+                      "' is out of range");
+  if (error != std::errc() || end != token.data() + token.size())
+    fail(line_no, directive + " count '" + std::string(token) +
+                      "' is not a non-negative integer");
+  // A count bounding per-cube allocations: anything near SIZE_MAX is a
+  // corrupt file, not a real PLA; reject before reserve() can throw.
+  if (value > std::numeric_limits<std::uint32_t>::max())
+    fail(line_no, directive + " count '" + std::string(token) +
+                      "' is implausibly large");
+  return value;
+}
+
+/// Whitespace-split with empty pieces dropped, so ".i  3" (repeated
+/// blanks) tokenizes the same as ".i 3".
+std::vector<std::string> tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  for (std::string& piece : split(text, ' '))
+    if (!piece.empty()) tokens.push_back(std::move(piece));
+  return tokens;
 }
 
 }  // namespace
@@ -29,17 +63,17 @@ Pla read_pla(std::istream& in, std::string name) {
     if (text.empty() || text.front() == '#') continue;
     if (ended) fail(line_no, "content after .e");
     if (text.front() == '.') {
-      const auto pieces = split(text, ' ');
+      const auto pieces = tokenize(text);
       const std::string directive = to_lower(pieces.front());
       if (directive == ".i") {
         if (pieces.size() < 2) fail(line_no, ".i needs a count");
-        pla.num_inputs = std::stoul(pieces[1]);
+        pla.num_inputs = parse_count(pieces[1], ".i", line_no);
       } else if (directive == ".o") {
         if (pieces.size() < 2) fail(line_no, ".o needs a count");
-        pla.num_outputs = std::stoul(pieces[1]);
+        pla.num_outputs = parse_count(pieces[1], ".o", line_no);
       } else if (directive == ".p") {
         if (pieces.size() < 2) fail(line_no, ".p needs a count");
-        declared_terms = std::stoul(pieces[1]);
+        declared_terms = parse_count(pieces[1], ".p", line_no);
       } else if (directive == ".ilb") {
         pla.input_labels.assign(pieces.begin() + 1, pieces.end());
       } else if (directive == ".ob") {
@@ -62,7 +96,10 @@ Pla read_pla(std::istream& in, std::string name) {
     if (pla.num_inputs == 0 && pla.num_outputs == 0)
       fail(line_no, "cube before .i/.o");
     if (compact.size() != pla.num_inputs + pla.num_outputs)
-      fail(line_no, "cube width mismatch");
+      fail(line_no, "cube width mismatch: got " +
+                        std::to_string(compact.size()) + " literals, .i/.o " +
+                        "declare " +
+                        std::to_string(pla.num_inputs + pla.num_outputs));
     Cube cube;
     cube.inputs.reserve(pla.num_inputs);
     for (std::size_t i = 0; i < pla.num_inputs; ++i) {

@@ -1,0 +1,284 @@
+#include "io/run_report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace rd {
+
+namespace {
+
+/// rd_percent is meaningful only on a completed run over a nonempty
+/// path set with a finite value; everything else serializes as null.
+JsonValue rd_percent_json(const ClassifyResult& result) {
+  if (!result.completed) return JsonValue::null();
+  if (result.total_logical.is_zero()) return JsonValue::null();
+  if (!std::isfinite(result.rd_percent)) return JsonValue::null();
+  return JsonValue::number(result.rd_percent);
+}
+
+JsonValue implication_json(const ImplicationStats& stats) {
+  JsonValue out = JsonValue::object();
+  out.set("assignments", JsonValue::number(stats.assignments));
+  out.set("propagations", JsonValue::number(stats.propagations));
+  out.set("conflicts", JsonValue::number(stats.conflicts));
+  out.set("backward", JsonValue::number(stats.backward));
+  return out;
+}
+
+}  // namespace
+
+JsonValue run_report_envelope(const std::string& kind) {
+  JsonValue report = JsonValue::object();
+  report.set("schema_version", JsonValue::number(kRunReportSchemaVersion));
+  report.set("kind", JsonValue::string(kind));
+  return report;
+}
+
+JsonValue classify_result_json(const ClassifyResult& result) {
+  JsonValue out = JsonValue::object();
+  out.set("completed", JsonValue::boolean(result.completed));
+  out.set("kept_paths", JsonValue::number(result.kept_paths));
+  // Exact decimal token: BigUint totals routinely exceed 2^64 (e.g.
+  // c6288) and must not be rounded through a double.
+  out.set("total_logical",
+          JsonValue::number_token(result.total_logical.to_decimal()));
+  if (result.completed) {
+    out.set("rd_paths", JsonValue::number_token(result.rd_paths.to_decimal()));
+  } else {
+    out.set("rd_paths", JsonValue::null());
+  }
+  out.set("rd_percent", rd_percent_json(result));
+  out.set("work", JsonValue::number(result.work));
+  out.set("wall_seconds", JsonValue::number(result.wall_seconds));
+  out.set("implication", implication_json(result.implication));
+  if (!result.worker_stats.empty()) {
+    JsonValue workers = JsonValue::array();
+    for (const ClassifyWorkerStats& stats : result.worker_stats) {
+      JsonValue worker = JsonValue::object();
+      worker.set("seeds", JsonValue::number(stats.seeds));
+      worker.set("steals", JsonValue::number(stats.steals));
+      worker.set("work", JsonValue::number(stats.work));
+      worker.set("busy_seconds", JsonValue::number(stats.busy_seconds));
+      workers.append(std::move(worker));
+    }
+    out.set("workers", std::move(workers));
+  }
+  return out;
+}
+
+JsonValue classify_run_report(const std::string& circuit_name,
+                              const std::string& method,
+                              const RdIdentification& rd,
+                              const MetricsRegistry* metrics) {
+  JsonValue report = run_report_envelope("classify_run");
+  report.set("circuit", JsonValue::string(circuit_name));
+  report.set("method", JsonValue::string(method));
+  report.set("sort_seconds", JsonValue::number(rd.sort_seconds));
+  report.set("prerun_work", JsonValue::number(rd.prerun_work));
+  report.set("classify", classify_result_json(rd.classify));
+  if (metrics != nullptr) report.set("metrics", metrics_json(*metrics));
+  return report;
+}
+
+JsonValue atpg_run_report(const std::string& circuit_name,
+                          const RdIdentification& rd,
+                          const GeneratedTestSet& set,
+                          const MetricsRegistry* metrics) {
+  JsonValue report = run_report_envelope("atpg_run");
+  report.set("circuit", JsonValue::string(circuit_name));
+  report.set("classify", classify_result_json(rd.classify));
+
+  JsonValue atpg = JsonValue::object();
+  atpg.set("tests", JsonValue::number(
+                        static_cast<std::uint64_t>(set.tests.size())));
+  atpg.set("robust", JsonValue::number(
+                         static_cast<std::uint64_t>(set.robust_count)));
+  atpg.set("nonrobust", JsonValue::number(static_cast<std::uint64_t>(
+                            set.nonrobust_count)));
+  atpg.set("undetected", JsonValue::number(static_cast<std::uint64_t>(
+                             set.undetected_count)));
+  atpg.set("robust_coverage_percent",
+           JsonValue::number(set.robust_coverage_percent));
+  atpg.set("robust_nodes", JsonValue::number(set.robust_nodes));
+  atpg.set("nonrobust_nodes", JsonValue::number(set.nonrobust_nodes));
+  atpg.set("robust_budget_exceeded",
+           JsonValue::number(
+               static_cast<std::uint64_t>(set.robust_budget_exceeded)));
+  atpg.set("nonrobust_budget_exceeded",
+           JsonValue::number(
+               static_cast<std::uint64_t>(set.nonrobust_budget_exceeded)));
+  atpg.set("wall_seconds", JsonValue::number(set.wall_seconds));
+  report.set("atpg", std::move(atpg));
+  if (metrics != nullptr) report.set("metrics", metrics_json(*metrics));
+  return report;
+}
+
+JsonValue bench_report(const std::string& bench_name) {
+  JsonValue report = run_report_envelope("bench");
+  report.set("bench", JsonValue::string(bench_name));
+  report.set("rows", JsonValue::array());
+  return report;
+}
+
+JsonValue metrics_json(const MetricsRegistry& registry) {
+  const MetricsRegistry::Snapshot snapshot = registry.snapshot();
+  JsonValue out = JsonValue::object();
+
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, value] : snapshot.counters)
+    counters.set(name, JsonValue::number(value));
+  out.set("counters", std::move(counters));
+
+  JsonValue timers = JsonValue::object();
+  for (const auto& [name, value] : snapshot.timers) {
+    JsonValue timer = JsonValue::object();
+    timer.set("seconds", JsonValue::number(value.seconds));
+    timer.set("count", JsonValue::number(value.count));
+    timers.set(name, std::move(timer));
+  }
+  out.set("timers", std::move(timers));
+
+  JsonValue gauges = JsonValue::object();
+  for (const auto& [name, value] : snapshot.gauges)
+    gauges.set(name, JsonValue::number(value));
+  out.set("gauges", std::move(gauges));
+  return out;
+}
+
+void record_classify_metrics(const ClassifyResult& result,
+                             MetricsRegistry& registry) {
+  registry.add_counter("classify.runs");
+  if (!result.completed) registry.add_counter("classify.aborted");
+  registry.add_counter("classify.kept_paths", result.kept_paths);
+  registry.add_counter("classify.work", result.work);
+  registry.add_counter("implication.assignments",
+                       result.implication.assignments);
+  registry.add_counter("implication.propagations",
+                       result.implication.propagations);
+  registry.add_counter("implication.conflicts", result.implication.conflicts);
+  registry.add_counter("implication.backward", result.implication.backward);
+  registry.add_timer("classify.wall", result.wall_seconds);
+  for (const ClassifyWorkerStats& stats : result.worker_stats) {
+    registry.add_counter("classify.worker_seeds", stats.seeds);
+    registry.add_counter("classify.worker_steals", stats.steals);
+    registry.add_timer("classify.worker_busy", stats.busy_seconds);
+  }
+}
+
+namespace {
+
+void require_key(const JsonValue& object, const char* key,
+                 std::vector<std::string>& problems) {
+  if (object.find(key) == nullptr)
+    problems.push_back(std::string("missing key \"") + key + "\"");
+}
+
+void validate_classify_payload(const JsonValue& report,
+                               std::vector<std::string>& problems) {
+  const JsonValue* classify = report.find("classify");
+  if (classify == nullptr) {
+    problems.push_back("missing key \"classify\"");
+    return;
+  }
+  if (!classify->is_object()) {
+    problems.push_back("\"classify\" is not an object");
+    return;
+  }
+  for (const char* key :
+       {"completed", "kept_paths", "total_logical", "rd_paths", "rd_percent",
+        "work", "wall_seconds", "implication"})
+    require_key(*classify, key, problems);
+  const JsonValue* completed = classify->find("completed");
+  if (completed != nullptr && completed->is_bool() && completed->as_bool()) {
+    const JsonValue* rd_paths = classify->find("rd_paths");
+    if (rd_paths != nullptr && rd_paths->is_null())
+      problems.push_back("completed run has null \"rd_paths\"");
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> validate_run_report(const JsonValue& report) {
+  std::vector<std::string> problems;
+  if (!report.is_object()) {
+    problems.push_back("report is not a JSON object");
+    return problems;
+  }
+
+  const JsonValue* version = report.find("schema_version");
+  if (version == nullptr) {
+    problems.push_back("missing key \"schema_version\"");
+  } else if (!version->is_number()) {
+    problems.push_back("\"schema_version\" is not a number");
+  } else {
+    bool supported = false;
+    try {
+      supported = version->as_uint64() == kRunReportSchemaVersion;
+    } catch (const std::runtime_error&) {
+      // Non-integral token; unsupported.
+    }
+    if (!supported) problems.push_back("unsupported schema_version");
+  }
+
+  const JsonValue* kind = report.find("kind");
+  if (kind == nullptr) {
+    problems.push_back("missing key \"kind\"");
+    return problems;
+  }
+  if (!kind->is_string()) {
+    problems.push_back("\"kind\" is not a string");
+    return problems;
+  }
+
+  const std::string& kind_name = kind->as_string();
+  if (kind_name == "classify_run") {
+    for (const char* key : {"circuit", "method", "sort_seconds",
+                            "prerun_work"})
+      require_key(report, key, problems);
+    validate_classify_payload(report, problems);
+  } else if (kind_name == "atpg_run") {
+    require_key(report, "circuit", problems);
+    validate_classify_payload(report, problems);
+    const JsonValue* atpg = report.find("atpg");
+    if (atpg == nullptr) {
+      problems.push_back("missing key \"atpg\"");
+    } else if (!atpg->is_object()) {
+      problems.push_back("\"atpg\" is not an object");
+    } else {
+      for (const char* key :
+           {"tests", "robust", "nonrobust", "undetected",
+            "robust_coverage_percent", "wall_seconds"})
+        require_key(*atpg, key, problems);
+    }
+  } else if (kind_name == "bench") {
+    require_key(report, "bench", problems);
+    const JsonValue* rows = report.find("rows");
+    if (rows == nullptr) {
+      problems.push_back("missing key \"rows\"");
+    } else if (!rows->is_array()) {
+      problems.push_back("\"rows\" is not an array");
+    } else {
+      for (std::size_t i = 0; i < rows->size(); ++i)
+        if (!rows->at(i).is_object())
+          problems.push_back("rows[" + std::to_string(i) +
+                             "] is not an object");
+    }
+  } else {
+    problems.push_back("unknown kind \"" + kind_name + "\"");
+  }
+  return problems;
+}
+
+void write_json_file(const std::string& path, const JsonValue& value) {
+  const std::string text = value.to_string();  // already newline-terminated
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr)
+    throw std::runtime_error("cannot open " + path + " for writing");
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const bool close_ok = std::fclose(file) == 0;
+  if (written != text.size() || !close_ok)
+    throw std::runtime_error("short write to " + path);
+}
+
+}  // namespace rd

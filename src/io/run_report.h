@@ -1,0 +1,86 @@
+// Schema-versioned JSON run reports — the contract between the tools
+// that emit observability data (rdfast_cli --stats-json, the bench_*
+// harnesses via --json) and whatever consumes it (scripts/run_bench.sh,
+// dashboards, the golden-schema tests).
+//
+// Every report is a JSON object with the shared envelope
+//
+//   {
+//     "schema_version": 1,
+//     "kind": "classify_run" | "atpg_run" | "bench",
+//     ...kind-specific payload...
+//   }
+//
+// and validate_run_report() checks exactly that contract, so any file
+// this layer writes can be round-tripped through parse_json +
+// validate_run_report (rdfast_cli validate-json does precisely this).
+//
+// Number handling rules the builders guarantee:
+//   * BigUint path totals serialize as exact decimal number tokens —
+//     never rounded through a double;
+//   * rd statistics of an incomplete (work-limit aborted) or pathless
+//     run serialize as explicit nulls, never 0-that-means-unknown and
+//     never a NaN/Inf token (the JsonValue layer enforces the latter).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "atpg/testset.h"
+#include "core/classify.h"
+#include "core/heuristics.h"
+#include "io/json_writer.h"
+#include "util/metrics.h"
+
+namespace rd {
+
+/// Bump when a field is renamed/removed or its meaning changes; adding
+/// new optional fields is backward compatible and does not bump.
+inline constexpr std::uint64_t kRunReportSchemaVersion = 1;
+
+/// The shared envelope: {"schema_version": N, "kind": kind}.
+JsonValue run_report_envelope(const std::string& kind);
+
+/// One ClassifyResult as a JSON object (shared by every report kind):
+/// kept_paths, total_logical (exact decimal token), rd_paths /
+/// rd_percent (null unless the run completed with finite values),
+/// completed, work, wall_seconds, implication counters, and a workers
+/// array on parallel runs.
+JsonValue classify_result_json(const ClassifyResult& result);
+
+/// "classify_run" report for one end-to-end RD identification.
+JsonValue classify_run_report(const std::string& circuit_name,
+                              const std::string& method,
+                              const RdIdentification& rd,
+                              const MetricsRegistry* metrics = nullptr);
+
+/// "atpg_run" report: classification plus the generated test set.
+JsonValue atpg_run_report(const std::string& circuit_name,
+                          const RdIdentification& rd,
+                          const GeneratedTestSet& set,
+                          const MetricsRegistry* metrics = nullptr);
+
+/// "bench" report envelope with an empty "rows" array; the bench
+/// harness appends one object per table row.
+JsonValue bench_report(const std::string& bench_name);
+
+/// A metrics-registry snapshot as {"counters": {...}, "timers":
+/// {"name": {"seconds": s, "count": n}, ...}, "gauges": {...}}.
+JsonValue metrics_json(const MetricsRegistry& registry);
+
+/// Folds one classify run's counters and timings into `registry`
+/// (run-granularity: one call per run, never per event).  Metric names
+/// are documented in DESIGN.md.
+void record_classify_metrics(const ClassifyResult& result,
+                             MetricsRegistry& registry);
+
+/// Structural validation of a report against the envelope + the
+/// kind-specific required keys.  Returns human-readable problems;
+/// empty means the report conforms.
+std::vector<std::string> validate_run_report(const JsonValue& report);
+
+/// Serializes `value` (pretty, trailing newline) to `path`; throws
+/// std::runtime_error on I/O failure.
+void write_json_file(const std::string& path, const JsonValue& value);
+
+}  // namespace rd

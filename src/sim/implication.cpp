@@ -11,11 +11,16 @@ ImplicationEngine::ImplicationEngine(const Circuit& circuit,
 bool ImplicationEngine::assign(GateId id, Value3 value) {
   if (!is_known(value)) return true;
   const Value3 current = values_[id];
-  if (is_known(current)) return current == value;
+  if (is_known(current)) {
+    if (current != value) ++stats_.conflicts;
+    return current == value;
+  }
   queue_.clear();
   queue_head_ = 0;
   set_value(id, value);
-  return propagate();
+  const bool ok = propagate();
+  if (!ok) ++stats_.conflicts;
+  return ok;
 }
 
 void ImplicationEngine::undo_to(std::size_t mark) {
@@ -26,6 +31,7 @@ void ImplicationEngine::undo_to(std::size_t mark) {
 }
 
 void ImplicationEngine::set_value(GateId id, Value3 value) {
+  ++stats_.assignments;
   values_[id] = value;
   trail_.push_back(id);
   queue_.push_back(id);
@@ -36,6 +42,7 @@ void ImplicationEngine::set_value(GateId id, Value3 value) {
 bool ImplicationEngine::propagate() {
   while (queue_head_ < queue_.size()) {
     const GateId id = queue_[queue_head_++];
+    ++stats_.propagations;
     if (!examine(id)) return false;
   }
   return true;
@@ -60,6 +67,7 @@ bool ImplicationEngine::examine(GateId id) {
       return true;
     }
     if (is_known(out) && backward_implications_) {
+      ++stats_.backward;
       set_value(source, inverting ? negate(out) : out);
     }
     return true;
@@ -104,12 +112,18 @@ bool ImplicationEngine::examine(GateId id) {
   if (out == out_noncontrolled) {
     // Every input must be non-controlling.
     for (GateId fanin : gate.fanins)
-      if (!is_known(values_[fanin])) set_value(fanin, nc);
+      if (!is_known(values_[fanin])) {
+        ++stats_.backward;
+        set_value(fanin, nc);
+      }
     return true;
   }
   // Output is the controlled value but no controlling input is known:
   // if exactly one input is unknown it must be controlling.
-  if (unknown_count == 1) set_value(last_unknown, ctrl);
+  if (unknown_count == 1) {
+    ++stats_.backward;
+    set_value(last_unknown, ctrl);
+  }
   return true;
 }
 

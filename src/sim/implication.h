@@ -17,12 +17,32 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "netlist/circuit.h"
 #include "sim/value.h"
 
 namespace rd {
+
+/// Cumulative event counters of one ImplicationEngine.  Plain uint64
+/// increments on the hot path — snapshotted into the metrics registry
+/// at run granularity by the orchestration layer.  Counts are
+/// deterministic for a fixed assignment sequence; engines owned by
+/// different workers are merged by summation (commutative).
+struct ImplicationStats {
+  std::uint64_t assignments = 0;     // values placed on the trail
+  std::uint64_t propagations = 0;    // gates examined by propagate()
+  std::uint64_t conflicts = 0;       // contradictions found
+  std::uint64_t backward = 0;        // values derived by backward reasoning
+
+  void merge(const ImplicationStats& other) {
+    assignments += other.assignments;
+    propagations += other.propagations;
+    conflicts += other.conflicts;
+    backward += other.backward;
+  }
+};
 
 class ImplicationEngine {
  public:
@@ -50,6 +70,10 @@ class ImplicationEngine {
   /// Number of gates whose value is currently known (for diagnostics).
   std::size_t num_assigned() const { return trail_.size(); }
 
+  /// Cumulative event counters since construction (undo does not roll
+  /// them back — they measure work done, not state held).
+  const ImplicationStats& stats() const { return stats_; }
+
  private:
   /// Records a value (must currently be unknown) and schedules
   /// re-examination of the gate and its sinks.
@@ -69,6 +93,7 @@ class ImplicationEngine {
   std::vector<GateId> trail_;
   std::vector<GateId> queue_;
   std::size_t queue_head_ = 0;
+  ImplicationStats stats_;
 };
 
 }  // namespace rd

@@ -1,6 +1,7 @@
 #include "unfold/redundancy.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "paths/counting.h"
@@ -266,10 +267,16 @@ UnfoldResult identify_rd_unfold(const Circuit& circuit,
         count_alive_paths(dag, kills).total_alive_logical;
   }
 
+  // Guard against BigUint::to_double overflowing to infinity: the naive
+  // inf/inf quotient would poison rd_percent with NaN.
   const double total = result.total_logical.to_double();
   if (total > 0) {
-    const BigUint rd = result.total_logical - result.must_test_logical;
-    result.rd_percent = 100.0 * rd.to_double() / total;
+    const BigUint rd_big = result.total_logical - result.must_test_logical;
+    const double rd = rd_big.to_double();
+    const double percent = std::isfinite(total) && std::isfinite(rd)
+                               ? 100.0 * rd / total
+                               : 100.0;
+    result.rd_percent = std::isfinite(percent) ? percent : 0.0;
   }
   return result;
 }

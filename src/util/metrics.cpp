@@ -1,0 +1,67 @@
+#include "util/metrics.h"
+
+namespace rd {
+
+void MetricsRegistry::add_counter(std::string_view name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    counters_.emplace(std::string(name), delta);
+  else
+    it->second += delta;
+}
+
+void MetricsRegistry::add_timer(std::string_view name, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = timers_.find(name);
+  if (it == timers_.end()) it = timers_.emplace(std::string(name),
+                                                TimerValue{}).first;
+  it->second.seconds += seconds;
+  ++it->second.count;
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    gauges_.emplace(std::string(name), value);
+  else
+    it->second = value;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  // Copy under the source lock first: locking both registries at once
+  // invites lock-order cycles, and merge is far off the hot path.
+  Snapshot theirs = other.snapshot();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, delta] : theirs.counters) counters_[name] += delta;
+  for (const auto& [name, timer] : theirs.timers) {
+    TimerValue& mine = timers_[name];
+    mine.seconds += timer.seconds;
+    mine.count += timer.count;
+  }
+  for (const auto& [name, value] : theirs.gauges) gauges_[name] = value;
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  timers_.clear();
+  gauges_.clear();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.counters.insert(counters_.begin(), counters_.end());
+  snap.timers.insert(timers_.begin(), timers_.end());
+  snap.gauges.insert(gauges_.begin(), gauges_.end());
+  return snap;
+}
+
+MetricsRegistry& global_metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace rd

@@ -1,0 +1,81 @@
+// Lightweight metrics registry for the observability layer: named
+// counters, timers and gauges with a thread-safe API, plus merge and
+// snapshot for aggregating per-worker or per-phase registries.
+//
+// The hot loops (implication engine, classification DFS) do NOT call
+// into the registry per event — they keep plain struct counters and
+// the orchestration layer (CLI, heuristics, ATPG flows, benches)
+// records the totals here once per run.  A registry lookup is a
+// mutex + map access: cheap at run granularity, far too slow per DFS
+// step.  Snapshots are name-sorted so reports are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/stopwatch.h"
+
+namespace rd {
+
+class MetricsRegistry {
+ public:
+  /// Monotone event count, e.g. "classify.runs".
+  void add_counter(std::string_view name, std::uint64_t delta = 1);
+
+  /// Accumulated wall time: each call adds `seconds` and bumps the
+  /// sample count, so snapshots expose both total and call count.
+  void add_timer(std::string_view name, double seconds);
+
+  /// Last-write-wins instantaneous value, e.g. "classify.rd_percent".
+  void set_gauge(std::string_view name, double value);
+
+  /// Folds `other` into this registry: counters and timers add,
+  /// gauges overwrite.  Both registries stay independently usable.
+  void merge(const MetricsRegistry& other);
+
+  void clear();
+
+  struct TimerValue {
+    double seconds = 0.0;
+    std::uint64_t count = 0;
+  };
+
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, TimerValue> timers;
+    std::map<std::string, double> gauges;
+  };
+
+  Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, TimerValue, std::less<>> timers_;
+  std::map<std::string, double, std::less<>> gauges_;
+};
+
+/// Process-wide registry the CLI snapshots into --stats-json reports.
+MetricsRegistry& global_metrics();
+
+/// RAII timer: records the elapsed wall time into `registry` under
+/// `name` on destruction.
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry& registry, std::string name)
+      : registry_(registry), name_(std::move(name)) {}
+  ~ScopedTimer() { registry_.add_timer(name_, watch_.elapsed_seconds()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricsRegistry& registry_;
+  std::string name_;
+  Stopwatch watch_;
+};
+
+}  // namespace rd

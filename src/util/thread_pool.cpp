@@ -1,5 +1,7 @@
 #include "util/thread_pool.h"
 
+#include <utility>
+
 #include "util/stopwatch.h"
 
 namespace rd {
@@ -43,12 +45,18 @@ std::vector<WorkerStats> ThreadPool::run(
   for (std::size_t shard = 0; shard < count; ++shard)
     shard_cursors_[shard].store(0, std::memory_order_relaxed);
   stats_.assign(count, WorkerStats{});
+  batch_error_ = nullptr;
+  batch_abort_.store(false, std::memory_order_relaxed);
   workers_left_ = count;
   ++generation_;
   start_cv_.notify_all();
   done_cv_.wait(lock, [this] { return workers_left_ == 0; });
   tasks_ = nullptr;
   shard_cursors_.reset();
+  if (batch_error_ != nullptr) {
+    std::exception_ptr error = std::exchange(batch_error_, nullptr);
+    std::rethrow_exception(error);
+  }
   return std::move(stats_);
 }
 
@@ -87,7 +95,21 @@ void ThreadPool::process_batch(std::size_t worker) {
           shard_cursors_[shard].fetch_add(1, std::memory_order_relaxed);
       const std::size_t index = shard + position * num_workers;
       if (index >= tasks.size()) break;
-      tasks[index]();
+      // After a task has thrown, keep draining indices (so the batch
+      // terminates) but skip the task bodies; run() rethrows the first
+      // captured exception once all workers quiesce.
+      if (batch_abort_.load(std::memory_order_relaxed)) continue;
+      try {
+        tasks[index]();
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          if (batch_error_ == nullptr)
+            batch_error_ = std::current_exception();
+        }
+        batch_abort_.store(true, std::memory_order_relaxed);
+        continue;
+      }
       ++stats.tasks;
       if (offset != 0) ++stats.steals;
     }

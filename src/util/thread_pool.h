@@ -17,6 +17,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -47,6 +48,13 @@ class ThreadPool {
   /// Executes every task in `tasks` exactly once across the workers and
   /// blocks until all have finished.  Returns one WorkerStats per
   /// worker.  Not reentrant: one run() at a time per pool.
+  ///
+  /// Exception safety: if a task throws, the first exception (in
+  /// completion order) is captured, the remaining unstarted tasks of
+  /// the batch are drained without running, and the exception is
+  /// rethrown here on the submitting thread once every worker has
+  /// quiesced.  Skipped tasks are not counted in WorkerStats.  The
+  /// pool itself stays usable for subsequent batches.
   std::vector<WorkerStats> run(const std::vector<std::function<void()>>& tasks);
 
   /// 0 -> hardware concurrency, clamped to at least 1.
@@ -78,6 +86,8 @@ class ThreadPool {
   const std::vector<std::function<void()>>* tasks_ = nullptr;
   std::unique_ptr<std::atomic<std::size_t>[]> shard_cursors_;
   std::vector<WorkerStats> stats_;
+  std::exception_ptr batch_error_;         // first task exception (under mutex_)
+  std::atomic<bool> batch_abort_{false};   // raised with it: skip remaining tasks
 };
 
 }  // namespace rd

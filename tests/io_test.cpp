@@ -143,6 +143,55 @@ TEST(PlaIo, RejectsMalformed) {
   EXPECT_THROW(read_pla_string(".i 2\n.o 1\nq0 1\n.e\n"), std::runtime_error);
 }
 
+// Malformed-input corpus: every entry must produce a line-numbered
+// pla error carrying the expected detail — never a bare
+// std::invalid_argument / std::out_of_range escaping from the standard
+// library's number parsing.
+TEST(PlaIo, MalformedCorpusReportsLineAndDetail) {
+  struct Case {
+    const char* text;
+    const char* expect_line;
+    const char* expect_detail;
+  };
+  const Case corpus[] = {
+      {".i abc\n.o 1\n- 1\n.e\n", "pla line 1",
+       "not a non-negative integer"},
+      {".i 2\n.o -1\n10 1\n.e\n", "pla line 2",
+       "not a non-negative integer"},
+      {".i 2\n.o 1\n.p 1x\n10 1\n.e\n", "pla line 3",
+       "not a non-negative integer"},
+      {".i 99999999999999999999999999\n.o 1\n- 1\n.e\n", "pla line 1",
+       "out of range"},
+      {".i 4294967296\n.o 1\n- 1\n.e\n", "pla line 1", "implausibly large"},
+      {".i\n.o 1\n- 1\n.e\n", "pla line 1", ".i needs a count"},
+      {".i 3\n.o 1\n11 1\n.e\n", "pla line 3",
+       "got 3 literals, .i/.o declare 4"},
+      {".i 2\n.o 1\n.e\nstray\n", "pla line 4", "content after .e"},
+      {".i 2\n.o 1\n.frob 2\n10 1\n.e\n", "pla line 3", "unknown directive"},
+  };
+  for (const Case& entry : corpus) {
+    try {
+      read_pla_string(entry.text);
+      FAIL() << "expected parse failure for:\n" << entry.text;
+    } catch (const std::runtime_error& error) {
+      const std::string message = error.what();
+      EXPECT_NE(message.find(entry.expect_line), std::string::npos)
+          << "message '" << message << "' lacks '" << entry.expect_line << "'";
+      EXPECT_NE(message.find(entry.expect_detail), std::string::npos)
+          << "message '" << message << "' lacks '" << entry.expect_detail
+          << "'";
+    }
+  }
+}
+
+TEST(PlaIo, DirectivesTolerateRepeatedBlanks) {
+  // ".i  3" (double space) must parse identically to ".i 3".
+  const Pla pla = read_pla_string(".i  3\n.o \t 1\n1-0  1\n.e\n");
+  EXPECT_EQ(pla.num_inputs, 3u);
+  EXPECT_EQ(pla.num_outputs, 1u);
+  ASSERT_EQ(pla.cubes.size(), 1u);
+}
+
 TEST(PlaIo, LabelsRespected) {
   const Pla pla = read_pla_string(
       ".i 2\n.o 1\n.ilb x y\n.ob f\n11 1\n.e\n");

@@ -1,0 +1,181 @@
+// Unit tests for the JSON document model: serializer output (stable
+// ordering, escaping, non-finite -> null), the exactness guarantee of
+// number tokens, and the parser's line/column error reporting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "io/json_writer.h"
+
+namespace rd {
+namespace {
+
+TEST(Json, DefaultIsNull) {
+  JsonValue value;
+  EXPECT_TRUE(value.is_null());
+  EXPECT_EQ(value.to_string(), "null\n");
+  EXPECT_EQ(JsonValue::null().to_string(), "null\n");
+}
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(JsonValue::boolean(true).to_string(), "true\n");
+  EXPECT_EQ(JsonValue::boolean(false).to_string(), "false\n");
+  EXPECT_EQ(JsonValue::number(std::uint64_t{42}).to_string(), "42\n");
+  EXPECT_EQ(JsonValue::number(std::int64_t{-7}).to_string(), "-7\n");
+  EXPECT_EQ(JsonValue::string("hi").to_string(), "\"hi\"\n");
+}
+
+TEST(Json, Uint64ExactBeyondDoubleRange) {
+  // 2^64 - 1 is not representable as a double; the number must still
+  // serialize exactly because it is stored as a token, not a double.
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(JsonValue::number(max).to_string(), "18446744073709551615\n");
+  EXPECT_EQ(JsonValue::number(max).as_uint64(), max);
+}
+
+TEST(Json, NumberTokenPreservesArbitraryPrecision) {
+  // BigUint path totals go through number_token; a 30-digit decimal
+  // must round-trip byte-for-byte through serialize + parse.
+  const std::string big = "123456789012345678901234567890";
+  const JsonValue value = JsonValue::number_token(big);
+  EXPECT_EQ(value.to_string(), big + "\n");
+  const JsonValue back = parse_json(value.to_string());
+  ASSERT_TRUE(back.is_number());
+  EXPECT_EQ(back.to_string(), big + "\n");
+}
+
+TEST(Json, NonFiniteDoublesSerializeAsNull) {
+  EXPECT_TRUE(JsonValue::number(std::nan("")).is_null());
+  EXPECT_TRUE(
+      JsonValue::number(std::numeric_limits<double>::infinity()).is_null());
+  EXPECT_TRUE(
+      JsonValue::number(-std::numeric_limits<double>::infinity()).is_null());
+  EXPECT_EQ(JsonValue::number(std::nan("")).to_string(), "null\n");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(json_escape("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_escape("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_escape("a\nb\tc"), "\"a\\nb\\tc\"");
+  // Control characters must be escaped, never emitted raw.
+  const std::string escaped = json_escape(std::string(1, '\x01'));
+  EXPECT_EQ(escaped.find('\x01'), std::string::npos);
+  const JsonValue back = parse_json(JsonValue::string("a\"\n\\\tb").to_string());
+  EXPECT_EQ(back.as_string(), "a\"\n\\\tb");
+}
+
+TEST(Json, ObjectsKeepInsertionOrder) {
+  JsonValue object = JsonValue::object();
+  object.set("zebra", JsonValue::number(1));
+  object.set("apple", JsonValue::number(2));
+  object.set("mango", JsonValue::number(3));
+  const std::string text = object.to_string();
+  EXPECT_LT(text.find("zebra"), text.find("apple"));
+  EXPECT_LT(text.find("apple"), text.find("mango"));
+  // set() on an existing key overwrites in place, preserving position.
+  object.set("apple", JsonValue::number(99));
+  ASSERT_EQ(object.members().size(), 3u);
+  EXPECT_EQ(object.members()[1].first, "apple");
+  EXPECT_EQ(object.find("apple")->as_uint64(), 99u);
+  EXPECT_EQ(object.find("missing"), nullptr);
+}
+
+TEST(Json, ArrayAccess) {
+  JsonValue array = JsonValue::array();
+  array.append(JsonValue::number(1));
+  array.append(JsonValue::string("two"));
+  ASSERT_EQ(array.size(), 2u);
+  EXPECT_EQ(array.at(0).as_uint64(), 1u);
+  EXPECT_EQ(array.at(1).as_string(), "two");
+  EXPECT_THROW(array.at(2), std::runtime_error);
+}
+
+TEST(Json, AccessorsThrowOnKindMismatch) {
+  EXPECT_THROW(JsonValue::string("x").as_uint64(), std::runtime_error);
+  EXPECT_THROW(JsonValue::number(1).as_string(), std::runtime_error);
+  EXPECT_THROW(JsonValue::null().as_bool(), std::runtime_error);
+  EXPECT_THROW(JsonValue::object().at(0), std::runtime_error);
+  EXPECT_THROW(JsonValue::array().set("k", JsonValue::null()),
+               std::runtime_error);
+}
+
+TEST(Json, RoundTripNestedDocument) {
+  JsonValue report = JsonValue::object();
+  report.set("schema_version", JsonValue::number(1));
+  report.set("kind", JsonValue::string("bench"));
+  JsonValue rows = JsonValue::array();
+  JsonValue row = JsonValue::object();
+  row.set("circuit", JsonValue::string("c17"));
+  row.set("rd_percent", JsonValue::number(37.5));
+  row.set("aborted", JsonValue::boolean(false));
+  row.set("note", JsonValue::null());
+  rows.append(std::move(row));
+  report.set("rows", std::move(rows));
+
+  const JsonValue back = parse_json(report.to_string());
+  ASSERT_TRUE(back.is_object());
+  EXPECT_EQ(back.find("schema_version")->as_uint64(), 1u);
+  EXPECT_EQ(back.find("kind")->as_string(), "bench");
+  const JsonValue* parsed_rows = back.find("rows");
+  ASSERT_NE(parsed_rows, nullptr);
+  ASSERT_EQ(parsed_rows->size(), 1u);
+  EXPECT_EQ(parsed_rows->at(0).find("circuit")->as_string(), "c17");
+  EXPECT_DOUBLE_EQ(parsed_rows->at(0).find("rd_percent")->as_double(), 37.5);
+  EXPECT_FALSE(parsed_rows->at(0).find("aborted")->as_bool());
+  EXPECT_TRUE(parsed_rows->at(0).find("note")->is_null());
+  // Serialization is stable: a second round trip is byte-identical.
+  EXPECT_EQ(back.to_string(), parse_json(back.to_string()).to_string());
+}
+
+TEST(JsonParser, AcceptsAssortedValidDocuments) {
+  EXPECT_TRUE(parse_json("  null  ").is_null());
+  EXPECT_TRUE(parse_json("[]").is_array());
+  EXPECT_TRUE(parse_json("{}").is_object());
+  EXPECT_DOUBLE_EQ(parse_json("-1.5e3").as_double(), -1500.0);
+  EXPECT_DOUBLE_EQ(parse_json("0.25").as_double(), 0.25);
+  EXPECT_EQ(parse_json("\"\\u0041\"").as_string(), "A");
+}
+
+void expect_parse_error(const std::string& text, const std::string& expect) {
+  try {
+    parse_json(text);
+    FAIL() << "expected parse failure for: " << text;
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find(expect), std::string::npos)
+        << "message '" << error.what() << "' lacks '" << expect << "'";
+  }
+}
+
+TEST(JsonParser, ErrorsCarryLineAndColumn) {
+  // The malformed token sits on line 3; the message must say so.
+  expect_parse_error("{\n  \"a\": 1,\n  \"b\": nul\n}", "line 3");
+  expect_parse_error("[1, 2,\n 3,, 4]", "line 2");
+}
+
+TEST(JsonParser, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",             // empty document
+      "{",            // unterminated object
+      "[1, 2",        // unterminated array
+      "\"abc",        // unterminated string
+      "{\"a\" 1}",    // missing colon
+      "{\"a\": 1,}",  // trailing comma
+      "[1, , 2]",     // empty element
+      "01",           // leading zero
+      "1.",           // dangling fraction
+      "+1",           // explicit plus sign
+      "nan",          // non-finite literal
+      "truthy",       // garbage after literal
+      "{} {}",        // trailing garbage
+      "\"\\x41\"",    // invalid escape
+  };
+  for (const char* text : bad)
+    EXPECT_THROW(parse_json(text), std::runtime_error) << "input: " << text;
+}
+
+}  // namespace
+}  // namespace rd

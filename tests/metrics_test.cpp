@@ -1,0 +1,128 @@
+// Unit tests for the metrics registry: counter/timer/gauge semantics,
+// merge, snapshot determinism and thread safety under concurrent
+// recording.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace rd {
+namespace {
+
+TEST(Metrics, CountersAccumulate) {
+  MetricsRegistry registry;
+  registry.add_counter("classify.runs");
+  registry.add_counter("classify.runs");
+  registry.add_counter("classify.work", 40);
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counters.at("classify.runs"), 2u);
+  EXPECT_EQ(snapshot.counters.at("classify.work"), 40u);
+}
+
+TEST(Metrics, TimersTrackTotalAndCount) {
+  MetricsRegistry registry;
+  registry.add_timer("classify.wall", 1.5);
+  registry.add_timer("classify.wall", 0.5);
+  const auto snapshot = registry.snapshot();
+  const auto& timer = snapshot.timers.at("classify.wall");
+  EXPECT_DOUBLE_EQ(timer.seconds, 2.0);
+  EXPECT_EQ(timer.count, 2u);
+}
+
+TEST(Metrics, GaugesAreLastWriteWins) {
+  MetricsRegistry registry;
+  registry.set_gauge("classify.rd_percent", 10.0);
+  registry.set_gauge("classify.rd_percent", 99.5);
+  EXPECT_DOUBLE_EQ(registry.snapshot().gauges.at("classify.rd_percent"), 99.5);
+}
+
+TEST(Metrics, MergeAddsCountersAndTimersOverwritesGauges) {
+  MetricsRegistry base;
+  base.add_counter("runs", 1);
+  base.add_timer("wall", 1.0);
+  base.set_gauge("percent", 10.0);
+
+  MetricsRegistry other;
+  other.add_counter("runs", 2);
+  other.add_counter("only_other", 5);
+  other.add_timer("wall", 3.0);
+  other.set_gauge("percent", 20.0);
+
+  base.merge(other);
+  const auto snapshot = base.snapshot();
+  EXPECT_EQ(snapshot.counters.at("runs"), 3u);
+  EXPECT_EQ(snapshot.counters.at("only_other"), 5u);
+  EXPECT_DOUBLE_EQ(snapshot.timers.at("wall").seconds, 4.0);
+  EXPECT_EQ(snapshot.timers.at("wall").count, 2u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges.at("percent"), 20.0);
+  // `other` is unchanged by the merge.
+  EXPECT_EQ(other.snapshot().counters.at("runs"), 2u);
+}
+
+TEST(Metrics, ClearEmptiesEverything) {
+  MetricsRegistry registry;
+  registry.add_counter("a");
+  registry.add_timer("b", 1.0);
+  registry.set_gauge("c", 2.0);
+  registry.clear();
+  const auto snapshot = registry.snapshot();
+  EXPECT_TRUE(snapshot.counters.empty());
+  EXPECT_TRUE(snapshot.timers.empty());
+  EXPECT_TRUE(snapshot.gauges.empty());
+}
+
+TEST(Metrics, SnapshotIsNameSorted) {
+  MetricsRegistry registry;
+  registry.add_counter("zeta");
+  registry.add_counter("alpha");
+  registry.add_counter("mid");
+  std::vector<std::string> names;
+  for (const auto& [name, value] : registry.snapshot().counters)
+    names.push_back(name);
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "mid");
+  EXPECT_EQ(names[2], "zeta");
+}
+
+TEST(Metrics, ScopedTimerRecordsOnDestruction) {
+  MetricsRegistry registry;
+  {
+    ScopedTimer timer(registry, "scope");
+  }
+  const auto snapshot = registry.snapshot();
+  const auto& timer = snapshot.timers.at("scope");
+  EXPECT_EQ(timer.count, 1u);
+  EXPECT_GE(timer.seconds, 0.0);
+}
+
+TEST(Metrics, ConcurrentRecordingIsLossless) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kIncrements; ++i) {
+        registry.add_counter("shared");
+        registry.add_timer("shared_timer", 0.001);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counters.at("shared"),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(snapshot.timers.at("shared_timer").count,
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(Metrics, GlobalRegistryIsASingleton) {
+  EXPECT_EQ(&global_metrics(), &global_metrics());
+}
+
+}  // namespace
+}  // namespace rd

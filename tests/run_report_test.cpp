@@ -1,0 +1,275 @@
+// Golden-schema tests for the run-report layer: every report kind the
+// tools emit must round-trip through parse_json + validate_run_report,
+// incomplete runs must serialize their rd statistics as nulls (never
+// NaN/Inf or 0-that-means-unknown), and the validator must reject each
+// class of malformed report with a specific problem message.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/classify.h"
+#include "core/heuristics.h"
+#include "gen/examples.h"
+#include "io/run_report.h"
+#include "util/metrics.h"
+
+namespace rd {
+namespace {
+
+/// Round-trips a report through the serializer and parser — exactly
+/// what rdfast_cli validate-json does to the files on disk.
+JsonValue round_trip(const JsonValue& report) {
+  return parse_json(report.to_string());
+}
+
+bool has_problem(const std::vector<std::string>& problems,
+                 const std::string& needle) {
+  for (const std::string& problem : problems)
+    if (problem.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+RdIdentification classify_c17() {
+  const Circuit circuit = c17();
+  RdIdentification rd = identify_rd_heuristic1(circuit, ClassifyOptions{});
+  return rd;
+}
+
+// ---- golden schema --------------------------------------------------------
+
+TEST(RunReport, ClassifyRunConformsToSchema) {
+  const RdIdentification rd = classify_c17();
+  const JsonValue report =
+      classify_run_report("c17", "heu1", rd, &global_metrics());
+  const JsonValue back = round_trip(report);
+  EXPECT_TRUE(validate_run_report(back).empty());
+
+  EXPECT_EQ(back.find("schema_version")->as_uint64(), kRunReportSchemaVersion);
+  EXPECT_EQ(back.find("kind")->as_string(), "classify_run");
+  EXPECT_EQ(back.find("circuit")->as_string(), "c17");
+  EXPECT_EQ(back.find("method")->as_string(), "heu1");
+
+  const JsonValue* classify = back.find("classify");
+  ASSERT_NE(classify, nullptr);
+  EXPECT_TRUE(classify->find("completed")->as_bool());
+  EXPECT_EQ(classify->find("kept_paths")->as_uint64(), rd.classify.kept_paths);
+  EXPECT_EQ(std::to_string(classify->find("total_logical")->as_uint64()),
+            rd.classify.total_logical.to_decimal());
+  EXPECT_FALSE(classify->find("rd_paths")->is_null());
+  EXPECT_FALSE(classify->find("rd_percent")->is_null());
+  // Implication counters flow from the engine into the report; a real
+  // c17 classification makes assignments, so zero means a broken wire.
+  const JsonValue* implication = classify->find("implication");
+  ASSERT_NE(implication, nullptr);
+  EXPECT_GT(implication->find("assignments")->as_uint64(), 0u);
+  for (const char* key : {"propagations", "conflicts", "backward"})
+    ASSERT_NE(implication->find(key), nullptr);
+
+  const JsonValue* metrics = back.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  for (const char* key : {"counters", "timers", "gauges"})
+    ASSERT_NE(metrics->find(key), nullptr) << key;
+}
+
+TEST(RunReport, AtpgRunConformsToSchema) {
+  const RdIdentification rd = classify_c17();
+  GeneratedTestSet set;
+  set.robust_count = 3;
+  set.nonrobust_count = 1;
+  set.undetected_count = 0;
+  set.robust_coverage_percent = 75.0;
+  set.robust_nodes = 42;
+  set.nonrobust_nodes = 7;
+  set.wall_seconds = 0.25;
+  const JsonValue back = round_trip(atpg_run_report("c17", rd, set));
+  EXPECT_TRUE(validate_run_report(back).empty());
+  const JsonValue* atpg = back.find("atpg");
+  ASSERT_NE(atpg, nullptr);
+  EXPECT_EQ(atpg->find("robust")->as_uint64(), 3u);
+  EXPECT_EQ(atpg->find("robust_nodes")->as_uint64(), 42u);
+  EXPECT_EQ(atpg->find("nonrobust_nodes")->as_uint64(), 7u);
+  EXPECT_DOUBLE_EQ(atpg->find("robust_coverage_percent")->as_double(), 75.0);
+}
+
+TEST(RunReport, BenchReportConformsToSchema) {
+  JsonValue report = bench_report("engines");
+  JsonValue rows = JsonValue::array();
+  JsonValue row = JsonValue::object();
+  row.set("circuit", JsonValue::string("c432"));
+  row.set("speedup", JsonValue::number(1.7));
+  rows.append(std::move(row));
+  report.set("rows", std::move(rows));
+  const JsonValue back = round_trip(report);
+  EXPECT_TRUE(validate_run_report(back).empty());
+  EXPECT_EQ(back.find("bench")->as_string(), "engines");
+  EXPECT_EQ(back.find("rows")->size(), 1u);
+}
+
+// ---- null discipline for rd statistics ------------------------------------
+
+TEST(RunReport, IncompleteRunSerializesRdStatsAsNull) {
+  ClassifyResult aborted;
+  aborted.completed = false;
+  aborted.kept_paths = 17;
+  aborted.total_logical = BigUint(100);
+  const JsonValue json = round_trip(classify_result_json(aborted));
+  EXPECT_FALSE(json.find("completed")->as_bool());
+  EXPECT_TRUE(json.find("rd_paths")->is_null());
+  EXPECT_TRUE(json.find("rd_percent")->is_null());
+  // kept_paths stays a number: it is a valid lower bound even aborted.
+  EXPECT_EQ(json.find("kept_paths")->as_uint64(), 17u);
+}
+
+TEST(RunReport, PathlessCircuitSerializesRdPercentAsNull) {
+  ClassifyResult empty;  // completed, but total_logical == 0
+  const JsonValue json = round_trip(classify_result_json(empty));
+  EXPECT_TRUE(json.find("rd_percent")->is_null());
+}
+
+TEST(RunReport, NonFiniteRdPercentSerializesAsNullNotNanToken) {
+  ClassifyResult poisoned;
+  poisoned.total_logical = BigUint(8);
+  poisoned.rd_paths = BigUint(4);
+  poisoned.rd_percent = std::nan("");
+  const std::string text = classify_result_json(poisoned).to_string();
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+  EXPECT_EQ(text.find("inf"), std::string::npos);
+  // Still parseable JSON, with the field present and null.
+  EXPECT_TRUE(parse_json(text).find("rd_percent")->is_null());
+
+  poisoned.rd_percent = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(parse_json(classify_result_json(poisoned).to_string())
+                  .find("rd_percent")
+                  ->is_null());
+}
+
+TEST(RunReport, BigTotalsSerializeAsExactTokens) {
+  ClassifyResult result;
+  // 2^100: far beyond uint64/double exactness.
+  BigUint big(1);
+  for (int i = 0; i < 100; ++i) big = big + big;
+  result.total_logical = big;
+  result.rd_paths = big;
+  const std::string text = classify_result_json(result).to_string();
+  EXPECT_NE(text.find(big.to_decimal()), std::string::npos);
+  EXPECT_EQ(round_trip(classify_result_json(result))
+                .find("total_logical")
+                ->to_string(),
+            big.to_decimal() + "\n");
+}
+
+// ---- metrics recording ----------------------------------------------------
+
+TEST(RunReport, RecordClassifyMetricsFeedsRegistry) {
+  const RdIdentification rd = classify_c17();
+  MetricsRegistry registry;
+  record_classify_metrics(rd.classify, registry);
+  record_classify_metrics(rd.classify, registry);
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counters.at("classify.runs"), 2u);
+  EXPECT_EQ(snapshot.counters.at("classify.kept_paths"),
+            2 * rd.classify.kept_paths);
+  EXPECT_GT(snapshot.counters.at("implication.assignments"), 0u);
+  EXPECT_EQ(snapshot.timers.at("classify.wall").count, 2u);
+  EXPECT_EQ(snapshot.counters.count("classify.aborted"), 0u);
+
+  ClassifyResult aborted;
+  aborted.completed = false;
+  record_classify_metrics(aborted, registry);
+  EXPECT_EQ(registry.snapshot().counters.at("classify.aborted"), 1u);
+}
+
+// ---- validator rejections -------------------------------------------------
+
+TEST(RunReportValidate, RejectsNonObject) {
+  EXPECT_TRUE(has_problem(validate_run_report(JsonValue::array()),
+                          "not a JSON object"));
+}
+
+TEST(RunReportValidate, RejectsMissingOrWrongEnvelope) {
+  JsonValue report = JsonValue::object();
+  EXPECT_TRUE(has_problem(validate_run_report(report), "schema_version"));
+  EXPECT_TRUE(has_problem(validate_run_report(report), "kind"));
+
+  report.set("schema_version", JsonValue::number(std::uint64_t{999}));
+  report.set("kind", JsonValue::string("classify_run"));
+  EXPECT_TRUE(has_problem(validate_run_report(report),
+                          "unsupported schema_version"));
+
+  report.set("schema_version", JsonValue::string("1"));
+  EXPECT_TRUE(has_problem(validate_run_report(report), "not a number"));
+
+  report.set("schema_version", JsonValue::number(kRunReportSchemaVersion));
+  report.set("kind", JsonValue::string("mystery"));
+  EXPECT_TRUE(has_problem(validate_run_report(report), "unknown kind"));
+}
+
+TEST(RunReportValidate, RejectsClassifyRunMissingKeys) {
+  const RdIdentification rd = classify_c17();
+  JsonValue report = round_trip(classify_run_report("c17", "heu1", rd));
+  ASSERT_TRUE(validate_run_report(report).empty());
+  // Knock out one required key at a time and expect a named complaint.
+  for (const char* key : {"circuit", "method", "sort_seconds", "prerun_work",
+                          "classify"}) {
+    JsonValue broken = JsonValue::object();
+    for (const auto& [name, value] : report.members())
+      if (name != key) broken.set(name, value);
+    EXPECT_TRUE(has_problem(validate_run_report(broken), key)) << key;
+  }
+}
+
+TEST(RunReportValidate, RejectsCompletedRunWithNullRdPaths) {
+  const RdIdentification rd = classify_c17();
+  JsonValue report = round_trip(classify_run_report("c17", "heu1", rd));
+  JsonValue classify = *report.find("classify");
+  classify.set("rd_paths", JsonValue::null());
+  report.set("classify", std::move(classify));
+  EXPECT_TRUE(has_problem(validate_run_report(report),
+                          "completed run has null \"rd_paths\""));
+}
+
+TEST(RunReportValidate, RejectsBenchWithNonArrayRows) {
+  JsonValue report = bench_report("table2");
+  report.set("rows", JsonValue::string("oops"));
+  EXPECT_TRUE(has_problem(validate_run_report(report), "not an array"));
+
+  report = bench_report("table2");
+  JsonValue rows = JsonValue::array();
+  rows.append(JsonValue::number(1));
+  report.set("rows", std::move(rows));
+  EXPECT_TRUE(has_problem(validate_run_report(report),
+                          "rows[0] is not an object"));
+}
+
+// ---- file output ----------------------------------------------------------
+
+TEST(RunReport, WriteJsonFileRoundTripsThroughDisk) {
+  const std::string path = testing::TempDir() + "rd_run_report_test.json";
+  const RdIdentification rd = classify_c17();
+  write_json_file(path, classify_run_report("c17", "heu1", rd));
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  EXPECT_TRUE(validate_run_report(parse_json(text)).empty());
+  std::remove(path.c_str());
+}
+
+TEST(RunReport, WriteJsonFileThrowsOnUnwritablePath) {
+  EXPECT_THROW(write_json_file("/nonexistent-dir/report.json",
+                               run_report_envelope("bench")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rd

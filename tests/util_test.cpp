@@ -3,13 +3,18 @@
 // RNG, string helpers, duration formatting and the table printer.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
 
 #include "util/biguint.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace rd {
 namespace {
@@ -233,6 +238,65 @@ TEST(TextTable, FormatPercent) {
   EXPECT_EQ(format_percent(64.25), "64.25 %");
   EXPECT_EQ(format_percent(0.94), "0.94 %");
   EXPECT_EQ(format_percent(100.0), "100.00 %");
+}
+
+// ---- thread pool exception safety -----------------------------------------
+
+TEST(ThreadPoolExceptions, TaskExceptionRethrownOnSubmittingThread) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    std::vector<std::function<void()>> tasks;
+    std::atomic<int> executed{0};
+    for (int i = 0; i < 64; ++i) {
+      if (i == 10) {
+        tasks.push_back([] { throw std::runtime_error("task 10 boom"); });
+      } else {
+        tasks.push_back([&executed] { executed.fetch_add(1); });
+      }
+    }
+    try {
+      pool.run(tasks);
+      FAIL() << "expected the task exception (threads=" << threads << ")";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "task 10 boom");
+    }
+    // The abort flag skips work after the failure: never more than the
+    // 63 healthy tasks and, with a single worker (serial order),
+    // exactly the 10 that precede the throwing one.
+    EXPECT_LE(executed.load(), 63);
+    if (threads == 1) EXPECT_EQ(executed.load(), 10);
+  }
+}
+
+TEST(ThreadPoolExceptions, PoolReusableAfterThrowingBatch) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    std::vector<std::function<void()>> bad(
+        8, [] { throw std::runtime_error("boom"); });
+    for (int round = 0; round < 2; ++round)
+      EXPECT_THROW(pool.run(bad), std::runtime_error) << "round " << round;
+
+    // A healthy batch on the same pool runs every task exactly once.
+    std::atomic<int> counter{0};
+    std::vector<std::function<void()>> good(
+        17, [&counter] { counter.fetch_add(1); });
+    const std::vector<WorkerStats> stats = pool.run(good);
+    EXPECT_EQ(counter.load(), 17);
+    std::uint64_t total = 0;
+    for (const WorkerStats& worker : stats) total += worker.tasks;
+    EXPECT_EQ(total, 17u);
+  }
+}
+
+TEST(ThreadPoolExceptions, NonStdExceptionsAlsoPropagate) {
+  ThreadPool pool(2);
+  std::vector<std::function<void()>> tasks(4, [] { throw 42; });
+  EXPECT_THROW(pool.run(tasks), int);
+  // Still usable.
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> good(3, [&counter] { ++counter; });
+  pool.run(good);
+  EXPECT_EQ(counter.load(), 3);
 }
 
 }  // namespace
