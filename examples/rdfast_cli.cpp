@@ -12,6 +12,9 @@
 // benchmark (c432 ... c7552, c6288, example, c17).
 //
 // classify options:  --heuristic=1|2|fus|inverse   (default 2)
+//                    --engine=approx|resilient  (default approx) —
+//                                   resilient runs the exact → SAT →
+//                                   approximate degradation ladder
 //                    --work-limit=N
 //                    --threads=N    parallel classification engine
 //                                   (0 = all hardware threads; results
@@ -21,6 +24,18 @@
 // atpg options:      --max-paths=N   cap on enumerated must-test paths
 //                    --threads=N
 //                    --stats-json=FILE
+//
+// resource options (classify and atpg): --deadline-ms=N,
+// --max-memory-mb=N.  SIGINT requests cooperative cancellation: the
+// run stops at the next guard checkpoint, still writes --stats-json,
+// prints "ABORTED (cancelled)" and exits 130.  Aborted runs always
+// emit a schema-valid partial report naming the abort reason.
+//
+// test hooks (deterministic abort-path coverage, not for normal use):
+//   --inject-abort-after=N [--inject-abort-reason=deadline|memory|
+//   cancelled|work_budget]   trip the guard at its Nth check
+//   --inject-sigint-after=N  raise SIGINT at the Nth guard check
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -28,6 +43,7 @@
 #include "atpg/testset.h"
 #include "core/heuristics.h"
 #include "core/report.h"
+#include "core/resilient.h"
 #include "gen/examples.h"
 #include "gen/iscas_like.h"
 #include "io/bench_io.h"
@@ -45,6 +61,79 @@
 namespace {
 
 using namespace rd;
+
+/// SIGINT flips this token; every engine holding the guard observes it
+/// at its next checkpoint and unwinds cooperatively.
+CancellationToken g_cancel;
+
+extern "C" void handle_sigint(int) { g_cancel.request(); }
+
+/// Shared resource/injection flags for classify and atpg.
+struct GuardFlags {
+  double deadline_ms = 0.0;
+  std::uint64_t max_memory_mb = 0;
+  std::uint64_t inject_abort_after = 0;
+  std::string inject_abort_reason = "work_budget";
+  std::uint64_t inject_sigint_after = 0;
+
+  /// Consumes a recognized --flag=value; false if not ours.
+  bool parse(const std::string& arg) {
+    if (starts_with(arg, "--deadline-ms=")) {
+      deadline_ms = std::stod(arg.substr(14));
+      return true;
+    }
+    if (starts_with(arg, "--max-memory-mb=")) {
+      max_memory_mb = std::stoull(arg.substr(16));
+      return true;
+    }
+    if (starts_with(arg, "--inject-abort-after=")) {
+      inject_abort_after = std::stoull(arg.substr(21));
+      return true;
+    }
+    if (starts_with(arg, "--inject-abort-reason=")) {
+      inject_abort_reason = arg.substr(22);
+      return true;
+    }
+    if (starts_with(arg, "--inject-sigint-after=")) {
+      inject_sigint_after = std::stoull(arg.substr(22));
+      return true;
+    }
+    return false;
+  }
+
+  ExecGuardOptions guard_options() const {
+    ExecGuardOptions options;
+    options.deadline_seconds = deadline_ms / 1000.0;
+    options.memory_limit_bytes = max_memory_mb * 1024 * 1024;
+    options.cancel = &g_cancel;
+    return options;
+  }
+
+  /// Arms the deterministic fault-injection hooks, if requested.
+  void arm(ExecGuard& guard) const {
+    if (inject_abort_after != 0) {
+      AbortReason reason;
+      if (inject_abort_reason == "deadline")
+        reason = AbortReason::kDeadline;
+      else if (inject_abort_reason == "memory")
+        reason = AbortReason::kMemory;
+      else if (inject_abort_reason == "cancelled")
+        reason = AbortReason::kCancelled;
+      else if (inject_abort_reason == "work_budget")
+        reason = AbortReason::kWorkBudget;
+      else
+        throw std::invalid_argument("unknown --inject-abort-reason: " +
+                                    inject_abort_reason);
+      guard.inject_trip_at(inject_abort_after, reason);
+    }
+    if (inject_sigint_after != 0)
+      guard.inject_at_check(inject_sigint_after, [] { std::raise(SIGINT); });
+  }
+};
+
+int abort_exit_code(AbortReason reason) {
+  return reason == AbortReason::kCancelled ? 130 : 1;
+}
 
 Circuit load_circuit(const std::string& spec) {
   if (spec == "example") return paper_example_circuit();
@@ -67,28 +156,46 @@ int cmd_stats(const std::string& spec) {
 
 int cmd_classify(const std::string& spec, int argc, char** argv) {
   std::string heuristic = "2";
+  std::string engine = "approx";
   std::string stats_json;
   ClassifyOptions base;
+  GuardFlags guard_flags;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (starts_with(arg, "--heuristic="))
       heuristic = arg.substr(12);
+    else if (starts_with(arg, "--engine="))
+      engine = arg.substr(9);
     else if (starts_with(arg, "--work-limit="))
       base.work_limit = std::stoull(arg.substr(13));
     else if (starts_with(arg, "--threads="))
       base.num_threads = std::stoul(arg.substr(10));
     else if (starts_with(arg, "--stats-json="))
       stats_json = arg.substr(13);
-    else {
+    else if (!guard_flags.parse(arg)) {
       std::fprintf(stderr, "unknown classify option: %s\n", arg.c_str());
       return 2;
     }
   }
   const Circuit circuit = load_circuit(spec);
+  ExecGuard guard(guard_flags.guard_options());
+  guard_flags.arm(guard);
+  base.guard = &guard;
   Rng rng(1);
   Stopwatch watch;
   RdIdentification rd;
-  if (heuristic == "fus") {
+  ResilientClassifyResult resilient;
+  const bool use_ladder = engine == "resilient";
+  if (use_ladder) {
+    ResilientOptions options;
+    options.guard = &guard;
+    options.classify = base;
+    resilient = classify_resilient(circuit, options);
+    rd.classify = resilient.classify;
+  } else if (engine != "approx") {
+    std::fprintf(stderr, "unknown engine '%s'\n", engine.c_str());
+    return 2;
+  } else if (heuristic == "fus") {
     rd.classify = classify_fus(circuit, base);
   } else if (heuristic == "1") {
     rd = identify_rd_heuristic1(circuit, base, &rng);
@@ -103,19 +210,28 @@ int cmd_classify(const std::string& spec, int argc, char** argv) {
   const ClassifyResult& result = rd.classify;
   if (!stats_json.empty()) {
     record_classify_metrics(result, global_metrics());
-    write_json_file(stats_json,
-                    classify_run_report(circuit.name(), heuristic, rd,
-                                        &global_metrics()));
+    JsonValue report = classify_run_report(
+        circuit.name(), use_ladder ? "resilient" : heuristic, rd,
+        &global_metrics());
+    if (use_ladder) report.set("resilient", resilient_json(resilient));
+    write_json_file(stats_json, report);
   }
   std::printf("circuit        : %s\n", circuit.name().c_str());
   std::printf("method         : %s\n",
-              heuristic == "fus" ? "FUS baseline [2]"
-                                 : ("Heuristic " + heuristic).c_str());
+              use_ladder
+                  ? ("resilient ladder (" +
+                     std::string(engine_rung_name(resilient.engine)) + ")")
+                        .c_str()
+              : heuristic == "fus" ? "FUS baseline [2]"
+                                   : ("Heuristic " + heuristic).c_str());
   std::printf("logical paths  : %s\n",
               result.total_logical.to_decimal_grouped().c_str());
   if (!result.completed) {
-    std::printf("status         : ABORTED (work limit)\n");
-    return 1;
+    const AbortReason reason = result.abort_reason == AbortReason::kNone
+                                   ? AbortReason::kWorkBudget
+                                   : result.abort_reason;
+    std::printf("status         : ABORTED (%s)\n", abort_reason_name(reason));
+    return abort_exit_code(reason);
   }
   std::printf("robust dep.    : %s (%.2f%%)\n",
               result.rd_paths.to_decimal_grouped().c_str(),
@@ -133,6 +249,7 @@ int cmd_atpg(const std::string& spec, int argc, char** argv) {
   std::uint64_t max_paths = 20000;
   std::size_t num_threads = 1;
   std::string stats_json;
+  GuardFlags guard_flags;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (starts_with(arg, "--max-paths="))
@@ -141,20 +258,39 @@ int cmd_atpg(const std::string& spec, int argc, char** argv) {
       num_threads = std::stoul(arg.substr(10));
     else if (starts_with(arg, "--stats-json="))
       stats_json = arg.substr(13);
-    else {
+    else if (!guard_flags.parse(arg)) {
       std::fprintf(stderr, "unknown atpg option: %s\n", arg.c_str());
       return 2;
     }
   }
   const Circuit circuit = load_circuit(spec);
+  ExecGuard guard(guard_flags.guard_options());
+  guard_flags.arm(guard);
   ClassifyOptions options;
   options.collect_paths_limit = max_paths;
   options.num_threads = num_threads;
+  options.guard = &guard;
   Rng rng(1);
   const RdIdentification rd = identify_rd_heuristic2(circuit, options, &rng);
   std::printf("must-test paths: %llu (%.2f%% robust dependent)\n",
               static_cast<unsigned long long>(rd.classify.kept_paths),
               rd.classify.rd_percent);
+  if (!rd.classify.completed) {
+    const AbortReason reason = rd.classify.abort_reason == AbortReason::kNone
+                                   ? AbortReason::kWorkBudget
+                                   : rd.classify.abort_reason;
+    if (!stats_json.empty()) {
+      record_classify_metrics(rd.classify, global_metrics());
+      GeneratedTestSet never_ran;
+      never_ran.completed = false;
+      never_ran.abort_reason = reason;
+      write_json_file(stats_json, atpg_run_report(circuit.name(), rd,
+                                                  never_ran,
+                                                  &global_metrics()));
+    }
+    std::printf("status         : ABORTED (%s)\n", abort_reason_name(reason));
+    return abort_exit_code(reason);
+  }
   if (rd.classify.kept_paths > max_paths) {
     std::printf("too many must-test paths for ATPG (cap %llu); raise "
                 "--max-paths\n",
@@ -168,7 +304,10 @@ int cmd_atpg(const std::string& spec, int argc, char** argv) {
     path.final_pi_value = key.back() != 0;
     paths.push_back(std::move(path));
   }
-  const GeneratedTestSet set = generate_test_set(circuit, paths);
+  TestSetOptions testset_options;
+  testset_options.guard = &guard;
+  const GeneratedTestSet set = generate_test_set(circuit, paths,
+                                                 testset_options);
   if (!stats_json.empty()) {
     record_classify_metrics(rd.classify, global_metrics());
     global_metrics().add_counter("atpg.robust_nodes", set.robust_nodes);
@@ -185,6 +324,11 @@ int cmd_atpg(const std::string& spec, int argc, char** argv) {
       "robust coverage: %.2f%%\n",
       set.tests.size(), set.robust_count, set.nonrobust_count,
       set.undetected_count, set.robust_coverage_percent);
+  if (!set.completed) {
+    std::printf("status         : ABORTED (%s)\n",
+                abort_reason_name(set.abort_reason));
+    return abort_exit_code(set.abort_reason);
+  }
   return 0;
 }
 
@@ -287,6 +431,10 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const std::string spec = argv[2];
+  // Cooperative cancellation: the handler only flips an atomic token;
+  // engines observe it at their next guard checkpoint, unwind, and the
+  // partial --stats-json still gets written.
+  std::signal(SIGINT, handle_sigint);
   try {
     if (command == "stats") return cmd_stats(spec);
     if (command == "validate-json") return cmd_validate_json(spec);

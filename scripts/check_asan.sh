@@ -2,9 +2,10 @@
 # AddressSanitizer gate for the I/O and observability layers.
 #
 # Configures a dedicated build tree with -DRD_ENABLE_ASAN=ON, builds
-# the tests that exercise parser error paths and the run-report
-# serialization (the layers most likely to hide a buffer or lifetime
-# bug behind an exception path), and runs them under ASAN:
+# the tests that exercise parser error paths, the run-report
+# serialization, and the execution-guard abort paths (fault-injected
+# unwinding is exactly where a lifetime bug would hide behind an
+# exception), and runs them under ASAN:
 #
 #   scripts/check_asan.sh [build-dir]
 #
@@ -16,7 +17,8 @@ BUILD_DIR="${1:-build-asan}"
 
 cmake -B "$BUILD_DIR" -S . -DRD_ENABLE_ASAN=ON
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target io_test json_test run_report_test util_test
+  --target io_test json_test run_report_test util_test \
+           exec_guard_test resilient_test
 
 # Run from the repo root so tests resolve data/ paths, halting on the
 # first sanitizer report.
@@ -25,5 +27,7 @@ export ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}"
 "$BUILD_DIR/tests/json_test"
 "$BUILD_DIR/tests/run_report_test"
 "$BUILD_DIR/tests/util_test"
+"$BUILD_DIR/tests/exec_guard_test"
+"$BUILD_DIR/tests/resilient_test"
 
 echo "ASAN gate passed"

@@ -33,15 +33,18 @@ bool assert_nr_conditions(const Circuit& circuit, const LogicalPath& path,
 
 }  // namespace
 
-std::optional<NonRobustTest> find_nonrobust_test(const Circuit& circuit,
-                                                 const LogicalPath& path,
-                                                 std::uint64_t max_nodes,
-                                                 std::uint64_t* nodes_used) {
-  if (nodes_used != nullptr) *nodes_used = 0;
+NonRobustSearch search_nonrobust_test(const Circuit& circuit,
+                                      const LogicalPath& path,
+                                      std::uint64_t max_nodes,
+                                      ExecGuard* guard) {
   if (!is_valid_path(circuit, path.path))
-    throw std::invalid_argument("find_nonrobust_test: malformed path");
+    throw std::invalid_argument("search_nonrobust_test: malformed path");
+  NonRobustSearch result;
   ImplicationEngine engine(circuit);
-  if (!assert_nr_conditions(circuit, path, engine)) return std::nullopt;
+  if (!assert_nr_conditions(circuit, path, engine)) {
+    result.verdict = AtpgVerdict::kRedundant;
+    return result;
+  }
 
   // Complete the assignment over the PIs: the asserted gate values are
   // on the engine's trail, so any full PI assignment that survives the
@@ -56,7 +59,9 @@ std::optional<NonRobustTest> find_nonrobust_test(const Circuit& circuit,
   std::vector<Value3> witness(pis.size(), Value3::kUnknown);
   std::function<bool(std::size_t)> recurse = [&](std::size_t index) -> bool {
     if (++nodes > max_nodes)
-      throw std::runtime_error("find_nonrobust_test: budget exceeded");
+      throw GuardTrippedError(AbortReason::kWorkBudget);
+    if (guard != nullptr && !guard->check())
+      throw GuardTrippedError(guard->reason());
     while (index < order.size() && is_known(engine.value(pis[order[index]])))
       ++index;
     if (index == order.size()) {
@@ -75,12 +80,16 @@ std::optional<NonRobustTest> find_nonrobust_test(const Circuit& circuit,
   bool found = false;
   try {
     found = recurse(0);
-  } catch (...) {
-    if (nodes_used != nullptr) *nodes_used = nodes;
-    throw;
+  } catch (const GuardTrippedError& error) {
+    result.nodes = nodes;
+    result.abort_reason = error.reason();
+    return result;
   }
-  if (nodes_used != nullptr) *nodes_used = nodes;
-  if (!found) return std::nullopt;
+  result.nodes = nodes;
+  if (!found) {
+    result.verdict = AtpgVerdict::kRedundant;
+    return result;
+  }
 
   NonRobustTest test;
   test.v2.resize(pis.size());
@@ -90,7 +99,20 @@ std::optional<NonRobustTest> find_nonrobust_test(const Circuit& circuit,
   // Launch: v1 complements the path's PI (Remark 1).
   for (std::size_t i = 0; i < pis.size(); ++i)
     if (pis[i] == path_pi(circuit, path.path)) test.v1[i] = !test.v1[i];
-  return test;
+  result.verdict = AtpgVerdict::kTestable;
+  result.test = std::move(test);
+  return result;
+}
+
+std::optional<NonRobustTest> find_nonrobust_test(const Circuit& circuit,
+                                                 const LogicalPath& path,
+                                                 std::uint64_t max_nodes,
+                                                 std::uint64_t* nodes_used) {
+  NonRobustSearch result = search_nonrobust_test(circuit, path, max_nodes);
+  if (nodes_used != nullptr) *nodes_used = result.nodes;
+  if (result.verdict == AtpgVerdict::kAborted)
+    throw GuardTrippedError(result.abort_reason);
+  return std::move(result.test);
 }
 
 bool nonrobust_test_is_valid(const Circuit& circuit, const LogicalPath& path,

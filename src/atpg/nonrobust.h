@@ -22,8 +22,10 @@
 #include <optional>
 #include <vector>
 
+#include "atpg/stuck_at.h"
 #include "netlist/circuit.h"
 #include "paths/path.h"
+#include "util/exec_guard.h"
 
 namespace rd {
 
@@ -33,11 +35,30 @@ struct NonRobustTest {
   std::vector<bool> v2;  // sensitizing vector
 };
 
+/// Typed outcome of a non-robust search (mirrors RobustSearch):
+/// kTestable carries the test, kRedundant is a completed untestability
+/// proof, kAborted reports the budget or guard cause.
+struct NonRobustSearch {
+  AtpgVerdict verdict = AtpgVerdict::kAborted;
+  std::optional<NonRobustTest> test;
+  std::uint64_t nodes = 0;
+  AbortReason abort_reason = AbortReason::kNone;
+};
+
+/// Complete search for a non-robust test.  Never throws on exhaustion:
+/// the node budget and an optional execution guard both surface as a
+/// kAborted verdict with the typed cause.
+NonRobustSearch search_nonrobust_test(const Circuit& circuit,
+                                      const LogicalPath& path,
+                                      std::uint64_t max_nodes = 1u << 26,
+                                      ExecGuard* guard = nullptr);
+
 /// Complete search for a non-robust test; std::nullopt proves the path
-/// non-robustly untestable.  Throws std::runtime_error if `max_nodes`
+/// non-robustly untestable.  Throws GuardTrippedError if `max_nodes`
 /// search nodes are exceeded (large circuits only).  `nodes_used`,
 /// when non-null, receives the number of search nodes expanded —
-/// written on every exit, including the budget-exceeded throw.
+/// written on every exit, including the budget-exceeded throw.  Prefer
+/// search_nonrobust_test for non-throwing typed outcomes.
 std::optional<NonRobustTest> find_nonrobust_test(
     const Circuit& circuit, const LogicalPath& path,
     std::uint64_t max_nodes = 1u << 26, std::uint64_t* nodes_used = nullptr);

@@ -12,8 +12,9 @@ enum class Status { kViolated, kSatisfied, kUndecided };
 class RobustChecker {
  public:
   RobustChecker(const Circuit& circuit, const LogicalPath& path,
-                std::uint64_t max_nodes)
-      : circuit_(circuit), path_(path), max_nodes_(max_nodes) {
+                std::uint64_t max_nodes, ExecGuard* guard)
+      : circuit_(circuit), path_(path), max_nodes_(max_nodes),
+        guard_(guard) {
     const std::size_t n = circuit.inputs().size();
     pi_waves_.assign(n, Wave::unknown());
     pi_assigned_.assign(n, false);
@@ -105,7 +106,9 @@ class RobustChecker {
 
   bool recurse(std::size_t depth) {
     if (++nodes_ > max_nodes_)
-      throw std::runtime_error("find_robust_test: search budget exceeded");
+      throw GuardTrippedError(AbortReason::kWorkBudget);
+    if (guard_ != nullptr && !guard_->check())
+      throw GuardTrippedError(guard_->reason());
     switch (check()) {
       case Status::kViolated:
         return false;
@@ -166,6 +169,7 @@ class RobustChecker {
   const Circuit& circuit_;
   const LogicalPath& path_;
   std::uint64_t max_nodes_;
+  ExecGuard* guard_;
   std::uint64_t nodes_ = 0;
   std::vector<Wave> pi_waves_;
   std::vector<bool> pi_assigned_;
@@ -176,21 +180,34 @@ class RobustChecker {
 
 }  // namespace
 
+RobustSearch search_robust_test(const Circuit& circuit,
+                                const LogicalPath& path,
+                                std::uint64_t max_nodes, ExecGuard* guard) {
+  if (!is_valid_path(circuit, path.path))
+    throw std::invalid_argument("search_robust_test: malformed path");
+  RobustChecker checker(circuit, path, max_nodes, guard);
+  RobustSearch result;
+  try {
+    result.test = checker.search();
+    result.verdict = result.test.has_value() ? AtpgVerdict::kTestable
+                                             : AtpgVerdict::kRedundant;
+  } catch (const GuardTrippedError& error) {
+    result.verdict = AtpgVerdict::kAborted;
+    result.abort_reason = error.reason();
+  }
+  result.nodes = checker.nodes();
+  return result;
+}
+
 std::optional<RobustTest> find_robust_test(const Circuit& circuit,
                                            const LogicalPath& path,
                                            std::uint64_t max_nodes,
                                            std::uint64_t* nodes_used) {
-  if (!is_valid_path(circuit, path.path))
-    throw std::invalid_argument("find_robust_test: malformed path");
-  RobustChecker checker(circuit, path, max_nodes);
-  try {
-    std::optional<RobustTest> result = checker.search();
-    if (nodes_used != nullptr) *nodes_used = checker.nodes();
-    return result;
-  } catch (...) {
-    if (nodes_used != nullptr) *nodes_used = checker.nodes();
-    throw;
-  }
+  RobustSearch result = search_robust_test(circuit, path, max_nodes);
+  if (nodes_used != nullptr) *nodes_used = result.nodes;
+  if (result.verdict == AtpgVerdict::kAborted)
+    throw GuardTrippedError(result.abort_reason);
+  return std::move(result.test);
 }
 
 bool is_robustly_testable(const Circuit& circuit, const LogicalPath& path) {

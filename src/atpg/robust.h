@@ -22,9 +22,11 @@
 #include <optional>
 #include <vector>
 
+#include "atpg/stuck_at.h"
 #include "atpg/waveform.h"
 #include "netlist/circuit.h"
 #include "paths/path.h"
+#include "util/exec_guard.h"
 
 namespace rd {
 
@@ -32,13 +34,32 @@ namespace rd {
 /// circuit.inputs()); every entry is S0, S1, R or F.
 using RobustTest = std::vector<Wave>;
 
+/// Outcome of a robust-test search, typed instead of thrown: kTestable
+/// carries the test, kRedundant is a completed proof of robust
+/// untestability, kAborted reports the budget or guard cause in
+/// `abort_reason`.
+struct RobustSearch {
+  AtpgVerdict verdict = AtpgVerdict::kAborted;
+  std::optional<RobustTest> test;
+  std::uint64_t nodes = 0;
+  AbortReason abort_reason = AbortReason::kNone;
+};
+
+/// Complete search for a robust test.  Never throws on exhaustion: the
+/// node budget and an optional execution guard both surface as a
+/// kAborted verdict with the typed cause.
+RobustSearch search_robust_test(const Circuit& circuit,
+                                const LogicalPath& path,
+                                std::uint64_t max_nodes = 1u << 26,
+                                ExecGuard* guard = nullptr);
+
 /// Searches for a robust test for the logical path.  Returns the test
 /// if one exists, std::nullopt if the path is provably robust
 /// untestable.  `max_nodes` bounds the search tree (throws
-/// std::runtime_error when exceeded — only possible on large circuits).
+/// GuardTrippedError when exceeded — only possible on large circuits).
 /// `nodes_used`, when non-null, receives the number of search nodes
 /// expanded — written on every exit, including the budget-exceeded
-/// throw (observability hook for the test-set generator).
+/// throw.  Prefer search_robust_test for non-throwing typed outcomes.
 std::optional<RobustTest> find_robust_test(const Circuit& circuit,
                                            const LogicalPath& path,
                                            std::uint64_t max_nodes = 1u << 26,

@@ -61,8 +61,9 @@ GateId fault_site_gate(const Circuit& circuit, const StuckFault& fault) {
 class Podem {
  public:
   Podem(const Circuit& circuit, const StuckFault& fault,
-        std::uint64_t max_nodes)
-      : circuit_(circuit), fault_(fault), max_nodes_(max_nodes) {
+        std::uint64_t max_nodes, ExecGuard* guard)
+      : circuit_(circuit), fault_(fault), max_nodes_(max_nodes),
+        guard_(guard) {
     pi_values_.assign(circuit.inputs().size(), Value3::kUnknown);
     pi_index_of_gate_.assign(circuit.num_gates(), kNone);
     for (std::size_t i = 0; i < circuit.inputs().size(); ++i)
@@ -74,8 +75,9 @@ class Podem {
     bool found;
     try {
       found = recurse();
-    } catch (const BudgetExceeded&) {
+    } catch (const GuardTrippedError& error) {
       result.verdict = AtpgVerdict::kAborted;
+      result.abort_reason = error.reason();
       result.nodes = nodes_;
       return result;
     }
@@ -87,10 +89,12 @@ class Podem {
 
  private:
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
-  struct BudgetExceeded {};
 
   bool recurse() {
-    if (++nodes_ > max_nodes_) throw BudgetExceeded{};
+    if (++nodes_ > max_nodes_)
+      throw GuardTrippedError(AbortReason::kWorkBudget);
+    if (guard_ != nullptr && !guard_->check())
+      throw GuardTrippedError(guard_->reason());
     const auto machines = simulate_pair(circuit_, fault_, pi_values_);
 
     // Detected?
@@ -201,6 +205,7 @@ class Podem {
   const Circuit& circuit_;
   const StuckFault& fault_;
   std::uint64_t max_nodes_;
+  ExecGuard* guard_;
   std::uint64_t nodes_ = 0;
   std::vector<Value3> pi_values_;
   std::vector<std::size_t> pi_index_of_gate_;
@@ -209,8 +214,8 @@ class Podem {
 }  // namespace
 
 AtpgResult podem(const Circuit& circuit, const StuckFault& fault,
-                 std::uint64_t max_nodes) {
-  Podem engine(circuit, fault, max_nodes);
+                 std::uint64_t max_nodes, ExecGuard* guard) {
+  Podem engine(circuit, fault, max_nodes, guard);
   return engine.run();
 }
 

@@ -15,6 +15,7 @@
 
 #include "netlist/circuit.h"
 #include "sim/value.h"
+#include "util/exec_guard.h"
 
 namespace rd {
 
@@ -42,11 +43,17 @@ struct AtpgResult {
   /// for kTestable.
   std::vector<Value3> test;
   std::uint64_t nodes = 0;
+  /// Why the search stopped when verdict == kAborted: kWorkBudget for
+  /// the node budget, otherwise the guard's trip cause.  kNone on
+  /// kTestable / kRedundant.
+  AbortReason abort_reason = AbortReason::kNone;
 };
 
-/// PODEM.  Complete unless the node budget is exceeded.
+/// PODEM.  Complete unless the node budget is exceeded or the guard
+/// trips (verdict kAborted with the typed cause — never an exception).
 AtpgResult podem(const Circuit& circuit, const StuckFault& fault,
-                 std::uint64_t max_nodes = 1u << 22);
+                 std::uint64_t max_nodes = 1u << 22,
+                 ExecGuard* guard = nullptr);
 
 /// Good/faulty simulation of one fully/partially specified pattern;
 /// returns true if the fault is detected at some PO (definitely, under

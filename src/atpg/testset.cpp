@@ -41,46 +41,60 @@ GeneratedTestSet generate_test_set(const Circuit& circuit,
   result.detection.assign(paths.size(), DetectionClass::kNone);
   result.detected_by.assign(paths.size(), -1);
 
+  // A guard trip aborts the whole generation (the per-path node budget
+  // only skips the current path and is counted separately).
+  const auto guard_tripped = [&] {
+    return options.guard != nullptr && options.guard->tripped();
+  };
+
   // Robust pass with greedy compaction.
   for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (guard_tripped()) break;
     if (result.detection[i] == DetectionClass::kRobust) continue;
-    std::optional<RobustTest> test;
-    std::uint64_t nodes = 0;
-    try {
-      test = find_robust_test(circuit, paths[i], options.max_robust_nodes,
-                              &nodes);
-    } catch (const std::runtime_error&) {
-      result.robust_nodes += nodes;
-      ++result.robust_budget_exceeded;
-      continue;  // budget exceeded: leave for the non-robust pass
+    const RobustSearch search = search_robust_test(
+        circuit, paths[i], options.max_robust_nodes, options.guard);
+    result.robust_nodes += search.nodes;
+    if (search.verdict == AtpgVerdict::kAborted) {
+      if (search.abort_reason == AbortReason::kWorkBudget &&
+          !guard_tripped()) {
+        ++result.robust_budget_exceeded;
+        continue;  // budget exceeded: leave for the non-robust pass
+      }
+      break;  // guard trip: stop the whole generation
     }
-    result.robust_nodes += nodes;
-    if (!test.has_value()) continue;
+    if (!search.test.has_value()) continue;
     const int index = static_cast<int>(result.tests.size());
-    result.tests.push_back(std::move(*test));
+    result.tests.push_back(std::move(*search.test));
     apply_test(circuit, paths, result.tests.back(), index, result);
   }
 
   // Non-robust fallback for whatever is left.
   if (options.allow_nonrobust) {
     for (std::size_t i = 0; i < paths.size(); ++i) {
+      if (guard_tripped()) break;
       if (result.detection[i] != DetectionClass::kNone) continue;
-      std::optional<NonRobustTest> test;
-      std::uint64_t nodes = 0;
-      try {
-        test = find_nonrobust_test(circuit, paths[i],
-                                   options.max_nonrobust_nodes, &nodes);
-      } catch (const std::runtime_error&) {
-        result.nonrobust_nodes += nodes;
-        ++result.nonrobust_budget_exceeded;
-        continue;
+      const NonRobustSearch search = search_nonrobust_test(
+          circuit, paths[i], options.max_nonrobust_nodes, options.guard);
+      result.nonrobust_nodes += search.nodes;
+      if (search.verdict == AtpgVerdict::kAborted) {
+        if (search.abort_reason == AbortReason::kWorkBudget &&
+            !guard_tripped()) {
+          ++result.nonrobust_budget_exceeded;
+          continue;
+        }
+        break;
       }
-      result.nonrobust_nodes += nodes;
-      if (!test.has_value()) continue;
+      if (!search.test.has_value()) continue;
       const int index = static_cast<int>(result.tests.size());
-      result.tests.push_back(waves_of_vectors(circuit, test->v1, test->v2));
+      result.tests.push_back(
+          waves_of_vectors(circuit, search.test->v1, search.test->v2));
       apply_test(circuit, paths, result.tests.back(), index, result);
     }
+  }
+
+  if (guard_tripped()) {
+    result.completed = false;
+    result.abort_reason = options.guard->reason();
   }
 
   for (const DetectionClass detection : result.detection) {

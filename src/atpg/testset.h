@@ -16,6 +16,7 @@
 #include "atpg/waveform.h"
 #include "netlist/circuit.h"
 #include "paths/path.h"
+#include "util/exec_guard.h"
 
 namespace rd {
 
@@ -26,6 +27,12 @@ struct TestSetOptions {
 
   /// Also generate non-robust tests for robust-untestable paths.
   bool allow_nonrobust = true;
+
+  /// Optional execution guard shared by every per-path search.  A
+  /// per-path node-budget abort only skips that path (see the
+  /// *_budget_exceeded counters); a guard trip stops the whole
+  /// generation with a partial, still-valid test set.
+  ExecGuard* guard = nullptr;
 };
 
 struct GeneratedTestSet {
@@ -61,6 +68,11 @@ struct GeneratedTestSet {
   /// Observability: wall-clock seconds of the whole generation +
   /// compaction flow.  Nondeterministic.
   double wall_seconds = 0.0;
+
+  /// False when a guard trip stopped generation early; the tests
+  /// emitted so far and their detection records remain valid.
+  bool completed = true;
+  AbortReason abort_reason = AbortReason::kNone;
 };
 
 /// Generates and compacts a test set for `paths`.

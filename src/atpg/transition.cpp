@@ -13,15 +13,18 @@ namespace {
 
 /// Completes the engine's partial assignment to full PI values by
 /// branch-and-bound; returns the PI vector or nullopt if no completion
-/// is consistent.
+/// is consistent.  Throws GuardTrippedError on exhaustion; `nodes_out`
+/// accumulates expanded nodes on every exit.
 std::optional<std::vector<bool>> complete_assignment(
     const Circuit& circuit, ImplicationEngine& engine,
-    std::uint64_t max_nodes) {
+    std::uint64_t max_nodes, ExecGuard* guard, std::uint64_t& nodes_out) {
   const auto& pis = circuit.inputs();
-  std::uint64_t nodes = 0;
+  std::uint64_t& nodes = nodes_out;
   std::function<bool(std::size_t)> recurse = [&](std::size_t index) -> bool {
     if (++nodes > max_nodes)
-      throw std::runtime_error("transition ATPG: budget exceeded");
+      throw GuardTrippedError(AbortReason::kWorkBudget);
+    if (guard != nullptr && !guard->check())
+      throw GuardTrippedError(guard->reason());
     while (index < pis.size() && is_known(engine.value(pis[index]))) ++index;
     if (index == pis.size()) return true;
     for (const Value3 value : {Value3::kZero, Value3::kOne}) {
@@ -50,23 +53,44 @@ std::vector<TransitionFault> all_transition_faults(const Circuit& circuit) {
   return faults;
 }
 
-std::optional<TransitionTest> find_transition_test(
-    const Circuit& circuit, const TransitionFault& fault,
-    std::uint64_t max_nodes) {
+TransitionSearch search_transition_test(const Circuit& circuit,
+                                        const TransitionFault& fault,
+                                        std::uint64_t max_nodes,
+                                        ExecGuard* guard) {
+  TransitionSearch result;
   // A slow-to-rise output looks stuck at 0 when sampled: v2 must detect
   // s-a-0 (and symmetrically for slow-to-fall).
   const bool stuck_value = fault.slow_to_rise ? false : true;
-  const AtpgResult detection = podem(
-      circuit, StuckFault::on_output(fault.gate, stuck_value), max_nodes);
-  if (detection.verdict == AtpgVerdict::kAborted)
-    throw std::runtime_error("transition ATPG: PODEM budget exceeded");
-  if (detection.verdict == AtpgVerdict::kRedundant) return std::nullopt;
+  const AtpgResult detection =
+      podem(circuit, StuckFault::on_output(fault.gate, stuck_value),
+            max_nodes, guard);
+  result.nodes = detection.nodes;
+  if (detection.verdict == AtpgVerdict::kAborted) {
+    result.abort_reason = detection.abort_reason;
+    return result;
+  }
+  if (detection.verdict == AtpgVerdict::kRedundant) {
+    result.verdict = AtpgVerdict::kRedundant;
+    return result;
+  }
 
   // v1 justifies the pre-transition value at the fault site.
   ImplicationEngine engine(circuit);
-  if (!engine.assign(fault.gate, to_value3(stuck_value))) return std::nullopt;
-  const auto v1 = complete_assignment(circuit, engine, max_nodes);
-  if (!v1.has_value()) return std::nullopt;
+  if (!engine.assign(fault.gate, to_value3(stuck_value))) {
+    result.verdict = AtpgVerdict::kRedundant;
+    return result;
+  }
+  std::optional<std::vector<bool>> v1;
+  try {
+    v1 = complete_assignment(circuit, engine, max_nodes, guard, result.nodes);
+  } catch (const GuardTrippedError& error) {
+    result.abort_reason = error.reason();
+    return result;
+  }
+  if (!v1.has_value()) {
+    result.verdict = AtpgVerdict::kRedundant;
+    return result;
+  }
 
   TransitionTest test;
   test.v1 = *v1;
@@ -77,7 +101,18 @@ std::optional<TransitionTest> find_transition_test(
     // single-site transition where possible.
     test.v2[i] = is_known(value) ? to_bool(value) : test.v1[i];
   }
-  return test;
+  result.verdict = AtpgVerdict::kTestable;
+  result.test = std::move(test);
+  return result;
+}
+
+std::optional<TransitionTest> find_transition_test(
+    const Circuit& circuit, const TransitionFault& fault,
+    std::uint64_t max_nodes) {
+  TransitionSearch result = search_transition_test(circuit, fault, max_nodes);
+  if (result.verdict == AtpgVerdict::kAborted)
+    throw GuardTrippedError(result.abort_reason);
+  return std::move(result.test);
 }
 
 bool transition_test_is_valid(const Circuit& circuit,

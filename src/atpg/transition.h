@@ -14,8 +14,10 @@
 #include <optional>
 #include <vector>
 
+#include "atpg/stuck_at.h"
 #include "atpg/waveform.h"
 #include "netlist/circuit.h"
+#include "util/exec_guard.h"
 
 namespace rd {
 
@@ -36,10 +38,28 @@ struct TransitionTest {
   std::vector<bool> v2;
 };
 
+/// Typed outcome of a transition-test search: kTestable carries the
+/// test, kRedundant is a completed untestability proof, kAborted
+/// reports the budget or guard cause.
+struct TransitionSearch {
+  AtpgVerdict verdict = AtpgVerdict::kAborted;
+  std::optional<TransitionTest> test;
+  std::uint64_t nodes = 0;
+  AbortReason abort_reason = AbortReason::kNone;
+};
+
 /// Complete search: v2 detecting the matching stuck-at fault (PODEM),
 /// then v1 justifying the initial value at the fault site (implication
-/// engine + branch-and-bound).  nullopt = untestable.  Throws
-/// std::runtime_error on budget exhaustion.
+/// engine + branch-and-bound).  Never throws on exhaustion: budget and
+/// guard both surface as a kAborted verdict with the typed cause.
+TransitionSearch search_transition_test(const Circuit& circuit,
+                                        const TransitionFault& fault,
+                                        std::uint64_t max_nodes = 1u << 22,
+                                        ExecGuard* guard = nullptr);
+
+/// Throwing convenience wrapper: nullopt = untestable; throws
+/// GuardTrippedError on budget/guard exhaustion.  Prefer
+/// search_transition_test for non-throwing typed outcomes.
 std::optional<TransitionTest> find_transition_test(
     const Circuit& circuit, const TransitionFault& fault,
     std::uint64_t max_nodes = 1u << 22);

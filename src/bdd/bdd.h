@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "util/biguint.h"
+#include "util/exec_guard.h"
 
 namespace rd {
 
@@ -66,6 +67,12 @@ class BddManager {
   /// Thrown (as std::runtime_error) when max_nodes is exceeded.
   struct NodeLimitExceeded;
 
+  /// Attaches an execution guard: every allocated node charges one
+  /// unit of work and its approximate arena footprint, and a tripped
+  /// guard makes make_node throw GuardTrippedError (callers treat it
+  /// like NodeLimitExceeded: answer unknown).  Pass nullptr to detach.
+  void set_guard(ExecGuard* guard) { guard_ = guard; }
+
  private:
   struct Node {
     std::uint32_t var;  // level; terminals use num_vars_
@@ -78,6 +85,7 @@ class BddManager {
 
   std::uint32_t num_vars_;
   std::size_t max_nodes_;
+  ExecGuard* guard_ = nullptr;
   std::vector<Node> nodes_;
   std::unordered_map<std::uint64_t, BddRef> unique_;
   std::unordered_map<std::uint64_t, BddRef> ite_cache_;

@@ -16,25 +16,35 @@ ClassifyResult classify_paths_serial(const Circuit& circuit,
   if (options.collect_lead_counts)
     result.kept_controlling_per_lead.assign(circuit.num_leads(), 0);
 
-  internal::SerialBudget budget(options.work_limit);
+  internal::SerialBudget budget(options.work_limit, options.guard);
   internal::SeedDfs<internal::SerialBudget> dfs(
       circuit, options, budget,
       options.collect_lead_counts ? &result.kept_controlling_per_lead
                                   : nullptr);
-  for (const internal::ClassifySeed& seed : internal::enumerate_seeds(circuit)) {
-    const std::uint64_t remaining_keys =
-        options.collect_paths_limit > result.kept_keys.size()
-            ? options.collect_paths_limit - result.kept_keys.size()
-            : 0;
-    auto outcome = dfs.run_seed(seed, remaining_keys);
-    result.kept_paths += outcome.kept_paths;
-    result.work += outcome.work;
-    for (auto& key : outcome.kept_keys)
-      result.kept_keys.push_back(std::move(key));
-    if (outcome.exhausted) {
-      result.completed = false;
-      break;
+  try {
+    for (const internal::ClassifySeed& seed :
+         internal::enumerate_seeds(circuit)) {
+      const std::uint64_t remaining_keys =
+          options.collect_paths_limit > result.kept_keys.size()
+              ? options.collect_paths_limit - result.kept_keys.size()
+              : 0;
+      auto outcome = dfs.run_seed(seed, remaining_keys);
+      result.kept_paths += outcome.kept_paths;
+      result.work += outcome.work;
+      for (auto& key : outcome.kept_keys)
+        result.kept_keys.push_back(std::move(key));
+      if (outcome.exhausted) {
+        result.completed = false;
+        result.abort_reason = budget.reason();
+        break;
+      }
     }
+  } catch (const GuardTrippedError& error) {
+    // A throwing guard hook (fault injection) unwinds here; convert it
+    // into the same cooperative aborted outcome, with whatever partial
+    // counts were soundly accumulated before the throw.
+    result.completed = false;
+    result.abort_reason = error.reason();
   }
   result.implication = dfs.implication_stats();
   internal::finish_classify_result(circuit, &result);

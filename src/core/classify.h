@@ -32,6 +32,7 @@
 #include "paths/counting.h"
 #include "sim/implication.h"
 #include "util/biguint.h"
+#include "util/exec_guard.h"
 
 namespace rd {
 
@@ -72,6 +73,14 @@ struct ClassifyOptions {
   /// reasoning to measure its contribution to the identified RD-set
   /// (bench_ablation).  Always on in normal use.
   bool backward_implications = true;
+
+  /// Optional execution guard (deadline / work / memory / cancel),
+  /// polled at the same pruning points as work_limit.  Not owned; may
+  /// be shared across concurrent runs.  With no guard (or an untripped
+  /// one) results are bit-identical to a guard-free run at every
+  /// thread count; a tripped guard aborts cooperatively with the
+  /// guard's AbortReason.
+  ExecGuard* guard = nullptr;
 };
 
 /// Per-worker observability counters of one parallel classification
@@ -105,6 +114,10 @@ struct ClassifyResult {
   /// False if the work limit was hit; counts are then lower bounds on
   /// kept paths and rd_* fields are not populated.
   bool completed = true;
+
+  /// Why the run stopped early (kNone on completed runs): kWorkBudget
+  /// for the classic work_limit, otherwise the guard's trip cause.
+  AbortReason abort_reason = AbortReason::kNone;
 
   /// DFS extension steps performed (work measure, machine independent
   /// and thread-count independent on completed runs).

@@ -54,19 +54,39 @@ inline std::vector<ClassifySeed> enumerate_seeds(const Circuit& circuit) {
   return seeds;
 }
 
-/// Serial work budget: the classic `++work > limit` abort check.
+/// Serial work budget: the classic `++work > limit` abort check, plus
+/// an optional ExecGuard polled at the same step granularity.
 class SerialBudget {
  public:
-  explicit SerialBudget(std::uint64_t limit) : limit_(limit) {}
+  explicit SerialBudget(std::uint64_t limit, ExecGuard* guard = nullptr)
+      : limit_(limit), guard_(guard) {}
 
-  /// Charges one DFS step; false once the budget is exhausted.
-  bool charge() { return ++used_ <= limit_; }
+  /// Charges one DFS step; false once the budget is exhausted or the
+  /// guard has tripped.
+  bool charge() {
+    if (++used_ > limit_) {
+      if (reason_ == AbortReason::kNone) reason_ = AbortReason::kWorkBudget;
+      return false;
+    }
+    if (guard_ != nullptr && !guard_->check()) {
+      if (reason_ == AbortReason::kNone) reason_ = guard_->reason();
+      return false;
+    }
+    return true;
+  }
 
   std::uint64_t used() const { return used_; }
 
+  /// First trip cause (kNone while charging succeeds).
+  AbortReason reason() const { return reason_; }
+
+  ExecGuard* guard() const { return guard_; }
+
  private:
   std::uint64_t limit_;
+  ExecGuard* guard_;
   std::uint64_t used_ = 0;
+  AbortReason reason_ = AbortReason::kNone;
 };
 
 /// Shared work budget for concurrent workers: steps accumulate into one
@@ -80,10 +100,27 @@ class SharedBudget {
  public:
   /// State shared by all workers of one classification run.
   struct Shared {
-    explicit Shared(std::uint64_t limit) : limit(limit) {}
+    explicit Shared(std::uint64_t limit, ExecGuard* guard = nullptr)
+        : limit(limit), guard(guard) {}
     const std::uint64_t limit;
+    ExecGuard* const guard;
     std::atomic<std::uint64_t> total{0};
     std::atomic<bool> cancelled{false};
+    std::atomic<std::uint8_t> reason{
+        static_cast<std::uint8_t>(AbortReason::kNone)};
+
+    /// First-wins abort cause shared by every worker.
+    void record(AbortReason cause) {
+      std::uint8_t expected = static_cast<std::uint8_t>(AbortReason::kNone);
+      reason.compare_exchange_strong(expected,
+                                     static_cast<std::uint8_t>(cause),
+                                     std::memory_order_relaxed);
+      cancelled.store(true, std::memory_order_relaxed);
+    }
+
+    AbortReason abort_reason() const {
+      return static_cast<AbortReason>(reason.load(std::memory_order_relaxed));
+    }
   };
 
   explicit SharedBudget(Shared& shared) : shared_(&shared) {}
@@ -94,14 +131,20 @@ class SharedBudget {
   }
 
   /// Publishes locally counted steps; call at least once per seed.
+  /// The ExecGuard is polled here, at flush granularity, so the hot
+  /// path stays two increments and one relaxed load per step.
   void flush() {
     if (unflushed_ == 0) return;
     const std::uint64_t before =
         shared_->total.fetch_add(unflushed_, std::memory_order_relaxed);
     if (before + unflushed_ > shared_->limit)
-      shared_->cancelled.store(true, std::memory_order_relaxed);
+      shared_->record(AbortReason::kWorkBudget);
+    if (shared_->guard != nullptr && !shared_->guard->check(unflushed_))
+      shared_->record(shared_->guard->reason());
     unflushed_ = 0;
   }
+
+  ExecGuard* guard() const { return shared_->guard; }
 
  private:
   static constexpr std::uint64_t kFlushEvery = 512;
@@ -246,6 +289,12 @@ class SeedDfs {
     if (outcome_.kept_keys.size() < max_keys_) {
       std::vector<std::uint32_t> key(segment_.begin(), segment_.end());
       key.push_back(current_final_pi_value_ ? 1u : 0u);
+      // The collected keys are the one allocation that grows without
+      // bound with the survivor count; feed the guard's arena
+      // accounting so a memory ceiling can stop the collection.
+      if (ExecGuard* guard = budget_.guard(); guard != nullptr)
+        guard->add_memory(key.capacity() * sizeof(std::uint32_t) +
+                          sizeof(key));
       outcome_.kept_keys.push_back(std::move(key));
     }
     if (lead_counts_ == nullptr) return;

@@ -28,7 +28,8 @@ ClassifyResult classify_paths_parallel(const Circuit& circuit,
       internal::enumerate_seeds(circuit);
 
   using Dfs = internal::SeedDfs<internal::SharedBudget>;
-  internal::SharedBudget::Shared shared_budget(options.work_limit);
+  internal::SharedBudget::Shared shared_budget(options.work_limit,
+                                               options.guard);
 
   // One DFS driver (engine + budget view + lead-count accumulator) per
   // worker, created lazily on first use so construction happens on the
@@ -67,10 +68,18 @@ ClassifyResult classify_paths_parallel(const Circuit& circuit,
     });
   }
 
-  const std::vector<WorkerStats> pool_stats = ThreadPool(num_threads).run(tasks);
+  ClassifyResult result;
+  std::vector<WorkerStats> pool_stats(num_threads);
+  try {
+    pool_stats = ThreadPool(num_threads).run(tasks);
+  } catch (const GuardTrippedError& error) {
+    // A throwing guard hook (fault injection) inside a worker: the pool
+    // has quiesced and rethrown it here; record the typed cause and
+    // merge whatever seeds completed before the batch was drained.
+    shared_budget.record(error.reason());
+  }
 
   // Deterministic merge in canonical seed order.
-  ClassifyResult result;
   if (options.collect_lead_counts)
     result.kept_controlling_per_lead.assign(circuit.num_leads(), 0);
   for (Dfs::SeedOutcome& outcome : outcomes) {
@@ -84,6 +93,14 @@ ClassifyResult classify_paths_parallel(const Circuit& circuit,
   }
   if (shared_budget.cancelled.load(std::memory_order_relaxed))
     result.completed = false;
+  if (!result.completed) {
+    result.abort_reason = shared_budget.abort_reason();
+    // Seeds can exhaust between the trip and the cancel broadcast
+    // without the shared record (pre-guard behavior); default those to
+    // the work budget.
+    if (result.abort_reason == AbortReason::kNone)
+      result.abort_reason = AbortReason::kWorkBudget;
+  }
   for (const WorkerState& state : workers)
     for (std::size_t lead = 0; lead < state.lead_counts.size(); ++lead)
       result.kept_controlling_per_lead[lead] += state.lead_counts[lead];

@@ -1,0 +1,209 @@
+#include "core/resilient.h"
+
+#include <utility>
+
+#include "core/classify_dfs.h"
+#include "core/exact.h"
+#include "paths/counting.h"
+#include "sat/cnf.h"
+#include "sat/solver.h"
+#include "util/stopwatch.h"
+
+namespace rd {
+
+namespace {
+
+/// Packages an exact kept-path set into the common result shape.
+ClassifyResult result_of_kept_set(const Circuit& circuit,
+                                  const LogicalPathSet& kept,
+                                  std::uint64_t collect_paths_limit) {
+  ClassifyResult result;
+  result.kept_paths = kept.size();
+  if (collect_paths_limit != 0) {
+    for (const auto& key : kept) {
+      if (result.kept_keys.size() >= collect_paths_limit) break;
+      result.kept_keys.push_back(key);
+    }
+  }
+  internal::finish_classify_result(circuit, &result);
+  return result;
+}
+
+bool guard_tripped(const ExecGuard* guard) {
+  return guard != nullptr && guard->tripped();
+}
+
+/// Rung 2: enumerate paths explicitly, one bounded SAT query per
+/// logical path.  A conflict-budget miss keeps the path (sound); only
+/// a guard trip or the enumeration cap abandons the rung.
+struct SatRungOutcome {
+  bool completed = false;
+  AbortReason abort_reason = AbortReason::kNone;
+  LogicalPathSet kept;
+};
+
+SatRungOutcome sat_rung(const Circuit& circuit,
+                        const ResilientOptions& options) {
+  SatRungOutcome outcome;
+  SatSolver solver;
+  solver.set_guard(options.guard);
+  const CircuitCnf cnf(circuit, solver);
+  bool stopped = false;
+  const bool ok = enumerate_paths(
+      circuit,
+      [&](const PhysicalPath& physical) {
+        if (stopped) return;
+        for (const bool final_value : {false, true}) {
+          const LogicalPath logical{physical, final_value};
+          const std::optional<bool> sensitizable = sat_sensitizable(
+              circuit, cnf, solver, logical, options.classify.criterion,
+              options.classify.sort, options.sat_max_conflicts);
+          if (guard_tripped(options.guard)) {
+            stopped = true;
+            return;
+          }
+          // Unknown under the conflict budget: keep conservatively.
+          if (sensitizable.value_or(true)) outcome.kept.insert(logical.key());
+        }
+      },
+      options.sat_max_paths);
+  if (stopped) {
+    outcome.abort_reason = options.guard->reason();
+    return outcome;
+  }
+  if (!ok) {
+    outcome.abort_reason = AbortReason::kWorkBudget;
+    return outcome;
+  }
+  outcome.completed = true;
+  return outcome;
+}
+
+}  // namespace
+
+const char* engine_rung_name(EngineRung rung) {
+  switch (rung) {
+    case EngineRung::kExact: return "exact";
+    case EngineRung::kSatBounded: return "sat";
+    case EngineRung::kApproximate: return "approximate";
+  }
+  return "unknown";
+}
+
+ResilientClassifyResult classify_resilient(const Circuit& circuit,
+                                           const ResilientOptions& options) {
+  Stopwatch watch;
+  ResilientClassifyResult result;
+  ExecGuard* guard = options.guard;
+  const std::size_t num_inputs = circuit.inputs().size();
+
+  // Records why a rung was left; only the first (strongest) reason is
+  // reported as the degradation cause.
+  const auto record_degrade = [&](AbortReason reason) {
+    if (result.degraded_reason == AbortReason::kNone)
+      result.degraded_reason = reason;
+  };
+
+  // Rung 1: exhaustive sweep.
+  result.attempted.push_back(EngineRung::kExact);
+  if (num_inputs <= options.exact_max_inputs && !guard_tripped(guard)) {
+    ExactClassifyOutcome outcome = exact_kept_paths_guarded(
+        circuit, options.classify.criterion, options.classify.sort,
+        options.exact_max_paths, guard);
+    if (outcome.completed) {
+      result.classify = result_of_kept_set(circuit, outcome.kept,
+                                           options.classify.collect_paths_limit);
+      result.classify.wall_seconds = watch.elapsed_seconds();
+      result.engine = EngineRung::kExact;
+      return result;
+    }
+    record_degrade(outcome.abort_reason);
+  } else {
+    // Out of the engine's reach a priori (or already tripped).
+    record_degrade(guard_tripped(guard) ? guard->reason()
+                                        : AbortReason::kWorkBudget);
+  }
+
+  // Rung 2: bounded SAT per path.
+  result.attempted.push_back(EngineRung::kSatBounded);
+  if (!guard_tripped(guard)) {
+    SatRungOutcome outcome = sat_rung(circuit, options);
+    if (outcome.completed) {
+      result.classify = result_of_kept_set(circuit, outcome.kept,
+                                           options.classify.collect_paths_limit);
+      result.classify.wall_seconds = watch.elapsed_seconds();
+      result.engine = EngineRung::kSatBounded;
+      return result;
+    }
+    record_degrade(outcome.abort_reason);
+  } else {
+    record_degrade(guard->reason());
+  }
+
+  // Rung 3: the implicit-enumeration classifier — always runs, and may
+  // itself report a structured partial abort (classify.completed /
+  // abort_reason) if the guard is already or becomes tripped.
+  result.attempted.push_back(EngineRung::kApproximate);
+  ClassifyOptions classify_options = options.classify;
+  classify_options.guard = guard;
+  result.classify = classify_paths(circuit, classify_options);
+  result.engine = EngineRung::kApproximate;
+  return result;
+}
+
+ResilientPathVerdict resilient_path_sensitizable(
+    const Circuit& circuit, const LogicalPath& path, Criterion criterion,
+    const InputSort* sort, const ResilientOptions& options) {
+  ResilientPathVerdict verdict;
+  ExecGuard* guard = options.guard;
+  const std::size_t num_inputs = circuit.inputs().size();
+
+  const auto record_degrade = [&](AbortReason reason) {
+    if (verdict.degraded_reason == AbortReason::kNone)
+      verdict.degraded_reason = reason;
+  };
+
+  // Rung 1: the sweep costs 2^n simulations — charge it up front so a
+  // work/deadline-guarded caller degrades instead of blocking.
+  if (num_inputs <= options.exact_max_inputs && num_inputs <= 24) {
+    if (guard == nullptr || guard->check(std::uint64_t{1} << num_inputs)) {
+      verdict.survives = exactly_sensitizable(circuit, path, criterion, sort);
+      verdict.exact = true;
+      verdict.engine = EngineRung::kExact;
+      return verdict;
+    }
+    record_degrade(guard->reason());
+  } else {
+    record_degrade(guard_tripped(guard) ? guard->reason()
+                                        : AbortReason::kWorkBudget);
+  }
+
+  // Rung 2: one bounded SAT query.
+  if (!guard_tripped(guard)) {
+    SatSolver solver;
+    solver.set_guard(guard);
+    const CircuitCnf cnf(circuit, solver);
+    const std::optional<bool> sensitizable = sat_sensitizable(
+        circuit, cnf, solver, path, criterion, sort,
+        options.sat_max_conflicts);
+    if (sensitizable.has_value()) {
+      verdict.survives = *sensitizable;
+      verdict.exact = true;
+      verdict.engine = EngineRung::kSatBounded;
+      return verdict;
+    }
+    record_degrade(guard_tripped(guard) ? guard->reason()
+                                        : AbortReason::kWorkBudget);
+  } else {
+    record_degrade(guard->reason());
+  }
+
+  // Rung 3: local implications — instant and conservative.
+  verdict.survives =
+      path_survives_local_implications(circuit, path, criterion, sort);
+  verdict.exact = false;
+  verdict.engine = EngineRung::kApproximate;
+  return verdict;
+}
+
+}  // namespace rd

@@ -1,0 +1,102 @@
+// Graceful-degradation ladder over the library's classification
+// engines.  A caller that wants the strongest answer affordable under
+// an execution guard asks this layer instead of picking an engine:
+//
+//   1. exact      — exhaustive 2^n sweep (core/exact.h); complete and
+//                   exact, feasible only on small circuits,
+//   2. sat        — explicit path enumeration with one bounded SAT
+//                   query per logical path (sat/cnf.h); exact per
+//                   answered query, conservative (keep) on a conflict-
+//                   budget miss, so the kept set stays a sound
+//                   superset,
+//   3. approximate— the paper's local-implication classifier
+//                   (core/classify.h); always runs, conservative
+//                   superset by construction.
+//
+// Every rung is attempted in order until one completes; capacity
+// failures (too many inputs/paths, enumeration caps) and guard trips
+// both degrade to the next rung, and the reason for leaving the
+// strongest rung is reported so run reports can record
+// `degraded_from` / `abort_reason`.  Since each rung keeps a superset
+// of the truly sensitizable paths, degradation never un-sounds the
+// identified RD-set — it only shrinks it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/classify.h"
+#include "netlist/circuit.h"
+#include "paths/path.h"
+#include "util/exec_guard.h"
+
+namespace rd {
+
+/// The ladder's rungs, strongest first.
+enum class EngineRung : std::uint8_t { kExact, kSatBounded, kApproximate };
+
+/// Stable lower-case name ("exact", "sat", "approximate") for reports.
+const char* engine_rung_name(EngineRung rung);
+
+struct ResilientOptions {
+  /// Optional execution guard shared by every rung.  A trip mid-rung
+  /// degrades to the next rung (which will usually abort quickly too,
+  /// but still emits a structured partial result).
+  ExecGuard* guard = nullptr;
+
+  /// Rung 1 feasibility: skipped entirely above this many PIs (the
+  /// sweep is 2^n per path; the hard engine limit is 24).
+  std::size_t exact_max_inputs = 20;
+
+  /// Rung 1 path-enumeration cap.
+  std::uint64_t exact_max_paths = std::uint64_t{1} << 20;
+
+  /// Rung 2 path-enumeration cap and per-query conflict budget.
+  std::uint64_t sat_max_paths = std::uint64_t{1} << 20;
+  std::uint64_t sat_max_conflicts = 100000;
+
+  /// Rung 3 configuration (criterion and sort are read by every rung;
+  /// the guard field inside is overridden by `guard` above).
+  ClassifyOptions classify;
+};
+
+struct ResilientClassifyResult {
+  /// The surviving-path result of the rung that answered, in the
+  /// common ClassifyResult shape (exact rungs fill kept_paths /
+  /// rd_paths / kept_keys; worker stats and lead counts stay empty
+  /// unless the approximate rung ran).
+  ClassifyResult classify;
+
+  /// The rung that produced `classify`.
+  EngineRung engine = EngineRung::kApproximate;
+
+  /// Every rung attempted, in order; the last entry equals `engine`.
+  std::vector<EngineRung> attempted;
+
+  /// Why the strongest attempted rung was abandoned (kNone when the
+  /// first attempted rung answered): kWorkBudget for capacity, else
+  /// the guard's trip cause.
+  AbortReason degraded_reason = AbortReason::kNone;
+};
+
+/// Runs the ladder for a whole-circuit classification.
+ResilientClassifyResult classify_resilient(const Circuit& circuit,
+                                           const ResilientOptions& options);
+
+/// Single-path ladder verdict.
+struct ResilientPathVerdict {
+  /// Whether the path is (conservatively) sensitizable.  Exact iff
+  /// `exact`; otherwise a sound keep-side approximation.
+  bool survives = true;
+  bool exact = false;
+  EngineRung engine = EngineRung::kApproximate;
+  AbortReason degraded_reason = AbortReason::kNone;
+};
+
+/// Runs the ladder for one logical path under `criterion` (`sort` only
+/// consulted for Criterion::kInputSort).
+ResilientPathVerdict resilient_path_sensitizable(
+    const Circuit& circuit, const LogicalPath& path, Criterion criterion,
+    const InputSort* sort = nullptr, const ResilientOptions& options = {});
+
+}  // namespace rd

@@ -37,8 +37,12 @@ Circuit read_bench(std::istream& in, std::string circuit_name) {
     std::vector<std::string> fanins;
     std::size_t line_no;
   };
-  std::vector<std::string> input_names;
-  std::vector<std::string> output_names;
+  struct IoStatement {
+    std::string name;
+    std::size_t line_no;
+  };
+  std::vector<IoStatement> input_names;
+  std::vector<IoStatement> output_names;
   std::vector<GateStatement> statements;
 
   std::string line;
@@ -60,9 +64,9 @@ Circuit read_bench(std::istream& in, std::string circuit_name) {
       const std::string name{trim(text.substr(open + 1, close - open - 1))};
       if (name.empty()) fail(line_no, "empty signal name");
       if (keyword == "input")
-        input_names.push_back(name);
+        input_names.push_back(IoStatement{name, line_no});
       else if (keyword == "output")
-        output_names.push_back(name);
+        output_names.push_back(IoStatement{name, line_no});
       else
         fail(line_no, "unknown directive '" + keyword + "'");
       continue;
@@ -83,22 +87,26 @@ Circuit read_bench(std::istream& in, std::string circuit_name) {
       if (piece.empty()) fail(line_no, "empty fanin name");
       fanins.push_back(std::move(piece));
     }
+    if ((type == GateType::kNot || type == GateType::kBuf) &&
+        fanins.size() != 1)
+      fail(line_no, "NOT/BUFF takes exactly one fanin, got " +
+                        std::to_string(fanins.size()));
     statements.push_back(GateStatement{name, type, std::move(fanins), line_no});
   }
 
   Circuit circuit(std::move(circuit_name));
   std::unordered_map<std::string, GateId> by_name;
-  for (const std::string& name : input_names) {
-    if (!by_name.emplace(name, circuit.add_input(name)).second)
-      throw std::runtime_error("bench: duplicate signal '" + name + "'");
+  for (const IoStatement& input : input_names) {
+    if (!by_name.emplace(input.name, circuit.add_input(input.name)).second)
+      fail(input.line_no, "duplicate signal '" + input.name + "'");
   }
 
   // Topologically order gate statements (use-before-def is allowed).
   std::unordered_map<std::string, std::size_t> statement_of;
   for (std::size_t i = 0; i < statements.size(); ++i) {
     if (by_name.count(statements[i].name) || statement_of.count(statements[i].name))
-      throw std::runtime_error("bench: duplicate signal '" + statements[i].name +
-                               "'");
+      fail(statements[i].line_no,
+           "duplicate signal '" + statements[i].name + "'");
     statement_of.emplace(statements[i].name, i);
   }
   std::vector<std::uint8_t> state(statements.size(), 0);  // 0 new, 1 open, 2 done
@@ -137,12 +145,11 @@ Circuit read_bench(std::istream& in, std::string circuit_name) {
     }
   }
 
-  for (const std::string& name : output_names) {
-    const auto it = by_name.find(name);
+  for (const IoStatement& output : output_names) {
+    const auto it = by_name.find(output.name);
     if (it == by_name.end())
-      throw std::runtime_error("bench: OUTPUT of undefined signal '" + name +
-                               "'");
-    circuit.add_output(name, it->second);
+      fail(output.line_no, "OUTPUT of undefined signal '" + output.name + "'");
+    circuit.add_output(output.name, it->second);
   }
   circuit.finalize();
   return circuit;

@@ -35,9 +35,36 @@ JsonValue run_report_envelope(const std::string& kind) {
   return report;
 }
 
+JsonValue abort_reason_json(AbortReason reason) {
+  if (reason == AbortReason::kNone) return JsonValue::null();
+  return JsonValue::string(abort_reason_name(reason));
+}
+
+JsonValue resilient_json(const ResilientClassifyResult& result) {
+  JsonValue out = JsonValue::object();
+  out.set("engine", JsonValue::string(engine_rung_name(result.engine)));
+  if (!result.attempted.empty() && result.attempted.front() != result.engine) {
+    out.set("degraded_from",
+            JsonValue::string(engine_rung_name(result.attempted.front())));
+  } else {
+    out.set("degraded_from", JsonValue::null());
+  }
+  out.set("abort_reason", abort_reason_json(result.degraded_reason));
+  return out;
+}
+
 JsonValue classify_result_json(const ClassifyResult& result) {
   JsonValue out = JsonValue::object();
   out.set("completed", JsonValue::boolean(result.completed));
+  // Aborted runs always name a cause: an untyped abort (a legacy
+  // work_limit trip that never set the field) defaults to work_budget
+  // so the null-iff-completed validator rule holds for every report.
+  AbortReason reason = AbortReason::kNone;
+  if (!result.completed)
+    reason = result.abort_reason == AbortReason::kNone
+                 ? AbortReason::kWorkBudget
+                 : result.abort_reason;
+  out.set("abort_reason", abort_reason_json(reason));
   out.set("kept_paths", JsonValue::number(result.kept_paths));
   // Exact decimal token: BigUint totals routinely exceed 2^64 (e.g.
   // c6288) and must not be rounded through a double.
@@ -108,6 +135,13 @@ JsonValue atpg_run_report(const std::string& circuit_name,
   atpg.set("nonrobust_budget_exceeded",
            JsonValue::number(
                static_cast<std::uint64_t>(set.nonrobust_budget_exceeded)));
+  atpg.set("completed", JsonValue::boolean(set.completed));
+  AbortReason atpg_reason = AbortReason::kNone;
+  if (!set.completed)
+    atpg_reason = set.abort_reason == AbortReason::kNone
+                      ? AbortReason::kWorkBudget
+                      : set.abort_reason;
+  atpg.set("abort_reason", abort_reason_json(atpg_reason));
   atpg.set("wall_seconds", JsonValue::number(set.wall_seconds));
   report.set("atpg", std::move(atpg));
   if (metrics != nullptr) report.set("metrics", metrics_json(*metrics));
@@ -174,6 +208,47 @@ void require_key(const JsonValue& object, const char* key,
     problems.push_back(std::string("missing key \"") + key + "\"");
 }
 
+bool is_abort_reason_name(const std::string& name) {
+  for (const AbortReason reason :
+       {AbortReason::kDeadline, AbortReason::kWorkBudget, AbortReason::kMemory,
+        AbortReason::kCancelled})
+    if (name == abort_reason_name(reason)) return true;
+  return false;
+}
+
+/// Shared rule for classify payloads and atpg blocks: "abort_reason"
+/// must exist, be null exactly on completed runs, and otherwise name a
+/// known AbortReason.
+void validate_abort_reason(const JsonValue& object, const char* context,
+                           std::vector<std::string>& problems) {
+  const JsonValue* reason = object.find("abort_reason");
+  if (reason == nullptr) {
+    problems.push_back(std::string("missing key \"abort_reason\" in ") +
+                       context);
+    return;
+  }
+  const JsonValue* completed = object.find("completed");
+  const bool is_completed =
+      completed != nullptr && completed->is_bool() && completed->as_bool();
+  if (reason->is_null()) {
+    if (!is_completed)
+      problems.push_back(std::string("aborted ") + context +
+                         " has null \"abort_reason\"");
+    return;
+  }
+  if (!reason->is_string()) {
+    problems.push_back(std::string("\"abort_reason\" in ") + context +
+                       " is neither null nor a string");
+    return;
+  }
+  if (is_completed)
+    problems.push_back(std::string("completed ") + context +
+                       " has non-null \"abort_reason\"");
+  if (!is_abort_reason_name(reason->as_string()))
+    problems.push_back("unknown abort_reason \"" + reason->as_string() +
+                       "\" in " + context);
+}
+
 void validate_classify_payload(const JsonValue& report,
                                std::vector<std::string>& problems) {
   const JsonValue* classify = report.find("classify");
@@ -186,15 +261,40 @@ void validate_classify_payload(const JsonValue& report,
     return;
   }
   for (const char* key :
-       {"completed", "kept_paths", "total_logical", "rd_paths", "rd_percent",
-        "work", "wall_seconds", "implication"})
+       {"completed", "abort_reason", "kept_paths", "total_logical",
+        "rd_paths", "rd_percent", "work", "wall_seconds", "implication"})
     require_key(*classify, key, problems);
+  validate_abort_reason(*classify, "classify payload", problems);
   const JsonValue* completed = classify->find("completed");
   if (completed != nullptr && completed->is_bool() && completed->as_bool()) {
     const JsonValue* rd_paths = classify->find("rd_paths");
     if (rd_paths != nullptr && rd_paths->is_null())
       problems.push_back("completed run has null \"rd_paths\"");
   }
+}
+
+void validate_resilient_payload(const JsonValue& report,
+                                std::vector<std::string>& problems) {
+  const JsonValue* resilient = report.find("resilient");
+  if (resilient == nullptr) return;  // optional
+  if (!resilient->is_object()) {
+    problems.push_back("\"resilient\" is not an object");
+    return;
+  }
+  for (const char* key : {"engine", "degraded_from", "abort_reason"})
+    require_key(*resilient, key, problems);
+  const JsonValue* engine = resilient->find("engine");
+  if (engine != nullptr && !engine->is_string())
+    problems.push_back("\"resilient.engine\" is not a string");
+  const JsonValue* degraded = resilient->find("degraded_from");
+  if (degraded != nullptr && !degraded->is_null() && !degraded->is_string())
+    problems.push_back(
+        "\"resilient.degraded_from\" is neither null nor a string");
+  const JsonValue* reason = resilient->find("abort_reason");
+  if (reason != nullptr && !reason->is_null() &&
+      !(reason->is_string() && is_abort_reason_name(reason->as_string())))
+    problems.push_back(
+        "\"resilient.abort_reason\" is neither null nor a known reason");
 }
 
 }  // namespace
@@ -237,6 +337,7 @@ std::vector<std::string> validate_run_report(const JsonValue& report) {
                             "prerun_work"})
       require_key(report, key, problems);
     validate_classify_payload(report, problems);
+    validate_resilient_payload(report, problems);
   } else if (kind_name == "atpg_run") {
     require_key(report, "circuit", problems);
     validate_classify_payload(report, problems);
@@ -248,8 +349,10 @@ std::vector<std::string> validate_run_report(const JsonValue& report) {
     } else {
       for (const char* key :
            {"tests", "robust", "nonrobust", "undetected",
-            "robust_coverage_percent", "wall_seconds"})
+            "robust_coverage_percent", "completed", "abort_reason",
+            "wall_seconds"})
         require_key(*atpg, key, problems);
+      validate_abort_reason(*atpg, "atpg block", problems);
     }
   } else if (kind_name == "bench") {
     require_key(report, "bench", problems);

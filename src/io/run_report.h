@@ -29,17 +29,32 @@
 #include "atpg/testset.h"
 #include "core/classify.h"
 #include "core/heuristics.h"
+#include "core/resilient.h"
 #include "io/json_writer.h"
+#include "util/exec_guard.h"
 #include "util/metrics.h"
 
 namespace rd {
 
 /// Bump when a field is renamed/removed or its meaning changes; adding
 /// new optional fields is backward compatible and does not bump.
-inline constexpr std::uint64_t kRunReportSchemaVersion = 1;
+/// v2: classify payloads and atpg blocks carry a required
+/// "abort_reason" (null on completed runs, else the AbortReason name),
+/// and classify_run reports may carry a "resilient" object describing
+/// the degradation ladder.
+inline constexpr std::uint64_t kRunReportSchemaVersion = 2;
 
 /// The shared envelope: {"schema_version": N, "kind": kind}.
 JsonValue run_report_envelope(const std::string& kind);
+
+/// kNone serializes as null, every other reason as its stable name
+/// ("deadline", "work_budget", "memory", "cancelled").
+JsonValue abort_reason_json(AbortReason reason);
+
+/// Degradation-ladder record for classify_run reports: {"engine":
+/// rung-that-answered, "degraded_from": strongest attempted rung (null
+/// when it answered itself), "abort_reason": why it was abandoned}.
+JsonValue resilient_json(const ResilientClassifyResult& result);
 
 /// One ClassifyResult as a JSON object (shared by every report kind):
 /// kept_paths, total_logical (exact decimal token), rd_paths /

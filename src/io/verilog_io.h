@@ -1,9 +1,14 @@
-// Structural Verilog netlist writer.
+// Structural Verilog netlist reader/writer.
 //
-// Emits a gate-level module using Verilog primitive gates (and, or,
-// nand, nor, not, buf), so generated benchmarks and simplified
-// leaf-dags can be inspected with standard EDA tooling.  Write-only:
-// the library's native interchange format is .bench.
+// The writer emits a gate-level module using Verilog primitive gates
+// (and, or, nand, nor, not, buf), so generated benchmarks and
+// simplified leaf-dags can be inspected with standard EDA tooling.
+// The reader accepts the same structural subset back: one module with
+// input/output/wire declarations and primitive-gate instances, with
+// // line and /* block */ comments.  Every parse error names the
+// source line ("verilog line N: ...") and is thrown as
+// std::runtime_error; malformed input never escapes as a bare
+// standard-library exception.
 #pragma once
 
 #include <iosfwd>
@@ -22,5 +27,23 @@ void write_verilog(std::ostream& out, const Circuit& circuit,
 
 std::string write_verilog_string(const Circuit& circuit,
                                  const std::string& module_name = {});
+
+/// Parses one structural-subset Verilog module into a finalized
+/// Circuit.  Instances may appear in any order (use-before-def is
+/// resolved topologically, like the .bench reader); each declared
+/// output port becomes a PO, and a `buf` alias whose output only
+/// feeds an output port (the pattern write_verilog emits) is collapsed
+/// back into a plain PO marker instead of a logic gate.  Throws
+/// std::runtime_error with a "verilog line N:" prefix on undeclared or
+/// duplicate signals, unknown primitives, missing semicolons,
+/// truncated modules, undriven (dangling) fanins, and cycles.
+Circuit read_verilog(std::istream& in, std::string circuit_name = {});
+
+Circuit read_verilog_string(const std::string& text,
+                            std::string circuit_name = {});
+
+/// Reads from a file, deriving the circuit name from the file name
+/// (basename, ".v" stripped) like read_bench_file.
+Circuit read_verilog_file(const std::string& path);
 
 }  // namespace rd

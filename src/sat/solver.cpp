@@ -216,6 +216,7 @@ SatLit SatSolver::pick_branch() {
 
 SatResult SatSolver::solve(const std::vector<SatLit>& assumptions,
                            std::uint64_t max_conflicts) {
+  last_abort_reason_ = AbortReason::kNone;
   if (unsat_) return SatResult::kUnsat;
   backtrack(0);
   if (propagate() != -1) {
@@ -256,10 +257,18 @@ SatResult SatSolver::solve(const std::vector<SatLit>& assumptions,
         const auto index = static_cast<std::int32_t>(clauses_.size() - 1);
         attach(index);
         enqueue(learnt[0], index);
+        if (guard_ != nullptr)
+          guard_->add_memory(learnt.size() * sizeof(SatLit) + sizeof(Clause));
       }
       decay();
       if (max_conflicts != 0 && conflicts_this_call >= max_conflicts) {
         backtrack(0);
+        last_abort_reason_ = AbortReason::kWorkBudget;
+        return SatResult::kUnknown;
+      }
+      if (guard_ != nullptr && !guard_->check()) {
+        backtrack(0);
+        last_abort_reason_ = guard_->reason();
         return SatResult::kUnknown;
       }
       if (conflicts_since_restart >= restart_limit) {

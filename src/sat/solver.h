@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/exec_guard.h"
+
 namespace rd {
 
 using SatVar = std::uint32_t;
@@ -43,7 +45,8 @@ class SatSolver {
   bool add_clause(std::vector<SatLit> literals);
 
   /// Solves under the given assumptions.  kUnknown only if
-  /// `max_conflicts` (0 = unlimited) is exhausted.
+  /// `max_conflicts` (0 = unlimited) is exhausted or the attached
+  /// guard trips — last_abort_reason() distinguishes the causes.
   SatResult solve(const std::vector<SatLit>& assumptions = {},
                   std::uint64_t max_conflicts = 0);
 
@@ -53,6 +56,17 @@ class SatSolver {
   std::uint64_t conflicts() const { return stats_conflicts_; }
   std::uint64_t decisions() const { return stats_decisions_; }
   std::uint64_t propagations() const { return stats_propagations_; }
+
+  /// Attaches an execution guard: it is polled once per conflict (each
+  /// learnt clause also charges its approximate footprint), and a trip
+  /// makes the current solve() return kUnknown after backtracking to
+  /// level 0 — the solver stays usable.  Pass nullptr to detach.
+  void set_guard(ExecGuard* guard) { guard_ = guard; }
+
+  /// Why the most recent solve() returned kUnknown: kWorkBudget for
+  /// the conflict budget, otherwise the guard's cause.  kNone after
+  /// kSat / kUnsat.
+  AbortReason last_abort_reason() const { return last_abort_reason_; }
 
  private:
   enum class LBool : std::uint8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
@@ -98,6 +112,9 @@ class SatSolver {
   std::uint64_t stats_conflicts_ = 0;
   std::uint64_t stats_decisions_ = 0;
   std::uint64_t stats_propagations_ = 0;
+
+  ExecGuard* guard_ = nullptr;
+  AbortReason last_abort_reason_ = AbortReason::kNone;
 };
 
 }  // namespace rd

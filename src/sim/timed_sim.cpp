@@ -54,7 +54,8 @@ bool eval_gate(const Circuit& circuit, GateId id,
 TimedResult simulate_timed(const Circuit& circuit, const DelayModel& delays,
                            const std::vector<bool>& initial_values,
                            const std::vector<bool>& input_values,
-                           bool record_po_history) {
+                           bool record_po_history,
+                           const TimedSimOptions& options) {
   if (initial_values.size() != circuit.num_gates())
     throw std::invalid_argument("simulate_timed: initial value arity mismatch");
   if (input_values.size() != circuit.inputs().size())
@@ -107,12 +108,22 @@ TimedResult simulate_timed(const Circuit& circuit, const DelayModel& delays,
                         id, value});
   }
 
-  constexpr std::uint64_t kEventBudget = 50'000'000;
+  // Guard polls are amortized; the event budget is exact.
+  constexpr std::uint64_t kGuardStride = 1024;
   std::uint64_t processed = 0;
   while (!events.empty()) {
-    if (++processed > kEventBudget)
-      throw std::runtime_error(
-          "simulate_timed: event budget exceeded (oscillating circuit?)");
+    ++processed;
+    if (options.event_budget != 0 && processed > options.event_budget) {
+      result.completed = false;
+      result.abort_reason = AbortReason::kWorkBudget;
+      break;
+    }
+    if (options.guard != nullptr && processed % kGuardStride == 0 &&
+        !options.guard->check(kGuardStride)) {
+      result.completed = false;
+      result.abort_reason = options.guard->reason();
+      break;
+    }
     const Event event = events.top();
     events.pop();
     if (event.is_lead) {

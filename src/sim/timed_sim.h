@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "netlist/circuit.h"
+#include "util/exec_guard.h"
 
 namespace rd {
 
@@ -32,6 +33,17 @@ struct DelayModel {
   static DelayModel zero(const Circuit& circuit);
 };
 
+/// Knobs for one timed-simulation run.
+struct TimedSimOptions {
+  /// Events processed before the run is declared incomplete — the
+  /// safety valve against oscillating circuits (zero-delay loops or
+  /// adversarial delay assignments never quiesce).  0 = unlimited.
+  std::uint64_t event_budget = 50'000'000;
+
+  /// Optional execution guard, polled every kGuardStride events.
+  ExecGuard* guard = nullptr;
+};
+
 /// Result of a timed simulation run.
 struct TimedResult {
   /// Final value per gate output.
@@ -43,17 +55,29 @@ struct TimedResult {
   /// order — only populated when requested.  Index-aligned with
   /// circuit.outputs().
   std::vector<std::vector<std::pair<double, bool>>> po_history;
+
+  /// False when the event budget or the guard stopped the run before
+  /// quiescence; values then reflect the state at the abort point.
+  bool completed = true;
+
+  /// kWorkBudget when the event budget ran out (oscillation
+  /// suspected), otherwise the guard's trip cause; kNone on completed
+  /// runs.
+  AbortReason abort_reason = AbortReason::kNone;
 };
 
 /// Runs the two-pattern experiment: line outputs start at
 /// `initial_values` (arbitrary, possibly inconsistent), the PIs switch
 /// to `input_values` at t=0, and the simulation runs to quiescence.
 /// `record_po_history` additionally captures every PO waveform event
-/// (needed to sample outputs at a clock instant).
+/// (needed to sample outputs at a clock instant).  A budget-stopped
+/// run is reported through TimedResult::completed / abort_reason, not
+/// an exception (only arity mismatches still throw).
 TimedResult simulate_timed(const Circuit& circuit, const DelayModel& delays,
                            const std::vector<bool>& initial_values,
                            const std::vector<bool>& input_values,
-                           bool record_po_history = false);
+                           bool record_po_history = false,
+                           const TimedSimOptions& options = {});
 
 /// Sum of gate and lead delays along a physical path given as a gate
 /// sequence (PI ... PO); leads between consecutive gates are resolved

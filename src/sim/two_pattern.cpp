@@ -16,6 +16,10 @@ TwoPatternResult apply_two_pattern(const Circuit& circuit,
                      /*record_po_history=*/true);
 
   TwoPatternResult result;
+  if (!timed.completed) {
+    result.completed = false;
+    result.late = true;
+  }
   result.sampled.resize(circuit.outputs().size());
   result.settled.resize(circuit.outputs().size());
   for (std::size_t i = 0; i < circuit.outputs().size(); ++i) {

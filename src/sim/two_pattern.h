@@ -30,6 +30,11 @@ struct TwoPatternResult {
   /// True if any PO was still changing after τ (sampled != settled or
   /// a later event existed).
   bool late = false;
+
+  /// False when the underlying timed simulation hit its event budget
+  /// (oscillation suspected); `late` is then conservatively true —
+  /// a circuit that never quiesces certainly fails the at-speed test.
+  bool completed = true;
 };
 
 /// Runs the two-pattern experiment.  v1 is applied and fully settled

@@ -1,0 +1,72 @@
+#include "util/exec_guard.h"
+
+namespace rd {
+
+const char* abort_reason_name(AbortReason reason) {
+  switch (reason) {
+    case AbortReason::kNone: return "none";
+    case AbortReason::kDeadline: return "deadline";
+    case AbortReason::kWorkBudget: return "work_budget";
+    case AbortReason::kMemory: return "memory";
+    case AbortReason::kCancelled: return "cancelled";
+  }
+  return "none";
+}
+
+ExecGuard::ExecGuard(const ExecGuardOptions& options)
+    : options_(options), start_(std::chrono::steady_clock::now()) {}
+
+void ExecGuard::trip(AbortReason reason) noexcept {
+  if (reason == AbortReason::kNone) return;
+  std::uint8_t expected = static_cast<std::uint8_t>(AbortReason::kNone);
+  reason_.compare_exchange_strong(expected, static_cast<std::uint8_t>(reason),
+                                  std::memory_order_relaxed);
+}
+
+double ExecGuard::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+bool ExecGuard::check(std::uint64_t work) {
+  const std::uint64_t check_index =
+      checks_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (inject_check_ != 0 && check_index == inject_check_ && inject_action_)
+    inject_action_();
+
+  if (tripped()) return false;
+
+  const std::uint64_t used =
+      work_used_.fetch_add(work, std::memory_order_relaxed) + work;
+  if (options_.work_limit != 0 && used > options_.work_limit)
+    trip(AbortReason::kWorkBudget);
+
+  if (options_.cancel != nullptr && options_.cancel->requested())
+    trip(AbortReason::kCancelled);
+
+  if (options_.memory_limit_bytes != 0 &&
+      memory_used_.load(std::memory_order_relaxed) >
+          options_.memory_limit_bytes)
+    trip(AbortReason::kMemory);
+
+  // Amortized clock read: the first check and every stride-th after it.
+  if (options_.deadline_seconds > 0.0 &&
+      (check_index == 1 || check_index % kDeadlineStride == 0) &&
+      elapsed_seconds() > options_.deadline_seconds)
+    trip(AbortReason::kDeadline);
+
+  return !tripped();
+}
+
+void ExecGuard::inject_at_check(std::uint64_t nth_check,
+                                std::function<void()> action) {
+  inject_check_ = nth_check;
+  inject_action_ = std::move(action);
+}
+
+void ExecGuard::inject_trip_at(std::uint64_t nth_check, AbortReason reason) {
+  inject_at_check(nth_check, [this, reason] { trip(reason); });
+}
+
+}  // namespace rd

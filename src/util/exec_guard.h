@@ -1,0 +1,166 @@
+// Shared execution guard: one object carrying every resource ceiling a
+// run must honor — a wall-clock deadline, a work budget (engine steps:
+// DFS extensions, search nodes, SAT conflicts, simulation events), an
+// approximate memory ceiling (arena-byte accounting fed by the BDD
+// unique table, the SAT clause database and the classify path
+// collectors), and a cooperative cancellation token (flipped by signal
+// handlers or supervising threads).
+//
+// Engines call check() at their pruning points — the same places they
+// already charge their local budgets — and unwind cooperatively when it
+// returns false.  The first ceiling to trip wins and is recorded as a
+// typed AbortReason; every later check fails with the same reason, so
+// an abort observed anywhere in a run names one cause.  A guard may be
+// shared by concurrent workers: all state is relaxed atomics and the
+// first-trip record is a compare-exchange.
+//
+// Deterministic fault injection (tests only): inject_at_check() arms a
+// hook that runs exactly at the Nth check, so abort paths at every
+// layer — including thread-pool interaction — are exercised without
+// timing dependence.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+
+namespace rd {
+
+/// Why a run stopped early.  kNone means "did not stop early".
+enum class AbortReason : std::uint8_t {
+  kNone = 0,
+  kDeadline,    // wall-clock deadline passed
+  kWorkBudget,  // work/step/node/conflict/event budget exhausted
+  kMemory,      // approximate memory ceiling exceeded
+  kCancelled,   // cooperative cancellation (SIGINT, supervisor)
+};
+
+/// Stable lower_snake names used in run reports ("deadline",
+/// "work_budget", "memory", "cancelled"); kNone maps to "none".
+const char* abort_reason_name(AbortReason reason);
+
+/// Cooperative cancellation flag.  request() is async-signal-safe when
+/// std::atomic<bool> is lock-free (it is on every supported target), so
+/// a SIGINT handler may call it directly.
+class CancellationToken {
+ public:
+  void request() noexcept { requested_.store(true, std::memory_order_relaxed); }
+  bool requested() const noexcept {
+    return requested_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { requested_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> requested_{false};
+};
+
+/// Ceilings for one guarded run.  Zero always means "no limit".
+struct ExecGuardOptions {
+  /// Wall-clock budget measured from ExecGuard construction.
+  double deadline_seconds = 0.0;
+
+  /// Total work units accepted by check() before tripping.
+  std::uint64_t work_limit = 0;
+
+  /// Approximate arena-byte ceiling for add_memory() accounting.
+  std::uint64_t memory_limit_bytes = 0;
+
+  /// External cancellation; not owned, may be null.
+  CancellationToken* cancel = nullptr;
+};
+
+/// Typed signal for guard trips that must unwind deep recursion (BDD
+/// construction, fault-injected throws).  Engines catch it at their
+/// entry points and convert it into an aborted outcome; it never
+/// crosses a public API on the normal cooperative paths.
+class GuardTrippedError : public std::runtime_error {
+ public:
+  explicit GuardTrippedError(AbortReason reason)
+      : std::runtime_error(std::string("execution guard tripped: ") +
+                           abort_reason_name(reason)),
+        reason_(reason) {}
+
+  AbortReason reason() const noexcept { return reason_; }
+
+ private:
+  AbortReason reason_;
+};
+
+class ExecGuard {
+ public:
+  ExecGuard() : ExecGuard(ExecGuardOptions{}) {}
+  explicit ExecGuard(const ExecGuardOptions& options);
+
+  /// Charges `work` units and evaluates every ceiling.  Returns false
+  /// once the guard has tripped (and keeps returning false).  Cheap
+  /// enough for per-step hot loops: two relaxed atomics plus a clock
+  /// read every kDeadlineStride checks.
+  bool check(std::uint64_t work = 1);
+
+  bool tripped() const noexcept {
+    return reason_.load(std::memory_order_relaxed) !=
+           static_cast<std::uint8_t>(AbortReason::kNone);
+  }
+
+  /// The first recorded trip cause (kNone while running).
+  AbortReason reason() const noexcept {
+    return static_cast<AbortReason>(reason_.load(std::memory_order_relaxed));
+  }
+
+  /// Records `reason` as the trip cause if none is recorded yet
+  /// (first-wins; later calls are no-ops).  kNone is ignored.
+  void trip(AbortReason reason) noexcept;
+
+  /// Approximate arena accounting.  add_memory never fails — the
+  /// ceiling is evaluated at the next check() so allocators do not need
+  /// an error path of their own.
+  void add_memory(std::uint64_t bytes) noexcept {
+    memory_used_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void sub_memory(std::uint64_t bytes) noexcept {
+    memory_used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  std::uint64_t work_used() const noexcept {
+    return work_used_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t memory_used() const noexcept {
+    return memory_used_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t checks() const noexcept {
+    return checks_.load(std::memory_order_relaxed);
+  }
+  double elapsed_seconds() const;
+
+  const ExecGuardOptions& options() const noexcept { return options_; }
+
+  /// Test-only deterministic fault injection: `action` runs exactly
+  /// once, inside the nth call to check() (1-based), on whichever
+  /// thread issues it.  The action may trip() this guard, raise a
+  /// signal, or throw (e.g. GuardTrippedError) to exercise exception
+  /// paths through thread pools.  Call before sharing the guard.
+  void inject_at_check(std::uint64_t nth_check, std::function<void()> action);
+
+  /// Convenience injection: the nth check trips `reason` cooperatively.
+  void inject_trip_at(std::uint64_t nth_check, AbortReason reason);
+
+ private:
+  /// Deadline polls are amortized: the clock is read on the first check
+  /// and then every kDeadlineStride-th one.
+  static constexpr std::uint64_t kDeadlineStride = 64;
+
+  ExecGuardOptions options_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::uint8_t> reason_{
+      static_cast<std::uint8_t>(AbortReason::kNone)};
+  std::atomic<std::uint64_t> work_used_{0};
+  std::atomic<std::uint64_t> memory_used_{0};
+  std::atomic<std::uint64_t> checks_{0};
+
+  std::uint64_t inject_check_ = 0;  // 0 = disarmed
+  std::function<void()> inject_action_;
+};
+
+}  // namespace rd

@@ -94,6 +94,53 @@ TEST(BenchIo, RejectsBadInput) {
                std::runtime_error);
 }
 
+// Malformed-input corpus: every entry must produce a line-numbered
+// bench error carrying the expected detail.
+TEST(BenchIo, MalformedCorpusReportsLineAndDetail) {
+  struct Case {
+    const char* text;
+    const char* expect_line;
+    const char* expect_detail;
+  };
+  const Case corpus[] = {
+      // Duplicate gate name (second definition is the reported line).
+      {"INPUT(a)\nx = NOT(a)\nx = BUFF(a)\nOUTPUT(x)\n", "bench line 3",
+       "duplicate signal 'x'"},
+      // Duplicate input declaration.
+      {"INPUT(a)\nINPUT(a)\nOUTPUT(a)\n", "bench line 2",
+       "duplicate signal 'a'"},
+      // Gate redefining an input.
+      {"INPUT(a)\na = NOT(a)\n", "bench line 2", "duplicate signal 'a'"},
+      // OUTPUT of a signal that is never defined.
+      {"INPUT(a)\ny = NOT(a)\nOUTPUT(nowhere)\n", "bench line 3",
+       "OUTPUT of undefined signal 'nowhere'"},
+      // Dangling fanin reference.
+      {"INPUT(a)\nx = NAND(a, ghost)\nOUTPUT(x)\n", "bench line 2",
+       "undefined signal 'ghost'"},
+      // Truncated statement: the ')' never arrives.
+      {"INPUT(a)\nx = NAND(a,\n", "bench line 2",
+       "expected name = TYPE(a, b, ...)"},
+      // Arity: NOT and BUFF are strictly unary.
+      {"INPUT(a)\nINPUT(b)\nx = NOT(a, b)\nOUTPUT(x)\n", "bench line 3",
+       "NOT/BUFF takes exactly one fanin, got 2"},
+      {"INPUT(a)\nx = BUFF()\nOUTPUT(x)\n", "bench line 2",
+       "empty fanin name"},
+  };
+  for (const Case& entry : corpus) {
+    try {
+      read_bench_string(entry.text);
+      FAIL() << "expected parse failure for:\n" << entry.text;
+    } catch (const std::runtime_error& error) {
+      const std::string message = error.what();
+      EXPECT_NE(message.find(entry.expect_line), std::string::npos)
+          << "message '" << message << "' lacks '" << entry.expect_line << "'";
+      EXPECT_NE(message.find(entry.expect_detail), std::string::npos)
+          << "message '" << message << "' lacks '" << entry.expect_detail
+          << "'";
+    }
+  }
+}
+
 TEST(BenchIo, CommentsAndBlanksIgnored) {
   const Circuit circuit = read_bench_string(
       "# header\n\nINPUT(a)\n  # indented comment\nOUTPUT(a)\n");
@@ -301,6 +348,209 @@ TEST(VerilogIo, EveryGateInstantiatedOnce) {
        ++pos)
     ++instances;
   EXPECT_EQ(instances, 3u);  // g1, h, y
+}
+
+TEST(VerilogIo, ParsesHandwrittenModule) {
+  const Circuit circuit = read_verilog_string(
+      "module half(a, b, s, c);\n"
+      "  input a, b;\n"
+      "  output s, c;\n"
+      "  wire na, nb, t0, t1;\n"
+      "  not u0(na, a);\n"
+      "  not u1(nb, b);\n"
+      "  and u2(t0, a, nb);\n"
+      "  and u3(t1, na, b);\n"
+      "  or u4(s, t0, t1);\n"
+      "  and u5(c, a, b);\n"
+      "endmodule\n");
+  EXPECT_EQ(circuit.name(), "half");
+  EXPECT_EQ(circuit.inputs().size(), 2u);
+  EXPECT_EQ(circuit.outputs().size(), 2u);
+  EXPECT_EQ(circuit.num_logic_gates(), 6u);
+  // XOR truth table on the sum output, AND on the carry.
+  for (std::uint64_t minterm = 0; minterm < 4; ++minterm) {
+    const bool a = (minterm & 1) != 0;
+    const bool b = (minterm & 2) != 0;
+    const auto outputs = evaluate_minterm(circuit, minterm);
+    EXPECT_EQ(outputs[0], a != b) << "minterm " << minterm;
+    EXPECT_EQ(outputs[1], a && b) << "minterm " << minterm;
+  }
+}
+
+TEST(VerilogIo, UseBeforeDefinitionAndComments) {
+  const Circuit circuit = read_verilog_string(
+      "// leading comment\n"
+      "module m(a, y);  /* inline */\n"
+      "  input a;\n"
+      "  output y;\n"
+      "  wire mid;\n"
+      "  /* block\n"
+      "     spanning lines */\n"
+      "  not u1(y, mid);   // uses mid before its driver appears\n"
+      "  buf u0(mid, a);\n"
+      "endmodule\n");
+  EXPECT_EQ(circuit.num_logic_gates(), 2u);
+  EXPECT_TRUE(evaluate_minterm(circuit, 0)[0]);
+  EXPECT_FALSE(evaluate_minterm(circuit, 1)[0]);
+}
+
+TEST(VerilogIo, RoundTripC17) {
+  const Circuit original = c17();
+  const Circuit reparsed = read_verilog_string(
+      write_verilog_string(original, "c17"), "c17");
+  ASSERT_EQ(reparsed.inputs().size(), original.inputs().size());
+  ASSERT_EQ(reparsed.outputs().size(), original.outputs().size());
+  // The writer's PO-alias bufs collapse back into PO markers, so the
+  // logic-gate count survives the round trip exactly.
+  EXPECT_EQ(reparsed.num_logic_gates(), original.num_logic_gates());
+  for (std::uint64_t minterm = 0; minterm < 32; ++minterm)
+    EXPECT_EQ(evaluate_minterm(reparsed, minterm),
+              evaluate_minterm(original, minterm))
+        << "minterm " << minterm;
+}
+
+TEST(VerilogIo, RoundTripPaperExample) {
+  const Circuit original = paper_example_circuit();
+  const Circuit reparsed =
+      read_verilog_string(write_verilog_string(original));
+  ASSERT_EQ(reparsed.inputs().size(), original.inputs().size());
+  EXPECT_EQ(reparsed.num_logic_gates(), original.num_logic_gates());
+  for (std::uint64_t minterm = 0;
+       minterm < (std::uint64_t{1} << original.inputs().size()); ++minterm)
+    EXPECT_EQ(evaluate_minterm(reparsed, minterm),
+              evaluate_minterm(original, minterm))
+        << "minterm " << minterm;
+}
+
+TEST(VerilogIo, FileRoundTripThroughDisk) {
+  const Circuit original = c17();
+  const std::string path = ::testing::TempDir() + "/rt_c17.v";
+  {
+    std::ofstream out(path);
+    write_verilog(out, original, "c17");
+  }
+  const Circuit reparsed = read_verilog_file(path);
+  EXPECT_EQ(reparsed.name(), "rt_c17");  // derived from the file name
+  for (std::uint64_t minterm = 0; minterm < 32; ++minterm)
+    EXPECT_EQ(evaluate_minterm(reparsed, minterm),
+              evaluate_minterm(original, minterm));
+}
+
+TEST(VerilogIo, MissingFileThrows) {
+  EXPECT_THROW(read_verilog_file("/nonexistent/nowhere.v"),
+               std::runtime_error);
+}
+
+TEST(VerilogIo, BufKeptWhenAliasFeedsOtherLogic) {
+  // A buf driving an output that is ALSO consumed downstream is real
+  // logic, not the writer's PO alias — it must survive as a gate.
+  const Circuit circuit = read_verilog_string(
+      "module m(a, y, z);\n"
+      "  input a;\n"
+      "  output y, z;\n"
+      "  buf u0(y, a);\n"
+      "  not u1(z, y);\n"
+      "endmodule\n");
+  EXPECT_EQ(circuit.num_logic_gates(), 2u);
+  EXPECT_TRUE(evaluate_minterm(circuit, 1)[0]);
+  EXPECT_FALSE(evaluate_minterm(circuit, 1)[1]);
+}
+
+// Malformed-input corpus: every entry must produce a line-numbered
+// verilog error carrying the expected detail — truncated files,
+// duplicate drivers/declarations, dangling fanin references and
+// friends.
+TEST(VerilogIo, MalformedCorpusReportsLineAndDetail) {
+  struct Case {
+    const char* text;
+    const char* expect_line;
+    const char* expect_detail;
+  };
+  const Case corpus[] = {
+      // Truncated file: endmodule never arrives.
+      {"module m(a, y);\n  input a;\n  output y;\n  buf u0(y, a);\n",
+       "verilog line 4", "truncated module"},
+      // Truncated mid-instance.
+      {"module m(a, y);\n  input a;\n  output y;\n  buf u0(y,\n",
+       "verilog line 4", "truncated module"},
+      // Missing semicolon after a declaration.
+      {"module m(a, y);\n  input a\n  output y;\nendmodule\n",
+       "verilog line 3", "expected ',' or ';'"},
+      // Missing semicolon after an instance.
+      {"module m(a, y);\n  input a;\n  output y;\n  buf u0(y, a)\nendmodule\n",
+       "verilog line 5", "expected ';'"},
+      // Unknown primitive.
+      {"module m(a, y);\n  input a;\n  output y;\n  xor u0(y, a);\nendmodule\n",
+       "verilog line 4", "unknown primitive or directive 'xor'"},
+      // Undeclared fanin signal.
+      {"module m(a, y);\n  input a;\n  output y;\n  buf u0(y, ghost);\n"
+       "endmodule\n",
+       "verilog line 4", "undeclared signal 'ghost'"},
+      // Undeclared instance output.
+      {"module m(a, y);\n  input a;\n  output y;\n  buf u0(w, a);\n"
+       "  buf u1(y, a);\nendmodule\n",
+       "verilog line 4", "undeclared signal 'w'"},
+      // Duplicate gate (driver) name.
+      {"module m(a, y);\n  input a;\n  output y;\n  wire w;\n"
+       "  buf u0(w, a);\n  not u1(w, a);\n  buf u2(y, w);\nendmodule\n",
+       "verilog line 6", "duplicate driver for 'w'"},
+      // Duplicate declaration.
+      {"module m(a, y);\n  input a;\n  input a;\n  output y;\n"
+       "  buf u0(y, a);\nendmodule\n",
+       "verilog line 3", "duplicate declaration of 'a'"},
+      // Driving an input port.
+      {"module m(a, y);\n  input a;\n  output y;\n  not u0(a, y);\n"
+       "  buf u1(y, a);\nendmodule\n",
+       "verilog line 4", "instance drives input 'a'"},
+      // Dangling fanin: declared wire with no driver.
+      {"module m(a, y);\n  input a;\n  output y;\n  wire w;\n"
+       "  not u0(y, w);\nendmodule\n",
+       "verilog line 5", "dangling fanin: 'w' is never driven"},
+      // Output never driven.
+      {"module m(a, y);\n  input a;\n  output y;\nendmodule\n",
+       "verilog line 3", "output 'y' is never driven"},
+      // Combinational cycle.
+      {"module m(a, y);\n  input a;\n  output y;\n  wire p, q;\n"
+       "  not u0(p, q);\n  not u1(q, p);\n  buf u2(y, p);\nendmodule\n",
+       "verilog line 6", "combinational cycle"},
+      // Port that is never declared input or output.
+      {"module m(a, y, mystery);\n  input a;\n  output y;\n"
+       "  buf u0(y, a);\nendmodule\n",
+       "verilog line 1", "port 'mystery' is not declared input or output"},
+      // Content after endmodule.
+      {"module m(a, y);\n  input a;\n  output y;\n  buf u0(y, a);\n"
+       "endmodule\nstray\n",
+       "verilog line 6", "content after endmodule"},
+      // Unterminated block comment.
+      {"module m(a, y);\n  input a;\n  /* runs off the end\n",
+       "verilog line 3", "unterminated block comment"},
+      // Arity: not/buf are strictly unary.
+      {"module m(a, b, y);\n  input a, b;\n  output y;\n"
+       "  not u0(y, a, b);\nendmodule\n",
+       "verilog line 4", "not takes exactly one fanin, got 2"},
+      // Instance with an output but no fanins.
+      {"module m(a, y);\n  input a;\n  output y;\n  buf u0(y);\nendmodule\n",
+       "verilog line 4", "needs an output and at least one fanin"},
+      // Doesn't even start with 'module'.
+      {"input a;\n", "verilog line 1", "expected 'module'"},
+      // Unexpected character.
+      {"module m(a, y);\n  input a;\n  output y;\n  buf u0(y, a) @;\n"
+       "endmodule\n",
+       "verilog line 4", "unexpected character '@'"},
+  };
+  for (const Case& entry : corpus) {
+    try {
+      read_verilog_string(entry.text);
+      FAIL() << "expected parse failure for:\n" << entry.text;
+    } catch (const std::runtime_error& error) {
+      const std::string message = error.what();
+      EXPECT_NE(message.find(entry.expect_line), std::string::npos)
+          << "message '" << message << "' lacks '" << entry.expect_line << "'";
+      EXPECT_NE(message.find(entry.expect_detail), std::string::npos)
+          << "message '" << message << "' lacks '" << entry.expect_detail
+          << "'";
+    }
+  }
 }
 
 }  // namespace

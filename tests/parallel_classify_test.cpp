@@ -12,7 +12,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/classify.h"
@@ -272,6 +274,100 @@ TEST(ParallelClassify, WorkLimitBoundaryIsExact) {
       options.num_threads = threads;
       EXPECT_EQ(classify_paths_parallel(circuit, options).completed, enough)
           << "limit " << options.work_limit << " threads " << threads;
+    }
+  }
+}
+
+// ---- execution-guard abort semantics --------------------------------------
+
+TEST(ParallelClassify, PreExpiredDeadlineAbortsTyped) {
+  const Circuit circuit = c17();
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    ExecGuardOptions guard_options;
+    guard_options.deadline_seconds = 1e-9;
+    ExecGuard guard(guard_options);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ClassifyOptions options;
+    options.num_threads = threads;
+    options.guard = &guard;
+    const ClassifyResult result = classify_paths(circuit, options);
+    EXPECT_FALSE(result.completed) << threads;
+    EXPECT_EQ(result.abort_reason, AbortReason::kDeadline) << threads;
+    // Aborted runs leave rd_* unpopulated, like a work-limit abort.
+    EXPECT_EQ(result.rd_paths, BigUint(0)) << threads;
+  }
+}
+
+TEST(ParallelClassify, InjectedCancelAbortsAtEveryThreadCount) {
+  // A cancellation request arriving mid-run (deterministically, at the
+  // 5th guard check — standing in for a SIGINT) must abort every
+  // engine cooperatively with the typed kCancelled cause.
+  const Circuit circuit = differential_circuits()[2];
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    CancellationToken cancel;
+    ExecGuardOptions guard_options;
+    guard_options.cancel = &cancel;
+    ExecGuard guard(guard_options);
+    guard.inject_at_check(5, [&cancel] { cancel.request(); });
+    ClassifyOptions options;
+    options.num_threads = threads;
+    options.guard = &guard;
+    const ClassifyResult result = classify_paths(circuit, options);
+    EXPECT_FALSE(result.completed) << threads;
+    EXPECT_EQ(result.abort_reason, AbortReason::kCancelled) << threads;
+  }
+}
+
+TEST(ParallelClassify, InjectedWorkerThrowBecomesTypedAbort) {
+  // A guard hook that *throws* inside a worker thread exercises the
+  // pool's exception path: the batch drains, the error is rethrown on
+  // the orchestrating thread, and the run converts it into a typed
+  // aborted result instead of dying on std::terminate.
+  const Circuit circuit = differential_circuits()[2];
+  ClassifyOptions options;
+  options.criterion = Criterion::kFunctionalSensitizable;
+  for (std::size_t threads : {2u, 4u}) {
+    ExecGuard guard;
+    guard.inject_at_check(10, [] {
+      throw GuardTrippedError(AbortReason::kMemory);
+    });
+    options.num_threads = threads;
+    options.guard = &guard;
+    const ClassifyResult aborted = classify_paths(circuit, options);
+    EXPECT_FALSE(aborted.completed) << threads;
+    EXPECT_EQ(aborted.abort_reason, AbortReason::kMemory) << threads;
+
+    // The engine (and a fresh pool) stays fully usable afterwards: an
+    // unguarded rerun completes and matches the serial result.
+    options.guard = nullptr;
+    const ClassifyResult rerun = classify_paths(circuit, options);
+    EXPECT_TRUE(rerun.completed) << threads;
+    ClassifyOptions serial_options = options;
+    serial_options.num_threads = 1;
+    expect_identical(classify_paths(circuit, serial_options), rerun,
+                     "post-throw rerun threads " + std::to_string(threads));
+  }
+}
+
+TEST(ParallelClassify, UntrippedGuardBitIdenticalToNoGuard) {
+  // Attaching a guard that never trips must not perturb any
+  // deterministic field at any thread count.
+  for (const Circuit& circuit : differential_circuits()) {
+    ClassifyOptions options;
+    options.criterion = Criterion::kFunctionalSensitizable;
+    options.collect_lead_counts = true;
+    options.collect_paths_limit = 1u << 14;
+    const ClassifyResult baseline = classify_paths_serial(circuit, options);
+    for (std::size_t threads : {1u, 2u, 4u}) {
+      ExecGuard guard;  // no ceilings
+      options.num_threads = threads;
+      options.guard = &guard;
+      const ClassifyResult guarded = classify_paths(circuit, options);
+      expect_identical(baseline, guarded,
+                       circuit.name() + " guarded threads " +
+                           std::to_string(threads));
+      EXPECT_EQ(guarded.abort_reason, AbortReason::kNone);
+      options.guard = nullptr;
     }
   }
 }

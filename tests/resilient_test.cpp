@@ -1,0 +1,189 @@
+// End-to-end tests of the graceful-degradation ladder: the exact rung
+// answers when feasible, capacity misses and guard trips degrade to
+// the SAT-bounded and approximate rungs in order, and every rung keeps
+// a sound superset of the truly sensitizable paths.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/classify.h"
+#include "core/exact.h"
+#include "core/resilient.h"
+#include "gen/examples.h"
+#include "paths/path.h"
+#include "util/exec_guard.h"
+
+namespace rd {
+namespace {
+
+std::vector<LogicalPath> all_logical_paths(const Circuit& circuit) {
+  std::vector<LogicalPath> paths;
+  enumerate_paths(
+      circuit,
+      [&](const PhysicalPath& physical) {
+        paths.push_back(LogicalPath{physical, false});
+        paths.push_back(LogicalPath{physical, true});
+      },
+      std::uint64_t{1} << 20);
+  return paths;
+}
+
+TEST(EngineRung, StableNames) {
+  EXPECT_STREQ(engine_rung_name(EngineRung::kExact), "exact");
+  EXPECT_STREQ(engine_rung_name(EngineRung::kSatBounded), "sat");
+  EXPECT_STREQ(engine_rung_name(EngineRung::kApproximate), "approximate");
+}
+
+TEST(Resilient, ExactRungAnswersOnSmallCircuit) {
+  const Circuit circuit = c17();
+  const ResilientClassifyResult result = classify_resilient(circuit, {});
+  EXPECT_EQ(result.engine, EngineRung::kExact);
+  ASSERT_EQ(result.attempted.size(), 1u);
+  EXPECT_EQ(result.attempted.front(), EngineRung::kExact);
+  EXPECT_EQ(result.degraded_reason, AbortReason::kNone);
+  EXPECT_TRUE(result.classify.completed);
+  const LogicalPathSet exact =
+      exact_kept_paths(circuit, Criterion::kFunctionalSensitizable);
+  EXPECT_EQ(result.classify.kept_paths, exact.size());
+}
+
+TEST(Resilient, DegradesToSatWhenExactInfeasible) {
+  const Circuit circuit = c17();
+  ResilientOptions options;
+  options.exact_max_inputs = 1;  // c17 has 5 PIs: rung 1 is out of reach
+  const ResilientClassifyResult result = classify_resilient(circuit, options);
+  EXPECT_EQ(result.engine, EngineRung::kSatBounded);
+  ASSERT_EQ(result.attempted.size(), 2u);
+  EXPECT_EQ(result.attempted.back(), EngineRung::kSatBounded);
+  EXPECT_EQ(result.degraded_reason, AbortReason::kWorkBudget);
+  EXPECT_TRUE(result.classify.completed);
+  // SAT with a generous conflict budget answers every query exactly on
+  // a circuit this small, so it matches the exhaustive sweep.
+  const LogicalPathSet exact =
+      exact_kept_paths(circuit, Criterion::kFunctionalSensitizable);
+  EXPECT_EQ(result.classify.kept_paths, exact.size());
+}
+
+TEST(Resilient, DegradesToApproximateWhenSatCapped) {
+  const Circuit circuit = c17();
+  ResilientOptions options;
+  options.exact_max_inputs = 1;
+  options.sat_max_paths = 1;  // c17 has more physical paths than that
+  const ResilientClassifyResult result = classify_resilient(circuit, options);
+  EXPECT_EQ(result.engine, EngineRung::kApproximate);
+  ASSERT_EQ(result.attempted.size(), 3u);
+  EXPECT_EQ(result.degraded_reason, AbortReason::kWorkBudget);
+  EXPECT_TRUE(result.classify.completed);
+  // The approximate rung keeps a superset of the exact survivors.
+  const LogicalPathSet exact =
+      exact_kept_paths(circuit, Criterion::kFunctionalSensitizable);
+  EXPECT_GE(result.classify.kept_paths, exact.size());
+}
+
+TEST(Resilient, GuardTripDegradesThroughEveryRung) {
+  const Circuit circuit = c17();
+  ExecGuard guard;
+  guard.inject_trip_at(1, AbortReason::kDeadline);
+  ResilientOptions options;
+  options.guard = &guard;
+  const ResilientClassifyResult result = classify_resilient(circuit, options);
+  // Every rung was attempted; the final approximate rung still emitted
+  // a structured partial result naming the trip cause.
+  EXPECT_EQ(result.engine, EngineRung::kApproximate);
+  ASSERT_EQ(result.attempted.size(), 3u);
+  EXPECT_EQ(result.degraded_reason, AbortReason::kDeadline);
+  EXPECT_FALSE(result.classify.completed);
+  EXPECT_EQ(result.classify.abort_reason, AbortReason::kDeadline);
+}
+
+TEST(Resilient, UntrippedGuardMatchesGuardFreeRun) {
+  const Circuit circuit = paper_example_circuit();
+  ExecGuard guard;  // no ceilings: never trips
+  ResilientOptions guarded;
+  guarded.guard = &guard;
+  const ResilientClassifyResult with_guard =
+      classify_resilient(circuit, guarded);
+  const ResilientClassifyResult without_guard =
+      classify_resilient(circuit, {});
+  EXPECT_EQ(with_guard.engine, without_guard.engine);
+  EXPECT_EQ(with_guard.classify.kept_paths, without_guard.classify.kept_paths);
+  EXPECT_EQ(with_guard.degraded_reason, AbortReason::kNone);
+}
+
+TEST(Resilient, PathVerdictExactRung) {
+  const Circuit circuit = c17();
+  for (const LogicalPath& path : all_logical_paths(circuit)) {
+    const ResilientPathVerdict verdict = resilient_path_sensitizable(
+        circuit, path, Criterion::kFunctionalSensitizable);
+    EXPECT_TRUE(verdict.exact);
+    EXPECT_EQ(verdict.engine, EngineRung::kExact);
+    EXPECT_EQ(verdict.degraded_reason, AbortReason::kNone);
+    EXPECT_EQ(verdict.survives,
+              exactly_sensitizable(circuit, path,
+                                   Criterion::kFunctionalSensitizable));
+  }
+}
+
+TEST(Resilient, PathVerdictSatRungStaysExact) {
+  const Circuit circuit = c17();
+  ResilientOptions options;
+  options.exact_max_inputs = 1;  // force the SAT rung
+  for (const LogicalPath& path : all_logical_paths(circuit)) {
+    const ResilientPathVerdict verdict = resilient_path_sensitizable(
+        circuit, path, Criterion::kFunctionalSensitizable, nullptr, options);
+    EXPECT_TRUE(verdict.exact);
+    EXPECT_EQ(verdict.engine, EngineRung::kSatBounded);
+    EXPECT_EQ(verdict.degraded_reason, AbortReason::kWorkBudget);
+    EXPECT_EQ(verdict.survives,
+              exactly_sensitizable(circuit, path,
+                                   Criterion::kFunctionalSensitizable));
+  }
+}
+
+TEST(Resilient, PathVerdictFallsToApproximateOnTrippedGuard) {
+  const Circuit circuit = c17();
+  ExecGuard guard;
+  guard.trip(AbortReason::kMemory);
+  ResilientOptions options;
+  options.guard = &guard;
+  const std::vector<LogicalPath> paths = all_logical_paths(circuit);
+  ASSERT_FALSE(paths.empty());
+  const ResilientPathVerdict verdict = resilient_path_sensitizable(
+      circuit, paths.front(), Criterion::kFunctionalSensitizable, nullptr,
+      options);
+  EXPECT_FALSE(verdict.exact);
+  EXPECT_EQ(verdict.engine, EngineRung::kApproximate);
+  EXPECT_EQ(verdict.degraded_reason, AbortReason::kMemory);
+  // The approximate verdict must stay keep-side sound.
+  if (exactly_sensitizable(circuit, paths.front(),
+                           Criterion::kFunctionalSensitizable)) {
+    EXPECT_TRUE(verdict.survives);
+  }
+}
+
+TEST(Resilient, EveryRungKeepsSupersetOfExact) {
+  // Soundness across the whole ladder on the paper's example circuit:
+  // each rung's kept count is >= the exhaustive one and the rungs are
+  // ordered approximate >= sat >= exact.
+  const Circuit circuit = paper_example_circuit();
+  const LogicalPathSet exact =
+      exact_kept_paths(circuit, Criterion::kFunctionalSensitizable);
+
+  ResilientOptions sat_only;
+  sat_only.exact_max_inputs = 0;
+  const ResilientClassifyResult sat = classify_resilient(circuit, sat_only);
+  ASSERT_EQ(sat.engine, EngineRung::kSatBounded);
+
+  ResilientOptions approx_only;
+  approx_only.exact_max_inputs = 0;
+  approx_only.sat_max_paths = 1;
+  const ResilientClassifyResult approx =
+      classify_resilient(circuit, approx_only);
+  ASSERT_EQ(approx.engine, EngineRung::kApproximate);
+
+  EXPECT_GE(sat.classify.kept_paths, exact.size());
+  EXPECT_GE(approx.classify.kept_paths, sat.classify.kept_paths);
+}
+
+}  // namespace
+}  // namespace rd

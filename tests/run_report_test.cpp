@@ -247,6 +247,152 @@ TEST(RunReportValidate, RejectsBenchWithNonArrayRows) {
                           "rows[0] is not an object"));
 }
 
+// ---- v2 abort_reason discipline -------------------------------------------
+
+TEST(RunReport, CompletedRunSerializesAbortReasonAsNull) {
+  const RdIdentification rd = classify_c17();
+  const JsonValue json = round_trip(classify_result_json(rd.classify));
+  ASSERT_NE(json.find("abort_reason"), nullptr);
+  EXPECT_TRUE(json.find("abort_reason")->is_null());
+}
+
+TEST(RunReport, AbortedRunNamesItsReason) {
+  ClassifyResult aborted;
+  aborted.completed = false;
+  aborted.abort_reason = AbortReason::kDeadline;
+  const JsonValue json = round_trip(classify_result_json(aborted));
+  EXPECT_EQ(json.find("abort_reason")->as_string(), "deadline");
+
+  // A legacy abort that never set a typed reason still serializes a
+  // name (work_budget), never null-on-aborted.
+  ClassifyResult untyped;
+  untyped.completed = false;
+  const JsonValue legacy = round_trip(classify_result_json(untyped));
+  EXPECT_EQ(legacy.find("abort_reason")->as_string(), "work_budget");
+}
+
+TEST(RunReport, AbortReasonJsonCoversEveryReason) {
+  EXPECT_TRUE(abort_reason_json(AbortReason::kNone).is_null());
+  EXPECT_EQ(abort_reason_json(AbortReason::kDeadline).as_string(), "deadline");
+  EXPECT_EQ(abort_reason_json(AbortReason::kWorkBudget).as_string(),
+            "work_budget");
+  EXPECT_EQ(abort_reason_json(AbortReason::kMemory).as_string(), "memory");
+  EXPECT_EQ(abort_reason_json(AbortReason::kCancelled).as_string(),
+            "cancelled");
+}
+
+TEST(RunReport, AtpgBlockCarriesAbortReason) {
+  const RdIdentification rd = classify_c17();
+  GeneratedTestSet aborted;
+  aborted.completed = false;
+  aborted.abort_reason = AbortReason::kCancelled;
+  const JsonValue back = round_trip(atpg_run_report("c17", rd, aborted));
+  EXPECT_TRUE(validate_run_report(back).empty());
+  const JsonValue* atpg = back.find("atpg");
+  ASSERT_NE(atpg, nullptr);
+  EXPECT_FALSE(atpg->find("completed")->as_bool());
+  EXPECT_EQ(atpg->find("abort_reason")->as_string(), "cancelled");
+}
+
+TEST(RunReport, ResilientJsonRecordsLadder) {
+  ResilientClassifyResult degraded;
+  degraded.engine = EngineRung::kApproximate;
+  degraded.attempted = {EngineRung::kExact, EngineRung::kSatBounded,
+                        EngineRung::kApproximate};
+  degraded.degraded_reason = AbortReason::kWorkBudget;
+  const JsonValue json = round_trip(resilient_json(degraded));
+  EXPECT_EQ(json.find("engine")->as_string(), "approximate");
+  EXPECT_EQ(json.find("degraded_from")->as_string(), "exact");
+  EXPECT_EQ(json.find("abort_reason")->as_string(), "work_budget");
+
+  ResilientClassifyResult direct;
+  direct.engine = EngineRung::kExact;
+  direct.attempted = {EngineRung::kExact};
+  const JsonValue answered = round_trip(resilient_json(direct));
+  EXPECT_EQ(answered.find("engine")->as_string(), "exact");
+  EXPECT_TRUE(answered.find("degraded_from")->is_null());
+  EXPECT_TRUE(answered.find("abort_reason")->is_null());
+}
+
+TEST(RunReportValidate, RejectsAbortReasonViolations) {
+  const RdIdentification rd = classify_c17();
+  JsonValue report = round_trip(classify_run_report("c17", "heu1", rd));
+  ASSERT_TRUE(validate_run_report(report).empty());
+
+  // Missing key entirely.
+  {
+    JsonValue classify = JsonValue::object();
+    for (const auto& [name, value] : report.find("classify")->members())
+      if (name != "abort_reason") classify.set(name, value);
+    JsonValue broken = report;
+    broken.set("classify", std::move(classify));
+    EXPECT_TRUE(has_problem(validate_run_report(broken),
+                            "missing key \"abort_reason\""));
+  }
+  // Completed run naming a reason.
+  {
+    JsonValue classify = *report.find("classify");
+    classify.set("abort_reason", JsonValue::string("deadline"));
+    JsonValue broken = report;
+    broken.set("classify", std::move(classify));
+    EXPECT_TRUE(has_problem(validate_run_report(broken),
+                            "has non-null \"abort_reason\""));
+  }
+  // Aborted run with a null reason.
+  {
+    JsonValue classify = *report.find("classify");
+    classify.set("completed", JsonValue::boolean(false));
+    classify.set("rd_paths", JsonValue::null());
+    classify.set("rd_percent", JsonValue::null());
+    classify.set("abort_reason", JsonValue::null());
+    JsonValue broken = report;
+    broken.set("classify", std::move(classify));
+    EXPECT_TRUE(has_problem(validate_run_report(broken),
+                            "has null \"abort_reason\""));
+  }
+  // Unknown reason name.
+  {
+    JsonValue classify = *report.find("classify");
+    classify.set("completed", JsonValue::boolean(false));
+    classify.set("rd_paths", JsonValue::null());
+    classify.set("rd_percent", JsonValue::null());
+    classify.set("abort_reason", JsonValue::string("cosmic_rays"));
+    JsonValue broken = report;
+    broken.set("classify", std::move(classify));
+    EXPECT_TRUE(has_problem(validate_run_report(broken),
+                            "unknown abort_reason \"cosmic_rays\""));
+  }
+}
+
+TEST(RunReportValidate, RejectsMalformedResilientBlock) {
+  const RdIdentification rd = classify_c17();
+  JsonValue report = round_trip(classify_run_report("c17", "resilient", rd));
+
+  // The resilient block is optional; a well-formed one passes.
+  ResilientClassifyResult ladder;
+  ladder.engine = EngineRung::kSatBounded;
+  ladder.attempted = {EngineRung::kExact, EngineRung::kSatBounded};
+  ladder.degraded_reason = AbortReason::kMemory;
+  report.set("resilient", resilient_json(ladder));
+  EXPECT_TRUE(validate_run_report(report).empty());
+
+  report.set("resilient", JsonValue::string("oops"));
+  EXPECT_TRUE(has_problem(validate_run_report(report),
+                          "\"resilient\" is not an object"));
+
+  JsonValue block = resilient_json(ladder);
+  block.set("abort_reason", JsonValue::string("gremlins"));
+  report.set("resilient", std::move(block));
+  EXPECT_TRUE(has_problem(validate_run_report(report),
+                          "\"resilient.abort_reason\""));
+
+  block = resilient_json(ladder);
+  block.set("degraded_from", JsonValue::number(3));
+  report.set("resilient", std::move(block));
+  EXPECT_TRUE(has_problem(validate_run_report(report),
+                          "\"resilient.degraded_from\""));
+}
+
 // ---- file output ----------------------------------------------------------
 
 TEST(RunReport, WriteJsonFileRoundTripsThroughDisk) {

@@ -10,6 +10,7 @@
 #include "sim/implication.h"
 #include "sim/logic_sim.h"
 #include "sim/timed_sim.h"
+#include "util/exec_guard.h"
 #include "util/rng.h"
 
 namespace rd {
@@ -334,6 +335,66 @@ TEST(TimedSim, RejectsBadArity) {
   EXPECT_THROW(
       simulate_timed(circuit, delays, {true}, std::vector<bool>(5, false)),
       std::invalid_argument);
+}
+
+/// An n-inverter chain with unit gate delays: flipping the input makes
+/// the transition ripple through every stage, one event per gate.
+Circuit inverter_chain(int stages) {
+  Circuit circuit;
+  GateId prev = circuit.add_input("a");
+  for (int i = 0; i < stages; ++i)
+    prev = circuit.add_gate(GateType::kNot, "n" + std::to_string(i), {prev});
+  circuit.add_output("o", prev);
+  circuit.finalize();
+  return circuit;
+}
+
+TEST(TimedSim, EventBudgetAbortsTypedNotThrown) {
+  // The 50M default is caller-settable; an exhausted budget reports a
+  // structured work_budget abort instead of throwing.
+  const Circuit circuit = inverter_chain(8);
+  DelayModel delays = DelayModel::zero(circuit);
+  for (auto& d : delays.gate_delay) d = 1.0;
+  const auto initial = simulate(circuit, {false});
+  TimedSimOptions options;
+  options.event_budget = 2;  // far fewer than the 8 ripple events
+  const auto aborted =
+      simulate_timed(circuit, delays, initial, {true}, false, options);
+  EXPECT_FALSE(aborted.completed);
+  EXPECT_EQ(aborted.abort_reason, AbortReason::kWorkBudget);
+
+  // Zero means unlimited: the same run completes.
+  options.event_budget = 0;
+  const auto full =
+      simulate_timed(circuit, delays, initial, {true}, false, options);
+  EXPECT_TRUE(full.completed);
+  EXPECT_EQ(full.abort_reason, AbortReason::kNone);
+}
+
+TEST(TimedSim, GuardTripAbortsTyped) {
+  // The guard is polled every 1024 events; a chain longer than one
+  // stride guarantees a poll, and an injected trip surfaces as the
+  // guard's typed reason.
+  const Circuit circuit = inverter_chain(2048);
+  DelayModel delays = DelayModel::zero(circuit);
+  for (auto& d : delays.gate_delay) d = 1.0;
+  const auto initial = simulate(circuit, {false});
+  ExecGuard guard;
+  guard.inject_trip_at(1, AbortReason::kDeadline);
+  TimedSimOptions options;
+  options.guard = &guard;
+  const auto result =
+      simulate_timed(circuit, delays, initial, {true}, false, options);
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.abort_reason, AbortReason::kDeadline);
+
+  // An untripped guard changes nothing.
+  ExecGuard benign;
+  options.guard = &benign;
+  const auto clean =
+      simulate_timed(circuit, delays, initial, {true}, false, options);
+  EXPECT_TRUE(clean.completed);
+  EXPECT_EQ(clean.abort_reason, AbortReason::kNone);
 }
 
 }  // namespace

@@ -179,6 +179,103 @@ TEST(TestSet, NonRobustFallbackOnlyAddsCoverage) {
   }
 }
 
+// ---- typed abort outcomes -------------------------------------------------
+
+TEST(RobustAtpg, SearchReportsTypedWorkBudgetAbort) {
+  const Circuit circuit = c17();
+  const auto paths = all_logical_paths(circuit);
+  ASSERT_FALSE(paths.empty());
+  const RobustSearch search =
+      search_robust_test(circuit, paths.front(), /*max_nodes=*/0);
+  EXPECT_EQ(search.verdict, AtpgVerdict::kAborted);
+  EXPECT_EQ(search.abort_reason, AbortReason::kWorkBudget);
+  EXPECT_FALSE(search.test.has_value());
+}
+
+TEST(RobustAtpg, SearchReportsGuardTripReason) {
+  const Circuit circuit = c17();
+  const auto paths = all_logical_paths(circuit);
+  ExecGuard guard;
+  guard.inject_trip_at(1, AbortReason::kMemory);
+  const RobustSearch search = search_robust_test(
+      circuit, paths.front(), std::uint64_t{1} << 26, &guard);
+  EXPECT_EQ(search.verdict, AtpgVerdict::kAborted);
+  EXPECT_EQ(search.abort_reason, AbortReason::kMemory);
+}
+
+TEST(RobustAtpg, LegacyWrapperThrowsTypedError) {
+  // find_robust_test keeps its throwing contract, but the exception is
+  // the typed GuardTrippedError, never a string-matched runtime_error.
+  const Circuit circuit = c17();
+  const auto paths = all_logical_paths(circuit);
+  try {
+    find_robust_test(circuit, paths.front(), /*max_nodes=*/0);
+    FAIL() << "expected a typed abort";
+  } catch (const GuardTrippedError& error) {
+    EXPECT_EQ(error.reason(), AbortReason::kWorkBudget);
+  }
+}
+
+TEST(NonRobustAtpg, SearchReportsTypedAbort) {
+  const Circuit circuit = c17();
+  const auto paths = all_logical_paths(circuit);
+  const NonRobustSearch budget =
+      search_nonrobust_test(circuit, paths.front(), /*max_nodes=*/0);
+  EXPECT_EQ(budget.verdict, AtpgVerdict::kAborted);
+  EXPECT_EQ(budget.abort_reason, AbortReason::kWorkBudget);
+
+  ExecGuard guard;
+  guard.inject_trip_at(1, AbortReason::kDeadline);
+  const NonRobustSearch tripped = search_nonrobust_test(
+      circuit, paths.front(), std::uint64_t{1} << 26, &guard);
+  EXPECT_EQ(tripped.verdict, AtpgVerdict::kAborted);
+  EXPECT_EQ(tripped.abort_reason, AbortReason::kDeadline);
+}
+
+TEST(TestSet, GuardTripStopsGenerationWithTypedReason) {
+  const Circuit circuit = c17();
+  const auto paths = all_logical_paths(circuit);
+  ExecGuard guard;
+  guard.inject_trip_at(1, AbortReason::kDeadline);
+  TestSetOptions options;
+  options.guard = &guard;
+  const GeneratedTestSet set = generate_test_set(circuit, paths, options);
+  EXPECT_FALSE(set.completed);
+  EXPECT_EQ(set.abort_reason, AbortReason::kDeadline);
+  // Partial counts stay consistent lower bounds.
+  EXPECT_LE(set.robust_count + set.nonrobust_count + set.undetected_count,
+            paths.size());
+}
+
+TEST(TestSet, UntrippedGuardLeavesResultComplete) {
+  const Circuit circuit = c17();
+  const auto paths = all_logical_paths(circuit);
+  ExecGuard guard;  // no ceilings
+  TestSetOptions options;
+  options.guard = &guard;
+  const GeneratedTestSet guarded = generate_test_set(circuit, paths, options);
+  EXPECT_TRUE(guarded.completed);
+  EXPECT_EQ(guarded.abort_reason, AbortReason::kNone);
+  const GeneratedTestSet plain = generate_test_set(circuit, paths);
+  EXPECT_EQ(guarded.robust_count, plain.robust_count);
+  EXPECT_EQ(guarded.tests.size(), plain.tests.size());
+}
+
+TEST(TestSet, PerPathBudgetExhaustionDoesNotAbortTheRun) {
+  // A per-path node-budget miss skips that path (counted in
+  // *_budget_exceeded) but the generation itself completes.
+  const Circuit circuit = paper_example_circuit();
+  const auto paths = all_logical_paths(circuit);
+  TestSetOptions options;
+  options.max_robust_nodes = 0;
+  options.max_nonrobust_nodes = 0;
+  const GeneratedTestSet set = generate_test_set(circuit, paths, options);
+  EXPECT_TRUE(set.completed);
+  EXPECT_EQ(set.abort_reason, AbortReason::kNone);
+  EXPECT_EQ(set.robust_count, 0u);
+  EXPECT_GT(set.robust_budget_exceeded, 0u);
+}
+
 TEST(Stats, ReportsConsistentNumbers) {
   const Circuit circuit = c17();
   const CircuitStats stats = compute_stats(circuit);

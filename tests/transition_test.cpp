@@ -113,6 +113,33 @@ TEST(Transition, PathTestSetCoversTransitionFaults) {
   EXPECT_DOUBLE_EQ(coverage, 100.0);
 }
 
+TEST(Transition, SearchReportsTypedAbort) {
+  const Circuit circuit = c17();
+  const TransitionFault fault{circuit.inputs().front(), true};
+  const TransitionSearch budget =
+      search_transition_test(circuit, fault, /*max_nodes=*/0);
+  EXPECT_EQ(budget.verdict, AtpgVerdict::kAborted);
+  EXPECT_EQ(budget.abort_reason, AbortReason::kWorkBudget);
+
+  ExecGuard guard;
+  guard.inject_trip_at(1, AbortReason::kCancelled);
+  const TransitionSearch tripped = search_transition_test(
+      circuit, fault, std::uint64_t{1} << 22, &guard);
+  EXPECT_EQ(tripped.verdict, AtpgVerdict::kAborted);
+  EXPECT_EQ(tripped.abort_reason, AbortReason::kCancelled);
+}
+
+TEST(Transition, LegacyWrapperThrowsTypedError) {
+  const Circuit circuit = c17();
+  const TransitionFault fault{circuit.inputs().front(), true};
+  try {
+    find_transition_test(circuit, fault, /*max_nodes=*/0);
+    FAIL() << "expected a typed abort";
+  } catch (const GuardTrippedError& error) {
+    EXPECT_EQ(error.reason(), AbortReason::kWorkBudget);
+  }
+}
+
 TEST(Transition, EmptyTestSetCoversNothing) {
   const Circuit circuit = c17();
   EXPECT_DOUBLE_EQ(transition_coverage(circuit, {}), 0.0);
