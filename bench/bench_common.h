@@ -8,6 +8,7 @@
 // the orderings fall) is visible in one place.  See EXPERIMENTS.md.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -16,9 +17,79 @@
 
 #include "io/json_writer.h"
 #include "io/run_report.h"
+#include "util/stopwatch.h"
 #include "util/strings.h"
 
 namespace rd::bench {
+
+/// Median wall seconds of `runs` timed invocations of `body`, after
+/// one untimed warmup invocation (caches touched, pages faulted, lazy
+/// singletons built).  Medians tame scheduler noise that single-shot
+/// timings — and the speedup columns derived from them — amplify.
+template <class Body>
+double median_wall_seconds(int runs, const Body& body) {
+  body();  // warmup
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(runs));
+  for (int run = 0; run < runs; ++run) {
+    Stopwatch watch;
+    body();
+    samples.push_back(watch.elapsed_seconds());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Comparative variant for sub-millisecond bodies: medians of `runs`
+/// *interleaved* samples of two bodies.  Two error sources dominate a
+/// naive A-block-then-B-block comparison of short workloads: timer and
+/// scheduler granularity (a 1 ms body loses a whole sample to one
+/// preemption) and machine-speed drift between the blocks (frequency
+/// scaling, background load) which biases the A/B ratio.  Each sample
+/// here loops its body often enough to span ~`min_window_seconds`
+/// (calibrated once from the warmup run) and reports the mean per
+/// iteration, and A/B samples alternate so a slow period taxes both
+/// sides evenly.
+template <class BodyA, class BodyB>
+std::pair<double, double> median_wall_seconds_interleaved(
+    int runs, double min_window_seconds, const BodyA& body_a,
+    const BodyB& body_b) {
+  const auto calibrate = [&](const auto& body) {
+    Stopwatch watch;
+    body();  // warmup doubles as the calibration probe
+    const double once = watch.elapsed_seconds();
+    if (once <= 0) return 1;
+    return static_cast<int>(min_window_seconds / once) + 1;
+  };
+  const int iters_a = calibrate(body_a);
+  const int iters_b = calibrate(body_b);
+  std::vector<double> samples_a;
+  std::vector<double> samples_b;
+  samples_a.reserve(static_cast<std::size_t>(runs));
+  samples_b.reserve(static_cast<std::size_t>(runs));
+  for (int run = 0; run < runs; ++run) {
+    {
+      Stopwatch watch;
+      for (int i = 0; i < iters_a; ++i) body_a();
+      samples_a.push_back(watch.elapsed_seconds() / iters_a);
+    }
+    {
+      Stopwatch watch;
+      for (int i = 0; i < iters_b; ++i) body_b();
+      samples_b.push_back(watch.elapsed_seconds() / iters_b);
+    }
+  }
+  std::sort(samples_a.begin(), samples_a.end());
+  std::sort(samples_b.begin(), samples_b.end());
+  return {samples_a[samples_a.size() / 2], samples_b[samples_b.size() / 2]};
+}
+
+/// Wall-time floor under which a serial/parallel wall-clock ratio is
+/// reported as "n/a" (JSON null) instead of a number: below ~1ms the
+/// measurement is dominated by pool spin-up and timer granularity, and
+/// the old always-printed column reported nonsense like 0.37x on
+/// microsecond runs.
+inline constexpr double kSpeedupWallFloorSeconds = 1e-3;
 
 struct Options {
   std::vector<std::string> circuits;  // empty = all

@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
                    "parallel (classifier)", "speedup", "sweep (2^n)", "BDD",
                    "SAT"});
   double largest_speedup = 0;
+  bool largest_valid = false;
   std::string largest_name;
   for (const std::string& name : names) {
     const Circuit circuit = name == "example" ? paper_example_circuit()
@@ -57,17 +58,19 @@ int main(int argc, char** argv) {
                                               : make_benchmark(name);
     const PathCounts counts(circuit);
 
-    Stopwatch approx_watch;
+    constexpr int kTimedRuns = 5;
     ClassifyOptions base;
     base.work_limit = options.work_limit;
     base.criterion = Criterion::kFunctionalSensitizable;
-    const ClassifyResult approx = classify_paths_serial(circuit, base);
-    const double approx_seconds = approx_watch.elapsed_seconds();
+    ClassifyResult approx;
+    const double approx_seconds = median_wall_seconds(
+        kTimedRuns, [&] { approx = classify_paths_serial(circuit, base); });
 
     base.num_threads = options.threads;
-    Stopwatch parallel_watch;
-    const ClassifyResult parallel = classify_paths_parallel(circuit, base);
-    const double parallel_seconds = parallel_watch.elapsed_seconds();
+    ClassifyResult parallel;
+    const double parallel_seconds = median_wall_seconds(kTimedRuns, [&] {
+      parallel = classify_paths_parallel(circuit, base);
+    });
     if (parallel.kept_paths != approx.kept_paths)
       std::fprintf(stderr,
                    "[engines] WARNING: %s parallel kept count %llu differs "
@@ -75,14 +78,22 @@ int main(int argc, char** argv) {
                    name.c_str(),
                    static_cast<unsigned long long>(parallel.kept_paths),
                    static_cast<unsigned long long>(approx.kept_paths));
+    // A serial wall below the floor means the ratio would measure pool
+    // spin-up, not the classifier: report it as n/a (JSON null).
+    const bool speedup_valid =
+        approx_seconds >= kSpeedupWallFloorSeconds && parallel_seconds > 0;
     const double speedup =
-        parallel_seconds > 0 ? approx_seconds / parallel_seconds : 0;
+        speedup_valid ? approx_seconds / parallel_seconds : 0;
     // Circuits are listed smallest to largest; the last row's speedup
     // is the headline number.
     largest_speedup = speedup;
     largest_name = name;
+    largest_valid = speedup_valid;
     char speedup_cell[32];
-    std::snprintf(speedup_cell, sizeof speedup_cell, "%.2fx", speedup);
+    if (speedup_valid)
+      std::snprintf(speedup_cell, sizeof speedup_cell, "%.2fx", speedup);
+    else
+      std::snprintf(speedup_cell, sizeof speedup_cell, "n/a");
     char parallel_cell[64];
     std::snprintf(parallel_cell, sizeof parallel_cell, "%llu in %.2fs",
                   static_cast<unsigned long long>(parallel.kept_paths),
@@ -126,7 +137,8 @@ int main(int argc, char** argv) {
       row.set("parallel_seconds", JsonValue::number(parallel_seconds));
       row.set("threads", JsonValue::number(
                              static_cast<std::uint64_t>(options.threads)));
-      row.set("speedup", JsonValue::number(speedup));
+      row.set("speedup", speedup_valid ? JsonValue::number(speedup)
+                                       : JsonValue::null());
       row.set("serial", classify_result_json(approx));
       row.set("parallel", classify_result_json(parallel));
       report.add_row(std::move(row));
@@ -138,12 +150,21 @@ int main(int argc, char** argv) {
       "the approximation (kept counts) coincides with the exact engines on\n"
       "these circuits while running per-path-enumeration only once; the\n"
       "sweep dies at ~20 inputs, BDD/SAT at circuit-dependent sizes.\n");
-  if (!largest_name.empty())
-    std::printf(
-        "parallel speedup on largest circuit (%s, %zu threads): %.2fx\n"
-        "(bounded by the machine's core count; kept counts are "
-        "bit-identical)\n",
-        largest_name.c_str(), options.threads, largest_speedup);
+  if (!largest_name.empty()) {
+    if (largest_valid)
+      std::printf(
+          "parallel speedup on largest circuit (%s, %zu threads): %.2fx\n"
+          "(bounded by the machine's core count; kept counts are "
+          "bit-identical)\n",
+          largest_name.c_str(), options.threads, largest_speedup);
+    else
+      std::printf(
+          "parallel speedup on largest circuit (%s, %zu threads): n/a\n"
+          "(serial wall below the %.0fms floor — too fast to measure a "
+          "meaningful ratio)\n",
+          largest_name.c_str(), options.threads,
+          kSpeedupWallFloorSeconds * 1e3);
+  }
   report.write();
   return 0;
 }

@@ -1,152 +1,241 @@
-// Micro-benchmarks (google-benchmark) for the performance-critical
-// primitives behind the tables: ternary implication with trail undo,
-// the implicit path classifier, structural path counting with BigUint,
-// bit-parallel simulation, stabilizing-system construction, and the
-// kill-set redundancy check.
-#include <benchmark/benchmark.h>
+// Micro-throughput study of the compiled execution layer (DESIGN.md
+// §9): the frozen pre-compilation classifier/engine pair
+// (classify_paths_reference, ReferenceImplicationEngine) against the
+// production compiled pair (classify_paths_serial, ImplicationEngine)
+// on identical work.
+//
+// Both engines produce bit-identical results and event counters, so
+// the *logical* work of a run — its ImplicationStats propagation
+// count — is engine-independent and `propagations / median wall
+// seconds` is a fair throughput measure: same numerator, different
+// wall clock.  Every row is a median of N timed runs after a warmup
+// run; the harness exits nonzero if the two engines ever disagree on
+// a deterministic field, so a bench run doubles as a differential
+// check.  scripts/compare_bench.py --self gates the mcnc-like
+// throughput_ratio (the PR's headline number) at >= 2x.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
 
-#include <map>
-
+#include "bench_common.h"
 #include "core/classify.h"
-#include "core/heuristics.h"
-#include "core/stabilize.h"
 #include "gen/examples.h"
 #include "gen/iscas_like.h"
-#include "paths/counting.h"
+#include "gen/pla_like.h"
 #include "sim/implication.h"
-#include "sim/logic_sim.h"
-#include "sim/timed_sim.h"
-#include "unfold/xfault.h"
+#include "sim/implication_reference.h"
+#include "synth/synth.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
 
 namespace {
 
 using namespace rd;
+using namespace rd::bench;
 
-const Circuit& benchmark_circuit(const std::string& name) {
-  static std::map<std::string, Circuit> cache;
-  auto it = cache.find(name);
-  if (it == cache.end()) it = cache.emplace(name, make_benchmark(name)).first;
-  return it->second;
+std::string rate_cell(double per_sec) {
+  char buffer[64];
+  if (per_sec >= 1e6)
+    std::snprintf(buffer, sizeof buffer, "%.2fM/s", per_sec / 1e6);
+  else
+    std::snprintf(buffer, sizeof buffer, "%.0fk/s", per_sec / 1e3);
+  return buffer;
 }
 
-void BM_ImplicationAssignUndo(benchmark::State& state) {
-  const Circuit& circuit = benchmark_circuit("c880");
-  ImplicationEngine engine(circuit);
-  Rng rng(7);
-  for (auto _ : state) {
-    const std::size_t mark = engine.mark();
-    for (int i = 0; i < 8; ++i) {
-      const GateId gate =
-          static_cast<GateId>(rng.next_below(circuit.num_gates()));
-      if (!engine.assign(gate, rng.next_bool(0.5) ? Value3::kOne
-                                                  : Value3::kZero))
-        break;
-    }
-    engine.undo_to(mark);
-    benchmark::DoNotOptimize(engine.num_assigned());
-  }
+bool deterministic_fields_equal(const ClassifyResult& a,
+                                const ClassifyResult& b) {
+  return a.kept_paths == b.kept_paths && a.work == b.work &&
+         a.completed == b.completed && a.kept_keys == b.kept_keys &&
+         a.kept_controlling_per_lead == b.kept_controlling_per_lead &&
+         a.implication == b.implication;
 }
-BENCHMARK(BM_ImplicationAssignUndo);
 
-void BM_Simulate64(benchmark::State& state) {
-  const Circuit& circuit = benchmark_circuit("c1908");
-  Rng rng(9);
-  std::vector<std::uint64_t> words(circuit.inputs().size());
-  for (auto& word : words) word = rng.next_u64();
-  for (auto _ : state) {
-    auto values = simulate64(circuit, words);
-    benchmark::DoNotOptimize(values.data());
-  }
+Circuit mcnc_like() {
+  PlaProfile profile;
+  profile.name = "mcnc-like";
+  profile.num_inputs = 12;
+  profile.num_outputs = 8;
+  profile.num_cubes = 60;
+  profile.min_literals = 2;
+  profile.max_literals = 6;
+  profile.seed = 3;
+  return synthesize_multilevel(make_pla_like(profile));
 }
-BENCHMARK(BM_Simulate64);
-
-void BM_PathCounting(benchmark::State& state) {
-  const Circuit& circuit = benchmark_circuit("c6288");
-  for (auto _ : state) {
-    PathCounts counts(circuit);
-    benchmark::DoNotOptimize(counts.total_physical());
-  }
-}
-BENCHMARK(BM_PathCounting);
-
-void BM_ClassifyFus(benchmark::State& state) {
-  const Circuit& circuit = benchmark_circuit("c432");
-  ClassifyOptions options;
-  options.criterion = Criterion::kFunctionalSensitizable;
-  for (auto _ : state) {
-    const ClassifyResult result = classify_paths(circuit, options);
-    benchmark::DoNotOptimize(result.kept_paths);
-  }
-}
-BENCHMARK(BM_ClassifyFus);
-
-void BM_ClassifySorted(benchmark::State& state) {
-  const Circuit& circuit = benchmark_circuit("c432");
-  const InputSort sort = heuristic1_sort(circuit);
-  ClassifyOptions options;
-  options.criterion = Criterion::kInputSort;
-  options.sort = &sort;
-  for (auto _ : state) {
-    const ClassifyResult result = classify_paths(circuit, options);
-    benchmark::DoNotOptimize(result.kept_paths);
-  }
-}
-BENCHMARK(BM_ClassifySorted);
-
-void BM_Heuristic1Sort(benchmark::State& state) {
-  const Circuit& circuit = benchmark_circuit("c7552");
-  for (auto _ : state) {
-    const InputSort sort = heuristic1_sort(circuit);
-    benchmark::DoNotOptimize(&sort);
-  }
-}
-BENCHMARK(BM_Heuristic1Sort);
-
-void BM_StabilizingSystem(benchmark::State& state) {
-  const Circuit& circuit = benchmark_circuit("c880");
-  const InputSort sort = InputSort::natural(circuit);
-  Rng rng(3);
-  std::vector<bool> inputs(circuit.inputs().size());
-  for (auto&& bit : inputs) bit = rng.next_bool(0.5);
-  const auto values = simulate(circuit, inputs);
-  for (auto _ : state) {
-    const auto system = compute_stabilizing_system_sorted(
-        circuit, circuit.outputs()[0], values, sort);
-    benchmark::DoNotOptimize(system.leads.size());
-  }
-}
-BENCHMARK(BM_StabilizingSystem);
-
-void BM_KillSetCheck(benchmark::State& state) {
-  const Circuit circuit = paper_example_circuit();
-  KillSet kills(circuit.num_leads());
-  kills.kill(0, true);
-  for (auto _ : state) {
-    const KillVerdict verdict = kill_set_testable(circuit, kills);
-    benchmark::DoNotOptimize(verdict);
-  }
-}
-BENCHMARK(BM_KillSetCheck);
-
-void BM_TimedSimulation(benchmark::State& state) {
-  const Circuit& circuit = benchmark_circuit("c880");
-  DelayModel delays = DelayModel::zero(circuit);
-  Rng rng(11);
-  for (auto& d : delays.gate_delay) d = 1.0 + rng.next_double();
-  std::vector<bool> initial(circuit.num_gates());
-  for (std::size_t i = 0; i < initial.size(); ++i)
-    initial[i] = rng.next_bool(0.5);
-  std::vector<bool> inputs(circuit.inputs().size());
-  for (std::size_t i = 0; i < inputs.size(); ++i)
-    inputs[i] = rng.next_bool(0.5);
-  for (auto _ : state) {
-    const auto result = simulate_timed(circuit, delays, initial, inputs);
-    benchmark::DoNotOptimize(result.final_values.size());
-  }
-}
-BENCHMARK(BM_TimedSimulation);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  Options options = parse_options(argc, argv);
+  BenchReport report(options, "micro");
+  // More samples than the table benches: each row's headline is a
+  // *ratio* of two short measurements, so the medians need depth for
+  // the ratio to be stable on a busy machine.
+  const int runs = options.quick ? 5 : 9;
+  bool mismatch = false;
+
+  struct Row {
+    std::string name;
+    Circuit circuit;
+  };
+  std::vector<Row> rows;
+  rows.push_back(Row{"example", paper_example_circuit()});
+  rows.push_back(Row{"c17", c17()});
+  if (!options.quick) {
+    rows.push_back(Row{"c432", make_benchmark("c432")});
+    rows.push_back(Row{"c880", make_benchmark("c880")});
+  }
+  rows.push_back(Row{"mcnc-like", mcnc_like()});
+
+  std::printf(
+      "Compiled-engine throughput vs the frozen pre-compilation engine\n"
+      "(full FS classification, serial; median of %d runs after warmup;\n"
+      "propagations are bit-identical between engines, so the ratio is\n"
+      "pure wall-clock)\n\n",
+      runs);
+  TextTable table({"circuit", "propagations", "reference", "compiled",
+                   "ratio"});
+  for (Row& row : rows) {
+    if (!options.selected(row.name)) continue;
+    ClassifyOptions base;
+    base.criterion = Criterion::kFunctionalSensitizable;
+    base.work_limit = options.work_limit;
+
+    ClassifyResult reference;
+    ClassifyResult compiled;
+    // Interleaved + windowed sampling: one classification of the small
+    // circuits is ~1 ms, far too short to time in separate per-engine
+    // blocks (see median_wall_seconds_interleaved).
+    const auto [reference_seconds, compiled_seconds] =
+        median_wall_seconds_interleaved(
+            runs, /*min_window_seconds=*/0.05,
+            [&] { reference = classify_paths_reference(row.circuit, base); },
+            [&] { compiled = classify_paths_serial(row.circuit, base); });
+    if (!deterministic_fields_equal(reference, compiled)) {
+      std::fprintf(stderr,
+                   "[micro] ERROR: %s compiled result differs from the "
+                   "reference engine\n",
+                   row.name.c_str());
+      mismatch = true;
+    }
+
+    const auto props =
+        static_cast<double>(reference.implication.propagations);
+    const double reference_per_sec =
+        reference_seconds > 0 ? props / reference_seconds : 0;
+    const double compiled_per_sec =
+        compiled_seconds > 0 ? props / compiled_seconds : 0;
+    const double ratio =
+        compiled_seconds > 0 ? reference_seconds / compiled_seconds : 0;
+    char ratio_cell[32];
+    std::snprintf(ratio_cell, sizeof ratio_cell, "%.2fx", ratio);
+    char props_cell[32];
+    std::snprintf(props_cell, sizeof props_cell, "%llu",
+                  static_cast<unsigned long long>(
+                      reference.implication.propagations));
+    table.add_row({row.name, props_cell, rate_cell(reference_per_sec),
+                   rate_cell(compiled_per_sec), ratio_cell});
+
+    if (report.enabled()) {
+      JsonValue json = JsonValue::object();
+      json.set("kind", JsonValue::string("classify-fs"));
+      json.set("circuit", JsonValue::string(row.name));
+      json.set("runs", JsonValue::number(static_cast<std::uint64_t>(runs)));
+      json.set("kept_paths", JsonValue::number(reference.kept_paths));
+      json.set("work", JsonValue::number(reference.work));
+      json.set("propagations",
+               JsonValue::number(reference.implication.propagations));
+      json.set("reference_seconds", JsonValue::number(reference_seconds));
+      json.set("compiled_seconds", JsonValue::number(compiled_seconds));
+      json.set("reference_props_per_sec",
+               JsonValue::number(reference_per_sec));
+      json.set("compiled_props_per_sec", JsonValue::number(compiled_per_sec));
+      json.set("throughput_ratio", JsonValue::number(ratio));
+      json.set("identical",
+               JsonValue::boolean(deterministic_fields_equal(reference,
+                                                             compiled)));
+      report.add_row(std::move(json));
+    }
+    std::fprintf(stderr, "[micro] %s done\n", row.name.c_str());
+  }
+
+  // Primitive-level row: raw assign/undo on the c880 netlist (random
+  // 8-assignment bursts, trail rewound each burst) — isolates the
+  // engine from the DFS so the CSR + epoch layout's contribution is
+  // visible on its own.
+  if (options.circuits.empty()) {
+    const Circuit circuit =
+        options.quick ? c17() : make_benchmark("c880");
+    const int bursts = options.quick ? 20'000 : 50'000;
+    const auto drive = [&](auto& engine) {
+      Rng rng(7);
+      for (int burst = 0; burst < bursts; ++burst) {
+        const std::size_t mark = engine.mark();
+        for (int i = 0; i < 8; ++i) {
+          const GateId gate =
+              static_cast<GateId>(rng.next_below(circuit.num_gates()));
+          if (!engine.assign(gate, rng.next_bool(0.5) ? Value3::kOne
+                                                      : Value3::kZero))
+            break;
+        }
+        engine.undo_to(mark);
+      }
+      return engine.stats();
+    };
+    ImplicationStats reference_stats;
+    ImplicationStats compiled_stats;
+    const double reference_seconds = median_wall_seconds(runs, [&] {
+      ReferenceImplicationEngine engine(circuit);
+      reference_stats = drive(engine);
+    });
+    const CompiledCircuit compiled_view(circuit);
+    const double compiled_seconds = median_wall_seconds(runs, [&] {
+      ImplicationEngine engine(compiled_view);
+      compiled_stats = drive(engine);
+    });
+    if (!(reference_stats == compiled_stats)) {
+      std::fprintf(stderr,
+                   "[micro] ERROR: assign/undo stats diverge between "
+                   "engines\n");
+      mismatch = true;
+    }
+    const auto props = static_cast<double>(reference_stats.propagations);
+    const double ratio =
+        compiled_seconds > 0 ? reference_seconds / compiled_seconds : 0;
+    char ratio_cell[32];
+    std::snprintf(ratio_cell, sizeof ratio_cell, "%.2fx", ratio);
+    char props_cell[32];
+    std::snprintf(props_cell, sizeof props_cell, "%llu",
+                  static_cast<unsigned long long>(
+                      reference_stats.propagations));
+    table.add_row(
+        {options.quick ? "assign/undo c17" : "assign/undo c880", props_cell,
+         rate_cell(reference_seconds > 0 ? props / reference_seconds : 0),
+         rate_cell(compiled_seconds > 0 ? props / compiled_seconds : 0),
+         ratio_cell});
+    if (report.enabled()) {
+      JsonValue json = JsonValue::object();
+      json.set("kind", JsonValue::string("assign-undo"));
+      json.set("circuit",
+               JsonValue::string(options.quick ? "c17" : "c880"));
+      json.set("runs", JsonValue::number(static_cast<std::uint64_t>(runs)));
+      json.set("propagations",
+               JsonValue::number(reference_stats.propagations));
+      json.set("reference_seconds", JsonValue::number(reference_seconds));
+      json.set("compiled_seconds", JsonValue::number(compiled_seconds));
+      json.set("throughput_ratio", JsonValue::number(ratio));
+      json.set("identical",
+               JsonValue::boolean(reference_stats == compiled_stats));
+      report.add_row(std::move(json));
+    }
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "reference = frozen pre-compilation engine; compiled = CSR views +\n"
+      "epoch reset + static side-input tables + shared PI prefix.\n");
+  report.write();
+  if (mismatch) return 1;
+  return 0;
+}

@@ -9,7 +9,8 @@
 #   2. the AddressSanitizer gate (scripts/check_asan.sh),
 #   3. the ThreadSanitizer gate (scripts/check_tsan.sh),
 #   4. the quick benchmark sweep with JSON validation
-#      (scripts/run_bench.sh).
+#      (scripts/run_bench.sh), which also gates the compiled-engine
+#      speedup claim via scripts/compare_bench.py --self.
 #
 # Each stage uses its own build tree (build-release, build-asan,
 # build-tsan, build-bench), so an aborted run never leaves a mixed
@@ -29,7 +30,7 @@ scripts/check_asan.sh
 echo "== [3/4] TSAN gate"
 scripts/check_tsan.sh
 
-echo "== [4/4] benchmark sweep + JSON validation"
+echo "== [4/4] benchmark sweep + JSON validation + speedup gate"
 scripts/run_bench.sh
 
 echo "check_all: every gate passed"

@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json run reports, or gate one against a speedup floor.
+
+Diff mode (two files):
+
+    scripts/compare_bench.py OLD.json NEW.json [--tolerance PCT] [--ignore-time]
+
+Rows are paired positionally (a bench emits its rows in a fixed order)
+and every field is compared:
+
+  * deterministic fields (counts, flags, names — anything that is not a
+    timing measurement) must match exactly; a mismatch means the two
+    runs did different logical work and the comparison fails;
+  * timing fields (``*_seconds``, ``*_per_sec``, ``speedup``,
+    ``throughput_ratio``) are noisy by nature, so only *regressions*
+    beyond --tolerance percent (default 25) fail: NEW slower, or NEW's
+    throughput/speedup lower.  ``--ignore-time`` skips them entirely.
+    A ``null`` timing value (sub-millisecond runs report no speedup)
+    pairs only with ``null``.
+
+Self mode (one file):
+
+    scripts/compare_bench.py --self BENCH_micro.json [--min-speedup X]
+                             [--circuit NAME]
+
+Validates the compiled-vs-reference micro report on its own terms:
+every row must carry both engines' numbers and the ``identical``
+bit-identity verdict, and the gated circuit's ``throughput_ratio``
+(default: mcnc-like, the PR's headline number) must be at least
+--min-speedup (default 2.0).
+
+Stdlib only; exits 0 on success, 1 on any failure, 2 on usage errors.
+"""
+
+import argparse
+import json
+import sys
+
+TIMING_SUFFIXES = ("_seconds", "_per_sec")
+TIMING_KEYS = {"speedup", "throughput_ratio", "wall_seconds", "busy_seconds"}
+
+
+def is_timing_key(key):
+    return key in TIMING_KEYS or key.endswith(TIMING_SUFFIXES)
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"compare_bench: cannot read {path}: {error}")
+    if not isinstance(report, dict) or report.get("kind") != "bench":
+        raise SystemExit(f"compare_bench: {path} is not a bench run report")
+    if not isinstance(report.get("rows"), list):
+        raise SystemExit(f"compare_bench: {path} has no rows array")
+    return report
+
+
+def row_label(report, index):
+    row = report["rows"][index]
+    name = row.get("circuit") if isinstance(row, dict) else None
+    return f"row {index}" + (f" ({name})" if name else "")
+
+
+def flatten_entries(value, prefix=""):
+    """Flatten nested row objects into (dotted-key, leaf-value) pairs."""
+    if isinstance(value, dict):
+        for key, child in sorted(value.items()):
+            dotted = f"{prefix}.{key}" if prefix else key
+            yield from flatten_entries(child, dotted)
+    elif isinstance(value, list):
+        for i, child in enumerate(value):
+            yield from flatten_entries(child, f"{prefix}[{i}]")
+    else:
+        yield prefix, value
+
+
+def leaf_key(dotted):
+    """The last path component, used for timing-key classification."""
+    tail = dotted.rsplit(".", 1)[-1]
+    return tail.split("[", 1)[0]
+
+
+def diff_reports(old, new, tolerance, ignore_time):
+    failures = []
+    if old.get("bench") != new.get("bench"):
+        failures.append(
+            f"bench name differs: {old.get('bench')!r} vs {new.get('bench')!r}")
+        return failures
+    old_rows, new_rows = old["rows"], new["rows"]
+    if len(old_rows) != len(new_rows):
+        failures.append(f"row count differs: {len(old_rows)} vs {len(new_rows)}")
+        return failures
+
+    for index, (old_row, new_row) in enumerate(zip(old_rows, new_rows)):
+        old_flat = dict(flatten_entries(old_row))
+        new_flat = dict(flatten_entries(new_row))
+        label = row_label(old, index)
+        for key in sorted(set(old_flat) | set(new_flat)):
+            if key not in old_flat or key not in new_flat:
+                failures.append(f"{label}: field {key} present in only one report")
+                continue
+            old_value, new_value = old_flat[key], new_flat[key]
+            if not is_timing_key(leaf_key(key)):
+                if old_value != new_value:
+                    failures.append(
+                        f"{label}: {key} differs: {old_value!r} vs {new_value!r}")
+                continue
+            if ignore_time:
+                continue
+            if old_value is None or new_value is None:
+                # The n/a marker for sub-millisecond timings must not
+                # flip between runs of the same protocol.
+                if old_value is not new_value:
+                    failures.append(
+                        f"{label}: {key} null-ness differs: "
+                        f"{old_value!r} vs {new_value!r}")
+                continue
+            slack = 1.0 + tolerance / 100.0
+            if key.endswith("_seconds") or leaf_key(key) in (
+                    "wall_seconds", "busy_seconds"):
+                if old_value > 0 and new_value > old_value * slack:
+                    failures.append(
+                        f"{label}: {key} regressed: {old_value:.6g}s -> "
+                        f"{new_value:.6g}s (> +{tolerance:g}%)")
+            else:  # rates, speedups, ratios: larger is better
+                if old_value > 0 and new_value < old_value / slack:
+                    failures.append(
+                        f"{label}: {key} regressed: {old_value:.6g} -> "
+                        f"{new_value:.6g} (> -{tolerance:g}%)")
+    return failures
+
+
+def check_self(report, min_speedup, circuit):
+    failures = []
+    if report.get("bench") != "micro":
+        failures.append(
+            f"--self expects a bench_micro report, got {report.get('bench')!r}")
+        return failures
+    gated = None
+    for index, row in enumerate(report["rows"]):
+        label = row_label(report, index)
+        for field in ("propagations", "reference_seconds", "compiled_seconds",
+                      "throughput_ratio", "identical"):
+            if field not in row:
+                failures.append(f"{label}: missing field {field}")
+        if row.get("identical") is not True:
+            failures.append(f"{label}: engines disagreed (identical != true)")
+        for field in ("reference_seconds", "compiled_seconds"):
+            value = row.get(field)
+            if not isinstance(value, (int, float)) or value <= 0:
+                failures.append(f"{label}: {field} is not a positive number")
+        if row.get("circuit") == circuit and row.get("kind") == "classify-fs":
+            gated = row
+    if gated is None:
+        failures.append(f"no classify-fs row for gated circuit {circuit!r}")
+    else:
+        ratio = gated.get("throughput_ratio")
+        if not isinstance(ratio, (int, float)) or ratio < min_speedup:
+            failures.append(
+                f"{circuit}: throughput_ratio {ratio!r} is below the "
+                f"{min_speedup:g}x floor")
+    return failures
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="compare_bench.py",
+        description="Diff two BENCH_*.json reports or gate a micro report.")
+    parser.add_argument("files", nargs="+", help="one (--self) or two reports")
+    parser.add_argument("--self", dest="self_check", action="store_true",
+                        help="validate a single bench_micro report")
+    parser.add_argument("--tolerance", type=float, default=25.0,
+                        help="allowed timing regression in percent (diff mode)")
+    parser.add_argument("--ignore-time", action="store_true",
+                        help="compare deterministic fields only (diff mode)")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="ratio floor for the gated circuit (self mode)")
+    parser.add_argument("--circuit", default="mcnc-like",
+                        help="circuit whose ratio is gated (self mode)")
+    args = parser.parse_args(argv)
+
+    if args.self_check:
+        if len(args.files) != 1:
+            parser.error("--self takes exactly one report")
+        failures = check_self(load_report(args.files[0]), args.min_speedup,
+                              args.circuit)
+    else:
+        if len(args.files) != 2:
+            parser.error("diff mode takes exactly two reports")
+        failures = diff_reports(load_report(args.files[0]),
+                                load_report(args.files[1]),
+                                args.tolerance, args.ignore_time)
+
+    if failures:
+        for failure in failures:
+            print(f"compare_bench: {failure}", file=sys.stderr)
+        print(f"compare_bench: FAILED ({len(failures)} problem(s))",
+              file=sys.stderr)
+        return 1
+    print("compare_bench: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -16,9 +16,11 @@ ClassifyResult classify_paths_serial(const Circuit& circuit,
   if (options.collect_lead_counts)
     result.kept_controlling_per_lead.assign(circuit.num_leads(), 0);
 
+  const CompiledCircuit compiled =
+      internal::compile_for_classify(circuit, options);
   internal::SerialBudget budget(options.work_limit, options.guard);
   internal::SeedDfs<internal::SerialBudget> dfs(
-      circuit, options, budget,
+      compiled, options, budget,
       options.collect_lead_counts ? &result.kept_controlling_per_lead
                                   : nullptr);
   try {
@@ -34,6 +36,13 @@ ClassifyResult classify_paths_serial(const Circuit& circuit,
       for (auto& key : outcome.kept_keys)
         result.kept_keys.push_back(std::move(key));
       if (outcome.exhausted) {
+        result.completed = false;
+        result.abort_reason = budget.reason();
+        break;
+      }
+      // Seed boundary: publish strided guard charges; a trip here
+      // aborts between seeds with exact partial counts.
+      if (!budget.flush()) {
         result.completed = false;
         result.abort_reason = budget.reason();
         break;

@@ -157,6 +157,14 @@ ClassifyResult classify_paths_serial(const Circuit& circuit,
 ClassifyResult classify_paths_parallel(const Circuit& circuit,
                                        const ClassifyOptions& options);
 
+/// Frozen pre-compilation serial classifier (core/classify_reference.cpp):
+/// the DFS exactly as it stood before the compiled execution layer
+/// (DESIGN.md §9).  Differential-test oracle and bench_micro baseline —
+/// bit-identical deterministic fields to classify_paths_serial, only
+/// slower.  Not for production use.
+ClassifyResult classify_paths_reference(const Circuit& circuit,
+                                        const ClassifyOptions& options);
+
 /// Single-path query: would `path` survive classify_paths under this
 /// criterion?  Asserts the same side-input conditions along the path
 /// on a fresh implication engine; a conflict (the RD proof) returns

@@ -20,6 +20,23 @@
 // points where the classic engine incremented ClassifyResult::work —
 // so the serial counter and the parallel shared atomic counter observe
 // the same step stream.
+//
+// Compiled hot path (DESIGN.md §9): the DFS runs over a
+// CompiledCircuit — CSR adjacency, predecoded gate semantics, and the
+// static per-lead side-input tables — built once per run and shared
+// read-only by every worker.  Two further optimizations preserve the
+// exact counter streams of the pre-compilation engine:
+//
+//   * PI-prefix sharing: all seeds of one (primary input, final value)
+//     pair start from the identical one-assignment engine state, so a
+//     driver re-establishes it only when the pair changes and
+//     otherwise *replays* the recorded ImplicationStats delta of the
+//     cached assignment — the counters advance exactly as if the
+//     assignment had been re-propagated;
+//   * guard striding: SerialBudget polls its ExecGuard once every
+//     kGuardStride charges (passing the accumulated step count, so the
+//     guard's work counter stays exact) plus a flush at every seed
+//     boundary, instead of a poll per DFS step.
 #pragma once
 
 #include <atomic>
@@ -29,6 +46,7 @@
 #include <vector>
 
 #include "core/classify.h"
+#include "netlist/compiled.h"
 #include "sim/implication.h"
 
 namespace rd::internal {
@@ -54,8 +72,28 @@ inline std::vector<ClassifySeed> enumerate_seeds(const Circuit& circuit) {
   return seeds;
 }
 
+/// Compiles `circuit` for the DFS under `options`: the π side-input
+/// tables are included exactly when the criterion consults them.
+inline CompiledCircuit compile_for_classify(const Circuit& circuit,
+                                            const ClassifyOptions& options) {
+  if (options.criterion == Criterion::kInputSort) {
+    if (options.sort == nullptr)
+      throw std::invalid_argument("kInputSort requires an InputSort");
+    const InputSort* sort = options.sort;
+    return CompiledCircuit(
+        circuit, [sort](GateId gate, std::uint32_t a, std::uint32_t b) {
+          return sort->before(gate, a, b);
+        });
+  }
+  return CompiledCircuit(circuit);
+}
+
 /// Serial work budget: the classic `++work > limit` abort check, plus
-/// an optional ExecGuard polled at the same step granularity.
+/// an optional ExecGuard.  The work limit is evaluated on every charge
+/// (the completed/aborted verdict stays exact to the step); the guard
+/// is polled once per kGuardStride charges with the accumulated step
+/// count — its work counter advances by the same total, only in
+/// batches — and flushed at seed boundaries by the run loop.
 class SerialBudget {
  public:
   explicit SerialBudget(std::uint64_t limit, ExecGuard* guard = nullptr)
@@ -68,11 +106,20 @@ class SerialBudget {
       if (reason_ == AbortReason::kNone) reason_ = AbortReason::kWorkBudget;
       return false;
     }
-    if (guard_ != nullptr && !guard_->check()) {
-      if (reason_ == AbortReason::kNone) reason_ = guard_->reason();
-      return false;
-    }
+    if (guard_ == nullptr) return true;
+    if (guard_tripped_) return false;
+    if (++unpolled_ >= kGuardStride) return poll_guard();
     return true;
+  }
+
+  /// Publishes the charges accumulated since the last poll (call at
+  /// seed boundaries, so the guard's work counter is exact between
+  /// seeds).  Returns false if the guard has tripped.
+  bool flush() {
+    if (guard_ == nullptr) return true;
+    if (guard_tripped_) return false;
+    if (unpolled_ == 0) return true;
+    return poll_guard();
   }
 
   std::uint64_t used() const { return used_; }
@@ -83,9 +130,22 @@ class SerialBudget {
   ExecGuard* guard() const { return guard_; }
 
  private:
+  static constexpr std::uint64_t kGuardStride = 64;
+
+  bool poll_guard() {
+    const std::uint64_t batch = unpolled_;
+    unpolled_ = 0;
+    if (guard_->check(batch)) return true;
+    guard_tripped_ = true;
+    if (reason_ == AbortReason::kNone) reason_ = guard_->reason();
+    return false;
+  }
+
   std::uint64_t limit_;
   ExecGuard* guard_;
   std::uint64_t used_ = 0;
+  std::uint64_t unpolled_ = 0;
+  bool guard_tripped_ = false;
   AbortReason reason_ = AbortReason::kNone;
 };
 
@@ -154,9 +214,12 @@ class SharedBudget {
 
 /// DFS driver for one worker (or the single serial thread).  Owns a
 /// private ImplicationEngine — the thread-local implication invariant:
-/// no implication state is ever shared between workers — and is reused
-/// across the seeds a worker processes (assignments are fully undone
-/// between seeds).
+/// no implication state is ever shared between workers — over the
+/// run-shared read-only CompiledCircuit, and is reused across the
+/// seeds a worker processes.  The (pi, final value) assignment prefix
+/// is kept on the engine between seeds of the same pair and its
+/// recorded stats delta replayed on reuse, so the cumulative counters
+/// equal a per-seed re-initialization bit for bit.
 template <class Budget>
 class SeedDfs {
  public:
@@ -171,15 +234,17 @@ class SeedDfs {
   /// `lead_counts`, when non-null, accumulates the per-lead
   /// controlling-value survivor tallies (order-independent sums, so a
   /// per-worker accumulator merges deterministically).
-  SeedDfs(const Circuit& circuit, const ClassifyOptions& options,
+  SeedDfs(const CompiledCircuit& compiled, const ClassifyOptions& options,
           Budget& budget, std::vector<std::uint64_t>* lead_counts)
-      : circuit_(circuit),
+      : compiled_(compiled),
         options_(options),
         budget_(budget),
         lead_counts_(lead_counts),
-        engine_(circuit, options.backward_implications) {
-    if (options.criterion == Criterion::kInputSort && options.sort == nullptr)
-      throw std::invalid_argument("kInputSort requires an InputSort");
+        engine_(compiled, options.backward_implications) {
+    if (options.criterion == Criterion::kInputSort &&
+        !compiled.has_low_order_tables())
+      throw std::invalid_argument(
+          "kInputSort requires a circuit compiled with its InputSort");
   }
 
   /// Implication-engine event counters accumulated over every seed
@@ -195,33 +260,51 @@ class SeedDfs {
     outcome_ = SeedOutcome{};
     max_keys_ = max_keys;
     current_final_pi_value_ = seed.final_value;
-    const std::size_t mark = engine_.mark();
-    if (engine_.assign(seed.pi, to_value3(seed.final_value))) {
+    ensure_prefix(seed.pi, seed.final_value);
+    if (prefix_ok_) {
+      const std::size_t mark = engine_.mark();
       if (!extend_through(seed.first_lead, seed.final_value))
         outcome_.exhausted = true;
+      engine_.undo_to(mark);
     }
-    engine_.undo_to(mark);
     return std::move(outcome_);
   }
 
  private:
+  /// Leaves the engine holding exactly the (pi, value) assignment (and
+  /// its implications).  On a cache hit the assignment is not re-run;
+  /// the recorded stats delta is replayed instead, so the cumulative
+  /// engine counters match a from-scratch re-assignment exactly.
+  void ensure_prefix(GateId pi, bool final_value) {
+    if (prefix_valid_ && prefix_pi_ == pi && prefix_value_ == final_value) {
+      engine_.replay_stats(prefix_delta_);
+      return;
+    }
+    engine_.reset();
+    const ImplicationStats before = engine_.stats();
+    prefix_ok_ = engine_.assign(pi, to_value3(final_value));
+    prefix_delta_ = engine_.stats().delta_since(before);
+    prefix_pi_ = pi;
+    prefix_value_ = final_value;
+    prefix_valid_ = true;
+  }
+
   /// Extends the current segment through `lead_id`, whose driver has
   /// stable value `tip_value`.  Returns false when the budget is
   /// exhausted (serial) or the run is cancelled (parallel).
   bool extend_through(LeadId lead_id, bool tip_value) {
     ++outcome_.work;
     if (!budget_.charge()) return false;
-    const Lead& lead = circuit_.lead(lead_id);
-    const Gate& sink = circuit_.gate(lead.sink);
+    const CompiledLead& lead = compiled_.lead(lead_id);
     const std::size_t mark = engine_.mark();
     bool feasible = true;
 
-    if (has_controlling_value(sink.type)) {
-      const bool nc = noncontrolling_value(sink.type);
+    if (lead.sink_has_ctrl) {
+      const bool nc = lead.sink_nc;
       if (tip_value == nc) {
         // (FU2)/(NR2)/(π2): every side input stable non-controlling.
-        feasible = assign_side_inputs(sink, lead.pin, nc,
-                                      /*low_order_only=*/false, lead.sink);
+        feasible = assign_side_inputs(compiled_.side_all_begin(lead),
+                                      lead.side_all_count, nc);
       } else {
         switch (options_.criterion) {
           case Criterion::kFunctionalSensitizable:
@@ -229,13 +312,13 @@ class SeedDfs {
             break;
           case Criterion::kNonRobust:
             // (NR2): all side inputs non-controlling.
-            feasible = assign_side_inputs(sink, lead.pin, nc,
-                                          /*low_order_only=*/false, lead.sink);
+            feasible = assign_side_inputs(compiled_.side_all_begin(lead),
+                                          lead.side_all_count, nc);
             break;
           case Criterion::kInputSort:
             // (π3): low-order side inputs non-controlling.
-            feasible = assign_side_inputs(sink, lead.pin, nc,
-                                          /*low_order_only=*/true, lead.sink);
+            feasible = assign_side_inputs(compiled_.side_low_begin(lead),
+                                          lead.side_low_count, nc);
             break;
         }
       }
@@ -259,28 +342,24 @@ class SeedDfs {
   /// Extends the current segment from tip gate `tip` with stable value
   /// `tip_value` through each of its fanout leads.
   bool extend(GateId tip, bool tip_value) {
-    const Gate& tip_gate = circuit_.gate(tip);
-    if (tip_gate.type == GateType::kOutput) {
+    if (compiled_.semantics(tip).type == GateType::kOutput) {
       record_survivor();
       return true;
     }
-    for (LeadId lead_id : tip_gate.fanout_leads)
-      if (!extend_through(lead_id, tip_value)) return false;
+    const LeadId* lead = compiled_.fanout_lead_begin(tip);
+    const LeadId* end = lead + compiled_.fanout_count(tip);
+    for (; lead != end; ++lead)
+      if (!extend_through(*lead, tip_value)) return false;
     return true;
   }
 
-  /// Asserts value `nc` on the side inputs of `sink_id` (all of them, or
-  /// only those with a π-rank below the on-path pin's).  Returns false
-  /// as soon as a local-implication conflict appears.
-  bool assign_side_inputs(const Gate& sink, std::uint32_t on_path_pin, bool nc,
-                          bool low_order_only, GateId sink_id) {
-    for (std::uint32_t pin = 0; pin < sink.fanins.size(); ++pin) {
-      if (pin == on_path_pin) continue;
-      if (low_order_only &&
-          !options_.sort->before(sink_id, pin, on_path_pin))
-        continue;
-      if (!engine_.assign(sink.fanins[pin], to_value3(nc))) return false;
-    }
+  /// Asserts value `nc` on a precompiled side-input list (the static
+  /// local-implication table row of one lead).  Returns false as soon
+  /// as a local-implication conflict appears.
+  bool assign_side_inputs(const GateId* gates, std::uint32_t count, bool nc) {
+    const Value3 value = to_value3(nc);
+    for (const GateId* gate = gates; gate != gates + count; ++gate)
+      if (!engine_.assign(*gate, value)) return false;
     return true;
   }
 
@@ -299,17 +378,15 @@ class SeedDfs {
     }
     if (lead_counts_ == nullptr) return;
     for (LeadId lead_id : segment_) {
-      const Lead& lead = circuit_.lead(lead_id);
-      const Gate& sink = circuit_.gate(lead.sink);
-      if (!has_controlling_value(sink.type)) continue;
+      const CompiledLead& lead = compiled_.lead(lead_id);
+      if (!lead.sink_has_ctrl) continue;
       const Value3 value = engine_.value(lead.driver);
-      if (is_known(value) &&
-          to_bool(value) == controlling_value(sink.type))
+      if (is_known(value) && to_bool(value) == !lead.sink_nc)
         ++(*lead_counts_)[lead_id];
     }
   }
 
-  const Circuit& circuit_;
+  const CompiledCircuit& compiled_;
   const ClassifyOptions& options_;
   Budget& budget_;
   std::vector<std::uint64_t>* lead_counts_;
@@ -318,6 +395,15 @@ class SeedDfs {
   SeedOutcome outcome_;
   std::uint64_t max_keys_ = 0;
   bool current_final_pi_value_ = false;
+
+  // Shared-prefix cache: the (pi, final value) assignment currently
+  // held on the engine, its conflict-free flag, and the stats delta it
+  // cost when first established.
+  bool prefix_valid_ = false;
+  bool prefix_ok_ = false;
+  GateId prefix_pi_ = kNullGate;
+  bool prefix_value_ = false;
+  ImplicationStats prefix_delta_;
 };
 
 /// Shared post-pass: structural totals and RD percentages.

@@ -27,6 +27,12 @@ ClassifyResult classify_paths_parallel(const Circuit& circuit,
   const std::vector<internal::ClassifySeed> seeds =
       internal::enumerate_seeds(circuit);
 
+  // Compiled once on the calling thread, then shared read-only by every
+  // worker's engine — the CSR arrays and side-input tables are
+  // immutable after construction.
+  const CompiledCircuit compiled =
+      internal::compile_for_classify(circuit, options);
+
   using Dfs = internal::SeedDfs<internal::SharedBudget>;
   internal::SharedBudget::Shared shared_budget(options.work_limit,
                                                options.guard);
@@ -59,7 +65,7 @@ ClassifyResult classify_paths_parallel(const Circuit& circuit,
         if (options.collect_lead_counts)
           state.lead_counts.assign(circuit.num_leads(), 0);
         state.dfs = std::make_unique<Dfs>(
-            circuit, options, *state.budget,
+            compiled, options, *state.budget,
             options.collect_lead_counts ? &state.lead_counts : nullptr);
       }
       outcomes[i] = state.dfs->run_seed(seeds[i], options.collect_paths_limit);

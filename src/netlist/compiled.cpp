@@ -1,0 +1,106 @@
+#include "netlist/compiled.h"
+
+#include <stdexcept>
+
+namespace rd {
+
+namespace {
+
+GateSemantics::Kind kind_of(GateType type) {
+  switch (type) {
+    case GateType::kInput:
+      return GateSemantics::Kind::kInput;
+    case GateType::kOutput:
+    case GateType::kBuf:
+      return GateSemantics::Kind::kSingle;
+    case GateType::kNot:
+      return GateSemantics::Kind::kSingleInv;
+    default:
+      return GateSemantics::Kind::kControlling;
+  }
+}
+
+}  // namespace
+
+CompiledCircuit::CompiledCircuit(const Circuit& circuit,
+                                 const PinBefore* before)
+    : circuit_(&circuit), has_low_order_tables_(before != nullptr) {
+  if (!circuit.finalized())
+    throw std::invalid_argument("CompiledCircuit requires a finalized circuit");
+
+  const std::size_t num_gates = circuit.num_gates();
+  const std::size_t num_leads = circuit.num_leads();
+
+  semantics_.resize(num_gates);
+  fanin_offsets_.resize(num_gates + 1, 0);
+  fanout_offsets_.resize(num_gates + 1, 0);
+  for (GateId id = 0; id < num_gates; ++id) {
+    const Gate& gate = circuit.gate(id);
+    GateSemantics& sem = semantics_[id];
+    sem.type = gate.type;
+    sem.kind = kind_of(gate.type);
+    if (sem.kind == GateSemantics::Kind::kControlling) {
+      sem.ctrl = to_value3(controlling_value(gate.type));
+      sem.noncontrolling = negate(sem.ctrl);
+      sem.out_controlled = to_value3(controlled_output(gate.type));
+      sem.out_noncontrolled = to_value3(noncontrolled_output(gate.type));
+    }
+    sem.fanin_count = static_cast<std::uint16_t>(gate.fanins.size());
+    fanin_offsets_[id + 1] =
+        fanin_offsets_[id] + static_cast<std::uint32_t>(gate.fanins.size());
+    fanout_offsets_[id + 1] =
+        fanout_offsets_[id] +
+        static_cast<std::uint32_t>(gate.fanout_leads.size());
+  }
+  gate_words_.reserve(num_gates);
+  for (GateId id = 0; id < num_gates; ++id)
+    gate_words_.push_back(gate_word::make(id, semantics_[id]));
+  single_sources_.resize(num_gates, kNullGate);
+  for (GateId id = 0; id < num_gates; ++id) {
+    const GateSemantics::Kind kind = semantics_[id].kind;
+    if (kind == GateSemantics::Kind::kSingle ||
+        kind == GateSemantics::Kind::kSingleInv)
+      single_sources_[id] = circuit.gate(id).fanins.front();
+  }
+
+  fanin_gates_.reserve(fanin_offsets_[num_gates]);
+  fanout_leads_.reserve(fanout_offsets_[num_gates]);
+  fanout_sinks_.reserve(fanout_offsets_[num_gates]);
+  for (GateId id = 0; id < num_gates; ++id) {
+    const Gate& gate = circuit.gate(id);
+    for (GateId fanin : gate.fanins) fanin_gates_.push_back(fanin);
+    for (LeadId lead_id : gate.fanout_leads) {
+      const GateId sink = circuit.lead(lead_id).sink;
+      fanout_leads_.push_back(lead_id);
+      fanout_sinks_.push_back(gate_words_[sink]);
+    }
+  }
+
+  leads_.resize(num_leads);
+  for (LeadId lead_id = 0; lead_id < num_leads; ++lead_id) {
+    const Lead& lead = circuit.lead(lead_id);
+    const Gate& sink = circuit.gate(lead.sink);
+    CompiledLead& row = leads_[lead_id];
+    row.driver = lead.driver;
+    row.sink = lead.sink;
+    row.pin = lead.pin;
+    row.sink_has_ctrl = has_controlling_value(sink.type);
+    if (!row.sink_has_ctrl) continue;
+    row.sink_nc = noncontrolling_value(sink.type);
+
+    row.side_all_begin = static_cast<std::uint32_t>(side_all_gates_.size());
+    row.side_low_begin = static_cast<std::uint32_t>(side_low_gates_.size());
+    for (std::uint32_t pin = 0; pin < sink.fanins.size(); ++pin) {
+      if (pin == lead.pin) continue;
+      side_all_gates_.push_back(sink.fanins[pin]);
+      if (before != nullptr && (*before)(lead.sink, pin, lead.pin))
+        side_low_gates_.push_back(sink.fanins[pin]);
+    }
+    row.side_all_count = static_cast<std::uint32_t>(side_all_gates_.size()) -
+                         row.side_all_begin;
+    row.side_low_count = static_cast<std::uint32_t>(side_low_gates_.size()) -
+                         row.side_low_begin;
+  }
+}
+
+}  // namespace rd
