@@ -20,9 +20,12 @@
 
 #include "bench_common.h"
 #include "core/classify.h"
+#include "gen/carry_mesh.h"
 #include "gen/examples.h"
 #include "gen/iscas_like.h"
 #include "gen/pla_like.h"
+#include "netlist/compiled.h"
+#include "paths/path.h"
 #include "sim/implication.h"
 #include "sim/implication_reference.h"
 #include "synth/synth.h"
@@ -50,6 +53,53 @@ bool deterministic_fields_equal(const ClassifyResult& a,
          a.completed == b.completed && a.kept_keys == b.kept_keys &&
          a.kept_controlling_per_lead == b.kept_controlling_per_lead &&
          a.implication == b.implication;
+}
+
+// Flat re-run baseline for the path_tree row: classifies every logical
+// path independently — one rollback to the shared (PI, value) root and
+// a from-scratch re-assertion of the whole lead sequence per path —
+// using the same compiled side-input tables and FS criterion as the
+// production DFS, so the kept count must agree exactly.  This is the
+// Θ(depth)-redundant traversal the shared-prefix-tree DFS
+// (classify_paths_serial) amortizes to one assertion per tree edge.
+std::uint64_t classify_flat_fs(const CompiledCircuit& compiled,
+                               const std::vector<PhysicalPath>& paths) {
+  ImplicationEngine engine(compiled);
+  std::uint64_t kept = 0;
+  for (const bool final_value : {false, true}) {
+    GateId current_pi = kNullGate;
+    bool root_ok = false;
+    for (const PhysicalPath& path : paths) {
+      const GateId pi = compiled.lead(path.leads[0]).driver;
+      if (pi != current_pi) {
+        engine.reset();
+        root_ok = engine.assign(pi, to_value3(final_value));
+        current_pi = pi;
+      }
+      if (!root_ok) continue;
+      const std::size_t mark = engine.mark();
+      bool value = final_value;
+      bool ok = true;
+      for (const LeadId lead_id : path.leads) {
+        const CompiledLead& lead = compiled.lead(lead_id);
+        if (lead.sink_has_ctrl && value == lead.sink_nc) {
+          // (FU2): a non-controlling on-path input needs every side
+          // input stable non-controlling; controlling ones are free.
+          const GateId* side = compiled.side_all_begin(lead);
+          for (std::uint32_t s = 0; s < lead.side_all_count; ++s)
+            if (!engine.assign(side[s], to_value3(lead.sink_nc))) {
+              ok = false;
+              break;
+            }
+          if (!ok) break;
+        }
+        value = to_bool(engine.value(lead.sink));
+      }
+      if (ok) ++kept;
+      engine.rollback(mark);
+    }
+  }
+  return kept;
 }
 
 Circuit mcnc_like() {
@@ -229,6 +279,83 @@ int main(int argc, char** argv) {
                JsonValue::boolean(reference_stats == compiled_stats));
       report.add_row(std::move(json));
     }
+  }
+
+  // Path-tree traversal row (DESIGN.md §10): flat per-path re-runs vs
+  // the shared-prefix-tree DFS, on the deep carry mesh whose path
+  // count doubles per level — the regime where the tree's sharing
+  // factor (mean path length / amortized edges per path) dominates.
+  // scripts/compare_bench.py --self gates this row's ratio too.
+  if (options.selected("deep-mesh")) {
+    CarryMeshProfile mesh;
+    mesh.width = options.quick ? 3 : 4;
+    mesh.depth = options.quick ? 10 : 14;
+    const Circuit circuit = make_carry_mesh(mesh);
+    std::vector<PhysicalPath> paths;
+    enumerate_paths(
+        circuit, [&](const PhysicalPath& path) { paths.push_back(path); },
+        std::uint64_t{1} << 20);
+    const CompiledCircuit compiled(circuit);
+
+    ClassifyOptions base;
+    base.criterion = Criterion::kFunctionalSensitizable;
+    base.work_limit = options.work_limit;
+    std::uint64_t flat_kept = 0;
+    ClassifyResult tree;
+    const auto [flat_seconds, tree_seconds] =
+        median_wall_seconds_interleaved(
+            runs, /*min_window_seconds=*/0.05,
+            [&] { flat_kept = classify_flat_fs(compiled, paths); },
+            [&] { tree = classify_paths_serial(circuit, base); });
+    const bool identical = tree.completed && flat_kept == tree.kept_paths;
+    if (!identical) {
+      std::fprintf(stderr,
+                   "[micro] ERROR: flat per-path classification kept %llu "
+                   "paths, the path-tree DFS kept %llu\n",
+                   static_cast<unsigned long long>(flat_kept),
+                   static_cast<unsigned long long>(tree.kept_paths));
+      mismatch = true;
+    }
+
+    // Same numerator for both columns: the *tree* traversal's
+    // propagation count, i.e. the logical work of the non-redundant
+    // schedule.  The flat column repeats prefix propagations, so its
+    // "throughput" reads low by exactly the sharing factor — which is
+    // the point of the row.
+    const auto props = static_cast<double>(tree.implication.propagations);
+    const double ratio = tree_seconds > 0 ? flat_seconds / tree_seconds : 0;
+    char ratio_cell[32];
+    std::snprintf(ratio_cell, sizeof ratio_cell, "%.2fx", ratio);
+    char props_cell[32];
+    std::snprintf(props_cell, sizeof props_cell, "%llu",
+                  static_cast<unsigned long long>(
+                      tree.implication.propagations));
+    table.add_row({"path-tree mesh", props_cell,
+                   rate_cell(flat_seconds > 0 ? props / flat_seconds : 0),
+                   rate_cell(tree_seconds > 0 ? props / tree_seconds : 0),
+                   ratio_cell});
+    if (report.enabled()) {
+      JsonValue json = JsonValue::object();
+      json.set("kind", JsonValue::string("path-tree"));
+      json.set("circuit", JsonValue::string("deep-mesh"));
+      json.set("width",
+               JsonValue::number(static_cast<std::uint64_t>(mesh.width)));
+      json.set("depth",
+               JsonValue::number(static_cast<std::uint64_t>(mesh.depth)));
+      json.set("runs", JsonValue::number(static_cast<std::uint64_t>(runs)));
+      json.set("logical_paths",
+               JsonValue::number(static_cast<std::uint64_t>(2 * paths.size())));
+      json.set("kept_paths", JsonValue::number(tree.kept_paths));
+      json.set("work", JsonValue::number(tree.work));
+      json.set("propagations",
+               JsonValue::number(tree.implication.propagations));
+      json.set("reference_seconds", JsonValue::number(flat_seconds));
+      json.set("compiled_seconds", JsonValue::number(tree_seconds));
+      json.set("throughput_ratio", JsonValue::number(ratio));
+      json.set("identical", JsonValue::boolean(identical));
+      report.add_row(std::move(json));
+    }
+    std::fprintf(stderr, "[micro] deep-mesh done\n");
   }
 
   std::printf("%s\n", table.to_string().c_str());

@@ -18,7 +18,7 @@ BUILD_DIR="${1:-build-asan}"
 cmake -B "$BUILD_DIR" -S . -DRD_ENABLE_ASAN=ON
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target io_test json_test run_report_test util_test \
-           exec_guard_test resilient_test
+           exec_guard_test resilient_test path_tree_test
 
 # Run from the repo root so tests resolve data/ paths, halting on the
 # first sanitizer report.
@@ -29,5 +29,8 @@ export ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}"
 "$BUILD_DIR/tests/util_test"
 "$BUILD_DIR/tests/exec_guard_test"
 "$BUILD_DIR/tests/resilient_test"
+# Pooled key arena + checkpoint/rollback + mid-subtree abort unwinding:
+# the allocation-reuse paths introduced with the path-tree traversal.
+"$BUILD_DIR/tests/path_tree_test"
 
 echo "ASAN gate passed"

@@ -21,13 +21,17 @@ and every field is compared:
 Self mode (one file):
 
     scripts/compare_bench.py --self BENCH_micro.json [--min-speedup X]
-                             [--circuit NAME]
+                             [--circuit NAME] [--min-tree-speedup Y]
 
 Validates the compiled-vs-reference micro report on its own terms:
 every row must carry both engines' numbers and the ``identical``
-bit-identity verdict, and the gated circuit's ``throughput_ratio``
+bit-identity verdict, the gated circuit's ``throughput_ratio``
 (default: mcnc-like, the PR's headline number) must be at least
---min-speedup (default 2.0).
+--min-speedup (default 2.0), and the report must contain a path-tree
+row (flat per-path re-runs vs the shared-prefix-tree DFS on the deep
+carry mesh) whose ratio reaches --min-tree-speedup (default 2.0).  A
+missing path-tree row fails: it means bench_micro ran without the
+deep-mesh study.
 
 Stdlib only; exits 0 on success, 1 on any failure, 2 on usage errors.
 """
@@ -132,13 +136,14 @@ def diff_reports(old, new, tolerance, ignore_time):
     return failures
 
 
-def check_self(report, min_speedup, circuit):
+def check_self(report, min_speedup, circuit, min_tree_speedup):
     failures = []
     if report.get("bench") != "micro":
         failures.append(
             f"--self expects a bench_micro report, got {report.get('bench')!r}")
         return failures
     gated = None
+    tree = None
     for index, row in enumerate(report["rows"]):
         label = row_label(report, index)
         for field in ("propagations", "reference_seconds", "compiled_seconds",
@@ -153,6 +158,8 @@ def check_self(report, min_speedup, circuit):
                 failures.append(f"{label}: {field} is not a positive number")
         if row.get("circuit") == circuit and row.get("kind") == "classify-fs":
             gated = row
+        if row.get("kind") == "path-tree":
+            tree = row
     if gated is None:
         failures.append(f"no classify-fs row for gated circuit {circuit!r}")
     else:
@@ -161,6 +168,15 @@ def check_self(report, min_speedup, circuit):
             failures.append(
                 f"{circuit}: throughput_ratio {ratio!r} is below the "
                 f"{min_speedup:g}x floor")
+    if tree is None:
+        failures.append(
+            "no path-tree row (bench_micro ran without the deep-mesh study)")
+    else:
+        ratio = tree.get("throughput_ratio")
+        if not isinstance(ratio, (int, float)) or ratio < min_tree_speedup:
+            failures.append(
+                f"path-tree: throughput_ratio {ratio!r} is below the "
+                f"{min_tree_speedup:g}x floor")
     return failures
 
 
@@ -179,13 +195,15 @@ def main(argv):
                         help="ratio floor for the gated circuit (self mode)")
     parser.add_argument("--circuit", default="mcnc-like",
                         help="circuit whose ratio is gated (self mode)")
+    parser.add_argument("--min-tree-speedup", type=float, default=2.0,
+                        help="ratio floor for the path-tree row (self mode)")
     args = parser.parse_args(argv)
 
     if args.self_check:
         if len(args.files) != 1:
             parser.error("--self takes exactly one report")
         failures = check_self(load_report(args.files[0]), args.min_speedup,
-                              args.circuit)
+                              args.circuit, args.min_tree_speedup)
     else:
         if len(args.files) != 2:
             parser.error("diff mode takes exactly two reports")

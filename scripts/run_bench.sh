@@ -28,11 +28,17 @@ BENCHES=(micro engines table1 table2 table3 testset ablation approx figures)
 # the same true ratio, so its floor gets a 5% allowance — still tight
 # enough to catch a real regression, loose enough not to flake.
 # Override for noisy machines: RD_MIN_SPEEDUP=1.5 scripts/run_bench.sh
+#
+# The path-tree row (flat per-path re-runs vs the shared-prefix-tree
+# DFS on the deep carry mesh) is gated the same way; a micro report
+# *without* a path-tree row fails the gate outright.  Override:
+# RD_MIN_TREE_SPEEDUP=1.5 scripts/run_bench.sh
 case "$ARGS" in
-  *--quick*) DEFAULT_MIN_SPEEDUP=1.9 ;;
-  *)         DEFAULT_MIN_SPEEDUP=2.0 ;;
+  *--quick*) DEFAULT_MIN_SPEEDUP=1.9 DEFAULT_MIN_TREE_SPEEDUP=1.9 ;;
+  *)         DEFAULT_MIN_SPEEDUP=2.0 DEFAULT_MIN_TREE_SPEEDUP=2.0 ;;
 esac
 MIN_SPEEDUP="${RD_MIN_SPEEDUP:-$DEFAULT_MIN_SPEEDUP}"
+MIN_TREE_SPEEDUP="${RD_MIN_TREE_SPEEDUP:-$DEFAULT_MIN_TREE_SPEEDUP}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 TARGETS=(rdfast_cli)
@@ -55,12 +61,14 @@ for name in "${BENCHES[@]}"; do
   fi
 done
 
-# Gate the compiled-engine speedup claim: the micro report must carry
-# both engines' numbers, the bit-identity verdict, and an mcnc-like
-# ratio at or above the floor.
+# Gate the compiled-engine and path-tree speedup claims: the micro
+# report must carry both engines' numbers, the bit-identity verdicts,
+# an mcnc-like ratio at or above the floor, and a path-tree row at or
+# above its floor (a missing path-tree row is itself a failure).
 if [ "$status" -eq 0 ]; then
   if ! python3 scripts/compare_bench.py --self BENCH_micro.json \
-       --min-speedup "$MIN_SPEEDUP"; then
+       --min-speedup "$MIN_SPEEDUP" \
+       --min-tree-speedup "$MIN_TREE_SPEEDUP"; then
     echo "bench_micro speedup gate FAILED" >&2
     status=1
   fi

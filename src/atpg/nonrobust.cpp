@@ -73,7 +73,7 @@ NonRobustSearch search_nonrobust_test(const Circuit& circuit,
     for (const Value3 value : {Value3::kZero, Value3::kOne}) {
       const std::size_t mark = engine.mark();
       if (engine.assign(pi, value) && recurse(index + 1)) return true;
-      engine.undo_to(mark);
+      engine.rollback(mark);
     }
     return false;
   };

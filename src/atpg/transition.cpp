@@ -30,7 +30,7 @@ std::optional<std::vector<bool>> complete_assignment(
     for (const Value3 value : {Value3::kZero, Value3::kOne}) {
       const std::size_t mark = engine.mark();
       if (engine.assign(pis[index], value) && recurse(index + 1)) return true;
-      engine.undo_to(mark);
+      engine.rollback(mark);
     }
     return false;
   };

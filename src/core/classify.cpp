@@ -33,8 +33,11 @@ ClassifyResult classify_paths_serial(const Circuit& circuit,
       auto outcome = dfs.run_seed(seed, remaining_keys);
       result.kept_paths += outcome.kept_paths;
       result.work += outcome.work;
-      for (auto& key : outcome.kept_keys)
-        result.kept_keys.push_back(std::move(key));
+      for (std::size_t i = 0; i < outcome.keys.size(); ++i)
+        result.kept_keys.push_back(outcome.keys.key(i));
+      // Hand the arena back so the next seed appends into its
+      // already-reserved capacity instead of growing a fresh one.
+      dfs.recycle(std::move(outcome.keys));
       if (outcome.exhausted) {
         result.completed = false;
         result.abort_reason = budget.reason();

@@ -2,18 +2,18 @@
 // parallel classification engines (core/classify.cpp and
 // core/classify_parallel.cpp).  Not part of the public API.
 //
-// The classification frontier is sharded into *seeds*: one DFS subtree
-// per (primary input, final stable value, first fanout lead) triple.
-// Seeds are completely independent — each run starts from a fresh
-// implication-engine state (only the PI assignment), so they can be
-// executed in any order or concurrently, and their outputs merged in
-// canonical seed order reproduce the classic single-threaded DFS
-// bit for bit:
+// The unit of work is a *node of the shared path-prefix tree*: the
+// serial engine runs one DFS subtree per (primary input, final stable
+// value, first fanout lead) seed; the parallel engine cuts deeper, at
+// subtree granularity (run_subtree + set_frontier_cut — DESIGN.md
+// §10), so deep narrow circuits still shard.  Either way the outputs
+// merged in canonical discovery order reproduce the classic
+// single-threaded DFS bit for bit:
 //
-//   * kept/work counters are sums of per-seed counters (commutative),
+//   * kept/work counters are sums of per-node counters (commutative),
 //   * kept_controlling_per_lead is an elementwise sum,
-//   * kept_keys concatenated in seed order equal the serial DFS
-//     discovery order, so truncation at collect_paths_limit matches.
+//   * kept keys concatenated in discovery order equal the serial DFS
+//     order, so truncation at collect_paths_limit matches.
 //
 // Work accounting is abstracted behind a Budget policy with a single
 // charge() hook called once per DFS gate-extension step — exactly the
@@ -42,11 +42,15 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "core/classify.h"
 #include "netlist/compiled.h"
+#include "paths/prefix_tree.h"
 #include "sim/implication.h"
 
 namespace rd::internal {
@@ -212,6 +216,20 @@ class SharedBudget {
   std::uint64_t unflushed_ = 0;
 };
 
+/// Per-node outputs (a seed subtree or a stolen deeper subtree) that
+/// must be merged in canonical discovery order.  Survivor keys live in
+/// a pooled flat arena — recording a path never heap-allocates per
+/// path; callers materialize ClassifyResult::kept_keys from it during
+/// the (cold) merge.  Shared across SeedDfs instantiations so the
+/// parallel engine's phase-1 (frontier) and phase-2 (plain) drivers
+/// produce merge-compatible values.
+struct SeedOutcome {
+  std::uint64_t kept_paths = 0;
+  std::uint64_t work = 0;
+  PathKeyArena keys;
+  bool exhausted = false;  // budget ran out inside this subtree
+};
+
 /// DFS driver for one worker (or the single serial thread).  Owns a
 /// private ImplicationEngine — the thread-local implication invariant:
 /// no implication state is ever shared between workers — over the
@@ -220,16 +238,15 @@ class SharedBudget {
 /// is kept on the engine between seeds of the same pair and its
 /// recorded stats delta replayed on reuse, so the cumulative counters
 /// equal a per-seed re-initialization bit for bit.
-template <class Budget>
+///
+/// `kFrontier` selects the phase-1 frontier-cut mode at compile time
+/// (set_frontier_cut + the per-extension split-depth test): the plain
+/// instantiation — the serial engine and the phase-2 workers — carries
+/// zero frontier overhead in its extension hot loop.
+template <class Budget, bool kFrontier = false>
 class SeedDfs {
  public:
-  /// Per-seed outputs that must be merged in canonical seed order.
-  struct SeedOutcome {
-    std::uint64_t kept_paths = 0;
-    std::uint64_t work = 0;
-    std::vector<std::vector<std::uint32_t>> kept_keys;
-    bool exhausted = false;  // budget ran out inside this seed
-  };
+  using SeedOutcome = ::rd::internal::SeedOutcome;
 
   /// `lead_counts`, when non-null, accumulates the per-lead
   /// controlling-value survivor tallies (order-independent sums, so a
@@ -253,24 +270,111 @@ class SeedDfs {
     return engine_.stats();
   }
 
-  /// Runs one seed subtree.  `max_keys` caps this seed's kept_keys
+  /// Runs one seed subtree.  `max_keys` caps this seed's key
   /// collection (the caller threads the global collect_paths_limit
   /// through it).
   SeedOutcome run_seed(const ClassifySeed& seed, std::uint64_t max_keys) {
-    outcome_ = SeedOutcome{};
-    max_keys_ = max_keys;
-    current_final_pi_value_ = seed.final_value;
+    begin_node(max_keys, seed.final_value);
     ensure_prefix(seed.pi, seed.final_value);
     if (prefix_ok_) {
       const std::size_t mark = engine_.mark();
       if (!extend_through(seed.first_lead, seed.final_value))
         outcome_.exhausted = true;
-      engine_.undo_to(mark);
+      engine_.rollback(mark);
     }
     return std::move(outcome_);
   }
 
+  /// Phase-1 frontier mode (the parallel classifier's shallow pass):
+  /// the DFS is cut at `split_depth` leads — a live (non-PO-tipped)
+  /// node at that depth is handed to `on_frontier` as a subtree root
+  /// instead of being descended into — and `on_survivor` fires for
+  /// every path recorded above the cut, so the caller can log the
+  /// interleaved discovery order its merge must reproduce.  Charging
+  /// is untouched: the cut edge itself is charged exactly as the
+  /// serial DFS charges it; everything below the cut is charged by
+  /// whichever worker adopts the subtree (run_subtree).
+  void set_frontier_cut(
+      std::size_t split_depth,
+      std::function<void(const std::vector<LeadId>&)> on_frontier,
+      std::function<void()> on_survivor) {
+    static_assert(kFrontier,
+                  "set_frontier_cut requires a SeedDfs<Budget, true>");
+    split_depth_ = split_depth;
+    on_frontier_ = std::move(on_frontier);
+    on_survivor_ = std::move(on_survivor);
+  }
+
+  /// Adopts the subtree rooted at the frontier node `prefix[0..depth)`
+  /// of `seed` and runs it to completion — the thief's half of the
+  /// checkpoint/rollback discipline.  Re-establishing the prefix is
+  /// *charge-free*: the engine physically replays only the suffix that
+  /// diverges from the trail it already holds (rollback to the common
+  /// ancestor + assert the divergent leads), then restore_stats
+  /// disowns those charges, because phase 1 already charged every
+  /// prefix edge and the per-seed pair delta exactly as the serial
+  /// engine does.  The subtree's own edges (depth > split) are then
+  /// charged normally, so merged counters are bit-identical to serial.
+  SeedOutcome run_subtree(const ClassifySeed& seed, const LeadId* prefix,
+                          std::size_t depth, std::uint64_t max_keys) {
+    begin_node(max_keys, seed.final_value);
+
+    const ImplicationEngine::Checkpoint replay = engine_.checkpoint();
+    if (!prefix_valid_ || prefix_pi_ != seed.pi ||
+        prefix_value_ != seed.final_value) {
+      engine_.reset();
+      trail_.invalidate();
+      // Frontier nodes only exist under conflict-free pair prefixes,
+      // so the root assignment cannot fail here.
+      prefix_ok_ = engine_.assign(seed.pi, to_value3(seed.final_value));
+      prefix_pi_ = seed.pi;
+      prefix_value_ = seed.final_value;
+      prefix_valid_ = true;
+      trail_.reset_root(engine_.mark());
+    }
+    const std::size_t keep = trail_.common_prefix(prefix, depth);
+    engine_.rollback(trail_.mark_at(keep));
+    trail_.pop_to(keep);
+    for (std::size_t d = keep; d < depth; ++d) {
+      replay_lead(prefix[d]);
+      trail_.push(prefix[d], engine_.mark());
+    }
+    engine_.restore_stats(replay.stats);
+
+    // The engine now holds exactly the serial engine's state at this
+    // tree node; descend.  segment_ carries the full prefix so
+    // recorded keys and lead tallies cover the whole path.
+    segment_.assign(prefix, prefix + depth);
+    const GateId tip = compiled_.lead(prefix[depth - 1]).sink;
+    if (!extend(tip, to_bool(engine_.value(tip))))
+      outcome_.exhausted = true;
+    segment_.clear();
+    return std::move(outcome_);
+  }
+
+  /// Returns a consumed outcome's arena to the pool so the next node's
+  /// collection reuses its capacity.
+  void recycle(PathKeyArena&& arena) {
+    arena_pool_ = std::move(arena);
+  }
+
  private:
+  void begin_node(std::uint64_t max_keys, bool final_value) {
+    outcome_ = SeedOutcome{};
+    outcome_.keys = std::move(arena_pool_);
+    outcome_.keys.clear();
+    max_keys_ = max_keys;
+    current_final_pi_value_ = final_value;
+  }
+
+  /// Re-asserts one already-charged prefix lead during subtree
+  /// adoption.  The on-path value is read back from the engine (the
+  /// prefix is conflict-free, so the driver's value is always held),
+  /// and the caller disowns the assertion's charges via restore_stats.
+  void replay_lead(LeadId lead_id) {
+    const CompiledLead& lead = compiled_.lead(lead_id);
+    assert_lead_constraints(lead, to_bool(engine_.value(lead.driver)));
+  }
   /// Leaves the engine holding exactly the (pi, value) assignment (and
   /// its implications).  On a cache hit the assignment is not re-run;
   /// the recorded stats delta is replayed instead, so the cumulative
@@ -289,6 +393,36 @@ class SeedDfs {
     prefix_valid_ = true;
   }
 
+  /// Asserts `lead`'s side-input constraints for on-path driver value
+  /// `tip_value` under the active criterion.  Returns false on a local
+  /// implication conflict.  After a true return the sink's stable
+  /// value is implied: a controlling on-path input forces the
+  /// controlled output; a non-controlling one had all side inputs
+  /// pinned non-controlling.  Single-input gates imply directly.
+  bool assert_lead_constraints(const CompiledLead& lead, bool tip_value) {
+    if (!lead.sink_has_ctrl) return true;
+    const bool nc = lead.sink_nc;
+    if (tip_value == nc) {
+      // (FU2)/(NR2)/(π2): every side input stable non-controlling.
+      return assign_side_inputs(compiled_.side_all_begin(lead),
+                                lead.side_all_count, nc);
+    }
+    switch (options_.criterion) {
+      case Criterion::kFunctionalSensitizable:
+        // (FU2) constrains only non-controlling on-path inputs.
+        return true;
+      case Criterion::kNonRobust:
+        // (NR2): all side inputs non-controlling.
+        return assign_side_inputs(compiled_.side_all_begin(lead),
+                                  lead.side_all_count, nc);
+      case Criterion::kInputSort:
+        // (π3): low-order side inputs non-controlling.
+        return assign_side_inputs(compiled_.side_low_begin(lead),
+                                  lead.side_low_count, nc);
+    }
+    return true;
+  }
+
   /// Extends the current segment through `lead_id`, whose driver has
   /// stable value `tip_value`.  Returns false when the budget is
   /// exhausted (serial) or the run is cancelled (parallel).
@@ -297,45 +431,25 @@ class SeedDfs {
     if (!budget_.charge()) return false;
     const CompiledLead& lead = compiled_.lead(lead_id);
     const std::size_t mark = engine_.mark();
-    bool feasible = true;
-
-    if (lead.sink_has_ctrl) {
-      const bool nc = lead.sink_nc;
-      if (tip_value == nc) {
-        // (FU2)/(NR2)/(π2): every side input stable non-controlling.
-        feasible = assign_side_inputs(compiled_.side_all_begin(lead),
-                                      lead.side_all_count, nc);
-      } else {
-        switch (options_.criterion) {
-          case Criterion::kFunctionalSensitizable:
-            // (FU2) constrains only non-controlling on-path inputs.
-            break;
-          case Criterion::kNonRobust:
-            // (NR2): all side inputs non-controlling.
-            feasible = assign_side_inputs(compiled_.side_all_begin(lead),
-                                          lead.side_all_count, nc);
-            break;
-          case Criterion::kInputSort:
-            // (π3): low-order side inputs non-controlling.
-            feasible = assign_side_inputs(compiled_.side_low_begin(lead),
-                                          lead.side_low_count, nc);
-            break;
-        }
-      }
-    }
-
     bool ok = true;
-    if (feasible) {
-      // The sink's stable value is now implied: a controlling on-path
-      // input forces the controlled output; a non-controlling one had
-      // all side inputs pinned non-controlling.  Single-input gates
-      // imply directly.
+    if (assert_lead_constraints(lead, tip_value)) {
       const Value3 sink_value = engine_.value(lead.sink);
       segment_.push_back(lead_id);
-      ok = extend(lead.sink, to_bool(sink_value));
+      bool descend = true;
+      if constexpr (kFrontier) {
+        if (segment_.size() >= split_depth_ &&
+            compiled_.semantics(lead.sink).type != GateType::kOutput) {
+          // Frontier cut: this live node becomes a phase-2 subtree
+          // root.  Its edge was charged above, exactly as serial
+          // charges it.
+          on_frontier_(segment_);
+          descend = false;
+        }
+      }
+      if (descend) ok = extend(lead.sink, to_bool(sink_value));
       segment_.pop_back();
     }
-    engine_.undo_to(mark);
+    engine_.rollback(mark);
     return ok;
   }
 
@@ -365,16 +479,22 @@ class SeedDfs {
 
   void record_survivor() {
     ++outcome_.kept_paths;
-    if (outcome_.kept_keys.size() < max_keys_) {
-      std::vector<std::uint32_t> key(segment_.begin(), segment_.end());
-      key.push_back(current_final_pi_value_ ? 1u : 0u);
+    if constexpr (kFrontier) {
+      if (on_survivor_) on_survivor_();
+    }
+    if (outcome_.keys.size() < max_keys_) {
       // The collected keys are the one allocation that grows without
-      // bound with the survivor count; feed the guard's arena
-      // accounting so a memory ceiling can stop the collection.
-      if (ExecGuard* guard = budget_.guard(); guard != nullptr)
-        guard->add_memory(key.capacity() * sizeof(std::uint32_t) +
-                          sizeof(key));
-      outcome_.kept_keys.push_back(std::move(key));
+      // bound with the survivor count; charge the guard with the
+      // arena's capacity *growth* so the accounting stays exact while
+      // appends into pooled capacity cost nothing.
+      ExecGuard* const guard = budget_.guard();
+      const std::uint64_t before =
+          guard != nullptr ? outcome_.keys.capacity_bytes() : 0;
+      outcome_.keys.append(segment_, current_final_pi_value_);
+      if (guard != nullptr) {
+        const std::uint64_t after = outcome_.keys.capacity_bytes();
+        if (after > before) guard->add_memory(after - before);
+      }
     }
     if (lead_counts_ == nullptr) return;
     for (LeadId lead_id : segment_) {
@@ -393,8 +513,20 @@ class SeedDfs {
   ImplicationEngine engine_;
   std::vector<LeadId> segment_;
   SeedOutcome outcome_;
+  PathKeyArena arena_pool_;
   std::uint64_t max_keys_ = 0;
   bool current_final_pi_value_ = false;
+
+  // Frontier-cut hooks, only exercised by SeedDfs<Budget, true>
+  // (phase 1 of the parallel engine); if constexpr keeps them out of
+  // the plain instantiation's hot loop entirely.
+  std::size_t split_depth_ = std::numeric_limits<std::size_t>::max();
+  std::function<void(const std::vector<LeadId>&)> on_frontier_;
+  std::function<void()> on_survivor_;
+
+  // Subtree-adoption cursor: the lead prefix currently asserted on the
+  // engine with the watermark after each lead (run_subtree only).
+  PrefixTrail trail_;
 
   // Shared-prefix cache: the (pi, final value) assignment currently
   // held on the engine, its conflict-free flag, and the stats delta it

@@ -1,0 +1,40 @@
+#include "gen/carry_mesh.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace rd {
+
+Circuit make_carry_mesh(const CarryMeshProfile& profile) {
+  if (profile.width < 2)
+    throw std::invalid_argument("carry mesh needs width >= 2");
+  if (profile.depth < 1)
+    throw std::invalid_argument("carry mesh needs depth >= 1");
+
+  Circuit circuit(profile.name);
+  std::vector<GateId> row(profile.width);
+  for (std::size_t j = 0; j < profile.width; ++j)
+    row[j] = circuit.add_input("a" + std::to_string(j));
+
+  // Gate types cycle down the rows so controlling values (0 for
+  // AND/NAND, 1 for OR/NOR) and inversion parities both alternate.
+  constexpr GateType kRowTypes[] = {GateType::kAnd, GateType::kOr,
+                                    GateType::kNand, GateType::kNor};
+  std::vector<GateId> next(profile.width);
+  for (std::size_t r = 1; r <= profile.depth; ++r) {
+    const GateType type = kRowTypes[(r - 1) % 4];
+    for (std::size_t j = 0; j < profile.width; ++j) {
+      const std::string name =
+          "t" + std::to_string(r) + "_" + std::to_string(j);
+      next[j] = circuit.add_gate(
+          type, name, {row[j], row[(j + 1) % profile.width]});
+    }
+    row = next;
+  }
+  for (std::size_t j = 0; j < profile.width; ++j)
+    circuit.add_output("out" + std::to_string(j), row[j]);
+  circuit.finalize();
+  return circuit;
+}
+
+}  // namespace rd

@@ -181,9 +181,22 @@ class CompiledCircuit {
     return fanin_offsets_[id + 1] - fanin_offsets_[id];
   }
 
-  /// Fanout leads of `id`, in the circuit's fanout_leads order.
+  /// Fanout leads of `id`, in the circuit's fanout_leads order.  This
+  /// span is the *canonical child order* of the shared path-prefix
+  /// tree: the classifiers (serial, parallel phase-1 frontier cut, and
+  /// stolen-subtree replay) all extend a tip through exactly this
+  /// sequence, so path discovery order — and with it kept_keys
+  /// truncation and every deterministic merge — is identical across
+  /// engines and thread counts.  The order is a construction-time
+  /// property of the Circuit (Circuit::add_gate wiring order) and is
+  /// independent of any PinBefore: π orders reorder side-input
+  /// *constraint* tables (side_low), never tree children.
   const LeadId* fanout_lead_begin(GateId id) const {
     return fanout_leads_.data() + fanout_offsets_[id];
+  }
+  /// Child `k` of tree node tip `id` under the canonical order.
+  LeadId fanout_lead_at(GateId id, std::uint32_t k) const {
+    return fanout_leads_[fanout_offsets_[id] + k];
   }
   /// Sink gates of those leads as packed GateWords, positionally
   /// parallel to the lead span — the implication engine's counter

@@ -1,0 +1,165 @@
+// Shared path-prefix tree support for the incremental classifiers.
+//
+// Two logical paths that share their first k leads derive identical
+// local implications up to the divergence gate, so a classifier that
+// walks the *prefix tree* (every distinct lead-prefix is one node)
+// pays each shared prefix once instead of once per path.  This header
+// provides the structural side of that traversal, kept below the
+// simulation layer (no CompiledCircuit/engine dependency — rd_sim
+// links rd_paths, not the other way around):
+//
+//   * PrefixTrail — the traversal cursor: the lead prefix a worker's
+//     implication engine currently holds, paired with the engine trail
+//     watermark recorded after each lead, so descending to any other
+//     tree node costs one rollback to the common ancestor plus a
+//     replay of the divergent suffix;
+//   * PathKeyArena — pooled flat storage for collected path keys (one
+//     append, zero per-path heap allocations);
+//   * prefix_tree_widths / choose_split_depth — the saturating
+//     per-depth node counts used to pick the subtree-sharding frontier
+//     for the parallel classifier;
+//   * path_tree_edge_count / total_path_lead_count — exact BigUint
+//     sharing diagnostics: tree cost vs flat per-path cost.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "util/biguint.h"
+
+namespace rd {
+
+/// Pooled storage for logical-path keys (the lead-id sequence followed
+/// by the final-value bit, the same encoding as LogicalPath::key()).
+/// All keys live in one flat buffer with an offset table, so recording
+/// a survivor is an amortized append into reused capacity instead of a
+/// fresh std::vector per path.
+class PathKeyArena {
+ public:
+  std::size_t size() const { return offsets_.size() - 1; }
+  bool empty() const { return offsets_.size() == 1; }
+
+  /// Drops the keys but keeps the reserved capacity (the pooling).
+  void clear() {
+    data_.clear();
+    offsets_.resize(1);
+  }
+
+  /// Appends the key of one survivor: `segment` plus the transition
+  /// bit.
+  void append(const std::vector<LeadId>& segment, bool final_value) {
+    data_.insert(data_.end(), segment.begin(), segment.end());
+    data_.push_back(final_value ? 1u : 0u);
+    offsets_.push_back(data_.size());
+  }
+
+  /// Materializes key `i` in the LogicalPath::key() encoding.
+  std::vector<std::uint32_t> key(std::size_t i) const {
+    return std::vector<std::uint32_t>(data_.begin() + offsets_[i],
+                                      data_.begin() + offsets_[i + 1]);
+  }
+
+  /// Bytes of heap currently reserved (for ExecGuard::add_memory: the
+  /// caller charges the *growth* of this value across an append, so
+  /// the accounting stays exact while reused capacity costs nothing).
+  std::uint64_t capacity_bytes() const {
+    return data_.capacity() * sizeof(std::uint32_t) +
+           offsets_.capacity() * sizeof(std::size_t);
+  }
+
+ private:
+  std::vector<std::uint32_t> data_;
+  std::vector<std::size_t> offsets_ = std::vector<std::size_t>(1, 0);
+};
+
+/// Cursor over the shared path-prefix tree: the lead prefix currently
+/// asserted on a worker's implication engine, with the engine trail
+/// watermark captured after each lead's constraints.  mark_at(d) is
+/// the rollback target that keeps exactly the root assignment plus the
+/// first d leads; moving the cursor to another tree node is
+/// rollback(mark_at(lcp)) + replay of the target's divergent suffix.
+class PrefixTrail {
+ public:
+  /// True once reset_root established a root under the engine's
+  /// current epoch.  Invalidate whenever the engine is reset() — every
+  /// stored watermark dies with the old epoch.
+  bool valid() const { return valid_; }
+  void invalidate() {
+    valid_ = false;
+    leads_.clear();
+    marks_.resize(1);
+  }
+
+  /// Starts a fresh trail whose depth-0 watermark is `root_mark` (the
+  /// engine mark right after the (PI, final value) root assignment).
+  void reset_root(std::size_t root_mark) {
+    valid_ = true;
+    leads_.clear();
+    marks_.assign(1, root_mark);
+  }
+
+  std::size_t depth() const { return leads_.size(); }
+  std::size_t mark_at(std::size_t depth) const { return marks_[depth]; }
+
+  /// Records that `lead`'s constraints were asserted, leaving the
+  /// engine at watermark `mark_after`.
+  void push(LeadId lead, std::size_t mark_after) {
+    leads_.push_back(lead);
+    marks_.push_back(mark_after);
+  }
+
+  void pop_to(std::size_t depth) {
+    leads_.resize(depth);
+    marks_.resize(depth + 1);
+  }
+
+  /// Length of the longest common prefix between the held trail and
+  /// `leads[0..count)`.
+  std::size_t common_prefix(const LeadId* leads, std::size_t count) const {
+    const std::size_t limit = std::min(count, leads_.size());
+    std::size_t d = 0;
+    while (d < limit && leads_[d] == leads[d]) ++d;
+    return d;
+  }
+
+ private:
+  bool valid_ = false;
+  std::vector<LeadId> leads_;
+  std::vector<std::size_t> marks_ = std::vector<std::size_t>(1, 0);
+};
+
+/// Per-depth *live* node counts of the logical path-prefix tree:
+/// widths[d] is the number of distinct d-lead prefixes (over both
+/// final values, hence the count is even) whose tip is not a PO
+/// marker — exactly the candidate subtree roots were the tree split at
+/// depth d.  Counts saturate at `cap` and the vector stops after the
+/// first empty depth or after `max_depth` entries, whichever is first.
+/// widths[0] is twice the PI count.
+std::vector<std::uint64_t> prefix_tree_widths(
+    const Circuit& circuit, std::size_t max_depth,
+    std::uint64_t cap = std::uint64_t{1} << 40);
+
+/// Smallest depth d >= 1 whose width reaches min(target, the best
+/// width any depth in `widths` achieves) — the shallowest frontier
+/// that yields the most parallelism actually available.  Returns 1
+/// when `widths` offers nothing deeper.
+std::size_t choose_split_depth(const std::vector<std::uint64_t>& widths,
+                               std::uint64_t target);
+
+/// Exact number of edges in the *physical* path-prefix tree (each
+/// distinct nonempty lead-prefix is one edge); the logical tree walked
+/// by the classifiers has exactly twice as many.  This is the unit of
+/// incremental-traversal cost, against which the flat per-path cost is
+/// total_path_lead_count().
+BigUint path_tree_edge_count(const Circuit& circuit);
+
+/// Sum of path lengths (in leads) over every physical path — the
+/// number of lead extensions a flat per-path classifier re-executes.
+/// The ratio total_path_lead_count / path_tree_edge_count is the
+/// prefix-sharing factor.
+BigUint total_path_lead_count(const Circuit& circuit);
+
+}  // namespace rd

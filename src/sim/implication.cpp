@@ -45,7 +45,7 @@ bool ImplicationEngine::assign(GateId id, Value3 value) {
   return ok;
 }
 
-void ImplicationEngine::undo_to(std::size_t mark) {
+void ImplicationEngine::rollback(std::size_t mark) {
   while (trail_size_ > mark) {
     // The trail entry carries the assigned value, so the undo never
     // has to read the state record back before clearing it.
@@ -144,7 +144,7 @@ __attribute__((always_inline)) inline bool ImplicationEngine::examine(
 
   // Gates with a controlling value (semantics predecoded at compile)
   // come first: they are the bulk of every circuit and of every queue.
-  // The fanin tallies maintained by set_value/undo_to stand in for the
+  // The fanin tallies maintained by set_value/rollback stand in for the
   // classic fanin scan: unknown pins = total pins - known pins, and a
   // controlling pin exists iff the ctrl tally is nonzero.  The scan
   // survives only in the backward rules that need pin identities.

@@ -27,7 +27,7 @@
 //     per-gate clear;
 //   * gate examination is counter-based, watched-literal style: each
 //     gate carries epoch-stamped counts of its known and controlling
-//     fanins, maintained incrementally by set_value/undo_to, so
+//     fanins, maintained incrementally by set_value/rollback, so
 //     examine() decides forward/backward implications from two O(1)
 //     loads instead of re-scanning the fanin list on every queue pop
 //     (the pre-compilation engine's dominant cost — most pops derive
@@ -107,15 +107,44 @@ class ImplicationEngine {
   /// undoes to its mark before continuing.
   bool assign(GateId id, Value3 value);
 
-  /// Current trail position, to be passed to undo_to later.
+  /// Current trail position (a watermark), to be passed to rollback
+  /// later.  Watermarks nest: any prefix of the trail is a valid
+  /// rollback target until the next reset() invalidates them all.
   std::size_t mark() const { return trail_size_; }
 
-  /// Undoes all assignments made after `mark`.
-  void undo_to(std::size_t mark);
+  /// Undoes all assignments made after watermark `mark`, in O(undone):
+  /// descending to a sibling subtree costs only the divergent suffix,
+  /// never a full reset + replay.  Stats are cumulative and unaffected
+  /// (they measure work done, not state held).
+  void rollback(std::size_t mark);
+
+  /// Legacy spelling of rollback(mark), kept because the frozen
+  /// ReferenceImplicationEngine (whose API must not change) still uses
+  /// it and differential drivers template over both engines.
+  void undo_to(std::size_t mark) { rollback(mark); }
+
+  /// A watermark paired with the counter snapshot taken alongside it.
+  /// checkpoint()/rollback(Checkpoint) bracket *disownable* work: state
+  /// and charges both return to the capture point — the primitive
+  /// behind charge-free prefix replay when a worker adopts a stolen
+  /// path-tree node (core/classify_dfs.h run_subtree).
+  struct Checkpoint {
+    std::size_t trail_mark = 0;
+    ImplicationStats stats;
+  };
+
+  Checkpoint checkpoint() const { return Checkpoint{trail_size_, stats_}; }
+
+  /// Undoes state *and* counters back to a checkpoint: the work done
+  /// since capture is disowned as if it never ran.
+  void rollback(const Checkpoint& at) {
+    rollback(at.trail_mark);
+    stats_ = at.stats;
+  }
 
   /// Forgets every assignment in O(1) (epoch bump + trail clear).
   /// Invalidates outstanding marks: after reset(), mark() == 0.
-  /// Stats are cumulative and unaffected, exactly like undo_to.
+  /// Stats are cumulative and unaffected, exactly like rollback.
   void reset();
 
   /// Current value of a gate's output (kUnknown if unassigned).
@@ -137,6 +166,14 @@ class ImplicationEngine {
   /// prefix).  Keeps the cumulative event stream bit-identical to an
   /// engine that re-ran the assignment sequence from scratch.
   void replay_stats(const ImplicationStats& delta) { stats_.merge(delta); }
+
+  /// Inverse of replay_stats: rewinds the counters to `snapshot`
+  /// without touching the trail.  This disowns charges for work that
+  /// *was* physically executed but is logically cached — a thief
+  /// replaying an already-charged path-tree prefix keeps the state the
+  /// replay built while the charge stream stays bit-identical to the
+  /// serial engine, which established that prefix exactly once.
+  void restore_stats(const ImplicationStats& snapshot) { stats_ = snapshot; }
 
   const CompiledCircuit& compiled() const { return *compiled_; }
 
@@ -175,7 +212,7 @@ class ImplicationEngine {
   //     controlling-valued pins in bits 48..63 (pins, not distinct
   //     gates: a driver on two pins counts twice, matching a fanin
   //     scan).  Meaningful iff the stamp matches, else all-zero.  The
-  //     packing lets set_value and undo_to maintain both counts with
+  //     packing lets set_value and rollback maintain both counts with
   //     a single load-add-store per sink.
   //
   // The two stamps are independent: counters go live when a *fanin*
@@ -214,7 +251,7 @@ class ImplicationEngine {
   // fanouts(g)) = 1 + num_gates + num_leads queue entries, since
   // set_value fires at most once per gate between undos.  A trail
   // entry is a gate id (low 32 bits) packed with the value it was
-  // assigned (bits 32..39, same shape as value_half), so undo_to
+  // assigned (bits 32..39, same shape as value_half), so rollback
   // rolls back sink tallies without re-reading the state record.
   // The queue holds packed GateWords (the fanout streams already carry
   // them), so a pop hands examine() the gate's full semantics without

@@ -8,6 +8,7 @@
 #include "core/classify.h"
 #include "core/exact.h"
 #include "core/heuristics.h"
+#include "gen/carry_mesh.h"
 #include "gen/iscas_like.h"
 #include "paths/counting.h"
 #include "sim/implication.h"
@@ -236,6 +237,59 @@ INSTANTIATE_TEST_SUITE_P(
     SeedsAndThreads, ParallelInvarianceProperty,
     ::testing::Combine(::testing::Values(51u, 52u, 53u, 54u),
                        ::testing::Values(2u, 4u, 8u)));
+
+// ---- path-tree sharding invariance ----------------------------------------
+
+class PathTreeInvariance
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(PathTreeInvariance, BitIdenticalToReferenceOnDeepMeshes) {
+  const auto [depth, threads] = GetParam();
+  CarryMeshProfile profile;
+  profile.width = 3;
+  profile.depth = depth;
+  const Circuit circuit = make_carry_mesh(profile);
+
+  // The deep-mesh regime forces the parallel engine past per-seed
+  // sharding (3 seeds, thousands of paths): work items are subtrees of
+  // the shared prefix tree.  Every deterministic field must still be
+  // bit-identical to the frozen reference engine.
+  ClassifyOptions options;
+  options.criterion = Criterion::kFunctionalSensitizable;
+  options.collect_paths_limit = 1u << 18;
+  options.collect_lead_counts = true;
+  const ClassifyResult reference = classify_paths_reference(circuit, options);
+  options.num_threads = threads;
+  const ClassifyResult parallel = classify_paths_parallel(circuit, options);
+  ASSERT_TRUE(reference.completed);
+  ASSERT_TRUE(parallel.completed);
+  ASSERT_EQ(parallel.kept_paths, reference.kept_paths);
+  ASSERT_EQ(parallel.rd_paths, reference.rd_paths);
+  ASSERT_EQ(parallel.work, reference.work);
+  ASSERT_EQ(parallel.kept_keys, reference.kept_keys);
+  ASSERT_EQ(parallel.kept_controlling_per_lead,
+            reference.kept_controlling_per_lead);
+  ASSERT_EQ(parallel.implication, reference.implication);
+
+  // Work limits landing mid-subtree: one unit short of completion
+  // aborts with the same typed verdict as serial; exactly the full
+  // budget completes (the boundary is exact at every thread count).
+  options.work_limit = reference.work - 1;
+  const ClassifyResult short_serial = classify_paths_serial(circuit, options);
+  const ClassifyResult short_parallel =
+      classify_paths_parallel(circuit, options);
+  ASSERT_FALSE(short_serial.completed);
+  ASSERT_FALSE(short_parallel.completed);
+  ASSERT_EQ(short_parallel.abort_reason, short_serial.abort_reason);
+  options.work_limit = reference.work;
+  ASSERT_TRUE(classify_paths_parallel(circuit, options).completed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DepthsAndThreads, PathTreeInvariance,
+    ::testing::Combine(::testing::Values(5u, 7u, 9u),
+                       ::testing::Values(1u, 2u, 4u)));
 
 // ---- robust ⊆ non-robust ⊆ FS over seeds ----------------------------------
 
