@@ -27,6 +27,7 @@
 #include "netlist/compiled.h"
 #include "paths/path.h"
 #include "sim/implication.h"
+#include "sim/implication_bitpar.h"
 #include "sim/implication_reference.h"
 #include "synth/synth.h"
 #include "util/rng.h"
@@ -356,6 +357,158 @@ int main(int argc, char** argv) {
       report.add_row(std::move(json));
     }
     std::fprintf(stderr, "[micro] deep-mesh done\n");
+  }
+
+  // Bit-parallel lane engine row (DESIGN.md §11): 64 independent
+  // ternary seed vectors per lockstep batch.  Each program fully
+  // specifies the primary inputs of the mcnc-like netlist (the
+  // classifier's seed-vector shape: every side-input table assert
+  // bottoms out in PI assignments); the scalar compiled engine runs
+  // one vector at a time, the lane engine runs 64 per batch with ONE
+  // assign_planes call per PI — the 0-lanes and 1-lanes ride the same
+  // union-FIFO drain, so each cone propagation is paid once for every
+  // lane it covers instead of once per vector.  Per-lane verdicts and
+  // stats are bit-identical to the scalar runs (the lane engine's
+  // contract), so `identical` doubles as the differential check and
+  // the scalar side's propagation total is a fair shared numerator.
+  // scripts/compare_bench.py --self gates this row's ratio too.
+  if (options.selected("bitpar")) {
+    const Circuit circuit = mcnc_like();
+    const CompiledCircuit compiled(circuit);
+    const std::vector<GateId>& pis = circuit.inputs();
+    constexpr std::size_t kVectors = 2048;
+    static_assert(kVectors % kMaxLanes == 0);
+
+    // One fully-specified random vector per program, stored both flat
+    // (scalar driver order) and transposed into per-(batch, PI) lane
+    // masks (lane driver order) so neither timed body pays for data
+    // marshalling the other skips.
+    std::vector<std::uint8_t> vectors(kVectors * pis.size());
+    Rng rng(29);
+    for (std::uint8_t& bit : vectors) bit = rng.next_bool(0.5) ? 1 : 0;
+    const std::size_t batches = kVectors / kMaxLanes;
+    std::vector<LaneMask> zeros(batches * pis.size());
+    std::vector<LaneMask> ones(batches * pis.size());
+    for (std::size_t b = 0; b < batches; ++b) {
+      for (std::size_t i = 0; i < pis.size(); ++i) {
+        LaneMask m1 = 0;
+        for (unsigned l = 0; l < kMaxLanes; ++l)
+          if (vectors[(b * kMaxLanes + l) * pis.size() + i] != 0)
+            m1 |= lane_bit(l);
+        zeros[b * pis.size() + i] = ~m1;
+        ones[b * pis.size() + i] = m1;
+      }
+    }
+
+    std::vector<std::uint8_t> scalar_ok(kVectors);
+    std::vector<ImplicationStats> scalar_delta(kVectors);
+    ImplicationEngine scalar(compiled);
+    // `record` separates the engine work being timed from the
+    // differential bookkeeping: the timed bodies run record=false, and
+    // one untimed record=true pass per engine captures verdicts and
+    // per-vector stats deltas for the identity check.  (The lane
+    // side's horizontal lane_stats read-out is O(counter bits) per
+    // lane — harness cost, not engine cost, and the scalar side has
+    // no equivalent.)
+    const auto scalar_pass = [&](bool record) {
+      for (std::size_t v = 0; v < kVectors; ++v) {
+        scalar.reset();
+        const ImplicationStats before = scalar.stats();
+        bool ok = true;
+        for (std::size_t i = 0; i < pis.size(); ++i) {
+          const bool bit = vectors[v * pis.size() + i] != 0;
+          if (!scalar.assign(pis[i], to_value3(bit))) {
+            ok = false;
+            break;
+          }
+        }
+        if (record) {
+          scalar_ok[v] = ok;
+          scalar_delta[v] = scalar.stats().delta_since(before);
+        }
+      }
+    };
+
+    std::vector<std::uint8_t> lane_ok(kVectors);
+    std::vector<ImplicationStats> lane_delta(kVectors);
+    LaneImplicationEngine lane_engine(compiled);
+    const auto lane_pass = [&](bool record) {
+      for (std::size_t b = 0; b < batches; ++b) {
+        lane_engine.begin_batch(~LaneMask{0});
+        LaneMask alive = ~LaneMask{0};
+        for (std::size_t i = 0; i < pis.size() && alive != 0; ++i) {
+          // Per lane this is exactly the scalar assign of that lane's
+          // bit; lanes that conflicted stop assigning, like the
+          // scalar driver's early break.
+          const LaneMask m0 = zeros[b * pis.size() + i] & alive;
+          const LaneMask m1 = ones[b * pis.size() + i] & alive;
+          alive &= ~((m0 | m1) &
+                     ~lane_engine.assign_planes(pis[i], m0, m1));
+        }
+        if (record) {
+          for (unsigned l = 0; l < kMaxLanes; ++l) {
+            lane_ok[b * kMaxLanes + l] = (alive & lane_bit(l)) != 0;
+            lane_delta[b * kMaxLanes + l] = lane_engine.lane_stats(l);
+          }
+        }
+      }
+    };
+
+    const auto [scalar_seconds, lane_seconds] =
+        median_wall_seconds_interleaved(
+            runs, /*min_window_seconds=*/0.05,
+            [&] { scalar_pass(false); }, [&] { lane_pass(false); });
+    scalar_pass(true);
+    lane_pass(true);
+    bool identical = true;
+    std::uint64_t total_props = 0;
+    for (std::size_t v = 0; v < kVectors; ++v) {
+      identical = identical && scalar_ok[v] == lane_ok[v] &&
+                  scalar_delta[v] == lane_delta[v];
+      total_props += scalar_delta[v].propagations;
+    }
+    if (!identical) {
+      std::fprintf(stderr,
+                   "[micro] ERROR: lane-engine verdicts or stats diverge "
+                   "from the scalar per-vector runs\n");
+      mismatch = true;
+    }
+
+    const auto props = static_cast<double>(total_props);
+    const double ratio =
+        lane_seconds > 0 ? scalar_seconds / lane_seconds : 0;
+    char ratio_cell[32];
+    std::snprintf(ratio_cell, sizeof ratio_cell, "%.2fx", ratio);
+    char props_cell[32];
+    std::snprintf(props_cell, sizeof props_cell, "%llu",
+                  static_cast<unsigned long long>(total_props));
+    table.add_row({"bitpar mcnc-like", props_cell,
+                   rate_cell(scalar_seconds > 0 ? props / scalar_seconds : 0),
+                   rate_cell(lane_seconds > 0 ? props / lane_seconds : 0),
+                   ratio_cell});
+    if (report.enabled()) {
+      JsonValue json = JsonValue::object();
+      json.set("kind", JsonValue::string("bitpar"));
+      json.set("circuit", JsonValue::string("mcnc-like"));
+      json.set("runs", JsonValue::number(static_cast<std::uint64_t>(runs)));
+      json.set("programs",
+               JsonValue::number(static_cast<std::uint64_t>(kVectors)));
+      json.set("lanes",
+               JsonValue::number(static_cast<std::uint64_t>(kMaxLanes)));
+      json.set("propagations", JsonValue::number(total_props));
+      json.set("reference_seconds", JsonValue::number(scalar_seconds));
+      json.set("compiled_seconds", JsonValue::number(lane_seconds));
+      json.set("reference_props_per_sec",
+               JsonValue::number(scalar_seconds > 0 ? props / scalar_seconds
+                                                    : 0));
+      json.set("compiled_props_per_sec",
+               JsonValue::number(lane_seconds > 0 ? props / lane_seconds
+                                                  : 0));
+      json.set("throughput_ratio", JsonValue::number(ratio));
+      json.set("identical", JsonValue::boolean(identical));
+      report.add_row(std::move(json));
+    }
+    std::fprintf(stderr, "[micro] bitpar done\n");
   }
 
   std::printf("%s\n", table.to_string().c_str());

@@ -12,9 +12,14 @@
 // benchmark (c432 ... c7552, c6288, example, c17).
 //
 // classify options:  --heuristic=1|2|fus|inverse   (default 2)
-//                    --engine=approx|resilient  (default approx) —
+//                    --engine=approx|resilient|bitpar (default approx)
 //                                   resilient runs the exact → SAT →
-//                                   approximate degradation ladder
+//                                   approximate degradation ladder;
+//                                   bitpar evaluates sibling branches
+//                                   64 lanes at a time (bit-identical
+//                                   results, DESIGN.md §11)
+//                    --lanes=N      lane width 1..64 for the bitpar
+//                                   evaluation (implies it when > 1)
 //                    --work-limit=N
 //                    --threads=N    parallel classification engine
 //                                   (0 = all hardware threads; results
@@ -170,12 +175,25 @@ int cmd_classify(const std::string& spec, int argc, char** argv) {
       base.work_limit = std::stoull(arg.substr(13));
     else if (starts_with(arg, "--threads="))
       base.num_threads = std::stoul(arg.substr(10));
+    else if (starts_with(arg, "--lanes="))
+      base.lanes = std::stoul(arg.substr(8));
     else if (starts_with(arg, "--stats-json="))
       stats_json = arg.substr(13);
     else if (!guard_flags.parse(arg)) {
       std::fprintf(stderr, "unknown classify option: %s\n", arg.c_str());
       return 2;
     }
+  }
+  // --engine=bitpar is --engine=approx with the 64-wide lane engine
+  // evaluating sibling branches (bit-identical results; --lanes=N
+  // narrows the width).
+  if (engine == "bitpar") {
+    if (base.lanes <= 1) base.lanes = 64;
+    engine = "approx";
+  }
+  if (base.lanes > 64) {
+    std::fprintf(stderr, "--lanes must be 1..64\n");
+    return 2;
   }
   const Circuit circuit = load_circuit(spec);
   ExecGuard guard(guard_flags.guard_options());

@@ -2,10 +2,11 @@
 # AddressSanitizer gate for the I/O and observability layers.
 #
 # Configures a dedicated build tree with -DRD_ENABLE_ASAN=ON, builds
-# the tests that exercise parser error paths, the run-report
-# serialization, and the execution-guard abort paths (fault-injected
-# unwinding is exactly where a lifetime bug would hide behind an
-# exception), and runs them under ASAN:
+# the `asan_tests` aggregate target, and runs every test carrying the
+# `asan` ctest label.  The label set lives in tests/CMakeLists.txt
+# (rd_add_test ... LABELS asan): registering a new test there enrolls
+# it in this gate automatically — this script never hand-lists test
+# binaries, so a new target cannot be silently skipped.
 #
 #   scripts/check_asan.sh [build-dir]
 #
@@ -16,21 +17,12 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-asan}"
 
 cmake -B "$BUILD_DIR" -S . -DRD_ENABLE_ASAN=ON
-cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target io_test json_test run_report_test util_test \
-           exec_guard_test resilient_test path_tree_test
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target asan_tests
 
-# Run from the repo root so tests resolve data/ paths, halting on the
-# first sanitizer report.
+# halt_on_error turns the first sanitizer report into a test failure.
+# ctest runs from each test's WORKING_DIRECTORY (the repo root), so
+# data/ paths resolve as in the plain suite.
 export ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}"
-"$BUILD_DIR/tests/io_test"
-"$BUILD_DIR/tests/json_test"
-"$BUILD_DIR/tests/run_report_test"
-"$BUILD_DIR/tests/util_test"
-"$BUILD_DIR/tests/exec_guard_test"
-"$BUILD_DIR/tests/resilient_test"
-# Pooled key arena + checkpoint/rollback + mid-subtree abort unwinding:
-# the allocation-reuse paths introduced with the path-tree traversal.
-"$BUILD_DIR/tests/path_tree_test"
+ctest --test-dir "$BUILD_DIR" -L asan --output-on-failure
 
 echo "ASAN gate passed"

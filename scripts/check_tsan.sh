@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
 # ThreadSanitizer gate for the parallel classification engine.
 #
-# Configures a dedicated build tree with -DRD_ENABLE_TSAN=ON, builds the
-# tests that exercise cross-thread state (the parallel classifier, its
-# property-based invariants, and the heuristics that run classifications
-# concurrently), and runs them under TSAN.  Intended as the CI step for
-# any change touching util/thread_pool or core/classify_parallel:
+# Configures a dedicated build tree with -DRD_ENABLE_TSAN=ON, builds
+# the `tsan_tests` aggregate target, and runs every test carrying the
+# `tsan` ctest label — the tests that exercise cross-thread state (the
+# parallel classifier, its property-based invariants including the
+# bit-parallel lane engine under every thread count, and the
+# heuristics that run classifications concurrently).  The label set
+# lives in tests/CMakeLists.txt (rd_add_test ... LABELS tsan):
+# registering a new test there enrolls it in this gate automatically —
+# this script never hand-lists test binaries, so a new target cannot
+# be silently skipped.  Intended as the CI step for any change
+# touching util/thread_pool or core/classify_parallel:
 #
 #   scripts/check_tsan.sh [build-dir]
 #
@@ -16,18 +22,12 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DRD_ENABLE_TSAN=ON
-cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target parallel_classify_test property_test heuristics_test \
-           path_tree_test
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target tsan_tests
 
-# Run from the repo root so tests resolve data/ paths, halting on the
-# first sanitizer report.
+# halt_on_error turns the first reported race into a test failure.
+# ctest runs from each test's WORKING_DIRECTORY (the repo root), so
+# data/ paths resolve as in the plain suite.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
-"$BUILD_DIR/tests/parallel_classify_test"
-"$BUILD_DIR/tests/property_test" --gtest_filter='*Parallel*:*PathTree*'
-"$BUILD_DIR/tests/heuristics_test"
-# Subtree-sharded traversal under injected mid-subtree guard trips —
-# the cross-thread checkpoint/replay discipline's race surface.
-"$BUILD_DIR/tests/path_tree_test"
+ctest --test-dir "$BUILD_DIR" -L tsan --output-on-failure
 
 echo "TSAN gate passed"

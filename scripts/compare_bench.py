@@ -22,16 +22,19 @@ Self mode (one file):
 
     scripts/compare_bench.py --self BENCH_micro.json [--min-speedup X]
                              [--circuit NAME] [--min-tree-speedup Y]
+                             [--min-bitpar-speedup Z]
 
 Validates the compiled-vs-reference micro report on its own terms:
 every row must carry both engines' numbers and the ``identical``
 bit-identity verdict, the gated circuit's ``throughput_ratio``
 (default: mcnc-like, the PR's headline number) must be at least
---min-speedup (default 2.0), and the report must contain a path-tree
-row (flat per-path re-runs vs the shared-prefix-tree DFS on the deep
-carry mesh) whose ratio reaches --min-tree-speedup (default 2.0).  A
-missing path-tree row fails: it means bench_micro ran without the
-deep-mesh study.
+--min-speedup (default 2.0), the report must contain a path-tree row
+(flat per-path re-runs vs the shared-prefix-tree DFS on the deep
+carry mesh) whose ratio reaches --min-tree-speedup (default 2.0), and
+it must contain a bitpar row (64-wide lane engine vs the compiled
+scalar engine on per-lane-identical seed-vector programs) whose ratio
+reaches --min-bitpar-speedup (default 4.0).  A missing path-tree or
+bitpar row fails: it means bench_micro ran without that study.
 
 Stdlib only; exits 0 on success, 1 on any failure, 2 on usage errors.
 """
@@ -136,7 +139,8 @@ def diff_reports(old, new, tolerance, ignore_time):
     return failures
 
 
-def check_self(report, min_speedup, circuit, min_tree_speedup):
+def check_self(report, min_speedup, circuit, min_tree_speedup,
+               min_bitpar_speedup):
     failures = []
     if report.get("bench") != "micro":
         failures.append(
@@ -144,6 +148,7 @@ def check_self(report, min_speedup, circuit, min_tree_speedup):
         return failures
     gated = None
     tree = None
+    bitpar = None
     for index, row in enumerate(report["rows"]):
         label = row_label(report, index)
         for field in ("propagations", "reference_seconds", "compiled_seconds",
@@ -160,6 +165,8 @@ def check_self(report, min_speedup, circuit, min_tree_speedup):
             gated = row
         if row.get("kind") == "path-tree":
             tree = row
+        if row.get("kind") == "bitpar":
+            bitpar = row
     if gated is None:
         failures.append(f"no classify-fs row for gated circuit {circuit!r}")
     else:
@@ -177,6 +184,15 @@ def check_self(report, min_speedup, circuit, min_tree_speedup):
             failures.append(
                 f"path-tree: throughput_ratio {ratio!r} is below the "
                 f"{min_tree_speedup:g}x floor")
+    if bitpar is None:
+        failures.append(
+            "no bitpar row (bench_micro ran without the lane-engine study)")
+    else:
+        ratio = bitpar.get("throughput_ratio")
+        if not isinstance(ratio, (int, float)) or ratio < min_bitpar_speedup:
+            failures.append(
+                f"bitpar: throughput_ratio {ratio!r} is below the "
+                f"{min_bitpar_speedup:g}x floor")
     return failures
 
 
@@ -197,13 +213,16 @@ def main(argv):
                         help="circuit whose ratio is gated (self mode)")
     parser.add_argument("--min-tree-speedup", type=float, default=2.0,
                         help="ratio floor for the path-tree row (self mode)")
+    parser.add_argument("--min-bitpar-speedup", type=float, default=4.0,
+                        help="ratio floor for the bitpar row (self mode)")
     args = parser.parse_args(argv)
 
     if args.self_check:
         if len(args.files) != 1:
             parser.error("--self takes exactly one report")
         failures = check_self(load_report(args.files[0]), args.min_speedup,
-                              args.circuit, args.min_tree_speedup)
+                              args.circuit, args.min_tree_speedup,
+                              args.min_bitpar_speedup)
     else:
         if len(args.files) != 2:
             parser.error("diff mode takes exactly two reports")

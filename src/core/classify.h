@@ -74,6 +74,16 @@ struct ClassifyOptions {
   /// (bench_ablation).  Always on in normal use.
   bool backward_implications = true;
 
+  /// Lane width of the bit-parallel sibling-branch evaluation
+  /// (DESIGN.md §11).  1 (default) keeps the scalar DFS; 2..64 lets
+  /// each prefix-tree node evaluate up to that many sibling branches'
+  /// side-input programs in one lockstep 64-bit drain, pruning the
+  /// conflicted ones without running them on the scalar engine.
+  /// Values above 64 are clamped.  Results — kept sets, counters,
+  /// ImplicationStats, abort verdicts — are bit-identical for every
+  /// setting and every thread count.
+  std::size_t lanes = 1;
+
   /// Optional execution guard (deadline / work / memory / cancel),
   /// polled at the same pruning points as work_limit.  Not owned; may
   /// be shared across concurrent runs.  With no guard (or an untripped

@@ -39,11 +39,14 @@
 //     boundary, instead of a poll per DFS step.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -52,6 +55,7 @@
 #include "netlist/compiled.h"
 #include "paths/prefix_tree.h"
 #include "sim/implication.h"
+#include "sim/implication_bitpar.h"
 
 namespace rd::internal {
 
@@ -262,6 +266,20 @@ class SeedDfs {
         !compiled.has_low_order_tables())
       throw std::invalid_argument(
           "kInputSort requires a circuit compiled with its InputSort");
+    if constexpr (!kFrontier) {
+      // Lane-parallel sibling-branch evaluation (DESIGN.md §11),
+      // overlaying this driver's scalar engine.  The frontier
+      // instantiation (phase 1 of the parallel engine) stays scalar:
+      // it only walks the shallow prefix above the cut, and lanes
+      // change nothing observable, so bit-identity across engines is
+      // unaffected.
+      lanes_ = static_cast<unsigned>(
+          std::min<std::size_t>(std::max<std::size_t>(options.lanes, 1),
+                                kMaxLanes));
+      if (lanes_ > 1)
+        lane_engine_ = std::make_unique<LaneImplicationEngine>(
+            compiled, options.backward_implications, &engine_);
+    }
   }
 
   /// Implication-engine event counters accumulated over every seed
@@ -393,6 +411,27 @@ class SeedDfs {
     prefix_valid_ = true;
   }
 
+  /// The side-input constraint row `lead` imposes for on-path driver
+  /// value `tip_value` under the active criterion (empty when it
+  /// imposes none): tip_value == nc selects (FU2)/(NR2)/(π2), every
+  /// side input stable non-controlling; a controlling on-path value
+  /// selects nothing under (FU2), the full row under (NR2), and the
+  /// low-order row under (π3).  Single source of truth for the scalar
+  /// assert below and the lane-parallel branch programs.
+  SideSpan lead_constraints(const CompiledLead& lead, bool tip_value) const {
+    if (!lead.sink_has_ctrl) return SideSpan{};
+    if (tip_value == lead.sink_nc) return compiled_.side_all_span(lead);
+    switch (options_.criterion) {
+      case Criterion::kFunctionalSensitizable:
+        return SideSpan{};
+      case Criterion::kNonRobust:
+        return compiled_.side_all_span(lead);
+      case Criterion::kInputSort:
+        return compiled_.side_low_span(lead);
+    }
+    return SideSpan{};
+  }
+
   /// Asserts `lead`'s side-input constraints for on-path driver value
   /// `tip_value` under the active criterion.  Returns false on a local
   /// implication conflict.  After a true return the sink's stable
@@ -400,26 +439,10 @@ class SeedDfs {
   /// controlled output; a non-controlling one had all side inputs
   /// pinned non-controlling.  Single-input gates imply directly.
   bool assert_lead_constraints(const CompiledLead& lead, bool tip_value) {
-    if (!lead.sink_has_ctrl) return true;
-    const bool nc = lead.sink_nc;
-    if (tip_value == nc) {
-      // (FU2)/(NR2)/(π2): every side input stable non-controlling.
-      return assign_side_inputs(compiled_.side_all_begin(lead),
-                                lead.side_all_count, nc);
-    }
-    switch (options_.criterion) {
-      case Criterion::kFunctionalSensitizable:
-        // (FU2) constrains only non-controlling on-path inputs.
-        return true;
-      case Criterion::kNonRobust:
-        // (NR2): all side inputs non-controlling.
-        return assign_side_inputs(compiled_.side_all_begin(lead),
-                                  lead.side_all_count, nc);
-      case Criterion::kInputSort:
-        // (π3): low-order side inputs non-controlling.
-        return assign_side_inputs(compiled_.side_low_begin(lead),
-                                  lead.side_low_count, nc);
-    }
+    const SideSpan span = lead_constraints(lead, tip_value);
+    const Value3 value = to_value3(span.nc);
+    for (const GateId* gate = span.begin(); gate != span.end(); ++gate)
+      if (!engine_.assign(*gate, value)) return false;
     return true;
   }
 
@@ -429,6 +452,14 @@ class SeedDfs {
   bool extend_through(LeadId lead_id, bool tip_value) {
     ++outcome_.work;
     if (!budget_.charge()) return false;
+    return descend_through(lead_id, tip_value);
+  }
+
+  /// The body of extend_through after the work charge: assert, cut or
+  /// descend, roll back.  Split out so the lane-parallel loop can
+  /// charge each child itself (keeping the budget/guard step stream
+  /// canonical) and skip this body entirely for lane-proven conflicts.
+  bool descend_through(LeadId lead_id, bool tip_value) {
     const CompiledLead& lead = compiled_.lead(lead_id);
     const std::size_t mark = engine_.mark();
     bool ok = true;
@@ -461,20 +492,128 @@ class SeedDfs {
       return true;
     }
     const LeadId* lead = compiled_.fanout_lead_begin(tip);
-    const LeadId* end = lead + compiled_.fanout_count(tip);
+    const std::uint32_t count = compiled_.fanout_count(tip);
+    if constexpr (!kFrontier) {
+      if (lane_engine_ != nullptr && count >= 2)
+        return extend_bitpar(lead, count, tip_value);
+    }
+    const LeadId* const end = lead + count;
     for (; lead != end; ++lead)
       if (!extend_through(*lead, tip_value)) return false;
     return true;
   }
 
-  /// Asserts value `nc` on a precompiled side-input list (the static
-  /// local-implication table row of one lead).  Returns false as soon
-  /// as a local-implication conflict appears.
-  bool assign_side_inputs(const GateId* gates, std::uint32_t count, bool nc) {
-    const Value3 value = to_value3(nc);
-    for (const GateId* gate = gates; gate != gates + count; ++gate)
-      if (!engine_.assign(*gate, value)) return false;
+  /// One child of the current tree node in the lane-parallel loop.
+  struct LaneChild {
+    LeadId lead = kNullLead;
+    SideSpan span;            // its side-input program (may be empty)
+    int lane = -1;            // -1: empty program, nothing to evaluate
+    bool conflicted = false;  // lane-proven conflict (skip the child)
+    ImplicationStats delta;   // its exact scalar charges when conflicted
+  };
+
+  /// Lane-parallel sibling evaluation (DESIGN.md §11).  Children are
+  /// walked in canonical order in chunks of up to lanes_ nonempty
+  /// constraint programs.  Each chunk is evaluated in one lockstep
+  /// drain over the lane engine (the scalar engine's node state is the
+  /// base overlay), then the canonical per-child loop replays exactly
+  /// the scalar DFS: one work unit and one budget charge per child in
+  /// order — so the budget/guard step stream, and with it every abort
+  /// verdict, is bit-identical — descending into survivors on the
+  /// scalar engine and crediting each conflicted child's exact stats
+  /// delta via replay_stats instead of re-running it.
+  bool extend_bitpar(const LeadId* leads, std::uint32_t count,
+                     bool tip_value) {
+    // Descending into a survivor re-enters extend_bitpar for the child
+    // node, so the chunk scratch must be per-recursion-level: one
+    // pooled vector per DFS depth, reused across the (many) nodes at
+    // that depth.  The lane engine itself IS safely shared down the
+    // recursion — every verdict and stats delta is copied into the
+    // chunk before the first descend, so a deeper node's begin_batch
+    // clobbering the lane state is invisible up here.
+    if (bitpar_depth_ == chunk_pool_.size()) chunk_pool_.emplace_back();
+    std::vector<LaneChild>& chunk = chunk_pool_[bitpar_depth_];
+    ++bitpar_depth_;
+    const bool ok = extend_bitpar_at(chunk, leads, count, tip_value);
+    --bitpar_depth_;
+    return ok;
+  }
+
+  bool extend_bitpar_at(std::vector<LaneChild>& chunk, const LeadId* leads,
+                        std::uint32_t count, bool tip_value) {
+    std::uint32_t next = 0;
+    while (next < count) {
+      chunk.clear();
+      unsigned used = 0;
+      while (next < count) {
+        const LeadId id = leads[next];
+        const SideSpan span = lead_constraints(compiled_.lead(id), tip_value);
+        if (!span.empty() && used == lanes_) break;
+        chunk.push_back(LaneChild{id, span,
+                                   span.empty() ? -1 : static_cast<int>(used),
+                                   false, ImplicationStats{}});
+        if (!span.empty()) ++used;
+        ++next;
+      }
+      // A chunk with fewer than two live programs gains nothing from
+      // the lane drain; the scalar descend settles those children.
+      if (used >= 2) evaluate_chunk(chunk);
+      for (const LaneChild& child : chunk) {
+        ++outcome_.work;
+        if (!budget_.charge()) return false;
+        if (child.conflicted) {
+          engine_.replay_stats(child.delta);
+          continue;
+        }
+        if (!descend_through(child.lead, tip_value)) return false;
+      }
+    }
     return true;
+  }
+
+  /// Runs the current chunk's programs in lockstep on the lane engine
+  /// and stamps each laned child's verdict (+ exact stats delta for
+  /// conflicts).  Round r asserts the r-th side-input gate of every
+  /// still-live program, merging consecutive lanes asserting the same
+  /// (gate, value) into one masked call; per-lane call order is
+  /// program order, so each lane's event stream is its scalar stream.
+  void evaluate_chunk(std::vector<LaneChild>& chunk) {
+    LaneMask batch = 0;
+    for (const LaneChild& child : chunk)
+      if (child.lane >= 0) batch |= lane_bit(child.lane);
+    lane_engine_->begin_batch(batch);
+    LaneMask alive = batch;
+    for (std::uint32_t r = 0; alive != 0; ++r) {
+      bool any = false;
+      GateId run_gate = kNullGate;
+      bool run_nc = false;
+      LaneMask run_mask = 0;
+      for (const LaneChild& child : chunk) {
+        if (child.lane < 0 || r >= child.span.count) continue;
+        const LaneMask bit = lane_bit(child.lane);
+        if (!(alive & bit)) continue;
+        any = true;
+        const GateId gate = child.span.gates[r];
+        if (run_mask != 0 &&
+            (gate != run_gate || child.span.nc != run_nc)) {
+          alive = (alive & ~run_mask) |
+                  lane_engine_->assign(run_gate, to_value3(run_nc), run_mask);
+          run_mask = 0;
+        }
+        run_gate = gate;
+        run_nc = child.span.nc;
+        run_mask |= bit;
+      }
+      if (run_mask != 0)
+        alive = (alive & ~run_mask) |
+                lane_engine_->assign(run_gate, to_value3(run_nc), run_mask);
+      if (!any) break;
+    }
+    for (LaneChild& child : chunk) {
+      if (child.lane < 0 || (alive & lane_bit(child.lane))) continue;
+      child.conflicted = true;
+      child.delta = lane_engine_->lane_stats(child.lane);
+    }
   }
 
   void record_survivor() {
@@ -511,6 +650,20 @@ class SeedDfs {
   Budget& budget_;
   std::vector<std::uint64_t>* lead_counts_;
   ImplicationEngine engine_;
+
+  // Lane-parallel sibling evaluation (null/scalar unless
+  // options.lanes > 1 in a non-frontier instantiation).  The lane
+  // engine overlays engine_, whose state is frozen for the duration of
+  // each chunk evaluation; chunk_ is per-node scratch.
+  std::unique_ptr<LaneImplicationEngine> lane_engine_;
+  unsigned lanes_ = 1;
+  // One chunk scratch per DFS depth.  A deque, not a vector of
+  // vectors: extend_bitpar holds a reference to its depth's chunk
+  // across descend_through, and a deeper recursion may grow the pool —
+  // deque growth never moves existing elements, vector growth would.
+  std::deque<std::vector<LaneChild>> chunk_pool_;
+  std::size_t bitpar_depth_ = 0;
+
   std::vector<LeadId> segment_;
   SeedOutcome outcome_;
   PathKeyArena arena_pool_;

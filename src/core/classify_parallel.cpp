@@ -77,6 +77,11 @@ ClassifyResult classify_paths_parallel(const Circuit& circuit,
   // Phase 1 runs the frontier-cut instantiation; phase-2 workers run
   // the plain one (same hot loop as the serial engine).  Outcomes are
   // the shared internal::SeedOutcome, so the merge mixes them freely.
+  // options.lanes flows into the phase-2 workers automatically (each
+  // SeedDfs owns its lane engine); the frontier instantiation stays
+  // scalar — it only walks the shallow prefix above the cut, and lanes
+  // change nothing observable, so bit-identity across lane counts and
+  // thread counts is preserved either way.
   using Dfs = internal::SeedDfs<internal::SharedBudget>;
   using FrontierDfs = internal::SeedDfs<internal::SharedBudget, true>;
   internal::SharedBudget::Shared shared_budget(options.work_limit,

@@ -118,6 +118,23 @@ inline GateWord make(GateId gate, const GateSemantics& sem) {
 
 }  // namespace gate_word
 
+/// A side-input constraint list as one contiguous view: the gates of
+/// one precompiled table row plus the stable value (the sink's
+/// non-controlling value) they are asserted to.  This is the shape the
+/// classifiers consume a row in — the scalar DFS walks it gate by
+/// gate, the bit-parallel lane engine turns it into one lane's
+/// assertion program — so it is defined here, next to the tables, and
+/// handed out by side_all_span()/side_low_span().
+struct SideSpan {
+  const GateId* gates = nullptr;
+  std::uint32_t count = 0;
+  bool nc = false;  // the value asserted on every listed gate
+
+  const GateId* begin() const { return gates; }
+  const GateId* end() const { return gates + count; }
+  bool empty() const { return count == 0; }
+};
+
 /// One lead plus everything extend_through() needs about its sink
 /// (the per-lead row of the static local-implication table).
 struct CompiledLead {
@@ -221,6 +238,18 @@ class CompiledCircuit {
   /// PinBefore.
   const GateId* side_low_begin(const CompiledLead& lead) const {
     return side_low_gates_.data() + lead.side_low_begin;
+  }
+
+  /// The same two table rows as one-read views (gates, count and the
+  /// asserted non-controlling value together) — the shape the lane
+  /// engine's program builder and the DFS consume a row in.
+  SideSpan side_all_span(const CompiledLead& lead) const {
+    return SideSpan{side_all_gates_.data() + lead.side_all_begin,
+                    lead.side_all_count, lead.sink_nc};
+  }
+  SideSpan side_low_span(const CompiledLead& lead) const {
+    return SideSpan{side_low_gates_.data() + lead.side_low_begin,
+                    lead.side_low_count, lead.sink_nc};
   }
 
  private:

@@ -1,0 +1,262 @@
+// 64-wide bit-parallel ternary implication engine.
+//
+// The scalar ImplicationEngine (sim/implication.h) evaluates one
+// constraint program — one branch of the classifier's path-prefix
+// tree, or one path's side-input assertions — at a time.  Almost all
+// of that time is spent in the propagation drain loop, and almost all
+// of the drained work is identical across sibling branches: they share
+// the tree prefix, assert overlapping side-input tables, and walk the
+// same CSR spans.  This engine runs up to 64 such programs in lockstep
+// by encoding each gate's ternary value as two 64-bit *bitplanes*:
+//
+//   v0 bit l set  ->  lane l holds 0        (the voiraig/tbool idiom:
+//   v1 bit l set  ->  lane l holds 1         two bits per ternary
+//   neither set   ->  lane l holds X         value, vectorized 64-wide)
+//
+// so one AND/OR over plane words applies a logic rule to 64 lanes at
+// once.  Lanes are *independent*: nothing ever flows between bit
+// positions, so lane l's view of the engine is exactly a scalar
+// engine running lane l's program.
+//
+// Bit-identity contract (the reason this engine can sit under the
+// classifier at all): for every lane, the verdict (conflict or not)
+// AND the four ImplicationStats counters equal what the scalar engine
+// charges for the same program from the same starting state, event for
+// event.  Two mechanisms make that exact rather than approximate:
+//
+//   * masked union-FIFO drain — the propagation queue holds
+//     (GateWord, LaneMask) entries: every set_value pushes the gate
+//     and its sinks tagged with the lanes that changed.  The
+//     per-lane *filtered subsequence* of this union queue is, by
+//     induction, exactly the lane's scalar queue: both start from the
+//     same root push, and identical filtered pops produce identical
+//     per-lane derivations and hence identical filtered pushes, in
+//     order.  A lane that conflicts is removed from the active mask,
+//     so — like the scalar engine, whose drain stops right after the
+//     failing pop — it is never examined or charged again;
+//   * per-lane event charging — counters are kept as bit-sliced
+//     LaneCounters: charging a set of lanes is one ripple-carry add of
+//     the lane mask into the counter planes, so a 64-lane drain pays
+//     O(1) amortized per event instead of a 64-iteration loop.
+//     Propagations are charged per pop by the popped entry's live
+//     mask, assignments per set event, conflicts once per failed
+//     assign per lane, and backward derivations per derivation site in
+//     fanin pin order — the scalar engine's exact charging points.
+//
+// Optionally the engine *overlays* a scalar ImplicationEngine: every
+// read ORs the base engine's value (broadcast to all lanes) under the
+// lane-local planes.  This is how the classifier's DFS evaluates the
+// sibling branches of one tree node: the scalar engine holds the node
+// state, the lanes hold only each branch's divergent assertions, and
+// begin_batch() discards them by unwinding the set-event trail (cost
+// proportional to what the batch set, not to circuit size) when the
+// DFS moves on.  The base engine must not change during a batch.
+//
+// See DESIGN.md §11 for the lane scheduling above this engine and the
+// determinism argument for the lane-ordered merge.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "netlist/compiled.h"
+#include "sim/implication.h"
+#include "sim/value.h"
+
+namespace rd {
+
+/// One bit per lane; lane 0 is bit 0.
+using LaneMask = std::uint64_t;
+
+inline constexpr unsigned kMaxLanes = 64;
+
+constexpr LaneMask lane_bit(unsigned lane) { return 1ull << lane; }
+
+/// Mask with the low `n` lanes set (n == 64 -> all lanes).
+constexpr LaneMask lane_mask_below(unsigned n) {
+  return n >= kMaxLanes ? ~0ull : (1ull << n) - 1;
+}
+
+/// A 64-lane event counter stored bit-sliced ("vertical"): plane k
+/// holds bit k of every lane's count.  add(mask) increments the
+/// counter of every lane in `mask` with a ripple-carry over the
+/// planes — the carry mask loses bits at every level, so the expected
+/// cost is ~2 word ops per call regardless of how many lanes charge.
+struct LaneCounter {
+  /// 32 bits of count per lane: one batch charges any single lane at
+  /// most once per (gate, event) and circuits stay far below 2^32
+  /// events per assign program.
+  static constexpr int kBits = 32;
+  std::uint64_t planes[kBits] = {};
+
+  void add(LaneMask mask) {
+    for (int k = 0; mask != 0 && k < kBits; ++k) {
+      const std::uint64_t bits = planes[k];
+      planes[k] = bits ^ mask;
+      mask &= bits;  // carry into the next plane
+    }
+  }
+
+  /// Horizontal read-out of one lane's count (cold: merges/asserts).
+  std::uint64_t lane(unsigned l) const {
+    std::uint64_t v = 0;
+    for (int k = 0; k < kBits; ++k) v |= ((planes[k] >> l) & 1ull) << k;
+    return v;
+  }
+
+  void clear() {
+    for (auto& p : planes) p = 0;
+  }
+};
+
+/// The two value bitplanes of one gate.  Invariant: v0 & v1 == 0 (a
+/// lane is 0, 1 or unknown — never both).
+struct LanePlanes {
+  std::uint64_t v0 = 0;
+  std::uint64_t v1 = 0;
+
+  LaneMask known() const { return v0 | v1; }
+};
+
+class LaneImplicationEngine {
+ public:
+  /// Runs over a caller-owned CompiledCircuit (must outlive this
+  /// engine).  `base`, when non-null, is a scalar engine whose current
+  /// values are read under the lane overlay (broadcast to every lane);
+  /// it must outlive this engine and must not change during a batch.
+  /// `backward_implications` mirrors the scalar engine's ablation
+  /// switch and must match the base engine's setting.
+  explicit LaneImplicationEngine(const CompiledCircuit& compiled,
+                                 bool backward_implications = true,
+                                 const ImplicationEngine* base = nullptr);
+
+  /// Starts a fresh batch over the lanes in `lanes`: unwinds every
+  /// lane-local value via the trail (O(sets since the last batch)) and
+  /// zeroes the per-batch lane counters.  Invalidates outstanding
+  /// marks.
+  void begin_batch(LaneMask lanes);
+
+  /// Asserts gate `id` := `value` on every lane in `lanes` and drains
+  /// local implications in lockstep.  Returns the lanes of `lanes`
+  /// that did NOT conflict.  Per lane this is exactly the scalar
+  /// engine's assign(): already-known-equal lanes succeed with no
+  /// charges, already-known-different lanes fail charging one
+  /// conflict, unknown lanes propagate.  Lanes outside the batch must
+  /// not be passed.  An unknown `value` is a charge-free no-op.
+  LaneMask assign(GateId id, Value3 value, LaneMask lanes);
+
+  /// Lane-valued assign: asserts gate `id` := 0 on the `zeros` lanes
+  /// and := 1 on the `ones` lanes (disjoint masks) in ONE lockstep
+  /// drain.  Per lane this is indistinguishable from assign() with
+  /// that lane's value — the root set event just carries both value
+  /// planes, so the per-lane filtered drain (and therefore the stats
+  /// charge) is unchanged — but the union drain amortizes each pop
+  /// over both value groups instead of splitting the batch in half.
+  /// This is the pattern-parallel workhorse: one call applies a full
+  /// 64-lane ternary vector component.  Returns the lanes of
+  /// `zeros | ones` that did NOT conflict.
+  LaneMask assign_planes(GateId id, LaneMask zeros, LaneMask ones);
+
+  /// Trail watermark / undo, scalar-engine style.  Rollback clears
+  /// values only; the per-batch counters measure work done, not state
+  /// held, exactly like the scalar engine's.
+  std::size_t mark() const { return trail_.size(); }
+  void rollback(std::size_t mark);
+
+  /// Effective value planes of a gate: lane-local assertions over the
+  /// broadcast base-engine value (if any).  Lane-local planes are kept
+  /// directly valid (begin_batch unwinds the trail instead of epoch
+  /// stamping) so the common read is a single 16-byte load — this
+  /// function sits in the innermost fanin sweep of examine().
+  LanePlanes planes(GateId id) const {
+    LanePlanes p = planes_[id];
+    if (base_ != nullptr) {
+      const Value3 bv = base_->value(id);
+      if (bv == Value3::kZero)
+        p.v0 |= ~0ull;
+      else if (bv == Value3::kOne)
+        p.v1 |= ~0ull;
+    }
+    return p;
+  }
+
+  /// One lane's effective value (kUnknown if unassigned).
+  Value3 value(GateId id, unsigned lane) const {
+    const LanePlanes p = planes(id);
+    if (p.v0 & lane_bit(lane)) return Value3::kZero;
+    if (p.v1 & lane_bit(lane)) return Value3::kOne;
+    return Value3::kUnknown;
+  }
+
+  /// Lanes selected by the current batch.
+  LaneMask batch() const { return batch_; }
+
+  /// One lane's event counters accumulated since begin_batch() —
+  /// bit-identical to a scalar engine's stats delta for running the
+  /// lane's program from the same starting state.  Lanes never
+  /// assigned to (or outside the batch) read all-zero.
+  ImplicationStats lane_stats(unsigned lane) const {
+    return ImplicationStats{assignments_.lane(lane),
+                            propagations_.lane(lane),
+                            conflicts_.lane(lane), backward_.lane(lane)};
+  }
+
+  const CompiledCircuit& compiled() const { return *compiled_; }
+
+  /// Current footprint of the engine's own buffers (diagnostics).
+  std::size_t memory_bytes() const;
+
+ private:
+  struct TrailEntry {
+    std::uint64_t m0 = 0;  // lanes this event set to 0
+    std::uint64_t m1 = 0;  // lanes this event set to 1
+    GateId gate = kNullGate;
+  };
+  struct QueueEntry {
+    GateWord word = 0;
+    LaneMask mask = 0;  // lanes whose value changed at the push site
+  };
+
+  /// Records one set event: `m0`/`m1` lanes (disjoint, all currently
+  /// unknown for `id`) take value 0/1, and the gate plus its sinks are
+  /// queued for re-examination under the union mask.
+  void set_value(GateId id, LaneMask m0, LaneMask m1);
+
+  /// Union-FIFO drain over `run`, specialized on whether a base
+  /// overlay exists: with kHasBase false every plane read in the
+  /// examine hot loop folds to one 16-byte load.  Returns the lanes of
+  /// `run` that conflicted.
+  template <bool kHasBase>
+  LaneMask drain(LaneMask run);
+
+  /// Vector examine of one popped entry for the live lanes `m`:
+  /// applies the scalar engine's forward/verify/backward rules to all
+  /// lanes at once.  Returns the lanes of `m` that derived a conflict.
+  template <bool kHasBase>
+  LaneMask examine(GateWord word, LaneMask m);
+
+  const CompiledCircuit* compiled_;
+  bool backward_implications_;
+  const ImplicationEngine* base_;
+
+  // Always-valid planes: every set event is trailed, and begin_batch
+  // unwinds the trail back to all-unknown.  (An epoch stamp per gate
+  // would make begin_batch O(1), but it puts a compare+select on the
+  // innermost examine read — the drain does orders of magnitude more
+  // reads than batches do resets, so the trail unwind wins.)
+  std::vector<LanePlanes> planes_;
+
+  std::vector<TrailEntry> trail_;
+  std::vector<QueueEntry> queue_;  // cleared per assign; head_ chases it
+  std::size_t queue_head_ = 0;
+  LaneMask batch_ = 0;
+
+  // Per-batch, per-lane event counters (bit-sliced).
+  LaneCounter assignments_;
+  LaneCounter propagations_;
+  LaneCounter conflicts_;
+  LaneCounter backward_;
+};
+
+}  // namespace rd

@@ -1,0 +1,567 @@
+// The 64-wide bit-parallel ternary implication engine
+// (sim/implication_bitpar.h), tested at each level:
+//
+//   * lane primitives — LaneCounter's bit-sliced ripple-carry add and
+//     the lane mask helpers;
+//   * two-bitplane gate semantics — exhaustive ternary truth tables,
+//     forward (inputs then output) and backward (output then inputs),
+//     for every gate kind the drain loop dispatches on, with one
+//     input combination per lane and a scalar ImplicationEngine as
+//     the per-lane oracle;
+//   * assign/undo driving — 64 lanes running 64 *distinct* random
+//     programs in lockstep over 300 bursts, mirroring the
+//     compiled_test.cpp burst sweep, with full per-lane value and
+//     stats equivalence against 64 scalar engines;
+//   * base overlay — lane programs layered over a live scalar engine
+//     must behave exactly like scalar engines that made the base
+//     assignments first;
+//   * lane degeneracy — partial-lane batches never read or charge
+//     dead lanes, and the classifier's laned DFS stays bit-identical
+//     on circuits that starve the lanes (single-fanout chains, tiny
+//     fanout counts, odd lane widths).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/classify.h"
+#include "gen/examples.h"
+#include "gen/iscas_like.h"
+#include "netlist/circuit.h"
+#include "netlist/compiled.h"
+#include "netlist/gate_types.h"
+#include "sim/implication.h"
+#include "sim/implication_bitpar.h"
+#include "sim/value.h"
+#include "util/rng.h"
+
+namespace rd {
+namespace {
+
+Circuit iscas_like(std::uint64_t seed) {
+  IscasProfile profile;
+  profile.name = "bp" + std::to_string(seed);
+  profile.num_inputs = 8;
+  profile.num_outputs = 4;
+  profile.num_gates = 34;
+  profile.num_levels = 6;
+  profile.xor_fraction = 0.15;
+  profile.seed = seed;
+  return make_iscas_like(profile);
+}
+
+// ------------------------------------------------- lane primitives
+
+TEST(LaneMaskTest, Helpers) {
+  EXPECT_EQ(lane_bit(0), 1ull);
+  EXPECT_EQ(lane_bit(63), 1ull << 63);
+  EXPECT_EQ(lane_mask_below(0), 0ull);
+  EXPECT_EQ(lane_mask_below(1), 1ull);
+  EXPECT_EQ(lane_mask_below(7), 0x7Full);
+  EXPECT_EQ(lane_mask_below(64), ~0ull);
+}
+
+TEST(LaneCounterTest, RippleCarryMatchesPerLaneCounts) {
+  // Random masks against a plain per-lane counter array; counts must
+  // agree for every lane after every add.
+  LaneCounter counter;
+  std::uint64_t expected[kMaxLanes] = {};
+  Rng rng(7);
+  for (int step = 0; step < 2000; ++step) {
+    const LaneMask mask = rng.next_u64() & rng.next_u64();
+    counter.add(mask);
+    for (unsigned l = 0; l < kMaxLanes; ++l)
+      if (mask & lane_bit(l)) ++expected[l];
+    if (step % 97 == 0) {
+      for (unsigned l = 0; l < kMaxLanes; ++l)
+        ASSERT_EQ(counter.lane(l), expected[l]) << "lane " << l;
+    }
+  }
+  for (unsigned l = 0; l < kMaxLanes; ++l)
+    EXPECT_EQ(counter.lane(l), expected[l]);
+  counter.clear();
+  for (unsigned l = 0; l < kMaxLanes; ++l) EXPECT_EQ(counter.lane(l), 0u);
+}
+
+TEST(LaneCounterTest, SaturatesEveryLaneIndependently) {
+  LaneCounter counter;
+  for (int i = 0; i < 1000; ++i) counter.add(~0ull);
+  counter.add(lane_bit(5));
+  EXPECT_EQ(counter.lane(5), 1001u);
+  EXPECT_EQ(counter.lane(4), 1000u);
+  EXPECT_EQ(counter.lane(63), 1000u);
+}
+
+// ------------------------------------- exhaustive gate truth tables
+
+// One single-gate circuit per gate type: n inputs -> gate -> output.
+Circuit single_gate_circuit(GateType type, unsigned arity) {
+  Circuit circuit("tt");
+  std::vector<GateId> inputs;
+  for (unsigned i = 0; i < arity; ++i)
+    inputs.push_back(circuit.add_input("i" + std::to_string(i)));
+  const GateId g = circuit.add_gate(type, "g", inputs);
+  circuit.add_output("o", g);
+  circuit.finalize();
+  return circuit;
+}
+
+constexpr Value3 kTernary[3] = {Value3::kZero, Value3::kOne,
+                                Value3::kUnknown};
+
+// Drives one assignment program per lane on a fresh lane engine and a
+// fresh scalar engine per lane, in lockstep: round r asserts op r of
+// every still-alive lane with a single-lane mask.  Verdicts, every
+// gate's value, and the per-lane stats must match the scalar runs.
+void expect_lockstep_matches_scalar(
+    const Circuit& circuit,
+    const std::vector<std::vector<std::pair<GateId, Value3>>>& programs) {
+  ASSERT_LE(programs.size(), kMaxLanes);
+  const CompiledCircuit compiled(circuit);
+  LaneImplicationEngine lanes(compiled);
+  const LaneMask batch =
+      lane_mask_below(static_cast<unsigned>(programs.size()));
+  lanes.begin_batch(batch);
+
+  std::vector<ImplicationEngine> scalars;
+  scalars.reserve(programs.size());
+  for (std::size_t l = 0; l < programs.size(); ++l)
+    scalars.emplace_back(compiled);
+
+  std::vector<bool> alive(programs.size(), true);
+  std::size_t round = 0;
+  for (bool progressed = true; progressed; ++round) {
+    progressed = false;
+    for (std::size_t l = 0; l < programs.size(); ++l) {
+      if (!alive[l] || round >= programs[l].size()) continue;
+      progressed = true;
+      const auto [gate, value] = programs[l][round];
+      const LaneMask ok = lanes.assign(gate, value, lane_bit(l));
+      const bool scalar_ok = scalars[l].assign(gate, value);
+      ASSERT_EQ(ok != 0, scalar_ok)
+          << "lane " << l << " round " << round << " gate " << gate;
+      if (!scalar_ok) alive[l] = false;
+    }
+  }
+  for (std::size_t l = 0; l < programs.size(); ++l) {
+    for (GateId id = 0; id < circuit.num_gates(); ++id)
+      ASSERT_EQ(lanes.value(id, static_cast<unsigned>(l)),
+                scalars[l].value(id))
+          << "lane " << l << " gate " << id;
+    const ImplicationStats s = scalars[l].stats();
+    ASSERT_EQ(lanes.lane_stats(static_cast<unsigned>(l)), s)
+        << "lane " << l;
+  }
+}
+
+TEST(TruthTableTest, ForwardExhaustiveTernary) {
+  // Every ternary input combination in its own lane; the gate output
+  // must come out as eval_gate3 says, and the whole engine state must
+  // match the per-lane scalar runs.
+  for (GateType type : {GateType::kAnd, GateType::kOr, GateType::kNand,
+                        GateType::kNor}) {
+    for (unsigned arity : {2u, 3u}) {
+      const Circuit circuit = single_gate_circuit(type, arity);
+      std::size_t combos = 1;
+      for (unsigned i = 0; i < arity; ++i) combos *= 3;
+      std::vector<std::vector<std::pair<GateId, Value3>>> programs;
+      std::vector<std::vector<Value3>> combo_inputs;
+      for (std::size_t c = 0; c < combos; ++c) {
+        std::vector<Value3> in(arity);
+        std::vector<std::pair<GateId, Value3>> program;
+        std::size_t rest = c;
+        for (unsigned i = 0; i < arity; ++i, rest /= 3) {
+          in[i] = kTernary[rest % 3];
+          if (is_known(in[i]))
+            program.emplace_back(circuit.inputs()[i], in[i]);
+        }
+        combo_inputs.push_back(in);
+        programs.push_back(std::move(program));
+      }
+      expect_lockstep_matches_scalar(circuit, programs);
+
+      // Independently pin the forward value against eval_gate3.
+      const CompiledCircuit compiled(circuit);
+      LaneImplicationEngine lanes(compiled);
+      lanes.begin_batch(lane_mask_below(static_cast<unsigned>(combos)));
+      for (unsigned i = 0; i < arity; ++i) {
+        LaneMask m0 = 0, m1 = 0;
+        for (std::size_t c = 0; c < combos; ++c) {
+          if (combo_inputs[c][i] == Value3::kZero) m0 |= lane_bit(c);
+          if (combo_inputs[c][i] == Value3::kOne) m1 |= lane_bit(c);
+        }
+        if (m0) {
+          ASSERT_EQ(lanes.assign(circuit.inputs()[i], Value3::kZero, m0),
+                    m0);
+        }
+        if (m1) {
+          ASSERT_EQ(lanes.assign(circuit.inputs()[i], Value3::kOne, m1),
+                    m1);
+        }
+      }
+      const GateId g = circuit.inputs().back() + 1;  // the lone gate
+      ASSERT_EQ(circuit.gate(g).type, type);
+      for (std::size_t c = 0; c < combos; ++c)
+        EXPECT_EQ(lanes.value(g, static_cast<unsigned>(c)),
+                  eval_gate3(type, combo_inputs[c].data(), arity))
+            << gate_type_name(type) << " arity " << arity << " combo "
+            << c;
+    }
+  }
+}
+
+TEST(TruthTableTest, BackwardExhaustiveTernary) {
+  // Output asserted first, then the inputs: exercises the verify and
+  // backward rules (and the conflict paths) over the full ternary
+  // space, again one combination per lane against scalar oracles.
+  for (GateType type : {GateType::kAnd, GateType::kOr, GateType::kNand,
+                        GateType::kNor, GateType::kNot, GateType::kBuf}) {
+    const unsigned arity =
+        (type == GateType::kNot || type == GateType::kBuf) ? 1u : 3u;
+    const Circuit circuit = single_gate_circuit(type, arity);
+    const GateId g = circuit.inputs().back() + 1;
+    std::size_t combos = 1;
+    for (unsigned i = 0; i < arity; ++i) combos *= 3;
+    for (Value3 out : {Value3::kZero, Value3::kOne}) {
+      std::vector<std::vector<std::pair<GateId, Value3>>> programs;
+      for (std::size_t c = 0; c < combos; ++c) {
+        std::vector<std::pair<GateId, Value3>> program;
+        program.emplace_back(g, out);
+        std::size_t rest = c;
+        for (unsigned i = 0; i < arity; ++i, rest /= 3) {
+          const Value3 v = kTernary[rest % 3];
+          if (is_known(v)) program.emplace_back(circuit.inputs()[i], v);
+        }
+        programs.push_back(std::move(program));
+      }
+      expect_lockstep_matches_scalar(circuit, programs);
+    }
+  }
+}
+
+// ------------------------------------------------ burst differential
+
+TEST(BitparEquivalenceTest, DistinctProgramBurstsMatchScalarLanes) {
+  // 64 lanes, 64 distinct random programs, 300 bursts with full
+  // rollback and periodic epoch resets — the lane-engine analogue of
+  // compiled_test.cpp's RandomAssignUndoBurstsMatchReference.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const Circuit circuit = iscas_like(seed);
+    const CompiledCircuit compiled(circuit);
+    LaneImplicationEngine lanes(compiled);
+    std::vector<ImplicationEngine> scalars;
+    for (unsigned l = 0; l < kMaxLanes; ++l) scalars.emplace_back(compiled);
+    Rng rng(seed * 977);
+
+    lanes.begin_batch(~0ull);
+    for (int burst = 0; burst < 300; ++burst) {
+      if (burst % 11 == 0) {
+        // Epoch reset: lanes forget everything in O(1); the scalar
+        // oracles reset too.  Also re-bases the per-batch counters.
+        lanes.begin_batch(~0ull);
+        for (auto& s : scalars) s.reset();
+      }
+      const std::size_t mark = lanes.mark();
+      std::vector<std::size_t> scalar_marks;
+      for (auto& s : scalars) scalar_marks.push_back(s.mark());
+      std::vector<ImplicationStats> before;
+      for (unsigned l = 0; l < kMaxLanes; ++l)
+        before.push_back(lanes.lane_stats(l));
+      std::vector<ImplicationStats> scalar_before;
+      for (auto& s : scalars) scalar_before.push_back(s.stats());
+
+      // Six lockstep rounds of per-lane random ops.
+      std::uint64_t alive = ~0ull;
+      for (int i = 0; i < 6; ++i) {
+        for (unsigned l = 0; l < kMaxLanes; ++l) {
+          if (!(alive & lane_bit(l))) continue;
+          const GateId gate =
+              static_cast<GateId>(rng.next_below(circuit.num_gates()));
+          const Value3 value =
+              rng.next_bool(0.5) ? Value3::kOne : Value3::kZero;
+          const LaneMask ok = lanes.assign(gate, value, lane_bit(l));
+          const bool scalar_ok = scalars[l].assign(gate, value);
+          ASSERT_EQ(ok != 0, scalar_ok)
+              << "seed " << seed << " burst " << burst << " lane " << l;
+          if (!scalar_ok) alive &= ~lane_bit(l);
+        }
+      }
+      for (unsigned l = 0; l < kMaxLanes; ++l) {
+        for (GateId id = 0; id < circuit.num_gates(); ++id)
+          ASSERT_EQ(lanes.value(id, l), scalars[l].value(id))
+              << "seed " << seed << " burst " << burst << " lane " << l
+              << " gate " << id;
+        // Stats deltas over the burst must agree event for event.
+        const ImplicationStats ld = lanes.lane_stats(l);
+        const ImplicationStats sd =
+            scalars[l].stats().delta_since(scalar_before[l]);
+        ASSERT_EQ(ld.assignments - before[l].assignments, sd.assignments);
+        ASSERT_EQ(ld.propagations - before[l].propagations,
+                  sd.propagations);
+        ASSERT_EQ(ld.conflicts - before[l].conflicts, sd.conflicts);
+        ASSERT_EQ(ld.backward - before[l].backward, sd.backward);
+      }
+      lanes.rollback(mark);
+      for (unsigned l = 0; l < kMaxLanes; ++l)
+        scalars[l].undo_to(scalar_marks[l]);
+      for (GateId id = 0; id < circuit.num_gates(); ++id)
+        for (unsigned l = 0; l < kMaxLanes; ++l)
+          ASSERT_EQ(lanes.value(id, l), scalars[l].value(id))
+              << "post-rollback burst " << burst;
+    }
+  }
+}
+
+TEST(BitparEquivalenceTest, MaskedMultiLaneAssignsMatchScalar) {
+  // The DFS merges sibling lanes asserting the same (gate, value)
+  // into one masked call; a masked run must charge and derive exactly
+  // what per-lane calls would.
+  const Circuit circuit = iscas_like(4);
+  const CompiledCircuit compiled(circuit);
+  Rng rng(1234);
+  for (int trial = 0; trial < 200; ++trial) {
+    const unsigned width = 2 + static_cast<unsigned>(rng.next_below(63));
+    const LaneMask batch = lane_mask_below(width);
+    // One shared program of masked ops.
+    std::vector<std::pair<GateId, Value3>> ops;
+    std::vector<LaneMask> masks;
+    for (int i = 0; i < 8; ++i) {
+      ops.emplace_back(
+          static_cast<GateId>(rng.next_below(circuit.num_gates())),
+          rng.next_bool(0.5) ? Value3::kOne : Value3::kZero);
+      masks.push_back(rng.next_u64() & batch);
+    }
+
+    LaneImplicationEngine merged(compiled);
+    merged.begin_batch(batch);
+    LaneMask alive_merged = batch;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const LaneMask m = masks[i] & alive_merged;
+      if (m == 0) continue;
+      const LaneMask ok = merged.assign(ops[i].first, ops[i].second, m);
+      alive_merged &= ~(m & ~ok);
+    }
+
+    LaneImplicationEngine perlane(compiled);
+    perlane.begin_batch(batch);
+    LaneMask alive_perlane = batch;
+    for (std::size_t i = 0; i < ops.size(); ++i)
+      for (unsigned l = 0; l < width; ++l) {
+        const LaneMask bit = lane_bit(l);
+        if (!(masks[i] & alive_perlane & bit)) continue;
+        const LaneMask ok = perlane.assign(ops[i].first, ops[i].second, bit);
+        alive_perlane &= ~(bit & ~ok);
+      }
+
+    ASSERT_EQ(alive_merged, alive_perlane) << "trial " << trial;
+    for (unsigned l = 0; l < width; ++l) {
+      ASSERT_EQ(merged.lane_stats(l), perlane.lane_stats(l))
+          << "trial " << trial << " lane " << l;
+      for (GateId id = 0; id < circuit.num_gates(); ++id)
+        ASSERT_EQ(merged.value(id, l), perlane.value(id, l))
+            << "trial " << trial << " lane " << l << " gate " << id;
+    }
+  }
+}
+
+TEST(BitparEquivalenceTest, MixedValueAssignPlanesMatchScalar) {
+  // assign_planes carries both value groups of one lockstep step in a
+  // single union drain (the pattern-parallel fast path the bench
+  // times).  Every lane must see exactly the scalar run of its own
+  // value sequence: verdicts, stats and final values.
+  const Circuit circuit = iscas_like(6);
+  const CompiledCircuit compiled(circuit);
+  Rng rng(977);
+  for (int trial = 0; trial < 100; ++trial) {
+    const unsigned width = 2 + static_cast<unsigned>(rng.next_below(63));
+    const LaneMask batch = lane_mask_below(width);
+    std::vector<GateId> gates;
+    std::vector<LaneMask> zeros, ones;
+    for (int i = 0; i < 6; ++i) {
+      gates.push_back(
+          static_cast<GateId>(rng.next_below(circuit.num_gates())));
+      const LaneMask m = rng.next_u64() & batch;
+      const LaneMask split = rng.next_u64();
+      zeros.push_back(m & split);
+      ones.push_back(m & ~split);
+    }
+
+    LaneImplicationEngine laned(compiled);
+    laned.begin_batch(batch);
+    LaneMask alive = batch;
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      const LaneMask m0 = zeros[i] & alive;
+      const LaneMask m1 = ones[i] & alive;
+      if ((m0 | m1) == 0) continue;
+      alive &= ~((m0 | m1) & ~laned.assign_planes(gates[i], m0, m1));
+    }
+
+    for (unsigned l = 0; l < width; ++l) {
+      ImplicationEngine scalar(compiled);
+      const ImplicationStats before = scalar.stats();
+      bool ok = true;
+      for (std::size_t i = 0; i < gates.size() && ok; ++i) {
+        const LaneMask bit = lane_bit(l);
+        if (zeros[i] & bit)
+          ok = scalar.assign(gates[i], Value3::kZero);
+        else if (ones[i] & bit)
+          ok = scalar.assign(gates[i], Value3::kOne);
+      }
+      ASSERT_EQ(ok, (alive & lane_bit(l)) != 0)
+          << "trial " << trial << " lane " << l;
+      ASSERT_EQ(laned.lane_stats(l), scalar.stats().delta_since(before))
+          << "trial " << trial << " lane " << l;
+      if (ok) {
+        for (GateId id = 0; id < circuit.num_gates(); ++id)
+          ASSERT_EQ(laned.value(id, l), scalar.value(id))
+              << "trial " << trial << " lane " << l << " gate " << id;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------ base overlay
+
+TEST(BaseOverlayTest, LaneProgramsOverScalarBaseMatchFreshScalars) {
+  // The DFS shape: a scalar engine holds the tree-node state, lanes
+  // hold only each branch's divergent assertions.  Every lane must
+  // behave like a scalar engine that made the base assignments first.
+  const Circuit circuit = iscas_like(5);
+  const CompiledCircuit compiled(circuit);
+  Rng rng(55);
+  for (int trial = 0; trial < 100; ++trial) {
+    ImplicationEngine base(compiled);
+    for (int i = 0; i < 4; ++i) {
+      const GateId gate =
+          static_cast<GateId>(rng.next_below(circuit.num_gates()));
+      // Keep the base state consistent: a failed assign leaves partial
+      // propagation on the trail, so undo it (as the DFS does).
+      const std::size_t before_mark = base.mark();
+      if (!base.assign(gate,
+                       rng.next_bool(0.5) ? Value3::kOne : Value3::kZero)) {
+        base.undo_to(before_mark);
+        break;
+      }
+    }
+
+    LaneImplicationEngine lanes(compiled, true, &base);
+    const unsigned width = 8;
+    lanes.begin_batch(lane_mask_below(width));
+    std::vector<ImplicationEngine> oracles;
+    for (unsigned l = 0; l < width; ++l) {
+      oracles.emplace_back(compiled);
+      // Rebuild the base state: asserting every value of a closed
+      // implication state, in any order, converges to that state (the
+      // local-implication closure is a monotone fixpoint).
+      for (GateId id = 0; id < circuit.num_gates(); ++id) {
+        if (base.value(id) != Value3::kUnknown) {
+          ASSERT_TRUE(oracles[l].assign(id, base.value(id)));
+        }
+      }
+    }
+    std::vector<ImplicationStats> oracle_before;
+    for (auto& o : oracles) oracle_before.push_back(o.stats());
+
+    std::uint64_t alive = lane_mask_below(width);
+    for (int round = 0; round < 5; ++round)
+      for (unsigned l = 0; l < width; ++l) {
+        if (!(alive & lane_bit(l))) continue;
+        const GateId gate =
+            static_cast<GateId>(rng.next_below(circuit.num_gates()));
+        const Value3 value =
+            rng.next_bool(0.5) ? Value3::kOne : Value3::kZero;
+        const LaneMask ok = lanes.assign(gate, value, lane_bit(l));
+        const bool oracle_ok = oracles[l].assign(gate, value);
+        ASSERT_EQ(ok != 0, oracle_ok)
+            << "trial " << trial << " lane " << l << " round " << round;
+        if (!oracle_ok) alive &= ~lane_bit(l);
+      }
+    for (unsigned l = 0; l < width; ++l) {
+      const ImplicationStats ld = lanes.lane_stats(l);
+      const ImplicationStats od =
+          oracles[l].stats().delta_since(oracle_before[l]);
+      ASSERT_EQ(ld, od) << "trial " << trial << " lane " << l;
+      for (GateId id = 0; id < circuit.num_gates(); ++id)
+        ASSERT_EQ(lanes.value(id, l), oracles[l].value(id))
+            << "trial " << trial << " lane " << l << " gate " << id;
+    }
+  }
+}
+
+// --------------------------------------------------- lane degeneracy
+
+TEST(LaneDegeneracyTest, DeadLanesAreNeverReadOrCharged) {
+  const Circuit circuit = iscas_like(6);
+  const CompiledCircuit compiled(circuit);
+  LaneImplicationEngine lanes(compiled);
+  // A sparse batch: lanes 1, 3 and 40 only.
+  const LaneMask batch = lane_bit(1) | lane_bit(3) | lane_bit(40);
+  lanes.begin_batch(batch);
+  EXPECT_EQ(lanes.batch(), batch);
+  ASSERT_EQ(lanes.assign(circuit.inputs()[0], Value3::kOne,
+                         lane_bit(1) | lane_bit(40)),
+            lane_bit(1) | lane_bit(40));
+  ASSERT_EQ(lanes.assign(circuit.inputs()[1], Value3::kZero, lane_bit(3)),
+            lane_bit(3));
+  for (unsigned l = 0; l < kMaxLanes; ++l) {
+    if (l == 1 || l == 3 || l == 40) continue;
+    // Dead lanes: no values, no charges — with no base engine every
+    // gate must read unknown and every counter zero.
+    const ImplicationStats s = lanes.lane_stats(l);
+    EXPECT_EQ(s, ImplicationStats{}) << "lane " << l;
+    for (GateId id = 0; id < circuit.num_gates(); ++id)
+      ASSERT_EQ(lanes.value(id, l), Value3::kUnknown)
+          << "lane " << l << " gate " << id;
+  }
+  // And the live lanes saw only their own assignments.
+  EXPECT_EQ(lanes.value(circuit.inputs()[0], 1), Value3::kOne);
+  EXPECT_EQ(lanes.value(circuit.inputs()[0], 3), Value3::kUnknown);
+  EXPECT_EQ(lanes.value(circuit.inputs()[1], 3), Value3::kZero);
+}
+
+bool deterministic_fields_equal(const ClassifyResult& a,
+                                const ClassifyResult& b) {
+  return a.kept_paths == b.kept_paths && a.work == b.work &&
+         a.completed == b.completed &&
+         a.abort_reason == b.abort_reason && a.kept_keys == b.kept_keys &&
+         a.kept_controlling_per_lead == b.kept_controlling_per_lead &&
+         a.implication == b.implication;
+}
+
+TEST(LaneDegeneracyTest, LanedClassifyMatchesScalarOnStarvedTrees) {
+  // Circuits whose prefix trees starve the lanes: a single-fanout
+  // chain (extend_bitpar never triggers), the tiny classics (fanout
+  // counts far below the lane width), and odd widths in between.
+  std::vector<Circuit> corpus;
+  {
+    Circuit chain("chain");
+    GateId prev = chain.add_input("a");
+    for (int i = 0; i < 6; ++i)
+      prev = chain.add_gate(i % 2 ? GateType::kNot : GateType::kBuf,
+                            "b" + std::to_string(i), {prev});
+    chain.add_output("o", prev);
+    chain.finalize();
+    corpus.push_back(std::move(chain));
+  }
+  corpus.push_back(c17());
+  corpus.push_back(paper_example_circuit());
+  corpus.push_back(iscas_like(7));
+
+  for (const Circuit& circuit : corpus) {
+    ClassifyOptions options;
+    options.collect_lead_counts = true;
+    options.collect_paths_limit = 64;
+    const ClassifyResult scalar = classify_paths_serial(circuit, options);
+    for (std::size_t width : {2u, 3u, 64u, 200u}) {
+      options.lanes = width;  // 200 exercises the clamp
+      const ClassifyResult laned = classify_paths_serial(circuit, options);
+      ASSERT_TRUE(deterministic_fields_equal(scalar, laned))
+          << circuit.name() << " lanes " << width;
+    }
+    options.lanes = 1;
+  }
+}
+
+}  // namespace
+}  // namespace rd

@@ -15,6 +15,7 @@
 #include "sim/logic_sim.h"
 #include "sim/timed_sim.h"
 #include "util/biguint.h"
+#include "util/exec_guard.h"
 #include "util/rng.h"
 
 namespace rd {
@@ -290,6 +291,145 @@ INSTANTIATE_TEST_SUITE_P(
     DepthsAndThreads, PathTreeInvariance,
     ::testing::Combine(::testing::Values(5u, 7u, 9u),
                        ::testing::Values(1u, 2u, 4u)));
+
+// ---- bit-parallel lane invariance -----------------------------------------
+
+bool all_deterministic_fields_equal(const ClassifyResult& a,
+                                    const ClassifyResult& b) {
+  return a.kept_paths == b.kept_paths && a.work == b.work &&
+         a.completed == b.completed && a.abort_reason == b.abort_reason &&
+         a.kept_keys == b.kept_keys &&
+         a.kept_controlling_per_lead == b.kept_controlling_per_lead &&
+         a.implication == b.implication;
+}
+
+// (circuit selector, threads, lanes): selectors 0..2 are random
+// iscas-like circuits, 3..4 are carry meshes — the deep-tree regime
+// where the lane chunks actually fill up.
+class BitparParallelInvariance
+    : public ::testing::TestWithParam<
+          std::tuple<int, std::size_t, std::size_t>> {
+ protected:
+  static Circuit circuit_for(int selector) {
+    if (selector < 3) return small_circuit(61u + selector);
+    CarryMeshProfile profile;
+    profile.width = 3;
+    profile.depth = selector == 3 ? 5 : 7;
+    return make_carry_mesh(profile);
+  }
+};
+
+TEST_P(BitparParallelInvariance, AllEnginesAgreeBitForBit) {
+  const auto [selector, threads, lanes] = GetParam();
+  const Circuit circuit = circuit_for(selector);
+  const InputSort sort = heuristic1_sort(circuit);
+
+  for (Criterion criterion :
+       {Criterion::kFunctionalSensitizable, Criterion::kNonRobust,
+        Criterion::kInputSort}) {
+    ClassifyOptions options;
+    options.criterion = criterion;
+    options.sort = criterion == Criterion::kInputSort ? &sort : nullptr;
+    options.collect_lead_counts = true;
+    options.collect_paths_limit = 1u << 16;
+
+    // Reference and compiled-scalar fix the contract; the laned
+    // serial and parallel engines must reproduce it bit for bit.
+    const ClassifyResult reference =
+        classify_paths_reference(circuit, options);
+    const ClassifyResult scalar = classify_paths_serial(circuit, options);
+    ASSERT_TRUE(all_deterministic_fields_equal(reference, scalar));
+    options.lanes = lanes;
+    const ClassifyResult laned = classify_paths_serial(circuit, options);
+    ASSERT_TRUE(all_deterministic_fields_equal(reference, laned))
+        << "criterion " << static_cast<int>(criterion) << " lanes "
+        << lanes;
+    options.num_threads = threads;
+    const ClassifyResult parallel =
+        classify_paths_parallel(circuit, options);
+    ASSERT_TRUE(all_deterministic_fields_equal(reference, parallel))
+        << "criterion " << static_cast<int>(criterion) << " lanes "
+        << lanes << " threads " << threads;
+  }
+}
+
+TEST_P(BitparParallelInvariance, WorkLimitBoundaryIsExact) {
+  const auto [selector, threads, lanes] = GetParam();
+  const Circuit circuit = circuit_for(selector);
+  ClassifyOptions options;
+  const ClassifyResult full = classify_paths_serial(circuit, options);
+  ASSERT_TRUE(full.completed);
+
+  // One unit short of completion must abort with the scalar engine's
+  // exact verdict and partial counts — the lane chunks charge the
+  // budget child by child, so the abort lands mid-chunk at every lane
+  // width; exactly the full budget completes.
+  options.work_limit = full.work - 1;
+  const ClassifyResult short_scalar =
+      classify_paths_serial(circuit, options);
+  options.lanes = lanes;
+  const ClassifyResult short_laned =
+      classify_paths_serial(circuit, options);
+  ASSERT_FALSE(short_laned.completed);
+  ASSERT_EQ(short_laned.abort_reason, AbortReason::kWorkBudget);
+  ASSERT_TRUE(all_deterministic_fields_equal(short_scalar, short_laned));
+  options.num_threads = threads;
+  const ClassifyResult short_parallel =
+      classify_paths_parallel(circuit, options);
+  ASSERT_FALSE(short_parallel.completed);
+  ASSERT_EQ(short_parallel.abort_reason, AbortReason::kWorkBudget);
+  options.work_limit = full.work;
+  options.num_threads = 1;
+  ASSERT_TRUE(classify_paths_serial(circuit, options).completed);
+}
+
+TEST_P(BitparParallelInvariance, InjectedGuardTripsIdentically) {
+  const auto [selector, threads, lanes] = GetParam();
+  const Circuit circuit = circuit_for(selector);
+  // A deterministic mid-run guard trip: the poll schedule is a pure
+  // function of the step stream, which the laned DFS preserves, so
+  // the serial partial counts must match the scalar engine's exactly.
+  ClassifyResult scalar;
+  {
+    ExecGuard guard;
+    guard.inject_trip_at(3, AbortReason::kDeadline);
+    ClassifyOptions options;
+    options.guard = &guard;
+    scalar = classify_paths_serial(circuit, options);
+  }
+  EXPECT_FALSE(scalar.completed);
+  EXPECT_EQ(scalar.abort_reason, AbortReason::kDeadline);
+  {
+    ExecGuard guard;
+    guard.inject_trip_at(3, AbortReason::kDeadline);
+    ClassifyOptions options;
+    options.guard = &guard;
+    options.lanes = lanes;
+    const ClassifyResult laned = classify_paths_serial(circuit, options);
+    ASSERT_TRUE(all_deterministic_fields_equal(scalar, laned))
+        << "lanes " << lanes;
+  }
+  // The parallel engine's partial counts are scheduling-dependent, but
+  // the typed verdict must survive lanes at every thread count.
+  {
+    ExecGuard guard;
+    guard.inject_trip_at(3, AbortReason::kDeadline);
+    ClassifyOptions options;
+    options.guard = &guard;
+    options.lanes = lanes;
+    options.num_threads = threads;
+    const ClassifyResult parallel =
+        classify_paths_parallel(circuit, options);
+    EXPECT_FALSE(parallel.completed);
+    EXPECT_EQ(parallel.abort_reason, AbortReason::kDeadline);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CircuitsThreadsLanes, BitparParallelInvariance,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(1u, 7u, 64u)));
 
 // ---- robust ⊆ non-robust ⊆ FS over seeds ----------------------------------
 
