@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -108,15 +109,16 @@ struct Options {
 
 inline Options parse_options(int argc, char** argv) {
   Options options;
+  try {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (starts_with(arg, "--circuits=")) {
       for (auto& name : split(arg.substr(11), ','))
         if (!name.empty()) options.circuits.push_back(std::move(name));
     } else if (starts_with(arg, "--work-limit=")) {
-      options.work_limit = std::stoull(arg.substr(13));
+      options.work_limit = parse_uint64_strict(arg.substr(13), "--work-limit");
     } else if (starts_with(arg, "--threads=")) {
-      options.threads = std::stoul(arg.substr(10));
+      options.threads = parse_size_strict(arg.substr(10), "--threads");
     } else if (starts_with(arg, "--json=")) {
       options.json_path = arg.substr(7);
     } else if (arg == "--quick") {
@@ -137,6 +139,12 @@ inline Options parse_options(int argc, char** argv) {
       std::fprintf(stderr, "unknown option: %s (try --help)\n", arg.c_str());
       std::exit(2);
     }
+  }
+  } catch (const std::invalid_argument& error) {
+    // Strict numeric parsing rejected a flag value; same usage-error
+    // exit as an unknown flag.
+    std::fprintf(stderr, "%s (try --help)\n", error.what());
+    std::exit(2);
   }
   return options;
 }

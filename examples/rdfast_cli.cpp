@@ -7,6 +7,18 @@
 //   rdfast_cli report   <circuit>            Figure-3 hierarchy report
 //   rdfast_cli select   <circuit> [--k=N]    K longest non-RD paths
 //   rdfast_cli validate-json <file>          check a run report's schema
+//   rdfast_cli serve    [options]            persistent daemon (README
+//                                            "Serving"): --port=N (0 =
+//                                            ephemeral), --port-file=F,
+//                                            --workers=N,
+//                                            --cache-capacity=N
+//   rdfast_cli request  <port|@port-file> [options]
+//                                            one request against a
+//                                            running daemon: --op=
+//                                            classify|atpg|ping|stats|
+//                                            shutdown|validate,
+//                                            --circuit=SPEC plus the
+//                                            classify/atpg flags below
 //
 // <circuit> is a .bench file path or the name of a built-in synthetic
 // benchmark (c432 ... c7552, c6288, example, c17).
@@ -40,9 +52,17 @@
 //   --inject-abort-after=N [--inject-abort-reason=deadline|memory|
 //   cancelled|work_budget]   trip the guard at its Nth check
 //   --inject-sigint-after=N  raise SIGINT at the Nth guard check
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "atpg/testset.h"
@@ -57,6 +77,9 @@
 #include "io/stats.h"
 #include "io/verilog_io.h"
 #include "sat/cnf.h"
+#include "serve/frame.h"
+#include "serve/server.h"
+#include "serve/session.h"
 #include "util/metrics.h"
 #include "sta/timing.h"
 #include "util/rng.h"
@@ -81,18 +104,22 @@ struct GuardFlags {
   std::string inject_abort_reason = "work_budget";
   std::uint64_t inject_sigint_after = 0;
 
-  /// Consumes a recognized --flag=value; false if not ours.
+  /// Consumes a recognized --flag=value; false if not ours.  Strict
+  /// parsing: a negative, overflowing or garbage-suffixed value is a
+  /// usage error (std::invalid_argument → exit 2), never a silent
+  /// truncation.
   bool parse(const std::string& arg) {
     if (starts_with(arg, "--deadline-ms=")) {
-      deadline_ms = std::stod(arg.substr(14));
+      deadline_ms = parse_double_strict(arg.substr(14), "--deadline-ms");
       return true;
     }
     if (starts_with(arg, "--max-memory-mb=")) {
-      max_memory_mb = std::stoull(arg.substr(16));
+      max_memory_mb = parse_uint64_strict(arg.substr(16), "--max-memory-mb");
       return true;
     }
     if (starts_with(arg, "--inject-abort-after=")) {
-      inject_abort_after = std::stoull(arg.substr(21));
+      inject_abort_after =
+          parse_uint64_strict(arg.substr(21), "--inject-abort-after");
       return true;
     }
     if (starts_with(arg, "--inject-abort-reason=")) {
@@ -100,7 +127,8 @@ struct GuardFlags {
       return true;
     }
     if (starts_with(arg, "--inject-sigint-after=")) {
-      inject_sigint_after = std::stoull(arg.substr(22));
+      inject_sigint_after =
+          parse_uint64_strict(arg.substr(22), "--inject-sigint-after");
       return true;
     }
     return false;
@@ -172,11 +200,11 @@ int cmd_classify(const std::string& spec, int argc, char** argv) {
     else if (starts_with(arg, "--engine="))
       engine = arg.substr(9);
     else if (starts_with(arg, "--work-limit="))
-      base.work_limit = std::stoull(arg.substr(13));
+      base.work_limit = parse_uint64_strict(arg.substr(13), "--work-limit");
     else if (starts_with(arg, "--threads="))
-      base.num_threads = std::stoul(arg.substr(10));
+      base.num_threads = parse_size_strict(arg.substr(10), "--threads");
     else if (starts_with(arg, "--lanes="))
-      base.lanes = std::stoul(arg.substr(8));
+      base.lanes = parse_size_strict(arg.substr(8), "--lanes");
     else if (starts_with(arg, "--stats-json="))
       stats_json = arg.substr(13);
     else if (!guard_flags.parse(arg)) {
@@ -271,9 +299,9 @@ int cmd_atpg(const std::string& spec, int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (starts_with(arg, "--max-paths="))
-      max_paths = std::stoull(arg.substr(12));
+      max_paths = parse_uint64_strict(arg.substr(12), "--max-paths");
     else if (starts_with(arg, "--threads="))
-      num_threads = std::stoul(arg.substr(10));
+      num_threads = parse_size_strict(arg.substr(10), "--threads");
     else if (starts_with(arg, "--stats-json="))
       stats_json = arg.substr(13);
     else if (!guard_flags.parse(arg)) {
@@ -405,7 +433,7 @@ int cmd_select(const std::string& spec, int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (starts_with(arg, "--k="))
-      k = std::stoul(arg.substr(4));
+      k = parse_size_strict(arg.substr(4), "--k");
     else {
       std::fprintf(stderr, "unknown select option: %s\n", arg.c_str());
       return 2;
@@ -438,22 +466,273 @@ int cmd_select(const std::string& spec, int argc, char** argv) {
   return 0;
 }
 
+int cmd_serve(int argc, char** argv) {
+  serve::ServerConfig config;
+  config.cancel = &g_cancel;
+  std::string port_file;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (starts_with(arg, "--port=")) {
+      const std::uint64_t port = parse_uint64_strict(arg.substr(7), "--port");
+      if (port > 65535) throw std::invalid_argument("--port must be 0..65535");
+      config.port = static_cast<std::uint16_t>(port);
+    } else if (starts_with(arg, "--port-file=")) {
+      port_file = arg.substr(12);
+    } else if (starts_with(arg, "--workers=")) {
+      config.num_workers = parse_size_strict(arg.substr(10), "--workers");
+    } else if (starts_with(arg, "--cache-capacity=")) {
+      config.cache_capacity =
+          parse_size_strict(arg.substr(17), "--cache-capacity");
+    } else {
+      std::fprintf(stderr, "unknown serve option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  serve::Server server(config);
+  server.start();
+  std::printf("serving on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    // Write-then-rename so a watcher never reads a half-written file.
+    const std::string tmp = port_file + ".tmp";
+    std::ofstream out(tmp);
+    out << server.port() << "\n";
+    out.close();
+    if (!out || std::rename(tmp.c_str(), port_file.c_str()) != 0) {
+      std::fprintf(stderr, "error: cannot write %s\n", port_file.c_str());
+      server.request_stop();
+      server.wait();
+      return 1;
+    }
+  }
+  const bool cancelled = server.wait();
+  const serve::Server::Stats stats = server.stats();
+  std::printf("served %llu requests on %llu connections\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.connections));
+  if (cancelled) {
+    std::printf("status         : ABORTED (cancelled)\n");
+    return abort_exit_code(AbortReason::kCancelled);
+  }
+  return 0;
+}
+
+/// Resolves the request command's port operand: a literal port or
+/// "@file" naming a file holding one (what serve --port-file wrote).
+std::uint16_t resolve_port(const std::string& spec) {
+  std::string text = spec;
+  if (!spec.empty() && spec[0] == '@') {
+    std::ifstream in(spec.substr(1));
+    if (!in)
+      throw std::invalid_argument("cannot read port file " + spec.substr(1));
+    std::getline(in, text);
+  }
+  const std::uint64_t port =
+      parse_uint64_strict(std::string(trim(text)), "port");
+  if (port == 0 || port > 65535)
+    throw std::invalid_argument("port must be 1..65535");
+  return static_cast<std::uint16_t>(port);
+}
+
+/// One blocking frame exchange with a daemon on 127.0.0.1:port.
+std::string exchange_frame(std::uint16_t port, const std::string& payload) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("cannot connect to 127.0.0.1:" +
+                             std::to_string(port) + ": " + detail);
+  }
+  const std::string frame = serve::encode_frame(payload);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      ::close(fd);
+      throw std::runtime_error("send failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  serve::FrameDecoder decoder;
+  std::string response;
+  char buffer[16384];
+  for (;;) {
+    const serve::FrameDecoder::Status status = decoder.next(&response);
+    if (status == serve::FrameDecoder::Status::kFrame) break;
+    if (status == serve::FrameDecoder::Status::kError) {
+      ::close(fd);
+      throw std::runtime_error("response framing error: " + decoder.error());
+    }
+    const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);
+      throw std::runtime_error("connection closed before a response arrived");
+    }
+    decoder.feed(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+int cmd_request(const std::string& port_spec, int argc, char** argv) {
+  std::string op = "classify";
+  std::string circuit_spec;
+  std::string stats_json;
+  JsonValue request = JsonValue::object();
+  request.set("op", JsonValue::null());  // placeholder, keeps key order
+  request.set("id", JsonValue::number(std::uint64_t{1}));
+  JsonValue guard = JsonValue::object();
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (starts_with(arg, "--op="))
+      op = arg.substr(5);
+    else if (starts_with(arg, "--circuit="))
+      circuit_spec = arg.substr(10);
+    else if (starts_with(arg, "--heuristic="))
+      request.set("heuristic", JsonValue::string(arg.substr(12)));
+    else if (starts_with(arg, "--work-limit="))
+      request.set("work_limit",
+                  JsonValue::number(
+                      parse_uint64_strict(arg.substr(13), "--work-limit")));
+    else if (starts_with(arg, "--threads="))
+      request.set(
+          "threads",
+          JsonValue::number(parse_uint64_strict(arg.substr(10), "--threads")));
+    else if (starts_with(arg, "--lanes="))
+      request.set(
+          "lanes",
+          JsonValue::number(parse_uint64_strict(arg.substr(8), "--lanes")));
+    else if (starts_with(arg, "--max-paths="))
+      request.set("max_paths",
+                  JsonValue::number(
+                      parse_uint64_strict(arg.substr(12), "--max-paths")));
+    else if (starts_with(arg, "--deadline-ms="))
+      guard.set("deadline_ms",
+                JsonValue::number(
+                    parse_double_strict(arg.substr(14), "--deadline-ms")));
+    else if (starts_with(arg, "--max-memory-mb="))
+      guard.set("max_memory_mb",
+                JsonValue::number(parse_uint64_strict(arg.substr(16),
+                                                      "--max-memory-mb")));
+    else if (starts_with(arg, "--inject-abort-after="))
+      guard.set("inject_abort_after",
+                JsonValue::number(parse_uint64_strict(
+                    arg.substr(21), "--inject-abort-after")));
+    else if (starts_with(arg, "--inject-abort-reason="))
+      guard.set("inject_abort_reason", JsonValue::string(arg.substr(22)));
+    else if (starts_with(arg, "--stats-json="))
+      stats_json = arg.substr(13);
+    else {
+      std::fprintf(stderr, "unknown request option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  request.set("op", JsonValue::string(op));
+  if (guard.members().size() > 0) request.set("guard", std::move(guard));
+  if (!circuit_spec.empty()) {
+    JsonValue circuit = JsonValue::object();
+    // Builtins travel by name (the daemon renders them); files travel
+    // as inline .bench text, so the daemon needs no filesystem access.
+    const bool builtin =
+        circuit_spec == "example" || circuit_spec == "c17" ||
+        (!circuit_spec.empty() && circuit_spec[0] == 'c' &&
+         circuit_spec.find('.') == std::string::npos);
+    if (builtin) {
+      circuit.set("builtin", JsonValue::string(circuit_spec));
+    } else {
+      std::ifstream in(circuit_spec);
+      if (!in)
+        throw std::invalid_argument("cannot read circuit file " +
+                                    circuit_spec);
+      std::ostringstream text;
+      text << in.rdbuf();
+      circuit.set("name", JsonValue::string(circuit_spec));
+      circuit.set("bench", JsonValue::string(text.str()));
+    }
+    request.set("circuit", std::move(circuit));
+  }
+
+  const std::uint16_t port = resolve_port(port_spec);
+  const std::string response_text = exchange_frame(port, request.to_string());
+  const JsonValue response = parse_json(response_text);
+  const std::vector<std::string> problems = validate_run_report(response);
+  for (const std::string& problem : problems)
+    std::fprintf(stderr, "response: %s\n", problem.c_str());
+  if (!stats_json.empty()) write_json_file(stats_json, response);
+  std::fputs(response_text.c_str(), stdout);
+  if (response_text.empty() || response_text.back() != '\n')
+    std::fputc('\n', stdout);
+  if (!problems.empty()) return 1;
+
+  // Exit-code parity with the one-shot commands: 0 for a completed job
+  // or ack, the abort code for a typed abort, 1 for a refusal.
+  const JsonValue* kind = response.find("kind");
+  const std::string kind_name =
+      kind != nullptr && kind->is_string() ? kind->as_string() : "";
+  if (kind_name == "serve_error") {
+    const JsonValue* error = response.find("error");
+    const JsonValue* message =
+        error != nullptr && error->is_object() ? error->find("message")
+                                               : nullptr;
+    std::fprintf(stderr, "error: %s\n",
+                 message != nullptr && message->is_string()
+                     ? message->as_string().c_str()
+                     : "request refused");
+    return 1;
+  }
+  const JsonValue* classify = response.find("classify");
+  if (classify != nullptr && classify->is_object()) {
+    const JsonValue* completed = classify->find("completed");
+    if (completed != nullptr && completed->is_bool() &&
+        !completed->as_bool()) {
+      const JsonValue* reason = classify->find("abort_reason");
+      const std::string reason_name =
+          reason != nullptr && reason->is_string() ? reason->as_string()
+                                                   : "work_budget";
+      std::printf("status         : ABORTED (%s)\n", reason_name.c_str());
+      return reason_name == "cancelled" ? 130 : 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
+  if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s stats|classify|atpg|gen|report|select|verilog|dimacs|validate-json <circuit|file> [options]\n",
-                 argv[0]);
+                 "usage: %s stats|classify|atpg|gen|report|select|verilog|dimacs|validate-json <circuit|file> [options]\n"
+                 "       %s serve [--port=N] [--port-file=F] [--workers=N] [--cache-capacity=N]\n"
+                 "       %s request <port|@port-file> [--op=OP] [--circuit=SPEC] [options]\n",
+                 argv[0], argv[0], argv[0]);
     return 2;
   }
   const std::string command = argv[1];
-  const std::string spec = argv[2];
   // Cooperative cancellation: the handler only flips an atomic token;
-  // engines observe it at their next guard checkpoint, unwind, and the
-  // partial --stats-json still gets written.
+  // engines (and the daemon's accept loop) observe it at their next
+  // checkpoint, unwind, and the partial --stats-json still gets
+  // written.
   std::signal(SIGINT, handle_sigint);
   try {
+    if (command == "serve") return cmd_serve(argc - 2, argv + 2);
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: %s %s <circuit|file|port> [options]\n",
+                   argv[0], command.c_str());
+      return 2;
+    }
+    const std::string spec = argv[2];
+    if (command == "request") return cmd_request(spec, argc - 3, argv + 3);
     if (command == "stats") return cmd_stats(spec);
     if (command == "validate-json") return cmd_validate_json(spec);
     if (command == "classify") return cmd_classify(spec, argc - 3, argv + 3);
@@ -463,6 +742,11 @@ int main(int argc, char** argv) {
     if (command == "select") return cmd_select(spec, argc - 3, argv + 3);
     if (command == "verilog") return cmd_verilog(spec);
     if (command == "dimacs") return cmd_dimacs(spec);
+  } catch (const std::invalid_argument& error) {
+    // Bad user input (malformed flag value, out-of-range number):
+    // usage error, same exit code as an unknown flag.
+    std::fprintf(stderr, "usage error: %s\n", error.what());
+    return 2;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;

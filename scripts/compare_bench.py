@@ -36,6 +36,19 @@ scalar engine on per-lane-identical seed-vector programs) whose ratio
 reaches --min-bitpar-speedup (default 4.0).  A missing path-tree or
 bitpar row fails: it means bench_micro ran without that study.
 
+Serve mode (one file):
+
+    scripts/compare_bench.py --serve BENCH_serve.json [--min-requests N]
+                             [--min-hit-rate R]
+
+Gates the daemon load-generator report (bench_serve): the mixed-replay
+row must show at least --min-requests requests (default 2000) with
+zero errors, a compiled-circuit cache hit rate of at least
+--min-hit-rate (default 0.95), daemon responses bit-identical to the
+one-shot session on every deterministic field, the fault-injected
+probe aborted with a typed reason while the concurrent replay
+completed, and positive latency/throughput numbers.
+
 Stdlib only; exits 0 on success, 1 on any failure, 2 on usage errors.
 """
 
@@ -196,6 +209,48 @@ def check_self(report, min_speedup, circuit, min_tree_speedup,
     return failures
 
 
+def check_serve(report, min_requests, min_hit_rate):
+    failures = []
+    if report.get("bench") != "serve":
+        failures.append(
+            f"--serve expects a bench_serve report, got {report.get('bench')!r}")
+        return failures
+    mixed = None
+    for row in report["rows"]:
+        if isinstance(row, dict) and row.get("kind") == "mixed":
+            mixed = row
+    if mixed is None:
+        failures.append("no mixed-replay row (bench_serve ran nothing)")
+        return failures
+
+    requests = mixed.get("requests")
+    if not isinstance(requests, int) or requests < min_requests:
+        failures.append(
+            f"mixed: requests {requests!r} is below the {min_requests} floor")
+    if mixed.get("errors") != 0:
+        failures.append(f"mixed: {mixed.get('errors')!r} request error(s)")
+    hit_rate = mixed.get("cache_hit_rate")
+    if not isinstance(hit_rate, (int, float)) or hit_rate < min_hit_rate:
+        failures.append(
+            f"mixed: cache_hit_rate {hit_rate!r} is below the "
+            f"{min_hit_rate:g} floor")
+    if mixed.get("identical") is not True:
+        failures.append(
+            "mixed: daemon responses not bit-identical to the one-shot "
+            "session (identical != true)")
+    if mixed.get("fault_aborted") is not True:
+        failures.append(
+            "mixed: fault-injected probe did not abort (fault_aborted != true)")
+    reason = mixed.get("fault_reason")
+    if reason in (None, "", "none"):
+        failures.append(f"mixed: fault abort reason {reason!r} is not typed")
+    for field in ("p50_seconds", "p99_seconds", "requests_per_sec"):
+        value = mixed.get(field)
+        if not isinstance(value, (int, float)) or value <= 0:
+            failures.append(f"mixed: {field} is not a positive number")
+    return failures
+
+
 def main(argv):
     parser = argparse.ArgumentParser(
         prog="compare_bench.py",
@@ -203,6 +258,8 @@ def main(argv):
     parser.add_argument("files", nargs="+", help="one (--self) or two reports")
     parser.add_argument("--self", dest="self_check", action="store_true",
                         help="validate a single bench_micro report")
+    parser.add_argument("--serve", dest="serve_check", action="store_true",
+                        help="validate a single bench_serve report")
     parser.add_argument("--tolerance", type=float, default=25.0,
                         help="allowed timing regression in percent (diff mode)")
     parser.add_argument("--ignore-time", action="store_true",
@@ -215,9 +272,20 @@ def main(argv):
                         help="ratio floor for the path-tree row (self mode)")
     parser.add_argument("--min-bitpar-speedup", type=float, default=4.0,
                         help="ratio floor for the bitpar row (self mode)")
+    parser.add_argument("--min-requests", type=int, default=2000,
+                        help="replay size floor (serve mode)")
+    parser.add_argument("--min-hit-rate", type=float, default=0.95,
+                        help="cache hit rate floor (serve mode)")
     args = parser.parse_args(argv)
 
-    if args.self_check:
+    if args.self_check and args.serve_check:
+        parser.error("--self and --serve are mutually exclusive")
+    if args.serve_check:
+        if len(args.files) != 1:
+            parser.error("--serve takes exactly one report")
+        failures = check_serve(load_report(args.files[0]), args.min_requests,
+                               args.min_hit_rate)
+    elif args.self_check:
         if len(args.files) != 1:
             parser.error("--self takes exactly one report")
         failures = check_self(load_report(args.files[0]), args.min_speedup,

@@ -19,7 +19,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-bench}"
 ARGS="${BENCH_ARGS---quick}"
 
-BENCHES=(micro engines table1 table2 table3 testset ablation approx figures)
+BENCHES=(micro engines table1 table2 table3 testset ablation approx figures serve)
 
 # bench_micro's mcnc-like throughput_ratio (compiled vs the frozen
 # reference engine) is gated at this floor by compare_bench.py --self.
@@ -81,6 +81,20 @@ if [ "$status" -eq 0 ]; then
        --min-tree-speedup "$MIN_TREE_SPEEDUP" \
        --min-bitpar-speedup "$MIN_BITPAR_SPEEDUP"; then
     echo "bench_micro speedup gate FAILED" >&2
+    status=1
+  fi
+fi
+
+# Gate the daemon claims: the bench_serve mixed replay must cover at
+# least 2000 requests with zero errors, hit the compiled-circuit cache
+# at >= 95%, stay bit-identical to the one-shot session, and abort the
+# fault-injected probe with a typed reason while the replay completes.
+# Override the floors: RD_MIN_SERVE_REQUESTS / RD_MIN_SERVE_HIT_RATE.
+if [ "$status" -eq 0 ]; then
+  if ! python3 scripts/compare_bench.py --serve BENCH_serve.json \
+       --min-requests "${RD_MIN_SERVE_REQUESTS:-2000}" \
+       --min-hit-rate "${RD_MIN_SERVE_HIT_RATE:-0.95}"; then
+    echo "bench_serve daemon gate FAILED" >&2
     status=1
   fi
 fi

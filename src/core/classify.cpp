@@ -1,5 +1,6 @@
 #include "core/classify.h"
 
+#include <memory>
 #include <stdexcept>
 
 #include "core/classify_dfs.h"
@@ -16,8 +17,9 @@ ClassifyResult classify_paths_serial(const Circuit& circuit,
   if (options.collect_lead_counts)
     result.kept_controlling_per_lead.assign(circuit.num_leads(), 0);
 
-  const CompiledCircuit compiled =
-      internal::compile_for_classify(circuit, options);
+  std::unique_ptr<const CompiledCircuit> owned_compiled;
+  const CompiledCircuit& compiled =
+      *internal::resolve_compiled(circuit, options, owned_compiled);
   internal::SerialBudget budget(options.work_limit, options.guard);
   internal::SeedDfs<internal::SerialBudget> dfs(
       compiled, options, budget,

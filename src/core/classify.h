@@ -91,6 +91,17 @@ struct ClassifyOptions {
   /// thread count; a tripped guard aborts cooperatively with the
   /// guard's AbortReason.
   ExecGuard* guard = nullptr;
+
+  /// Optional pre-built compiled view of the circuit (the serve
+  /// layer's CircuitCache hands the same CompiledCircuit to thousands
+  /// of requests).  Must have been built from the *same* Circuit
+  /// object passed to classify (compiled->source()), and — when
+  /// criterion == kInputSort — with `sort`'s pin order, so its
+  /// side_low tables match.  Null (default) compiles privately per
+  /// run, exactly as before.  A compiled circuit is a deterministic
+  /// function of (circuit, sort), so results are bit-identical either
+  /// way.  Not owned; shared read-only across concurrent runs.
+  const CompiledCircuit* compiled = nullptr;
 };
 
 /// Per-worker observability counters of one parallel classification

@@ -96,6 +96,29 @@ inline CompiledCircuit compile_for_classify(const Circuit& circuit,
   return CompiledCircuit(circuit);
 }
 
+/// Resolves the compiled view a run should use: the caller-provided
+/// options.compiled when set (validated against `circuit`; the serve
+/// layer's cache hit path), else a fresh private compile parked in
+/// `owned`.  The returned pointer is valid as long as `owned` and the
+/// provided compiled circuit are.
+inline const CompiledCircuit* resolve_compiled(
+    const Circuit& circuit, const ClassifyOptions& options,
+    std::unique_ptr<const CompiledCircuit>& owned) {
+  if (options.compiled != nullptr) {
+    if (&options.compiled->source() != &circuit)
+      throw std::invalid_argument(
+          "ClassifyOptions::compiled was built from a different Circuit");
+    if (options.criterion == Criterion::kInputSort &&
+        !options.compiled->has_low_order_tables())
+      throw std::invalid_argument(
+          "ClassifyOptions::compiled lacks the input sort's side tables");
+    return options.compiled;
+  }
+  owned = std::make_unique<const CompiledCircuit>(
+      compile_for_classify(circuit, options));
+  return owned.get();
+}
+
 /// Serial work budget: the classic `++work > limit` abort check, plus
 /// an optional ExecGuard.  The work limit is evaluated on every charge
 /// (the completed/aborted verdict stays exact to the step); the guard

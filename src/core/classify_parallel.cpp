@@ -65,11 +65,13 @@ ClassifyResult classify_paths_parallel(const Circuit& circuit,
   const std::vector<internal::ClassifySeed> seeds =
       internal::enumerate_seeds(circuit);
 
-  // Compiled once on the calling thread, then shared read-only by every
-  // worker's engine — the CSR arrays and side-input tables are
-  // immutable after construction.
-  const CompiledCircuit compiled =
-      internal::compile_for_classify(circuit, options);
+  // Compiled once on the calling thread (or taken pre-built from
+  // options.compiled — the serve layer's cache), then shared read-only
+  // by every worker's engine — the CSR arrays and side-input tables
+  // are immutable after construction.
+  std::unique_ptr<const CompiledCircuit> owned_compiled;
+  const CompiledCircuit& compiled =
+      *internal::resolve_compiled(circuit, options, owned_compiled);
 
   const std::size_t split_depth = choose_split_depth(
       prefix_tree_widths(circuit, kMaxSplitDepth), item_target(num_threads));

@@ -1,6 +1,7 @@
 #include "io/json_writer.h"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -89,7 +90,20 @@ std::uint64_t JsonValue::as_uint64() const {
       scalar_.find_first_of(".eE") != std::string::npos)
     throw std::runtime_error("json: number is not an unsigned integer: " +
                              scalar_);
-  return std::stoull(scalar_);
+  // A validated number token can still exceed 64 bits (BigUint path
+  // totals are emitted verbatim); range-check instead of letting
+  // std::stoull throw an out_of_range that no validation path expects.
+  std::uint64_t value = 0;
+  const char* const begin = scalar_.data();
+  const char* const end = begin + scalar_.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value, 10);
+  if (ec == std::errc::result_out_of_range)
+    throw std::runtime_error("json: number does not fit in 64 bits: " +
+                             scalar_);
+  if (ec != std::errc{} || ptr != end)
+    throw std::runtime_error("json: number is not an unsigned integer: " +
+                             scalar_);
+  return value;
 }
 
 const std::string& JsonValue::as_string() const {

@@ -155,6 +155,26 @@ JsonValue bench_report(const std::string& bench_name) {
   return report;
 }
 
+JsonValue serve_ack_report(std::uint64_t id, bool has_id) {
+  JsonValue report = run_report_envelope("serve_ack");
+  report.set("id", has_id ? JsonValue::number(id) : JsonValue::null());
+  report.set("ok", JsonValue::boolean(true));
+  return report;
+}
+
+JsonValue serve_error_report(std::uint64_t id, bool has_id,
+                             const std::string& code,
+                             const std::string& message) {
+  JsonValue report = run_report_envelope("serve_error");
+  report.set("id", has_id ? JsonValue::number(id) : JsonValue::null());
+  report.set("ok", JsonValue::boolean(false));
+  JsonValue error = JsonValue::object();
+  error.set("code", JsonValue::string(code));
+  error.set("message", JsonValue::string(message));
+  report.set("error", std::move(error));
+  return report;
+}
+
 JsonValue metrics_json(const MetricsRegistry& registry) {
   const MetricsRegistry::Snapshot snapshot = registry.snapshot();
   JsonValue out = JsonValue::object();
@@ -297,6 +317,56 @@ void validate_resilient_payload(const JsonValue& report,
         "\"resilient.abort_reason\" is neither null nor a known reason");
 }
 
+/// The optional "serve" object a daemon attaches to job reports:
+/// request correlation id plus the circuit-cache verdict.
+void validate_serve_payload(const JsonValue& report,
+                            std::vector<std::string>& problems) {
+  const JsonValue* serve = report.find("serve");
+  if (serve == nullptr) return;  // optional
+  if (!serve->is_object()) {
+    problems.push_back("\"serve\" is not an object");
+    return;
+  }
+  for (const char* key : {"id", "cache_hit"})
+    require_key(*serve, key, problems);
+  const JsonValue* id = serve->find("id");
+  if (id != nullptr && !id->is_null() && !id->is_number())
+    problems.push_back("\"serve.id\" is neither null nor a number");
+  const JsonValue* cache_hit = serve->find("cache_hit");
+  if (cache_hit != nullptr && !cache_hit->is_bool())
+    problems.push_back("\"serve.cache_hit\" is not a bool");
+}
+
+/// Frame-level serve kinds: both carry "id" (number or null) and "ok";
+/// serve_error additionally carries an "error" {code, message} object.
+void validate_serve_frame(const JsonValue& report, bool is_error,
+                          std::vector<std::string>& problems) {
+  for (const char* key : {"id", "ok"}) require_key(report, key, problems);
+  const JsonValue* id = report.find("id");
+  if (id != nullptr && !id->is_null() && !id->is_number())
+    problems.push_back("\"id\" is neither null nor a number");
+  const JsonValue* ok = report.find("ok");
+  if (ok != nullptr && !ok->is_bool()) problems.push_back("\"ok\" is not a bool");
+  if (!is_error) return;
+  const JsonValue* error = report.find("error");
+  if (error == nullptr) {
+    problems.push_back("missing key \"error\"");
+    return;
+  }
+  if (!error->is_object()) {
+    problems.push_back("\"error\" is not an object");
+    return;
+  }
+  for (const char* key : {"code", "message"})
+    require_key(*error, key, problems);
+  const JsonValue* message = error->find("message");
+  if (message != nullptr && !message->is_string())
+    problems.push_back("\"error.message\" is not a string");
+  const JsonValue* code = error->find("code");
+  if (code != nullptr && !code->is_string())
+    problems.push_back("\"error.code\" is not a string");
+}
+
 }  // namespace
 
 std::vector<std::string> validate_run_report(const JsonValue& report) {
@@ -338,9 +408,11 @@ std::vector<std::string> validate_run_report(const JsonValue& report) {
       require_key(report, key, problems);
     validate_classify_payload(report, problems);
     validate_resilient_payload(report, problems);
+    validate_serve_payload(report, problems);
   } else if (kind_name == "atpg_run") {
     require_key(report, "circuit", problems);
     validate_classify_payload(report, problems);
+    validate_serve_payload(report, problems);
     const JsonValue* atpg = report.find("atpg");
     if (atpg == nullptr) {
       problems.push_back("missing key \"atpg\"");
@@ -367,6 +439,10 @@ std::vector<std::string> validate_run_report(const JsonValue& report) {
           problems.push_back("rows[" + std::to_string(i) +
                              "] is not an object");
     }
+  } else if (kind_name == "serve_ack") {
+    validate_serve_frame(report, /*is_error=*/false, problems);
+  } else if (kind_name == "serve_error") {
+    validate_serve_frame(report, /*is_error=*/true, problems);
   } else {
     problems.push_back("unknown kind \"" + kind_name + "\"");
   }

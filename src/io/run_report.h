@@ -42,6 +42,11 @@ namespace rd {
 /// "abort_reason" (null on completed runs, else the AbortReason name),
 /// and classify_run reports may carry a "resilient" object describing
 /// the degradation ladder.
+/// v2 additions (no bump — new kinds and optional fields only): the
+/// serve protocol's "serve_ack" and "serve_error" kinds, and an
+/// optional "serve" object ({"id", "cache_hit", ...}) on classify_run
+/// and atpg_run reports, so every daemon response frame validates
+/// against this schema.
 inline constexpr std::uint64_t kRunReportSchemaVersion = 2;
 
 /// The shared envelope: {"schema_version": N, "kind": kind}.
@@ -78,6 +83,20 @@ JsonValue atpg_run_report(const std::string& circuit_name,
 /// "bench" report envelope with an empty "rows" array; the bench
 /// harness appends one object per table row.
 JsonValue bench_report(const std::string& bench_name);
+
+/// "serve_ack" frame: a daemon's non-job response (ping, shutdown,
+/// validate, stats), still carrying the schema envelope so every frame
+/// a client reads passes validate_run_report.  `has_id` false maps the
+/// id to null (requests that never carried one).
+JsonValue serve_ack_report(std::uint64_t id, bool has_id = true);
+
+/// "serve_error" frame: a typed refusal (parse error, bad request
+/// field, oversized frame) with a human-readable message and a stable
+/// machine code ("parse_error", "bad_request", "frame_too_large",
+/// "shutting_down", "internal").
+JsonValue serve_error_report(std::uint64_t id, bool has_id,
+                             const std::string& code,
+                             const std::string& message);
 
 /// A metrics-registry snapshot as {"counters": {...}, "timers":
 /// {"name": {"seconds": s, "count": n}, ...}, "gauges": {...}}.

@@ -1,0 +1,51 @@
+#include "serve/frame.h"
+
+namespace rd::serve {
+
+std::string encode_frame(const std::string& json_text) {
+  const std::uint32_t length = static_cast<std::uint32_t>(json_text.size());
+  std::string frame;
+  frame.reserve(4 + json_text.size());
+  frame.push_back(static_cast<char>((length >> 24) & 0xFF));
+  frame.push_back(static_cast<char>((length >> 16) & 0xFF));
+  frame.push_back(static_cast<char>((length >> 8) & 0xFF));
+  frame.push_back(static_cast<char>(length & 0xFF));
+  frame += json_text;
+  return frame;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t size) {
+  if (dead_) return;
+  buffer_.append(data, size);
+}
+
+FrameDecoder::Status FrameDecoder::next(std::string* payload) {
+  if (dead_) return Status::kError;
+  // Compact once the consumed prefix dominates the buffer, so a
+  // long-lived connection does not grow its buffer without bound.
+  if (consumed_ > 0 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < 4) return Status::kNeedMore;
+  const unsigned char* head =
+      reinterpret_cast<const unsigned char*>(buffer_.data() + consumed_);
+  const std::size_t length = (static_cast<std::size_t>(head[0]) << 24) |
+                             (static_cast<std::size_t>(head[1]) << 16) |
+                             (static_cast<std::size_t>(head[2]) << 8) |
+                             static_cast<std::size_t>(head[3]);
+  if (length > max_frame_bytes_) {
+    dead_ = true;
+    error_ = "frame of " + std::to_string(length) +
+             " bytes exceeds the " + std::to_string(max_frame_bytes_) +
+             "-byte ceiling";
+    return Status::kError;
+  }
+  if (available - 4 < length) return Status::kNeedMore;
+  payload->assign(buffer_, consumed_ + 4, length);
+  consumed_ += 4 + length;
+  return Status::kFrame;
+}
+
+}  // namespace rd::serve

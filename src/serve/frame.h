@@ -1,0 +1,61 @@
+// Length-prefixed JSON frame codec — the wire format of `rdfast
+// serve` (DESIGN.md §12).
+//
+// One frame is a 4-byte big-endian payload length followed by exactly
+// that many bytes of UTF-8 JSON text (one complete document, as
+// io/json_writer emits and parses it).  Length-prefixing keeps the
+// framing independent of the payload — no sentinel bytes, no
+// newline-in-string pitfalls — and lets a reader reject an abusive
+// length before buffering a single payload byte.
+//
+// The decoder is incremental: feed() whatever the socket produced,
+// pop complete payloads with next().  A frame larger than the
+// configured ceiling is a protocol error that poisons the decoder —
+// the stream position after an oversized frame is unknowable, so the
+// connection must be dropped, which is exactly what the server does.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rd::serve {
+
+/// Default payload ceiling (64 MiB): far above any real netlist +
+/// request envelope, far below an allocation that could stall the
+/// process.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 64u << 20;
+
+/// Wraps already-serialized JSON text in a frame (prefix + payload).
+std::string encode_frame(const std::string& json_text);
+
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends raw bytes from the transport.  Cheap; no parsing happens
+  /// until next().
+  void feed(const char* data, std::size_t size);
+
+  enum class Status {
+    kFrame,     // *payload holds the next complete frame's JSON text
+    kNeedMore,  // no complete frame buffered yet
+    kError,     // protocol violation; error() explains, decoder is dead
+  };
+
+  /// Extracts the next complete payload.  After kError every further
+  /// call returns kError (the stream cannot be resynchronized).
+  Status next(std::string* payload);
+
+  const std::string& error() const { return error_; }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;  // compacted lazily
+  std::string error_;
+  bool dead_ = false;
+};
+
+}  // namespace rd::serve

@@ -1,0 +1,103 @@
+#include "serve/job_queue.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace rd::serve {
+
+struct JobQueue::Impl {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::function<void()>> queue;
+  bool stopping = false;  // no new submissions
+  bool draining = true;   // run the backlog before exiting
+  Stats stats;
+  std::vector<std::thread> workers;
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [this] { return stopping || !queue.empty(); });
+        if (queue.empty()) return;  // stopping, nothing left (or discarded)
+        if (stopping && !draining) {
+          stats.discarded += queue.size();
+          queue.clear();
+          return;
+        }
+        job = std::move(queue.front());
+        queue.pop_front();
+      }
+      try {
+        job();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++stats.job_exceptions;
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      ++stats.completed;
+    }
+  }
+};
+
+JobQueue::JobQueue(std::size_t num_workers) : impl_(std::make_unique<Impl>()) {
+  if (num_workers == 0) num_workers = 1;
+  impl_->stats.workers = num_workers;
+  impl_->workers.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i)
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+}
+
+JobQueue::~JobQueue() { stop(/*drain=*/true); }
+
+bool JobQueue::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (impl_->stopping) {
+      ++impl_->stats.rejected;
+      return false;
+    }
+    impl_->queue.push_back(std::move(job));
+    ++impl_->stats.submitted;
+  }
+  impl_->cv.notify_one();
+  return true;
+}
+
+void JobQueue::stop(bool drain) {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (!impl_->stopping) {
+      impl_->stopping = true;
+      impl_->draining = drain;
+    } else if (!drain) {
+      impl_->draining = false;  // escalate a draining stop to a fast one
+    }
+    workers.swap(impl_->workers);
+  }
+  impl_->cv.notify_all();
+  for (std::thread& worker : workers)
+    if (worker.joinable()) worker.join();
+  // With no workers left (second stop() call, or zero-job races), any
+  // remaining queued jobs are discarded here.
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (!impl_->queue.empty()) {
+    impl_->stats.discarded += impl_->queue.size();
+    impl_->queue.clear();
+  }
+}
+
+JobQueue::Stats JobQueue::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  Stats snapshot = impl_->stats;
+  snapshot.queued = impl_->queue.size();
+  return snapshot;
+}
+
+}  // namespace rd::serve

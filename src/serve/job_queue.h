@@ -1,0 +1,61 @@
+// Persistent worker pool for daemon jobs (DESIGN.md §12).
+//
+// Why not the shared util/ThreadPool?  That pool is batch-shaped:
+// run(tasks) blocks until the whole batch drains and is not reentrant,
+// which is the right contract for a classify run's internal fan-out but
+// the wrong one for a stream of independent requests arriving at
+// unpredictable times.  The JobQueue is the complementary shape — a
+// FIFO of opaque closures drained by a fixed set of long-lived
+// workers — and a job running on it is free to use the batch pool (or
+// classify's parallel path) internally.
+//
+// Jobs own their error handling: the serve session wraps every request
+// so failures become serve_error frames.  A job that still throws is
+// swallowed and counted (stats().job_exceptions) rather than taking a
+// worker down — one poisoned request must not degrade the pool.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace rd::serve {
+
+class JobQueue {
+ public:
+  /// Spawns `num_workers` (at least 1) threads immediately.
+  explicit JobQueue(std::size_t num_workers);
+
+  /// Equivalent to stop(/*drain=*/true).
+  ~JobQueue();
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Enqueues `job` for some worker.  Returns false (job dropped)
+  /// after stop() — callers translate that into a "shutting_down"
+  /// refusal rather than silently losing the request.
+  bool submit(std::function<void()> job);
+
+  /// Stops accepting work and joins the workers.  drain=true runs the
+  /// jobs already queued first; drain=false discards them (their count
+  /// lands in stats().discarded).  Idempotent.
+  void stop(bool drain = true);
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;       // includes jobs that threw
+    std::uint64_t rejected = 0;        // submit() after stop()
+    std::uint64_t discarded = 0;       // queued jobs dropped by stop(false)
+    std::uint64_t job_exceptions = 0;  // jobs that escaped via throw
+    std::size_t queued = 0;            // waiting right now
+    std::size_t workers = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rd::serve

@@ -1,0 +1,308 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "io/run_report.h"
+#include "serve/frame.h"
+#include "serve/job_queue.h"
+#include "serve/session.h"
+
+namespace rd::serve {
+
+namespace {
+
+/// One accepted connection.  The reader thread owns the decoder; jobs
+/// on the queue share the write side through `write_mutex` so frames
+/// of concurrently completing responses never interleave.
+struct Connection {
+  int fd = -1;
+  std::mutex write_mutex;
+  bool write_failed = false;
+};
+using ConnectionPtr = std::shared_ptr<Connection>;
+
+/// Blocking full-buffer send; false on any transport failure (the
+/// client vanished — nothing to do but stop writing to it).
+bool send_all(const ConnectionPtr& conn, const std::string& bytes) {
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  if (conn->write_failed) return false;
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(conn->fd, bytes.data() + sent,
+                             bytes.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      conn->write_failed = true;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+struct Server::Impl {
+  ServerConfig config;
+  CircuitCache cache;
+  CancellationToken job_cancel;  // tripped by request_stop()
+  std::unique_ptr<Session> session;
+  std::unique_ptr<JobQueue> jobs;
+
+  int listen_fd = -1;
+  std::uint16_t bound_port = 0;
+  std::thread accept_thread;
+
+  std::mutex mutex;
+  std::condition_variable stopped_cv;
+  bool stop_requested = false;
+  bool accept_done = false;
+  bool external_stop = false;  // stop came from config.cancel
+  std::vector<ConnectionPtr> connections;
+  std::vector<std::thread> readers;
+  Stats stats;
+
+  explicit Impl(ServerConfig cfg)
+      : config(cfg), cache(cfg.cache_capacity) {}
+
+  std::size_t max_frame_bytes() const {
+    return config.max_frame_bytes == 0 ? kDefaultMaxFrameBytes
+                                       : config.max_frame_bytes;
+  }
+
+  bool stopping() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return stop_requested;
+  }
+
+  void bump(std::uint64_t Stats::* field) {
+    std::lock_guard<std::mutex> lock(mutex);
+    ++(stats.*field);
+  }
+
+  void reader_loop(ConnectionPtr conn);
+  void accept_loop(Server* server);
+};
+
+void Server::Impl::reader_loop(ConnectionPtr conn) {
+  FrameDecoder decoder(max_frame_bytes());
+  char buffer[16384];
+  bool closed = false;
+  while (!closed) {
+    const ssize_t n = ::recv(conn->fd, buffer, sizeof buffer, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or error (including shutdown() on stop)
+    decoder.feed(buffer, static_cast<std::size_t>(n));
+    for (;;) {
+      std::string payload;
+      const FrameDecoder::Status status = decoder.next(&payload);
+      if (status == FrameDecoder::Status::kNeedMore) break;
+      if (status == FrameDecoder::Status::kError) {
+        // The stream cannot be resynchronized after a framing error:
+        // explain, then drop the connection.
+        bump(&Stats::protocol_errors);
+        send_all(conn, encode_frame(
+                           serve_error_report(0, false, "frame_too_large",
+                                              decoder.error())
+                               .to_string()));
+        closed = true;
+        break;
+      }
+      bump(&Stats::requests);
+      auto job = [this, conn, payload = std::move(payload)] {
+        RequestOutcome outcome = session->handle(payload);
+        if (send_all(conn, encode_frame(outcome.response.to_string())))
+          bump(&Stats::responses);
+        if (outcome.shutdown) {
+          std::lock_guard<std::mutex> lock(mutex);
+          // Grant the shutdown *after* the ack was written; the
+          // accept loop observes the flag and unwinds.
+          stop_requested = true;
+        }
+      };
+      if (!jobs->submit(std::move(job))) {
+        if (send_all(conn, encode_frame(
+                               serve_error_report(0, false, "shutting_down",
+                                                  "server is shutting down")
+                                   .to_string())))
+          bump(&Stats::responses);
+        closed = true;
+        break;
+      }
+    }
+  }
+  ::shutdown(conn->fd, SHUT_RDWR);
+}
+
+void Server::Impl::accept_loop(Server* server) {
+  for (;;) {
+    if (config.cancel != nullptr && config.cancel->requested()) {
+      std::lock_guard<std::mutex> lock(mutex);
+      stop_requested = true;
+      external_stop = true;
+    }
+    if (stopping()) break;
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      ++stats.connections;
+      connections.push_back(conn);
+      readers.emplace_back([this, conn] { reader_loop(conn); });
+    }
+  }
+  // Tear down: make every blocked recv() return, so readers exit.
+  server->request_stop();
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    for (const ConnectionPtr& conn : connections)
+      ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    to_join.swap(readers);
+  }
+  for (std::thread& reader : to_join)
+    if (reader.joinable()) reader.join();
+  // Drain queued jobs (their guards are cancelled, so they finish
+  // promptly with typed aborted responses), then close the sockets.
+  jobs->stop(/*drain=*/true);
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    for (const ConnectionPtr& conn : connections) ::close(conn->fd);
+    connections.clear();
+    accept_done = true;
+  }
+  stopped_cv.notify_all();
+}
+
+Server::Server(ServerConfig config)
+    : impl_(std::make_unique<Impl>(config)) {
+  SessionConfig session_config;
+  session_config.cache = &impl_->cache;
+  session_config.cancel = &impl_->job_cancel;
+  Impl* impl = impl_.get();
+  session_config.extra_stats = [impl] {
+    JsonValue stats = JsonValue::object();
+    Stats snapshot;
+    {
+      std::lock_guard<std::mutex> lock(impl->mutex);
+      snapshot = impl->stats;
+    }
+    JsonValue server_json = JsonValue::object();
+    server_json.set("connections", JsonValue::number(snapshot.connections));
+    server_json.set("requests", JsonValue::number(snapshot.requests));
+    server_json.set("responses", JsonValue::number(snapshot.responses));
+    server_json.set("protocol_errors",
+                    JsonValue::number(snapshot.protocol_errors));
+    stats.set("server", std::move(server_json));
+    const JobQueue::Stats queue = impl->jobs != nullptr
+                                      ? impl->jobs->stats()
+                                      : JobQueue::Stats{};
+    JsonValue queue_json = JsonValue::object();
+    queue_json.set("submitted", JsonValue::number(queue.submitted));
+    queue_json.set("completed", JsonValue::number(queue.completed));
+    queue_json.set("rejected", JsonValue::number(queue.rejected));
+    queue_json.set("queued", JsonValue::number(
+                                 static_cast<std::uint64_t>(queue.queued)));
+    queue_json.set("workers", JsonValue::number(
+                                  static_cast<std::uint64_t>(queue.workers)));
+    stats.set("queue", std::move(queue_json));
+    return stats;
+  };
+  impl_->session = std::make_unique<Session>(std::move(session_config));
+}
+
+Server::~Server() {
+  request_stop();
+  if (impl_->accept_thread.joinable()) wait();
+  if (impl_->listen_fd >= 0) ::close(impl_->listen_fd);
+}
+
+void Server::start() {
+  Impl& impl = *impl_;
+  impl.jobs = std::make_unique<JobQueue>(impl.config.num_workers);
+
+  impl.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (impl.listen_fd < 0)
+    throw std::runtime_error(std::string("serve: socket: ") +
+                             std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(impl.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(impl.config.port);
+  if (::bind(impl.listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0)
+    throw std::runtime_error("serve: cannot bind 127.0.0.1:" +
+                             std::to_string(impl.config.port) + ": " +
+                             std::strerror(errno));
+  if (::listen(impl.listen_fd, 64) != 0)
+    throw std::runtime_error(std::string("serve: listen: ") +
+                             std::strerror(errno));
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(impl.listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0)
+    throw std::runtime_error(std::string("serve: getsockname: ") +
+                             std::strerror(errno));
+  impl.bound_port = ntohs(bound.sin_port);
+
+  impl.accept_thread = std::thread([this] { impl_->accept_loop(this); });
+}
+
+std::uint16_t Server::port() const { return impl_->bound_port; }
+
+void Server::request_stop() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop_requested = true;
+  }
+  // Cancel in-flight jobs: their guards observe the token at the next
+  // checkpoint and abort with AbortReason::kCancelled.
+  impl_->job_cancel.request();
+}
+
+bool Server::wait() {
+  if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->stopped_cv.wait(lock, [this] { return impl_->accept_done; });
+  return impl_->external_stop;
+}
+
+Server::Stats Server::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->stats;
+}
+
+CircuitCache& Server::cache() { return impl_->cache; }
+
+}  // namespace rd::serve

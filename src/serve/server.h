@@ -1,0 +1,90 @@
+// `rdfast serve` — the persistent classification daemon (DESIGN.md
+// §12).
+//
+// A Server owns one loopback TCP listener plus the serving machinery
+// behind it: a FrameDecoder per connection, a shared CircuitCache, a
+// JobQueue of persistent workers, and one Session that executes every
+// request.  Each accepted connection gets a reader thread (connections
+// are cheap and mostly idle; jobs are the expensive part and those are
+// bounded by the queue's worker count).  Responses are written under a
+// per-connection mutex, so concurrent jobs of one connection never
+// interleave frames; requests carry client-chosen ids precisely so
+// out-of-order completion is unambiguous.
+//
+// Shutdown has two triggers with one path: an {"op": "shutdown"}
+// request or the external cancellation token (the CLI's SIGINT
+// handler).  Both funnel into request_stop(), which stops the
+// listener, cancels in-flight guards (jobs abort cooperatively with
+// AbortReason::kCancelled), and wakes wait().  The daemon never
+// hard-kills a job — every in-flight request still gets a schema-valid
+// (possibly aborted) response before its connection closes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "serve/circuit_cache.h"
+#include "util/exec_guard.h"
+
+namespace rd::serve {
+
+struct ServerConfig {
+  /// Loopback port; 0 binds an ephemeral port (read it back via
+  /// port()).
+  std::uint16_t port = 0;
+
+  /// JobQueue worker threads (concurrent requests in flight).
+  std::size_t num_workers = 1;
+
+  /// CircuitCache capacity in entries.
+  std::size_t cache_capacity = 64;
+
+  /// Per-frame payload ceiling.
+  std::size_t max_frame_bytes = 0;  // 0 = kDefaultMaxFrameBytes
+
+  /// External stop signal (the CLI chains SIGINT through this); also
+  /// chained into every request guard.  Not owned; may be null.
+  CancellationToken* cancel = nullptr;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the accept thread.  Throws
+  /// std::runtime_error when the socket cannot be set up.
+  void start();
+
+  /// The bound port (valid after start()).
+  std::uint16_t port() const;
+
+  /// Initiates shutdown: stop accepting, cancel in-flight request
+  /// guards, wake wait().  Callable from any thread, including a job.
+  void request_stop();
+
+  /// Blocks until the server has fully stopped (listener closed,
+  /// readers joined, job queue drained).  Returns true if the stop was
+  /// triggered by the external cancellation token rather than a
+  /// shutdown request.
+  bool wait();
+
+  struct Stats {
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;      // complete frames received
+    std::uint64_t responses = 0;     // frames written back
+    std::uint64_t protocol_errors = 0;
+  };
+  Stats stats() const;
+
+  CircuitCache& cache();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rd::serve

@@ -1,8 +1,22 @@
 #include "util/strings.h"
 
 #include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
 
 namespace rd {
+
+namespace {
+
+[[noreturn]] void bad_number(std::string_view what, std::string_view text,
+                             const char* detail) {
+  throw std::invalid_argument(std::string(what) + ": bad value '" +
+                              std::string(text) + "' (" + detail + ")");
+}
+
+}  // namespace
 
 std::string_view trim(std::string_view text) {
   std::size_t begin = 0;
@@ -34,6 +48,46 @@ std::string to_lower(std::string_view text) {
 
 bool starts_with(std::string_view text, std::string_view prefix) {
   return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::uint64_t parse_uint64_strict(std::string_view text,
+                                  std::string_view what) {
+  if (text.empty()) bad_number(what, text, "expected an unsigned integer");
+  // from_chars accepts a leading '-' for unsigned types by negating;
+  // reject any sign explicitly so "-1" can never mean 2^64-1.
+  if (text[0] == '-' || text[0] == '+')
+    bad_number(what, text, "expected an unsigned integer");
+  std::uint64_t value = 0;
+  const char* const begin = text.data();
+  const char* const end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value, 10);
+  if (ec == std::errc::result_out_of_range)
+    bad_number(what, text, "value exceeds 64 bits");
+  if (ec != std::errc{} || ptr != end)
+    bad_number(what, text, "expected an unsigned integer");
+  return value;
+}
+
+std::size_t parse_size_strict(std::string_view text, std::string_view what) {
+  const std::uint64_t value = parse_uint64_strict(text, what);
+  if (value > SIZE_MAX) bad_number(what, text, "value exceeds size_t");
+  return static_cast<std::size_t>(value);
+}
+
+double parse_double_strict(std::string_view text, std::string_view what) {
+  if (text.empty()) bad_number(what, text, "expected a number");
+  const char first = text[0];
+  if (first != '.' && !std::isdigit(static_cast<unsigned char>(first)))
+    bad_number(what, text, "expected a non-negative number");
+  // strtod needs a terminated buffer; flags are short, so copy.
+  const std::string buffer(text);
+  char* parse_end = nullptr;
+  const double value = std::strtod(buffer.c_str(), &parse_end);
+  if (parse_end != buffer.c_str() + buffer.size())
+    bad_number(what, text, "expected a number");
+  if (!std::isfinite(value)) bad_number(what, text, "value is not finite");
+  if (value < 0.0) bad_number(what, text, "expected a non-negative number");
+  return value;
 }
 
 }  // namespace rd

@@ -1,6 +1,9 @@
-// Small string utilities shared by the netlist readers.
+// Small string utilities shared by the netlist readers, plus the
+// strict numeric flag parsers every request-facing surface (CLI flags,
+// bench options, daemon request fields) funnels through.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -19,5 +22,24 @@ std::string to_lower(std::string_view text);
 
 /// True if `text` begins with `prefix`.
 bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Strict decimal uint64 parse for user-supplied values (CLI flags,
+/// request fields).  Unlike std::stoull this rejects — with a
+/// std::invalid_argument naming `what` and the offending text — empty
+/// input, any sign, leading/trailing garbage ("8x", " 8"), and values
+/// that overflow 64 bits, instead of silently truncating, accepting
+/// "-1" as 2^64-1, or throwing an uncatchable-looking out_of_range
+/// from deep inside a flag loop.
+std::uint64_t parse_uint64_strict(std::string_view text,
+                                  std::string_view what);
+
+/// parse_uint64_strict narrowed to size_t (identical on LP64; rejects
+/// values above SIZE_MAX elsewhere).
+std::size_t parse_size_strict(std::string_view text, std::string_view what);
+
+/// Strict finite non-negative double parse for user-supplied values.
+/// Rejects empty input, signs, trailing garbage, NaN/Inf spellings and
+/// overflowing literals with std::invalid_argument naming `what`.
+double parse_double_strict(std::string_view text, std::string_view what);
 
 }  // namespace rd

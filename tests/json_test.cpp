@@ -48,6 +48,31 @@ TEST(Json, NumberTokenPreservesArbitraryPrecision) {
   EXPECT_EQ(back.to_string(), big + "\n");
 }
 
+TEST(Json, Uint64AccessorRejectsOverflowAsRuntimeError) {
+  // Regression: as_uint64() used std::stoull, which throws
+  // std::out_of_range (a logic_error) on a huge-but-valid number
+  // token.  Schema validation only catches runtime_error, so a report
+  // with e.g. a 20-digit schema_version crashed the validator instead
+  // of producing a problem list.  The accessor must reject overflow
+  // with std::runtime_error while the *parse* keeps accepting the
+  // token (BigUint totals legitimately exceed 64 bits).
+  const JsonValue huge = parse_json("99999999999999999999");
+  ASSERT_TRUE(huge.is_number());
+  EXPECT_THROW(huge.as_uint64(), std::runtime_error);
+  try {
+    huge.as_uint64();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("64 bits"), std::string::npos);
+  }
+  // Non-integer and negative tokens are equally runtime_errors.
+  EXPECT_THROW(parse_json("1.5").as_uint64(), std::runtime_error);
+  EXPECT_THROW(parse_json("-3").as_uint64(), std::runtime_error);
+  // The 64-bit boundary itself still converts.
+  EXPECT_EQ(parse_json("18446744073709551615").as_uint64(),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
 TEST(Json, NonFiniteDoublesSerializeAsNull) {
   EXPECT_TRUE(JsonValue::number(std::nan("")).is_null());
   EXPECT_TRUE(

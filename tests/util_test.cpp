@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -199,6 +200,46 @@ TEST(Strings, ToLowerAndStartsWith) {
   EXPECT_EQ(to_lower("NAND"), "nand");
   EXPECT_TRUE(starts_with("INPUT(x)", "INPUT"));
   EXPECT_FALSE(starts_with("IN", "INPUT"));
+}
+
+TEST(Strings, ParseUint64Strict) {
+  EXPECT_EQ(parse_uint64_strict("0", "--n"), 0u);
+  EXPECT_EQ(parse_uint64_strict("18446744073709551615", "--n"),
+            std::numeric_limits<std::uint64_t>::max());
+  // Everything std::stoull silently accepts or mangles is rejected:
+  // overflow (stoull: out_of_range from deep in a flag loop), signs
+  // (stoull: "-1" wraps to 2^64-1), trailing garbage and whitespace
+  // (stoull: ignored), empty input.
+  EXPECT_THROW(parse_uint64_strict("18446744073709551616", "--n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_uint64_strict("99999999999999999999", "--n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_uint64_strict("-1", "--n"), std::invalid_argument);
+  EXPECT_THROW(parse_uint64_strict("+1", "--n"), std::invalid_argument);
+  EXPECT_THROW(parse_uint64_strict("8x", "--n"), std::invalid_argument);
+  EXPECT_THROW(parse_uint64_strict(" 8", "--n"), std::invalid_argument);
+  EXPECT_THROW(parse_uint64_strict("", "--n"), std::invalid_argument);
+  EXPECT_THROW(parse_uint64_strict("0x10", "--n"), std::invalid_argument);
+  // The flag name lands in the message so the user knows which flag.
+  try {
+    parse_uint64_strict("nope", "--work-limit");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("--work-limit"),
+              std::string::npos);
+  }
+}
+
+TEST(Strings, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(parse_double_strict("1.5", "--ms"), 1.5);
+  EXPECT_DOUBLE_EQ(parse_double_strict("0", "--ms"), 0.0);
+  EXPECT_DOUBLE_EQ(parse_double_strict(".25", "--ms"), 0.25);
+  EXPECT_THROW(parse_double_strict("-1.5", "--ms"), std::invalid_argument);
+  EXPECT_THROW(parse_double_strict("1.5s", "--ms"), std::invalid_argument);
+  EXPECT_THROW(parse_double_strict("nan", "--ms"), std::invalid_argument);
+  EXPECT_THROW(parse_double_strict("inf", "--ms"), std::invalid_argument);
+  EXPECT_THROW(parse_double_strict("", "--ms"), std::invalid_argument);
+  EXPECT_THROW(parse_double_strict("1e999", "--ms"), std::invalid_argument);
 }
 
 TEST(Stopwatch, FormatDuration) {
