@@ -1,0 +1,241 @@
+// bench_eco — edit-sequence (ECO) study for the incremental
+// reclassifier (DESIGN.md §13, EXPERIMENTS.md).
+//
+// Protocol: take a benchmark circuit, plan a sequence of single-gate
+// rewrites (AND<->OR / NAND<->NOR, arity-preserving), and replay the
+// sequence through two flows:
+//
+//   * full  — after every edit, reclassify the whole circuit from
+//     scratch (fresh store each revision): the no-cache baseline.
+//   * eco   — one shared ConeCacheStore seeded by the pre-edit run;
+//     every edit reclassifies only the cones whose fan-in contains the
+//     edited gate and serves the rest from the store.
+//
+// The headline number is the wall-clock ratio full/eco over the edit
+// sequence; the structural number backing it is the reclassified-cone
+// fraction (misses over cones x edits), which is the paper-style
+// "~cone-sized incremental cost" claim in circuit terms.  A
+// correctness verdict rides along and gates scripts/run_bench.sh
+// --eco: for every revision, the warm incremental result must carry
+// exactly the same deterministic fields as a cold run of that
+// revision — the cache must change *when* work happens, never what
+// comes out.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "cache/eco_classify.h"
+#include "gen/iscas_like.h"
+#include "netlist/transform.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace rd;
+
+struct EditStep {
+  GateId gate = kNullGate;
+  GateType to = GateType::kOr;
+};
+
+/// Plans up to `count` arity-preserving single-gate rewrites, spread
+/// evenly over the circuit's editable gates so consecutive edits land
+/// in different cones when the structure allows it.
+std::vector<EditStep> plan_edits(const Circuit& circuit, std::size_t count) {
+  std::vector<EditStep> editable;
+  for (GateId g = 0; g < circuit.num_gates(); ++g) {
+    switch (circuit.gate(g).type) {
+      case GateType::kAnd:
+        editable.push_back({g, GateType::kOr});
+        break;
+      case GateType::kOr:
+        editable.push_back({g, GateType::kAnd});
+        break;
+      case GateType::kNand:
+        editable.push_back({g, GateType::kNor});
+        break;
+      case GateType::kNor:
+        editable.push_back({g, GateType::kNand});
+        break;
+      default:
+        break;
+    }
+  }
+  std::vector<EditStep> planned;
+  if (editable.empty()) return planned;
+  count = std::min(count, editable.size());
+  for (std::size_t i = 0; i < count; ++i)
+    planned.push_back(editable[i * editable.size() / count]);
+  return planned;
+}
+
+/// The deterministic projection two runs must share bit for bit:
+/// verdicts, totals, work and implication counters, kept-path keys —
+/// everything except wall-clock observability.
+bool same_deterministic_fields(const ClassifyResult& a,
+                               const ClassifyResult& b) {
+  return a.completed == b.completed && a.abort_reason == b.abort_reason &&
+         a.kept_paths == b.kept_paths && a.total_logical == b.total_logical &&
+         a.rd_paths == b.rd_paths && a.rd_percent == b.rd_percent &&
+         a.work == b.work &&
+         a.implication.assignments == b.implication.assignments &&
+         a.implication.propagations == b.implication.propagations &&
+         a.implication.conflicts == b.implication.conflicts &&
+         a.implication.backward == b.implication.backward &&
+         a.kept_keys == b.kept_keys;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Options options = bench::parse_options(argc, argv);
+  const std::vector<std::string> all =
+      options.quick ? std::vector<std::string>{"c432"}
+                    : std::vector<std::string>{"c432", "c499", "c880"};
+  const std::size_t num_edits = options.quick ? 3 : 6;
+  const int runs = options.quick ? 3 : 5;
+
+  std::printf(
+      "bench_eco: %zu-edit sequences, full reclassification vs warm "
+      "incremental (median of %d)\n\n",
+      num_edits, runs);
+  std::printf("%-8s %6s %6s %9s %9s %11s %11s %9s %s\n", "circuit", "cones",
+              "edits", "touched", "reclass%", "full(s)", "eco(s)", "speedup",
+              "identical");
+
+  bench::BenchReport report(options, "eco");
+  bool ok = true;
+  bool ran_any = false;
+
+  for (const std::string& name : all) {
+    if (!options.selected(name)) continue;
+    const Circuit base = make_benchmark(name);
+    const std::vector<EditStep> edits = plan_edits(base, num_edits);
+    if (edits.empty()) {
+      std::fprintf(stderr, "bench_eco: %s has no editable gate\n",
+                   name.c_str());
+      ok = false;
+      continue;
+    }
+    ran_any = true;
+
+    // The revision chain: each edit builds on the previous revision,
+    // the realistic ECO flow (not K independent perturbations).
+    std::vector<Circuit> revisions;
+    revisions.reserve(edits.size());
+    {
+      const Circuit* current = &base;
+      for (const EditStep& edit : edits) {
+        revisions.push_back(with_gate_type(*current, edit.gate, edit.to));
+        current = &revisions.back();
+      }
+    }
+
+    EcoOptions eco;
+    eco.base.work_limit = options.work_limit;
+    eco.base.num_threads = options.threads;
+
+    // Correctness pass (untimed): warm incremental vs cold per
+    // revision, plus the hit/miss tallies behind the structural claim.
+    bool identical = true;
+    bool completed = true;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t cones = 0;
+    {
+      ConeCacheStore store;
+      const EcoResult seed = classify_eco(base, store, eco);
+      completed = seed.classify.completed;
+      cones = seed.stats.cones;
+      for (const Circuit& revision : revisions) {
+        const EcoResult warm = classify_eco(revision, store, eco);
+        ConeCacheStore fresh;
+        const EcoResult cold = classify_eco(revision, fresh, eco);
+        completed = completed && warm.classify.completed;
+        identical =
+            identical && same_deterministic_fields(warm.classify, cold.classify);
+        hits += warm.stats.hits;
+        misses += warm.stats.misses;
+      }
+    }
+
+    // full flow: every revision reclassified from scratch.
+    const double full_seconds = bench::median_wall_seconds(runs, [&] {
+      for (const Circuit& revision : revisions) {
+        ConeCacheStore fresh;
+        classify_eco(revision, fresh, eco);
+      }
+    });
+
+    // eco flow: the seeding run is part of every sample's setup but
+    // not of its timing — the study measures the *incremental* cost of
+    // the edits, which is what an ECO loop pays after the first run.
+    // (median_wall_seconds can't express untimed setup, so the
+    // warmup + median protocol is replicated here.)
+    const auto eco_sample = [&] {
+      ConeCacheStore store;
+      classify_eco(base, store, eco);
+      Stopwatch watch;
+      for (const Circuit& revision : revisions)
+        classify_eco(revision, store, eco);
+      return watch.elapsed_seconds();
+    };
+    eco_sample();  // warmup
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(runs));
+    for (int run = 0; run < runs; ++run) samples.push_back(eco_sample());
+    std::sort(samples.begin(), samples.end());
+    const double eco_seconds = samples[samples.size() / 2];
+
+    const std::uint64_t lookups = cones * edits.size();
+    const double reclassified =
+        lookups == 0
+            ? 0.0
+            : static_cast<double>(misses) / static_cast<double>(lookups);
+    const bool timeable = full_seconds >= bench::kSpeedupWallFloorSeconds &&
+                          eco_seconds >= bench::kSpeedupWallFloorSeconds;
+    const double speedup = timeable ? full_seconds / eco_seconds : 0.0;
+
+    char speedup_text[32];
+    if (timeable) {
+      std::snprintf(speedup_text, sizeof speedup_text, "%.2fx", speedup);
+    } else {
+      std::snprintf(speedup_text, sizeof speedup_text, "n/a");
+    }
+    std::printf("%-8s %6llu %6zu %9llu %8.1f%% %11.4f %11.4f %9s %s\n",
+                name.c_str(), static_cast<unsigned long long>(cones),
+                edits.size(), static_cast<unsigned long long>(misses),
+                reclassified * 100.0, full_seconds, eco_seconds, speedup_text,
+                identical ? "yes" : "NO");
+
+    JsonValue row = JsonValue::object();
+    row.set("kind", JsonValue::string("eco"));
+    row.set("circuit", JsonValue::string(name));
+    row.set("cones", JsonValue::number(cones));
+    row.set("edits",
+            JsonValue::number(static_cast<std::uint64_t>(edits.size())));
+    row.set("touched_cones", JsonValue::number(misses));
+    row.set("cached_cones", JsonValue::number(hits));
+    row.set("reclassified_fraction", JsonValue::number(reclassified));
+    row.set("full_seconds", JsonValue::number(full_seconds));
+    row.set("eco_seconds", JsonValue::number(eco_seconds));
+    row.set("speedup",
+            timeable ? JsonValue::number(speedup) : JsonValue::null());
+    row.set("identical", JsonValue::boolean(identical));
+    row.set("completed", JsonValue::boolean(completed));
+    report.add_row(std::move(row));
+
+    // Gate: warm == cold on every revision, every run completed, and
+    // the incremental flow did strictly less structural work than the
+    // full flow (some cones served from cache).
+    ok = ok && identical && completed && misses < lookups;
+  }
+
+  if (!ran_any) {
+    std::fprintf(stderr, "bench_eco: no circuit selected\n");
+    ok = false;
+  }
+  report.write();
+  return ok ? 0 : 1;
+}

@@ -11,7 +11,10 @@
 //                                            "Serving"): --port=N (0 =
 //                                            ephemeral), --port-file=F,
 //                                            --workers=N,
-//                                            --cache-capacity=N
+//                                            --cache-capacity=N,
+//                                            --cone-cache-dir=D
+//                                            (persist the cone cache
+//                                            for incremental requests)
 //   rdfast_cli request  <port|@port-file> [options]
 //                                            one request against a
 //                                            running daemon: --op=
@@ -38,6 +41,13 @@
 //                                   are identical for every N)
 //                    --stats-json=FILE  write a schema-versioned run
 //                                   report (see DESIGN.md)
+//                    --incremental  per-PO cone decomposition over the
+//                                   cone cache (ECO mode, DESIGN.md
+//                                   §13); bit-identical to itself for
+//                                   every thread count and cache state
+//                    --cache-dir=D  load/persist the cone cache under
+//                                   directory D (implies --incremental;
+//                                   D is created if its parent exists)
 // atpg options:      --max-paths=N   cap on enumerated must-test paths
 //                    --threads=N
 //                    --stats-json=FILE
@@ -52,6 +62,10 @@
 //   --inject-abort-after=N [--inject-abort-reason=deadline|memory|
 //   cancelled|work_budget]   trip the guard at its Nth check
 //   --inject-sigint-after=N  raise SIGINT at the Nth guard check
+//   --inject-cache-truncate-after=N / --inject-cache-flip-bit=N /
+//   --inject-cache-crash-after=N   damage the cone-cache save
+//   (truncated image / single bit flip / SIGKILL mid-write) so the
+//   next run's recovery ladder is exercised deterministically
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -66,6 +80,7 @@
 #include <string>
 
 #include "atpg/testset.h"
+#include "cache/eco_classify.h"
 #include "core/heuristics.h"
 #include "core/report.h"
 #include "core/resilient.h"
@@ -80,6 +95,7 @@
 #include "serve/frame.h"
 #include "serve/server.h"
 #include "serve/session.h"
+#include "util/fsdir.h"
 #include "util/metrics.h"
 #include "sta/timing.h"
 #include "util/rng.h"
@@ -191,6 +207,9 @@ int cmd_classify(const std::string& spec, int argc, char** argv) {
   std::string heuristic = "2";
   std::string engine = "approx";
   std::string stats_json;
+  std::string cache_dir;
+  bool incremental = false;
+  CacheFaultInjection cache_inject;
   ClassifyOptions base;
   GuardFlags guard_flags;
   for (int i = 0; i < argc; ++i) {
@@ -207,10 +226,39 @@ int cmd_classify(const std::string& spec, int argc, char** argv) {
       base.lanes = parse_size_strict(arg.substr(8), "--lanes");
     else if (starts_with(arg, "--stats-json="))
       stats_json = arg.substr(13);
+    else if (arg == "--incremental")
+      incremental = true;
+    else if (starts_with(arg, "--cache-dir=")) {
+      // Validated before any work: a bad directory is a usage error
+      // naming the flag, not a mid-run I/O failure.
+      cache_dir = validate_directory_flag(arg.substr(12), "--cache-dir");
+      incremental = true;
+    } else if (starts_with(arg, "--inject-cache-truncate-after="))
+      cache_inject.truncate_after_bytes = parse_uint64_strict(
+          arg.substr(30), "--inject-cache-truncate-after");
+    else if (starts_with(arg, "--inject-cache-flip-bit="))
+      cache_inject.flip_bit =
+          parse_uint64_strict(arg.substr(24), "--inject-cache-flip-bit");
+    else if (starts_with(arg, "--inject-cache-crash-after="))
+      cache_inject.crash_after_bytes = parse_uint64_strict(
+          arg.substr(27), "--inject-cache-crash-after");
     else if (!guard_flags.parse(arg)) {
       std::fprintf(stderr, "unknown classify option: %s\n", arg.c_str());
       return 2;
     }
+  }
+  if (!incremental && (cache_inject.truncate_after_bytes != 0 ||
+                       cache_inject.flip_bit != 0 ||
+                       cache_inject.crash_after_bytes != 0)) {
+    std::fprintf(stderr,
+                 "usage error: --inject-cache-* requires --incremental\n");
+    return 2;
+  }
+  if (incremental && engine == "resilient") {
+    std::fprintf(stderr,
+                 "usage error: --incremental does not compose with "
+                 "--engine=resilient\n");
+    return 2;
   }
   // --engine=bitpar is --engine=approx with the 64-wide lane engine
   // evaluating sibling branches (bit-identical results; --lanes=N
@@ -231,6 +279,8 @@ int cmd_classify(const std::string& spec, int argc, char** argv) {
   Stopwatch watch;
   RdIdentification rd;
   ResilientClassifyResult resilient;
+  ConeCacheStore cone_store;
+  EcoStats eco_stats;
   const bool use_ladder = engine == "resilient";
   if (use_ladder) {
     ResilientOptions options;
@@ -241,6 +291,24 @@ int cmd_classify(const std::string& spec, int argc, char** argv) {
   } else if (engine != "approx") {
     std::fprintf(stderr, "unknown engine '%s'\n", engine.c_str());
     return 2;
+  } else if (incremental) {
+    if (heuristic != "1" && heuristic != "2" && heuristic != "inverse" &&
+        heuristic != "fus") {
+      std::fprintf(stderr, "unknown heuristic '%s'\n", heuristic.c_str());
+      return 2;
+    }
+    if (!cache_dir.empty()) cone_store.load(cache_dir);
+    EcoOptions options;
+    options.sort_spec = heuristic;
+    options.base = base;
+    EcoResult eco = classify_eco(circuit, cone_store, options);
+    // Persist before reporting: a crash-injection run must leave the
+    // same artifacts a real crash would, nothing more.
+    if (!cache_dir.empty()) cone_store.save(cache_dir, cache_inject);
+    rd.classify = std::move(eco.classify);
+    rd.sort_seconds = eco.stats.sort_seconds;
+    rd.prerun_work = eco.stats.prerun_work;
+    eco_stats = eco.stats;
   } else if (heuristic == "fus") {
     rd.classify = classify_fus(circuit, base);
   } else if (heuristic == "1") {
@@ -257,21 +325,38 @@ int cmd_classify(const std::string& spec, int argc, char** argv) {
   if (!stats_json.empty()) {
     record_classify_metrics(result, global_metrics());
     JsonValue report = classify_run_report(
-        circuit.name(), use_ladder ? "resilient" : heuristic, rd,
-        &global_metrics());
+        circuit.name(),
+        use_ladder    ? "resilient"
+        : incremental ? "eco:" + heuristic
+                      : heuristic,
+        rd, &global_metrics());
     if (use_ladder) report.set("resilient", resilient_json(resilient));
+    if (incremental)
+      report.set("eco", eco_json(eco_stats, cone_store.stats()));
     write_json_file(stats_json, report);
   }
+  std::string method_text =
+      heuristic == "fus" ? "FUS baseline [2]" : "Heuristic " + heuristic;
+  if (use_ladder)
+    method_text = "resilient ladder (" +
+                  std::string(engine_rung_name(resilient.engine)) + ")";
+  else if (incremental)
+    method_text = "incremental (" + method_text + ")";
   std::printf("circuit        : %s\n", circuit.name().c_str());
-  std::printf("method         : %s\n",
-              use_ladder
-                  ? ("resilient ladder (" +
-                     std::string(engine_rung_name(resilient.engine)) + ")")
-                        .c_str()
-              : heuristic == "fus" ? "FUS baseline [2]"
-                                   : ("Heuristic " + heuristic).c_str());
+  std::printf("method         : %s\n", method_text.c_str());
   std::printf("logical paths  : %s\n",
               result.total_logical.to_decimal_grouped().c_str());
+  if (incremental) {
+    const ConeCacheStore::Stats cache_stats = cone_store.stats();
+    std::printf("cones          : %llu (%llu cached, %llu reclassified)\n",
+                static_cast<unsigned long long>(eco_stats.cones),
+                static_cast<unsigned long long>(eco_stats.hits),
+                static_cast<unsigned long long>(eco_stats.misses));
+    if (cache_stats.recovery.total() != 0)
+      std::printf("cache recovery : %llu damaged artifact(s) survived\n",
+                  static_cast<unsigned long long>(
+                      cache_stats.recovery.total()));
+  }
   if (!result.completed) {
     const AbortReason reason = result.abort_reason == AbortReason::kNone
                                    ? AbortReason::kWorkBudget
@@ -483,6 +568,9 @@ int cmd_serve(int argc, char** argv) {
     } else if (starts_with(arg, "--cache-capacity=")) {
       config.cache_capacity =
           parse_size_strict(arg.substr(17), "--cache-capacity");
+    } else if (starts_with(arg, "--cone-cache-dir=")) {
+      config.cone_cache_dir =
+          validate_directory_flag(arg.substr(17), "--cone-cache-dir");
     } else {
       std::fprintf(stderr, "unknown serve option: %s\n", arg.c_str());
       return 2;
@@ -617,6 +705,8 @@ int cmd_request(const std::string& port_spec, int argc, char** argv) {
       request.set("max_paths",
                   JsonValue::number(
                       parse_uint64_strict(arg.substr(12), "--max-paths")));
+    else if (arg == "--incremental")
+      request.set("incremental", JsonValue::boolean(true));
     else if (starts_with(arg, "--deadline-ms="))
       guard.set("deadline_ms",
                 JsonValue::number(
@@ -713,7 +803,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s stats|classify|atpg|gen|report|select|verilog|dimacs|validate-json <circuit|file> [options]\n"
-                 "       %s serve [--port=N] [--port-file=F] [--workers=N] [--cache-capacity=N]\n"
+                 "       %s serve [--port=N] [--port-file=F] [--workers=N] [--cache-capacity=N] [--cone-cache-dir=D]\n"
                  "       %s request <port|@port-file> [--op=OP] [--circuit=SPEC] [options]\n",
                  argv[0], argv[0], argv[0]);
     return 2;

@@ -49,6 +49,19 @@ one-shot session on every deterministic field, the fault-injected
 probe aborted with a typed reason while the concurrent replay
 completed, and positive latency/throughput numbers.
 
+Eco mode (one file):
+
+    scripts/compare_bench.py --eco BENCH_eco.json [--min-eco-speedup X]
+
+Gates the edit-sequence study (bench_eco): every circuit row must show
+the warm incremental flow bit-identical to cold full reclassification
+(``identical``), every run completed, and strictly fewer reclassified
+cones than the full flow pays (``touched_cones`` below cones x edits).
+At least one row must carry a measurable wall-clock ``speedup`` of at
+least --min-eco-speedup (default 1.0); rows whose runs were
+sub-millisecond report ``null`` and are exempt from the timing check
+but not from the structural ones.
+
 Stdlib only; exits 0 on success, 1 on any failure, 2 on usage errors.
 """
 
@@ -251,6 +264,58 @@ def check_serve(report, min_requests, min_hit_rate):
     return failures
 
 
+def check_eco(report, min_eco_speedup):
+    failures = []
+    if report.get("bench") != "eco":
+        failures.append(
+            f"--eco expects a bench_eco report, got {report.get('bench')!r}")
+        return failures
+    rows = [row for row in report["rows"]
+            if isinstance(row, dict) and row.get("kind") == "eco"]
+    if not rows:
+        failures.append("no eco rows (bench_eco ran nothing)")
+        return failures
+
+    best_speedup = None
+    for index, row in enumerate(report["rows"]):
+        if not (isinstance(row, dict) and row.get("kind") == "eco"):
+            continue
+        label = row_label(report, index)
+        for field in ("cones", "edits", "touched_cones", "cached_cones",
+                      "reclassified_fraction", "full_seconds", "eco_seconds"):
+            if field not in row:
+                failures.append(f"{label}: missing field {field}")
+        if row.get("identical") is not True:
+            failures.append(
+                f"{label}: warm incremental not bit-identical to cold "
+                "reclassification (identical != true)")
+        if row.get("completed") is not True:
+            failures.append(f"{label}: a run aborted (completed != true)")
+        cones, edits = row.get("cones"), row.get("edits")
+        touched = row.get("touched_cones")
+        if all(isinstance(v, int) for v in (cones, edits, touched)):
+            if touched >= cones * edits:
+                failures.append(
+                    f"{label}: incremental flow reclassified everything "
+                    f"({touched} of {cones * edits} cone runs)")
+        for field in ("full_seconds", "eco_seconds"):
+            value = row.get(field)
+            if not isinstance(value, (int, float)) or value <= 0:
+                failures.append(f"{label}: {field} is not a positive number")
+        speedup = row.get("speedup")
+        if isinstance(speedup, (int, float)):
+            if best_speedup is None or speedup > best_speedup:
+                best_speedup = speedup
+    if best_speedup is None:
+        failures.append(
+            "no row carries a measurable speedup (all runs sub-millisecond?)")
+    elif best_speedup < min_eco_speedup:
+        failures.append(
+            f"best eco speedup {best_speedup:.3g} is below the "
+            f"{min_eco_speedup:g}x floor")
+    return failures
+
+
 def main(argv):
     parser = argparse.ArgumentParser(
         prog="compare_bench.py",
@@ -260,6 +325,8 @@ def main(argv):
                         help="validate a single bench_micro report")
     parser.add_argument("--serve", dest="serve_check", action="store_true",
                         help="validate a single bench_serve report")
+    parser.add_argument("--eco", dest="eco_check", action="store_true",
+                        help="validate a single bench_eco report")
     parser.add_argument("--tolerance", type=float, default=25.0,
                         help="allowed timing regression in percent (diff mode)")
     parser.add_argument("--ignore-time", action="store_true",
@@ -276,11 +343,17 @@ def main(argv):
                         help="replay size floor (serve mode)")
     parser.add_argument("--min-hit-rate", type=float, default=0.95,
                         help="cache hit rate floor (serve mode)")
+    parser.add_argument("--min-eco-speedup", type=float, default=1.0,
+                        help="incremental speedup floor (eco mode)")
     args = parser.parse_args(argv)
 
-    if args.self_check and args.serve_check:
-        parser.error("--self and --serve are mutually exclusive")
-    if args.serve_check:
+    if sum((args.self_check, args.serve_check, args.eco_check)) > 1:
+        parser.error("--self, --serve and --eco are mutually exclusive")
+    if args.eco_check:
+        if len(args.files) != 1:
+            parser.error("--eco takes exactly one report")
+        failures = check_eco(load_report(args.files[0]), args.min_eco_speedup)
+    elif args.serve_check:
         if len(args.files) != 1:
             parser.error("--serve takes exactly one report")
         failures = check_serve(load_report(args.files[0]), args.min_requests,

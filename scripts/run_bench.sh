@@ -19,7 +19,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-bench}"
 ARGS="${BENCH_ARGS---quick}"
 
-BENCHES=(micro engines table1 table2 table3 testset ablation approx figures serve)
+BENCHES=(micro engines table1 table2 table3 testset ablation approx figures serve eco)
 
 # bench_micro's mcnc-like throughput_ratio (compiled vs the frozen
 # reference engine) is gated at this floor by compare_bench.py --self.
@@ -95,6 +95,19 @@ if [ "$status" -eq 0 ]; then
        --min-requests "${RD_MIN_SERVE_REQUESTS:-2000}" \
        --min-hit-rate "${RD_MIN_SERVE_HIT_RATE:-0.95}"; then
     echo "bench_serve daemon gate FAILED" >&2
+    status=1
+  fi
+fi
+
+# Gate the incremental (ECO) claims: bench_eco's edit sequences must
+# show every warm incremental run bit-identical to cold full
+# reclassification, strictly fewer reclassified cones than the full
+# flow, and a measurable wall-clock speedup at or above the floor.
+# Override the floor: RD_MIN_ECO_SPEEDUP=1.2 scripts/run_bench.sh
+if [ "$status" -eq 0 ]; then
+  if ! python3 scripts/compare_bench.py --eco BENCH_eco.json \
+       --min-eco-speedup "${RD_MIN_ECO_SPEEDUP:-1.0}"; then
+    echo "bench_eco incremental gate FAILED" >&2
     status=1
   fi
 fi

@@ -1,0 +1,503 @@
+#include "cache/cone_cache.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "util/crc32.h"
+
+namespace rd {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'D', 'C', 'C', 'A', 'C', 'H', 'E'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint32_t kRecordMagic = 0x52434452u;  // "RDCR"
+constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 4;  // magic, ver, count, crc
+constexpr std::size_t kFrameBytes = 4 + 4 + 4;       // magic, len, crc
+// A record larger than this is damage, not data (the whole store is
+// capped far below it) — bounds the skip distance a corrupt length
+// field can command.
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 30;
+
+const char kFileName[] = "cone_cache.rdc";
+const char kTmpPrefix[] = "cone_cache.rdc.tmp";
+
+void append_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8)
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+/// Bounds-checked little-endian reader; any overrun latches fail().
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool fail() const { return fail_; }
+  bool at_end() const { return pos_ == size_; }
+
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return data_[pos_++];
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int shift = 0; shift < 32; shift += 8)
+      v |= static_cast<std::uint32_t>(data_[pos_++]) << shift;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 8)
+      v |= static_cast<std::uint64_t>(data_[pos_++]) << shift;
+    return v;
+  }
+  const std::uint8_t* bytes(std::size_t n) {
+    if (!need(n)) return nullptr;
+    const std::uint8_t* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
+ private:
+  bool need(std::size_t n) {
+    if (size_ - pos_ < n) {
+      fail_ = true;
+      pos_ = size_;
+      return false;
+    }
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool fail_ = false;
+};
+
+std::vector<std::uint8_t> serialize_record(const ConeRecord& record) {
+  std::vector<std::uint8_t> out;
+  append_u64(out, record.signature);
+  append_u32(out, static_cast<std::uint32_t>(record.canonical.size()));
+  out.insert(out.end(), record.canonical.begin(), record.canonical.end());
+  const ConeRecordData& data = record.data;
+  append_u64(out, data.kept_paths);
+  append_u64(out, data.work);
+  append_u64(out, data.implication.assignments);
+  append_u64(out, data.implication.propagations);
+  append_u64(out, data.implication.conflicts);
+  append_u64(out, data.implication.backward);
+  append_u32(out, static_cast<std::uint32_t>(data.total_logical.size()));
+  out.insert(out.end(), data.total_logical.begin(), data.total_logical.end());
+  append_u8(out, data.keys_complete ? 1 : 0);
+  append_u64(out, data.keys.size());
+  for (std::size_t i = 0; i < data.keys.size(); ++i) {
+    const std::vector<std::uint32_t> key = data.keys.key(i);
+    append_u32(out, static_cast<std::uint32_t>(key.size()));
+    for (const std::uint32_t word : key) append_u32(out, word);
+  }
+  return out;
+}
+
+/// Null on any structural defect (the caller counts malformed_record).
+std::shared_ptr<ConeRecord> deserialize_record(const std::uint8_t* payload,
+                                               std::size_t size) {
+  Reader in(payload, size);
+  auto record = std::make_shared<ConeRecord>();
+  record->signature = in.u64();
+  const std::uint32_t canonical_len = in.u32();
+  const std::uint8_t* canonical = in.bytes(canonical_len);
+  if (canonical != nullptr)
+    record->canonical.assign(canonical, canonical + canonical_len);
+  ConeRecordData& data = record->data;
+  data.kept_paths = in.u64();
+  data.work = in.u64();
+  data.implication.assignments = in.u64();
+  data.implication.propagations = in.u64();
+  data.implication.conflicts = in.u64();
+  data.implication.backward = in.u64();
+  const std::uint32_t total_len = in.u32();
+  const std::uint8_t* total = in.bytes(total_len);
+  if (total != nullptr)
+    data.total_logical.assign(reinterpret_cast<const char*>(total), total_len);
+  data.keys_complete = in.u8() != 0;
+  const std::uint64_t num_keys = in.u64();
+  std::vector<LeadId> segment;
+  for (std::uint64_t i = 0; i < num_keys && !in.fail(); ++i) {
+    const std::uint32_t len = in.u32();
+    if (len == 0) return nullptr;  // a key is at least its final bit
+    segment.clear();
+    for (std::uint32_t w = 0; w + 1 < len; ++w) segment.push_back(in.u32());
+    const std::uint32_t final_word = in.u32();
+    if (in.fail()) return nullptr;
+    data.keys.append(segment, final_word != 0);
+  }
+  if (in.fail() || !in.at_end()) return nullptr;
+  // Semantic sanity: the decimal total must be non-empty digits, and a
+  // complete key set must agree with the kept-path count.
+  if (data.total_logical.empty()) return nullptr;
+  for (const char c : data.total_logical)
+    if (c < '0' || c > '9') return nullptr;
+  if (data.keys_complete && data.keys.size() != data.kept_paths)
+    return nullptr;
+  if (record->canonical.empty()) return nullptr;
+  return record;
+}
+
+/// Reads a whole file; false if it cannot be opened/read.
+bool read_file(const std::string& path, std::vector<std::uint8_t>* out) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return false;
+  out->clear();
+  std::uint8_t buffer[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buffer, 1, sizeof buffer, file)) > 0)
+    out->insert(out->end(), buffer, buffer + n);
+  const bool ok = std::ferror(file) == 0;
+  std::fclose(file);
+  return ok;
+}
+
+}  // namespace
+
+void ConeCacheRecovery::merge(const ConeCacheRecovery& other) {
+  torn_tmp += other.torn_tmp;
+  bad_header += other.bad_header;
+  version_skew += other.version_skew;
+  truncated += other.truncated;
+  crc_mismatch += other.crc_mismatch;
+  malformed_record += other.malformed_record;
+  duplicate_key += other.duplicate_key;
+  quarantined_files += other.quarantined_files;
+}
+
+ConeCacheStore::ConeCacheStore(std::size_t max_records)
+    : max_records_(std::max<std::size_t>(1, max_records)) {}
+
+std::string ConeCacheStore::cache_file(const std::string& dir) {
+  return dir + "/" + kFileName;
+}
+
+std::shared_ptr<const ConeRecord> ConeCacheStore::find(
+    std::uint64_t signature, const std::vector<std::uint8_t>& canonical) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = slots_.find(signature);
+  if (it != slots_.end()) {
+    for (Slot& slot : it->second) {
+      if (slot.record->canonical == canonical) {
+        slot.used = true;
+        ++stats_.hits;
+        return slot.record;
+      }
+    }
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+void ConeCacheStore::put(std::uint64_t signature,
+                         std::vector<std::uint8_t> canonical,
+                         ConeRecordData data) {
+  auto record = std::make_shared<ConeRecord>();
+  record->signature = signature;
+  record->canonical = std::move(canonical);
+  record->data = std::move(data);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Slot>& chain = slots_[signature];
+  for (Slot& slot : chain) {
+    if (slot.record->canonical == record->canonical) {
+      slot.record = std::move(record);
+      slot.used = true;
+      return;
+    }
+  }
+  Slot slot;
+  slot.record = std::move(record);
+  slot.used = true;
+  slot.order = next_order_++;
+  chain.push_back(std::move(slot));
+  ++stats_.records;
+  evict_to_cap_locked();
+}
+
+void ConeCacheStore::evict_to_cap_locked() {
+  while (stats_.records > max_records_) {
+    // Victim: never-used disk records first, then oldest overall.
+    std::uint64_t best_sig = 0;
+    std::size_t best_index = 0;
+    int best_class = 3;
+    std::uint64_t best_order = 0;
+    for (const auto& [sig, chain] : slots_) {
+      for (std::size_t i = 0; i < chain.size(); ++i) {
+        const Slot& slot = chain[i];
+        const int cls = (slot.record->from_disk && !slot.used) ? 0 : 1;
+        if (cls < best_class ||
+            (cls == best_class && slot.order < best_order)) {
+          best_class = cls;
+          best_order = slot.order;
+          best_sig = sig;
+          best_index = i;
+        }
+      }
+    }
+    auto it = slots_.find(best_sig);
+    it->second.erase(it->second.begin() + best_index);
+    if (it->second.empty()) slots_.erase(it);
+    --stats_.records;
+    ++stats_.evictions;
+  }
+}
+
+ConeCacheRecovery ConeCacheStore::load(const std::string& dir) {
+  ConeCacheRecovery recovery;
+
+  // Stray temp files are the footprint of a save that died mid-write:
+  // typed, then removed (the previous committed cache is intact).
+  if (DIR* scan = ::opendir(dir.c_str())) {
+    std::vector<std::string> stray;
+    while (const dirent* entry = ::readdir(scan)) {
+      if (std::strncmp(entry->d_name, kTmpPrefix, sizeof kTmpPrefix - 1) == 0)
+        stray.push_back(dir + "/" + entry->d_name);
+    }
+    ::closedir(scan);
+    for (const std::string& path : stray) {
+      ++recovery.torn_tmp;
+      ::unlink(path.c_str());
+    }
+  }
+
+  const std::string path = cache_file(dir);
+  std::vector<std::uint8_t> image;
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) {
+    // No cache yet: a cold start, not damage.
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.recovery.merge(recovery);
+    return recovery;
+  }
+  const auto quarantine = [&] {
+    if (::rename(path.c_str(), (path + ".quarantined").c_str()) == 0)
+      ++recovery.quarantined_files;
+    else
+      ::unlink(path.c_str());
+  };
+  if (!read_file(path, &image)) {
+    ++recovery.bad_header;
+    quarantine();
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.recovery.merge(recovery);
+    return recovery;
+  }
+
+  // Header ladder: magic, then version, then header CRC.
+  bool header_ok = false;
+  std::uint32_t claimed_records = 0;
+  if (image.size() < kHeaderBytes ||
+      std::memcmp(image.data(), kMagic, sizeof kMagic) != 0) {
+    ++recovery.bad_header;
+  } else {
+    Reader header(image.data() + 8, kHeaderBytes - 8);
+    const std::uint32_t version = header.u32();
+    claimed_records = header.u32();
+    const std::uint32_t header_crc = header.u32();
+    if (crc32(image.data(), kHeaderBytes - 4) != header_crc) {
+      ++recovery.bad_header;
+    } else if (version != kFormatVersion) {
+      ++recovery.version_skew;
+    } else {
+      header_ok = true;
+    }
+  }
+  if (!header_ok) {
+    quarantine();
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.recovery.merge(recovery);
+    return recovery;
+  }
+
+  // Record frames.  Per-record damage skips that record; running off
+  // the end of the image (or finishing with fewer records than the
+  // header promised) is typed as truncation.
+  std::vector<std::shared_ptr<ConeRecord>> accepted;
+  std::size_t pos = kHeaderBytes;
+  std::uint32_t parsed = 0;
+  bool framing_lost = false;
+  while (pos < image.size() && parsed < claimed_records && !framing_lost) {
+    if (image.size() - pos < kFrameBytes) break;  // ends mid-frame
+    Reader frame(image.data() + pos, kFrameBytes);
+    const std::uint32_t magic = frame.u32();
+    const std::uint32_t payload_len = frame.u32();
+    const std::uint32_t payload_crc = frame.u32();
+    if (magic != kRecordMagic || payload_len > kMaxPayloadBytes) {
+      // Framing lost: nothing downstream can be trusted.
+      ++recovery.malformed_record;
+      framing_lost = true;
+      break;
+    }
+    pos += kFrameBytes;
+    if (image.size() - pos < payload_len) break;  // ends mid-payload
+    const std::uint8_t* payload = image.data() + pos;
+    pos += payload_len;
+    ++parsed;
+    if (crc32(payload, payload_len) != payload_crc) {
+      ++recovery.crc_mismatch;
+      continue;
+    }
+    std::shared_ptr<ConeRecord> record =
+        deserialize_record(payload, payload_len);
+    if (record == nullptr) {
+      ++recovery.malformed_record;
+      continue;
+    }
+    record->from_disk = true;
+    accepted.push_back(std::move(record));
+  }
+  // Fewer whole records than the header promised — the file was cut
+  // short (unless the framing itself was the casualty, typed above).
+  if (!framing_lost && parsed < claimed_records) ++recovery.truncated;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::shared_ptr<ConeRecord>& record : accepted) {
+    std::vector<Slot>& chain = slots_[record->signature];
+    bool duplicate = false;
+    for (const Slot& slot : chain) {
+      if (slot.record->canonical == record->canonical) {
+        // Within one file this is damage (the writer never emits a key
+        // twice); against a resident record it is an ordinary refresh
+        // race and the resident, newer result wins silently.
+        if (slot.record->from_disk) ++recovery.duplicate_key;
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    Slot slot;
+    slot.record = std::move(record);
+    slot.order = next_order_++;
+    chain.push_back(std::move(slot));
+    ++stats_.records;
+    ++stats_.loaded;
+  }
+  evict_to_cap_locked();
+  stats_.recovery.merge(recovery);
+  return recovery;
+}
+
+void ConeCacheStore::save(const std::string& dir,
+                          const CacheFaultInjection& inject) const {
+  std::vector<std::vector<std::uint8_t>> payloads;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<const Slot*> ordered;
+    ordered.reserve(stats_.records);
+    for (const auto& [sig, chain] : slots_)
+      for (const Slot& slot : chain) ordered.push_back(&slot);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Slot* a, const Slot* b) { return a->order < b->order; });
+    payloads.reserve(ordered.size());
+    for (const Slot* slot : ordered)
+      payloads.push_back(serialize_record(*slot->record));
+  }
+
+  std::vector<std::uint8_t> image;
+  image.insert(image.end(), kMagic, kMagic + sizeof kMagic);
+  append_u32(image, kFormatVersion);
+  append_u32(image, static_cast<std::uint32_t>(payloads.size()));
+  append_u32(image, crc32(image.data(), image.size()));
+  for (const std::vector<std::uint8_t>& payload : payloads) {
+    append_u32(image, kRecordMagic);
+    append_u32(image, static_cast<std::uint32_t>(payload.size()));
+    append_u32(image, crc32(payload.data(), payload.size()));
+    image.insert(image.end(), payload.begin(), payload.end());
+  }
+
+  if (inject.flip_bit != 0 && !image.empty()) {
+    const std::uint64_t bit = (inject.flip_bit - 1) % (image.size() * 8);
+    image[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+  std::size_t persist_bytes = image.size();
+  if (inject.truncate_after_bytes != 0)
+    persist_bytes = std::min<std::size_t>(persist_bytes,
+                                          inject.truncate_after_bytes);
+
+  const std::string tmp =
+      dir + "/" + kTmpPrefix + "." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0)
+    throw std::runtime_error("cone cache: cannot create " + tmp + ": " +
+                             std::strerror(errno));
+  const auto write_all = [&](const std::uint8_t* data, std::size_t size) {
+    std::size_t done = 0;
+    while (done < size) {
+      const ssize_t n = ::write(fd, data + done, size - done);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        throw std::runtime_error("cone cache: write to " + tmp + " failed: " +
+                                 std::strerror(errno));
+      }
+      done += static_cast<std::size_t>(n);
+    }
+  };
+  if (inject.crash_after_bytes != 0) {
+    // A real crash mid-save: persist a prefix of the temp file, then
+    // die without rename — the committed cache must stay untouched and
+    // the stray tmp must be typed as torn_tmp on the next load.
+    write_all(image.data(),
+              std::min<std::size_t>(image.size(), inject.crash_after_bytes));
+    ::fsync(fd);
+    ::raise(SIGKILL);
+  }
+  write_all(image.data(), persist_bytes);
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("cone cache: fsync of " + tmp + " failed");
+  }
+  const std::string path = cache_file(dir);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("cone cache: rename to " + path + " failed: " +
+                             std::strerror(errno));
+  }
+  // Make the rename itself durable.
+  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);
+    ::close(dirfd);
+  }
+}
+
+ConeCacheStore::Stats ConeCacheStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats out = stats_;
+  out.stale_loaded = 0;
+  for (const auto& [sig, chain] : slots_)
+    for (const Slot& slot : chain)
+      if (slot.record->from_disk && !slot.used) ++out.stale_loaded;
+  return out;
+}
+
+}  // namespace rd

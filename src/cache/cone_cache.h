@@ -1,0 +1,178 @@
+// Corruption-tolerant persistent store of per-cone classification
+// results (DESIGN.md §13).
+//
+// A ConeCacheStore maps a canonical cone encoding (see
+// netlist/cone_signature.h) to the deterministic outputs of one
+// completed classify run over that cone: kept-path count, exact
+// logical-path total, work and implication counters, and (optionally)
+// the leading kept-path keys in cone-local numbering, pooled in a
+// PathKeyArena.  The eco driver (eco_classify.h) consults it per PO
+// and reuses a record instead of reclassifying the cone.
+//
+// Lookup discipline: find() takes both the 64-bit signature and the
+// full canonical bytes and returns a record only on *byte-exact*
+// canonical equality — the hash locates candidates, it never decides.
+// A hash collision is therefore a miss, never a wrong verdict.
+//
+// Persistence is crash-safe by construction: save() serializes the
+// whole store to <dir>/cone_cache.rdc.tmp.<pid>, fsyncs, then
+// atomically rename(2)s over <dir>/cone_cache.rdc (and fsyncs the
+// directory), so a reader never observes a half-written cache.  Every
+// record carries its own CRC32 frame and the file a versioned,
+// CRC-protected header.  load() runs the recovery ladder over
+// whatever it finds:
+//
+//   damage class                      typed counter       action
+//   ------------------------------    ----------------    -----------------
+//   stray tmp file (torn save)        torn_tmp            delete, continue
+//   missing/garbled header            bad_header          quarantine file
+//   format version skew               version_skew        quarantine file
+//   file ends mid-record              truncated           keep prior records
+//   record CRC mismatch               crc_mismatch        skip record
+//   record fails to deserialize       malformed_record    skip record
+//   same canonical key twice          duplicate_key       keep first
+//
+// "Quarantine" renames the damaged file to <file>.quarantined
+// (counted in quarantined_files) so the evidence survives for
+// debugging while the store restarts cold.  Nothing in the ladder
+// throws — every outcome degrades to "reclassify that cone".
+//
+// Deterministic fault injection (ExecGuard-style, tests only):
+// CacheFaultInjection arms save() to flip one bit of the serialized
+// image, persist a truncated prefix, or SIGKILL the process mid-write
+// — exercising the exact artifacts the ladder recovers from.
+//
+// Thread safety: every public method is safe to call concurrently
+// (one mutex; records are immutable shared_ptrs after insertion).
+// The serve daemon shares one store across all request threads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "paths/prefix_tree.h"
+#include "sim/implication.h"
+
+namespace rd {
+
+/// Deterministic outputs of one completed classify run over a cone.
+struct ConeRecordData {
+  std::uint64_t kept_paths = 0;
+  std::string total_logical;  // exact decimal, BigUint::to_decimal()
+  std::uint64_t work = 0;
+  ImplicationStats implication;
+
+  /// Kept-path keys in cone-local numbering (LogicalPath::key()
+  /// encoding), first `keys.size()` survivors in deterministic DFS
+  /// order.  keys_complete means *every* survivor is stored; otherwise
+  /// the arena holds the prefix a collect_paths_limit run produced.
+  bool keys_complete = false;
+  PathKeyArena keys;
+};
+
+struct ConeRecord {
+  std::uint64_t signature = 0;
+  std::vector<std::uint8_t> canonical;
+  ConeRecordData data;
+  bool from_disk = false;  // loaded (vs produced this session)
+};
+
+/// Typed recovery ladder counters (see table above).
+struct ConeCacheRecovery {
+  std::uint64_t torn_tmp = 0;
+  std::uint64_t bad_header = 0;
+  std::uint64_t version_skew = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t crc_mismatch = 0;
+  std::uint64_t malformed_record = 0;
+  std::uint64_t duplicate_key = 0;
+  std::uint64_t quarantined_files = 0;
+
+  std::uint64_t total() const {
+    return torn_tmp + bad_header + version_skew + truncated + crc_mismatch +
+           malformed_record + duplicate_key + quarantined_files;
+  }
+  void merge(const ConeCacheRecovery& other);
+};
+
+/// Deterministic save-time fault injection (tests/bench only).
+struct CacheFaultInjection {
+  /// >0: persist only the first N bytes of the image, then rename as
+  /// usual — the torn-but-renamed artifact of a non-atomic filesystem.
+  std::uint64_t truncate_after_bytes = 0;
+
+  /// >0: XOR bit (N-1) mod image-bits of the serialized image before
+  /// writing — a single-bit medium error.
+  std::uint64_t flip_bit = 0;
+
+  /// >0: raise SIGKILL after writing N bytes of the temp file — a real
+  /// crash mid-save, leaving a stray tmp and the previous cache intact.
+  std::uint64_t crash_after_bytes = 0;
+};
+
+class ConeCacheStore {
+ public:
+  /// `max_records` bounds the store (and thus the file); putting past
+  /// the cap evicts never-used loaded records first, then the oldest.
+  explicit ConeCacheStore(std::size_t max_records = 1 << 16);
+
+  ConeCacheStore(const ConeCacheStore&) = delete;
+  ConeCacheStore& operator=(const ConeCacheStore&) = delete;
+
+  /// Byte-exact lookup; marks the record used.  Null on miss.
+  std::shared_ptr<const ConeRecord> find(
+      std::uint64_t signature, const std::vector<std::uint8_t>& canonical);
+
+  /// Inserts or replaces the record for `canonical`.
+  void put(std::uint64_t signature, std::vector<std::uint8_t> canonical,
+           ConeRecordData data);
+
+  /// Merges the on-disk cache under `dir` into the store, running the
+  /// recovery ladder (never throws on damaged input; I/O errors on an
+  /// *existing healthy* file surface as std::runtime_error).  Returns
+  /// this load's recovery counters; they also accumulate into stats().
+  ConeCacheRecovery load(const std::string& dir);
+
+  /// Atomically persists the store to `dir` (see file comment).
+  /// Throws std::runtime_error on I/O failure.
+  void save(const std::string& dir,
+            const CacheFaultInjection& inject = {}) const;
+
+  struct Stats {
+    std::uint64_t records = 0;       // resident records
+    std::uint64_t hits = 0;          // find() matches
+    std::uint64_t misses = 0;        // find() misses
+    std::uint64_t loaded = 0;        // records accepted by load()
+    std::uint64_t stale_loaded = 0;  // loaded but never matched — the
+                                     // signature no longer occurs
+                                     // (e.g. edited away)
+    std::uint64_t evictions = 0;     // cap-driven evictions
+    ConeCacheRecovery recovery;      // accumulated over all load()s
+  };
+  Stats stats() const;
+
+  /// The cache file this store persists to under `dir`.
+  static std::string cache_file(const std::string& dir);
+
+ private:
+  struct Slot {
+    std::shared_ptr<ConeRecord> record;
+    bool used = false;       // matched by find() this session
+    std::uint64_t order = 0; // insertion order, for eviction
+  };
+
+  void evict_to_cap_locked();
+
+  mutable std::mutex mutex_;
+  std::size_t max_records_;
+  std::uint64_t next_order_ = 0;
+  // signature -> slots (chained on the rare hash collision).
+  std::unordered_map<std::uint64_t, std::vector<Slot>> slots_;
+  mutable Stats stats_;
+};
+
+}  // namespace rd

@@ -148,6 +148,30 @@ JsonValue atpg_run_report(const std::string& circuit_name,
   return report;
 }
 
+JsonValue eco_json(const EcoStats& stats,
+                   const ConeCacheStore::Stats& store) {
+  JsonValue out = JsonValue::object();
+  out.set("cones", JsonValue::number(stats.cones));
+  out.set("hits", JsonValue::number(stats.hits));
+  out.set("misses", JsonValue::number(stats.misses));
+  out.set("stored", JsonValue::number(stats.stored));
+  out.set("stale_loaded", JsonValue::number(store.stale_loaded));
+  out.set("records", JsonValue::number(store.records));
+  out.set("evictions", JsonValue::number(store.evictions));
+  const ConeCacheRecovery& r = store.recovery;
+  JsonValue recovery = JsonValue::object();
+  recovery.set("torn_tmp", JsonValue::number(r.torn_tmp));
+  recovery.set("bad_header", JsonValue::number(r.bad_header));
+  recovery.set("version_skew", JsonValue::number(r.version_skew));
+  recovery.set("truncated", JsonValue::number(r.truncated));
+  recovery.set("crc_mismatch", JsonValue::number(r.crc_mismatch));
+  recovery.set("malformed_record", JsonValue::number(r.malformed_record));
+  recovery.set("duplicate_key", JsonValue::number(r.duplicate_key));
+  recovery.set("quarantined_files", JsonValue::number(r.quarantined_files));
+  out.set("recovery", std::move(recovery));
+  return out;
+}
+
 JsonValue bench_report(const std::string& bench_name) {
   JsonValue report = run_report_envelope("bench");
   report.set("bench", JsonValue::string(bench_name));
@@ -317,8 +341,55 @@ void validate_resilient_payload(const JsonValue& report,
         "\"resilient.abort_reason\" is neither null nor a known reason");
 }
 
+/// Counter keys of the "eco.recovery" ladder and the top-level "eco"
+/// object — every one must be a number when present.
+void require_counter(const JsonValue& object, const char* owner,
+                     const char* key, std::vector<std::string>& problems) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr) {
+    problems.push_back(std::string("missing key \"") + key + "\" in " +
+                       owner);
+    return;
+  }
+  if (!value->is_number())
+    problems.push_back(std::string("\"") + owner + "." + key +
+                       "\" is not a number");
+}
+
+/// The optional "eco" object of incremental classify_run reports:
+/// cache counters plus the typed recovery ladder.
+void validate_eco_payload(const JsonValue& report,
+                          std::vector<std::string>& problems) {
+  const JsonValue* eco = report.find("eco");
+  if (eco == nullptr) return;  // optional
+  if (!eco->is_object()) {
+    problems.push_back("\"eco\" is not an object");
+    return;
+  }
+  for (const char* key : {"cones", "hits", "misses", "stored",
+                          "stale_loaded", "records", "evictions"})
+    require_counter(*eco, "eco", key, problems);
+  const JsonValue* recovery = eco->find("recovery");
+  if (recovery == nullptr) {
+    problems.push_back("missing key \"recovery\" in eco");
+    return;
+  }
+  if (!recovery->is_object()) {
+    problems.push_back("\"eco.recovery\" is not an object");
+    return;
+  }
+  for (const char* key :
+       {"torn_tmp", "bad_header", "version_skew", "truncated",
+        "crc_mismatch", "malformed_record", "duplicate_key",
+        "quarantined_files"})
+    require_counter(*recovery, "eco.recovery", key, problems);
+}
+
 /// The optional "serve" object a daemon attaches to job reports:
-/// request correlation id plus the circuit-cache verdict.
+/// request correlation id plus the circuit-cache verdict.  Optional
+/// extras: "cache_evictions"/"cache_failures" (CircuitCache pressure
+/// counters) and a "cone_cache" object ({hit, miss, recovered} for the
+/// request's incremental slice).
 void validate_serve_payload(const JsonValue& report,
                             std::vector<std::string>& problems) {
   const JsonValue* serve = report.find("serve");
@@ -335,6 +406,21 @@ void validate_serve_payload(const JsonValue& report,
   const JsonValue* cache_hit = serve->find("cache_hit");
   if (cache_hit != nullptr && !cache_hit->is_bool())
     problems.push_back("\"serve.cache_hit\" is not a bool");
+  for (const char* key : {"cache_evictions", "cache_failures"}) {
+    const JsonValue* value = serve->find(key);
+    if (value != nullptr && !value->is_number())
+      problems.push_back(std::string("\"serve.") + key +
+                         "\" is not a number");
+  }
+  const JsonValue* cone_cache = serve->find("cone_cache");
+  if (cone_cache != nullptr) {
+    if (!cone_cache->is_object()) {
+      problems.push_back("\"serve.cone_cache\" is not an object");
+    } else {
+      for (const char* key : {"hits", "misses", "recovered"})
+        require_counter(*cone_cache, "serve.cone_cache", key, problems);
+    }
+  }
 }
 
 /// Frame-level serve kinds: both carry "id" (number or null) and "ok";
@@ -408,6 +494,7 @@ std::vector<std::string> validate_run_report(const JsonValue& report) {
       require_key(report, key, problems);
     validate_classify_payload(report, problems);
     validate_resilient_payload(report, problems);
+    validate_eco_payload(report, problems);
     validate_serve_payload(report, problems);
   } else if (kind_name == "atpg_run") {
     require_key(report, "circuit", problems);

@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "atpg/testset.h"
+#include "cache/cone_cache.h"
+#include "cache/eco_classify.h"
 #include "core/classify.h"
 #include "core/heuristics.h"
 #include "core/resilient.h"
@@ -47,6 +49,12 @@ namespace rd {
 /// optional "serve" object ({"id", "cache_hit", ...}) on classify_run
 /// and atpg_run reports, so every daemon response frame validates
 /// against this schema.
+/// Further v2 additions (no bump): an optional "eco" object on
+/// classify_run reports (incremental-run cache counters plus the typed
+/// cone-cache recovery ladder, see eco_json), an optional "cone_cache"
+/// object inside "serve" payloads, and optional "cache_evictions" /
+/// "cache_failures" counters there (the CircuitCache verdict beyond
+/// plain hit/miss).
 inline constexpr std::uint64_t kRunReportSchemaVersion = 2;
 
 /// The shared envelope: {"schema_version": N, "kind": kind}.
@@ -79,6 +87,14 @@ JsonValue atpg_run_report(const std::string& circuit_name,
                           const RdIdentification& rd,
                           const GeneratedTestSet& set,
                           const MetricsRegistry* metrics = nullptr);
+
+/// Optional "eco" object for classify_run reports of incremental runs:
+/// {"cones", "hits", "misses", "stored", "stale_loaded", "records",
+/// "recovery": {typed ladder counters}}.  The recovery block is the
+/// run report's record of every damaged cache artifact the store
+/// survived — the acceptance contract of DESIGN.md §13.
+JsonValue eco_json(const EcoStats& stats,
+                   const ConeCacheStore::Stats& store);
 
 /// "bench" report envelope with an empty "rows" array; the bench
 /// harness appends one object per table row.

@@ -1,0 +1,71 @@
+// Canonical per-PO cone identity for incremental (ECO)
+// reclassification (DESIGN.md §13).
+//
+// The classifier's verdict for one primary output is a pure function
+// of (the PO's fan-in cone structure, the input sort restricted to
+// that cone).  The ECO layer therefore keys cached per-cone results by
+// a *canonical* encoding of exactly those two things:
+//
+//   * extract_cone_canonical() rebuilds the cone with gate numbering
+//     fixed by the cone's own structure — a post-order DFS from the PO
+//     following fan-in pins in order — so two structurally identical
+//     cones get identical gate ids AND identical lead ids no matter
+//     where they sat in their parent circuits.  Cached kept-path keys
+//     (cone-local lead-id sequences) are thus transferable between
+//     isomorphic cones, and the returned parent maps translate them
+//     back into the caller's circuit.
+//
+//   * cone_canonical_bytes() serializes the canonical structure plus
+//     the sort *spec* ("1" | "2" | "inverse" | "fus").  The per-cone
+//     sort itself is derived deterministically from the cone (fixed
+//     tie-break seed, see eco_classify), so same structure + same spec
+//     implies the same sort — the ranks need not be spelled out.
+//     Gate and PI names are deliberately excluded: verdicts do not
+//     depend on them, and isomorphic cones are *supposed* to share a
+//     cache record.
+//
+//   * cone_signature() hashes the canonical bytes.  The hash is an
+//     index, never an authority — the cache verifies full canonical
+//     byte equality on every lookup, so a collision is a miss, not a
+//     wrong verdict (the Goldberg rule: never trust a partial match).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace rd {
+
+/// Bump whenever the canonical byte layout *or* the deterministic
+/// per-cone sort derivation changes; stale signatures then simply miss.
+inline constexpr std::uint8_t kConeEncodingVersion = 1;
+
+struct ConeExtraction {
+  /// Finalized single-output subcircuit in canonical numbering.
+  Circuit cone;
+
+  /// cone GateId -> GateId in the parent circuit.
+  std::vector<GateId> parent_gate;
+
+  /// cone LeadId -> LeadId in the parent circuit (defined for every
+  /// cone lead; cone pin order equals parent pin order).
+  std::vector<LeadId> parent_lead;
+};
+
+/// Extracts the fan-in cone of PO marker gate `po` with canonical
+/// (structure-determined) gate numbering.  Throws std::invalid_argument
+/// unless `po` is a PO of the finalized `circuit`.
+ConeExtraction extract_cone_canonical(const Circuit& circuit, GateId po);
+
+/// Canonical encoding of a single-output cone in canonical numbering
+/// (as produced by extract_cone_canonical) under sort spec
+/// `sort_spec`.  Equal bytes <=> identical structure + spec.
+std::vector<std::uint8_t> cone_canonical_bytes(const Circuit& cone,
+                                               std::string_view sort_spec);
+
+/// FNV-1a 64 over the canonical bytes.
+std::uint64_t cone_signature(const std::vector<std::uint8_t>& canonical);
+
+}  // namespace rd

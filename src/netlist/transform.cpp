@@ -142,4 +142,36 @@ Circuit strip_buffers(const Circuit& circuit) {
   return result;
 }
 
+Circuit with_gate_type(const Circuit& circuit, GateId id, GateType type) {
+  if (id >= circuit.num_gates())
+    throw std::invalid_argument("with_gate_type: no such gate");
+  const Gate& target = circuit.gate(id);
+  if (target.type == GateType::kInput || target.type == GateType::kOutput ||
+      type == GateType::kInput || type == GateType::kOutput)
+    throw std::invalid_argument("with_gate_type: only logic gates");
+  if ((type == GateType::kNot || type == GateType::kBuf) &&
+      target.fanins.size() != 1)
+    throw std::invalid_argument("with_gate_type: NOT/BUF take one fan-in");
+
+  // Insertion order is a valid construction order (add_gate requires
+  // fanins to exist), so replaying gates by id preserves every id.
+  Circuit result(circuit.name());
+  for (GateId g = 0; g < circuit.num_gates(); ++g) {
+    const Gate& gate = circuit.gate(g);
+    switch (gate.type) {
+      case GateType::kInput:
+        result.add_input(gate.name);
+        break;
+      case GateType::kOutput:
+        result.add_output(gate.name, gate.fanins[0]);
+        break;
+      default:
+        result.add_gate(g == id ? type : gate.type, gate.name, gate.fanins);
+        break;
+    }
+  }
+  result.finalize();
+  return result;
+}
+
 }  // namespace rd

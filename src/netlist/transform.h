@@ -33,4 +33,14 @@ Circuit map_to_nand(const Circuit& circuit);
 /// Removes BUF gates, rewiring their sinks to the buffer's driver.
 Circuit strip_buffers(const Circuit& circuit);
 
+/// The ECO edit model: a copy of `circuit` with logic gate `id`'s type
+/// replaced by `type` — same wiring, different function (e.g. AND →
+/// OR, NAND → NOR).  Gate ids, lead ids and names are all preserved,
+/// so callers can track which fan-out cones an edit touches.  NOT
+/// function-preserving, unlike the transforms above — that is the
+/// point.  Throws std::invalid_argument when `id` is not a logic gate,
+/// `type` is not a logic type, or the arity rules would break (NOT/BUF
+/// take exactly one fan-in).
+Circuit with_gate_type(const Circuit& circuit, GateId id, GateType type);
+
 }  // namespace rd

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cerrno>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <mutex>
 #include <stdexcept>
@@ -60,6 +61,7 @@ bool send_all(const ConnectionPtr& conn, const std::string& bytes) {
 struct Server::Impl {
   ServerConfig config;
   CircuitCache cache;
+  ConeCacheStore cone_cache;     // shared across all request threads
   CancellationToken job_cancel;  // tripped by request_stop()
   std::unique_ptr<Session> session;
   std::unique_ptr<JobQueue> jobs;
@@ -192,6 +194,17 @@ void Server::Impl::accept_loop(Server* server) {
   // Drain queued jobs (their guards are cancelled, so they finish
   // promptly with typed aborted responses), then close the sockets.
   jobs->stop(/*drain=*/true);
+  // All request threads are quiet now: persist the cone cache once,
+  // atomically.  A save failure must not turn shutdown into a crash —
+  // the cache is an accelerator, losing it only costs a cold start.
+  if (!config.cone_cache_dir.empty()) {
+    try {
+      cone_cache.save(config.cone_cache_dir);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "serve: cone cache save failed: %s\n",
+                   error.what());
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(mutex);
     for (const ConnectionPtr& conn : connections) ::close(conn->fd);
@@ -205,6 +218,7 @@ Server::Server(ServerConfig config)
     : impl_(std::make_unique<Impl>(config)) {
   SessionConfig session_config;
   session_config.cache = &impl_->cache;
+  session_config.cone_cache = &impl_->cone_cache;
   session_config.cancel = &impl_->job_cancel;
   Impl* impl = impl_.get();
   session_config.extra_stats = [impl] {
@@ -247,6 +261,11 @@ Server::~Server() {
 void Server::start() {
   Impl& impl = *impl_;
   impl.jobs = std::make_unique<JobQueue>(impl.config.num_workers);
+
+  // Warm the cone cache before accepting work; damage degrades to a
+  // colder cache via the recovery ladder, never a failed start.
+  if (!impl.config.cone_cache_dir.empty())
+    impl.cone_cache.load(impl.config.cone_cache_dir);
 
   impl.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (impl.listen_fd < 0)
@@ -304,5 +323,7 @@ Server::Stats Server::stats() const {
 }
 
 CircuitCache& Server::cache() { return impl_->cache; }
+
+ConeCacheStore& Server::cone_cache() { return impl_->cone_cache; }
 
 }  // namespace rd::serve

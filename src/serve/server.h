@@ -22,7 +22,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
+#include "cache/cone_cache.h"
 #include "serve/circuit_cache.h"
 #include "util/exec_guard.h"
 
@@ -41,6 +43,12 @@ struct ServerConfig {
 
   /// Per-frame payload ceiling.
   std::size_t max_frame_bytes = 0;  // 0 = kDefaultMaxFrameBytes
+
+  /// Directory for cone-cache persistence ({"incremental": true}
+  /// classify requests).  Empty keeps the shared store memory-only;
+  /// otherwise start() loads it (recovery ladder, never fatal) and a
+  /// clean stop saves it atomically.
+  std::string cone_cache_dir;
 
   /// External stop signal (the CLI chains SIGINT through this); also
   /// chained into every request guard.  Not owned; may be null.
@@ -81,6 +89,10 @@ class Server {
   Stats stats() const;
 
   CircuitCache& cache();
+
+  /// The shared per-cone result store (always present; persisted only
+  /// when config.cone_cache_dir is set).
+  ConeCacheStore& cone_cache();
 
  private:
   struct Impl;

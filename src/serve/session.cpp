@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "atpg/testset.h"
+#include "cache/eco_classify.h"
 #include "core/classify.h"
 #include "core/heuristics.h"
 #include "gen/examples.h"
@@ -58,6 +59,14 @@ std::string get_string(const JsonValue& request, std::string_view key,
   if (!value->is_string())
     throw BadRequest("field '" + std::string(key) + "' must be a string");
   return value->as_string();
+}
+
+bool get_bool(const JsonValue& request, std::string_view key, bool fallback) {
+  const JsonValue* value = request.find(key);
+  if (value == nullptr) return fallback;
+  if (!value->is_bool())
+    throw BadRequest("field '" + std::string(key) + "' must be a bool");
+  return value->as_bool();
 }
 
 /// Resolves the request's "circuit" object to (name, content key
@@ -157,13 +166,22 @@ struct GuardSpec {
   }
 };
 
-/// The {"serve": ...} payload attached to every job report.
+/// The {"serve": ...} payload attached to every job report.  Beyond
+/// the per-request hit/miss verdict it snapshots the shared cache's
+/// pressure counters (evictions, build failures), so a client can see
+/// churn without a separate stats round-trip.
 JsonValue serve_payload(std::uint64_t id, bool has_id, bool cache_hit,
-                        std::uint64_t content_key) {
+                        std::uint64_t content_key,
+                        const CircuitCache* cache) {
   JsonValue payload = JsonValue::object();
   payload.set("id", has_id ? JsonValue::number(id) : JsonValue::null());
   payload.set("cache_hit", JsonValue::boolean(cache_hit));
   payload.set("circuit_key", JsonValue::number(content_key));
+  if (cache != nullptr) {
+    const CacheStats stats = cache->stats();
+    payload.set("cache_evictions", JsonValue::number(stats.evictions));
+    payload.set("cache_failures", JsonValue::number(stats.failures));
+  }
   return payload;
 }
 
@@ -231,6 +249,18 @@ RequestOutcome Session::handle(const std::string& request_text) {
                                        config_.cache->capacity())));
         stats.set("cache", std::move(cache_json));
       }
+      if (config_.cone_cache != nullptr) {
+        const ConeCacheStore::Stats cone = config_.cone_cache->stats();
+        JsonValue cone_json = JsonValue::object();
+        cone_json.set("records", JsonValue::number(cone.records));
+        cone_json.set("hits", JsonValue::number(cone.hits));
+        cone_json.set("misses", JsonValue::number(cone.misses));
+        cone_json.set("loaded", JsonValue::number(cone.loaded));
+        cone_json.set("stale_loaded", JsonValue::number(cone.stale_loaded));
+        cone_json.set("evictions", JsonValue::number(cone.evictions));
+        cone_json.set("recovered", JsonValue::number(cone.recovery.total()));
+        stats.set("cone_cache", std::move(cone_json));
+      }
       outcome.response.set("stats", std::move(stats));
       return outcome;
     }
@@ -289,6 +319,48 @@ JsonValue Session::run_classify(const JsonValue& request, std::uint64_t id,
   guard_spec.arm(guard);
   base.guard = &guard;
 
+  if (get_bool(request, "incremental", false)) {
+    // Cone-cached ECO mode: the compiled-circuit cache is bypassed —
+    // reuse lives at cone granularity in the shared ConeCacheStore,
+    // which survives across requests (and daemon restarts when the
+    // server persists it).
+    Circuit circuit;
+    try {
+      circuit = generator ? generator() : read_bench_string(bench_text, name);
+    } catch (const std::exception& error) {
+      throw BadRequest(std::string("cannot load circuit: ") + error.what());
+    }
+    ConeCacheStore private_store;
+    ConeCacheStore& store =
+        config_.cone_cache != nullptr ? *config_.cone_cache : private_store;
+    EcoOptions eco_options;
+    eco_options.sort_spec = heuristic;
+    eco_options.base = base;
+    EcoResult eco = classify_eco(circuit, store, eco_options);
+
+    RdIdentification rd;
+    rd.classify = std::move(eco.classify);
+    rd.sort_seconds = eco.stats.sort_seconds;
+    rd.prerun_work = eco.stats.prerun_work;
+    MetricsRegistry metrics;
+    record_classify_metrics(rd.classify, metrics);
+    JsonValue report =
+        classify_run_report(circuit.name(), "eco:" + heuristic, rd, &metrics);
+    const ConeCacheStore::Stats store_stats = store.stats();
+    report.set("eco", eco_json(eco.stats, store_stats));
+    JsonValue payload = serve_payload(
+        id, has_id, /*cache_hit=*/false,
+        CircuitCache::content_hash(bench_text, heuristic), config_.cache);
+    JsonValue cone_cache_json = JsonValue::object();
+    cone_cache_json.set("hits", JsonValue::number(eco.stats.hits));
+    cone_cache_json.set("misses", JsonValue::number(eco.stats.misses));
+    cone_cache_json.set("recovered",
+                        JsonValue::number(store_stats.recovery.total()));
+    payload.set("cone_cache", std::move(cone_cache_json));
+    report.set("serve", std::move(payload));
+    return report;
+  }
+
   // One-shot mode (no shared cache) still funnels through a private
   // single-entry cache: identical build path, zero reuse.
   CircuitCache one_shot(1);
@@ -315,7 +387,7 @@ JsonValue Session::run_classify(const JsonValue& request, std::uint64_t id,
     record_classify_metrics(rd.classify, metrics);
     JsonValue report =
         classify_run_report(name, heuristic, rd, &metrics);
-    report.set("serve", serve_payload(id, has_id, false, content_key));
+    report.set("serve", serve_payload(id, has_id, false, content_key, &cache));
     return report;
   } catch (const std::invalid_argument& error) {
     throw BadRequest(error.what());
@@ -342,7 +414,7 @@ JsonValue Session::run_classify(const JsonValue& request, std::uint64_t id,
   record_classify_metrics(rd.classify, metrics);
   JsonValue report =
       classify_run_report(entry->circuit.name(), heuristic, rd, &metrics);
-  report.set("serve", serve_payload(id, has_id, cache_hit, content_key));
+  report.set("serve", serve_payload(id, has_id, cache_hit, content_key, &cache));
   return report;
 }
 
@@ -386,7 +458,7 @@ JsonValue Session::run_atpg(const JsonValue& request, std::uint64_t id,
     MetricsRegistry metrics;
     record_classify_metrics(rd.classify, metrics);
     JsonValue report = atpg_run_report(name, rd, never_ran, &metrics);
-    report.set("serve", serve_payload(id, has_id, false, content_key));
+    report.set("serve", serve_payload(id, has_id, false, content_key, &cache));
     return report;
   } catch (const std::invalid_argument& error) {
     throw BadRequest(error.what());
@@ -415,7 +487,7 @@ JsonValue Session::run_atpg(const JsonValue& request, std::uint64_t id,
     never_ran.abort_reason = reason;
     JsonValue report =
         atpg_run_report(entry->circuit.name(), rd, never_ran, &metrics);
-    report.set("serve", serve_payload(id, has_id, cache_hit, content_key));
+    report.set("serve", serve_payload(id, has_id, cache_hit, content_key, &cache));
     return report;
   }
   if (rd.classify.kept_paths > max_paths)
@@ -439,7 +511,7 @@ JsonValue Session::run_atpg(const JsonValue& request, std::uint64_t id,
   metrics.add_counter("atpg.nonrobust_nodes", set.nonrobust_nodes);
   metrics.add_timer("atpg.wall", set.wall_seconds);
   JsonValue report = atpg_run_report(entry->circuit.name(), rd, set, &metrics);
-  report.set("serve", serve_payload(id, has_id, cache_hit, content_key));
+  report.set("serve", serve_payload(id, has_id, cache_hit, content_key, &cache));
   return report;
 }
 

@@ -23,6 +23,9 @@
 //   classify:  "circuit": {"builtin": "c432"} | {"name": N, "bench": T},
 //              "heuristic": "1"|"2"|"inverse"|"fus" (default "2"),
 //              "work_limit", "threads", "lanes" (uints, optional),
+//              "incremental": bool (optional — cone-cached ECO mode;
+//                             the response carries an "eco" block and
+//                             per-request serve.cone_cache counters),
 //              "guard": {"deadline_ms", "max_memory_mb",
 //                        "inject_abort_after", "inject_abort_reason"}
 //   atpg:      circuit/threads/guard as classify, plus "max_paths"
@@ -36,6 +39,7 @@
 #include <functional>
 #include <string>
 
+#include "cache/cone_cache.h"
 #include "io/json_writer.h"
 #include "serve/circuit_cache.h"
 #include "util/exec_guard.h"
@@ -47,6 +51,11 @@ struct SessionConfig {
   /// (parse + sort + compile, no reuse) — the one-shot parity mode the
   /// bit-identity tests compare the daemon against.
   CircuitCache* cache = nullptr;
+
+  /// Shared cone cache for {"incremental": true} classify requests.
+  /// Null gives each such request a private, empty store (correct but
+  /// reuse-free).  Not owned.
+  ConeCacheStore* cone_cache = nullptr;
 
   /// Server-lifetime cancellation, chained into every request guard so
   /// daemon shutdown aborts in-flight jobs cooperatively.

@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for the
+// on-disk cone-cache framing.  Implemented in-repo — the toolchain
+// image carries no zlib — as the classic byte-at-a-time table walk;
+// the cache files it protects are small enough (a few MB) that a
+// slice-by-8 variant would be unmeasurable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rd {
+
+/// CRC of `size` bytes at `data`, continuing from `seed` (pass a
+/// previous return value to checksum discontiguous pieces; 0 starts a
+/// fresh checksum).  Matches zlib's crc32() for the same input.
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+}  // namespace rd

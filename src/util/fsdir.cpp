@@ -1,0 +1,64 @@
+#include "util/fsdir.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace rd {
+
+namespace {
+
+[[noreturn]] void reject(std::string_view what, const std::string& path,
+                         const std::string& reason) {
+  throw std::invalid_argument(std::string(what) + ": " + path + ": " + reason);
+}
+
+bool is_directory(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+/// The directory component of `path` ("." when there is none, "/" for
+/// root-level paths), without pulling in std::filesystem just for this.
+std::string parent_of(std::string path) {
+  while (path.size() > 1 && path.back() == '/') path.pop_back();
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+std::string validate_directory_flag(const std::string& path,
+                                    std::string_view what) {
+  if (path.empty()) reject(what, path, "empty path");
+  struct stat st{};
+  if (::stat(path.c_str(), &st) == 0) {
+    if (!S_ISDIR(st.st_mode)) reject(what, path, "not a directory");
+  } else {
+    const std::string parent = parent_of(path);
+    if (!is_directory(parent))
+      reject(what, path, "parent directory " + parent + " does not exist");
+    if (::mkdir(path.c_str(), 0777) != 0 && errno != EEXIST)
+      reject(what, path,
+             std::string("cannot create directory: ") + std::strerror(errno));
+  }
+  // Honest writability probe: actually create (and remove) a file.
+  const std::string probe =
+      path + "/.rdfast-probe-" + std::to_string(::getpid());
+  const int fd = ::open(probe.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0600);
+  if (fd < 0)
+    reject(what, path,
+           std::string("directory is not writable: ") + std::strerror(errno));
+  ::close(fd);
+  ::unlink(probe.c_str());
+  return path;
+}
+
+}  // namespace rd

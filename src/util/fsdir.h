@@ -1,0 +1,28 @@
+// Strict validation of user-supplied directory flags, matching the
+// strict numeric parsers in util/strings.h: a path that cannot work is
+// a usage error (std::invalid_argument naming the flag → exit 2),
+// detected up front — never an ENOENT twenty minutes into a run or a
+// silently dropped cache.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace rd {
+
+/// Validates `path` as a writable directory for flag `what` (e.g.
+/// "--cache-dir").  If the path does not exist it is created, but only
+/// when its parent already exists and is a directory — a missing
+/// parent is treated as a typo, not an instruction to mkdir -p.
+/// Rejects, with std::invalid_argument naming `what`:
+///   * an empty path,
+///   * a path that exists but is not a directory,
+///   * a nonexistent path whose parent is missing or not a directory,
+///   * a directory where creating a file fails (probed with a real
+///     O_CREAT|O_EXCL touch-and-unlink, not access(2) — the latter
+///     answers "yes" to root even on read-only pseudo-filesystems).
+/// Returns `path` unchanged on success.
+std::string validate_directory_flag(const std::string& path,
+                                    std::string_view what);
+
+}  // namespace rd

@@ -1,0 +1,83 @@
+#!/bin/sh
+# Incremental (ECO) smoke test, run by ctest (cli_eco_smoke).
+#
+#   eco_smoke.sh <rdfast_cli> <scratch-dir>
+#
+# Exercises the crash-safe cone cache end to end through the CLI:
+#   1. cold run with --cache-dir: every cone reclassified, cache saved
+#   2. warm rerun, unchanged circuit: every cone served from the cache
+#   3. edit one gate, rerun warm: verdicts bit-identical to a cold run
+#      of the edited circuit in a fresh directory
+#   4. --inject-cache-crash-after: SIGKILL mid-write (exit 137) leaves
+#      a stray tmp file and the previous committed cache intact
+#   5. rerun: the recovery ladder types the torn save (torn_tmp in the
+#      --stats-json report), serves every cone warm, and exits 0
+set -u
+
+CLI="$1"
+SCRATCH="$2"
+DIR="$SCRATCH/eco_smoke_cache"
+COLD_DIR="$SCRATCH/eco_smoke_cache_cold"
+BENCH="$SCRATCH/eco_smoke.bench"
+EDITED="$SCRATCH/eco_smoke_edited.bench"
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+rm -rf "$DIR" "$COLD_DIR"
+mkdir -p "$DIR" "$COLD_DIR"
+
+"$CLI" gen c432 > "$BENCH" || fail "gen c432"
+
+# 1. Cold run: nothing cached yet.
+OUT=$("$CLI" classify "$BENCH" --cache-dir="$DIR") || fail "cold run"
+echo "$OUT" | grep -q "(0 cached," || fail "cold run reported cache hits:
+$OUT"
+[ -f "$DIR/cone_cache.rdc" ] || fail "cold run left no cache file"
+
+# 2. Warm rerun, unchanged circuit: zero reclassifications.
+OUT=$("$CLI" classify "$BENCH" --cache-dir="$DIR") || fail "warm run"
+echo "$OUT" | grep -q " 0 reclassified)" || fail "warm run reclassified:
+$OUT"
+
+# 3. Edit one gate (first NAND becomes AND), rerun warm; the verdict
+#    lines must match a cold run of the edited circuit exactly.
+sed '0,/= NAND(/s//= AND(/' "$BENCH" > "$EDITED"
+cmp -s "$BENCH" "$EDITED" && fail "edit did not change the bench file"
+WARM=$("$CLI" classify "$EDITED" --cache-dir="$DIR") || fail "warm edited run"
+echo "$WARM" | grep -q "(0 cached," && fail "edited warm run hit nothing:
+$WARM"
+COLD=$("$CLI" classify "$EDITED" --cache-dir="$COLD_DIR") \
+  || fail "cold edited run"
+WARM_VERDICT=$(echo "$WARM" | grep -E "logical paths|robust dep|must-test")
+COLD_VERDICT=$(echo "$COLD" | grep -E "logical paths|robust dep|must-test")
+[ "$WARM_VERDICT" = "$COLD_VERDICT" ] || fail "warm != cold after edit:
+warm: $WARM_VERDICT
+cold: $COLD_VERDICT"
+
+# 4. Crash mid-save: SIGKILL (exit 137), stray tmp, committed cache kept.
+"$CLI" classify "$EDITED" --cache-dir="$DIR" \
+  --inject-cache-crash-after=100 > /dev/null 2>&1
+STATUS=$?
+[ "$STATUS" -eq 137 ] || fail "expected exit 137 from SIGKILL, got $STATUS"
+ls "$DIR"/cone_cache.rdc.tmp.* > /dev/null 2>&1 \
+  || fail "crash left no stray tmp file"
+[ -f "$DIR/cone_cache.rdc" ] || fail "crash destroyed the committed cache"
+
+# 5. Recovery: the torn save is typed, the run is warm and exits 0.
+REPORT="$SCRATCH/eco_smoke_recovery.json"
+OUT=$("$CLI" classify "$EDITED" --cache-dir="$DIR" --stats-json="$REPORT") \
+  || fail "recovery run"
+echo "$OUT" | grep -q " 0 reclassified)" || fail "recovery run was cold:
+$OUT"
+echo "$OUT" | grep -q "cache recovery" || fail "recovery not reported:
+$OUT"
+grep -q '"torn_tmp": *1' "$REPORT" || fail "torn_tmp not typed in $REPORT"
+"$CLI" validate-json "$REPORT" > /dev/null || fail "recovery report invalid"
+ls "$DIR"/cone_cache.rdc.tmp.* > /dev/null 2>&1 \
+  && fail "stray tmp survived recovery"
+
+echo "PASS: eco smoke (cold, warm, edit, crash, recovery)"
+exit 0

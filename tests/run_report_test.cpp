@@ -393,6 +393,69 @@ TEST(RunReportValidate, RejectsMalformedResilientBlock) {
                           "\"resilient.degraded_from\""));
 }
 
+TEST(RunReport, EcoBlockConformsToSchema) {
+  const Circuit circuit = c17();
+  ConeCacheStore store;
+  const EcoResult eco = classify_eco(circuit, store, EcoOptions{});
+  RdIdentification rd;
+  rd.classify = eco.classify;
+  JsonValue report = classify_run_report("c17", "eco:2", rd);
+  report.set("eco", eco_json(eco.stats, store.stats()));
+
+  const JsonValue back = round_trip(report);
+  EXPECT_TRUE(validate_run_report(back).empty());
+  const JsonValue* block = back.find("eco");
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(block->find("cones")->as_uint64(), eco.stats.cones);
+  EXPECT_EQ(block->find("misses")->as_uint64(), eco.stats.misses);
+  EXPECT_EQ(block->find("stored")->as_uint64(), eco.stats.stored);
+  const JsonValue* recovery = block->find("recovery");
+  ASSERT_NE(recovery, nullptr);
+  for (const char* key :
+       {"torn_tmp", "bad_header", "version_skew", "truncated",
+        "crc_mismatch", "malformed_record", "duplicate_key",
+        "quarantined_files"})
+    EXPECT_EQ(recovery->find(key)->as_uint64(), 0u) << key;
+}
+
+TEST(RunReportValidate, RejectsMalformedEcoBlock) {
+  const RdIdentification rd = classify_c17();
+  JsonValue report = round_trip(classify_run_report("c17", "eco:2", rd));
+
+  // The eco block is optional; a well-formed one passes.
+  ConeCacheStore store;
+  report.set("eco", eco_json(EcoStats{}, store.stats()));
+  EXPECT_TRUE(validate_run_report(report).empty());
+
+  report.set("eco", JsonValue::string("oops"));
+  EXPECT_TRUE(has_problem(validate_run_report(report),
+                          "\"eco\" is not an object"));
+
+  JsonValue block = eco_json(EcoStats{}, store.stats());
+  JsonValue no_cones = JsonValue::object();
+  for (const auto& [name, value] : block.members())
+    if (name != "cones") no_cones.set(name, value);
+  report.set("eco", std::move(no_cones));
+  EXPECT_TRUE(has_problem(validate_run_report(report),
+                          "missing key \"cones\" in eco"));
+
+  block = eco_json(EcoStats{}, store.stats());
+  JsonValue no_recovery = JsonValue::object();
+  for (const auto& [name, value] : block.members())
+    if (name != "recovery") no_recovery.set(name, value);
+  report.set("eco", std::move(no_recovery));
+  EXPECT_TRUE(has_problem(validate_run_report(report),
+                          "missing key \"recovery\" in eco"));
+
+  block = eco_json(EcoStats{}, store.stats());
+  JsonValue recovery = *block.find("recovery");
+  recovery.set("torn_tmp", JsonValue::string("one"));
+  block.set("recovery", std::move(recovery));
+  report.set("eco", std::move(block));
+  EXPECT_TRUE(has_problem(validate_run_report(report),
+                          "\"eco.recovery.torn_tmp\" is not a number"));
+}
+
 // ---- file output ----------------------------------------------------------
 
 TEST(RunReport, WriteJsonFileRoundTripsThroughDisk) {

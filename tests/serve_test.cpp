@@ -314,6 +314,84 @@ TEST(Session, CachedAndOneShotClassifyAreBitIdentical) {
             hit.find("prerun_work")->as_uint64());
 }
 
+TEST(Session, IncrementalRequestsShareTheConeCache) {
+  ConeCacheStore cone_cache;
+  SessionConfig config;
+  config.cone_cache = &cone_cache;
+  Session session{config};
+  const std::string request =
+      "{\"op\": \"classify\", \"circuit\": {\"builtin\": \"c17\"}, "
+      "\"heuristic\": \"2\", \"incremental\": true}";
+
+  const JsonValue cold = handle(session, request);
+  ASSERT_TRUE(validate_run_report(cold).empty());
+  EXPECT_EQ(cold.find("method")->as_string(), "eco:2");
+  const JsonValue* cold_cc = cold.find("serve")->find("cone_cache");
+  ASSERT_NE(cold_cc, nullptr);
+  EXPECT_EQ(cold_cc->find("hits")->as_uint64(), 0u);
+  EXPECT_GT(cold_cc->find("misses")->as_uint64(), 0u);
+  ASSERT_NE(cold.find("eco"), nullptr);
+
+  const JsonValue warm = handle(session, request);
+  ASSERT_TRUE(validate_run_report(warm).empty());
+  const JsonValue* warm_cc = warm.find("serve")->find("cone_cache");
+  ASSERT_NE(warm_cc, nullptr);
+  EXPECT_EQ(warm_cc->find("misses")->as_uint64(), 0u);
+  EXPECT_EQ(warm_cc->find("hits")->as_uint64(),
+            cold_cc->find("misses")->as_uint64());
+  EXPECT_EQ(warm_cc->find("recovered")->as_uint64(), 0u);
+
+  // The served-from-cache run is bit-identical on deterministic fields.
+  const auto deterministic = [](const JsonValue& report) {
+    JsonValue projected = JsonValue::object();
+    for (const auto& [key, value] : report.find("classify")->members()) {
+      if (key == "wall_seconds" || key == "workers") continue;
+      projected.set(key, value);
+    }
+    return projected.to_string();
+  };
+  EXPECT_EQ(deterministic(cold), deterministic(warm));
+}
+
+TEST(Session, ServePayloadExposesCachePressureCounters) {
+  CircuitCache cache(1);  // capacity 1: the second circuit evicts
+  SessionConfig config;
+  config.cache = &cache;
+  Session session{config};
+
+  const JsonValue first = handle(
+      session,
+      "{\"op\": \"classify\", \"circuit\": {\"builtin\": \"c17\"}}");
+  ASSERT_TRUE(validate_run_report(first).empty());
+  const JsonValue* serve = first.find("serve");
+  ASSERT_NE(serve->find("cache_evictions"), nullptr);
+  EXPECT_EQ(serve->find("cache_evictions")->as_uint64(), 0u);
+  EXPECT_EQ(serve->find("cache_failures")->as_uint64(), 0u);
+
+  const JsonValue second = handle(
+      session,
+      "{\"op\": \"classify\", \"circuit\": {\"builtin\": \"example\"}}");
+  ASSERT_TRUE(validate_run_report(second).empty());
+  EXPECT_EQ(second.find("serve")->find("cache_evictions")->as_uint64(), 1u);
+}
+
+TEST(Session, StatsOpReportsTheConeCache) {
+  ConeCacheStore cone_cache;
+  SessionConfig config;
+  config.cone_cache = &cone_cache;
+  Session session{config};
+  handle(session,
+         "{\"op\": \"classify\", \"circuit\": {\"builtin\": \"c17\"}, "
+         "\"incremental\": true}");
+
+  const JsonValue stats = handle(session, "{\"op\": \"stats\"}");
+  const JsonValue* cone = stats.find("stats")->find("cone_cache");
+  ASSERT_NE(cone, nullptr);
+  EXPECT_GT(cone->find("records")->as_uint64(), 0u);
+  EXPECT_GT(cone->find("misses")->as_uint64(), 0u);
+  EXPECT_EQ(cone->find("recovered")->as_uint64(), 0u);
+}
+
 TEST(Session, FaultInjectedRequestAbortsWithTypedReason) {
   Session session{SessionConfig{}};
   const JsonValue response = handle(
