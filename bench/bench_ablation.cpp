@@ -13,8 +13,12 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "core/exact.h"
 #include "core/heuristics.h"
+#include "gen/examples.h"
 #include "gen/iscas_like.h"
+#include "gen/pla_like.h"
+#include "synth/synth.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -165,6 +169,122 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "[ablation] refine: %s done\n", name.c_str());
   }
   std::printf("%s", refinement.to_string().c_str());
+
+  // Ablation (d): implication tiers (DESIGN.md §14).  The closure tier
+  // is result-identical to the fused baseline by contract; the learned
+  // tier spends failed-literal probes to refute survivors, so its kept
+  // set sits between the exact FS set and the local-implication
+  // approximation.  On circuits small enough for the exhaustive
+  // reference, the containment exact ⊆ learned ⊆ local is checked as
+  // sets, not counts — a sound probe can only drop paths the exact
+  // sweep also drops.
+  std::printf(
+      "\nAblation (d): static-implication tiers on the FS classifier\n"
+      "(kept = |LP^sup|; exact = exhaustive vector sweep)\n\n");
+  TextTable tiers({"circuit", "exact", "kept (off)", "kept (closure)",
+                   "kept (learned)", "dropped", "sound"});
+  bool tier_violation = false;
+  {
+    struct TierCase {
+      std::string name;
+      Circuit circuit;
+    };
+    std::vector<TierCase> cases;
+    cases.push_back({"example", paper_example_circuit()});
+    cases.push_back({"c17", c17()});
+    // The one case where the learned tier provably earns its keep:
+    // FS^sup over-keeps a path whose side constraints encode an
+    // unsatisfiable CNF the drain never refutes locally.
+    cases.push_back({"unsat-side", unsat_side_constraint_circuit()});
+    if (!options.quick) {
+      PlaProfile profile;
+      profile.name = "pla-small";
+      profile.num_inputs = 8;
+      profile.num_outputs = 4;
+      profile.num_cubes = 16;
+      profile.min_literals = 2;
+      profile.max_literals = 4;
+      profile.seed = 11;
+      cases.push_back({"pla-small",
+                       synthesize_multilevel(make_pla_like(profile))});
+    }
+    for (TierCase& item : cases) {
+      if (!options.circuits.empty() && !options.selected(item.name)) continue;
+      ClassifyOptions tier_base = base;
+      tier_base.criterion = Criterion::kFunctionalSensitizable;
+      tier_base.collect_paths_limit = std::uint64_t{1} << 20;
+
+      ClassifyOptions off = tier_base;
+      ClassifyOptions with_closure = tier_base;
+      with_closure.implications = ImplicationTier::kClosure;
+      ClassifyOptions learned = tier_base;
+      learned.implications = ImplicationTier::kLearned;
+
+      const ClassifyResult off_run = classify_paths(item.circuit, off);
+      const ClassifyResult closure_run =
+          classify_paths(item.circuit, with_closure);
+      const ClassifyResult learned_run =
+          classify_paths(item.circuit, learned);
+      const LogicalPathSet exact = exact_kept_paths(
+          item.circuit, Criterion::kFunctionalSensitizable);
+
+      const LogicalPathSet local_set(off_run.kept_keys.begin(),
+                                     off_run.kept_keys.end());
+      const LogicalPathSet learned_set(learned_run.kept_keys.begin(),
+                                       learned_run.kept_keys.end());
+      const bool closure_identical =
+          closure_run.kept_paths == off_run.kept_paths &&
+          closure_run.kept_keys == off_run.kept_keys;
+      const bool exact_in_learned = std::includes(
+          learned_set.begin(), learned_set.end(), exact.begin(), exact.end());
+      const bool learned_in_local = std::includes(
+          local_set.begin(), local_set.end(), learned_set.begin(),
+          learned_set.end());
+      const bool sound =
+          closure_identical && exact_in_learned && learned_in_local;
+      if (!sound) {
+        std::fprintf(stderr,
+                     "[ablation] ERROR: %s tier containment violated "
+                     "(closure==local %d, exact⊆learned %d, "
+                     "learned⊆local %d)\n",
+                     item.name.c_str(), closure_identical, exact_in_learned,
+                     learned_in_local);
+        tier_violation = true;
+      }
+
+      tiers.add_row({item.name, std::to_string(exact.size()),
+                     std::to_string(off_run.kept_paths),
+                     std::to_string(closure_run.kept_paths),
+                     std::to_string(learned_run.kept_paths),
+                     std::to_string(learned_run.closure.learned_dropped),
+                     sound ? "yes" : "NO"});
+      if (report.enabled()) {
+        JsonValue json_row = JsonValue::object();
+        json_row.set("circuit", JsonValue::string(item.name));
+        json_row.set("study", JsonValue::string("implication_tier"));
+        json_row.set("exact_kept",
+                     JsonValue::number(
+                         static_cast<std::uint64_t>(exact.size())));
+        json_row.set("kept_off", JsonValue::number(off_run.kept_paths));
+        json_row.set("kept_closure",
+                     JsonValue::number(closure_run.kept_paths));
+        json_row.set("kept_learned",
+                     JsonValue::number(learned_run.kept_paths));
+        json_row.set("learned_dropped",
+                     JsonValue::number(learned_run.closure.learned_dropped));
+        json_row.set("learned_assignments",
+                     JsonValue::number(
+                         learned_run.closure.learned_assignments));
+        json_row.set("sound", JsonValue::boolean(sound));
+        report.add_row(std::move(json_row));
+      }
+      std::fprintf(stderr, "[ablation] tiers: %s done\n", item.name.c_str());
+    }
+  }
+  std::printf("%s", tiers.to_string().c_str());
+  std::printf(
+      "\nclosure is result-identical to off by contract; learned drops\n"
+      "only paths the exhaustive sweep also excludes (soundness check).\n");
   report.write();
-  return 0;
+  return tier_violation ? 1 : 0;
 }

@@ -26,6 +26,7 @@
 #include "gen/pla_like.h"
 #include "netlist/compiled.h"
 #include "paths/path.h"
+#include "sim/closure.h"
 #include "sim/implication.h"
 #include "sim/implication_bitpar.h"
 #include "sim/implication_reference.h"
@@ -509,6 +510,124 @@ int main(int argc, char** argv) {
       report.add_row(std::move(json));
     }
     std::fprintf(stderr, "[micro] bitpar done\n");
+  }
+
+  // Static-closure row (DESIGN.md §14): a per-literal assert/rollback
+  // sweep from the empty engine state — the exact regime every DFS
+  // root assignment and side-input assert hits — comparing the fused
+  // scalar drain against the closure's bulk row install.  Both engines
+  // are the production ImplicationEngine; only the attached closure
+  // differs, and the closure contract says every per-literal verdict
+  // and ImplicationStats delta must be bit-identical (a hit installs
+  // the recorded drain exactly).  The one-time closure build runs
+  // outside the timed region and is reported separately.
+  // scripts/compare_bench.py --self gates both rows' ratios.
+  {
+    struct ClosureCase {
+      std::string name;
+      Circuit circuit;
+    };
+    std::vector<ClosureCase> cases;
+    if (options.selected("mcnc-like"))
+      cases.push_back({"mcnc-like", mcnc_like()});
+    if (options.selected("deep-mesh")) {
+      CarryMeshProfile mesh;
+      mesh.width = options.quick ? 3 : 4;
+      mesh.depth = options.quick ? 10 : 14;
+      cases.push_back({"deep-mesh", make_carry_mesh(mesh)});
+    }
+    for (ClosureCase& item : cases) {
+      const CompiledCircuit compiled(item.circuit);
+      const StaticClosure closure(compiled);
+
+      ImplicationEngine baseline(compiled);
+      ImplicationEngine fused(compiled);
+      fused.attach_closure(&closure);
+
+      const std::size_t gates = item.circuit.num_gates();
+      const std::size_t literals = 2 * gates;
+      std::vector<std::uint8_t> verdicts(literals);
+      std::vector<ImplicationStats> deltas(literals);
+      const auto sweep = [&](ImplicationEngine& engine, bool record) {
+        engine.reset();
+        std::size_t index = 0;
+        for (GateId gate = 0; gate < gates; ++gate) {
+          for (const Value3 value : {Value3::kZero, Value3::kOne}) {
+            const std::size_t mark = engine.mark();
+            const ImplicationStats before = engine.stats();
+            const bool ok = engine.assign(gate, value);
+            if (record) {
+              verdicts[index] = ok;
+              deltas[index] = engine.stats().delta_since(before);
+            }
+            ++index;
+            engine.rollback(mark);
+          }
+        }
+      };
+
+      const auto [baseline_seconds, fused_seconds] =
+          median_wall_seconds_interleaved(
+              runs, /*min_window_seconds=*/0.05,
+              [&] { sweep(baseline, false); }, [&] { sweep(fused, false); });
+      sweep(baseline, true);
+      std::vector<std::uint8_t> base_verdicts = verdicts;
+      std::vector<ImplicationStats> base_deltas = deltas;
+      sweep(fused, true);
+      bool identical = true;
+      std::uint64_t total_props = 0;
+      for (std::size_t i = 0; i < literals; ++i) {
+        identical = identical && base_verdicts[i] == verdicts[i] &&
+                    base_deltas[i] == deltas[i];
+        total_props += base_deltas[i].propagations;
+      }
+      if (!identical) {
+        std::fprintf(stderr,
+                     "[micro] ERROR: %s closure-fused verdicts or stats "
+                     "diverge from the closure-free engine\n",
+                     item.name.c_str());
+        mismatch = true;
+      }
+
+      const auto props = static_cast<double>(total_props);
+      const double ratio =
+          fused_seconds > 0 ? baseline_seconds / fused_seconds : 0;
+      char ratio_cell[32];
+      std::snprintf(ratio_cell, sizeof ratio_cell, "%.2fx", ratio);
+      char props_cell[32];
+      std::snprintf(props_cell, sizeof props_cell, "%llu",
+                    static_cast<unsigned long long>(total_props));
+      table.add_row(
+          {"closure " + item.name, props_cell,
+           rate_cell(baseline_seconds > 0 ? props / baseline_seconds : 0),
+           rate_cell(fused_seconds > 0 ? props / fused_seconds : 0),
+           ratio_cell});
+      if (report.enabled()) {
+        const ClosureStats& build = closure.build_stats();
+        JsonValue json = JsonValue::object();
+        json.set("kind", JsonValue::string("closure"));
+        json.set("circuit", JsonValue::string(item.name));
+        json.set("runs", JsonValue::number(static_cast<std::uint64_t>(runs)));
+        json.set("literals",
+                 JsonValue::number(static_cast<std::uint64_t>(literals)));
+        json.set("propagations", JsonValue::number(total_props));
+        json.set("reference_seconds", JsonValue::number(baseline_seconds));
+        json.set("compiled_seconds", JsonValue::number(fused_seconds));
+        json.set("reference_props_per_sec",
+                 JsonValue::number(
+                     baseline_seconds > 0 ? props / baseline_seconds : 0));
+        json.set("compiled_props_per_sec",
+                 JsonValue::number(fused_seconds > 0 ? props / fused_seconds
+                                                     : 0));
+        json.set("throughput_ratio", JsonValue::number(ratio));
+        json.set("closure_build_seconds",
+                 JsonValue::number(build.build_seconds));
+        json.set("closure_bytes", JsonValue::number(build.bytes));
+        json.set("identical", JsonValue::boolean(identical));
+        report.add_row(std::move(json));
+      }
+      std::fprintf(stderr, "[micro] closure %s done\n", item.name.c_str());
+    }
   }
 
   std::printf("%s\n", table.to_string().c_str());

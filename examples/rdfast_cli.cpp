@@ -48,6 +48,20 @@
 //                    --cache-dir=D  load/persist the cone cache under
 //                                   directory D (implies --incremental;
 //                                   D is created if its parent exists)
+//                    --implications=off|closure|learned  static
+//                                   implication tier (DESIGN.md §14):
+//                                   closure fuses the precomputed
+//                                   per-literal closure into the drain
+//                                   loop (bit-identical results);
+//                                   learned adds failed-literal probing
+//                                   of kept paths (sound, smaller kept
+//                                   set; not composable with
+//                                   --incremental)
+//                    --closure-memory-mb=N  memory ceiling for the
+//                                   closure build (requires
+//                                   --implications=closure|learned)
+//                    --learn-budget=N / --learn-depth=N  probe caps for
+//                                   --implications=learned
 // atpg options:      --max-paths=N   cap on enumerated must-test paths
 //                    --threads=N
 //                    --stats-json=FILE
@@ -208,6 +222,9 @@ int cmd_classify(const std::string& spec, int argc, char** argv) {
   std::string engine = "approx";
   std::string stats_json;
   std::string cache_dir;
+  std::string implications = "off";
+  bool closure_memory_set = false;
+  bool learn_flag_set = false;
   bool incremental = false;
   CacheFaultInjection cache_inject;
   ClassifyOptions base;
@@ -233,6 +250,19 @@ int cmd_classify(const std::string& spec, int argc, char** argv) {
       // naming the flag, not a mid-run I/O failure.
       cache_dir = validate_directory_flag(arg.substr(12), "--cache-dir");
       incremental = true;
+    } else if (starts_with(arg, "--implications="))
+      implications = arg.substr(15);
+    else if (starts_with(arg, "--closure-memory-mb=")) {
+      base.closure_memory_mb =
+          parse_uint64_strict(arg.substr(20), "--closure-memory-mb");
+      closure_memory_set = true;
+    } else if (starts_with(arg, "--learn-budget=")) {
+      base.learn_budget = parse_uint64_strict(arg.substr(15), "--learn-budget");
+      learn_flag_set = true;
+    } else if (starts_with(arg, "--learn-depth=")) {
+      base.learn_depth = static_cast<std::uint32_t>(
+          parse_uint64_strict(arg.substr(14), "--learn-depth"));
+      learn_flag_set = true;
     } else if (starts_with(arg, "--inject-cache-truncate-after="))
       cache_inject.truncate_after_bytes = parse_uint64_strict(
           arg.substr(30), "--inject-cache-truncate-after");
@@ -246,6 +276,37 @@ int cmd_classify(const std::string& spec, int argc, char** argv) {
       std::fprintf(stderr, "unknown classify option: %s\n", arg.c_str());
       return 2;
     }
+  }
+  if (implications == "closure") {
+    base.implications = ImplicationTier::kClosure;
+  } else if (implications == "learned") {
+    base.implications = ImplicationTier::kLearned;
+  } else if (implications != "off") {
+    std::fprintf(stderr,
+                 "usage error: --implications must be off, closure or "
+                 "learned (got '%s')\n",
+                 implications.c_str());
+    return 2;
+  }
+  if (closure_memory_set && base.implications == ImplicationTier::kOff) {
+    std::fprintf(stderr,
+                 "usage error: --closure-memory-mb requires "
+                 "--implications=closure|learned\n");
+    return 2;
+  }
+  if (learn_flag_set && base.implications != ImplicationTier::kLearned) {
+    std::fprintf(stderr,
+                 "usage error: --learn-budget/--learn-depth require "
+                 "--implications=learned\n");
+    return 2;
+  }
+  // Learned probing shrinks kept-path sets, so its results must never
+  // seed the cone cache (classify_eco rejects it too; fail fast here).
+  if (incremental && base.implications == ImplicationTier::kLearned) {
+    std::fprintf(stderr,
+                 "usage error: --implications=learned does not compose "
+                 "with --incremental\n");
+    return 2;
   }
   if (!incremental && (cache_inject.truncate_after_bytes != 0 ||
                        cache_inject.flip_bit != 0 ||
@@ -369,6 +430,19 @@ int cmd_classify(const std::string& spec, int argc, char** argv) {
               result.rd_percent);
   std::printf("must-test      : %llu\n",
               static_cast<unsigned long long>(result.kept_paths));
+  if (base.implications != ImplicationTier::kOff) {
+    std::printf("implications   : %s (%llu hits, %llu misses",
+                implications.c_str(),
+                static_cast<unsigned long long>(result.closure.hits),
+                static_cast<unsigned long long>(result.closure.misses));
+    if (base.implications == ImplicationTier::kLearned)
+      std::printf(", %llu learned, %llu dropped",
+                  static_cast<unsigned long long>(
+                      result.closure.learned_assignments),
+                  static_cast<unsigned long long>(
+                      result.closure.learned_dropped));
+    std::printf(")\n");
+  }
   std::printf("time           : %s\n",
               format_duration(watch.elapsed_seconds()).c_str());
   if (!result.worker_stats.empty())
@@ -707,6 +781,8 @@ int cmd_request(const std::string& port_spec, int argc, char** argv) {
                       parse_uint64_strict(arg.substr(12), "--max-paths")));
     else if (arg == "--incremental")
       request.set("incremental", JsonValue::boolean(true));
+    else if (starts_with(arg, "--implications="))
+      request.set("implications", JsonValue::string(arg.substr(15)));
     else if (starts_with(arg, "--deadline-ms="))
       guard.set("deadline_ms",
                 JsonValue::number(

@@ -23,6 +23,7 @@ Self mode (one file):
     scripts/compare_bench.py --self BENCH_micro.json [--min-speedup X]
                              [--circuit NAME] [--min-tree-speedup Y]
                              [--min-bitpar-speedup Z]
+                             [--min-closure-speedup W]
 
 Validates the compiled-vs-reference micro report on its own terms:
 every row must carry both engines' numbers and the ``identical``
@@ -33,8 +34,12 @@ bit-identity verdict, the gated circuit's ``throughput_ratio``
 carry mesh) whose ratio reaches --min-tree-speedup (default 2.0), and
 it must contain a bitpar row (64-wide lane engine vs the compiled
 scalar engine on per-lane-identical seed-vector programs) whose ratio
-reaches --min-bitpar-speedup (default 4.0).  A missing path-tree or
-bitpar row fails: it means bench_micro ran without that study.
+reaches --min-bitpar-speedup (default 4.0).  It must also contain the
+closure rows (per-literal assert sweep, static-closure row install vs
+the fused scalar drain, DESIGN.md §14) for both mcnc-like and
+deep-mesh, each bit-identical per literal and each reaching
+--min-closure-speedup (default 1.5).  A missing path-tree, bitpar or
+closure row fails: it means bench_micro ran without that study.
 
 Serve mode (one file):
 
@@ -166,7 +171,7 @@ def diff_reports(old, new, tolerance, ignore_time):
 
 
 def check_self(report, min_speedup, circuit, min_tree_speedup,
-               min_bitpar_speedup):
+               min_bitpar_speedup, min_closure_speedup):
     failures = []
     if report.get("bench") != "micro":
         failures.append(
@@ -175,6 +180,7 @@ def check_self(report, min_speedup, circuit, min_tree_speedup,
     gated = None
     tree = None
     bitpar = None
+    closures = {}
     for index, row in enumerate(report["rows"]):
         label = row_label(report, index)
         for field in ("propagations", "reference_seconds", "compiled_seconds",
@@ -193,6 +199,8 @@ def check_self(report, min_speedup, circuit, min_tree_speedup,
             tree = row
         if row.get("kind") == "bitpar":
             bitpar = row
+        if row.get("kind") == "closure":
+            closures[row.get("circuit")] = row
     if gated is None:
         failures.append(f"no classify-fs row for gated circuit {circuit!r}")
     else:
@@ -219,6 +227,23 @@ def check_self(report, min_speedup, circuit, min_tree_speedup,
             failures.append(
                 f"bitpar: throughput_ratio {ratio!r} is below the "
                 f"{min_bitpar_speedup:g}x floor")
+    for name in ("mcnc-like", "deep-mesh"):
+        row = closures.get(name)
+        if row is None:
+            failures.append(
+                f"no closure row for {name} (bench_micro ran without the "
+                "static-closure study)")
+            continue
+        ratio = row.get("throughput_ratio")
+        if not isinstance(ratio, (int, float)) or ratio < min_closure_speedup:
+            failures.append(
+                f"closure {name}: throughput_ratio {ratio!r} is below the "
+                f"{min_closure_speedup:g}x floor")
+        build = row.get("closure_build_seconds")
+        if not isinstance(build, (int, float)) or build < 0:
+            failures.append(
+                f"closure {name}: closure_build_seconds {build!r} is not a "
+                "non-negative number")
     return failures
 
 
@@ -339,6 +364,8 @@ def main(argv):
                         help="ratio floor for the path-tree row (self mode)")
     parser.add_argument("--min-bitpar-speedup", type=float, default=4.0,
                         help="ratio floor for the bitpar row (self mode)")
+    parser.add_argument("--min-closure-speedup", type=float, default=1.5,
+                        help="ratio floor for the closure rows (self mode)")
     parser.add_argument("--min-requests", type=int, default=2000,
                         help="replay size floor (serve mode)")
     parser.add_argument("--min-hit-rate", type=float, default=0.95,
@@ -363,7 +390,8 @@ def main(argv):
             parser.error("--self takes exactly one report")
         failures = check_self(load_report(args.files[0]), args.min_speedup,
                               args.circuit, args.min_tree_speedup,
-                              args.min_bitpar_speedup)
+                              args.min_bitpar_speedup,
+                              args.min_closure_speedup)
     else:
         if len(args.files) != 2:
             parser.error("diff mode takes exactly two reports")

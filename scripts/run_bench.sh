@@ -39,15 +39,22 @@ BENCHES=(micro engines table1 table2 table3 testset ablation approx figures serv
 # lane engine's amortization headline; a micro report *without* a
 # bitpar row fails the gate outright.  Override:
 # RD_MIN_BITPAR_SPEEDUP=3 scripts/run_bench.sh
+#
+# The closure rows (per-literal assert sweep, static-closure row
+# install vs the fused scalar drain, on mcnc-like AND deep-mesh) claim
+# and gate 1.5x each; a micro report missing either closure row fails
+# the gate outright.  Override:
+# RD_MIN_CLOSURE_SPEEDUP=1.2 scripts/run_bench.sh
 case "$ARGS" in
   *--quick*) DEFAULT_MIN_SPEEDUP=1.9 DEFAULT_MIN_TREE_SPEEDUP=1.9
-             DEFAULT_MIN_BITPAR_SPEEDUP=3.8 ;;
+             DEFAULT_MIN_BITPAR_SPEEDUP=3.8 DEFAULT_MIN_CLOSURE_SPEEDUP=1.4 ;;
   *)         DEFAULT_MIN_SPEEDUP=2.0 DEFAULT_MIN_TREE_SPEEDUP=2.0
-             DEFAULT_MIN_BITPAR_SPEEDUP=4.0 ;;
+             DEFAULT_MIN_BITPAR_SPEEDUP=4.0 DEFAULT_MIN_CLOSURE_SPEEDUP=1.5 ;;
 esac
 MIN_SPEEDUP="${RD_MIN_SPEEDUP:-$DEFAULT_MIN_SPEEDUP}"
 MIN_TREE_SPEEDUP="${RD_MIN_TREE_SPEEDUP:-$DEFAULT_MIN_TREE_SPEEDUP}"
 MIN_BITPAR_SPEEDUP="${RD_MIN_BITPAR_SPEEDUP:-$DEFAULT_MIN_BITPAR_SPEEDUP}"
+MIN_CLOSURE_SPEEDUP="${RD_MIN_CLOSURE_SPEEDUP:-$DEFAULT_MIN_CLOSURE_SPEEDUP}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 TARGETS=(rdfast_cli)
@@ -70,16 +77,17 @@ for name in "${BENCHES[@]}"; do
   fi
 done
 
-# Gate the compiled-engine, path-tree and bitpar speedup claims: the
-# micro report must carry both engines' numbers, the bit-identity
-# verdicts, an mcnc-like ratio at or above the floor, and path-tree
-# and bitpar rows at or above their floors (a missing row is itself a
-# failure).
+# Gate the compiled-engine, path-tree, bitpar and closure speedup
+# claims: the micro report must carry both engines' numbers, the
+# bit-identity verdicts, an mcnc-like ratio at or above the floor, and
+# path-tree, bitpar and closure rows at or above their floors (a
+# missing row is itself a failure).
 if [ "$status" -eq 0 ]; then
   if ! python3 scripts/compare_bench.py --self BENCH_micro.json \
        --min-speedup "$MIN_SPEEDUP" \
        --min-tree-speedup "$MIN_TREE_SPEEDUP" \
-       --min-bitpar-speedup "$MIN_BITPAR_SPEEDUP"; then
+       --min-bitpar-speedup "$MIN_BITPAR_SPEEDUP" \
+       --min-closure-speedup "$MIN_CLOSURE_SPEEDUP"; then
     echo "bench_micro speedup gate FAILED" >&2
     status=1
   fi

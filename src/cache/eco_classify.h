@@ -27,8 +27,13 @@
 // sort-free, is additionally pinned against the whole-circuit engine.
 //
 // Not supported in eco mode: collect_lead_counts (per-lead tallies are
-// a whole-circuit observability feature; classify_eco throws
-// std::invalid_argument if requested).  work_limit applies per cone.
+// a whole-circuit observability feature) and the kLearned implication
+// tier — learned probing shrinks kept sets, so a record computed under
+// it would poison the cone cache for every non-learned client of the
+// same cone signature; classify_eco throws std::invalid_argument for
+// either.  The kClosure tier is result-identical to kOff and composes
+// freely (each reclassified cone builds its own closure).  work_limit
+// applies per cone.
 #pragma once
 
 #include <string>
@@ -60,6 +65,15 @@ struct EcoStats {
   /// (cached cones pay neither), mirroring RdIdentification.
   double sort_seconds = 0.0;
   std::uint64_t prerun_work = 0;
+
+  /// Static-closure observability over the reclassified cones (cached
+  /// cones pay no closure work; base.implications == kOff leaves every
+  /// field zero).  closure_builds counts per-cone builds; the merged
+  /// ClosureStats carries their counters (build fields reflect the
+  /// largest cone's closure — see ClosureStats::merge).
+  std::uint64_t closure_builds = 0;
+  double closure_build_seconds = 0.0;
+  ClosureStats closure;
 };
 
 struct EcoResult {

@@ -20,11 +20,25 @@ ClassifyResult classify_paths_serial(const Circuit& circuit,
   std::unique_ptr<const CompiledCircuit> owned_compiled;
   const CompiledCircuit& compiled =
       *internal::resolve_compiled(circuit, options, owned_compiled);
+  std::unique_ptr<const StaticClosure> owned_closure;
+  const StaticClosure* closure = nullptr;
+  try {
+    closure = internal::resolve_closure(compiled, options, owned_closure);
+  } catch (const GuardTrippedError& error) {
+    // Closure build blown off its memory budget (or a tripped guard):
+    // the run aborts before any DFS work, with the typed cause.
+    result.completed = false;
+    result.abort_reason = error.reason();
+    internal::finish_classify_result(circuit, &result);
+    result.wall_seconds = watch.elapsed_seconds();
+    return result;
+  }
   internal::SerialBudget budget(options.work_limit, options.guard);
   internal::SeedDfs<internal::SerialBudget> dfs(
       compiled, options, budget,
       options.collect_lead_counts ? &result.kept_controlling_per_lead
-                                  : nullptr);
+                                  : nullptr,
+      closure);
   try {
     for (const internal::ClassifySeed& seed :
          internal::enumerate_seeds(circuit)) {
@@ -61,6 +75,10 @@ ClassifyResult classify_paths_serial(const Circuit& circuit,
     result.abort_reason = error.reason();
   }
   result.implication = dfs.implication_stats();
+  if (closure != nullptr) {
+    result.closure = closure->build_stats();
+    result.closure.merge(dfs.closure_summary());
+  }
   internal::finish_classify_result(circuit, &result);
   result.wall_seconds = watch.elapsed_seconds();
   return result;

@@ -30,6 +30,7 @@
 #include "core/input_sort.h"
 #include "netlist/circuit.h"
 #include "paths/counting.h"
+#include "sim/closure.h"
 #include "sim/implication.h"
 #include "util/biguint.h"
 #include "util/exec_guard.h"
@@ -41,6 +42,24 @@ enum class Criterion : std::uint8_t {
   kNonRobust,
   kInputSort,
 };
+
+/// Static implication tier (DESIGN.md §14).
+///
+///   kOff      the event-drain engine exactly as before (default).
+///   kClosure  attach the per-literal static implication closure to
+///             every worker engine: footprint-disjoint assignments are
+///             served by a precomputed row install.  Pure accelerator —
+///             every deterministic result field stays bit-identical to
+///             kOff at every thread and lane count.
+///   kLearned  closure plus failed-literal probing of surviving paths:
+///             unknown side inputs of a survivor are probed at both
+///             polarities; a refuted polarity forces the other, both
+///             refuted proves the path's constraint set unsatisfiable
+///             and drops it.  Sound (dropped paths are truly robust
+///             dependent — exact ⊆ learned ⊆ local) and deterministic,
+///             but the kept set genuinely shrinks, so learned results
+///             must not be mixed with other tiers by caching layers.
+enum class ImplicationTier : std::uint8_t { kOff, kClosure, kLearned };
 
 struct ClassifyOptions {
   Criterion criterion = Criterion::kFunctionalSensitizable;
@@ -102,6 +121,33 @@ struct ClassifyOptions {
   /// function of (circuit, sort), so results are bit-identical either
   /// way.  Not owned; shared read-only across concurrent runs.
   const CompiledCircuit* compiled = nullptr;
+
+  /// Static implication tier (see ImplicationTier).  kOff by default:
+  /// the closure costs a per-circuit build, so callers opt in.
+  ImplicationTier implications = ImplicationTier::kOff;
+
+  /// Optional pre-built closure (the serve layer's CircuitCache and the
+  /// ECO engine's cone cache build one per compiled circuit and share
+  /// it across requests).  Must have been built over the resolved
+  /// compiled circuit with the same backward_implications mode.  Null
+  /// (default) builds privately per run when the tier needs one.  Not
+  /// owned; shared read-only across concurrent runs.
+  const StaticClosure* closure = nullptr;
+
+  /// Standalone memory ceiling for a privately built closure, in MiB
+  /// (0 = unlimited).  Exceeding it aborts the run with
+  /// AbortReason::kMemory, exactly like a guard memory trip.
+  std::uint64_t closure_memory_mb = 0;
+
+  /// kLearned: cap on probed side-input literals per surviving path
+  /// (0 = probe every unknown side input along the path).
+  std::uint64_t learn_budget = 0;
+
+  /// kLearned: probe depth.  1 checks the closure rows statically (a
+  /// literal unsatisfiable from the empty state is unsatisfiable in any
+  /// state — free, but weak); >= 2 (default) runs physical
+  /// failed-literal probes on the worker's engine.
+  std::uint32_t learn_depth = 2;
 };
 
 /// Per-worker observability counters of one parallel classification
@@ -153,6 +199,15 @@ struct ClassifyResult {
   /// fixed and the merge is a commutative sum); partial counts at an
   /// abort point are scheduling-dependent.
   ImplicationStats implication;
+
+  /// Observability: static-closure counters (all zero when
+  /// options.implications == kOff).  Build-side fields describe the one
+  /// shared closure; hit/miss counters are scheduling-dependent in
+  /// parallel runs (prefix replays re-count) and excluded from the
+  /// determinism guarantee.  learned_dropped is deterministic: the
+  /// probe verdict at each survivor depends only on the engine state
+  /// there, which is thread-count-independent.
+  ClosureStats closure;
 
   /// Observability: wall-clock seconds of the classification DFS
   /// (excludes the structural counting post-pass).  Nondeterministic.

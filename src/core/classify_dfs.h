@@ -119,6 +119,37 @@ inline const CompiledCircuit* resolve_compiled(
   return owned.get();
 }
 
+/// Resolves the static closure a run should use: null when the tier is
+/// kOff, the caller-provided options.closure when set (validated
+/// against the resolved compiled view; the serve/ECO cache hit path),
+/// else a fresh private build parked in `owned`.  A private build
+/// charges options.guard and honors options.closure_memory_mb; both
+/// ceilings surface as GuardTrippedError(kMemory), which the drivers
+/// convert to an aborted result.
+inline const StaticClosure* resolve_closure(
+    const CompiledCircuit& compiled, const ClassifyOptions& options,
+    std::unique_ptr<const StaticClosure>& owned) {
+  if (options.implications == ImplicationTier::kOff) return nullptr;
+  if (options.closure != nullptr) {
+    if (&options.closure->compiled() != &compiled)
+      throw std::invalid_argument(
+          "ClassifyOptions::closure was built over a different compiled "
+          "circuit");
+    if (options.closure->backward_implications() !=
+        options.backward_implications)
+      throw std::invalid_argument(
+          "ClassifyOptions::closure was built with a different "
+          "backward-implications mode");
+    return options.closure;
+  }
+  ClosureBuildOptions build;
+  build.memory_limit_mb = options.closure_memory_mb;
+  build.guard = options.guard;
+  build.backward_implications = options.backward_implications;
+  owned = std::make_unique<const StaticClosure>(compiled, build);
+  return owned.get();
+}
+
 /// Serial work budget: the classic `++work > limit` abort check, plus
 /// an optional ExecGuard.  The work limit is evaluated on every charge
 /// (the completed/aborted verdict stays exact to the step); the guard
@@ -277,14 +308,22 @@ class SeedDfs {
 
   /// `lead_counts`, when non-null, accumulates the per-lead
   /// controlling-value survivor tallies (order-independent sums, so a
-  /// per-worker accumulator merges deterministically).
+  /// per-worker accumulator merges deterministically).  `closure`, when
+  /// non-null, is attached to this driver's scalar engine (resolved by
+  /// the run driver via resolve_closure and shared read-only).
   SeedDfs(const CompiledCircuit& compiled, const ClassifyOptions& options,
-          Budget& budget, std::vector<std::uint64_t>* lead_counts)
+          Budget& budget, std::vector<std::uint64_t>* lead_counts,
+          const StaticClosure* closure = nullptr)
       : compiled_(compiled),
         options_(options),
         budget_(budget),
         lead_counts_(lead_counts),
+        closure_(closure),
         engine_(compiled, options.backward_implications) {
+    engine_.attach_closure(closure);
+    if (options.implications == ImplicationTier::kLearned &&
+        closure == nullptr)
+      throw std::invalid_argument("kLearned requires a resolved closure");
     if (options.criterion == Criterion::kInputSort &&
         !compiled.has_low_order_tables())
       throw std::invalid_argument(
@@ -309,6 +348,17 @@ class SeedDfs {
   /// this driver has run (observability; merged by summation).
   const ImplicationStats& implication_stats() const {
     return engine_.stats();
+  }
+
+  /// This driver's closure counters (observability; drivers merge the
+  /// shared closure's build_stats in separately, exactly once).
+  ClosureStats closure_summary() const {
+    ClosureStats stats;
+    stats.hits = engine_.closure_hits();
+    stats.misses = engine_.closure_misses();
+    stats.learned_assignments = learned_assignments_;
+    stats.learned_dropped = learned_dropped_;
+    return stats;
   }
 
   /// Runs one seed subtree.  `max_keys` caps this seed's key
@@ -639,7 +689,85 @@ class SeedDfs {
     }
   }
 
+  /// kLearned: one failed-literal probe of side-input gate `gate`
+  /// (currently unknown).  Returns false when both polarities are
+  /// refuted — the engine state at this survivor is unsatisfiable.  A
+  /// single refuted polarity asserts the forced one on the engine
+  /// (strengthening later probes of the same survivor); the caller
+  /// rolls everything back to its mark.
+  bool probe_literal(GateId gate) {
+    if (options_.learn_depth <= 1) {
+      // Static tier: a closure row recording a conflict from the
+      // *empty* state is unsatisfiable in every state.
+      const bool ok0 = closure_->row(gate, Value3::kZero).ok;
+      const bool ok1 = closure_->row(gate, Value3::kOne).ok;
+      if (ok0 && ok1) return true;
+      if (!ok0 && !ok1) return false;
+      ++learned_assignments_;
+      return engine_.assign(gate, ok0 ? Value3::kZero : Value3::kOne);
+    }
+    const std::size_t mark = engine_.mark();
+    const bool ok0 = engine_.assign(gate, Value3::kZero);
+    engine_.rollback(mark);
+    const bool ok1 = engine_.assign(gate, Value3::kOne);
+    if (!ok1) {
+      engine_.rollback(mark);
+      if (!ok0) return false;
+      ++learned_assignments_;
+      engine_.assign(gate, Value3::kZero);
+      return true;
+    }
+    if (!ok0) {
+      ++learned_assignments_;  // gate = 1 already holds on the engine
+      return true;
+    }
+    engine_.rollback(mark);
+    return true;
+  }
+
+  /// kLearned: probes the unknown side inputs along the recorded
+  /// segment.  Returns false when probing proves the survivor's
+  /// constraint set unsatisfiable — the path is truly robust dependent
+  /// (both polarities of some literal refuted by sound implications)
+  /// and is dropped.  Deterministic: the engine state at a survivor is
+  /// thread-count-independent, and all probe state is rolled back
+  /// before returning.
+  bool probe_survivor() {
+    const std::size_t mark = engine_.mark();
+    std::uint64_t probed = 0;
+    bool feasible = true;
+    for (const LeadId lead_id : segment_) {
+      const CompiledLead& lead = compiled_.lead(lead_id);
+      if (!lead.sink_has_ctrl) continue;
+      const SideSpan span = compiled_.side_all_span(lead);
+      for (const GateId* gate = span.begin(); gate != span.end(); ++gate) {
+        if (is_known(engine_.value(*gate))) continue;
+        if (options_.learn_budget != 0 &&
+            probed >= options_.learn_budget) {
+          engine_.rollback(mark);
+          return true;
+        }
+        ++probed;
+        if (!probe_literal(*gate)) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) break;
+    }
+    engine_.rollback(mark);
+    return feasible;
+  }
+
   void record_survivor() {
+    if (options_.implications == ImplicationTier::kLearned &&
+        !probe_survivor()) {
+      // Refuted before it is counted: no kept_paths increment, no
+      // merge event, no key, no lead tallies — the path joins the
+      // identified RD set.
+      ++learned_dropped_;
+      return;
+    }
     ++outcome_.kept_paths;
     if constexpr (kFrontier) {
       if (on_survivor_) on_survivor_();
@@ -672,7 +800,10 @@ class SeedDfs {
   const ClassifyOptions& options_;
   Budget& budget_;
   std::vector<std::uint64_t>* lead_counts_;
+  const StaticClosure* closure_;
   ImplicationEngine engine_;
+  std::uint64_t learned_assignments_ = 0;
+  std::uint64_t learned_dropped_ = 0;
 
   // Lane-parallel sibling evaluation (null/scalar unless
   // options.lanes > 1 in a non-frontier instantiation).  The lane

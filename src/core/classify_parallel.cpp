@@ -73,6 +73,24 @@ ClassifyResult classify_paths_parallel(const Circuit& circuit,
   const CompiledCircuit& compiled =
       *internal::resolve_compiled(circuit, options, owned_compiled);
 
+  // Like the compiled view: resolved once on the calling thread (or
+  // taken pre-built from options.closure) and shared read-only by every
+  // worker's engine.
+  std::unique_ptr<const StaticClosure> owned_closure;
+  const StaticClosure* closure = nullptr;
+  try {
+    closure = internal::resolve_closure(compiled, options, owned_closure);
+  } catch (const GuardTrippedError& error) {
+    ClassifyResult result;
+    if (options.collect_lead_counts)
+      result.kept_controlling_per_lead.assign(circuit.num_leads(), 0);
+    result.completed = false;
+    result.abort_reason = error.reason();
+    internal::finish_classify_result(circuit, &result);
+    result.wall_seconds = watch.elapsed_seconds();
+    return result;
+  }
+
   const std::size_t split_depth = choose_split_depth(
       prefix_tree_widths(circuit, kMaxSplitDepth), item_target(num_threads));
 
@@ -113,7 +131,8 @@ ClassifyResult classify_paths_parallel(const Circuit& circuit,
   internal::SharedBudget root_budget(shared_budget);
   FrontierDfs root_dfs(compiled, options, root_budget,
                        options.collect_lead_counts ? &root_lead_counts
-                                                   : nullptr);
+                                                   : nullptr,
+                       closure);
   std::uint32_t current_seed = 0;
   std::uint64_t root_work = 0;
   root_dfs.set_frontier_cut(
@@ -180,7 +199,8 @@ ClassifyResult classify_paths_parallel(const Circuit& circuit,
             state.lead_counts.assign(circuit.num_leads(), 0);
           state.dfs = std::make_unique<Dfs>(
               compiled, options, *state.budget,
-              options.collect_lead_counts ? &state.lead_counts : nullptr);
+              options.collect_lead_counts ? &state.lead_counts : nullptr,
+              closure);
         }
         const SubtreeItem& item = items[i];
         outcomes[i] = state.dfs->run_subtree(
@@ -247,6 +267,12 @@ ClassifyResult classify_paths_parallel(const Circuit& circuit,
   result.implication = root_dfs.implication_stats();
   for (const WorkerState& state : workers)
     if (state.dfs) result.implication.merge(state.dfs->implication_stats());
+  if (closure != nullptr) {
+    result.closure = closure->build_stats();
+    result.closure.merge(root_dfs.closure_summary());
+    for (const WorkerState& state : workers)
+      if (state.dfs) result.closure.merge(state.dfs->closure_summary());
+  }
 
   // The phase-1 expansion runs on the calling thread; its work and
   // steal-free task count are charged to worker slot 0 so the

@@ -41,4 +41,29 @@ Circuit c17() {
   return circuit;
 }
 
+Circuit unsat_side_constraint_circuit() {
+  // The rising-m path z1..z5 asserts s1..s4 = 1 (non-controlling tips
+  // at the AND gates) — jointly unsatisfiable, pairwise silent under
+  // ternary propagation.  The z4->z5 lead has a controlling tip under
+  // FS, so its side input c stays unknown and is the probe target.
+  Circuit circuit("unsat_side");
+  const GateId m = circuit.add_input("m");
+  const GateId c = circuit.add_input("c");
+  const GateId d = circuit.add_input("d");
+  const GateId nc = circuit.add_gate(GateType::kNot, "nc", {c});
+  const GateId nd = circuit.add_gate(GateType::kNot, "nd", {d});
+  const GateId s1 = circuit.add_gate(GateType::kOr, "s1", {c, d});
+  const GateId s2 = circuit.add_gate(GateType::kOr, "s2", {nc, d});
+  const GateId s3 = circuit.add_gate(GateType::kOr, "s3", {c, nd});
+  const GateId s4 = circuit.add_gate(GateType::kOr, "s4", {nc, nd});
+  const GateId z1 = circuit.add_gate(GateType::kAnd, "z1", {m, s1});
+  const GateId z2 = circuit.add_gate(GateType::kAnd, "z2", {z1, s2});
+  const GateId z3 = circuit.add_gate(GateType::kAnd, "z3", {z2, s3});
+  const GateId z4 = circuit.add_gate(GateType::kAnd, "z4", {z3, s4});
+  const GateId z5 = circuit.add_gate(GateType::kOr, "z5", {z4, c});
+  circuit.add_output("z5", z5);
+  circuit.finalize();
+  return circuit;
+}
+
 }  // namespace rd

@@ -21,4 +21,14 @@ Circuit paper_example_circuit();
 /// ISCAS-85 c17: 5 inputs, 2 outputs, 6 NAND gates (exact netlist).
 Circuit c17();
 
+/// A circuit whose FS^sup over-keeps provably: the side constraints of
+/// the m-to-PO path encode the unsatisfiable CNF
+/// (c+d)(c'+d)(c+d')(c'+d') through four OR side inputs, yet the
+/// ternary drain never sees a conflict (no single literal is forced).
+/// One further lead exposes c itself as an unconstrained side input,
+/// so failed-literal probing (--implications=learned) case-splits on
+/// c, refutes both polarities, and drops the path — the exact FS
+/// engine agrees it is robust dependent.
+Circuit unsat_side_constraint_circuit();
+
 }  // namespace rd

@@ -313,6 +313,14 @@ JsonValue Session::run_classify(const JsonValue& request, std::uint64_t id,
   base.lanes = static_cast<std::size_t>(get_uint(request, "lanes", base.lanes));
   if (base.lanes < 1 || base.lanes > 64)
     throw BadRequest("field 'lanes' must be 1..64");
+  const std::string implications = get_string(request, "implications", "off");
+  if (implications == "closure") {
+    base.implications = ImplicationTier::kClosure;
+  } else if (implications == "learned") {
+    base.implications = ImplicationTier::kLearned;
+  } else if (implications != "off") {
+    throw BadRequest("field 'implications' must be off, closure or learned");
+  }
 
   const GuardSpec guard_spec = GuardSpec::from_request(request);
   ExecGuard guard(guard_spec.options(config_.cancel));
@@ -324,6 +332,10 @@ JsonValue Session::run_classify(const JsonValue& request, std::uint64_t id,
     // reuse lives at cone granularity in the shared ConeCacheStore,
     // which survives across requests (and daemon restarts when the
     // server persists it).
+    if (base.implications == ImplicationTier::kLearned)
+      throw BadRequest(
+          "'implications': 'learned' does not compose with incremental mode "
+          "(learned kept sets would poison cached cone records)");
     Circuit circuit;
     try {
       circuit = generator ? generator() : read_bench_string(bench_text, name);
@@ -404,6 +416,12 @@ JsonValue Session::run_classify(const JsonValue& request, std::uint64_t id,
     options.sort = nullptr;
   }
   options.compiled = entry->compiled.get();
+  // The closure is entry-resident like the compiled circuit: built by
+  // the first opted-in request (outside this request's guard, since it
+  // outlives it) and shared read-only afterwards.
+  bool closure_built_now = false;
+  if (options.implications != ImplicationTier::kOff)
+    options.closure = entry->shared_closure(&closure_built_now);
 
   RdIdentification rd;
   rd.classify = classify_paths(entry->circuit, options);
@@ -414,7 +432,15 @@ JsonValue Session::run_classify(const JsonValue& request, std::uint64_t id,
   record_classify_metrics(rd.classify, metrics);
   JsonValue report =
       classify_run_report(entry->circuit.name(), heuristic, rd, &metrics);
-  report.set("serve", serve_payload(id, has_id, cache_hit, content_key, &cache));
+  JsonValue payload = serve_payload(id, has_id, cache_hit, content_key, &cache);
+  if (options.implications != ImplicationTier::kOff) {
+    JsonValue closure_payload = JsonValue::object();
+    closure_payload.set("cached", JsonValue::boolean(!closure_built_now));
+    closure_payload.set("build_seconds",
+                        JsonValue::number(entry->closure_seconds));
+    payload.set("closure", std::move(closure_payload));
+  }
+  report.set("serve", std::move(payload));
   return report;
 }
 

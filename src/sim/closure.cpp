@@ -1,0 +1,143 @@
+#include "sim/closure.h"
+
+#include <algorithm>
+
+#include "util/stopwatch.h"
+
+namespace rd {
+
+namespace {
+
+/// Used bytes of the closure's variable-size tables.
+std::uint64_t table_bytes(std::size_t rows, std::size_t trail_words,
+                          std::size_t dense_words, std::size_t csr_gates) {
+  return rows * sizeof(StaticClosure::Row) +
+         trail_words * sizeof(std::uint64_t) +
+         dense_words * sizeof(std::uint64_t) + csr_gates * sizeof(GateId);
+}
+
+}  // namespace
+
+StaticClosure::StaticClosure(const CompiledCircuit& compiled,
+                             const ClosureBuildOptions& options)
+    : compiled_(&compiled),
+      guard_(options.guard),
+      backward_implications_(options.backward_implications) {
+  Stopwatch watch;
+  const std::size_t num_gates = compiled.num_gates();
+  words_per_row_ = (num_gates + 63) / 64;
+  rows_.resize(2 * num_gates);
+
+  const std::uint64_t limit_bytes =
+      options.memory_limit_mb * std::uint64_t{1024} * 1024;
+  std::uint64_t charged = 0;
+  // Charges the growth of the tables since the last call against both
+  // budgets.  The build deliberately never calls guard->check(): a
+  // check consumes an injection/work slot and would shift every
+  // downstream trip point, breaking the closure's bit-identity contract
+  // with closure-free runs.  Trip state and the memory ceiling are
+  // evaluated directly instead.
+  const auto charge = [&](std::uint64_t total) {
+    if (total > charged) {
+      if (guard_ != nullptr) guard_->add_memory(total - charged);
+      accounted_bytes_ += total - charged;
+      charged = total;
+    }
+    if (limit_bytes != 0 && total > limit_bytes) {
+      if (guard_ != nullptr) guard_->trip(AbortReason::kMemory);
+      throw GuardTrippedError(AbortReason::kMemory);
+    }
+    if (guard_ != nullptr) {
+      const std::uint64_t ceiling = guard_->options().memory_limit_bytes;
+      if (ceiling != 0 && guard_->memory_used() > ceiling)
+        guard_->trip(AbortReason::kMemory);
+      if (guard_->tripped()) throw GuardTrippedError(guard_->reason());
+    }
+  };
+  charge(table_bytes(rows_.size(), 0, 0, 0));
+
+  ImplicationEngine engine(compiled, backward_implications_);
+  // Footprint scratch: a dense bitset plus the insertion-ordered list
+  // of set gates, so clearing costs O(footprint) instead of O(V).
+  std::vector<std::uint64_t> scratch(words_per_row_, 0);
+  std::vector<GateId> foot;
+  std::vector<GateId> examined;  // P = W ∪ sinks(W)
+  const auto add = [&](GateId gate) {
+    const std::uint64_t bit = std::uint64_t{1} << (gate & 63);
+    if ((scratch[gate >> 6] & bit) != 0) return false;
+    scratch[gate >> 6] |= bit;
+    foot.push_back(gate);
+    return true;
+  };
+
+  for (GateId gate = 0; gate < static_cast<GateId>(num_gates); ++gate) {
+    for (const Value3 value : {Value3::kZero, Value3::kOne}) {
+      engine.reset();
+      const ImplicationStats before = engine.stats();
+      const bool ok = engine.assign(gate, value);
+      const std::size_t assigned = engine.num_assigned();
+
+      Row row;
+      row.ok = ok;
+      row.delta = engine.stats().delta_since(before);
+      row.trail_begin = static_cast<std::uint32_t>(trail_pool_.size());
+      row.trail_count = static_cast<std::uint32_t>(assigned);
+      const std::uint64_t* trail = engine.trail_data();
+      trail_pool_.insert(trail_pool_.end(), trail, trail + assigned);
+
+      // Footprint F = P ∪ fanins(P), P = W ∪ sinks(W): every gate whose
+      // value or counters the recorded drain read or wrote.
+      foot.clear();
+      examined.clear();
+      for (std::size_t i = 0; i < assigned; ++i) {
+        const GateId w = entry_gate(trail[i]);
+        if (add(w)) examined.push_back(w);
+        const GateWord* sink = compiled.fanout_sink_begin(w);
+        const GateWord* const end = sink + compiled.fanout_count(w);
+        for (; sink != end; ++sink) {
+          const GateId s = gate_word::id(*sink);
+          if (add(s)) examined.push_back(s);
+        }
+      }
+      for (const GateId p : examined) {
+        const GateId* fanin = compiled.fanin_begin(p);
+        const GateId* const end = fanin + compiled.fanin_count(p);
+        for (; fanin != end; ++fanin) add(*fanin);
+      }
+
+      row.foot_count = static_cast<std::uint32_t>(foot.size());
+      const bool dense =
+          options.row_mode == ClosureRowMode::kAllDense ||
+          (options.row_mode == ClosureRowMode::kAuto &&
+           foot.size() * sizeof(GateId) >=
+               words_per_row_ * sizeof(std::uint64_t));
+      row.dense = dense;
+      if (dense) {
+        row.foot_begin = static_cast<std::uint32_t>(dense_words_.size());
+        dense_words_.insert(dense_words_.end(), scratch.begin(),
+                            scratch.end());
+        ++stats_.dense_rows;
+      } else {
+        row.foot_begin = static_cast<std::uint32_t>(csr_gates_.size());
+        std::sort(foot.begin(), foot.end());
+        csr_gates_.insert(csr_gates_.end(), foot.begin(), foot.end());
+        ++stats_.csr_rows;
+      }
+      for (const GateId g : foot) scratch[g >> 6] = 0;
+
+      rows_[literal_index(gate, value)] = row;
+      ++stats_.literals;
+      charge(table_bytes(rows_.size(), trail_pool_.size(),
+                         dense_words_.size(), csr_gates_.size()));
+    }
+  }
+
+  stats_.bytes = charged;
+  stats_.build_seconds = watch.elapsed_seconds();
+}
+
+StaticClosure::~StaticClosure() {
+  if (guard_ != nullptr) guard_->sub_memory(accounted_bytes_);
+}
+
+}  // namespace rd

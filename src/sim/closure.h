@@ -1,0 +1,192 @@
+// Static implication closure over a compiled circuit (DESIGN.md §14).
+//
+// For every literal (gate output, stable value) the closure records the
+// complete outcome of asserting that literal on an otherwise-empty
+// ImplicationEngine: the exact trail the drain would build (forward
+// controlling-value propagation plus backward non-controlling
+// inference, transitively closed), the exact ImplicationStats delta the
+// drain would charge, and the ok/conflict verdict.  The rows are
+// computed once per CompiledCircuit by literally running the engine —
+// so they are correct by construction, not by a re-implementation of
+// the implication rules — and are then shared read-only by every
+// worker.
+//
+// Fused into ImplicationEngine::assign, a row replaces the event-by-
+// event drain with a bulk install of the recorded trail whenever the
+// current engine state provably cannot interact with the drain.  The
+// interaction test is the row's *footprint*: the set of gates whose
+// value or fanin counters the drain reads or writes,
+//
+//   W  = gates assigned by the empty-state drain (the recorded trail),
+//   P  = W ∪ sinks(W)              (every gate examined by the drain),
+//   F  = P ∪ fanins(P)             (every gate whose state it reads).
+//
+// If no currently-assigned gate lies in F, the drain from the current
+// state is event-identical to the empty-state drain — same trail, same
+// stats, same verdict — so installing the recorded row is exact, and
+// verdict/stats bit-identity with the scalar reference engine is
+// preserved unconditionally (misses simply fall through to the drain).
+//
+// Footprints are stored bit-packed: dense rows (one bit per gate) for
+// literals whose footprint is wide, CSR spans (sorted gate lists) for
+// the tail — whichever is smaller, unless a build option forces one
+// representation (the equivalence tests do).  Build cost and memory
+// are guarded: bytes are accounted through ExecGuard::add_memory and
+// an optional standalone ceiling, and exceeding either surfaces as a
+// typed GuardTrippedError(AbortReason::kMemory) instead of an OOM.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "netlist/compiled.h"
+#include "sim/implication.h"
+#include "util/exec_guard.h"
+
+namespace rd {
+
+/// Footprint storage policy.  kAuto picks per row by size; the forced
+/// modes exist so tests can check dense/CSR row equivalence.
+enum class ClosureRowMode : std::uint8_t { kAuto, kAllDense, kAllCsr };
+
+struct ClosureBuildOptions {
+  /// Standalone ceiling on the closure's own tables (0 = unlimited).
+  /// Exceeding it throws GuardTrippedError(AbortReason::kMemory).
+  std::uint64_t memory_limit_mb = 0;
+
+  /// Optional run guard: closure bytes are charged via add_memory (and
+  /// released by the destructor), and the build polls check() once per
+  /// literal so deadlines / cancellation / memory ceilings / injected
+  /// trips all abort the build with their typed reason.  Must outlive
+  /// the closure.
+  ExecGuard* guard = nullptr;
+
+  ClosureRowMode row_mode = ClosureRowMode::kAuto;
+
+  /// Must match the engines the closure will be attached to; a closure
+  /// built with backward reasoning records different rows than the
+  /// forward-only ablation engine derives.
+  bool backward_implications = true;
+};
+
+/// Closure counters carried through classify results and run reports.
+/// The build-side fields describe the one shared closure; hits/misses
+/// and the learning counters are accumulated per engine / per worker
+/// and merged by summation.
+struct ClosureStats {
+  std::uint64_t literals = 0;     // rows built (2 per gate)
+  std::uint64_t dense_rows = 0;
+  std::uint64_t csr_rows = 0;
+  std::uint64_t bytes = 0;        // footprint + trail-pool + row bytes
+  double build_seconds = 0.0;
+  std::uint64_t hits = 0;         // assigns served by a row install
+  std::uint64_t misses = 0;       // assigns that fell through to the drain
+  std::uint64_t learned_assignments = 0;  // literals forced by probing
+  std::uint64_t learned_dropped = 0;      // kept paths refuted by probing
+
+  /// Workers share one closure, so the build-side fields agree (max
+  /// keeps them from double-counting); the per-engine counters sum.
+  void merge(const ClosureStats& other) {
+    literals = literals > other.literals ? literals : other.literals;
+    dense_rows = dense_rows > other.dense_rows ? dense_rows : other.dense_rows;
+    csr_rows = csr_rows > other.csr_rows ? csr_rows : other.csr_rows;
+    bytes = bytes > other.bytes ? bytes : other.bytes;
+    build_seconds =
+        build_seconds > other.build_seconds ? build_seconds
+                                            : other.build_seconds;
+    hits += other.hits;
+    misses += other.misses;
+    learned_assignments += other.learned_assignments;
+    learned_dropped += other.learned_dropped;
+  }
+
+  bool operator==(const ClosureStats&) const = default;
+};
+
+class StaticClosure {
+ public:
+  /// One literal's precomputed drain outcome.
+  struct Row {
+    std::uint32_t trail_begin = 0;  // span into trail_pool()
+    std::uint32_t trail_count = 0;  // assignments the drain records
+    std::uint32_t foot_begin = 0;   // dense: word offset; CSR: gate offset
+    std::uint32_t foot_count = 0;   // gates in the footprint
+    ImplicationStats delta;         // stats the drain charges
+    bool ok = true;                 // false: the literal is unsatisfiable
+    bool dense = false;
+  };
+
+  /// Runs the implication engine once per literal and records the rows.
+  /// Throws GuardTrippedError on a guard trip or a blown memory budget.
+  explicit StaticClosure(const CompiledCircuit& compiled,
+                         const ClosureBuildOptions& options = {});
+  ~StaticClosure();
+
+  StaticClosure(const StaticClosure&) = delete;
+  StaticClosure& operator=(const StaticClosure&) = delete;
+
+  const CompiledCircuit& compiled() const { return *compiled_; }
+  bool backward_implications() const { return backward_implications_; }
+
+  static std::size_t literal_index(GateId id, Value3 value) {
+    return (static_cast<std::size_t>(id) << 1) |
+           static_cast<std::size_t>(value == Value3::kOne);
+  }
+
+  /// Precondition: is_known(value).
+  const Row& row(GateId id, Value3 value) const {
+    return rows_[literal_index(id, value)];
+  }
+
+  /// True iff `gate` lies in the row's footprint F — i.e. an assignment
+  /// on `gate` could interact with the recorded drain.
+  bool footprint_contains(const Row& row, GateId gate) const {
+    if (row.dense)
+      return (dense_words_[row.foot_begin + (gate >> 6)] >> (gate & 63)) & 1u;
+    // Sorted CSR span: binary search; foot_count is small by
+    // construction (CSR is only chosen for narrow rows).
+    const GateId* begin = csr_gates_.data() + row.foot_begin;
+    const GateId* end = begin + row.foot_count;
+    while (begin != end) {
+      const GateId* mid = begin + (end - begin) / 2;
+      if (*mid < gate)
+        begin = mid + 1;
+      else if (*mid > gate)
+        end = mid;
+      else
+        return true;
+    }
+    return false;
+  }
+
+  /// The recorded trail of a row (entries in ImplicationEngine's trail
+  /// packing: gate id low, assigned Value3 in bits 32..39).
+  const std::uint64_t* trail_entries(const Row& row) const {
+    return trail_pool_.data() + row.trail_begin;
+  }
+
+  static GateId entry_gate(std::uint64_t entry) {
+    return static_cast<GateId>(entry);
+  }
+  static Value3 entry_value(std::uint64_t entry) {
+    return static_cast<Value3>(static_cast<std::uint8_t>(entry >> 32));
+  }
+
+  const ClosureStats& build_stats() const { return stats_; }
+
+ private:
+  const CompiledCircuit* compiled_;
+  ExecGuard* guard_;
+  bool backward_implications_;
+  std::uint64_t accounted_bytes_ = 0;
+  std::size_t words_per_row_ = 0;
+
+  std::vector<Row> rows_;                   // 2 * num_gates
+  std::vector<std::uint64_t> trail_pool_;   // concatenated recorded trails
+  std::vector<std::uint64_t> dense_words_;  // dense footprints
+  std::vector<GateId> csr_gates_;           // sorted CSR footprints
+  ClosureStats stats_;
+};
+
+}  // namespace rd

@@ -1,0 +1,399 @@
+// Unit tests for the static implication closure (DESIGN.md §14):
+// hand-checked consequence sets on tiny hand-built circuits, dense/CSR
+// footprint-row equivalence, typed memory aborts, and a differential
+// sweep of the fused engine against the closure-free drain.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/classify.h"
+#include "core/exact.h"
+#include "gen/examples.h"
+#include "gen/iscas_like.h"
+#include "netlist/circuit.h"
+#include "netlist/compiled.h"
+#include "sim/closure.h"
+#include "sim/implication.h"
+#include "util/exec_guard.h"
+#include "util/rng.h"
+
+namespace rd {
+namespace {
+
+using Consequences = std::map<GateId, Value3>;
+
+Consequences row_consequences(const StaticClosure& closure,
+                              const StaticClosure::Row& row) {
+  Consequences set;
+  const std::uint64_t* entries = closure.trail_entries(row);
+  for (std::uint32_t i = 0; i < row.trail_count; ++i)
+    set[StaticClosure::entry_gate(entries[i])] =
+        StaticClosure::entry_value(entries[i]);
+  return set;
+}
+
+// ---- hand-checked consequence sets ----------------------------------------
+
+TEST(ClosureConsequences, BufferChainPropagatesBothWays) {
+  // a -> buf b -> not c -> output.  Forward from a, backward from c.
+  Circuit circuit("chain");
+  const GateId a = circuit.add_input("a");
+  const GateId b = circuit.add_gate(GateType::kBuf, "b", {a});
+  const GateId c = circuit.add_gate(GateType::kNot, "c", {b});
+  const GateId po = circuit.add_output("po", c);
+  circuit.finalize();
+  const CompiledCircuit compiled(circuit);
+  const StaticClosure closure(compiled);
+
+  // Asserting a=0 drains the whole chain: b=0, c=1, po=1.
+  {
+    const StaticClosure::Row& row = closure.row(a, Value3::kZero);
+    EXPECT_TRUE(row.ok);
+    const Consequences expected = {{a, Value3::kZero},
+                                   {b, Value3::kZero},
+                                   {c, Value3::kOne},
+                                   {po, Value3::kOne}};
+    EXPECT_EQ(row_consequences(closure, row), expected);
+  }
+  // Asserting c=1 reasons backward through the inverter and buffer.
+  {
+    const StaticClosure::Row& row = closure.row(c, Value3::kOne);
+    EXPECT_TRUE(row.ok);
+    const Consequences set = row_consequences(closure, row);
+    EXPECT_TRUE(row.trail_count >= 3);
+    ASSERT_TRUE(set.count(b));
+    ASSERT_TRUE(set.count(a));
+    EXPECT_EQ(set.at(b), Value3::kZero);
+    EXPECT_EQ(set.at(a), Value3::kZero);
+  }
+  // A forward-only closure must not record the backward inferences.
+  {
+    ClosureBuildOptions options;
+    options.backward_implications = false;
+    const StaticClosure forward(compiled, options);
+    const StaticClosure::Row& row = forward.row(c, Value3::kOne);
+    const Consequences set = row_consequences(forward, row);
+    EXPECT_EQ(set.count(a), 0u);
+    EXPECT_EQ(set.count(b), 0u);
+  }
+}
+
+TEST(ClosureConsequences, AndGateControllingAndBackward) {
+  // g = AND(x, y) -> output.
+  Circuit circuit("and2");
+  const GateId x = circuit.add_input("x");
+  const GateId y = circuit.add_input("y");
+  const GateId g = circuit.add_gate(GateType::kAnd, "g", {x, y});
+  const GateId po = circuit.add_output("po", g);
+  circuit.finalize();
+  const CompiledCircuit compiled(circuit);
+  const StaticClosure closure(compiled);
+
+  // x=0 is controlling: forces g=0 (and the output marker).
+  {
+    const StaticClosure::Row& row = closure.row(x, Value3::kZero);
+    EXPECT_TRUE(row.ok);
+    const Consequences expected = {{x, Value3::kZero},
+                                   {g, Value3::kZero},
+                                   {po, Value3::kZero}};
+    EXPECT_EQ(row_consequences(closure, row), expected);
+  }
+  // x=1 alone forces nothing else: y is still free.
+  {
+    const StaticClosure::Row& row = closure.row(x, Value3::kOne);
+    EXPECT_TRUE(row.ok);
+    const Consequences expected = {{x, Value3::kOne}};
+    EXPECT_EQ(row_consequences(closure, row), expected);
+  }
+  // g=1 backward-implies both inputs non-controlling: x=1, y=1.
+  {
+    const StaticClosure::Row& row = closure.row(g, Value3::kOne);
+    EXPECT_TRUE(row.ok);
+    const Consequences expected = {{x, Value3::kOne},
+                                   {y, Value3::kOne},
+                                   {g, Value3::kOne},
+                                   {po, Value3::kOne}};
+    EXPECT_EQ(row_consequences(closure, row), expected);
+  }
+}
+
+TEST(ClosureConsequences, ContradictoryLiteralRecordsConflict) {
+  // g = AND(x, NOT x): g=1 is unsatisfiable from the empty state.
+  Circuit circuit("const0");
+  const GateId x = circuit.add_input("x");
+  const GateId nx = circuit.add_gate(GateType::kNot, "nx", {x});
+  const GateId g = circuit.add_gate(GateType::kAnd, "g", {x, nx});
+  circuit.add_output("po", g);
+  circuit.finalize();
+  const CompiledCircuit compiled(circuit);
+  const StaticClosure closure(compiled);
+
+  const StaticClosure::Row& row = closure.row(g, Value3::kOne);
+  EXPECT_FALSE(row.ok);
+  EXPECT_GE(row.delta.conflicts, 1u);
+  // g=0 is satisfiable (either input may be the controlling one, so
+  // nothing further is forced).
+  EXPECT_TRUE(closure.row(g, Value3::kZero).ok);
+}
+
+TEST(ClosureConsequences, FootprintCoversTrailSinksAndFanins) {
+  // Reconvergent fanout: the footprint of a literal must contain every
+  // assigned gate, every sink it examined, and every fanin of those.
+  Circuit circuit("reconv");
+  const GateId x = circuit.add_input("x");
+  const GateId y = circuit.add_input("y");
+  const GateId u = circuit.add_gate(GateType::kOr, "u", {x, y});
+  const GateId v = circuit.add_gate(GateType::kNand, "v", {x, y});
+  const GateId w = circuit.add_gate(GateType::kAnd, "w", {u, v});
+  circuit.add_output("po", w);
+  circuit.finalize();
+  const CompiledCircuit compiled(circuit);
+  const StaticClosure closure(compiled);
+
+  // x=1 forces u=1 (controlling for OR) and examines v and w; their
+  // fanins (y in particular) must be in the footprint even though y is
+  // never assigned.
+  const StaticClosure::Row& row = closure.row(x, Value3::kOne);
+  EXPECT_TRUE(closure.footprint_contains(row, x));
+  EXPECT_TRUE(closure.footprint_contains(row, u));
+  EXPECT_TRUE(closure.footprint_contains(row, v));
+  EXPECT_TRUE(closure.footprint_contains(row, y));
+}
+
+// ---- dense vs CSR row equivalence -----------------------------------------
+
+TEST(ClosureRows, DenseAndCsrRowsAreEquivalent) {
+  const Circuit circuit = make_benchmark("c432");
+  const CompiledCircuit compiled(circuit);
+  ClosureBuildOptions dense_options;
+  dense_options.row_mode = ClosureRowMode::kAllDense;
+  ClosureBuildOptions csr_options;
+  csr_options.row_mode = ClosureRowMode::kAllCsr;
+  const StaticClosure dense(compiled, dense_options);
+  const StaticClosure csr(compiled, csr_options);
+  const StaticClosure automatic(compiled);
+
+  EXPECT_EQ(dense.build_stats().csr_rows, 0u);
+  EXPECT_EQ(csr.build_stats().dense_rows, 0u);
+  EXPECT_GT(automatic.build_stats().dense_rows +
+                automatic.build_stats().csr_rows,
+            0u);
+
+  const std::size_t num_gates = compiled.num_gates();
+  for (GateId gate = 0; gate < static_cast<GateId>(num_gates); ++gate) {
+    for (const Value3 value : {Value3::kZero, Value3::kOne}) {
+      const StaticClosure::Row& d = dense.row(gate, value);
+      const StaticClosure::Row& c = csr.row(gate, value);
+      const StaticClosure::Row& a = automatic.row(gate, value);
+      ASSERT_EQ(d.ok, c.ok);
+      ASSERT_EQ(d.trail_count, c.trail_count);
+      ASSERT_EQ(d.foot_count, c.foot_count);
+      ASSERT_TRUE(d.delta == c.delta);
+      ASSERT_EQ(d.ok, a.ok);
+      ASSERT_EQ(d.trail_count, a.trail_count);
+      ASSERT_TRUE(d.delta == a.delta);
+      for (std::uint32_t i = 0; i < d.trail_count; ++i)
+        ASSERT_EQ(dense.trail_entries(d)[i], csr.trail_entries(c)[i]);
+      // Membership must agree for every gate in the circuit, not just
+      // the ones in the footprint.
+      for (GateId probe = 0; probe < static_cast<GateId>(num_gates);
+           ++probe) {
+        ASSERT_EQ(dense.footprint_contains(d, probe),
+                  csr.footprint_contains(c, probe))
+            << "literal (" << gate << "," << static_cast<int>(value)
+            << ") probe " << probe;
+        ASSERT_EQ(dense.footprint_contains(d, probe),
+                  automatic.footprint_contains(a, probe));
+      }
+    }
+  }
+}
+
+// ---- typed memory aborts ---------------------------------------------------
+
+TEST(ClosureMemory, StandaloneCeilingThrowsTypedMemoryAbort) {
+  // All-dense rows on the largest stand-in blow a 1 MB table budget.
+  const Circuit circuit = make_benchmark("c7552");
+  const CompiledCircuit compiled(circuit);
+  ClosureBuildOptions options;
+  options.row_mode = ClosureRowMode::kAllDense;
+  options.memory_limit_mb = 1;
+  try {
+    const StaticClosure closure(compiled, options);
+    FAIL() << "build exceeded the ceiling without throwing";
+  } catch (const GuardTrippedError& error) {
+    EXPECT_EQ(error.reason(), AbortReason::kMemory);
+  }
+}
+
+TEST(ClosureMemory, GuardCeilingTripsAndReleasesOnDestruction) {
+  const Circuit circuit = make_benchmark("c1355");
+  const CompiledCircuit compiled(circuit);
+  ExecGuardOptions guard_options;
+  guard_options.memory_limit_bytes = 64 * 1024;
+  ExecGuard guard(guard_options);
+  ClosureBuildOptions options;
+  options.guard = &guard;
+  options.row_mode = ClosureRowMode::kAllDense;
+  try {
+    const StaticClosure closure(compiled, options);
+    FAIL() << "build exceeded the guard ceiling without throwing";
+  } catch (const GuardTrippedError& error) {
+    EXPECT_EQ(error.reason(), AbortReason::kMemory);
+  }
+  EXPECT_TRUE(guard.tripped());
+  EXPECT_EQ(guard.reason(), AbortReason::kMemory);
+
+  // A successful build charges the guard and releases on destruction.
+  ExecGuard roomy;
+  ClosureBuildOptions ok_options;
+  ok_options.guard = &roomy;
+  {
+    const StaticClosure closure(compiled, ok_options);
+    EXPECT_GE(roomy.memory_used(), closure.build_stats().bytes);
+  }
+  EXPECT_EQ(roomy.memory_used(), 0u);
+}
+
+// ---- fused-engine differential sweep --------------------------------------
+
+TEST(ClosureEngine, AttachRejectsMismatchedClosure) {
+  const Circuit circuit = make_benchmark("c432");
+  const CompiledCircuit compiled(circuit);
+  const StaticClosure closure(compiled);
+
+  // Engine in forward-only mode: a backward-recorded closure would
+  // install wrong rows, so the attachment must be ignored.
+  ImplicationEngine forward_only(compiled, /*backward_implications=*/false);
+  forward_only.attach_closure(&closure);
+  EXPECT_EQ(forward_only.closure(), nullptr);
+
+  // A different compiled circuit is rejected the same way.
+  const CompiledCircuit other(circuit);
+  ImplicationEngine engine(other);
+  engine.attach_closure(&closure);
+  EXPECT_EQ(engine.closure(), nullptr);
+
+  ImplicationEngine matching(compiled);
+  matching.attach_closure(&closure);
+  EXPECT_EQ(matching.closure(), &closure);
+}
+
+TEST(ClosureEngine, DifferentialSweepMatchesScalarDrain) {
+  const Circuit circuit = make_benchmark("c880");
+  const CompiledCircuit compiled(circuit);
+  const StaticClosure closure(compiled);
+
+  ImplicationEngine baseline(compiled);
+  ImplicationEngine fused(compiled);
+  fused.attach_closure(&closure);
+
+  // Random assign/rollback/reset schedules: verdicts, per-op stats
+  // deltas and post-op values must be identical whether a row was
+  // installed or the scalar drain ran.
+  Rng rng(17);
+  const std::size_t num_gates = compiled.num_gates();
+  std::vector<std::size_t> base_marks{0};
+  std::vector<std::size_t> fused_marks{0};
+  for (int step = 0; step < 20'000; ++step) {
+    const auto choice = rng.next_below(100);
+    if (choice < 70) {
+      const GateId gate = static_cast<GateId>(rng.next_below(num_gates));
+      const Value3 value =
+          rng.next_bool(0.5) ? Value3::kOne : Value3::kZero;
+      const ImplicationStats base_before = baseline.stats();
+      const ImplicationStats fused_before = fused.stats();
+      const bool base_ok = baseline.assign(gate, value);
+      const bool fused_ok = fused.assign(gate, value);
+      ASSERT_EQ(base_ok, fused_ok) << "step " << step;
+      ASSERT_TRUE(baseline.stats().delta_since(base_before) ==
+                  fused.stats().delta_since(fused_before))
+          << "step " << step;
+      ASSERT_EQ(baseline.value(gate), fused.value(gate));
+      if (!base_ok) {
+        baseline.rollback(base_marks.back());
+        fused.rollback(fused_marks.back());
+      }
+    } else if (choice < 80) {
+      base_marks.push_back(baseline.mark());
+      fused_marks.push_back(fused.mark());
+    } else if (choice < 95) {
+      baseline.rollback(base_marks.back());
+      fused.rollback(fused_marks.back());
+      if (base_marks.size() > 1) {
+        base_marks.pop_back();
+        fused_marks.pop_back();
+      }
+    } else {
+      baseline.reset();
+      fused.reset();
+      base_marks.assign(1, 0);
+      fused_marks.assign(1, 0);
+    }
+    ASSERT_EQ(baseline.num_assigned(), fused.num_assigned());
+  }
+  // Spot-check full state equality at the end of the sweep.
+  for (GateId gate = 0; gate < static_cast<GateId>(num_gates); ++gate)
+    ASSERT_EQ(baseline.value(gate), fused.value(gate));
+  EXPECT_GT(fused.closure_hits(), 0u);
+  EXPECT_GT(fused.closure_misses(), 0u);
+}
+
+// ---- the learned tier actually drops a survivor ---------------------------
+
+// unsat_side_constraint_circuit's rising-m path asserts four OR side
+// inputs whose constraints encode (c+d)(c'+d)(c+d')(c'+d') — jointly
+// unsatisfiable, but no single literal is forced, so the ternary drain
+// keeps the path.  Probing the unconstrained side input c refutes both
+// polarities and drops it; the exhaustive FS sweep agrees.
+TEST(LearnedTier, DropsProvablyUnsatisfiableSurvivor) {
+  const Circuit circuit = unsat_side_constraint_circuit();
+  ClassifyOptions base;
+  base.criterion = Criterion::kFunctionalSensitizable;
+  base.collect_paths_limit = std::uint64_t{1} << 16;
+
+  const ClassifyResult off = classify_paths(circuit, base);
+  ClassifyOptions learned_options = base;
+  learned_options.implications = ImplicationTier::kLearned;
+  const ClassifyResult learned = classify_paths(circuit, learned_options);
+
+  EXPECT_GE(learned.closure.learned_dropped, 1u);
+  EXPECT_EQ(learned.kept_paths + learned.closure.learned_dropped,
+            off.kept_paths);
+
+  // Set containment against the exhaustive reference: everything the
+  // probe dropped is also outside the exact FS set, and everything
+  // exact keeps survives probing.
+  const LogicalPathSet exact =
+      exact_kept_paths(circuit, Criterion::kFunctionalSensitizable);
+  const LogicalPathSet off_set(off.kept_keys.begin(), off.kept_keys.end());
+  const LogicalPathSet learned_set(learned.kept_keys.begin(),
+                                   learned.kept_keys.end());
+  EXPECT_LT(exact.size(), off_set.size());  // FS^sup genuinely over-keeps
+  EXPECT_TRUE(std::includes(learned_set.begin(), learned_set.end(),
+                            exact.begin(), exact.end()));
+  EXPECT_TRUE(std::includes(off_set.begin(), off_set.end(),
+                            learned_set.begin(), learned_set.end()));
+
+  // Deterministic at every thread count and lane width.
+  for (const std::size_t threads : {2u, 4u}) {
+    ClassifyOptions parallel_options = learned_options;
+    parallel_options.num_threads = threads;
+    const ClassifyResult parallel = classify_paths(circuit, parallel_options);
+    EXPECT_EQ(parallel.kept_paths, learned.kept_paths) << threads;
+    EXPECT_EQ(parallel.kept_keys, learned.kept_keys) << threads;
+    EXPECT_EQ(parallel.closure.learned_dropped,
+              learned.closure.learned_dropped)
+        << threads;
+  }
+  ClassifyOptions laned_options = learned_options;
+  laned_options.lanes = 64;
+  const ClassifyResult laned = classify_paths(circuit, laned_options);
+  EXPECT_EQ(laned.kept_paths, learned.kept_paths);
+  EXPECT_EQ(laned.closure.learned_dropped, learned.closure.learned_dropped);
+}
+
+}  // namespace
+}  // namespace rd

@@ -431,6 +431,170 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1u, 2u, 4u),
                        ::testing::Values(1u, 7u, 64u)));
 
+// ---- static-closure invariance (DESIGN.md §14) -----------------------------
+
+// (circuit selector, threads, lanes): the closure tier must be a pure
+// perf substitution — every deterministic field bit-identical to the
+// closure-free run across serial, laned and parallel drivers — and the
+// learned tier must shrink kept sets deterministically.
+class ClosureInvariance
+    : public ::testing::TestWithParam<
+          std::tuple<int, std::size_t, std::size_t>> {
+ protected:
+  static Circuit circuit_for(int selector) {
+    if (selector < 2) return small_circuit(61u + selector);
+    CarryMeshProfile profile;
+    profile.width = 3;
+    profile.depth = selector == 2 ? 5 : 7;
+    return make_carry_mesh(profile);
+  }
+};
+
+TEST_P(ClosureInvariance, ClosureTierIsBitIdentical) {
+  const auto [selector, threads, lanes] = GetParam();
+  const Circuit circuit = circuit_for(selector);
+  const InputSort sort = heuristic1_sort(circuit);
+
+  for (Criterion criterion :
+       {Criterion::kFunctionalSensitizable, Criterion::kInputSort}) {
+    ClassifyOptions off;
+    off.criterion = criterion;
+    off.sort = criterion == Criterion::kInputSort ? &sort : nullptr;
+    off.collect_lead_counts = true;
+    off.collect_paths_limit = 1u << 16;
+    const ClassifyResult baseline = classify_paths_serial(circuit, off);
+
+    ClassifyOptions with = off;
+    with.implications = ImplicationTier::kClosure;
+    const ClassifyResult serial = classify_paths_serial(circuit, with);
+    ASSERT_TRUE(all_deterministic_fields_equal(baseline, serial));
+    EXPECT_GT(serial.closure.hits + serial.closure.misses, 0u);
+
+    with.lanes = lanes;
+    const ClassifyResult laned = classify_paths_serial(circuit, with);
+    ASSERT_TRUE(all_deterministic_fields_equal(baseline, laned))
+        << "lanes " << lanes;
+    with.num_threads = threads;
+    const ClassifyResult parallel = classify_paths_parallel(circuit, with);
+    ASSERT_TRUE(all_deterministic_fields_equal(baseline, parallel))
+        << "lanes " << lanes << " threads " << threads;
+  }
+}
+
+TEST_P(ClosureInvariance, LearnedTierShrinksDeterministically) {
+  const auto [selector, threads, lanes] = GetParam();
+  const Circuit circuit = circuit_for(selector);
+
+  ClassifyOptions off;
+  off.collect_paths_limit = 1u << 16;
+  const ClassifyResult baseline = classify_paths_serial(circuit, off);
+
+  ClassifyOptions learned = off;
+  learned.implications = ImplicationTier::kLearned;
+  const ClassifyResult first = classify_paths_serial(circuit, learned);
+  const ClassifyResult second = classify_paths_serial(circuit, learned);
+  ASSERT_TRUE(all_deterministic_fields_equal(first, second));
+  EXPECT_EQ(first.closure.learned_dropped, second.closure.learned_dropped);
+
+  // kept(learned) ⊆ kept(local): probing only drops survivors.
+  EXPECT_LE(first.kept_paths, baseline.kept_paths);
+  EXPECT_EQ(first.kept_paths + first.closure.learned_dropped,
+            baseline.kept_paths);
+
+  // The drop decision depends only on the engine state at each
+  // survivor, which is thread-count- and lane-width-independent.
+  learned.lanes = lanes;
+  const ClassifyResult laned = classify_paths_serial(circuit, learned);
+  ASSERT_EQ(first.kept_paths, laned.kept_paths);
+  ASSERT_EQ(first.kept_keys, laned.kept_keys);
+  EXPECT_EQ(first.closure.learned_dropped, laned.closure.learned_dropped);
+  learned.num_threads = threads;
+  const ClassifyResult parallel = classify_paths_parallel(circuit, learned);
+  ASSERT_EQ(first.kept_paths, parallel.kept_paths);
+  ASSERT_EQ(first.kept_keys, parallel.kept_keys);
+  EXPECT_EQ(first.closure.learned_dropped,
+            parallel.closure.learned_dropped);
+}
+
+TEST_P(ClosureInvariance, WorkLimitBoundaryIsExact) {
+  const auto [selector, threads, lanes] = GetParam();
+  const Circuit circuit = circuit_for(selector);
+  ClassifyOptions options;
+  const ClassifyResult full = classify_paths_serial(circuit, options);
+  ASSERT_TRUE(full.completed);
+
+  // One unit short of completion: the closure substitutes implication
+  // work, never DFS extension steps, so the abort point and the
+  // partial counts must match the closure-free run exactly.
+  options.work_limit = full.work - 1;
+  const ClassifyResult short_off = classify_paths_serial(circuit, options);
+  options.implications = ImplicationTier::kClosure;
+  const ClassifyResult short_closure =
+      classify_paths_serial(circuit, options);
+  ASSERT_FALSE(short_closure.completed);
+  ASSERT_EQ(short_closure.abort_reason, AbortReason::kWorkBudget);
+  ASSERT_TRUE(all_deterministic_fields_equal(short_off, short_closure));
+  options.lanes = lanes;
+  const ClassifyResult short_laned = classify_paths_serial(circuit, options);
+  ASSERT_TRUE(all_deterministic_fields_equal(short_off, short_laned));
+  options.num_threads = threads;
+  const ClassifyResult short_parallel =
+      classify_paths_parallel(circuit, options);
+  ASSERT_FALSE(short_parallel.completed);
+  ASSERT_EQ(short_parallel.abort_reason, AbortReason::kWorkBudget);
+  options.work_limit = full.work;
+  options.num_threads = 1;
+  options.lanes = 1;
+  ASSERT_TRUE(classify_paths_serial(circuit, options).completed);
+}
+
+TEST_P(ClosureInvariance, InjectedGuardTripsIdentically) {
+  const auto [selector, threads, lanes] = GetParam();
+  const Circuit circuit = circuit_for(selector);
+  // The closure build never consumes a guard check slot (it polls
+  // tripped() instead of calling check()), so an injected trip lands
+  // on the same downstream check with and without the tier.
+  ClassifyResult off;
+  {
+    ExecGuard guard;
+    guard.inject_trip_at(3, AbortReason::kDeadline);
+    ClassifyOptions options;
+    options.guard = &guard;
+    off = classify_paths_serial(circuit, options);
+  }
+  EXPECT_FALSE(off.completed);
+  EXPECT_EQ(off.abort_reason, AbortReason::kDeadline);
+  {
+    ExecGuard guard;
+    guard.inject_trip_at(3, AbortReason::kDeadline);
+    ClassifyOptions options;
+    options.guard = &guard;
+    options.implications = ImplicationTier::kClosure;
+    options.lanes = lanes;
+    const ClassifyResult closure = classify_paths_serial(circuit, options);
+    ASSERT_TRUE(all_deterministic_fields_equal(off, closure))
+        << "lanes " << lanes;
+  }
+  {
+    ExecGuard guard;
+    guard.inject_trip_at(3, AbortReason::kDeadline);
+    ClassifyOptions options;
+    options.guard = &guard;
+    options.implications = ImplicationTier::kClosure;
+    options.lanes = lanes;
+    options.num_threads = threads;
+    const ClassifyResult parallel = classify_paths_parallel(circuit, options);
+    EXPECT_FALSE(parallel.completed);
+    EXPECT_EQ(parallel.abort_reason, AbortReason::kDeadline);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CircuitsThreadsLanes, ClosureInvariance,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(1u, 64u)));
+
 // ---- robust ⊆ non-robust ⊆ FS over seeds ----------------------------------
 
 class HierarchyProperty : public ::testing::TestWithParam<std::uint64_t> {};
