@@ -31,10 +31,13 @@
 //                                   resilient runs the exact → SAT →
 //                                   approximate degradation ladder;
 //                                   bitpar evaluates sibling branches
-//                                   64 lanes at a time (bit-identical
-//                                   results, DESIGN.md §11)
-//                    --lanes=N      lane width 1..64 for the bitpar
-//                                   evaluation (implies it when > 1)
+//                                   and packed frontier subtrees in
+//                                   SIMD lanes (bit-identical results,
+//                                   DESIGN.md §11/§15)
+//                    --lanes=N      lane width 1..512 for the bitpar
+//                                   evaluation (implies it when > 1;
+//                                   the engine rounds the plane width
+//                                   up to 64/128/256/512)
 //                    --work-limit=N
 //                    --threads=N    parallel classification engine
 //                                   (0 = all hardware threads; results
@@ -109,6 +112,7 @@
 #include "serve/frame.h"
 #include "serve/server.h"
 #include "serve/session.h"
+#include "sim/implication_bitpar.h"
 #include "util/fsdir.h"
 #include "util/metrics.h"
 #include "sta/timing.h"
@@ -321,15 +325,18 @@ int cmd_classify(const std::string& spec, int argc, char** argv) {
                  "--engine=resilient\n");
     return 2;
   }
-  // --engine=bitpar is --engine=approx with the 64-wide lane engine
-  // evaluating sibling branches (bit-identical results; --lanes=N
-  // narrows the width).
+  // --engine=bitpar is --engine=approx with the lane engine evaluating
+  // sibling branches and packed frontier subtrees (bit-identical
+  // results; --lanes=N sets the width, default one 64-lane plane).
   if (engine == "bitpar") {
     if (base.lanes <= 1) base.lanes = 64;
     engine = "approx";
   }
-  if (base.lanes > 64) {
-    std::fprintf(stderr, "--lanes must be 1..64\n");
+  if (base.lanes < 1 || base.lanes > rd::kMaxLanes) {
+    // Strict bound, not a clamp: a width the build cannot provide is a
+    // usage error naming the flag (exit 2), like every other flag.
+    std::fprintf(stderr, "usage error: --lanes must be 1..%u\n",
+                 rd::kMaxLanes);
     return 2;
   }
   const Circuit circuit = load_circuit(spec);

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# SIMD dispatch differential gate (DESIGN.md §15).
+#
+# Builds the lane-engine differential suites twice — once with the
+# portable Release flags CI ships, once with -DRD_ENABLE_NATIVE=ON
+# (-march=native + LTO) — and runs them under every RD_BITPAR_DISPATCH
+# cap: portable, avx2, avx512.  The cap only stops the runtime upgrade
+# ladder early (it never selects a tier the CPU or toolchain lacks),
+# so the full matrix is safe on any machine and exercises every
+# compiled-in kernel tier that machine can reach.
+#
+# The suites run as bare gtest binaries rather than through ctest:
+# only two test targets are built per tree, and ctest would trip over
+# the other registered-but-unbuilt binaries.  Both suites compare the
+# lane engine bit-for-bit against the scalar engine, so a kernel tier
+# that diverges fails regardless of which tier produced the baseline.
+#
+#   scripts/check_dispatch.sh [generic-build-dir [native-build-dir]]
+#
+# Exits nonzero on the first divergence or test failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+GENERIC_DIR="${1:-build-dispatch}"
+NATIVE_DIR="${2:-build-dispatch-native}"
+
+cmake -B "$GENERIC_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$GENERIC_DIR" -j"$(nproc)" --target bitpar_test property_test
+cmake -B "$NATIVE_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DRD_ENABLE_NATIVE=ON
+cmake --build "$NATIVE_DIR" -j"$(nproc)" --target bitpar_test property_test
+
+for dir in "$GENERIC_DIR" "$NATIVE_DIR"; do
+  for tier in portable avx2 avx512; do
+    echo "== $dir / RD_BITPAR_DISPATCH=$tier"
+    RD_BITPAR_DISPATCH="$tier" "$dir/tests/bitpar_test" \
+      --gtest_brief=1
+    RD_BITPAR_DISPATCH="$tier" "$dir/tests/property_test" \
+      --gtest_filter='*Bitpar*:*Lane*' --gtest_brief=1
+  done
+done
+
+echo "dispatch differential gate passed"

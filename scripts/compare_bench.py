@@ -32,7 +32,7 @@ bit-identity verdict, the gated circuit's ``throughput_ratio``
 --min-speedup (default 2.0), the report must contain a path-tree row
 (flat per-path re-runs vs the shared-prefix-tree DFS on the deep
 carry mesh) whose ratio reaches --min-tree-speedup (default 2.0), and
-it must contain a bitpar row (64-wide lane engine vs the compiled
+it must contain a bitpar row (widest lane engine vs the compiled
 scalar engine on per-lane-identical seed-vector programs) whose ratio
 reaches --min-bitpar-speedup (default 4.0).  It must also contain the
 closure rows (per-literal assert sweep, static-closure row install vs
@@ -40,6 +40,43 @@ the fused scalar drain, DESIGN.md §14) for both mcnc-like and
 deep-mesh, each bit-identical per literal and each reaching
 --min-closure-speedup (default 1.5).  A missing path-tree, bitpar or
 closure row fails: it means bench_micro ran without that study.
+
+Three SIMD-era gates ride on the same report (DESIGN.md §15):
+
+  * small circuits: the classify-fs rows for ``example`` and ``c17``
+    must exist and reach --min-small-ratio (default 1.0) — the
+    compiled engine must not lose to the frozen reference even when
+    the whole run is microseconds;
+  * lane-width sweep: the ``lane-sweep`` rows for mcnc-like and
+    deep-mesh must cover lane widths 64/128/256/512, each
+    bit-identical, each at or above 1.0x scalar, and widening must
+    pay: ratio(512) / ratio(64) >= --min-simd-speedup (default 2.0);
+  * lane-packed classify: the ``lane-packed`` rows (end-to-end
+    classify at --lanes 512 vs --lanes 64) for both circuits must be
+    bit-identical with ratio >= --min-packed-ratio (default 0.85) —
+    a tripwire that the demand clamp keeps wide lane requests from
+    regressing the end-to-end path.
+
+Trend mode (two files):
+
+    scripts/compare_bench.py --trend BASELINE.json FRESH.json
+                             [--trend-tolerance PCT]
+                             [--trend-min-props N]
+
+Diffs a fresh run against the committed baseline report by row
+*identity* — (kind, circuit, lanes, narrow_lanes, threads) — instead
+of position, so reports from different code revisions still pair up.
+Only machine-portable relative metrics are gated: ``throughput_ratio``
+and ``speedup``, plus the serial/parallel ratio synthesized from
+bench_engines rows.  Absolute wall-clock fields are skipped (the
+baseline was measured on a different machine or load).  A gated metric
+may not drop more than --trend-tolerance percent (default 15, env
+RD_TREND_TOLERANCE via run_bench.sh).  Rows too small to time stably
+are exempt: gating needs ``propagations`` >= --trend-min-props
+(default 10000) or a serial run of >= 10ms; a baseline with no
+gateable row at all (the quick engines report) passes with a note.
+A baseline row missing from the fresh report fails — the bench
+dropped a study.
 
 Serve mode (one file):
 
@@ -171,7 +208,8 @@ def diff_reports(old, new, tolerance, ignore_time):
 
 
 def check_self(report, min_speedup, circuit, min_tree_speedup,
-               min_bitpar_speedup, min_closure_speedup):
+               min_bitpar_speedup, min_closure_speedup, min_small_ratio,
+               min_simd_speedup, min_packed_ratio):
     failures = []
     if report.get("bench") != "micro":
         failures.append(
@@ -181,6 +219,9 @@ def check_self(report, min_speedup, circuit, min_tree_speedup,
     tree = None
     bitpar = None
     closures = {}
+    small = {}
+    sweeps = {}
+    packed = {}
     for index, row in enumerate(report["rows"]):
         label = row_label(report, index)
         for field in ("propagations", "reference_seconds", "compiled_seconds",
@@ -195,10 +236,17 @@ def check_self(report, min_speedup, circuit, min_tree_speedup,
                 failures.append(f"{label}: {field} is not a positive number")
         if row.get("circuit") == circuit and row.get("kind") == "classify-fs":
             gated = row
+        if row.get("kind") == "classify-fs" and row.get("circuit") in (
+                "example", "c17"):
+            small[row.get("circuit")] = row
         if row.get("kind") == "path-tree":
             tree = row
         if row.get("kind") == "bitpar":
             bitpar = row
+        if row.get("kind") == "lane-sweep":
+            sweeps[(row.get("circuit"), row.get("lanes"))] = row
+        if row.get("kind") == "lane-packed":
+            packed[row.get("circuit")] = row
         if row.get("kind") == "closure":
             closures[row.get("circuit")] = row
     if gated is None:
@@ -227,6 +275,55 @@ def check_self(report, min_speedup, circuit, min_tree_speedup,
             failures.append(
                 f"bitpar: throughput_ratio {ratio!r} is below the "
                 f"{min_bitpar_speedup:g}x floor")
+    for name in ("example", "c17"):
+        row = small.get(name)
+        if row is None:
+            failures.append(
+                f"no classify-fs row for small circuit {name!r} (the "
+                "small-circuit overhead gate has nothing to check)")
+            continue
+        ratio = row.get("throughput_ratio")
+        if not isinstance(ratio, (int, float)) or ratio < min_small_ratio:
+            failures.append(
+                f"small circuit {name}: throughput_ratio {ratio!r} is below "
+                f"the {min_small_ratio:g}x floor (compiled-engine setup "
+                "overhead regressed)")
+    for name in ("mcnc-like", "deep-mesh"):
+        widths = (64, 128, 256, 512)
+        missing = [w for w in widths if (name, w) not in sweeps]
+        if missing:
+            failures.append(
+                f"lane-sweep {name}: missing width row(s) {missing} "
+                "(bench_micro ran without the full SIMD sweep)")
+            continue
+        for width in widths:
+            ratio = sweeps[(name, width)].get("throughput_ratio")
+            if not isinstance(ratio, (int, float)) or ratio < 1.0:
+                failures.append(
+                    f"lane-sweep {name} w={width}: throughput_ratio "
+                    f"{ratio!r} is below 1.0x (lane engine lost to scalar)")
+        narrow = sweeps[(name, 64)].get("throughput_ratio")
+        wide = sweeps[(name, 512)].get("throughput_ratio")
+        if (isinstance(narrow, (int, float)) and narrow > 0
+                and isinstance(wide, (int, float))
+                and wide / narrow < min_simd_speedup):
+            failures.append(
+                f"lane-sweep {name}: 512-wide / 64-wide = "
+                f"{wide / narrow:.3g} is below the {min_simd_speedup:g}x "
+                "widening floor")
+    for name in ("mcnc-like", "deep-mesh"):
+        row = packed.get(name)
+        if row is None:
+            failures.append(
+                f"no lane-packed row for {name} (bench_micro ran without "
+                "the end-to-end packed-classify study)")
+            continue
+        ratio = row.get("throughput_ratio")
+        if not isinstance(ratio, (int, float)) or ratio < min_packed_ratio:
+            failures.append(
+                f"lane-packed {name}: 64-lane/512-lane wall ratio {ratio!r} "
+                f"is below the {min_packed_ratio:g} floor (wide lane "
+                "requests regress the end-to-end classify path)")
     for name in ("mcnc-like", "deep-mesh"):
         row = closures.get(name)
         if row is None:
@@ -244,6 +341,103 @@ def check_self(report, min_speedup, circuit, min_tree_speedup,
             failures.append(
                 f"closure {name}: closure_build_seconds {build!r} is not a "
                 "non-negative number")
+    return failures
+
+
+def trend_key(row):
+    """Identity of a row across code revisions (not position)."""
+    return (row.get("kind"), row.get("circuit"), row.get("lanes"),
+            row.get("narrow_lanes"), row.get("threads"))
+
+
+def trend_metrics(row):
+    """Machine-portable relative metrics of one row: {name: value}.
+
+    Absolute wall-clock numbers are deliberately excluded — the
+    committed baseline was measured on a different machine or under
+    different load, so only ratios of two timings taken in the same
+    run carry across.  bench_engines rows have no ratio field; their
+    serial/parallel ratio is synthesized here.
+    """
+    metrics = {}
+    for name in ("throughput_ratio", "speedup"):
+        value = row.get(name)
+        if isinstance(value, (int, float)):
+            metrics[name] = value
+    serial = row.get("serial_seconds")
+    parallel = row.get("parallel_seconds")
+    if (isinstance(serial, (int, float)) and isinstance(parallel, (int, float))
+            and parallel > 0):
+        metrics["serial/parallel"] = serial / parallel
+    return metrics
+
+
+def trend_gated(row):
+    """Whether a row is large enough to time stably across runs."""
+    props = row.get("propagations")
+    if isinstance(props, int) and props >= trend_gated.min_props:
+        return True
+    serial = row.get("serial_seconds")
+    return isinstance(serial, (int, float)) and serial >= 0.01
+
+
+trend_gated.min_props = 10000
+
+
+def check_trend(old, new, tolerance, min_props):
+    failures = []
+    if old.get("bench") != new.get("bench"):
+        failures.append(
+            f"bench name differs: {old.get('bench')!r} vs {new.get('bench')!r}")
+        return failures
+    trend_gated.min_props = min_props
+
+    def index_rows(report):
+        table = {}
+        for row in report["rows"]:
+            if not isinstance(row, dict):
+                continue
+            key = trend_key(row)
+            # Duplicate identities keep their per-key order so repeated
+            # studies (if a bench ever emits them) still pair up.
+            table.setdefault(key, []).append(row)
+        return table
+
+    old_rows, new_rows = index_rows(old), index_rows(new)
+    slack = 1.0 - tolerance / 100.0
+    gated_rows = 0
+    for key, old_list in sorted(old_rows.items(), key=repr):
+        new_list = new_rows.get(key, [])
+        label = "/".join(str(part) for part in key if part is not None)
+        if len(new_list) < len(old_list):
+            failures.append(
+                f"{label}: baseline has {len(old_list)} row(s), fresh run "
+                f"has {len(new_list)} (a study was dropped)")
+            continue
+        for old_row, new_row in zip(old_list, new_list):
+            if not trend_gated(old_row):
+                continue
+            gated_rows += 1
+            old_metrics = trend_metrics(old_row)
+            new_metrics = trend_metrics(new_row)
+            for name, old_value in sorted(old_metrics.items()):
+                if name not in new_metrics:
+                    failures.append(
+                        f"{label}: metric {name} vanished from the fresh run")
+                    continue
+                new_value = new_metrics[name]
+                if old_value > 0 and new_value < old_value * slack:
+                    failures.append(
+                        f"{label}: {name} regressed {old_value:.4g} -> "
+                        f"{new_value:.4g} (> -{tolerance:g}%)")
+    # A baseline with no gateable row (the quick engines report is all
+    # microsecond runs) legitimately has nothing to protect — the
+    # dropped-study check above still ran, so pass with a note rather
+    # than failing an empty comparison.
+    if gated_rows == 0:
+        print("compare_bench: note: no baseline row large enough to "
+              f"trend-gate (all below {min_props} propagations / 10ms); "
+              "only study coverage was checked")
     return failures
 
 
@@ -352,6 +546,10 @@ def main(argv):
                         help="validate a single bench_serve report")
     parser.add_argument("--eco", dest="eco_check", action="store_true",
                         help="validate a single bench_eco report")
+    parser.add_argument("--trend", dest="trend_check", action="store_true",
+                        help="gate a fresh report against a committed "
+                             "baseline by row identity (relative metrics "
+                             "only)")
     parser.add_argument("--tolerance", type=float, default=25.0,
                         help="allowed timing regression in percent (diff mode)")
     parser.add_argument("--ignore-time", action="store_true",
@@ -366,6 +564,17 @@ def main(argv):
                         help="ratio floor for the bitpar row (self mode)")
     parser.add_argument("--min-closure-speedup", type=float, default=1.5,
                         help="ratio floor for the closure rows (self mode)")
+    parser.add_argument("--min-small-ratio", type=float, default=1.0,
+                        help="ratio floor for the example/c17 rows (self)")
+    parser.add_argument("--min-simd-speedup", type=float, default=2.0,
+                        help="512-wide over 64-wide widening floor (self)")
+    parser.add_argument("--min-packed-ratio", type=float, default=0.85,
+                        help="end-to-end 512-vs-64 lane floor (self mode)")
+    parser.add_argument("--trend-tolerance", type=float, default=15.0,
+                        help="allowed relative-metric drop in percent "
+                             "(trend mode)")
+    parser.add_argument("--trend-min-props", type=int, default=10000,
+                        help="propagation floor for a row to be trend-gated")
     parser.add_argument("--min-requests", type=int, default=2000,
                         help="replay size floor (serve mode)")
     parser.add_argument("--min-hit-rate", type=float, default=0.95,
@@ -374,9 +583,17 @@ def main(argv):
                         help="incremental speedup floor (eco mode)")
     args = parser.parse_args(argv)
 
-    if sum((args.self_check, args.serve_check, args.eco_check)) > 1:
-        parser.error("--self, --serve and --eco are mutually exclusive")
-    if args.eco_check:
+    if sum((args.self_check, args.serve_check, args.eco_check,
+            args.trend_check)) > 1:
+        parser.error("--self, --serve, --eco and --trend are mutually "
+                     "exclusive")
+    if args.trend_check:
+        if len(args.files) != 2:
+            parser.error("--trend takes a baseline and a fresh report")
+        failures = check_trend(load_report(args.files[0]),
+                               load_report(args.files[1]),
+                               args.trend_tolerance, args.trend_min_props)
+    elif args.eco_check:
         if len(args.files) != 1:
             parser.error("--eco takes exactly one report")
         failures = check_eco(load_report(args.files[0]), args.min_eco_speedup)
@@ -391,7 +608,9 @@ def main(argv):
         failures = check_self(load_report(args.files[0]), args.min_speedup,
                               args.circuit, args.min_tree_speedup,
                               args.min_bitpar_speedup,
-                              args.min_closure_speedup)
+                              args.min_closure_speedup,
+                              args.min_small_ratio, args.min_simd_speedup,
+                              args.min_packed_ratio)
     else:
         if len(args.files) != 2:
             parser.error("diff mode takes exactly two reports")

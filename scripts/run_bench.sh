@@ -45,16 +45,43 @@ BENCHES=(micro engines table1 table2 table3 testset ablation approx figures serv
 # and gate 1.5x each; a micro report missing either closure row fails
 # the gate outright.  Override:
 # RD_MIN_CLOSURE_SPEEDUP=1.2 scripts/run_bench.sh
+#
+# The SIMD-era gates (DESIGN.md §15) ride on the same micro report:
+# the example/c17 classify-fs rows must not lose to the reference
+# engine (RD_MIN_SMALL_RATIO, quick allowance 0.9 — microsecond rows
+# carry the most sampling noise), the lane-width sweep's 512-wide row
+# must beat its own 64-wide row by RD_MIN_SIMD_SPEEDUP (the widening
+# claim), and the end-to-end lane-packed rows gate at
+# RD_MIN_PACKED_RATIO as a tripwire that wide --lanes requests never
+# regress the classify path (the demand clamp's contract).
 case "$ARGS" in
   *--quick*) DEFAULT_MIN_SPEEDUP=1.9 DEFAULT_MIN_TREE_SPEEDUP=1.9
-             DEFAULT_MIN_BITPAR_SPEEDUP=3.8 DEFAULT_MIN_CLOSURE_SPEEDUP=1.4 ;;
+             DEFAULT_MIN_BITPAR_SPEEDUP=3.8 DEFAULT_MIN_CLOSURE_SPEEDUP=1.4
+             DEFAULT_MIN_SMALL_RATIO=0.9 DEFAULT_MIN_SIMD_SPEEDUP=1.9
+             DEFAULT_MIN_PACKED_RATIO=0.8 ;;
   *)         DEFAULT_MIN_SPEEDUP=2.0 DEFAULT_MIN_TREE_SPEEDUP=2.0
-             DEFAULT_MIN_BITPAR_SPEEDUP=4.0 DEFAULT_MIN_CLOSURE_SPEEDUP=1.5 ;;
+             DEFAULT_MIN_BITPAR_SPEEDUP=4.0 DEFAULT_MIN_CLOSURE_SPEEDUP=1.5
+             DEFAULT_MIN_SMALL_RATIO=1.0 DEFAULT_MIN_SIMD_SPEEDUP=2.0
+             DEFAULT_MIN_PACKED_RATIO=0.85 ;;
 esac
 MIN_SPEEDUP="${RD_MIN_SPEEDUP:-$DEFAULT_MIN_SPEEDUP}"
 MIN_TREE_SPEEDUP="${RD_MIN_TREE_SPEEDUP:-$DEFAULT_MIN_TREE_SPEEDUP}"
 MIN_BITPAR_SPEEDUP="${RD_MIN_BITPAR_SPEEDUP:-$DEFAULT_MIN_BITPAR_SPEEDUP}"
 MIN_CLOSURE_SPEEDUP="${RD_MIN_CLOSURE_SPEEDUP:-$DEFAULT_MIN_CLOSURE_SPEEDUP}"
+MIN_SMALL_RATIO="${RD_MIN_SMALL_RATIO:-$DEFAULT_MIN_SMALL_RATIO}"
+MIN_SIMD_SPEEDUP="${RD_MIN_SIMD_SPEEDUP:-$DEFAULT_MIN_SIMD_SPEEDUP}"
+MIN_PACKED_RATIO="${RD_MIN_PACKED_RATIO:-$DEFAULT_MIN_PACKED_RATIO}"
+
+# Committed baselines for the trend gate, snapshotted BEFORE the bench
+# binaries overwrite the reports in place.  Missing from HEAD (first
+# run in a fresh repo) just skips the trend for that report.
+TREND_TOLERANCE="${RD_TREND_TOLERANCE:-15}"
+TREND_DIR="$(mktemp -d)"
+trap 'rm -rf "$TREND_DIR"' EXIT
+for name in micro engines; do
+  git show "HEAD:BENCH_${name}.json" > "$TREND_DIR/BENCH_${name}.json" \
+    2>/dev/null || rm -f "$TREND_DIR/BENCH_${name}.json"
+done
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 TARGETS=(rdfast_cli)
@@ -87,10 +114,32 @@ if [ "$status" -eq 0 ]; then
        --min-speedup "$MIN_SPEEDUP" \
        --min-tree-speedup "$MIN_TREE_SPEEDUP" \
        --min-bitpar-speedup "$MIN_BITPAR_SPEEDUP" \
-       --min-closure-speedup "$MIN_CLOSURE_SPEEDUP"; then
+       --min-closure-speedup "$MIN_CLOSURE_SPEEDUP" \
+       --min-small-ratio "$MIN_SMALL_RATIO" \
+       --min-simd-speedup "$MIN_SIMD_SPEEDUP" \
+       --min-packed-ratio "$MIN_PACKED_RATIO"; then
     echo "bench_micro speedup gate FAILED" >&2
     status=1
   fi
+fi
+
+# Trend gate: the fresh micro/engines reports may not drop a study or
+# regress a machine-portable relative metric (throughput_ratio,
+# speedup, serial/parallel) by more than RD_TREND_TOLERANCE percent
+# against the committed baselines.  Skipped when HEAD has no baseline
+# (fresh repo) — and expected to fail until a PR that changes the row
+# set regenerates the committed reports, which is the point.
+if [ "$status" -eq 0 ]; then
+  for name in micro engines; do
+    baseline="$TREND_DIR/BENCH_${name}.json"
+    [ -f "$baseline" ] || continue
+    if ! python3 scripts/compare_bench.py --trend "$baseline" \
+         "BENCH_${name}.json" --trend-tolerance "$TREND_TOLERANCE"; then
+      echo "bench_${name} trend gate FAILED (fresh run regressed vs the" \
+           "committed BENCH_${name}.json; RD_TREND_TOLERANCE overrides)" >&2
+      status=1
+    fi
+  done
 fi
 
 # Gate the daemon claims: the bench_serve mixed replay must cover at

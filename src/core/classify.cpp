@@ -1,5 +1,6 @@
 #include "core/classify.h"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 
@@ -34,8 +35,19 @@ ClassifyResult classify_paths_serial(const Circuit& circuit,
     return result;
   }
   internal::SerialBudget budget(options.work_limit, options.guard);
+  // The serial driver's only lane consumer is sibling-branch chunking,
+  // whose widest batch is the largest gate fan-out.  Clamp the engine
+  // to that demand: plane-word cost is paid per op whether lanes are
+  // live or not, so a 512-lane request on a fan-out-4 circuit would
+  // run 8x the word work for the same answers.  Lane width never
+  // affects per-lane semantics, so results stay bit-identical.
+  ClassifyOptions dfs_options = options;
+  if (dfs_options.lanes > 1)
+    dfs_options.lanes = std::min<std::size_t>(
+        dfs_options.lanes,
+        std::max<std::uint32_t>(compiled.max_fanout_count(), 2));
   internal::SeedDfs<internal::SerialBudget> dfs(
-      compiled, options, budget,
+      compiled, dfs_options, budget,
       options.collect_lead_counts ? &result.kept_controlling_per_lead
                                   : nullptr,
       closure);

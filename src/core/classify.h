@@ -96,9 +96,13 @@ struct ClassifyOptions {
   /// Lane width of the bit-parallel sibling-branch evaluation
   /// (DESIGN.md §11).  1 (default) keeps the scalar DFS; 2..64 lets
   /// each prefix-tree node evaluate up to that many sibling branches'
-  /// side-input programs in one lockstep 64-bit drain, pruning the
-  /// conflicted ones without running them on the scalar engine.
-  /// Values above 64 are clamped.  Results — kept sets, counters,
+  /// side-input programs in one lockstep SIMD drain (the engine rounds
+  /// the plane width up to 64/128/256/512 lanes), pruning the
+  /// conflicted ones without running them on the scalar engine; the
+  /// parallel engine additionally packs whole groups of frontier
+  /// subtrees into the lanes (DESIGN.md §15).  The engine layer clamps
+  /// to kMaxLanes (512); the CLI and serve layers reject larger values
+  /// as usage errors instead.  Results — kept sets, counters,
   /// ImplicationStats, abort verdicts — are bit-identical for every
   /// setting and every thread count.
   std::size_t lanes = 1;

@@ -114,6 +114,40 @@ inline const CompiledCircuit* resolve_compiled(
           "ClassifyOptions::compiled lacks the input sort's side tables");
     return options.compiled;
   }
+  // Size-thresholded per-thread compile cache for the common
+  // sort-free compile (every criterion except kInputSort shares one
+  // view).  On microsecond circuits the private per-run compile is
+  // comparable to the classification itself (bench_micro `example`
+  // and `c17` rows), and callers that classify the same Circuit
+  // repeatedly — benches, the CLI's validate double-run, tests — pay
+  // it every time.  Keyed by Circuit::build_id(), which is process-
+  // unique and dies with the circuit, so a stale slot can never be
+  // hit; a finalized circuit is structurally immutable, so a hit is
+  // bit-identical to a fresh compile and verdicts/stats are unchanged.
+  // Two slots (insert-at-front LRU): a returned pointer stays valid
+  // until the same thread misses twice more, and the drivers complete
+  // synchronously before any caller could do that.  Large circuits
+  // skip the cache — their compile is noise and the tables are worth
+  // real memory.
+  constexpr std::size_t kCompileCacheGateLimit = 1u << 14;
+  if (options.criterion != Criterion::kInputSort &&
+      circuit.num_gates() <= kCompileCacheGateLimit) {
+    struct Slot {
+      std::uint64_t build_id = 0;
+      std::unique_ptr<const CompiledCircuit> compiled;
+    };
+    thread_local Slot slots[2];
+    for (Slot& slot : slots)
+      if (slot.compiled != nullptr && slot.build_id == circuit.build_id()) {
+        if (&slot != &slots[0]) std::swap(slot, slots[0]);
+        return slots[0].compiled.get();
+      }
+    slots[1] = std::move(slots[0]);
+    slots[0].build_id = circuit.build_id();
+    slots[0].compiled = std::make_unique<const CompiledCircuit>(
+        compile_for_classify(circuit, options));
+    return slots[0].compiled.get();
+  }
   owned = std::make_unique<const CompiledCircuit>(
       compile_for_classify(circuit, options));
   return owned.get();
@@ -338,9 +372,12 @@ class SeedDfs {
       lanes_ = static_cast<unsigned>(
           std::min<std::size_t>(std::max<std::size_t>(options.lanes, 1),
                                 kMaxLanes));
-      if (lanes_ > 1)
+      if (lanes_ > 1) {
         lane_engine_ = std::make_unique<LaneImplicationEngine>(
-            compiled, options.backward_implications, &engine_);
+            compiled, options.backward_implications, &engine_, lanes_);
+        chunk_pool_ =
+            std::make_unique<std::deque<std::vector<LaneChild>>>();
+      }
     }
   }
 
@@ -409,9 +446,124 @@ class SeedDfs {
   SeedOutcome run_subtree(const ClassifySeed& seed, const LeadId* prefix,
                           std::size_t depth, std::uint64_t max_keys) {
     begin_node(max_keys, seed.final_value);
+    const GateId tip = establish_subtree_prefix(seed, prefix, depth);
+    if (!extend(tip, to_bool(engine_.value(tip))))
+      outcome_.exhausted = true;
+    segment_.clear();
+    return std::move(outcome_);
+  }
 
+  /// One frontier subtree handed to run_packed: its lead prefix in the
+  /// caller's flat pool.
+  struct PackedItem {
+    const LeadId* prefix = nullptr;
+    std::uint32_t depth = 0;
+  };
+
+  /// Lane-packed frontier scheduling (DESIGN.md §15): runs `count`
+  /// frontier subtrees — all of one (pi, final value) pair, in
+  /// canonical item order — producing outcomes bit-identical to
+  /// `count` separate run_subtree calls, but evaluating every item's
+  /// first-level side-input programs in ONE lane batch first.  Each
+  /// item's first-level children occupy a contiguous lane block; the
+  /// item's own prefix constraints are installed into that block as
+  /// masked lane assignments over the shared pair-root base, so lane
+  /// occupancy is set by the frontier width instead of one node's
+  /// fan-out.  The install charges are watermarked away (phase 1
+  /// already charged every prefix edge), so a conflicted child's
+  /// replayed delta is exactly its own program's scalar charge — the
+  /// work/budget charge stream, every ImplicationStats counter, and
+  /// the survivor order stay bit-identical to the serial engine.
+  /// Falls back to plain run_subtree per item when lanes are off, the
+  /// pack degenerates, or (defensively) a prefix install conflicts.
+  void run_packed(const ClassifySeed& seed, const PackedItem* items,
+                  std::size_t count, std::uint64_t max_keys,
+                  SeedOutcome* out) {
+    static_assert(!kFrontier, "run_packed is a phase-2 (plain) facility");
+    const bool packed =
+        lane_engine_ != nullptr && count >= 2 &&
+        evaluate_pack(seed, items, count);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!packed || pack_valid_[i] == 0) {
+        out[i] = run_subtree(seed, items[i].prefix, items[i].depth, max_keys);
+        continue;
+      }
+      begin_node(max_keys, seed.final_value);
+      const GateId tip =
+          establish_subtree_prefix(seed, items[i].prefix, items[i].depth);
+      const bool tip_value = to_bool(engine_.value(tip));
+      // Canonical first-level consumption from the pack verdicts: one
+      // work unit and one budget charge per child in order (the exact
+      // serial step stream), replaying lane-proven conflicts and
+      // descending into survivors on the scalar engine — below this
+      // level the normal scalar + sibling-lane recursion runs.
+      bool ok = true;
+      for (std::size_t c = pack_child_begin_[i];
+           c < pack_child_begin_[i + 1]; ++c) {
+        const LaneChild& child = pack_children_[c];
+        ++outcome_.work;
+        if (!budget_.charge()) {
+          ok = false;
+          break;
+        }
+        if (child.conflicted) {
+          engine_.replay_stats(child.delta);
+          continue;
+        }
+        if (!descend_through(child.lead, tip_value)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) outcome_.exhausted = true;
+      segment_.clear();
+      out[i] = std::move(outcome_);
+    }
+  }
+
+  /// Returns a consumed outcome's arena to the pool so the next node's
+  /// collection reuses its capacity.
+  void recycle(PathKeyArena&& arena) {
+    arena_pool_ = std::move(arena);
+  }
+
+ private:
+  void begin_node(std::uint64_t max_keys, bool final_value) {
+    // Field-wise reset: `outcome_ = SeedOutcome{}` would default-build
+    // (and immediately discard) a PathKeyArena, whose constructor
+    // allocates — one malloc+free per seed, measurable on circuits
+    // whose whole classification takes microseconds.
+    outcome_.kept_paths = 0;
+    outcome_.work = 0;
+    outcome_.exhausted = false;
+    outcome_.keys = std::move(arena_pool_);
+    outcome_.keys.clear();
+    max_keys_ = max_keys;
+    current_final_pi_value_ = final_value;
+  }
+
+  /// Re-asserts one already-charged prefix lead during subtree
+  /// adoption.  The on-path value is read back from the engine (the
+  /// prefix is conflict-free, so the driver's value is always held),
+  /// and the caller disowns the assertion's charges via restore_stats.
+  void replay_lead(LeadId lead_id) {
+    const CompiledLead& lead = compiled_.lead(lead_id);
+    assert_lead_constraints(lead, to_bool(engine_.value(lead.driver)));
+  }
+
+  /// Charge-free prefix adoption shared by run_subtree and the packed
+  /// consumption loop: leaves the scalar engine holding exactly the
+  /// serial engine's state at the tree node `prefix[0..depth)` of
+  /// `seed` (checkpoint → rollback to the common trail prefix → replay
+  /// the divergent suffix → restore_stats), loads segment_ with the
+  /// full prefix, and returns the subtree's tip gate.
+  GateId establish_subtree_prefix(const ClassifySeed& seed,
+                                  const LeadId* prefix, std::size_t depth) {
     const ImplicationEngine::Checkpoint replay = engine_.checkpoint();
-    if (!prefix_valid_ || prefix_pi_ != seed.pi ||
+    // The trail must be valid too: ensure_prefix (the run_seed path)
+    // caches the pair root without recording a trail, so a matching
+    // prefix alone does not license mark_at/common_prefix below.
+    if (!prefix_valid_ || !trail_.valid() || prefix_pi_ != seed.pi ||
         prefix_value_ != seed.final_value) {
       engine_.reset();
       trail_.invalidate();
@@ -433,38 +585,10 @@ class SeedDfs {
     engine_.restore_stats(replay.stats);
 
     // The engine now holds exactly the serial engine's state at this
-    // tree node; descend.  segment_ carries the full prefix so
-    // recorded keys and lead tallies cover the whole path.
+    // tree node.  segment_ carries the full prefix so recorded keys
+    // and lead tallies cover the whole path.
     segment_.assign(prefix, prefix + depth);
-    const GateId tip = compiled_.lead(prefix[depth - 1]).sink;
-    if (!extend(tip, to_bool(engine_.value(tip))))
-      outcome_.exhausted = true;
-    segment_.clear();
-    return std::move(outcome_);
-  }
-
-  /// Returns a consumed outcome's arena to the pool so the next node's
-  /// collection reuses its capacity.
-  void recycle(PathKeyArena&& arena) {
-    arena_pool_ = std::move(arena);
-  }
-
- private:
-  void begin_node(std::uint64_t max_keys, bool final_value) {
-    outcome_ = SeedOutcome{};
-    outcome_.keys = std::move(arena_pool_);
-    outcome_.keys.clear();
-    max_keys_ = max_keys;
-    current_final_pi_value_ = final_value;
-  }
-
-  /// Re-asserts one already-charged prefix lead during subtree
-  /// adoption.  The on-path value is read back from the engine (the
-  /// prefix is conflict-free, so the driver's value is always held),
-  /// and the caller disowns the assertion's charges via restore_stats.
-  void replay_lead(LeadId lead_id) {
-    const CompiledLead& lead = compiled_.lead(lead_id);
-    assert_lead_constraints(lead, to_bool(engine_.value(lead.driver)));
+    return compiled_.lead(prefix[depth - 1]).sink;
   }
   /// Leaves the engine holding exactly the (pi, value) assignment (and
   /// its implications).  On a cache hit the assignment is not re-run;
@@ -604,8 +728,8 @@ class SeedDfs {
     // recursion — every verdict and stats delta is copied into the
     // chunk before the first descend, so a deeper node's begin_batch
     // clobbering the lane state is invisible up here.
-    if (bitpar_depth_ == chunk_pool_.size()) chunk_pool_.emplace_back();
-    std::vector<LaneChild>& chunk = chunk_pool_[bitpar_depth_];
+    if (bitpar_depth_ == chunk_pool_->size()) chunk_pool_->emplace_back();
+    std::vector<LaneChild>& chunk = (*chunk_pool_)[bitpar_depth_];
     ++bitpar_depth_;
     const bool ok = extend_bitpar_at(chunk, leads, count, tip_value);
     --bitpar_depth_;
@@ -655,7 +779,22 @@ class SeedDfs {
     for (const LaneChild& child : chunk)
       if (child.lane >= 0) batch |= lane_bit(child.lane);
     lane_engine_->begin_batch(batch);
-    LaneMask alive = batch;
+    const LaneMask alive = run_round_robin(chunk, batch);
+    for (LaneChild& child : chunk) {
+      if (child.lane < 0 || (alive & lane_bit(child.lane))) continue;
+      child.conflicted = true;
+      child.delta = lane_engine_->lane_stats(child.lane);
+    }
+  }
+
+  /// Round-robin core shared by the sibling-chunk and frontier-pack
+  /// paths: round r asserts the r-th side-input gate of every
+  /// still-live program, merging consecutive lanes asserting the same
+  /// (gate, value) into one masked call; per-lane call order is
+  /// program order, so each lane's event stream is its scalar stream.
+  /// Returns the lanes of `alive` that never conflicted.
+  LaneMask run_round_robin(const std::vector<LaneChild>& chunk,
+                           LaneMask alive) {
     for (std::uint32_t r = 0; alive != 0; ++r) {
       bool any = false;
       GateId run_gate = kNullGate;
@@ -682,11 +821,143 @@ class SeedDfs {
                 lane_engine_->assign(run_gate, to_value3(run_nc), run_mask);
       if (!any) break;
     }
-    for (LaneChild& child : chunk) {
+    return alive;
+  }
+
+  /// The lane half of run_packed.  Leaves the scalar engine holding
+  /// exactly the pair-root assignment (charge-free), installs each
+  /// item's prefix into its contiguous lane block over that base,
+  /// watermarks the per-lane counters past the installs, and drains
+  /// every item's first-level side-input programs in one shared
+  /// round-robin batch.  Verdicts and per-conflict deltas land in
+  /// pack_children_ / pack_child_begin_; pack_valid_[i] clears when
+  /// item i could not be lane-evaluated (the consumer then runs the
+  /// plain run_subtree path, which is observably identical).  Returns
+  /// false when nothing could be packed (total fan-out exceeds the
+  /// lane count — the caller's packer prevents this by construction).
+  bool evaluate_pack(const ClassifySeed& seed, const PackedItem* items,
+                     std::size_t count) {
+    // Lane demand: item i's children occupy the block of
+    // fanout_count(tip) lanes starting at its running total.  The
+    // whole pack must fit — callers pack by the same measure.
+    std::uint64_t demand = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const PackedItem& item = items[i];
+      const GateId tip = compiled_.lead(item.prefix[item.depth - 1]).sink;
+      demand += compiled_.fanout_count(tip);
+    }
+    if (demand > lanes_ || demand == 0) return false;
+
+    // The lane evaluation needs the scalar base to hold exactly the
+    // pair-root assignment: unwind any prefix leads the trail still
+    // carries (or establish the pair from scratch), charge-free — the
+    // consumption loop re-adopts and re-accounts each item's prefix
+    // exactly as run_subtree does.
+    const ImplicationEngine::Checkpoint replay = engine_.checkpoint();
+    // As in establish_subtree_prefix: a pair root cached without a
+    // trail (ensure_prefix) cannot be unwound via mark_at(0).
+    if (!prefix_valid_ || !trail_.valid() || prefix_pi_ != seed.pi ||
+        prefix_value_ != seed.final_value) {
+      engine_.reset();
+      trail_.invalidate();
+      prefix_ok_ = engine_.assign(seed.pi, to_value3(seed.final_value));
+      prefix_pi_ = seed.pi;
+      prefix_value_ = seed.final_value;
+      prefix_valid_ = true;
+      trail_.reset_root(engine_.mark());
+    } else {
+      engine_.rollback(trail_.mark_at(0));
+      trail_.pop_to(0);
+    }
+    engine_.restore_stats(replay.stats);
+
+    pack_valid_.assign(count, 1);
+    pack_children_.clear();
+    pack_child_begin_.assign(count + 1, 0);
+
+    LaneMask batch = 0;
+    unsigned base_lane = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const PackedItem& item = items[i];
+      const GateId tip = compiled_.lead(item.prefix[item.depth - 1]).sink;
+      const unsigned width = compiled_.fanout_count(tip);
+      batch |= lane_mask_below(base_lane + width) & ~lane_mask_below(base_lane);
+      base_lane += width;
+    }
+    lane_engine_->begin_batch(batch);
+
+    base_lane = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const PackedItem& item = items[i];
+      const GateId tip = compiled_.lead(item.prefix[item.depth - 1]).sink;
+      const unsigned width = compiled_.fanout_count(tip);
+      const LaneMask block =
+          lane_mask_below(base_lane + width) & ~lane_mask_below(base_lane);
+
+      // Install the item's prefix into its block: per lead, the same
+      // constraint row the scalar replay asserts, as one masked call
+      // over the whole block.  Driver values are read back through the
+      // block's first lane — lane planes over the pair-root base are
+      // exactly the scalar state the serial DFS would see here.
+      bool live = width > 0;
+      bool driver_value = seed.final_value;
+      for (std::uint32_t d = 0; live && d < item.depth; ++d) {
+        const CompiledLead& lead = compiled_.lead(item.prefix[d]);
+        const SideSpan span = lead_constraints(lead, driver_value);
+        const Value3 nc = to_value3(span.nc);
+        for (const GateId* gate = span.begin(); gate != span.end(); ++gate) {
+          if (lane_engine_->assign(*gate, nc, block) != block) {
+            // Cannot happen — frontier nodes are live, so their prefix
+            // constraints are conflict-free — but a lost lane must
+            // never feed verdicts: fall back to the scalar path.
+            live = false;
+            break;
+          }
+        }
+        if (live)
+          driver_value = to_bool(lane_engine_->value(lead.sink, base_lane));
+      }
+
+      // First-level children: nonempty side-input programs take the
+      // block's lanes in canonical child order (width bounds their
+      // count, so the block always suffices).
+      const LeadId* lead = compiled_.fanout_lead_begin(tip);
+      unsigned used = 0;
+      for (std::uint32_t c = 0; c < width; ++c) {
+        const SideSpan span =
+            lead_constraints(compiled_.lead(lead[c]), driver_value);
+        const bool laned = live && !span.empty();
+        pack_children_.push_back(
+            LaneChild{lead[c], span,
+                      laned ? static_cast<int>(base_lane + used) : -1, false,
+                      ImplicationStats{}});
+        if (laned) ++used;
+      }
+      if (!live) pack_valid_[i] = 0;
+      pack_child_begin_[i + 1] = pack_children_.size();
+      base_lane += width;
+    }
+
+    // Watermark each child lane past its item's install charges (the
+    // prefix was charged by phase 1; only the child's own program may
+    // bill), then drain all programs in one shared round robin.
+    LaneMask alive = 0;
+    pack_watermarks_.assign(pack_children_.size(), ImplicationStats{});
+    for (std::size_t c = 0; c < pack_children_.size(); ++c) {
+      const LaneChild& child = pack_children_[c];
+      if (child.lane < 0) continue;
+      pack_watermarks_[c] = lane_engine_->lane_stats(child.lane);
+      alive |= lane_bit(child.lane);
+    }
+    alive = run_round_robin(pack_children_, alive);
+    for (std::size_t c = 0; c < pack_children_.size(); ++c) {
+      LaneChild& child = pack_children_[c];
       if (child.lane < 0 || (alive & lane_bit(child.lane))) continue;
       child.conflicted = true;
-      child.delta = lane_engine_->lane_stats(child.lane);
+      child.delta =
+          lane_engine_->lane_stats(child.lane).delta_since(pack_watermarks_[c]);
     }
+    return true;
   }
 
   /// kLearned: one failed-literal probe of side-input gate `gate`
@@ -815,8 +1086,21 @@ class SeedDfs {
   // vectors: extend_bitpar holds a reference to its depth's chunk
   // across descend_through, and a deeper recursion may grow the pool —
   // deque growth never moves existing elements, vector growth would.
-  std::deque<std::vector<LaneChild>> chunk_pool_;
+  // Heap-held and built with the lane engine: a default-constructed
+  // deque allocates its node map eagerly, which the scalar
+  // (lanes == 1) driver would pay per classify run for nothing.
+  std::unique_ptr<std::deque<std::vector<LaneChild>>> chunk_pool_;
   std::size_t bitpar_depth_ = 0;
+
+  // run_packed scratch: the pack's first-level child verdicts (one
+  // contiguous vector with per-item offsets), per-lane install
+  // watermarks, and per-item validity.  Materialized before any
+  // consumption descends — the recursion below re-enters the lane
+  // engine and clobbers its batch state.
+  std::vector<LaneChild> pack_children_;
+  std::vector<std::size_t> pack_child_begin_;
+  std::vector<ImplicationStats> pack_watermarks_;
+  std::vector<std::uint8_t> pack_valid_;
 
   std::vector<LeadId> segment_;
   SeedOutcome outcome_;

@@ -1,6 +1,7 @@
 #include "netlist/circuit.h"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -127,6 +128,8 @@ void Circuit::finalize() {
     max_level_ = std::max(max_level_, level);
   }
 
+  static std::atomic<std::uint64_t> next_build_id{1};
+  build_id_ = next_build_id.fetch_add(1, std::memory_order_relaxed);
   finalized_ = true;
 }
 

@@ -170,29 +170,37 @@ class CompiledCircuit {
   CompiledCircuit(const Circuit& circuit, const PinBefore& before)
       : CompiledCircuit(circuit, before ? &before : nullptr) {}
 
+  // Movable but not copyable: the table views below alias the backing
+  // stores' heap buffers, which vector moves transfer intact; a copy
+  // would leave the views pointing into the source object.
+  CompiledCircuit(const CompiledCircuit&) = delete;
+  CompiledCircuit& operator=(const CompiledCircuit&) = delete;
+  CompiledCircuit(CompiledCircuit&&) = default;
+  CompiledCircuit& operator=(CompiledCircuit&&) = default;
+
   const Circuit& source() const { return *circuit_; }
-  std::size_t num_gates() const { return semantics_.size(); }
-  std::size_t num_leads() const { return leads_.size(); }
+  std::size_t num_gates() const { return num_gates_; }
+  std::size_t num_leads() const { return num_leads_; }
   bool has_low_order_tables() const { return has_low_order_tables_; }
 
   const GateSemantics& semantics(GateId id) const { return semantics_[id]; }
   /// Base of the semantics array (for loops that index it directly).
-  const GateSemantics* semantics_begin() const { return semantics_.data(); }
+  const GateSemantics* semantics_begin() const { return semantics_; }
   /// Packed drain-loop word of every gate, indexed by GateId (the
   /// queue-push form of semantics()).
-  const GateWord* gate_words() const { return gate_words_.data(); }
+  const GateWord* gate_words() const { return gate_words_; }
   /// The single fanin of a kSingle/kSingleInv gate, indexed by GateId
   /// (kNullGate for other kinds): one dense load where the CSR chain
   /// fanin_offsets_ -> fanin_gates_ costs two dependent ones — the
   /// implication engine's single-input examine path is hot enough for
   /// the difference to show.
-  const GateId* single_sources() const { return single_sources_.data(); }
+  const GateId* single_sources() const { return single_sources_; }
   const CompiledLead& lead(LeadId id) const { return leads_[id]; }
 
   // ---- CSR adjacency (pointer + count spans into flat arrays) ----
 
   const GateId* fanin_begin(GateId id) const {
-    return fanin_gates_.data() + fanin_offsets_[id];
+    return fanin_gates_ + fanin_offsets_[id];
   }
   std::uint32_t fanin_count(GateId id) const {
     return fanin_offsets_[id + 1] - fanin_offsets_[id];
@@ -209,7 +217,7 @@ class CompiledCircuit {
   /// independent of any PinBefore: π orders reorder side-input
   /// *constraint* tables (side_low), never tree children.
   const LeadId* fanout_lead_begin(GateId id) const {
-    return fanout_leads_.data() + fanout_offsets_[id];
+    return fanout_leads_ + fanout_offsets_[id];
   }
   /// Child `k` of tree node tip `id` under the canonical order.
   LeadId fanout_lead_at(GateId id, std::uint32_t k) const {
@@ -221,34 +229,40 @@ class CompiledCircuit {
   /// controlling value and the sink's full drain-loop semantics in a
   /// single 8-byte read) instead of random accesses into semantics().
   const GateWord* fanout_sink_begin(GateId id) const {
-    return fanout_sinks_.data() + fanout_offsets_[id];
+    return fanout_sinks_ + fanout_offsets_[id];
   }
   std::uint32_t fanout_count(GateId id) const {
     return fanout_offsets_[id + 1] - fanout_offsets_[id];
   }
 
+  /// Largest fanout_count() over all gates — the widest sibling chunk
+  /// a lane engine can see on this circuit.  Run drivers clamp their
+  /// lane-engine width to the demand actually reachable so a wide
+  /// --lanes request never pays dead plane words (DESIGN.md §15).
+  std::uint32_t max_fanout_count() const { return max_fanout_count_; }
+
   // ---- static local-implication tables ----
 
   /// Gates driving every side input of `lead`'s sink, in pin order.
   const GateId* side_all_begin(const CompiledLead& lead) const {
-    return side_all_gates_.data() + lead.side_all_begin;
+    return side_all_gates_ + lead.side_all_begin;
   }
   /// Gates driving the side inputs the π order ranks before the
   /// on-path pin, in pin order.  Valid only when compiled with a
   /// PinBefore.
   const GateId* side_low_begin(const CompiledLead& lead) const {
-    return side_low_gates_.data() + lead.side_low_begin;
+    return side_low_gates_ + lead.side_low_begin;
   }
 
   /// The same two table rows as one-read views (gates, count and the
   /// asserted non-controlling value together) — the shape the lane
   /// engine's program builder and the DFS consume a row in.
   SideSpan side_all_span(const CompiledLead& lead) const {
-    return SideSpan{side_all_gates_.data() + lead.side_all_begin,
+    return SideSpan{side_all_gates_ + lead.side_all_begin,
                     lead.side_all_count, lead.sink_nc};
   }
   SideSpan side_low_span(const CompiledLead& lead) const {
-    return SideSpan{side_low_gates_.data() + lead.side_low_begin,
+    return SideSpan{side_low_gates_ + lead.side_low_begin,
                     lead.side_low_count, lead.sink_nc};
   }
 
@@ -257,20 +271,37 @@ class CompiledCircuit {
 
   const Circuit* circuit_;
   bool has_low_order_tables_ = false;
+  std::size_t num_gates_ = 0;
+  std::uint32_t max_fanout_count_ = 0;
+  std::size_t num_leads_ = 0;
 
-  std::vector<GateSemantics> semantics_;
-  std::vector<GateWord> gate_words_;
-  std::vector<GateId> single_sources_;
-  std::vector<CompiledLead> leads_;
+  // Every 32-bit table in one exactly-sized backing store, everything
+  // else (the 64-bit tables plus the semantics and lead records, which
+  // are multiples of 8 bytes and align to it) in a second one, viewed
+  // through the raw pointers below.  A per-table std::vector costs one
+  // malloc each; the default classify path compiles privately per run,
+  // and on microsecond circuits that compile is allocation-bound
+  // (bench_micro `example` and `c17` rows), so the build makes exactly
+  // two heap allocations total.  The record arrays are created with
+  // per-element placement new into their store64_ slices (single-object
+  // form — the array form may prepend an unspecified cookie), which
+  // both starts their lifetimes and keeps the access strictly
+  // aliasing-clean; both types are trivially destructible, so the
+  // vector freeing the raw words is a complete teardown.
+  std::vector<std::uint32_t> store32_;
+  std::vector<std::uint64_t> store64_;
+  GateSemantics* semantics_ = nullptr;  // num_gates records
+  CompiledLead* leads_ = nullptr;       // num_leads records
 
-  std::vector<std::uint32_t> fanin_offsets_;   // num_gates + 1
-  std::vector<GateId> fanin_gates_;
-  std::vector<std::uint32_t> fanout_offsets_;  // num_gates + 1
-  std::vector<LeadId> fanout_leads_;
-  std::vector<GateWord> fanout_sinks_;
-
-  std::vector<GateId> side_all_gates_;
-  std::vector<GateId> side_low_gates_;
+  const std::uint32_t* fanin_offsets_ = nullptr;   // num_gates + 1
+  const std::uint32_t* fanout_offsets_ = nullptr;  // num_gates + 1
+  const GateId* single_sources_ = nullptr;         // num_gates
+  const GateId* fanin_gates_ = nullptr;
+  const LeadId* fanout_leads_ = nullptr;
+  const GateId* side_all_gates_ = nullptr;
+  const GateId* side_low_gates_ = nullptr;
+  const GateWord* gate_words_ = nullptr;           // num_gates
+  const GateWord* fanout_sinks_ = nullptr;
 };
 
 }  // namespace rd

@@ -39,13 +39,13 @@ namespace rd {
 /// fresh std::vector per path.
 class PathKeyArena {
  public:
-  std::size_t size() const { return offsets_.size() - 1; }
-  bool empty() const { return offsets_.size() == 1; }
+  std::size_t size() const { return ends_.size(); }
+  bool empty() const { return ends_.empty(); }
 
   /// Drops the keys but keeps the reserved capacity (the pooling).
   void clear() {
     data_.clear();
-    offsets_.resize(1);
+    ends_.clear();
   }
 
   /// Appends the key of one survivor: `segment` plus the transition
@@ -53,13 +53,14 @@ class PathKeyArena {
   void append(const std::vector<LeadId>& segment, bool final_value) {
     data_.insert(data_.end(), segment.begin(), segment.end());
     data_.push_back(final_value ? 1u : 0u);
-    offsets_.push_back(data_.size());
+    ends_.push_back(data_.size());
   }
 
   /// Materializes key `i` in the LogicalPath::key() encoding.
   std::vector<std::uint32_t> key(std::size_t i) const {
-    return std::vector<std::uint32_t>(data_.begin() + offsets_[i],
-                                      data_.begin() + offsets_[i + 1]);
+    const std::size_t begin = i == 0 ? 0 : ends_[i - 1];
+    return std::vector<std::uint32_t>(data_.begin() + begin,
+                                      data_.begin() + ends_[i]);
   }
 
   /// Bytes of heap currently reserved (for ExecGuard::add_memory: the
@@ -67,12 +68,15 @@ class PathKeyArena {
   /// the accounting stays exact while reused capacity costs nothing).
   std::uint64_t capacity_bytes() const {
     return data_.capacity() * sizeof(std::uint32_t) +
-           offsets_.capacity() * sizeof(std::size_t);
+           ends_.capacity() * sizeof(std::size_t);
   }
 
  private:
   std::vector<std::uint32_t> data_;
-  std::vector<std::size_t> offsets_ = std::vector<std::size_t>(1, 0);
+  // End offset of key i (its begin is ends_[i - 1], 0 for the first):
+  // the implicit leading zero keeps a default-constructed arena
+  // allocation-free, which matters to drivers that build one per seed.
+  std::vector<std::size_t> ends_;
 };
 
 /// Cursor over the shared path-prefix tree: the lead prefix currently
@@ -90,7 +94,7 @@ class PrefixTrail {
   void invalidate() {
     valid_ = false;
     leads_.clear();
-    marks_.resize(1);
+    marks_.clear();
   }
 
   /// Starts a fresh trail whose depth-0 watermark is `root_mark` (the
@@ -128,7 +132,10 @@ class PrefixTrail {
  private:
   bool valid_ = false;
   std::vector<LeadId> leads_;
-  std::vector<std::size_t> marks_ = std::vector<std::size_t>(1, 0);
+  // Empty until the first reset_root: mark_at/pop_to are only legal on
+  // a valid trail, so the depth-0 slot need not exist before then (and
+  // a default-constructed trail stays allocation-free).
+  std::vector<std::size_t> marks_;
 };
 
 /// Per-depth *live* node counts of the logical path-prefix tree:

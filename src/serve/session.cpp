@@ -13,6 +13,7 @@
 #include "gen/iscas_like.h"
 #include "io/bench_io.h"
 #include "io/run_report.h"
+#include "sim/implication_bitpar.h"
 #include "util/metrics.h"
 
 namespace rd::serve {
@@ -311,8 +312,10 @@ JsonValue Session::run_classify(const JsonValue& request, std::uint64_t id,
   base.num_threads = static_cast<std::size_t>(
       get_uint(request, "threads", base.num_threads));
   base.lanes = static_cast<std::size_t>(get_uint(request, "lanes", base.lanes));
-  if (base.lanes < 1 || base.lanes > 64)
-    throw BadRequest("field 'lanes' must be 1..64");
+  // Strict bound, not a clamp: a lane width this build cannot provide
+  // is a typed bad_request, mirroring the CLI's exit-2 usage error.
+  if (base.lanes < 1 || base.lanes > kMaxLanes)
+    throw BadRequest("field 'lanes' must be 1.." + std::to_string(kMaxLanes));
   const std::string implications = get_string(request, "implications", "off");
   if (implications == "closure") {
     base.implications = ImplicationTier::kClosure;

@@ -12,8 +12,9 @@ ImplicationEngine::ImplicationEngine(const CompiledCircuit& compiled,
     : compiled_(&compiled),
       backward_implications_(backward_implications),
       states_(compiled.num_gates()),
-      trail_(compiled.num_gates()),
-      queue_(compiled.num_gates() + compiled.num_leads() + 1) {}
+      scratch_(2 * compiled.num_gates() + compiled.num_leads() + 1),
+      trail_(scratch_.data()),
+      queue_(scratch_.data() + compiled.num_gates()) {}
 
 ImplicationEngine::ImplicationEngine(const Circuit& circuit,
                                      bool backward_implications)
@@ -21,8 +22,9 @@ ImplicationEngine::ImplicationEngine(const Circuit& circuit,
       compiled_(owned_.get()),
       backward_implications_(backward_implications),
       states_(circuit.num_gates()),
-      trail_(circuit.num_gates()),
-      queue_(circuit.num_gates() + circuit.num_leads() + 1) {}
+      scratch_(2 * circuit.num_gates() + circuit.num_leads() + 1),
+      trail_(scratch_.data()),
+      queue_(scratch_.data() + circuit.num_gates()) {}
 
 void ImplicationEngine::attach_closure(const StaticClosure* closure) {
   // A closure recorded over a different circuit or implication mode
@@ -163,7 +165,7 @@ __attribute__((always_inline)) inline void ImplicationEngine::set_value_inline(
     GateId id, Value3 value) {
   states_[id].value_half = pack_value(epoch_, value);
   trail_[trail_size_++] = pack_value(id, value);
-  GateWord* const queue = queue_.data();
+  GateWord* const queue = queue_;
   GateState* const states = states_.data();
   const std::uint32_t epoch = epoch_;
   std::size_t tail = queue_tail_;

@@ -199,7 +199,7 @@ class ImplicationEngine {
   /// Read-only view of the trail (the closure builder and tests):
   /// entries [0, num_assigned()), gate id in the low 32 bits, the
   /// assigned Value3 in bits 32..39.
-  const std::uint64_t* trail_data() const { return trail_.data(); }
+  const std::uint64_t* trail_data() const { return trail_; }
   static GateId trail_entry_gate(std::uint64_t entry) {
     return static_cast<GateId>(entry);
   }
@@ -295,9 +295,16 @@ class ImplicationEngine {
   // The queue holds packed GateWords (the fanout streams already carry
   // them), so a pop hands examine() the gate's full semantics without
   // an indexed load into the semantics table.
-  std::vector<std::uint64_t> trail_;
+  // One backing allocation for both fixed-capacity buffers (the
+  // classify path builds an engine per run; on microsecond circuits
+  // every ctor malloc shows in bench_micro's small-circuit rows):
+  // trail_ = scratch_[0 .. num_gates), queue_ = the rest.  The raw
+  // pointers stay valid across vector moves (the heap buffer
+  // transfers wholesale).
+  std::vector<std::uint64_t> scratch_;
+  std::uint64_t* trail_ = nullptr;
+  GateWord* queue_ = nullptr;
   std::size_t trail_size_ = 0;
-  std::vector<GateWord> queue_;
   std::size_t queue_head_ = 0;
   std::size_t queue_tail_ = 0;
   ImplicationStats stats_;

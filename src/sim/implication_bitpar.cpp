@@ -1,25 +1,104 @@
 #include "sim/implication_bitpar.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "sim/implication_bitpar_kernels.h"
+
 namespace rd {
+
+namespace {
+
+struct Dispatch {
+  bitpar_detail::KernelTable table;
+  const char* name = "portable";
+};
+
+// Resolved once per process: the widest kernel tier the CPU supports
+// AND the toolchain compiled in, optionally capped by the
+// RD_BITPAR_DISPATCH environment variable ("portable" / "avx2" /
+// "avx512") so the differential CI script can exercise every tier on
+// one machine.  Capping above what the hardware has never selects an
+// unsupported tier — the cap only stops the upgrade ladder early.
+const Dispatch& dispatch() {
+  static const Dispatch resolved = [] {
+    Dispatch d;
+    bitpar_detail::fill_kernels_portable(d.table);
+    const char* cap_env = std::getenv("RD_BITPAR_DISPATCH");
+    const std::string cap = cap_env != nullptr ? cap_env : "";
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+    if (cap == "portable") return d;
+    __builtin_cpu_init();
+    bitpar_detail::KernelTable tier;
+    if (__builtin_cpu_supports("avx2") &&
+        bitpar_detail::fill_kernels_avx2(tier)) {
+      d.table = tier;
+      d.name = "avx2";
+    }
+    if (cap == "avx2") return d;
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512bw") &&
+        __builtin_cpu_supports("avx512dq") &&
+        __builtin_cpu_supports("avx512vl") &&
+        bitpar_detail::fill_kernels_avx512(tier)) {
+      d.table = tier;
+      d.name = "avx512";
+    }
+#endif
+    return d;
+  }();
+  return resolved;
+}
+
+}  // namespace
+
+const char* bitpar_dispatch_name() { return dispatch().name; }
 
 LaneImplicationEngine::LaneImplicationEngine(const CompiledCircuit& compiled,
                                              bool backward_implications,
-                                             const ImplicationEngine* base)
+                                             const ImplicationEngine* base,
+                                             unsigned lanes)
     : compiled_(&compiled),
       backward_implications_(backward_implications),
       base_(base),
-      planes_(compiled.num_gates()) {
-  trail_.reserve(compiled.num_gates());
-  queue_.reserve(compiled.num_gates() + compiled.num_leads() + 1);
+      lanes_(lanes),
+      words_(plane_words_for(lanes)),
+      stride_(2 * plane_words_for(lanes)) {
+  if (lanes < 1 || lanes > kMaxLanes)
+    throw std::invalid_argument("LaneImplicationEngine: lanes must be 1.." +
+                                std::to_string(kMaxLanes));
+  planes_.assign(compiled.num_gates() * stride_, 0);
+  grow_trail(std::max<std::size_t>(compiled.num_gates(), 64));
+  grow_queue(std::max<std::size_t>(
+      compiled.num_gates() + compiled.num_leads() + 1, 64));
+  drain_fn_ =
+      dispatch().table.drain[plane_words_index(words_)][base_ != nullptr];
 }
 
-void LaneImplicationEngine::begin_batch(LaneMask lanes) {
+void LaneImplicationEngine::grow_trail(std::size_t need) {
+  const std::size_t cap = std::max(need, trail_cap_ * 2);
+  trail_gates_.resize(cap);
+  trail_masks_.resize(cap * stride_);
+  trail_cap_ = cap;
+}
+
+void LaneImplicationEngine::grow_queue(std::size_t need) {
+  const std::size_t cap = std::max(need, queue_cap_ * 2);
+  queue_words_.resize(cap);
+  queue_masks_.resize(cap * words_);
+  queue_cap_ = cap;
+}
+
+void LaneImplicationEngine::begin_batch(const LaneSet& lanes) {
   // Unwind everything the previous batch set — the trail records every
   // plane write, so this restores all-unknown without touching the
   // (much larger) untouched remainder of planes_.
   rollback(0);
-  batch_ = lanes;
-  queue_.clear();
+  batch_ = lanes & lane_mask_below(lanes_);
+  queue_len_ = 0;
   queue_head_ = 0;
   assignments_.clear();
   propagations_.clear();
@@ -28,209 +107,105 @@ void LaneImplicationEngine::begin_batch(LaneMask lanes) {
 }
 
 void LaneImplicationEngine::rollback(std::size_t mark) {
-  while (trail_.size() > mark) {
-    const TrailEntry entry = trail_.back();
-    trail_.pop_back();
-    LanePlanes& p = planes_[entry.gate];
-    p.v0 &= ~entry.m0;
-    p.v1 &= ~entry.m1;
+  const unsigned w = words_;
+  while (trail_len_ > mark) {
+    --trail_len_;
+    const GateId gate = trail_gates_[trail_len_];
+    const std::uint64_t* tm = trail_masks_.data() + trail_len_ * stride_;
+    std::uint64_t* p = planes_.data() + gate * stride_;
+    for (unsigned j = 0; j < w; ++j) {
+      p[j] &= ~tm[j];
+      p[w + j] &= ~tm[w + j];
+    }
   }
 }
 
 std::size_t LaneImplicationEngine::memory_bytes() const {
-  return planes_.capacity() * sizeof(LanePlanes) +
-         trail_.capacity() * sizeof(TrailEntry) +
-         queue_.capacity() * sizeof(QueueEntry) + sizeof(*this);
+  return planes_.capacity() * sizeof(std::uint64_t) +
+         trail_gates_.capacity() * sizeof(GateId) +
+         trail_masks_.capacity() * sizeof(std::uint64_t) +
+         queue_words_.capacity() * sizeof(GateWord) +
+         queue_masks_.capacity() * sizeof(std::uint64_t) + sizeof(*this);
 }
 
-void LaneImplicationEngine::set_value(GateId id, LaneMask m0, LaneMask m1) {
-  const LaneMask m = m0 | m1;
-  LanePlanes& p = planes_[id];
-  p.v0 |= m0;
-  p.v1 |= m1;
-  trail_.push_back(TrailEntry{m0, m1, id});
+void LaneImplicationEngine::set_value_rt(GateId id, const std::uint64_t* m0,
+                                         const std::uint64_t* m1) {
+  const unsigned w = words_;
+  std::uint64_t* p = planes_.data() + id * stride_;
+  LaneSet m;
+  for (unsigned j = 0; j < w; ++j) {
+    p[j] |= m0[j];
+    p[w + j] |= m1[j];
+    m.w[j] = m0[j] | m1[j];
+  }
+  ensure_trail(trail_len_ + 1);
+  trail_gates_[trail_len_] = id;
+  std::uint64_t* tm = trail_masks_.data() + trail_len_ * stride_;
+  std::memcpy(tm, m0, w * sizeof(std::uint64_t));
+  std::memcpy(tm + w, m1, w * sizeof(std::uint64_t));
+  ++trail_len_;
   assignments_.add(m);
-  queue_.push_back(QueueEntry{compiled_->gate_words()[id], m});
+  const std::uint32_t n = compiled_->fanout_count(id);
+  ensure_queue(queue_len_ + 1 + n);
+  GateWord* qw = queue_words_.data() + queue_len_;
+  std::uint64_t* qm = queue_masks_.data() + queue_len_ * w;
+  qw[0] = compiled_->gate_words()[id];
+  std::memcpy(qm, m.w, w * sizeof(std::uint64_t));
   const GateWord* sink = compiled_->fanout_sink_begin(id);
-  const GateWord* const end = sink + compiled_->fanout_count(id);
-  for (; sink != end; ++sink) queue_.push_back(QueueEntry{*sink, m});
+  for (std::uint32_t s = 0; s < n; ++s) {
+    qw[1 + s] = sink[s];
+    std::memcpy(qm + (1 + s) * w, m.w, w * sizeof(std::uint64_t));
+  }
+  queue_len_ += 1 + n;
 }
 
-LaneMask LaneImplicationEngine::assign(GateId id, Value3 value,
-                                       LaneMask lanes) {
+LaneSet LaneImplicationEngine::assign(GateId id, Value3 value,
+                                      const LaneSet& lanes) {
   if (!is_known(value)) return lanes;
-  return assign_planes(id, value == Value3::kZero ? lanes : 0,
-                       value == Value3::kOne ? lanes : 0);
+  return assign_planes(id, value == Value3::kZero ? lanes : LaneSet{},
+                       value == Value3::kOne ? lanes : LaneSet{});
 }
 
-LaneMask LaneImplicationEngine::assign_planes(GateId id, LaneMask zeros,
-                                              LaneMask ones) {
-  const LaneMask lanes = zeros | ones;
-  const LanePlanes p = planes(id);
-  const LaneMask known = p.known();
+LaneSet LaneImplicationEngine::assign_planes(GateId id, const LaneSet& zeros,
+                                             const LaneSet& ones) {
+  const LaneSet lanes = zeros | ones;
+  const unsigned w = words_;
+  const std::uint64_t* p = planes_.data() + id * stride_;
+  std::uint64_t base0 = 0;
+  std::uint64_t base1 = 0;
+  if (base_ != nullptr) {
+    const Value3 bv = base_->value(id);
+    if (bv == Value3::kZero) base0 = ~0ull;
+    if (bv == Value3::kOne) base1 = ~0ull;
+  }
   // Already-known lanes resolve without propagation: equal values
   // succeed charge-free, different values are immediate conflicts —
   // the scalar assign()'s early-known fast path, lane-masked per
   // value group.
-  LaneMask failed =
-      (zeros & known & ~p.v0) | (ones & known & ~p.v1);
-  const LaneMask run0 = zeros & ~known;
-  const LaneMask run1 = ones & ~known;
-  const LaneMask run = run0 | run1;
-  if (run != 0) {
-    queue_.clear();
+  LaneSet failed;
+  LaneSet run0;
+  LaneSet run1;
+  std::uint64_t any_run = 0;
+  for (unsigned j = 0; j < w; ++j) {
+    const std::uint64_t v0 = p[j] | base0;
+    const std::uint64_t v1 = p[w + j] | base1;
+    const std::uint64_t known = v0 | v1;
+    failed.w[j] = (zeros.w[j] & known & ~v0) | (ones.w[j] & known & ~v1);
+    run0.w[j] = zeros.w[j] & ~known;
+    run1.w[j] = ones.w[j] & ~known;
+    any_run |= run0.w[j] | run1.w[j];
+  }
+  if (any_run != 0) {
+    queue_len_ = 0;
     queue_head_ = 0;
-    set_value(id, run0, run1);
-    failed |= base_ != nullptr ? drain<true>(run) : drain<false>(run);
+    set_value_rt(id, run0.w, run1.w);
+    const LaneSet run = run0 | run1;
+    LaneSet drained;
+    drain_fn_(*this, run.w, drained.w);
+    failed |= drained;
   }
-  if (failed != 0) conflicts_.add(failed);
+  if (failed.any()) conflicts_.add(failed);
   return lanes & ~failed;
-}
-
-// Masked union-FIFO drain: each entry's live mask is the lanes it
-// was pushed for minus the lanes that have since conflicted — the
-// per-lane filtered pop sequence is exactly the lane's scalar
-// drain, so charging pops by the live mask replicates the scalar
-// propagation counter including the failing pop, and a dead
-// lane's leftover entries (which its stopped scalar drain never
-// reached) charge nothing.
-template <bool kHasBase>
-LaneMask LaneImplicationEngine::drain(LaneMask run) {
-  LaneMask alive = run;
-  LaneMask failed = 0;
-  while (queue_head_ != queue_.size()) {
-    const QueueEntry entry = queue_[queue_head_++];
-    const LaneMask pm = entry.mask & alive;
-    if (pm == 0) continue;
-    propagations_.add(pm);
-    const LaneMask conflicted = examine<kHasBase>(entry.word, pm);
-    if (conflicted != 0) {
-      alive &= ~conflicted;
-      failed |= conflicted;
-      if (alive == 0) break;
-    }
-  }
-  return failed;
-}
-
-template <bool kHasBase>
-LaneMask LaneImplicationEngine::examine(GateWord word, LaneMask m) {
-  // Local plane read specialized on the overlay: the generic planes()
-  // re-tests base_ on every fanin of the sweep below; here the test
-  // is a template constant.
-  const auto lp = [this](GateId g) {
-    LanePlanes p = planes_[g];
-    if constexpr (kHasBase) {
-      const Value3 bv = base_->value(g);
-      if (bv == Value3::kZero)
-        p.v0 |= ~0ull;
-      else if (bv == Value3::kOne)
-        p.v1 |= ~0ull;
-    }
-    return p;
-  };
-  const GateId id = gate_word::id(word);
-  const GateSemantics::Kind kind = gate_word::kind(word);
-  if (kind == GateSemantics::Kind::kInput) return 0;
-
-  const LanePlanes out = lp(id);
-  const LaneMask out_known = out.known();
-
-  if (kind == GateSemantics::Kind::kControlling) {
-    // One fanin sweep stands in for the scalar engine's incremental
-    // tallies, amortized over all live lanes: a controlling pin, the
-    // all-known mask and the exactly-one-unknown-pin mask all fall
-    // out of three running plane accumulators.
-    const bool ctrl_one = gate_word::ctrl(word) == Value3::kOne;
-    const std::uint32_t n = gate_word::fanin_count(word);
-    const GateId* const fanin = compiled_->fanin_begin(id);
-    LaneMask any_ctrl = 0;
-    LaneMask u_any = 0;   // lanes with >= 1 unknown pin
-    LaneMask u_multi = 0; // lanes with >= 2 unknown pins
-    for (std::uint32_t i = 0; i < n; ++i) {
-      const LanePlanes f = lp(fanin[i]);
-      any_ctrl |= ctrl_one ? f.v1 : f.v0;
-      const LaneMask u = ~f.known();
-      u_multi |= u_any & u;
-      u_any |= u;
-    }
-    const LaneMask all_known = ~u_any;
-    const LaneMask forced = any_ctrl | all_known;
-
-    // Forced-output planes: a controlling pin forces out_controlled
-    // (winning over all-known, matching the scalar rule order), an
-    // all-known non-controlling fanin forces out_noncontrolled.
-    const bool oc_one = gate_word::out_controlled(word) == Value3::kOne;
-    const bool onc_one =
-        gate_word::out_noncontrolled(word) == Value3::kOne;
-    const LaneMask via_nc = all_known & ~any_ctrl;
-    const LaneMask e0 = (oc_one ? 0 : any_ctrl) | (onc_one ? 0 : via_nc);
-    const LaneMask e1 = (oc_one ? any_ctrl : 0) | (onc_one ? via_nc : 0);
-
-    const LaneMask act_forward = m & forced & ~out_known;
-    if (act_forward != 0)
-      set_value(id, e0 & act_forward, e1 & act_forward);
-    const LaneMask conflict =
-        m & forced & out_known & ((out.v0 & e1) | (out.v1 & e0));
-
-    if (backward_implications_) {
-      const LaneMask act_backward = m & out_known & ~forced;
-      if (act_backward != 0) {
-        const LaneMask out_is_nc = onc_one ? out.v1 : out.v0;
-        const LaneMask rule_a = act_backward & out_is_nc;
-        // Output is the controlled value with no controlling pin
-        // known: only decisive with exactly one unknown pin.
-        LaneMask rule_b = act_backward & ~out_is_nc & u_any & ~u_multi;
-        const bool nc_one =
-            gate_word::noncontrolling(word) == Value3::kOne;
-        if (rule_a != 0) {
-          // Every unknown pin becomes non-controlling, in pin order
-          // (the scalar loop's charge and push order; re-reading the
-          // planes per pin makes a duplicate-pin driver derive once).
-          for (std::uint32_t i = 0; i < n; ++i) {
-            const LaneMask mf = rule_a & ~lp(fanin[i]).known();
-            if (mf != 0) {
-              backward_.add(mf);
-              set_value(fanin[i], nc_one ? 0 : mf, nc_one ? mf : 0);
-            }
-          }
-        }
-        if (rule_b != 0) {
-          for (std::uint32_t i = 0; i < n && rule_b != 0; ++i) {
-            const LaneMask mf = rule_b & ~lp(fanin[i]).known();
-            if (mf != 0) {
-              backward_.add(mf);
-              set_value(fanin[i], ctrl_one ? 0 : mf, ctrl_one ? mf : 0);
-              rule_b &= ~mf;
-            }
-          }
-        }
-      }
-    }
-    return conflict;
-  }
-
-  // Single-input gates: value equivalence modulo inversion.
-  const bool inverting = kind == GateSemantics::Kind::kSingleInv;
-  const GateId source = compiled_->single_sources()[id];
-  const LanePlanes in = lp(source);
-  const LaneMask in_known = in.known();
-  const LaneMask i0 = inverting ? in.v1 : in.v0;  // lanes implying out=0
-  const LaneMask i1 = inverting ? in.v0 : in.v1;
-  const LaneMask act_forward = m & in_known & ~out_known;
-  if (act_forward != 0) set_value(id, i0 & act_forward, i1 & act_forward);
-  const LaneMask conflict =
-      m & in_known & out_known & ((out.v0 & i1) | (out.v1 & i0));
-  if (backward_implications_) {
-    const LaneMask act_backward = m & out_known & ~in_known;
-    if (act_backward != 0) {
-      backward_.add(act_backward);
-      const LaneMask s0 = inverting ? out.v1 : out.v0;
-      const LaneMask s1 = inverting ? out.v0 : out.v1;
-      set_value(source, s0 & act_backward, s1 & act_backward);
-    }
-  }
-  return conflict;
 }
 
 }  // namespace rd

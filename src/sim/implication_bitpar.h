@@ -1,4 +1,5 @@
-// 64-wide bit-parallel ternary implication engine.
+// Multi-plane bit-parallel ternary implication engine (up to 512
+// lanes wide).
 //
 // The scalar ImplicationEngine (sim/implication.h) evaluates one
 // constraint program — one branch of the classifier's path-prefix
@@ -6,17 +7,26 @@
 // of that time is spent in the propagation drain loop, and almost all
 // of the drained work is identical across sibling branches: they share
 // the tree prefix, assert overlapping side-input tables, and walk the
-// same CSR spans.  This engine runs up to 64 such programs in lockstep
-// by encoding each gate's ternary value as two 64-bit *bitplanes*:
+// same CSR spans.  This engine runs up to kMaxLanes such programs in
+// lockstep by encoding each gate's ternary value as two *bitplanes* of
+// W 64-bit words each (W ∈ {1, 2, 4, 8}, chosen per engine from the
+// requested lane count):
 //
 //   v0 bit l set  ->  lane l holds 0        (the voiraig/tbool idiom:
 //   v1 bit l set  ->  lane l holds 1         two bits per ternary
-//   neither set   ->  lane l holds X         value, vectorized 64-wide)
+//   neither set   ->  lane l holds X         value, vectorized W*64
+//                                            lanes wide)
 //
-// so one AND/OR over plane words applies a logic rule to 64 lanes at
-// once.  Lanes are *independent*: nothing ever flows between bit
-// positions, so lane l's view of the engine is exactly a scalar
-// engine running lane l's program.
+// so one AND/OR over the contiguous plane words applies a logic rule
+// to all lanes at once.  The inner examine/drain/counter loops are
+// compiled per plane width with the word count a template constant, in
+// three translation units — a portable baseline plus AVX2 and AVX-512
+// specializations — and the engine picks a kernel table at
+// construction via runtime CPU dispatch (bitpar_dispatch_name() names
+// the active tier; the RD_BITPAR_DISPATCH environment variable caps it
+// for differential testing).  Lanes are *independent*: nothing ever
+// flows between bit positions, so lane l's view of the engine is
+// exactly a scalar engine running lane l's program.
 //
 // Bit-identity contract (the reason this engine can sit under the
 // classifier at all): for every lane, the verdict (conflict or not)
@@ -25,7 +35,7 @@
 // event.  Two mechanisms make that exact rather than approximate:
 //
 //   * masked union-FIFO drain — the propagation queue holds
-//     (GateWord, LaneMask) entries: every set_value pushes the gate
+//     (GateWord, LaneSet) entries: every set_value pushes the gate
 //     and its sinks tagged with the lanes that changed.  The
 //     per-lane *filtered subsequence* of this union queue is, by
 //     induction, exactly the lane's scalar queue: both start from the
@@ -35,9 +45,11 @@
 //     so — like the scalar engine, whose drain stops right after the
 //     failing pop — it is never examined or charged again;
 //   * per-lane event charging — counters are kept as bit-sliced
-//     LaneCounters: charging a set of lanes is one ripple-carry add of
-//     the lane mask into the counter planes, so a 64-lane drain pays
-//     O(1) amortized per event instead of a 64-iteration loop.
+//     LaneCounters with one 64-bit word per plane word: charging a set
+//     of lanes is one ripple-carry add of the lane mask into the
+//     counter planes (the carry dies out after ~2 levels on average,
+//     and each level is a W-word vector op), so a 512-lane drain pays
+//     O(1) amortized per event instead of a 512-iteration loop.
 //     Propagations are charged per pop by the popped entry's live
 //     mask, assignments per set event, conflicts once per failed
 //     assign per lane, and backward derivations per derivation site in
@@ -46,18 +58,19 @@
 // Optionally the engine *overlays* a scalar ImplicationEngine: every
 // read ORs the base engine's value (broadcast to all lanes) under the
 // lane-local planes.  This is how the classifier's DFS evaluates the
-// sibling branches of one tree node: the scalar engine holds the node
-// state, the lanes hold only each branch's divergent assertions, and
-// begin_batch() discards them by unwinding the set-event trail (cost
-// proportional to what the batch set, not to circuit size) when the
-// DFS moves on.  The base engine must not change during a batch.
+// sibling branches of one tree node — and how the lane-packed frontier
+// scheduler evaluates whole groups of independent subtree roots, each
+// lane carrying its own prefix assertions over the shared pair-root
+// base (DESIGN.md §15).  The base engine must not change during a
+// batch.
 //
-// See DESIGN.md §11 for the lane scheduling above this engine and the
-// determinism argument for the lane-ordered merge.
+// See DESIGN.md §11 for the lane scheduling above this engine, §15 for
+// the multi-plane layout and the kernel dispatch.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <ostream>
 #include <vector>
 
 #include "netlist/compiled.h"
@@ -66,58 +79,182 @@
 
 namespace rd {
 
-/// One bit per lane; lane 0 is bit 0.
-using LaneMask = std::uint64_t;
+inline constexpr unsigned kLanesPerWord = 64;
+inline constexpr unsigned kMaxPlaneWords = 8;
+inline constexpr unsigned kMaxLanes = kLanesPerWord * kMaxPlaneWords;
 
-inline constexpr unsigned kMaxLanes = 64;
-
-constexpr LaneMask lane_bit(unsigned lane) { return 1ull << lane; }
-
-/// Mask with the low `n` lanes set (n == 64 -> all lanes).
-constexpr LaneMask lane_mask_below(unsigned n) {
-  return n >= kMaxLanes ? ~0ull : (1ull << n) - 1;
+/// Plane words backing `lanes` lanes: the smallest power-of-two word
+/// count in {1, 2, 4, 8} that covers them (power of two so the kernel
+/// template set stays at four instantiations per ISA tier).
+constexpr unsigned plane_words_for(unsigned lanes) {
+  const unsigned words =
+      (lanes + kLanesPerWord - 1) / kLanesPerWord;  // ceil, >= 1
+  unsigned w = 1;
+  while (w < words) w *= 2;
+  return w;
 }
 
-/// A 64-lane event counter stored bit-sliced ("vertical"): plane k
-/// holds bit k of every lane's count.  add(mask) increments the
-/// counter of every lane in `mask` with a ripple-carry over the
-/// planes — the carry mask loses bits at every level, so the expected
-/// cost is ~2 word ops per call regardless of how many lanes charge.
+/// Index of a plane word count in the kernel tables: log2(W).
+constexpr unsigned plane_words_index(unsigned words) {
+  return words == 1 ? 0 : words == 2 ? 1 : words == 4 ? 2 : 3;
+}
+
+/// One bit per lane over the full kMaxLanes width; lane 0 is bit 0 of
+/// word 0.  A LaneSet is a plain value (64 bytes): engines only read
+/// the words their width covers, and the single-word constructor keeps
+/// 64-lane call sites written against plain integer masks working
+/// unchanged.
+struct LaneSet {
+  std::uint64_t w[kMaxPlaneWords];
+
+  constexpr LaneSet() : w{} {}
+  // NOLINTNEXTLINE(google-explicit-constructor): integer masks are the
+  // natural spelling for single-word (<= 64 lane) call sites.
+  constexpr LaneSet(std::uint64_t word0) : w{word0} {}
+
+  constexpr bool none() const {
+    std::uint64_t acc = 0;
+    for (unsigned j = 0; j < kMaxPlaneWords; ++j) acc |= w[j];
+    return acc == 0;
+  }
+  constexpr bool any() const { return !none(); }
+  constexpr bool test(unsigned lane) const {
+    return (w[lane / kLanesPerWord] >> (lane % kLanesPerWord)) & 1u;
+  }
+  constexpr unsigned count() const {
+    unsigned n = 0;
+    for (unsigned j = 0; j < kMaxPlaneWords; ++j) {
+      std::uint64_t v = w[j];
+      while (v != 0) {
+        v &= v - 1;
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  constexpr explicit operator bool() const { return any(); }
+  constexpr bool operator==(const LaneSet&) const = default;
+
+  constexpr LaneSet& operator&=(const LaneSet& o) {
+    for (unsigned j = 0; j < kMaxPlaneWords; ++j) w[j] &= o.w[j];
+    return *this;
+  }
+  constexpr LaneSet& operator|=(const LaneSet& o) {
+    for (unsigned j = 0; j < kMaxPlaneWords; ++j) w[j] |= o.w[j];
+    return *this;
+  }
+  constexpr LaneSet& operator^=(const LaneSet& o) {
+    for (unsigned j = 0; j < kMaxPlaneWords; ++j) w[j] ^= o.w[j];
+    return *this;
+  }
+
+  friend constexpr LaneSet operator&(LaneSet a, const LaneSet& b) {
+    return a &= b;
+  }
+  friend constexpr LaneSet operator|(LaneSet a, const LaneSet& b) {
+    return a |= b;
+  }
+  friend constexpr LaneSet operator^(LaneSet a, const LaneSet& b) {
+    return a ^= b;
+  }
+  friend constexpr LaneSet operator~(LaneSet a) {
+    for (unsigned j = 0; j < kMaxPlaneWords; ++j) a.w[j] = ~a.w[j];
+    return a;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const LaneSet& s) {
+    os << "LaneSet{";
+    for (unsigned j = 0; j < kMaxPlaneWords; ++j)
+      os << (j ? "," : "") << std::hex << s.w[j] << std::dec;
+    return os << "}";
+  }
+};
+
+/// Legacy alias: masks used to be bare uint64_t when the engine was
+/// hard-wired to one plane word.
+using LaneMask = LaneSet;
+
+constexpr LaneSet lane_bit(unsigned lane) {
+  LaneSet s;
+  s.w[lane / kLanesPerWord] = 1ull << (lane % kLanesPerWord);
+  return s;
+}
+
+/// Mask with the low `n` lanes set (n == kMaxLanes -> all lanes).
+constexpr LaneSet lane_mask_below(unsigned n) {
+  LaneSet s;
+  for (unsigned j = 0; j < kMaxPlaneWords && n != 0; ++j) {
+    s.w[j] = n >= kLanesPerWord ? ~0ull : (1ull << n) - 1;
+    n = n >= kLanesPerWord ? n - kLanesPerWord : 0;
+  }
+  return s;
+}
+
+/// A kMaxLanes-lane event counter stored bit-sliced ("vertical"):
+/// plane k holds bit k of every lane's count, one 64-bit word per
+/// plane word.  add(mask) increments the counter of every lane in
+/// `mask` with a ripple-carry over the planes — the carry mask loses
+/// bits at every level, so the expected cost is ~2 W-word vector ops
+/// per call regardless of how many lanes charge.  The plane-major
+/// layout (planes[k][j]) keeps the W words of one carry level
+/// contiguous, which is what the per-ISA kernels vectorize over.
 struct LaneCounter {
   /// 32 bits of count per lane: one batch charges any single lane at
   /// most once per (gate, event) and circuits stay far below 2^32
   /// events per assign program.
   static constexpr int kBits = 32;
-  std::uint64_t planes[kBits] = {};
+  std::uint64_t planes[kBits][kMaxPlaneWords] = {};
 
-  void add(LaneMask mask) {
-    for (int k = 0; mask != 0 && k < kBits; ++k) {
-      const std::uint64_t bits = planes[k];
-      planes[k] = bits ^ mask;
-      mask &= bits;  // carry into the next plane
+  void add(const LaneSet& mask) {
+    LaneSet carry = mask;
+    for (int k = 0; k < kBits; ++k) {
+      std::uint64_t pending = 0;
+      for (unsigned j = 0; j < kMaxPlaneWords; ++j) {
+        const std::uint64_t bits = planes[k][j];
+        planes[k][j] = bits ^ carry.w[j];
+        carry.w[j] &= bits;
+        pending |= carry.w[j];
+      }
+      if (pending == 0) break;
     }
   }
 
   /// Horizontal read-out of one lane's count (cold: merges/asserts).
   std::uint64_t lane(unsigned l) const {
+    const unsigned word = l / kLanesPerWord;
+    const unsigned bit = l % kLanesPerWord;
     std::uint64_t v = 0;
-    for (int k = 0; k < kBits; ++k) v |= ((planes[k] >> l) & 1ull) << k;
+    for (int k = 0; k < kBits; ++k)
+      v |= ((planes[k][word] >> bit) & 1ull) << k;
     return v;
   }
 
   void clear() {
-    for (auto& p : planes) p = 0;
+    for (auto& plane : planes)
+      for (auto& word : plane) word = 0;
   }
 };
 
-/// The two value bitplanes of one gate.  Invariant: v0 & v1 == 0 (a
-/// lane is 0, 1 or unknown — never both).
-struct LanePlanes {
-  std::uint64_t v0 = 0;
-  std::uint64_t v1 = 0;
+class LaneImplicationEngine;
 
-  LaneMask known() const { return v0 | v1; }
-};
+namespace bitpar_detail {
+
+/// One drain kernel: pops the engine's union FIFO for the `run` lanes
+/// (words_ plane words) and writes the conflicted lanes to `failed`.
+/// Compiled per (plane word count, base overlay, ISA tier); the engine
+/// binds one at construction.
+using DrainFn = void (*)(LaneImplicationEngine&, const std::uint64_t* run,
+                         std::uint64_t* failed);
+
+}  // namespace bitpar_detail
+
+/// Name of the kernel tier the runtime CPU dispatch selected for this
+/// process: "avx512", "avx2" or "portable".  The RD_BITPAR_DISPATCH
+/// environment variable ("portable" / "avx2" / "avx512") caps the
+/// selection — the differential CI script uses it to run the same
+/// binary under every tier the machine supports.
+const char* bitpar_dispatch_name();
 
 class LaneImplicationEngine {
  public:
@@ -126,16 +263,20 @@ class LaneImplicationEngine {
   /// values are read under the lane overlay (broadcast to every lane);
   /// it must outlive this engine and must not change during a batch.
   /// `backward_implications` mirrors the scalar engine's ablation
-  /// switch and must match the base engine's setting.
+  /// switch and must match the base engine's setting.  `lanes` (1 ..
+  /// kMaxLanes) sizes the plane arrays: the engine rounds it up to a
+  /// whole number of 64-lane plane words and never reads or writes
+  /// beyond them.  Throws std::invalid_argument outside [1, kMaxLanes].
   explicit LaneImplicationEngine(const CompiledCircuit& compiled,
                                  bool backward_implications = true,
-                                 const ImplicationEngine* base = nullptr);
+                                 const ImplicationEngine* base = nullptr,
+                                 unsigned lanes = kLanesPerWord);
 
   /// Starts a fresh batch over the lanes in `lanes`: unwinds every
   /// lane-local value via the trail (O(sets since the last batch)) and
   /// zeroes the per-batch lane counters.  Invalidates outstanding
-  /// marks.
-  void begin_batch(LaneMask lanes);
+  /// marks.  Lanes at or above lanes() are ignored.
+  void begin_batch(const LaneSet& lanes);
 
   /// Asserts gate `id` := `value` on every lane in `lanes` and drains
   /// local implications in lockstep.  Returns the lanes of `lanes`
@@ -144,7 +285,7 @@ class LaneImplicationEngine {
   /// charges, already-known-different lanes fail charging one
   /// conflict, unknown lanes propagate.  Lanes outside the batch must
   /// not be passed.  An unknown `value` is a charge-free no-op.
-  LaneMask assign(GateId id, Value3 value, LaneMask lanes);
+  LaneSet assign(GateId id, Value3 value, const LaneSet& lanes);
 
   /// Lane-valued assign: asserts gate `id` := 0 on the `zeros` lanes
   /// and := 1 on the `ones` lanes (disjoint masks) in ONE lockstep
@@ -154,43 +295,36 @@ class LaneImplicationEngine {
   /// charge) is unchanged — but the union drain amortizes each pop
   /// over both value groups instead of splitting the batch in half.
   /// This is the pattern-parallel workhorse: one call applies a full
-  /// 64-lane ternary vector component.  Returns the lanes of
+  /// lane-wide ternary vector component.  Returns the lanes of
   /// `zeros | ones` that did NOT conflict.
-  LaneMask assign_planes(GateId id, LaneMask zeros, LaneMask ones);
+  LaneSet assign_planes(GateId id, const LaneSet& zeros,
+                        const LaneSet& ones);
 
   /// Trail watermark / undo, scalar-engine style.  Rollback clears
   /// values only; the per-batch counters measure work done, not state
   /// held, exactly like the scalar engine's.
-  std::size_t mark() const { return trail_.size(); }
+  std::size_t mark() const { return trail_len_; }
   void rollback(std::size_t mark);
 
-  /// Effective value planes of a gate: lane-local assertions over the
-  /// broadcast base-engine value (if any).  Lane-local planes are kept
-  /// directly valid (begin_batch unwinds the trail instead of epoch
-  /// stamping) so the common read is a single 16-byte load — this
-  /// function sits in the innermost fanin sweep of examine().
-  LanePlanes planes(GateId id) const {
-    LanePlanes p = planes_[id];
-    if (base_ != nullptr) {
-      const Value3 bv = base_->value(id);
-      if (bv == Value3::kZero)
-        p.v0 |= ~0ull;
-      else if (bv == Value3::kOne)
-        p.v1 |= ~0ull;
-    }
-    return p;
-  }
-
-  /// One lane's effective value (kUnknown if unassigned).
+  /// One lane's effective value (kUnknown if unassigned): the
+  /// lane-local plane bit over the broadcast base-engine value.
   Value3 value(GateId id, unsigned lane) const {
-    const LanePlanes p = planes(id);
-    if (p.v0 & lane_bit(lane)) return Value3::kZero;
-    if (p.v1 & lane_bit(lane)) return Value3::kOne;
+    const std::uint64_t* p = planes_.data() + id * stride_;
+    const unsigned word = lane / kLanesPerWord;
+    const std::uint64_t bit = 1ull << (lane % kLanesPerWord);
+    if (p[word] & bit) return Value3::kZero;
+    if (p[words_ + word] & bit) return Value3::kOne;
+    if (base_ != nullptr) return base_->value(id);
     return Value3::kUnknown;
   }
 
   /// Lanes selected by the current batch.
-  LaneMask batch() const { return batch_; }
+  const LaneSet& batch() const { return batch_; }
+
+  /// Lane count requested at construction (plane_words() * 64 >= it).
+  unsigned lanes() const { return lanes_; }
+  /// 64-bit words per bitplane (1, 2, 4 or 8).
+  unsigned plane_words() const { return words_; }
 
   /// One lane's event counters accumulated since begin_batch() —
   /// bit-identical to a scalar engine's stats delta for running the
@@ -207,56 +341,77 @@ class LaneImplicationEngine {
   /// Current footprint of the engine's own buffers (diagnostics).
   std::size_t memory_bytes() const;
 
- private:
-  struct TrailEntry {
-    std::uint64_t m0 = 0;  // lanes this event set to 0
-    std::uint64_t m1 = 0;  // lanes this event set to 1
-    GateId gate = kNullGate;
-  };
-  struct QueueEntry {
-    GateWord word = 0;
-    LaneMask mask = 0;  // lanes whose value changed at the push site
-  };
-
-  /// Records one set event: `m0`/`m1` lanes (disjoint, all currently
-  /// unknown for `id`) take value 0/1, and the gate plus its sinks are
-  /// queued for re-examination under the union mask.
-  void set_value(GateId id, LaneMask m0, LaneMask m1);
-
-  /// Union-FIFO drain over `run`, specialized on whether a base
-  /// overlay exists: with kHasBase false every plane read in the
-  /// examine hot loop folds to one 16-byte load.  Returns the lanes of
-  /// `run` that conflicted.
-  template <bool kHasBase>
-  LaneMask drain(LaneMask run);
-
-  /// Vector examine of one popped entry for the live lanes `m`:
-  /// applies the scalar engine's forward/verify/backward rules to all
-  /// lanes at once.  Returns the lanes of `m` that derived a conflict.
-  template <bool kHasBase>
-  LaneMask examine(GateWord word, LaneMask m);
+  // ------------------------------------------------------------------
+  // Internal kernel state.  Public so the per-ISA kernel translation
+  // units (implication_bitpar_{portable,avx2,avx512}.cpp) can run the
+  // drain loop over raw storage without shared inline code — an inline
+  // helper compiled under -mavx512f in one TU could be the copy the
+  // linker keeps for every TU.  Nothing outside sim/ may touch these.
+  // ------------------------------------------------------------------
 
   const CompiledCircuit* compiled_;
   bool backward_implications_;
   const ImplicationEngine* base_;
+  unsigned lanes_;
+  unsigned words_;   // plane words (1/2/4/8)
+  unsigned stride_;  // u64 words per gate: 2 * words_ (v0 then v1)
 
   // Always-valid planes: every set event is trailed, and begin_batch
   // unwinds the trail back to all-unknown.  (An epoch stamp per gate
   // would make begin_batch O(1), but it puts a compare+select on the
   // innermost examine read — the drain does orders of magnitude more
-  // reads than batches do resets, so the trail unwind wins.)
-  std::vector<LanePlanes> planes_;
+  // reads than batches do resets, so the trail unwind wins.)  Flat
+  // layout: gate g's plane words are planes_[g*stride_ .. +stride_),
+  // v0 words first, then v1 words — one contiguous block per gate is
+  // what the kernels' fixed-W word loops vectorize over.
+  std::vector<std::uint64_t> planes_;
 
-  std::vector<TrailEntry> trail_;
-  std::vector<QueueEntry> queue_;  // cleared per assign; head_ chases it
+  // Set-event trail as parallel flat arrays: entry t is
+  // trail_gates_[t] plus stride_ mask words (m0 words then m1 words)
+  // at trail_masks_[t*stride_].  trail_len_ is the logical length;
+  // the vectors hold capacity (grown only by grow_trail, out of line
+  // in the portable TU, so kernels never instantiate vector growth).
+  std::vector<GateId> trail_gates_;
+  std::vector<std::uint64_t> trail_masks_;
+  std::size_t trail_len_ = 0;
+  std::size_t trail_cap_ = 0;
+
+  // Union FIFO: entry q is queue_words_[q] plus words_ mask words at
+  // queue_masks_[q*words_]; cleared per assign, head chases length.
+  std::vector<GateWord> queue_words_;
+  std::vector<std::uint64_t> queue_masks_;
+  std::size_t queue_len_ = 0;
   std::size_t queue_head_ = 0;
-  LaneMask batch_ = 0;
+  std::size_t queue_cap_ = 0;
+
+  LaneSet batch_;
 
   // Per-batch, per-lane event counters (bit-sliced).
   LaneCounter assignments_;
   LaneCounter propagations_;
   LaneCounter conflicts_;
   LaneCounter backward_;
+
+  /// Amortized-doubling growth, out of line in the portable TU.  The
+  /// kernels call these through the two inline guards below, whose
+  /// fast path is a plain size_t compare (no vector code).
+  void grow_trail(std::size_t need);
+  void grow_queue(std::size_t need);
+
+  void ensure_trail(std::size_t need) {
+    if (need > trail_cap_) grow_trail(need);
+  }
+  void ensure_queue(std::size_t need) {
+    if (need > queue_cap_) grow_queue(need);
+  }
+
+ private:
+  /// Records one set event with runtime plane width (the cold shell's
+  /// root push; kernels carry their own fixed-width copy).
+  void set_value_rt(GateId id, const std::uint64_t* m0,
+                    const std::uint64_t* m1);
+
+  bitpar_detail::DrainFn drain_fn_ = nullptr;
 };
 
 }  // namespace rd

@@ -1,0 +1,36 @@
+// AVX2 instantiation of the lane-engine kernels.  CMake compiles this
+// TU with -mavx2 when the toolchain supports it; __AVX2__ gates the
+// body so an unsupported toolchain still links (the fill function
+// reports the tier absent and the dispatcher keeps the portable
+// table).  The kernel templates live in an anonymous namespace so the
+// AVX2-lowered copies can never be picked by the linker for another
+// TU's calls — only the function pointers exported here reach them,
+// and only after __builtin_cpu_supports("avx2") passes.
+#include "sim/implication_bitpar_kernels.h"
+
+#if defined(__AVX2__)
+
+namespace rd {
+namespace {
+#include "sim/implication_bitpar_kernels.inc"
+}  // namespace
+
+namespace bitpar_detail {
+
+bool fill_kernels_avx2(KernelTable& table) {
+  fill_kernel_table(table);
+  return true;
+}
+
+}  // namespace bitpar_detail
+}  // namespace rd
+
+#else  // !defined(__AVX2__)
+
+namespace rd::bitpar_detail {
+
+bool fill_kernels_avx2(KernelTable&) { return false; }
+
+}  // namespace rd::bitpar_detail
+
+#endif

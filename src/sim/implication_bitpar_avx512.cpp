@@ -1,0 +1,35 @@
+// AVX-512 instantiation of the lane-engine kernels.  CMake compiles
+// this TU with -mavx512f -mavx512bw -mavx512dq -mavx512vl when the
+// toolchain supports them; the macro gate keeps unsupported toolchains
+// linking (fill reports the tier absent).  With W == 8 plane words the
+// whole 512-lane mask algebra lowers to single zmm ops.  See the AVX2
+// TU for the anonymous-namespace isolation argument.
+#include "sim/implication_bitpar_kernels.h"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && \
+    defined(__AVX512DQ__) && defined(__AVX512VL__)
+
+namespace rd {
+namespace {
+#include "sim/implication_bitpar_kernels.inc"
+}  // namespace
+
+namespace bitpar_detail {
+
+bool fill_kernels_avx512(KernelTable& table) {
+  fill_kernel_table(table);
+  return true;
+}
+
+}  // namespace bitpar_detail
+}  // namespace rd
+
+#else  // missing AVX-512 subsets
+
+namespace rd::bitpar_detail {
+
+bool fill_kernels_avx512(KernelTable&) { return false; }
+
+}  // namespace rd::bitpar_detail
+
+#endif

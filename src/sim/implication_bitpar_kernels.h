@@ -1,0 +1,38 @@
+// Internal: kernel dispatch table for the multi-plane lane engine.
+//
+// The drain/examine hot loops of LaneImplicationEngine are compiled
+// once per (plane word count, base overlay) in each of three
+// translation units:
+//
+//   implication_bitpar_portable.cpp   baseline flags (always valid)
+//   implication_bitpar_avx2.cpp       -mavx2 when the toolchain has it
+//   implication_bitpar_avx512.cpp     -mavx512{f,bw,dq,vl}
+//
+// Every TU includes the same implication_bitpar_kernels.inc body
+// inside an *anonymous* namespace, so each tier's instantiations are
+// TU-local symbols — the linker can never substitute an AVX-512
+// compiled copy for the portable one (the classic multiversioned-TU
+// ODR hazard with inline templates).  The only exported symbols are
+// the three fill functions below, which copy plain function pointers
+// into a KernelTable; implication_bitpar.cpp resolves the table once
+// per process with __builtin_cpu_supports (see bitpar_dispatch_name).
+#pragma once
+
+#include "sim/implication_bitpar.h"
+
+namespace rd::bitpar_detail {
+
+struct KernelTable {
+  /// drain[plane_words_index(W)][has_base ? 1 : 0]
+  DrainFn drain[4][2] = {};
+};
+
+/// Always fills (baseline codegen).
+void fill_kernels_portable(KernelTable& table);
+/// Fill and return true when the TU was compiled with the tier's ISA
+/// flags; return false (table untouched) otherwise.  CPU support is
+/// the dispatcher's job, not theirs.
+bool fill_kernels_avx2(KernelTable& table);
+bool fill_kernels_avx512(KernelTable& table);
+
+}  // namespace rd::bitpar_detail

@@ -1,0 +1,17 @@
+// Portable (baseline-ISA) instantiation of the lane-engine kernels.
+// Always compiled with the project's default flags, so this table is
+// valid on every CPU the binary runs on; the AVX2/AVX-512 TUs override
+// it when the runtime dispatch finds the hardware.
+#include "sim/implication_bitpar_kernels.h"
+
+namespace rd {
+namespace {
+#include "sim/implication_bitpar_kernels.inc"
+}  // namespace
+
+namespace bitpar_detail {
+
+void fill_kernels_portable(KernelTable& table) { fill_kernel_table(table); }
+
+}  // namespace bitpar_detail
+}  // namespace rd

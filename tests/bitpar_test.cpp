@@ -1,5 +1,6 @@
-// The 64-wide bit-parallel ternary implication engine
-// (sim/implication_bitpar.h), tested at each level:
+// The multi-plane bit-parallel ternary implication engine
+// (sim/implication_bitpar.h, up to kMaxLanes = 512 lanes), tested at
+// each level:
 //
 //   * lane primitives — LaneCounter's bit-sliced ripple-carry add and
 //     the lane mask helpers;
@@ -8,10 +9,10 @@
 //     for every gate kind the drain loop dispatches on, with one
 //     input combination per lane and a scalar ImplicationEngine as
 //     the per-lane oracle;
-//   * assign/undo driving — 64 lanes running 64 *distinct* random
-//     programs in lockstep over 300 bursts, mirroring the
-//     compiled_test.cpp burst sweep, with full per-lane value and
-//     stats equivalence against 64 scalar engines;
+//   * assign/undo driving — 64- and 512-wide engines running
+//     *distinct* random programs per lane in lockstep over repeated
+//     bursts, mirroring the compiled_test.cpp burst sweep, with full
+//     per-lane value and stats equivalence against scalar engines;
 //   * base overlay — lane programs layered over a live scalar engine
 //     must behave exactly like scalar engines that made the base
 //     assignments first;
@@ -22,6 +23,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -60,6 +62,39 @@ TEST(LaneMaskTest, Helpers) {
   EXPECT_EQ(lane_mask_below(1), 1ull);
   EXPECT_EQ(lane_mask_below(7), 0x7Full);
   EXPECT_EQ(lane_mask_below(64), ~0ull);
+  // Multi-plane territory (lanes >= 64 live in higher words).
+  EXPECT_EQ(lane_bit(64).w[1], 1ull);
+  EXPECT_EQ(lane_bit(511).w[7], 1ull << 63);
+  EXPECT_TRUE(lane_bit(320).test(320));
+  EXPECT_FALSE(lane_bit(320).test(319));
+  EXPECT_EQ(lane_mask_below(130).w[0], ~0ull);
+  EXPECT_EQ(lane_mask_below(130).w[1], ~0ull);
+  EXPECT_EQ(lane_mask_below(130).w[2], 0x3ull);
+  EXPECT_EQ(lane_mask_below(130).w[3], 0ull);
+  EXPECT_EQ(lane_mask_below(kMaxLanes).count(), kMaxLanes);
+  EXPECT_EQ((~lane_mask_below(kMaxLanes)).count(), 0u);
+}
+
+TEST(LaneMaskTest, PlaneWidthHelpers) {
+  EXPECT_EQ(plane_words_for(1), 1u);
+  EXPECT_EQ(plane_words_for(64), 1u);
+  EXPECT_EQ(plane_words_for(65), 2u);
+  EXPECT_EQ(plane_words_for(128), 2u);
+  EXPECT_EQ(plane_words_for(129), 4u);
+  EXPECT_EQ(plane_words_for(256), 4u);
+  EXPECT_EQ(plane_words_for(257), 8u);
+  EXPECT_EQ(plane_words_for(512), 8u);
+  EXPECT_EQ(plane_words_index(1), 0u);
+  EXPECT_EQ(plane_words_index(2), 1u);
+  EXPECT_EQ(plane_words_index(4), 2u);
+  EXPECT_EQ(plane_words_index(8), 3u);
+}
+
+LaneSet random_lane_set(Rng& rng) {
+  LaneSet s;
+  for (unsigned j = 0; j < kMaxPlaneWords; ++j)
+    s.w[j] = rng.next_u64() & rng.next_u64();
+  return s;
 }
 
 TEST(LaneCounterTest, RippleCarryMatchesPerLaneCounts) {
@@ -69,10 +104,10 @@ TEST(LaneCounterTest, RippleCarryMatchesPerLaneCounts) {
   std::uint64_t expected[kMaxLanes] = {};
   Rng rng(7);
   for (int step = 0; step < 2000; ++step) {
-    const LaneMask mask = rng.next_u64() & rng.next_u64();
+    const LaneMask mask = random_lane_set(rng);
     counter.add(mask);
     for (unsigned l = 0; l < kMaxLanes; ++l)
-      if (mask & lane_bit(l)) ++expected[l];
+      if (mask.test(l)) ++expected[l];
     if (step % 97 == 0) {
       for (unsigned l = 0; l < kMaxLanes; ++l)
         ASSERT_EQ(counter.lane(l), expected[l]) << "lane " << l;
@@ -86,11 +121,14 @@ TEST(LaneCounterTest, RippleCarryMatchesPerLaneCounts) {
 
 TEST(LaneCounterTest, SaturatesEveryLaneIndependently) {
   LaneCounter counter;
-  for (int i = 0; i < 1000; ++i) counter.add(~0ull);
+  for (int i = 0; i < 1000; ++i) counter.add(lane_mask_below(kMaxLanes));
   counter.add(lane_bit(5));
+  counter.add(lane_bit(300));
   EXPECT_EQ(counter.lane(5), 1001u);
   EXPECT_EQ(counter.lane(4), 1000u);
   EXPECT_EQ(counter.lane(63), 1000u);
+  EXPECT_EQ(counter.lane(300), 1001u);
+  EXPECT_EQ(counter.lane(511), 1000u);
 }
 
 // ------------------------------------- exhaustive gate truth tables
@@ -242,75 +280,89 @@ TEST(TruthTableTest, BackwardExhaustiveTernary) {
 
 // ------------------------------------------------ burst differential
 
-TEST(BitparEquivalenceTest, DistinctProgramBurstsMatchScalarLanes) {
-  // 64 lanes, 64 distinct random programs, 300 bursts with full
-  // rollback and periodic epoch resets — the lane-engine analogue of
-  // compiled_test.cpp's RandomAssignUndoBurstsMatchReference.
-  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-    const Circuit circuit = iscas_like(seed);
-    const CompiledCircuit compiled(circuit);
-    LaneImplicationEngine lanes(compiled);
-    std::vector<ImplicationEngine> scalars;
-    for (unsigned l = 0; l < kMaxLanes; ++l) scalars.emplace_back(compiled);
-    Rng rng(seed * 977);
+// One width's burst sweep: `width` lanes, `width` distinct random
+// programs, `bursts` bursts with full rollback and periodic epoch
+// resets — the lane-engine analogue of compiled_test.cpp's
+// RandomAssignUndoBurstsMatchReference.
+void run_distinct_program_bursts(unsigned width, std::uint64_t seed,
+                                 int bursts) {
+  const Circuit circuit = iscas_like(seed);
+  const CompiledCircuit compiled(circuit);
+  LaneImplicationEngine lanes(compiled, true, nullptr, width);
+  ASSERT_EQ(lanes.plane_words(), plane_words_for(width));
+  std::vector<ImplicationEngine> scalars;
+  for (unsigned l = 0; l < width; ++l) scalars.emplace_back(compiled);
+  Rng rng(seed * 977);
 
-    lanes.begin_batch(~0ull);
-    for (int burst = 0; burst < 300; ++burst) {
-      if (burst % 11 == 0) {
-        // Epoch reset: lanes forget everything in O(1); the scalar
-        // oracles reset too.  Also re-bases the per-batch counters.
-        lanes.begin_batch(~0ull);
-        for (auto& s : scalars) s.reset();
-      }
-      const std::size_t mark = lanes.mark();
-      std::vector<std::size_t> scalar_marks;
-      for (auto& s : scalars) scalar_marks.push_back(s.mark());
-      std::vector<ImplicationStats> before;
-      for (unsigned l = 0; l < kMaxLanes; ++l)
-        before.push_back(lanes.lane_stats(l));
-      std::vector<ImplicationStats> scalar_before;
-      for (auto& s : scalars) scalar_before.push_back(s.stats());
-
-      // Six lockstep rounds of per-lane random ops.
-      std::uint64_t alive = ~0ull;
-      for (int i = 0; i < 6; ++i) {
-        for (unsigned l = 0; l < kMaxLanes; ++l) {
-          if (!(alive & lane_bit(l))) continue;
-          const GateId gate =
-              static_cast<GateId>(rng.next_below(circuit.num_gates()));
-          const Value3 value =
-              rng.next_bool(0.5) ? Value3::kOne : Value3::kZero;
-          const LaneMask ok = lanes.assign(gate, value, lane_bit(l));
-          const bool scalar_ok = scalars[l].assign(gate, value);
-          ASSERT_EQ(ok != 0, scalar_ok)
-              << "seed " << seed << " burst " << burst << " lane " << l;
-          if (!scalar_ok) alive &= ~lane_bit(l);
-        }
-      }
-      for (unsigned l = 0; l < kMaxLanes; ++l) {
-        for (GateId id = 0; id < circuit.num_gates(); ++id)
-          ASSERT_EQ(lanes.value(id, l), scalars[l].value(id))
-              << "seed " << seed << " burst " << burst << " lane " << l
-              << " gate " << id;
-        // Stats deltas over the burst must agree event for event.
-        const ImplicationStats ld = lanes.lane_stats(l);
-        const ImplicationStats sd =
-            scalars[l].stats().delta_since(scalar_before[l]);
-        ASSERT_EQ(ld.assignments - before[l].assignments, sd.assignments);
-        ASSERT_EQ(ld.propagations - before[l].propagations,
-                  sd.propagations);
-        ASSERT_EQ(ld.conflicts - before[l].conflicts, sd.conflicts);
-        ASSERT_EQ(ld.backward - before[l].backward, sd.backward);
-      }
-      lanes.rollback(mark);
-      for (unsigned l = 0; l < kMaxLanes; ++l)
-        scalars[l].undo_to(scalar_marks[l]);
-      for (GateId id = 0; id < circuit.num_gates(); ++id)
-        for (unsigned l = 0; l < kMaxLanes; ++l)
-          ASSERT_EQ(lanes.value(id, l), scalars[l].value(id))
-              << "post-rollback burst " << burst;
+  const LaneMask full = lane_mask_below(width);
+  lanes.begin_batch(full);
+  for (int burst = 0; burst < bursts; ++burst) {
+    if (burst % 11 == 0) {
+      // Epoch reset: lanes forget everything via the trail unwind; the
+      // scalar oracles reset too.  Also re-bases the per-batch
+      // counters.
+      lanes.begin_batch(full);
+      for (auto& s : scalars) s.reset();
     }
+    const std::size_t mark = lanes.mark();
+    std::vector<std::size_t> scalar_marks;
+    for (auto& s : scalars) scalar_marks.push_back(s.mark());
+    std::vector<ImplicationStats> before;
+    for (unsigned l = 0; l < width; ++l) before.push_back(lanes.lane_stats(l));
+    std::vector<ImplicationStats> scalar_before;
+    for (auto& s : scalars) scalar_before.push_back(s.stats());
+
+    // Six lockstep rounds of per-lane random ops.
+    LaneMask alive = full;
+    for (int i = 0; i < 6; ++i) {
+      for (unsigned l = 0; l < width; ++l) {
+        if (!alive.test(l)) continue;
+        const GateId gate =
+            static_cast<GateId>(rng.next_below(circuit.num_gates()));
+        const Value3 value =
+            rng.next_bool(0.5) ? Value3::kOne : Value3::kZero;
+        const LaneMask ok = lanes.assign(gate, value, lane_bit(l));
+        const bool scalar_ok = scalars[l].assign(gate, value);
+        ASSERT_EQ(ok.any(), scalar_ok)
+            << "seed " << seed << " burst " << burst << " lane " << l;
+        if (!scalar_ok) alive &= ~lane_bit(l);
+      }
+    }
+    for (unsigned l = 0; l < width; ++l) {
+      for (GateId id = 0; id < circuit.num_gates(); ++id)
+        ASSERT_EQ(lanes.value(id, l), scalars[l].value(id))
+            << "seed " << seed << " burst " << burst << " lane " << l
+            << " gate " << id;
+      // Stats deltas over the burst must agree event for event.
+      const ImplicationStats ld = lanes.lane_stats(l);
+      const ImplicationStats sd =
+          scalars[l].stats().delta_since(scalar_before[l]);
+      ASSERT_EQ(ld.assignments - before[l].assignments, sd.assignments);
+      ASSERT_EQ(ld.propagations - before[l].propagations, sd.propagations);
+      ASSERT_EQ(ld.conflicts - before[l].conflicts, sd.conflicts);
+      ASSERT_EQ(ld.backward - before[l].backward, sd.backward);
+    }
+    lanes.rollback(mark);
+    for (unsigned l = 0; l < width; ++l) scalars[l].undo_to(scalar_marks[l]);
+    for (GateId id = 0; id < circuit.num_gates(); ++id)
+      for (unsigned l = 0; l < width; ++l)
+        ASSERT_EQ(lanes.value(id, l), scalars[l].value(id))
+            << "post-rollback burst " << burst;
   }
+}
+
+TEST(BitparEquivalenceTest, DistinctProgramBurstsMatchScalarLanes) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed)
+    run_distinct_program_bursts(64, seed, 300);
+}
+
+TEST(BitparEquivalenceTest, DistinctProgramBurstsMatchScalarLanesWide) {
+  // The multi-plane widths: one non-power-of-two width per plane count
+  // (the engine rounds up to 2/4/8 words), plus the full 512.
+  run_distinct_program_bursts(65, 4, 60);
+  run_distinct_program_bursts(130, 5, 60);
+  run_distinct_program_bursts(320, 6, 40);
+  run_distinct_program_bursts(512, 7, 40);
 }
 
 TEST(BitparEquivalenceTest, MaskedMultiLaneAssignsMatchScalar) {
@@ -320,8 +372,11 @@ TEST(BitparEquivalenceTest, MaskedMultiLaneAssignsMatchScalar) {
   const Circuit circuit = iscas_like(4);
   const CompiledCircuit compiled(circuit);
   Rng rng(1234);
-  for (int trial = 0; trial < 200; ++trial) {
-    const unsigned width = 2 + static_cast<unsigned>(rng.next_below(63));
+  for (int trial = 0; trial < 160; ++trial) {
+    // Alternate between single-plane and multi-plane widths.
+    const unsigned width =
+        trial % 2 == 0 ? 2 + static_cast<unsigned>(rng.next_below(63))
+                       : 65 + static_cast<unsigned>(rng.next_below(448));
     const LaneMask batch = lane_mask_below(width);
     // One shared program of masked ops.
     std::vector<std::pair<GateId, Value3>> ops;
@@ -330,20 +385,20 @@ TEST(BitparEquivalenceTest, MaskedMultiLaneAssignsMatchScalar) {
       ops.emplace_back(
           static_cast<GateId>(rng.next_below(circuit.num_gates())),
           rng.next_bool(0.5) ? Value3::kOne : Value3::kZero);
-      masks.push_back(rng.next_u64() & batch);
+      masks.push_back(random_lane_set(rng) & batch);
     }
 
-    LaneImplicationEngine merged(compiled);
+    LaneImplicationEngine merged(compiled, true, nullptr, width);
     merged.begin_batch(batch);
     LaneMask alive_merged = batch;
     for (std::size_t i = 0; i < ops.size(); ++i) {
       const LaneMask m = masks[i] & alive_merged;
-      if (m == 0) continue;
+      if (m.none()) continue;
       const LaneMask ok = merged.assign(ops[i].first, ops[i].second, m);
       alive_merged &= ~(m & ~ok);
     }
 
-    LaneImplicationEngine perlane(compiled);
+    LaneImplicationEngine perlane(compiled, true, nullptr, width);
     perlane.begin_batch(batch);
     LaneMask alive_perlane = batch;
     for (std::size_t i = 0; i < ops.size(); ++i)
@@ -374,26 +429,29 @@ TEST(BitparEquivalenceTest, MixedValueAssignPlanesMatchScalar) {
   const CompiledCircuit compiled(circuit);
   Rng rng(977);
   for (int trial = 0; trial < 100; ++trial) {
-    const unsigned width = 2 + static_cast<unsigned>(rng.next_below(63));
+    // Alternate between single-plane and multi-plane widths.
+    const unsigned width =
+        trial % 2 == 0 ? 2 + static_cast<unsigned>(rng.next_below(63))
+                       : 65 + static_cast<unsigned>(rng.next_below(448));
     const LaneMask batch = lane_mask_below(width);
     std::vector<GateId> gates;
     std::vector<LaneMask> zeros, ones;
     for (int i = 0; i < 6; ++i) {
       gates.push_back(
           static_cast<GateId>(rng.next_below(circuit.num_gates())));
-      const LaneMask m = rng.next_u64() & batch;
-      const LaneMask split = rng.next_u64();
+      const LaneMask m = random_lane_set(rng) & batch;
+      const LaneMask split = random_lane_set(rng);
       zeros.push_back(m & split);
       ones.push_back(m & ~split);
     }
 
-    LaneImplicationEngine laned(compiled);
+    LaneImplicationEngine laned(compiled, true, nullptr, width);
     laned.begin_batch(batch);
     LaneMask alive = batch;
     for (std::size_t i = 0; i < gates.size(); ++i) {
       const LaneMask m0 = zeros[i] & alive;
       const LaneMask m1 = ones[i] & alive;
-      if ((m0 | m1) == 0) continue;
+      if ((m0 | m1).none()) continue;
       alive &= ~((m0 | m1) & ~laned.assign_planes(gates[i], m0, m1));
     }
 
@@ -445,8 +503,10 @@ TEST(BaseOverlayTest, LaneProgramsOverScalarBaseMatchFreshScalars) {
       }
     }
 
-    LaneImplicationEngine lanes(compiled, true, &base);
-    const unsigned width = 8;
+    // Odd trials run the overlay in multi-plane territory: the same
+    // eight programs land on lanes spread across plane words.
+    const unsigned width = trial % 2 == 0 ? 8 : 200;
+    LaneImplicationEngine lanes(compiled, true, &base, width);
     lanes.begin_batch(lane_mask_below(width));
     std::vector<ImplicationEngine> oracles;
     for (unsigned l = 0; l < width; ++l) {
@@ -463,17 +523,17 @@ TEST(BaseOverlayTest, LaneProgramsOverScalarBaseMatchFreshScalars) {
     std::vector<ImplicationStats> oracle_before;
     for (auto& o : oracles) oracle_before.push_back(o.stats());
 
-    std::uint64_t alive = lane_mask_below(width);
+    LaneMask alive = lane_mask_below(width);
     for (int round = 0; round < 5; ++round)
       for (unsigned l = 0; l < width; ++l) {
-        if (!(alive & lane_bit(l))) continue;
+        if (!alive.test(l)) continue;
         const GateId gate =
             static_cast<GateId>(rng.next_below(circuit.num_gates()));
         const Value3 value =
             rng.next_bool(0.5) ? Value3::kOne : Value3::kZero;
         const LaneMask ok = lanes.assign(gate, value, lane_bit(l));
         const bool oracle_ok = oracles[l].assign(gate, value);
-        ASSERT_EQ(ok != 0, oracle_ok)
+        ASSERT_EQ(ok.any(), oracle_ok)
             << "trial " << trial << " lane " << l << " round " << round;
         if (!oracle_ok) alive &= ~lane_bit(l);
       }
@@ -494,18 +554,19 @@ TEST(BaseOverlayTest, LaneProgramsOverScalarBaseMatchFreshScalars) {
 TEST(LaneDegeneracyTest, DeadLanesAreNeverReadOrCharged) {
   const Circuit circuit = iscas_like(6);
   const CompiledCircuit compiled(circuit);
-  LaneImplicationEngine lanes(compiled);
-  // A sparse batch: lanes 1, 3 and 40 only.
-  const LaneMask batch = lane_bit(1) | lane_bit(3) | lane_bit(40);
+  LaneImplicationEngine lanes(compiled, true, nullptr, kMaxLanes);
+  // A sparse batch spanning three plane words: lanes 1, 3, 40 and 300.
+  const LaneMask batch =
+      lane_bit(1) | lane_bit(3) | lane_bit(40) | lane_bit(300);
   lanes.begin_batch(batch);
   EXPECT_EQ(lanes.batch(), batch);
   ASSERT_EQ(lanes.assign(circuit.inputs()[0], Value3::kOne,
-                         lane_bit(1) | lane_bit(40)),
-            lane_bit(1) | lane_bit(40));
+                         lane_bit(1) | lane_bit(40) | lane_bit(300)),
+            lane_bit(1) | lane_bit(40) | lane_bit(300));
   ASSERT_EQ(lanes.assign(circuit.inputs()[1], Value3::kZero, lane_bit(3)),
             lane_bit(3));
   for (unsigned l = 0; l < kMaxLanes; ++l) {
-    if (l == 1 || l == 3 || l == 40) continue;
+    if (l == 1 || l == 3 || l == 40 || l == 300) continue;
     // Dead lanes: no values, no charges — with no base engine every
     // gate must read unknown and every counter zero.
     const ImplicationStats s = lanes.lane_stats(l);
@@ -516,8 +577,26 @@ TEST(LaneDegeneracyTest, DeadLanesAreNeverReadOrCharged) {
   }
   // And the live lanes saw only their own assignments.
   EXPECT_EQ(lanes.value(circuit.inputs()[0], 1), Value3::kOne);
+  EXPECT_EQ(lanes.value(circuit.inputs()[0], 300), Value3::kOne);
   EXPECT_EQ(lanes.value(circuit.inputs()[0], 3), Value3::kUnknown);
   EXPECT_EQ(lanes.value(circuit.inputs()[1], 3), Value3::kZero);
+}
+
+TEST(LaneEngineTest, WidthValidationAndDispatch) {
+  const Circuit circuit = iscas_like(2);
+  const CompiledCircuit compiled(circuit);
+  EXPECT_THROW(LaneImplicationEngine(compiled, true, nullptr, 0),
+               std::invalid_argument);
+  EXPECT_THROW(LaneImplicationEngine(compiled, true, nullptr, kMaxLanes + 1),
+               std::invalid_argument);
+  for (unsigned width : {1u, 64u, 65u, 128u, 320u, 512u}) {
+    LaneImplicationEngine engine(compiled, true, nullptr, width);
+    EXPECT_EQ(engine.lanes(), width);
+    EXPECT_EQ(engine.plane_words(), plane_words_for(width));
+  }
+  const std::string tier = bitpar_dispatch_name();
+  EXPECT_TRUE(tier == "portable" || tier == "avx2" || tier == "avx512")
+      << tier;
 }
 
 bool deterministic_fields_equal(const ClassifyResult& a,
@@ -553,8 +632,8 @@ TEST(LaneDegeneracyTest, LanedClassifyMatchesScalarOnStarvedTrees) {
     options.collect_lead_counts = true;
     options.collect_paths_limit = 64;
     const ClassifyResult scalar = classify_paths_serial(circuit, options);
-    for (std::size_t width : {2u, 3u, 64u, 200u}) {
-      options.lanes = width;  // 200 exercises the clamp
+    for (std::size_t width : {2u, 3u, 64u, 200u, 512u}) {
+      options.lanes = width;  // 200 exercises the 256-plane round-up
       const ClassifyResult laned = classify_paths_serial(circuit, options);
       ASSERT_TRUE(deterministic_fields_equal(scalar, laned))
           << circuit.name() << " lanes " << width;

@@ -429,7 +429,11 @@ INSTANTIATE_TEST_SUITE_P(
     CircuitsThreadsLanes, BitparParallelInvariance,
     ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
                        ::testing::Values(1u, 2u, 4u),
-                       ::testing::Values(1u, 7u, 64u)));
+                       // 7 = sub-word odd width; 128 = 2-word kernel;
+                       // 320 = 8-word kernel with 192 permanently dead
+                       // lanes (plane widths round up to a power of two
+                       // words); 512 = full-width 8-word kernel.
+                       ::testing::Values(1u, 7u, 64u, 128u, 320u, 512u)));
 
 // ---- static-closure invariance (DESIGN.md §14) -----------------------------
 
@@ -593,7 +597,7 @@ INSTANTIATE_TEST_SUITE_P(
     CircuitsThreadsLanes, ClosureInvariance,
     ::testing::Combine(::testing::Values(0, 1, 2, 3),
                        ::testing::Values(1u, 2u, 4u),
-                       ::testing::Values(1u, 64u)));
+                       ::testing::Values(1u, 64u, 128u, 320u, 512u)));
 
 // ---- robust ⊆ non-robust ⊆ FS over seeds ----------------------------------
 

@@ -426,6 +426,36 @@ TEST(Session, LearnedTierWithIncrementalIsABadRequest) {
   EXPECT_EQ(ok.find("kind")->as_string(), "classify_run");
 }
 
+TEST(Session, LanesOutOfRangeIsABadRequest) {
+  Session session{SessionConfig{}};
+  // Strict upper bound: widths past kMaxLanes (512) are typed
+  // bad_request errors naming the field, never silent clamps.
+  const JsonValue over = handle(
+      session,
+      "{\"op\": \"classify\", \"circuit\": {\"builtin\": \"c17\"}, "
+      "\"lanes\": 513}");
+  ASSERT_TRUE(validate_run_report(over).empty());
+  EXPECT_EQ(over.find("kind")->as_string(), "serve_error");
+  EXPECT_EQ(over.find("error")->find("code")->as_string(), "bad_request");
+  EXPECT_NE(over.find("error")->find("message")->as_string().find("lanes"),
+            std::string::npos);
+
+  const JsonValue zero = handle(
+      session,
+      "{\"op\": \"classify\", \"circuit\": {\"builtin\": \"c17\"}, "
+      "\"lanes\": 0}");
+  EXPECT_EQ(zero.find("kind")->as_string(), "serve_error");
+  EXPECT_EQ(zero.find("error")->find("code")->as_string(), "bad_request");
+
+  // The boundary value itself must be accepted.
+  const JsonValue ok = handle(
+      session,
+      "{\"op\": \"classify\", \"circuit\": {\"builtin\": \"c17\"}, "
+      "\"lanes\": 512}");
+  ASSERT_TRUE(validate_run_report(ok).empty());
+  EXPECT_EQ(ok.find("kind")->as_string(), "classify_run");
+}
+
 TEST(Session, ServePayloadExposesCachePressureCounters) {
   CircuitCache cache(1);  // capacity 1: the second circuit evicts
   SessionConfig config;
